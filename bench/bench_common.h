@@ -1,0 +1,214 @@
+// Shared benchmark harness.
+//
+// Every figure/table of the paper's evaluation (§7) has one binary in this
+// directory. Benchmarks report *execution* time via manual timing
+// (QueryTelemetry::execute_ms for Proteus, wall time for baselines), matching
+// the paper's presentation where LLVM compilation (≤~50 ms) is reported
+// separately (see bench_codegen_cost).
+//
+// Scale: PROTEUS_BENCH_ORDERS environment variable (default 20000 orders ≈
+// 80k lineitems). The paper runs SF10/SF100; shapes — who wins, by what
+// factor, where crossovers fall — are what we reproduce, not absolute times.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/baselines/baselines.h"
+#include "src/core/query_engine.h"
+#include "src/datagen/spam.h"
+#include "src/datagen/tpch.h"
+#include "src/storage/bincol_format.h"
+#include "src/storage/binrow_format.h"
+#include "src/storage/text_writers.h"
+
+namespace proteus {
+namespace bench {
+
+inline uint64_t BenchOrders() {
+  const char* env = std::getenv("PROTEUS_BENCH_ORDERS");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 20000;
+}
+inline uint64_t BenchMails() {
+  // Large enough that per-query scan work dominates the ~10 ms of LLVM
+  // compilation (the paper's regime: seconds-long queries, ≤50 ms codegen).
+  const char* env = std::getenv("PROTEUS_BENCH_MAILS");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 60000;
+}
+
+inline double WallMs(const std::function<void()>& f) {
+  auto t0 = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// On-disk corpus shared by all bench binaries (rebuilt when scale changes).
+class BenchCorpus {
+ public:
+  static BenchCorpus& Get() {
+    static BenchCorpus c;
+    return c;
+  }
+
+  std::string dir;
+  RowTable lineitem, orders, denorm;
+  RowTable spam_json, spam_csv, spam_bin;
+  uint64_t num_orders;
+
+ private:
+  BenchCorpus() {
+    num_orders = BenchOrders();
+    dir = "/tmp/proteus_bench_" + std::to_string(num_orders) + "_" +
+          std::to_string(BenchMails());
+    lineitem = datagen::GenLineitem(num_orders, 1001);
+    orders = datagen::GenOrders(num_orders, 1002);
+    denorm = datagen::Denormalize(orders, lineitem);
+    spam_json = datagen::GenSpamJSON(BenchMails(), 1003);
+    spam_csv = datagen::GenSpamCSV(BenchMails(), 1004);
+    spam_bin = datagen::GenSpamBinary(BenchMails(), 1.5, 1005);
+
+    std::string stamp = dir + "/.complete";
+    if (std::filesystem::exists(stamp)) return;
+    std::filesystem::create_directories(dir);
+    auto die = [](const Status& s) {
+      if (!s.ok()) {
+        fprintf(stderr, "corpus: %s\n", s.ToString().c_str());
+        std::abort();
+      }
+    };
+    die(WriteBinaryColumnDir(dir + "/lineitem.bincol", lineitem));
+    die(WriteBinaryColumnDir(dir + "/orders.bincol", orders));
+    die(WriteBinaryRowFile(dir + "/lineitem.binrow", lineitem));
+    die(WriteCSVFile(dir + "/lineitem.csv", lineitem));
+    JSONWriteOptions shuffled;
+    shuffled.shuffle_field_order = true;  // paper: arbitrary field order
+    die(WriteJSONFile(dir + "/lineitem.json", lineitem, shuffled));
+    die(WriteJSONFile(dir + "/orders.json", orders, shuffled));
+    die(WriteJSONFile(dir + "/denorm.json", denorm));
+    die(WriteJSONFile(dir + "/spam.json", spam_json, shuffled));
+    die(WriteCSVFile(dir + "/spam.csv", spam_csv));
+    die(WriteBinaryColumnDir(dir + "/spam.bincol", spam_bin));
+    std::ofstream(stamp) << "ok";
+  }
+};
+
+/// Registers the benchmark datasets on a Proteus engine.
+inline void RegisterBenchDatasets(QueryEngine* e) {
+  const BenchCorpus& c = BenchCorpus::Get();
+  auto reg = [&](const char* name, DataFormat f, const std::string& path, TypePtr type) {
+    Status s = e->RegisterDataset({.name = name, .format = f, .path = path, .type = type});
+    if (!s.ok()) {
+      fprintf(stderr, "register %s: %s\n", name, s.ToString().c_str());
+      std::abort();
+    }
+  };
+  reg("lineitem_bin", DataFormat::kBinaryColumn, c.dir + "/lineitem.bincol",
+      datagen::LineitemSchema());
+  reg("orders_bin", DataFormat::kBinaryColumn, c.dir + "/orders.bincol",
+      datagen::OrdersSchema());
+  reg("lineitem_csv", DataFormat::kCSV, c.dir + "/lineitem.csv", datagen::LineitemSchema());
+  reg("lineitem_json", DataFormat::kJSON, c.dir + "/lineitem.json",
+      datagen::LineitemSchema());
+  reg("orders_json", DataFormat::kJSON, c.dir + "/orders.json", datagen::OrdersSchema());
+  reg("orders_denorm", DataFormat::kJSON, c.dir + "/denorm.json",
+      datagen::OrdersDenormSchema());
+  reg("spam_json", DataFormat::kJSON, c.dir + "/spam.json", datagen::SpamJSONSchema());
+  reg("spam_csv", DataFormat::kCSV, c.dir + "/spam.csv", datagen::SpamCSVSchema());
+  reg("spam_bin", DataFormat::kBinaryColumn, c.dir + "/spam.bincol",
+      datagen::SpamBinarySchema());
+}
+
+/// Lazily-built shared engine set for the figure benchmarks.
+struct Systems {
+  std::unique_ptr<QueryEngine> proteus;
+  baselines::RowStoreEngine row;       // PostgreSQL / DBMS X proxy
+  baselines::ColumnarEngine col;       // MonetDB proxy
+  baselines::ColumnarEngine col_sorted;  // DBMS C proxy (sorted on l_orderkey)
+  baselines::DocStoreEngine doc;       // MongoDB proxy
+
+  static Systems& Get() {
+    static Systems s;
+    return s;
+  }
+
+ private:
+  Systems() {
+    const BenchCorpus& c = BenchCorpus::Get();
+    proteus = std::make_unique<QueryEngine>();
+    RegisterBenchDatasets(proteus.get());
+    auto die = [](const Result<double>& r) {
+      if (!r.ok()) {
+        fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        std::abort();
+      }
+    };
+    die(row.LoadTable("lineitem", c.lineitem));
+    die(row.LoadTable("orders", c.orders));
+    die(row.LoadDocuments("denorm", c.denorm));
+    die(col.LoadTable("lineitem", c.lineitem));
+    die(col.LoadTable("orders", c.orders));
+    die(col.LoadJSONAsVarchar("lineitem_varchar", c.lineitem));
+    die(col.LoadJSONAsVarchar("orders_varchar", c.orders));
+    baselines::ColumnarOptions sorted{.sort_key = "l_orderkey"};
+    die(col_sorted.LoadTable("lineitem", c.lineitem, sorted));
+    die(col_sorted.LoadTable("orders", c.orders,
+                             baselines::ColumnarOptions{.sort_key = "o_orderkey"}));
+    die(doc.LoadDocuments("lineitem", c.lineitem));
+    die(doc.LoadDocuments("orders", c.orders));
+    die(doc.LoadDocuments("denorm", c.denorm));
+  }
+};
+
+/// Runs one Proteus query and returns execution ms (excludes compile).
+inline double ProteusMs(const std::string& query) {
+  auto r = Systems::Get().proteus->Execute(query);
+  if (!r.ok()) {
+    fprintf(stderr, "proteus: %s\n  %s\n", query.c_str(), r.status().ToString().c_str());
+    std::abort();
+  }
+  return Systems::Get().proteus->telemetry().execute_ms;
+}
+
+template <typename Engine>
+double BaselineMs(Engine& engine, const baselines::BenchQuery& q) {
+  double ms = WallMs([&] {
+    auto r = engine.Execute(q);
+    if (!r.ok()) {
+      fprintf(stderr, "baseline: %s\n", r.status().ToString().c_str());
+      std::abort();
+    }
+    benchmark::DoNotOptimize(r->rows);
+  });
+  return ms;
+}
+
+/// Registers a manual-timed benchmark that reports `fn()` milliseconds.
+inline void RegisterMs(const std::string& name, std::function<double()> fn) {
+  benchmark::RegisterBenchmark(name.c_str(), [fn](benchmark::State& state) {
+    for (auto _ : state) {
+      state.SetIterationTime(fn() / 1000.0);
+    }
+  })->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(2);
+}
+
+/// Selectivity percents used throughout the paper's figures.
+inline const std::vector<int>& Selectivities() {
+  static std::vector<int> s{10, 20, 50, 100};
+  return s;
+}
+
+/// l_orderkey threshold for a selectivity percent.
+inline int64_t KeyFor(int sel_percent) {
+  return static_cast<int64_t>(BenchCorpus::Get().num_orders) * sel_percent / 100;
+}
+
+}  // namespace bench
+}  // namespace proteus

@@ -1,0 +1,65 @@
+// Figure 5: projection-intensive queries over JSON data.
+// Template: SELECT AGG(val1),...,AGG(valN) FROM lineitem WHERE l_orderkey < X
+// Variants: COUNT / 1 aggregate (MAX) / 4 aggregates; selectivity 10-100%.
+// Systems: Proteus (raw JSON + structural index), RowStore (jsonb-like,
+// ≈PostgreSQL), DocStore (BSON-like, ≈MongoDB), Columnar over VARCHAR JSON
+// (≈MonetDB/DBMS C, whose JSON support the paper calls immature).
+#include "bench/bench_common.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+using baselines::AggKind;
+using baselines::BenchQuery;
+
+void Register() {
+  struct Variant {
+    const char* name;
+    const char* proteus_aggs;
+    std::vector<baselines::BenchAgg> aggs;
+  };
+  std::vector<Variant> variants = {
+      {"Q1_count", "count(*)", {{AggKind::kCount, ""}}},
+      {"Q2_max", "max(l_quantity)", {{AggKind::kMax, "l_quantity"}}},
+      {"Q3_aggr4",
+       "count(*), max(l_quantity), sum(l_extendedprice), min(l_discount)",
+       {{AggKind::kCount, ""},
+        {AggKind::kMax, "l_quantity"},
+        {AggKind::kSum, "l_extendedprice"},
+        {AggKind::kMin, "l_discount"}}},
+  };
+  for (const auto& v : variants) {
+    for (int sel : Selectivities()) {
+      int64_t key = KeyFor(sel);
+      std::string tag = std::string("fig05/") + v.name + "/sel=" + std::to_string(sel) + "/";
+      std::string q = std::string("SELECT ") + v.proteus_aggs +
+                      " FROM lineitem_json WHERE l_orderkey < " + std::to_string(key);
+      RegisterMs(tag + "Proteus", [q] { return ProteusMs(q); });
+
+      BenchQuery bq;
+      bq.table = "lineitem";
+      bq.where = {{.col = "l_orderkey", .cmp = '<', .val = static_cast<double>(key)}};
+      bq.aggs = v.aggs;
+      RegisterMs(tag + "RowStore_jsonb",
+                 [bq] { return BaselineMs(Systems::Get().row, bq); });
+      RegisterMs(tag + "DocStore_bson",
+                 [bq] { return BaselineMs(Systems::Get().doc, bq); });
+      BenchQuery vq = bq;
+      vq.table = "lineitem_varchar";
+      RegisterMs(tag + "Columnar_varchar",
+                 [vq] { return BaselineMs(Systems::Get().col, vq); });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  proteus::bench::Register();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 6: projection-intensive queries over binary relational data.
+// Systems: Proteus (binary columns in situ), RowStore (≈PostgreSQL/DBMS X),
+// Columnar (≈MonetDB), Columnar sorted-on-key with zone maps (≈DBMS C).
+#include "bench/bench_common.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+using baselines::AggKind;
+using baselines::BenchQuery;
+
+void Register() {
+  struct Variant {
+    const char* name;
+    const char* proteus_aggs;
+    std::vector<baselines::BenchAgg> aggs;
+  };
+  std::vector<Variant> variants = {
+      {"Q1_count", "count(*)", {{AggKind::kCount, ""}}},
+      {"Q2_max", "max(l_quantity)", {{AggKind::kMax, "l_quantity"}}},
+      {"Q3_aggr4",
+       "count(*), max(l_quantity), sum(l_extendedprice), min(l_discount)",
+       {{AggKind::kCount, ""},
+        {AggKind::kMax, "l_quantity"},
+        {AggKind::kSum, "l_extendedprice"},
+        {AggKind::kMin, "l_discount"}}},
+  };
+  for (const auto& v : variants) {
+    for (int sel : Selectivities()) {
+      int64_t key = KeyFor(sel);
+      std::string tag = std::string("fig06/") + v.name + "/sel=" + std::to_string(sel) + "/";
+      std::string q = std::string("SELECT ") + v.proteus_aggs +
+                      " FROM lineitem_bin WHERE l_orderkey < " + std::to_string(key);
+      RegisterMs(tag + "Proteus", [q] { return ProteusMs(q); });
+
+      BenchQuery bq;
+      bq.table = "lineitem";
+      bq.where = {{.col = "l_orderkey", .cmp = '<', .val = static_cast<double>(key)}};
+      bq.aggs = v.aggs;
+      RegisterMs(tag + "RowStore", [bq] { return BaselineMs(Systems::Get().row, bq); });
+      RegisterMs(tag + "Columnar", [bq] { return BaselineMs(Systems::Get().col, bq); });
+      RegisterMs(tag + "Columnar_sorted",
+                 [bq] { return BaselineMs(Systems::Get().col_sorted, bq); });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  proteus::bench::Register();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 7: selection queries (1/3/4 predicates, COUNT) over JSON data.
+// Systems: Proteus, RowStore (jsonb), DocStore. (MonetDB/DBMS C are excluded
+// from JSON experiments past Fig 5, as in the paper.)
+#include "bench/bench_common.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+using baselines::BenchQuery;
+
+void Register() {
+  struct Variant {
+    const char* name;
+    std::string extra_sql;  // appended predicates
+    std::vector<baselines::BenchPred> extra;
+  };
+  std::vector<Variant> variants = {
+      {"Q1_pred1", "", {}},
+      {"Q2_pred3",
+       " and l_quantity < 45.0 and l_discount < 0.09",
+       {{.col = "l_quantity", .cmp = '<', .val = 45.0},
+        {.col = "l_discount", .cmp = '<', .val = 0.09}}},
+      {"Q3_pred4",
+       " and l_quantity < 45.0 and l_discount < 0.09 and l_tax < 0.07",
+       {{.col = "l_quantity", .cmp = '<', .val = 45.0},
+        {.col = "l_discount", .cmp = '<', .val = 0.09},
+        {.col = "l_tax", .cmp = '<', .val = 0.07}}},
+  };
+  for (const auto& v : variants) {
+    for (int sel : Selectivities()) {
+      int64_t key = KeyFor(sel);
+      std::string tag = std::string("fig07/") + v.name + "/sel=" + std::to_string(sel) + "/";
+      std::string q = "SELECT count(*) FROM lineitem_json WHERE l_orderkey < " +
+                      std::to_string(key) + v.extra_sql;
+      RegisterMs(tag + "Proteus", [q] { return ProteusMs(q); });
+
+      BenchQuery bq;
+      bq.table = "lineitem";
+      bq.where = {{.col = "l_orderkey", .cmp = '<', .val = static_cast<double>(key)}};
+      bq.where.insert(bq.where.end(), v.extra.begin(), v.extra.end());
+      bq.aggs = {{baselines::AggKind::kCount, ""}};
+      RegisterMs(tag + "RowStore_jsonb",
+                 [bq] { return BaselineMs(Systems::Get().row, bq); });
+      RegisterMs(tag + "DocStore_bson",
+                 [bq] { return BaselineMs(Systems::Get().doc, bq); });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  proteus::bench::Register();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 11: aggregate (GROUP BY) queries over JSON data.
+// Template: SELECT AGG(val1),... FROM lineitem WHERE l_orderkey < X
+//           GROUP BY l_linenumber — 1 / 3 / 4 aggregates.
+#include "bench/bench_common.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+using baselines::AggKind;
+using baselines::BenchQuery;
+
+struct Variant {
+  const char* name;
+  const char* proteus_aggs;
+  std::vector<baselines::BenchAgg> aggs;
+};
+
+std::vector<Variant> GroupVariants() {
+  return {
+      {"Q1_aggr1", "count(*)", {{AggKind::kCount, ""}}},
+      {"Q2_aggr3",
+       "count(*), max(l_quantity), sum(l_extendedprice)",
+       {{AggKind::kCount, ""},
+        {AggKind::kMax, "l_quantity"},
+        {AggKind::kSum, "l_extendedprice"}}},
+      {"Q3_aggr4",
+       "count(*), max(l_quantity), sum(l_extendedprice), min(l_discount)",
+       {{AggKind::kCount, ""},
+        {AggKind::kMax, "l_quantity"},
+        {AggKind::kSum, "l_extendedprice"},
+        {AggKind::kMin, "l_discount"}}},
+  };
+}
+
+void Register() {
+  for (const auto& v : GroupVariants()) {
+    for (int sel : Selectivities()) {
+      int64_t key = KeyFor(sel);
+      std::string tag = std::string("fig11/") + v.name + "/sel=" + std::to_string(sel) + "/";
+      std::string q = std::string("SELECT l_linenumber, ") + v.proteus_aggs +
+                      " FROM lineitem_json WHERE l_orderkey < " + std::to_string(key) +
+                      " GROUP BY l_linenumber";
+      RegisterMs(tag + "Proteus", [q] { return ProteusMs(q); });
+
+      BenchQuery bq;
+      bq.table = "lineitem";
+      bq.where = {{.col = "l_orderkey", .cmp = '<', .val = static_cast<double>(key)}};
+      bq.aggs = v.aggs;
+      bq.group_by = "l_linenumber";
+      RegisterMs(tag + "RowStore_jsonb",
+                 [bq] { return BaselineMs(Systems::Get().row, bq); });
+      RegisterMs(tag + "DocStore_bson",
+                 [bq] { return BaselineMs(Systems::Get().doc, bq); });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  proteus::bench::Register();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,638 @@
+// Figure 14 + Table 3: the Symantec spam-analysis workload (paper §7.2).
+//
+// A 50-query sequence over three silos — a binary history table, CSV
+// classification output, and JSON spam objects — run under three approaches:
+//
+//   PostgreSQL-style:  one general-purpose row store holding everything;
+//                      CSV and JSON must be loaded before their first query
+//                      (charged to the workload, as in Table 3); Q39 hits a
+//                      nested-loop plan because the JSON side is opaque to
+//                      the optimizer.
+//   Federated:         DBMS C-style columnar engine for binary+CSV (sorted
+//                      on mail_id), MongoDB-style document store for JSON;
+//                      cross-silo queries filter in each engine, export the
+//                      qualifying rows, and join in a mediation layer whose
+//                      time is charged to the "Middleware" phase.
+//   Proteus:           queries raw files in situ; adaptive caching enabled;
+//                      structural-index construction and cache population
+//                      are charged to the first query touching each file.
+//
+// Output: one Fig-14 row per query (ms per approach) and the Table-3 phase
+// summary (Load CSV / Load JSON / Middleware / Q39 / rest / total).
+#include "bench/bench_common.h"
+
+#include <unordered_map>
+
+namespace proteus {
+namespace bench {
+namespace {
+
+using baselines::AggKind;
+using baselines::BenchAgg;
+using baselines::BenchPred;
+using baselines::BenchQuery;
+
+// ---------------------------------------------------------------------------
+// Boxed helpers for the mediation layer
+// ---------------------------------------------------------------------------
+
+Result<Value> GetDotted(const Value& doc, const std::string& dotted) {
+  Value cur = doc;
+  size_t start = 0;
+  while (true) {
+    size_t dot = dotted.find('.', start);
+    auto f = cur.GetField(dotted.substr(start, dot == std::string::npos ? dot : dot - start));
+    if (!f.ok()) return f.status();
+    cur = *f;
+    if (dot == std::string::npos) return cur;
+    start = dot + 1;
+  }
+}
+
+bool PredPass(const Value& doc, const BenchPred& p) {
+  auto v = GetDotted(doc, p.col);
+  if (!v.ok() || v->is_null()) return false;
+  if (p.is_string) return v->is_string() && v->s() == p.sval;
+  double d = v->AsFloat();
+  switch (p.cmp) {
+    case '<': return d < p.val;
+    case '>': return d > p.val;
+    case '=': return d == p.val;
+  }
+  return false;
+}
+
+/// One silo's contribution to a federated cross query.
+struct Side {
+  const RowTable* data;
+  std::vector<BenchPred> preds;
+  std::string key;
+  /// Engine-side filtering cost, simulated by running the count query in the
+  /// owning specialized engine.
+  std::function<double()> engine_filter;
+};
+
+/// Mediation layer: each engine filters (timed), qualifying rows are
+/// exported as boxed records (timed), and the join runs centrally (timed).
+double FederatedCross(const std::vector<Side>& sides, const std::vector<BenchAgg>& aggs,
+                      const std::vector<std::string>& agg_side_cols, double* middleware_ms) {
+  double engine_ms = 0;
+  for (const auto& s : sides) engine_ms += s.engine_filter();
+
+  double mw = WallMs([&] {
+    // Export qualifying rows out of each engine.
+    std::vector<std::vector<Value>> exported(sides.size());
+    std::vector<std::vector<int64_t>> keys(sides.size());
+    for (size_t i = 0; i < sides.size(); ++i) {
+      const Side& s = sides[i];
+      for (size_t r = 0; r < s.data->num_rows(); ++r) {
+        Value rec = s.data->RecordAt(r);  // serialize out of the engine
+        bool pass = true;
+        for (const auto& p : s.preds) pass = pass && PredPass(rec, p);
+        if (!pass) continue;
+        auto k = GetDotted(rec, s.key);
+        if (!k.ok()) continue;
+        keys[i].push_back(k->i());
+        exported[i].push_back(std::move(rec));
+      }
+    }
+    // Left-deep boxed hash joins across silos.
+    std::vector<size_t> match_count(exported[0].size(), 1);
+    std::vector<const Value*> base;
+    for (const auto& v : exported[0]) base.push_back(&v);
+    // Aggregate while probing the remaining sides.
+    double count = 0, agg0 = 0, agg_min = 1e300, agg_max = -1e300, agg_sum = 0;
+    (void)agg0;
+    std::unordered_multimap<int64_t, const Value*> ht1, ht2;
+    for (size_t r = 0; r < exported[1].size(); ++r) ht1.emplace(keys[1][r], &exported[1][r]);
+    if (sides.size() == 3) {
+      for (size_t r = 0; r < exported[2].size(); ++r) ht2.emplace(keys[2][r], &exported[2][r]);
+    }
+    for (size_t r = 0; r < exported[0].size(); ++r) {
+      auto [lo, hi] = ht1.equal_range(keys[0][r]);
+      for (auto it = lo; it != hi; ++it) {
+        auto emit = [&](const Value* v1, const Value* v2) {
+          ++count;
+          for (size_t a = 0; a < aggs.size(); ++a) {
+            if (aggs[a].kind == AggKind::kCount) continue;
+            const Value* src = agg_side_cols[a] == "0"   ? &exported[0][r]
+                               : agg_side_cols[a] == "1" ? v1
+                                                         : v2;
+            auto val = GetDotted(*src, aggs[a].col);
+            if (!val.ok()) continue;
+            double d = val->AsFloat();
+            agg_sum += d;
+            agg_min = std::min(agg_min, d);
+            agg_max = std::max(agg_max, d);
+          }
+        };
+        if (sides.size() == 3) {
+          auto [lo2, hi2] = ht2.equal_range(keys[0][r]);
+          for (auto it2 = lo2; it2 != hi2; ++it2) emit(it->second, it2->second);
+        } else {
+          emit(it->second, nullptr);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(count + agg_sum + agg_min + agg_max);
+  });
+  *middleware_ms += mw;
+  return engine_ms + mw;
+}
+
+// ---------------------------------------------------------------------------
+// The 50-query workload
+// ---------------------------------------------------------------------------
+
+struct WorkloadQuery {
+  int id;
+  std::string group;
+  std::function<double()> postgres;
+  std::function<double()> federated;
+  std::function<double()> proteus;
+};
+
+struct Workload {
+  baselines::RowStoreEngine pg;
+  baselines::ColumnarEngine dbms_c;   // binary + CSV, sorted on mail_id
+  baselines::DocStoreEngine mongo;    // JSON
+  std::unique_ptr<QueryEngine> proteus;
+  double pg_load_csv_ms = 0, pg_load_json_ms = 0;
+  double fed_load_csv_ms = 0, fed_load_json_ms = 0;
+  double middleware_ms = 0;
+  bool pg_csv_loaded = false, pg_json_loaded = false;
+  bool fed_csv_loaded = false, fed_json_loaded = false;
+
+  Workload() {
+    const BenchCorpus& c = BenchCorpus::Get();
+    // Binary history is pre-loaded in both DB approaches (the paper starts
+    // with the OS cache containing the binary table).
+    (void)*pg.LoadTable("bin", c.spam_bin);
+    (void)*dbms_c.LoadTable("bin", c.spam_bin,
+                            baselines::ColumnarOptions{.sort_key = "mail_id"});
+    EngineOptions opts;
+    opts.cache_policy.enabled = true;
+    proteus = std::make_unique<QueryEngine>(opts);
+    RegisterBenchDatasets(proteus.get());
+  }
+
+  // Lazy load-on-first-touch, charged like the paper's Table 3 phases.
+  double PgEnsure(char silo) {
+    const BenchCorpus& c = BenchCorpus::Get();
+    if (silo == 'c' && !pg_csv_loaded) {
+      pg_csv_loaded = true;
+      pg_load_csv_ms = *pg.LoadTable("csv", c.spam_csv);
+      return pg_load_csv_ms;
+    }
+    if (silo == 'j' && !pg_json_loaded) {
+      pg_json_loaded = true;
+      pg_load_json_ms = *pg.LoadDocuments("json", c.spam_json);
+      return pg_load_json_ms;
+    }
+    return 0;
+  }
+  double FedEnsure(char silo) {
+    const BenchCorpus& c = BenchCorpus::Get();
+    if (silo == 'c' && !fed_csv_loaded) {
+      fed_csv_loaded = true;
+      fed_load_csv_ms = *dbms_c.LoadTable("csv", c.spam_csv,
+                                          baselines::ColumnarOptions{.sort_key = "mail_id"});
+      return fed_load_csv_ms;
+    }
+    if (silo == 'j' && !fed_json_loaded) {
+      fed_json_loaded = true;
+      fed_load_json_ms = *mongo.LoadDocuments("json", c.spam_json);
+      return fed_load_json_ms;
+    }
+    return 0;
+  }
+
+  double RunPg(const BenchQuery& q) {
+    return WallMs([&] {
+      auto r = pg.Execute(q);
+      if (!r.ok()) {
+        fprintf(stderr, "pg: %s\n", r.status().ToString().c_str());
+        std::abort();
+      }
+      benchmark::DoNotOptimize(r->rows);
+    });
+  }
+  double RunCol(const BenchQuery& q) {
+    return WallMs([&] {
+      auto r = dbms_c.Execute(q);
+      if (!r.ok()) {
+        fprintf(stderr, "col: %s\n", r.status().ToString().c_str());
+        std::abort();
+      }
+      benchmark::DoNotOptimize(r->rows);
+    });
+  }
+  double RunDoc(const BenchQuery& q) {
+    return WallMs([&] {
+      auto r = mongo.Execute(q);
+      if (!r.ok()) {
+        fprintf(stderr, "doc: %s\n", r.status().ToString().c_str());
+        std::abort();
+      }
+      benchmark::DoNotOptimize(r->rows);
+    });
+  }
+  double proteus_codegen_ms = 0;  ///< accumulated LLVM compile time
+
+  double RunProteus(const std::string& sql) {
+    double ms = WallMs([&] {
+      auto r = proteus->Execute(sql);
+      if (!r.ok()) {
+        fprintf(stderr, "proteus: %s\n  %s\n", sql.c_str(), r.status().ToString().c_str());
+        std::abort();
+      }
+      benchmark::DoNotOptimize(r->rows);
+    });
+    proteus_codegen_ms += proteus->telemetry().compile_ms;
+    return ms;
+  }
+};
+
+int64_t MailKey(int percent) {
+  return static_cast<int64_t>(BenchMails()) * percent / 100;
+}
+
+std::vector<WorkloadQuery> BuildWorkload(Workload* w) {
+  const BenchCorpus& c = BenchCorpus::Get();
+  std::vector<WorkloadQuery> qs;
+
+  // Helper lambdas -----------------------------------------------------------
+  auto single = [&](int id, const std::string& grp, char silo, const BenchQuery& bq,
+                    const std::string& sql) {
+    qs.push_back(
+        {id, grp,
+         [w, silo, bq] { return w->PgEnsure(silo) + w->RunPg(bq); },
+         [w, silo, bq] {
+           double load = w->FedEnsure(silo);
+           return load + (silo == 'j' ? w->RunDoc(bq) : w->RunCol(bq));
+         },
+         [w, sql] { return w->RunProteus(sql); }});
+  };
+  auto bincsv = [&](int id, const BenchQuery& bq, const std::string& sql) {
+    // Both silos live inside DBMS C: no middleware needed.
+    qs.push_back({id, "BinCSV",
+                  [w, bq] { return w->PgEnsure('c') + w->RunPg(bq); },
+                  [w, bq] { return w->FedEnsure('c') + w->RunCol(bq); },
+                  [w, sql] { return w->RunProteus(sql); }});
+  };
+  auto cross = [&](int id, const std::string& grp, const BenchQuery& pg_q,
+                   std::vector<Side> sides, std::vector<BenchAgg> aggs,
+                   std::vector<std::string> agg_sides, const std::string& sql,
+                   bool pg_nested_loop = false) {
+    BenchQuery pq = pg_q;
+    pq.nested_loop = pg_nested_loop;
+    char load1 = grp == "BinJSON" ? 'j' : 'c';
+    bool needs_json = grp != "BinCSV";
+    qs.push_back({id, grp,
+                  [w, pq, load1, needs_json] {
+                    double load = w->PgEnsure(load1);
+                    if (needs_json) load += w->PgEnsure('j');
+                    return load + w->RunPg(pq);
+                  },
+                  [w, sides, aggs, agg_sides, load1, needs_json] {
+                    double load = w->FedEnsure(load1);
+                    if (needs_json) load += w->FedEnsure('j');
+                    return load +
+                           FederatedCross(sides, aggs, agg_sides, &w->middleware_ms);
+                  },
+                  [w, sql] { return w->RunProteus(sql); }});
+  };
+
+  auto count_agg = std::vector<BenchAgg>{{AggKind::kCount, ""}};
+  auto fed_bin_filter = [w](std::vector<BenchPred> preds) {
+    return std::function<double()>([w, preds] {
+      BenchQuery q{.table = "bin", .where = preds, .aggs = {{AggKind::kCount, ""}}};
+      return w->RunCol(q);
+    });
+  };
+  auto fed_csv_filter = [w](std::vector<BenchPred> preds) {
+    return std::function<double()>([w, preds] {
+      BenchQuery q{.table = "csv", .where = preds, .aggs = {{AggKind::kCount, ""}}};
+      return w->RunCol(q);
+    });
+  };
+  auto fed_json_filter = [w](std::vector<BenchPred> preds) {
+    return std::function<double()>([w, preds] {
+      BenchQuery q{.table = "json", .where = preds, .aggs = {{AggKind::kCount, ""}}};
+      return w->RunDoc(q);
+    });
+  };
+
+  // --- Q1-Q8: binary --------------------------------------------------------
+  auto bin_q = [&](int id, std::vector<BenchPred> preds, std::vector<BenchAgg> aggs,
+                   std::string group_by, const std::string& sql) {
+    BenchQuery bq{.table = "bin", .where = preds, .aggs = aggs, .group_by = group_by};
+    single(id, "BIN", 'b', bq, sql);
+  };
+  bin_q(1, {{.col = "spam_score", .cmp = '>', .val = 0.9}}, count_agg, "",
+        "SELECT count(*) FROM spam_bin WHERE spam_score > 0.9");
+  bin_q(2, {{.col = "mail_id", .cmp = '<', .val = double(MailKey(5))}},
+        {{AggKind::kCount, ""}, {AggKind::kMax, "spam_score"}}, "",
+        "SELECT count(*), max(spam_score) FROM spam_bin WHERE mail_id < " +
+            std::to_string(MailKey(5)));
+  bin_q(3, {{.col = "day", .cmp = '<', .val = 90}}, {{AggKind::kSum, "hits"}}, "",
+        "SELECT sum(hits) FROM spam_bin WHERE day < 90");
+  bin_q(4, {{.col = "spam_score", .cmp = '>', .val = 0.5}}, count_agg, "day",
+        "SELECT day, count(*) FROM spam_bin WHERE spam_score > 0.5 GROUP BY day");
+  bin_q(5, {{.col = "hits", .cmp = '>', .val = 400}}, count_agg, "",
+        "SELECT count(*) FROM spam_bin WHERE hits > 400");
+  bin_q(6, {{.col = "mail_id", .cmp = '<', .val = double(MailKey(25))}},
+        {{AggKind::kMax, "hits"}, {AggKind::kMin, "spam_score"}}, "",
+        "SELECT max(hits), min(spam_score) FROM spam_bin WHERE mail_id < " +
+            std::to_string(MailKey(25)));
+  bin_q(7, {{.col = "day", .cmp = '>', .val = 180}},
+        {{AggKind::kCount, ""}, {AggKind::kSum, "hits"}}, "src",
+        "SELECT src, count(*), sum(hits) FROM spam_bin WHERE day > 180 GROUP BY src");
+  bin_q(8, {{.col = "mail_id", .cmp = '<', .val = double(MailKey(1))}}, count_agg, "",
+        "SELECT count(*) FROM spam_bin WHERE mail_id < " + std::to_string(MailKey(1)));
+
+  // --- Q9-Q15: CSV ------------------------------------------------------------
+  auto csv_q = [&](int id, std::vector<BenchPred> preds, std::vector<BenchAgg> aggs,
+                   std::string group_by, const std::string& sql) {
+    BenchQuery bq{.table = "csv", .where = preds, .aggs = aggs, .group_by = group_by};
+    single(id, "CSV", 'c', bq, sql);
+  };
+  csv_q(9, {{.col = "score_a", .cmp = '>', .val = 0.8}}, count_agg, "",
+        "SELECT count(*) FROM spam_csv WHERE score_a > 0.8");
+  csv_q(10, {{.col = "mail_id", .cmp = '<', .val = double(MailKey(10))}},
+        {{AggKind::kCount, ""}, {AggKind::kMax, "score_b"}}, "",
+        "SELECT count(*), max(score_b) FROM spam_csv WHERE mail_id < " +
+            std::to_string(MailKey(10)));
+  csv_q(11, {{.col = "cls_a", .cmp = '<', .val = 10}}, {{AggKind::kSum, "score_a"}}, "",
+        "SELECT sum(score_a) FROM spam_csv WHERE cls_a < 10");
+  csv_q(12,
+        {{.col = "label", .sval = "pharma", .is_string = true},
+         {.col = "score_a", .cmp = '>', .val = 0.5}},
+        count_agg, "",
+        "SELECT count(*) FROM spam_csv WHERE label = 'pharma' and score_a > 0.5");
+  csv_q(13, {}, count_agg, "label", "SELECT label, count(*) FROM spam_csv GROUP BY label");
+  csv_q(14, {{.col = "mail_id", .cmp = '<', .val = double(MailKey(20))}},
+        {{AggKind::kCount, ""}, {AggKind::kMin, "score_b"}}, "",
+        "SELECT count(*), min(score_b) FROM spam_csv WHERE mail_id < " +
+            std::to_string(MailKey(20)));
+  csv_q(15, {}, {{AggKind::kCount, ""}, {AggKind::kSum, "score_a"}}, "iter",
+        "SELECT iter, count(*), sum(score_a) FROM spam_csv GROUP BY iter");
+
+  // --- Q16-Q25: JSON ----------------------------------------------------------
+  auto json_q = [&](int id, std::vector<BenchPred> preds, std::vector<BenchAgg> aggs,
+                    std::string group_by, const std::string& sql) {
+    BenchQuery bq{.table = "json", .where = preds, .aggs = aggs, .group_by = group_by};
+    single(id, "JSON", 'j', bq, sql);
+  };
+  json_q(16, {{.col = "body_len", .cmp = '>', .val = 1000}}, count_agg, "",
+         "SELECT count(*) FROM spam_json WHERE body_len > 1000");
+  json_q(17, {{.col = "mail_id", .cmp = '<', .val = double(MailKey(10))}},
+         {{AggKind::kCount, ""}, {AggKind::kMax, "score"}}, "",
+         "SELECT count(*), max(score) FROM spam_json WHERE mail_id < " +
+             std::to_string(MailKey(10)));
+  json_q(18, {{.col = "lang", .sval = "en", .is_string = true}}, count_agg, "",
+         "SELECT count(*) FROM spam_json WHERE lang = 'en'");
+  {
+    BenchQuery bq{.table = "json", .aggs = count_agg};
+    bq.unnest_path = "classes";
+    bq.unnest_where = {{.col = "label", .cmp = '>', .val = 16}};
+    single(19, "JSON", 'j', bq,
+           "for { s <- spam_json, k <- s.classes, k.label > 16 } yield count");
+  }
+  json_q(20, {{.col = "score", .cmp = '>', .val = 0.3}}, count_agg, "bot",
+         "SELECT bot, count(*) FROM spam_json WHERE score > 0.3 GROUP BY bot");
+  json_q(21, {{.col = "origin.country", .sval = "US", .is_string = true}}, count_agg, "",
+         "for { s <- spam_json, s.origin.country = 'US' } yield count");
+  json_q(22, {{.col = "body_len", .cmp = '<', .val = 4000}}, {{AggKind::kSum, "score"}}, "",
+         "SELECT sum(score) FROM spam_json WHERE body_len < 4000");
+  {
+    BenchQuery bq{.table = "json", .aggs = count_agg};
+    bq.unnest_path = "classes";
+    bq.unnest_where = {{.col = "label", .cmp = '>', .val = 8}};
+    single(23, "JSON", 'j', bq,
+           "for { s <- spam_json, k <- s.classes, k.label > 8 } yield (count, max k.label)");
+  }
+  json_q(24, {}, {{AggKind::kCount, ""}, {AggKind::kMax, "body_len"}}, "lang",
+         "SELECT lang, count(*), max(body_len) FROM spam_json GROUP BY lang");
+  json_q(25, {{.col = "mail_id", .cmp = '<', .val = double(MailKey(25))}},
+         {{AggKind::kCount, ""}, {AggKind::kMax, "body_len"}, {AggKind::kSum, "score"}}, "",
+         "SELECT count(*), max(body_len), sum(score) FROM spam_json WHERE mail_id < " +
+             std::to_string(MailKey(25)));
+
+  // --- Q26-Q30: binary ⋈ CSV ---------------------------------------------------
+  auto bin_csv_join = [&](int id, std::vector<BenchPred> bin_preds,
+                          std::vector<BenchPred> csv_preds, std::vector<BenchAgg> aggs,
+                          std::vector<BenchAgg> build_aggs, const std::string& sql) {
+    BenchQuery bq{.table = "csv", .where = csv_preds, .aggs = aggs};
+    bq.join_table = "bin";
+    bq.probe_key = "mail_id";
+    bq.build_key = "mail_id";
+    bq.build_where = bin_preds;
+    bq.build_aggs = build_aggs;
+    bincsv(id, bq, sql);
+  };
+  bin_csv_join(26, {{.col = "spam_score", .cmp = '>', .val = 0.8}},
+               {{.col = "score_a", .cmp = '>', .val = 0.5}}, count_agg, {},
+               "SELECT count(*) FROM spam_bin b JOIN spam_csv c ON b.mail_id = c.mail_id "
+               "WHERE b.spam_score > 0.8 and c.score_a > 0.5");
+  bin_csv_join(27, {{.col = "mail_id", .cmp = '<', .val = double(MailKey(5))}}, {},
+               {{AggKind::kCount, ""}, {AggKind::kMax, "score_b"}}, {},
+               "SELECT count(*), max(c.score_b) FROM spam_bin b JOIN spam_csv c ON "
+               "b.mail_id = c.mail_id WHERE b.mail_id < " +
+                   std::to_string(MailKey(5)));
+  bin_csv_join(28, {{.col = "day", .cmp = '<', .val = 100}},
+               {{.col = "label", .sval = "phishing", .is_string = true}}, count_agg, {},
+               "SELECT count(*) FROM spam_bin b JOIN spam_csv c ON b.mail_id = c.mail_id "
+               "WHERE c.label = 'phishing' and b.day < 100");
+  bin_csv_join(29, {{.col = "mail_id", .cmp = '<', .val = double(MailKey(2))}}, {},
+               count_agg, {},
+               "SELECT count(*) FROM spam_bin b JOIN spam_csv c ON b.mail_id = c.mail_id "
+               "WHERE b.mail_id < " +
+                   std::to_string(MailKey(2)));
+  bin_csv_join(30, {}, {{.col = "cls_a", .cmp = '<', .val = 20}},
+               count_agg, {{AggKind::kSum, "hits"}},
+               "SELECT count(*), sum(b.hits) FROM spam_bin b JOIN spam_csv c ON "
+               "b.mail_id = c.mail_id WHERE c.cls_a < 20");
+
+  // --- Q31-Q50: cross-silo ------------------------------------------------------
+  auto cross2 = [&](int id, const std::string& grp, std::vector<BenchPred> a_preds,
+                    std::vector<BenchPred> b_preds, const RowTable* a_data,
+                    const RowTable* b_data, std::function<double()> a_filter,
+                    std::function<double()> b_filter, const std::string& pg_probe,
+                    const std::string& pg_build, const std::string& sql,
+                    bool nested = false) {
+    BenchQuery pg_q{.table = pg_probe, .where = a_preds, .aggs = count_agg};
+    pg_q.join_table = pg_build;
+    pg_q.probe_key = "mail_id";
+    pg_q.build_key = "mail_id";
+    pg_q.build_where = b_preds;
+    std::vector<Side> sides = {{a_data, a_preds, "mail_id", a_filter},
+                               {b_data, b_preds, "mail_id", b_filter}};
+    cross(id, grp, pg_q, sides, count_agg, {"0"}, sql, nested);
+  };
+
+  // Bin ⋈ JSON (Q31-Q35)
+  cross2(31, "BinJSON", {{.col = "spam_score", .cmp = '>', .val = 0.5}},
+         {{.col = "body_len", .cmp = '>', .val = 3000}}, &c.spam_bin, &c.spam_json,
+         fed_bin_filter({{.col = "spam_score", .cmp = '>', .val = 0.5}}),
+         fed_json_filter({{.col = "body_len", .cmp = '>', .val = 3000}}), "bin", "json",
+         "SELECT count(*) FROM spam_bin b JOIN spam_json j ON b.mail_id = j.mail_id "
+         "WHERE b.spam_score > 0.5 and j.body_len > 3000");
+  cross2(32, "BinJSON", {{.col = "mail_id", .cmp = '<', .val = double(MailKey(10))}}, {},
+         &c.spam_bin, &c.spam_json,
+         fed_bin_filter({{.col = "mail_id", .cmp = '<', .val = double(MailKey(10))}}),
+         fed_json_filter({}), "bin", "json",
+         "SELECT count(*), max(j.score) FROM spam_bin b JOIN spam_json j ON "
+         "b.mail_id = j.mail_id WHERE b.mail_id < " +
+             std::to_string(MailKey(10)));
+  cross2(33, "BinJSON", {{.col = "day", .cmp = '<', .val = 200}},
+         {{.col = "lang", .sval = "ru", .is_string = true}}, &c.spam_bin, &c.spam_json,
+         fed_bin_filter({{.col = "day", .cmp = '<', .val = 200}}),
+         fed_json_filter({{.col = "lang", .sval = "ru", .is_string = true}}), "bin", "json",
+         "SELECT count(*) FROM spam_bin b JOIN spam_json j ON b.mail_id = j.mail_id "
+         "WHERE j.lang = 'ru' and b.day < 200");
+  cross2(34, "BinJSON", {}, {{.col = "body_len", .cmp = '<', .val = 2000}}, &c.spam_bin,
+         &c.spam_json, fed_bin_filter({}),
+         fed_json_filter({{.col = "body_len", .cmp = '<', .val = 2000}}), "bin", "json",
+         "SELECT count(*), sum(b.hits) FROM spam_bin b JOIN spam_json j ON "
+         "b.mail_id = j.mail_id WHERE j.body_len < 2000");
+  cross2(35, "BinJSON", {{.col = "mail_id", .cmp = '<', .val = double(MailKey(25))}}, {},
+         &c.spam_bin, &c.spam_json,
+         fed_bin_filter({{.col = "mail_id", .cmp = '<', .val = double(MailKey(25))}}),
+         fed_json_filter({}), "bin", "json",
+         "SELECT count(*) FROM spam_bin b JOIN spam_json j ON b.mail_id = j.mail_id "
+         "WHERE b.mail_id < " +
+             std::to_string(MailKey(25)));
+
+  // CSV ⋈ JSON (Q36-Q40; Q39 = PostgreSQL nested-loop outlier)
+  cross2(36, "CSVJSON", {{.col = "score_a", .cmp = '>', .val = 0.7}},
+         {{.col = "body_len", .cmp = '>', .val = 1000}}, &c.spam_csv, &c.spam_json,
+         fed_csv_filter({{.col = "score_a", .cmp = '>', .val = 0.7}}),
+         fed_json_filter({{.col = "body_len", .cmp = '>', .val = 1000}}), "csv", "json",
+         "SELECT count(*) FROM spam_csv c JOIN spam_json j ON c.mail_id = j.mail_id "
+         "WHERE c.score_a > 0.7 and j.body_len > 1000");
+  cross2(37, "CSVJSON", {{.col = "mail_id", .cmp = '<', .val = double(MailKey(10))}}, {},
+         &c.spam_csv, &c.spam_json,
+         fed_csv_filter({{.col = "mail_id", .cmp = '<', .val = double(MailKey(10))}}),
+         fed_json_filter({}), "csv", "json",
+         "SELECT count(*), max(j.score) FROM spam_csv c JOIN spam_json j ON "
+         "c.mail_id = j.mail_id WHERE c.mail_id < " +
+             std::to_string(MailKey(10)));
+  cross2(38, "CSVJSON", {{.col = "label", .sval = "stock", .is_string = true}},
+         {{.col = "lang", .sval = "en", .is_string = true}}, &c.spam_csv, &c.spam_json,
+         fed_csv_filter({{.col = "label", .sval = "stock", .is_string = true}}),
+         fed_json_filter({{.col = "lang", .sval = "en", .is_string = true}}), "csv", "json",
+         "SELECT count(*) FROM spam_csv c JOIN spam_json j ON c.mail_id = j.mail_id "
+         "WHERE c.label = 'stock' and j.lang = 'en'");
+  cross2(39, "CSVJSON", {{.col = "score_a", .cmp = '>', .val = 0.9}},
+         {{.col = "score", .cmp = '>', .val = 0.9}}, &c.spam_csv, &c.spam_json,
+         fed_csv_filter({{.col = "score_a", .cmp = '>', .val = 0.9}}),
+         fed_json_filter({{.col = "score", .cmp = '>', .val = 0.9}}), "csv", "json",
+         "SELECT count(*) FROM spam_csv c JOIN spam_json j ON c.mail_id = j.mail_id "
+         "WHERE c.score_a > 0.9 and j.score > 0.9",
+         /*nested=*/true);
+  cross2(40, "CSVJSON", {}, {{.col = "body_len", .cmp = '<', .val = 5000}}, &c.spam_csv,
+         &c.spam_json, fed_csv_filter({}),
+         fed_json_filter({{.col = "body_len", .cmp = '<', .val = 5000}}), "csv", "json",
+         "SELECT count(*), max(c.score_b) FROM spam_csv c JOIN spam_json j ON "
+         "c.mail_id = j.mail_id WHERE j.body_len < 5000");
+
+  // All three silos (Q41-Q50).
+  for (int i = 0; i < 10; ++i) {
+    int id = 41 + i;
+    int pct = 2 + i * 2;  // 2%..20%
+    double score = 0.2 + 0.06 * i;
+    std::vector<BenchPred> bin_p{{.col = "mail_id", .cmp = '<', .val = double(MailKey(pct))}};
+    std::vector<BenchPred> csv_p{{.col = "score_a", .cmp = '>', .val = score}};
+    std::vector<BenchPred> json_p;
+    if (i % 3 == 0) json_p.push_back({.col = "lang", .sval = "en", .is_string = true});
+    if (i % 3 == 1) json_p.push_back({.col = "body_len", .cmp = '>', .val = 500.0 + 200 * i});
+
+    std::string sql =
+        "SELECT count(*) FROM spam_bin b JOIN spam_csv c ON b.mail_id = c.mail_id "
+        "JOIN spam_json j ON c.mail_id = j.mail_id WHERE b.mail_id < " +
+        std::to_string(MailKey(pct)) + " and c.score_a > " + std::to_string(score);
+    if (i % 3 == 0) sql += " and j.lang = 'en'";
+    if (i % 3 == 1) sql += " and j.body_len > " + std::to_string(500 + 200 * i);
+
+    std::vector<Side> sides = {{&c.spam_bin, bin_p, "mail_id", fed_bin_filter(bin_p)},
+                               {&c.spam_csv, csv_p, "mail_id", fed_csv_filter(csv_p)},
+                               {&c.spam_json, json_p, "mail_id", fed_json_filter(json_p)}};
+    // PostgreSQL: the three-way join runs as two boxed hash joins; model it
+    // as bin⋈csv (hash) whose result (filtered by preds) joins json — we use
+    // the middleware join machinery with zero engine-filter cost, since all
+    // data already sits inside the row store, plus the row store's own scan.
+    BenchQuery pg_scan{.table = "bin", .where = bin_p, .aggs = count_agg};
+    qs.push_back(
+        {id, "BINCSVJSON",
+         [w, sides, bin_p, pg_scan] {
+           double load = w->PgEnsure('c') + w->PgEnsure('j');
+           double unused_mw = 0;
+           std::vector<Side> pg_sides = sides;
+           for (auto& s : pg_sides) s.engine_filter = [] { return 0.0; };
+           return load + w->RunPg(pg_scan) +
+                  FederatedCross(pg_sides, {{AggKind::kCount, ""}}, {"0"}, &unused_mw);
+         },
+         [w, sides] {
+           double load = w->FedEnsure('c') + w->FedEnsure('j');
+           return load +
+                  FederatedCross(sides, {{AggKind::kCount, ""}}, {"0"}, &w->middleware_ms);
+         },
+         [w, sql] { return w->RunProteus(sql); }});
+  }
+  return qs;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main(int argc, char** argv) {
+  using namespace proteus::bench;
+  setbuf(stdout, nullptr);
+  Workload w;
+  auto queries = BuildWorkload(&w);
+
+  printf("-- Figure 14: spam analysis workload (%llu mails; ms per query) --\n",
+         static_cast<unsigned long long>(BenchMails()));
+  printf("%-4s %-11s %12s %12s %12s\n", "Q", "group", "PostgreSQL", "Federated", "Proteus");
+
+  double pg_total = 0, fed_total = 0, pro_total = 0;
+  double pg_q39 = 0, fed_q39 = 0, pro_q39 = 0;
+  for (auto& q : queries) {
+    double pg = q.postgres();
+    double fed = q.federated();
+    double pro = q.proteus();
+    pg_total += pg;
+    fed_total += fed;
+    pro_total += pro;
+    if (q.id == 39) {
+      pg_q39 = pg;
+      fed_q39 = fed;
+      pro_q39 = pro;
+    }
+    printf("Q%-3d %-11s %12.2f %12.2f %12.2f\n", q.id, q.group.c_str(), pg, fed, pro);
+  }
+
+  printf("\n-- Table 3: execution time per workload phase (ms) --\n");
+  printf("%-22s %12s %12s %12s\n", "phase", "PostgreSQL", "Federated", "Proteus");
+  printf("%-22s %12.2f %12.2f %12.2f\n", "Load CSV", w.pg_load_csv_ms, w.fed_load_csv_ms, 0.0);
+  printf("%-22s %12.2f %12.2f %12.2f\n", "Load JSON", w.pg_load_json_ms, w.fed_load_json_ms,
+         0.0);
+  printf("%-22s %12.2f %12.2f %12.2f\n", "Middleware", 0.0, w.middleware_ms, 0.0);
+  printf("%-22s %12.2f %12.2f %12.2f\n", "Q39", pg_q39, fed_q39, pro_q39);
+  double pg_rest = pg_total - pg_q39 - w.pg_load_csv_ms - w.pg_load_json_ms;
+  double fed_rest = fed_total - fed_q39 - w.fed_load_csv_ms - w.fed_load_json_ms -
+                    w.middleware_ms;
+  printf("%-22s %12.2f %12.2f %12.2f\n", "Queries (rest)", pg_rest, fed_rest,
+         pro_total - pro_q39);
+  printf("%-22s %12.2f %12.2f %12.2f\n", "Total", pg_total, fed_total, pro_total);
+  printf("%-22s %12s %12s %12.2f  (per-query engine generation, ~%.1f ms each)\n",
+         "  of which codegen", "-", "-", w.proteus_codegen_ms,
+         w.proteus_codegen_ms / queries.size());
+  printf("\nProteus speedup: %.2fx vs PostgreSQL-style, %.2fx vs federated\n",
+         pg_total / pro_total, fed_total / pro_total);
+  printf("Proteus cache footprint: %zu bytes in %zu blocks\n",
+         w.proteus->caches().total_bytes(), w.proteus->caches().num_blocks());
+  return 0;
+}

@@ -1,0 +1,216 @@
+#include "src/calculus/calculus.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace proteus {
+
+Qualifier Qualifier::Generator(std::string v, ExprPtr src) {
+  Qualifier q;
+  q.kind = Kind::kGenerator;
+  q.var = std::move(v);
+  q.source = std::move(src);
+  return q;
+}
+
+Qualifier Qualifier::GeneratorComp(std::string v, ComprehensionPtr comp) {
+  Qualifier q;
+  q.kind = Kind::kGenerator;
+  q.var = std::move(v);
+  q.source_comp = std::move(comp);
+  return q;
+}
+
+Qualifier Qualifier::Predicate(ExprPtr p) {
+  Qualifier q;
+  q.kind = Kind::kPredicate;
+  q.pred = std::move(p);
+  return q;
+}
+
+std::string Comprehension::ToString() const {
+  std::ostringstream os;
+  os << "for { ";
+  for (size_t i = 0; i < quals.size(); ++i) {
+    if (i) os << ", ";
+    const Qualifier& q = quals[i];
+    if (q.kind == Qualifier::Kind::kGenerator) {
+      os << q.var << " <- ";
+      if (q.source_comp) {
+        os << "(" << q.source_comp->ToString() << ")";
+      } else {
+        os << q.source->ToString();
+      }
+    } else {
+      os << q.pred->ToString();
+    }
+  }
+  os << " } yield ";
+  if (!outputs.empty()) {
+    os << "(";
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (i) os << ", ";
+      os << MonoidName(outputs[i].monoid);
+      if (outputs[i].expr) os << " " << outputs[i].expr->ToString();
+    }
+    os << ")";
+  } else {
+    os << MonoidName(monoid);
+    if (head) os << " " << head->ToString();
+  }
+  if (group_by) os << " group by " << group_by->ToString();
+  return os.str();
+}
+
+namespace {
+
+/// Substitutes `var := replacement` in every expression of qualifiers
+/// [from, end) and in the head/outputs/group_by.
+void SubstituteFrom(Comprehension* c, size_t from, const std::string& var,
+                    const ExprPtr& replacement) {
+  for (size_t i = from; i < c->quals.size(); ++i) {
+    Qualifier& q = c->quals[i];
+    if (q.kind == Qualifier::Kind::kPredicate) {
+      q.pred = Expr::SubstituteVar(q.pred, var, replacement);
+    } else if (q.source) {
+      q.source = Expr::SubstituteVar(q.source, var, replacement);
+    }
+  }
+  if (c->head) c->head = Expr::SubstituteVar(c->head, var, replacement);
+  for (auto& o : c->outputs) {
+    if (o.expr) o.expr = Expr::SubstituteVar(o.expr, var, replacement);
+  }
+  if (c->group_by) c->group_by = Expr::SubstituteVar(c->group_by, var, replacement);
+}
+
+/// One pass of rule N8: v <- ⊕{ e | qs } becomes qs, with v := e substituted
+/// downstream. Returns true if a rewrite happened.
+bool SpliceNestedComprehensions(Comprehension* c) {
+  for (size_t i = 0; i < c->quals.size(); ++i) {
+    Qualifier& q = c->quals[i];
+    if (q.kind != Qualifier::Kind::kGenerator || !q.source_comp) continue;
+    Comprehension inner = *q.source_comp;  // copy
+    Normalize(&inner);
+    if (!IsCollectionMonoid(inner.monoid) || inner.group_by || !inner.outputs.empty()) {
+      continue;  // only collection-valued, group-free inners can splice
+    }
+    std::string var = q.var;
+    ExprPtr head = inner.head;
+    // Replace qualifier i by the inner qualifiers.
+    std::vector<Qualifier> merged;
+    merged.reserve(c->quals.size() + inner.quals.size());
+    merged.insert(merged.end(), c->quals.begin(), c->quals.begin() + static_cast<long>(i));
+    merged.insert(merged.end(), inner.quals.begin(), inner.quals.end());
+    size_t resume = merged.size();
+    merged.insert(merged.end(), c->quals.begin() + static_cast<long>(i) + 1, c->quals.end());
+    c->quals = std::move(merged);
+    SubstituteFrom(c, resume, var, head);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Normalize(Comprehension* c) {
+  while (SpliceNestedComprehensions(c)) {
+  }
+  for (auto& q : c->quals) {
+    if (q.kind == Qualifier::Kind::kPredicate) q.pred = FoldConstants(q.pred);
+  }
+  // Drop literal-true predicates.
+  std::vector<Qualifier> kept;
+  kept.reserve(c->quals.size());
+  for (auto& q : c->quals) {
+    if (q.kind == Qualifier::Kind::kPredicate && q.pred->kind() == ExprKind::kLiteral &&
+        q.pred->literal().is_bool() && q.pred->literal().b()) {
+      continue;
+    }
+    kept.push_back(std::move(q));
+  }
+  c->quals = std::move(kept);
+  if (c->head) c->head = FoldConstants(c->head);
+  for (auto& o : c->outputs) {
+    if (o.expr) o.expr = FoldConstants(o.expr);
+  }
+}
+
+Result<OpPtr> ToAlgebra(const Comprehension& c, const Catalog& catalog) {
+  OpPtr op;
+  std::unordered_set<std::string> bound;
+  std::vector<ExprPtr> pending_preds;
+
+  for (const auto& q : c.quals) {
+    if (q.kind == Qualifier::Kind::kPredicate) {
+      pending_preds.push_back(q.pred);
+      continue;
+    }
+    if (q.source_comp) {
+      return Status::Unimplemented(
+          "nested comprehension source survived normalization (non-collection or grouped "
+          "inner query): " +
+          q.source_comp->ToString());
+    }
+    if (bound.count(q.var)) {
+      return Status::InvalidArgument("variable '" + q.var + "' bound twice");
+    }
+    if (q.source->kind() == ExprKind::kVarRef) {
+      const std::string& ds = q.source->var_name();
+      if (!catalog.Contains(ds)) {
+        return Status::NotFound("unknown dataset '" + ds + "' in generator " + q.var);
+      }
+      OpPtr scan = Operator::Scan(ds, q.var);
+      op = op ? Operator::Join(std::move(op), std::move(scan), nullptr) : std::move(scan);
+    } else if (q.source->kind() == ExprKind::kProj) {
+      // Path source: root variable must already be bound -> Unnest.
+      FieldPath path;
+      const Expr* e = q.source.get();
+      while (e->kind() == ExprKind::kProj) {
+        path.insert(path.begin(), e->field());
+        e = e->child(0).get();
+      }
+      if (e->kind() != ExprKind::kVarRef) {
+        return Status::InvalidArgument("generator path must be rooted at a variable: " +
+                                       q.source->ToString());
+      }
+      path.insert(path.begin(), e->var_name());
+      if (!bound.count(path[0])) {
+        return Status::InvalidArgument("unnest source variable '" + path[0] +
+                                       "' is not bound yet");
+      }
+      if (!op) return Status::Internal("unnest with no upstream operator");
+      op = Operator::Unnest(std::move(op), path, q.var);
+    } else {
+      return Status::InvalidArgument("unsupported generator source: " + q.source->ToString());
+    }
+    bound.insert(q.var);
+  }
+
+  if (!op) return Status::InvalidArgument("query has no generators");
+  if (!pending_preds.empty()) {
+    op = Operator::Select(std::move(op), CombineConjuncts(pending_preds));
+  }
+
+  // Outputs: explicit list, or a single (monoid, head).
+  std::vector<AggOutput> outputs = c.outputs;
+  if (outputs.empty()) {
+    outputs.push_back({c.monoid, c.head, "out"});
+  }
+
+  if (c.group_by) {
+    std::string key_name = c.group_name.empty() ? "key" : c.group_name;
+    op = Operator::Nest(std::move(op), c.group_by, key_name, outputs, nullptr, "$group");
+    // Root reduce emits the grouped records as a bag.
+    std::vector<std::string> names{key_name};
+    std::vector<ExprPtr> exprs{Expr::Proj(Expr::Var("$group"), key_name)};
+    for (const auto& o : outputs) {
+      names.push_back(o.name);
+      exprs.push_back(Expr::Proj(Expr::Var("$group"), o.name));
+    }
+    std::vector<AggOutput> root{{Monoid::kBag, Expr::Record(names, exprs), "out"}};
+    return Operator::Reduce(std::move(op), std::move(root));
+  }
+  return Operator::Reduce(std::move(op), std::move(outputs));
+}
+
+}  // namespace proteus

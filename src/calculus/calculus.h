@@ -1,0 +1,75 @@
+// Monoid comprehension calculus (Fegaras & Maier), the internal query
+// representation of Proteus (paper §3).
+//
+// A comprehension  ⊕{ e | q1, ..., qn }  folds the head expression `e` over
+// the bindings produced by qualifiers (generators `v <- source` and filter
+// predicates) into the output monoid ⊕ (sum/max/bag/...). Generators may
+// range over datasets, over nested collections of bound variables (paths),
+// or over *nested comprehensions*, which normalization splices away.
+//
+// Frontends (SQL, comprehension syntax) desugar into this form; the
+// translator rewrites normalized comprehensions into the nested relational
+// algebra of src/algebra.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/algebra.h"
+#include "src/expr/expr.h"
+
+namespace proteus {
+
+struct Comprehension;
+using ComprehensionPtr = std::shared_ptr<Comprehension>;
+
+struct Qualifier {
+  enum class Kind { kGenerator, kPredicate };
+  Kind kind = Kind::kPredicate;
+
+  // Generator: var <- source. Exactly one of source / source_comp is set.
+  std::string var;
+  ExprPtr source;                 ///< VarRef (a dataset) or Proj path (a nested collection)
+  ComprehensionPtr source_comp;   ///< nested comprehension source
+
+  ExprPtr pred;  ///< predicate qualifier
+
+  static Qualifier Generator(std::string v, ExprPtr src);
+  static Qualifier GeneratorComp(std::string v, ComprehensionPtr comp);
+  static Qualifier Predicate(ExprPtr p);
+};
+
+struct Comprehension {
+  /// Output monoid of the head (used when `outputs` is empty).
+  Monoid monoid = Monoid::kBag;
+  ExprPtr head;  ///< null for count
+
+  /// Multi-aggregate extension used by the SQL frontend: several (monoid,
+  /// expr) outputs evaluated in one pass (product monoid).
+  std::vector<AggOutput> outputs;
+
+  std::vector<Qualifier> quals;
+
+  /// Group-by extension (SQL GROUP BY): translated to the Nest operator.
+  ExprPtr group_by;
+  std::string group_name;
+
+  std::string ToString() const;
+};
+
+/// Applies normalization rules until fixpoint. Currently:
+///  * N8 (generator over a nested bag comprehension is spliced into the
+///    outer comprehension, substituting the inner head for the variable) —
+///    the key unnesting rule;
+///  * predicate constant folding; `true` predicates dropped.
+void Normalize(Comprehension* c);
+
+/// Rewrites a normalized comprehension into a nested-relational-algebra tree:
+/// dataset generators become scans (joined left-deep), path generators become
+/// Unnest operators, predicates gather into a Select (pushed down later by
+/// the optimizer), and the head/outputs become the root Reduce (with a Nest
+/// below it when group_by is present).
+Result<OpPtr> ToAlgebra(const Comprehension& c, const Catalog& catalog);
+
+}  // namespace proteus

@@ -1,0 +1,95 @@
+// Dataset registry and metadata store.
+//
+// Proteus queries data in situ: registering a dataset records its format,
+// location, and schema, but moves no data. Statistics are collected lazily by
+// the input plug-ins (first cold scan / materialization points / idle daemon,
+// paper §5.2 "Enabling Cost-based Optimizations").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/types/type.h"
+
+namespace proteus {
+
+enum class DataFormat { kCSV, kJSON, kBinaryRow, kBinaryColumn, kCacheBlock };
+
+const char* DataFormatName(DataFormat f);
+
+struct CSVOptions {
+  char delimiter = ',';
+  bool has_header = false;
+  /// Structural index stride: the position of every Nth field of each row is
+  /// indexed (paper §5.2: "Proteus stores the position of every Nth field").
+  int index_stride = 10;
+};
+
+struct JSONOptions {
+  /// When true, the plug-in verifies all objects share one field order during
+  /// index construction and, if so, drops Level 0 in favour of deterministic
+  /// slot positions (paper §5.2 "Specializing per Dataset Contents").
+  bool exploit_fixed_schema = true;
+};
+
+struct DatasetInfo {
+  std::string name;
+  DataFormat format = DataFormat::kCSV;
+  std::string path;   ///< file (CSV/JSON/binrow) or directory (bincol)
+  TypePtr type;       ///< bag<record<...>>; the element record is the schema
+  CSVOptions csv;
+  JSONOptions json;
+
+  const Type& record_type() const { return *type->elem(); }
+};
+
+/// Per-column statistics gathered by input plug-ins.
+struct ColumnStats {
+  bool valid = false;
+  double min = 0.0;
+  double max = 0.0;
+  /// Crude distinct-count estimate (linear counting on a small bitmap).
+  uint64_t ndv = 0;
+};
+
+struct DatasetStats {
+  bool valid = false;
+  uint64_t cardinality = 0;
+  std::map<std::string, ColumnStats> columns;  ///< keyed by dotted field path
+};
+
+/// Metadata store: statistics per data source (paper §5.2). Thread-compatible
+/// (the evaluation is single-threaded, as in the paper).
+class StatsStore {
+ public:
+  DatasetStats& GetOrCreate(const std::string& dataset) { return stats_[dataset]; }
+  const DatasetStats* Find(const std::string& dataset) const {
+    auto it = stats_.find(dataset);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+  void Invalidate(const std::string& dataset) { stats_.erase(dataset); }
+
+ private:
+  std::unordered_map<std::string, DatasetStats> stats_;
+};
+
+class Catalog {
+ public:
+  Status Register(DatasetInfo info);
+  Result<const DatasetInfo*> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const { return datasets_.count(name) > 0; }
+  std::vector<std::string> ListDatasets() const;
+
+  StatsStore& stats() { return stats_; }
+  const StatsStore& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<std::string, DatasetInfo> datasets_;
+  StatsStore stats_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,64 @@
+// Bump-pointer arena allocator used for cache blocks and per-query scratch
+// memory. Mirrors the paper's "memory arena" that pins caching structures
+// (§4, Memory Manager).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace proteus {
+
+/// A growable bump allocator. Individual allocations are never freed; the
+/// arena releases all memory at once on destruction or Reset().
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 1 << 20) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `n` bytes aligned to `align` (power of two).
+  void* Allocate(size_t n, size_t align = 8) {
+    size_t pos = (pos_ + align - 1) & ~(align - 1);
+    if (blocks_.empty() || pos + n > cur_size_) {
+      NewBlock(n);
+      pos = 0;
+    }
+    void* p = blocks_.back().get() + pos;
+    pos_ = pos + n;
+    return p;
+  }
+
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    return static_cast<T*>(Allocate(sizeof(T) * count, alignof(T)));
+  }
+
+  /// Total bytes handed out (upper bound on live data).
+  size_t bytes_allocated() const { return total_; }
+
+  /// Drops all blocks.
+  void Reset() {
+    blocks_.clear();
+    pos_ = cur_size_ = total_ = 0;
+  }
+
+ private:
+  void NewBlock(size_t at_least) {
+    size_t sz = at_least > block_size_ ? at_least : block_size_;
+    blocks_.push_back(std::make_unique<uint8_t[]>(sz));
+    cur_size_ = sz;
+    pos_ = 0;
+    total_ += sz;
+  }
+
+  size_t block_size_;
+  size_t pos_ = 0;
+  size_t cur_size_ = 0;
+  size_t total_ = 0;
+  std::vector<std::unique_ptr<uint8_t[]>> blocks_;
+};
+
+}  // namespace proteus

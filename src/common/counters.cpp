@@ -1,0 +1,10 @@
+#include "src/common/counters.h"
+
+namespace proteus {
+
+ExecCounters& GlobalCounters() {
+  static ExecCounters counters;
+  return counters;
+}
+
+}  // namespace proteus

@@ -1,0 +1,40 @@
+// Software execution counters. The paper reports hardware counters (dTLB /
+// LLC misses, branches); without PMU access we track the software analogues
+// that drive those numbers: bytes materialized into intermediates, branch
+// evaluations in the interpreted path, tuples flowing through operators, and
+// raw-format field accesses. Benchmarks report these alongside wall time.
+#pragma once
+
+#include <cstdint>
+
+namespace proteus {
+
+struct ExecCounters {
+  uint64_t tuples_scanned = 0;
+  uint64_t tuples_output = 0;
+  uint64_t bytes_materialized = 0;   ///< intermediate results (columnar engines pay this)
+  uint64_t branch_evals = 0;         ///< interpreter dispatch / predicate branches
+  uint64_t raw_field_accesses = 0;   ///< accesses that touched a raw CSV/JSON token
+  uint64_t cache_field_accesses = 0; ///< accesses served from Proteus caches
+  uint64_t virtual_calls = 0;        ///< Volcano getNext-style calls (interpretation overhead)
+
+  void Reset() { *this = ExecCounters{}; }
+
+  ExecCounters& operator+=(const ExecCounters& o) {
+    tuples_scanned += o.tuples_scanned;
+    tuples_output += o.tuples_output;
+    bytes_materialized += o.bytes_materialized;
+    branch_evals += o.branch_evals;
+    raw_field_accesses += o.raw_field_accesses;
+    cache_field_accesses += o.cache_field_accesses;
+    virtual_calls += o.virtual_calls;
+    return *this;
+  }
+};
+
+/// Process-wide counters for the currently running query. Benchmarks reset
+/// before a query and read after; single-threaded by design (the paper's
+/// evaluation runs all systems single-threaded).
+ExecCounters& GlobalCounters();
+
+}  // namespace proteus

@@ -1,0 +1,38 @@
+// Hashing utilities shared by the radix join, the nest (group-by) operator,
+// and the JSON Level-0 field map.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace proteus {
+
+/// 64-bit finalizer from MurmurHash3; a good integer mixer.
+inline uint64_t HashMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// FNV-1a over arbitrary bytes; used for strings and composite keys.
+inline uint64_t HashBytes(const void* data, size_t n, uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) { return HashBytes(s.data(), s.size()); }
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return HashMix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace proteus

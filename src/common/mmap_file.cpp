@@ -1,0 +1,56 @@
+#include "src/common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace proteus {
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr && size_ > 0) ::munmap(const_cast<char*>(data_), size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat(" + path + "): " + std::strerror(errno));
+  }
+  MmapFile f;
+  f.size_ = static_cast<size_t>(st.st_size);
+  f.path_ = path;
+  if (f.size_ > 0) {
+    void* p = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      return Status::IOError("mmap(" + path + "): " + std::strerror(errno));
+    }
+    f.data_ = static_cast<const char*>(p);
+  }
+  ::close(fd);
+  return f;
+}
+
+}  // namespace proteus

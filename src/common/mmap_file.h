@@ -1,0 +1,37 @@
+// Memory-mapped read-only file. The Proteus Memory Manager memory-maps every
+// input file and delegates paging to the OS virtual memory manager (paper §4).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace proteus {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only into the address space.
+  static Result<MmapFile> Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const { return {data_, size_}; }
+  const std::string& path() const { return path_; }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace proteus

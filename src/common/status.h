@@ -1,0 +1,118 @@
+// Minimal Status / Result error-handling primitives (Arrow/absl style).
+//
+// Proteus code reports recoverable errors through Status / Result<T> rather
+// than exceptions; the library is built to work with -fno-exceptions
+// toolchains such as LLVM's.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace proteus {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+  kParseError,
+  kTypeError,
+};
+
+/// A success-or-error outcome carrying a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status Unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status IOError(std::string m) { return {StatusCode::kIOError, std::move(m)}; }
+  static Status ParseError(std::string m) { return {StatusCode::kParseError, std::move(m)}; }
+  static Status TypeError(std::string m) { return {StatusCode::kTypeError, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  static const char* CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kUnimplemented: return "Unimplemented";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kIOError: return "IOError";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kTypeError: return "TypeError";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {   // NOLINT implicit
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { assert(ok()); return *value_; }
+  const T& value() const& { assert(ok()); return *value_; }
+  T&& value() && { assert(ok()); return std::move(*value_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T ValueOr(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+#define PROTEUS_RETURN_NOT_OK(expr)              \
+  do {                                           \
+    ::proteus::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define PROTEUS_CONCAT_IMPL(a, b) a##b
+#define PROTEUS_CONCAT(a, b) PROTEUS_CONCAT_IMPL(a, b)
+
+#define PROTEUS_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto PROTEUS_CONCAT(_res_, __LINE__) = (rexpr);                    \
+  if (!PROTEUS_CONCAT(_res_, __LINE__).ok())                         \
+    return PROTEUS_CONCAT(_res_, __LINE__).status();                 \
+  lhs = std::move(PROTEUS_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace proteus

@@ -1,0 +1,94 @@
+// Public entry point: the Proteus query engine.
+//
+// Usage (see examples/):
+//
+//   proteus::QueryEngine engine;
+//   engine.RegisterDataset({.name = "lineitem", .format = DataFormat::kJSON,
+//                           .path = "lineitem.json", .type = LineitemSchema()});
+//   auto result = engine.Execute(
+//       "SELECT count(*), max(l_quantity) FROM lineitem WHERE l_orderkey < 100");
+//
+// Pipeline per query (paper Fig 2): parse (SQL or comprehension syntax) ->
+// monoid calculus -> normalize -> nested relational algebra -> optimize
+// (pushdowns, join order via plug-in stats) -> cache matching -> code
+// generation (LLVM) -> execution. Plans outside the JIT's fast path fall
+// back to the Volcano interpreter transparently.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/catalog/catalog.h"
+#include "src/engine/cache.h"
+#include "src/engine/interp.h"
+#include "src/engine/result.h"
+#include "src/optimizer/optimizer.h"
+
+namespace proteus {
+
+enum class ExecMode {
+  kJIT,     ///< generate an engine per query; interpreter fallback
+  kInterp,  ///< force the Volcano interpreter (baseline / debugging)
+};
+
+struct EngineOptions {
+  ExecMode mode = ExecMode::kJIT;
+  CachePolicy cache_policy;             ///< caching off by default
+  OptimizerOptions optimizer;
+  bool collect_stats_on_cold_access = true;
+};
+
+/// Telemetry for the last executed query.
+struct QueryTelemetry {
+  double optimize_ms = 0;
+  double compile_ms = 0;   ///< LLVM IR generation + compilation
+  double execute_ms = 0;   ///< plan run time (excludes optimize/compile)
+  double cache_build_ms = 0;
+  bool used_jit = false;
+  bool used_cache = false;
+  std::string fallback_reason;  ///< why the interpreter ran, if it did
+  std::string plan;             ///< physical plan, printable
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions opts = {});
+
+  /// Registers a dataset in situ (no data movement).
+  Status RegisterDataset(DatasetInfo info);
+
+  /// Signals that `dataset` was appended/replaced: drops its plug-in (index
+  /// rebuilt on next access), statistics, and dependent caches (the paper's
+  /// drop-and-rebuild update story, §4).
+  void InvalidateDataset(const std::string& dataset);
+
+  /// Parses, optimizes, and runs a query in either syntax.
+  Result<QueryResult> Execute(const std::string& query);
+
+  /// Runs an already-built logical plan (used by benchmarks that construct
+  /// plans directly).
+  Result<QueryResult> ExecutePlan(OpPtr logical_plan);
+
+  const QueryTelemetry& telemetry() const { return telemetry_; }
+  /// LLVM IR of the last JIT-compiled query (empty if interpreter ran).
+  const std::string& last_ir() const { return last_ir_; }
+
+  Catalog& catalog() { return catalog_; }
+  CachingManager& caches() { return caches_; }
+  PluginRegistry& plugins() { return plugins_; }
+  const EngineOptions& options() const { return opts_; }
+  void set_mode(ExecMode m) { opts_.mode = m; }
+
+ private:
+  Result<QueryResult> Run(OpPtr physical);
+  Status PopulateCaches(const OpPtr& physical);
+
+  EngineOptions opts_;
+  Catalog catalog_;
+  PluginRegistry plugins_;
+  CachingManager caches_;
+  QueryTelemetry telemetry_;
+  std::string last_ir_;
+};
+
+}  // namespace proteus

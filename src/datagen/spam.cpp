@@ -1,0 +1,114 @@
+#include "src/datagen/spam.h"
+
+#include <random>
+
+namespace proteus {
+namespace datagen {
+
+namespace {
+
+const char* kLangs[] = {"en", "ru", "zh", "es", "de", "fr", "pt"};
+const char* kCountries[] = {"US", "RU", "CN", "BR", "IN", "DE", "NG", "VN"};
+const char* kBots[] = {"rustock", "grum", "cutwail", "kelihos", "necurs", "unknown"};
+const char* kSubjects[] = {"cheap meds online", "you won a prize", "account verification",
+                           "invoice attached", "urgent wire transfer", "hot stock tip"};
+const char* kLabels[] = {"phishing", "pharma", "stock", "malware", "dating"};
+
+}  // namespace
+
+TypePtr SpamJSONSchema() {
+  TypePtr origin = Type::Record({{"ip", Type::String()}, {"country", Type::String()}});
+  TypePtr cls = Type::Record({{"dim", Type::String()}, {"label", Type::Int64()}});
+  return Type::BagOfRecords({{"mail_id", Type::Int64()},
+                             {"lang", Type::String()},
+                             {"bot", Type::String()},
+                             {"subject", Type::String()},
+                             {"body_len", Type::Int64()},
+                             {"score", Type::Float64()},
+                             {"origin", origin},
+                             {"classes", Type::Collection(CollectionKind::kArray, cls)}});
+}
+
+TypePtr SpamCSVSchema() {
+  return Type::BagOfRecords({{"mail_id", Type::Int64()},
+                             {"iter", Type::Int64()},
+                             {"cls_a", Type::Int64()},
+                             {"cls_b", Type::Int64()},
+                             {"score_a", Type::Float64()},
+                             {"score_b", Type::Float64()},
+                             {"label", Type::String()}});
+}
+
+TypePtr SpamBinarySchema() {
+  return Type::BagOfRecords({{"mail_id", Type::Int64()},
+                             {"day", Type::Int64()},
+                             {"src", Type::Int64()},
+                             {"spam_score", Type::Float64()},
+                             {"hits", Type::Int64()}});
+}
+
+RowTable GenSpamJSON(uint64_t num_mails, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> lang(0, 6), country(0, 7), bot(0, 5), subject(0, 5);
+  std::uniform_int_distribution<int64_t> body(40, 9000);
+  std::uniform_real_distribution<double> score(0.0, 1.0);
+  std::uniform_int_distribution<int> nclasses(1, 4);
+  std::uniform_int_distribution<int64_t> label(0, 31);
+  std::uniform_int_distribution<int> octet(1, 254);
+
+  RowTable t(SpamJSONSchema()->elem());
+  for (uint64_t id = 0; id < num_mails; ++id) {
+    std::string ip = std::to_string(octet(rng)) + "." + std::to_string(octet(rng)) + "." +
+                     std::to_string(octet(rng)) + "." + std::to_string(octet(rng));
+    Value origin = Value::MakeRecord({"ip", "country"},
+                                     {Value::Str(ip), Value::Str(kCountries[country(rng)])});
+    ValueList classes;
+    int n = nclasses(rng);
+    for (int k = 0; k < n; ++k) {
+      classes.push_back(Value::MakeRecord(
+          {"dim", "label"}, {Value::Str(kLabels[k % 5]), Value::Int(label(rng))}));
+    }
+    t.Append({Value::Int(static_cast<int64_t>(id)), Value::Str(kLangs[lang(rng)]),
+              Value::Str(kBots[bot(rng)]), Value::Str(kSubjects[subject(rng)]),
+              Value::Int(body(rng)), Value::Float(score(rng)), origin,
+              Value::MakeList(std::move(classes))});
+  }
+  return t;
+}
+
+RowTable GenSpamCSV(uint64_t num_mails, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> iters(1, 3);
+  std::uniform_int_distribution<int64_t> cls(0, 63);
+  std::uniform_real_distribution<double> score(0.0, 1.0);
+  std::uniform_int_distribution<int> label(0, 4);
+
+  RowTable t(SpamCSVSchema()->elem());
+  for (uint64_t id = 0; id < num_mails; ++id) {
+    int n = iters(rng);
+    for (int it = 0; it < n; ++it) {
+      t.Append({Value::Int(static_cast<int64_t>(id)), Value::Int(it), Value::Int(cls(rng)),
+                Value::Int(cls(rng)), Value::Float(score(rng)), Value::Float(score(rng)),
+                Value::Str(kLabels[label(rng)])});
+    }
+  }
+  return t;
+}
+
+RowTable GenSpamBinary(uint64_t num_mails, double scale, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  uint64_t rows = static_cast<uint64_t>(static_cast<double>(num_mails) * scale);
+  std::uniform_int_distribution<int64_t> mail(0, static_cast<int64_t>(num_mails) - 1);
+  std::uniform_int_distribution<int64_t> day(0, 364), src(0, 9999), hits(1, 500);
+  std::uniform_real_distribution<double> score(0.0, 1.0);
+
+  RowTable t(SpamBinarySchema()->elem());
+  for (uint64_t i = 0; i < rows; ++i) {
+    t.Append({Value::Int(mail(rng)), Value::Int(day(rng)), Value::Int(src(rng)),
+              Value::Float(score(rng)), Value::Int(hits(rng))});
+  }
+  return t;
+}
+
+}  // namespace datagen
+}  // namespace proteus

@@ -1,0 +1,32 @@
+// Synthetic stand-in for the Symantec spam-trap workload (paper §7.2).
+//
+// The real workload is proprietary: periodic batches of JSON files describing
+// spam e-mails (body language, origin IP/country, responsible bot), CSV files
+// produced by classification/clustering iterations, and a large relational
+// history table. We generate the same three-silo shape with matched schema
+// richness: the JSON objects carry a nested `origin` record and a nested
+// `classes` array (exercised by unnest queries), the CSV carries per-mail
+// class assignments including string labels, and the binary table carries
+// numeric history. Cross-dataset joins use `mail_id`.
+#pragma once
+
+#include <cstdint>
+
+#include "src/storage/table.h"
+
+namespace proteus {
+namespace datagen {
+
+TypePtr SpamJSONSchema();   ///< nested: origin record + classes array
+TypePtr SpamCSVSchema();    ///< flat classification output
+TypePtr SpamBinarySchema(); ///< flat history table
+
+/// `num_mails` JSON spam objects; mail_id in [0, num_mails).
+RowTable GenSpamJSON(uint64_t num_mails, uint64_t seed = 11);
+/// Classification rows; several per mail (clustering iterations).
+RowTable GenSpamCSV(uint64_t num_mails, uint64_t seed = 12);
+/// History rows; `scale` rows per mail id on average.
+RowTable GenSpamBinary(uint64_t num_mails, double scale = 1.25, uint64_t seed = 13);
+
+}  // namespace datagen
+}  // namespace proteus

@@ -1,0 +1,111 @@
+#include "src/datagen/tpch.h"
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
+namespace proteus {
+namespace datagen {
+
+namespace {
+
+const char* kShipModes[] = {"AIR", "RAIL", "SHIP", "TRUCK", "MAIL"};
+const char* kComments[] = {"quick brown fox", "deposits sleep", "furiously bold",
+                           "ironic packages", "silent requests", "express pinto"};
+
+}  // namespace
+
+TypePtr LineitemSchema() {
+  return Type::BagOfRecords({{"l_orderkey", Type::Int64()},
+                             {"l_linenumber", Type::Int64()},
+                             {"l_quantity", Type::Float64()},
+                             {"l_extendedprice", Type::Float64()},
+                             {"l_discount", Type::Float64()},
+                             {"l_tax", Type::Float64()},
+                             {"l_shipmode", Type::String()},
+                             {"l_comment", Type::String()}});
+}
+
+TypePtr OrdersSchema() {
+  return Type::BagOfRecords({{"o_orderkey", Type::Int64()},
+                             {"o_custkey", Type::Int64()},
+                             {"o_totalprice", Type::Float64()},
+                             {"o_shippriority", Type::Int64()},
+                             {"o_comment", Type::String()}});
+}
+
+TypePtr OrdersDenormSchema() {
+  TypePtr line_elem = LineitemSchema()->elem();
+  return Type::BagOfRecords(
+      {{"o_orderkey", Type::Int64()},
+       {"o_custkey", Type::Int64()},
+       {"o_totalprice", Type::Float64()},
+       {"lineitems", Type::Collection(CollectionKind::kArray, line_elem)}});
+}
+
+RowTable GenLineitem(uint64_t num_orders, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> lines_per_order(1, 7);
+  std::uniform_real_distribution<double> qty(1.0, 50.0);
+  std::uniform_real_distribution<double> price(900.0, 105000.0);
+  std::uniform_real_distribution<double> disc(0.0, 0.10);
+  std::uniform_real_distribution<double> tax(0.0, 0.08);
+  std::uniform_int_distribution<int> mode(0, 4);
+  std::uniform_int_distribution<int> comment(0, 5);
+
+  RowTable t(LineitemSchema()->elem());
+  for (uint64_t ok = 0; ok < num_orders; ++ok) {
+    int n = lines_per_order(rng);
+    for (int ln = 1; ln <= n; ++ln) {
+      t.Append({Value::Int(static_cast<int64_t>(ok)), Value::Int(ln),
+                Value::Float(qty(rng)), Value::Float(price(rng)), Value::Float(disc(rng)),
+                Value::Float(tax(rng)), Value::Str(kShipModes[mode(rng)]),
+                Value::Str(kComments[comment(rng)])});
+    }
+  }
+  // The paper shuffles file contents to avoid interesting-order effects.
+  std::shuffle(t.rows().begin(), t.rows().end(), rng);
+  return t;
+}
+
+RowTable GenOrders(uint64_t num_orders, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> cust(0, static_cast<int64_t>(num_orders / 10 + 1));
+  std::uniform_real_distribution<double> total(1000.0, 500000.0);
+  std::uniform_int_distribution<int64_t> prio(0, 4);
+  std::uniform_int_distribution<int> comment(0, 5);
+
+  RowTable t(OrdersSchema()->elem());
+  for (uint64_t ok = 0; ok < num_orders; ++ok) {
+    t.Append({Value::Int(static_cast<int64_t>(ok)), Value::Int(cust(rng)),
+              Value::Float(total(rng)), Value::Int(prio(rng)),
+              Value::Str(kComments[comment(rng)])});
+  }
+  std::shuffle(t.rows().begin(), t.rows().end(), rng);
+  return t;
+}
+
+RowTable Denormalize(const RowTable& orders, const RowTable& lineitem) {
+  const auto& line_fields = lineitem.record_type()->fields();
+  std::vector<std::string> line_names;
+  for (const auto& f : line_fields) line_names.push_back(f.name);
+
+  std::unordered_map<int64_t, ValueList> by_order;
+  for (size_t i = 0; i < lineitem.num_rows(); ++i) {
+    const auto& row = lineitem.row(i);
+    by_order[row[0].i()].push_back(Value::MakeRecord(line_names, row));
+  }
+
+  RowTable t(OrdersDenormSchema()->elem());
+  for (size_t i = 0; i < orders.num_rows(); ++i) {
+    const auto& row = orders.row(i);
+    int64_t ok = row[0].i();
+    auto it = by_order.find(ok);
+    ValueList lines = it == by_order.end() ? ValueList{} : it->second;
+    t.Append({row[0], row[1], row[2], Value::MakeList(std::move(lines))});
+  }
+  return t;
+}
+
+}  // namespace datagen
+}  // namespace proteus

@@ -1,0 +1,36 @@
+// TPC-H-like data generator for the synthetic evaluation (paper §7.1).
+//
+// The paper uses TPC-H `lineitem` and `orders` at SF10/SF100, shuffled to
+// destroy interesting orders, converted to JSON for the hierarchical
+// experiments, and a denormalized variant (orders embedding their lineitem
+// array) for the unnest experiment. We regenerate the same shapes at a
+// configurable scale: `num_orders` plays the role of the scale factor
+// (TPC-H has 1.5M orders and ~6M lineitems per SF).
+//
+// Selectivity knob: `l_orderkey`/`o_orderkey` are uniform in [0, num_orders),
+// so a predicate `l_orderkey < frac * num_orders` selects ~frac of the rows,
+// exactly like the paper's `WHERE l_orderkey < [X]` templates.
+#pragma once
+
+#include <cstdint>
+
+#include "src/storage/table.h"
+
+namespace proteus {
+namespace datagen {
+
+TypePtr LineitemSchema();
+TypePtr OrdersSchema();
+/// Orders with an embedded `lineitems` array (denormalized JSON experiment).
+TypePtr OrdersDenormSchema();
+
+/// ~4 lineitems per order (1..7 uniform), rows shuffled.
+RowTable GenLineitem(uint64_t num_orders, uint64_t seed = 1);
+RowTable GenOrders(uint64_t num_orders, uint64_t seed = 2);
+
+/// Builds the denormalized view: one row per order, with its lineitems nested
+/// as an array of records (join pre-materialized, as document stores assume).
+RowTable Denormalize(const RowTable& orders, const RowTable& lineitem);
+
+}  // namespace datagen
+}  // namespace proteus

@@ -1,0 +1,71 @@
+#include "src/engine/aggregator.h"
+
+namespace proteus {
+
+void Aggregator::Add(const Value& v) {
+  if (v.is_null()) return;  // nulls do not contribute to aggregates
+  switch (monoid_) {
+    case Monoid::kCount:
+      ++count_;
+      break;
+    case Monoid::kSum:
+      if (v.is_int() && all_int_) {
+        int_acc_ += v.i();
+      } else {
+        if (all_int_) {
+          float_acc_ = static_cast<double>(int_acc_);
+          all_int_ = false;
+        }
+        float_acc_ += v.AsFloat();
+      }
+      break;
+    case Monoid::kMax:
+      if (!seen_ || v.Compare(extreme_) > 0) extreme_ = v;
+      break;
+    case Monoid::kMin:
+      if (!seen_ || v.Compare(extreme_) < 0) extreme_ = v;
+      break;
+    case Monoid::kAnd:
+      bool_acc_ = seen_ ? (bool_acc_ && v.b()) : v.b();
+      break;
+    case Monoid::kOr:
+      bool_acc_ = seen_ ? (bool_acc_ || v.b()) : v.b();
+      break;
+    case Monoid::kBag:
+    case Monoid::kList:
+      items_.push_back(v);
+      break;
+    case Monoid::kSet: {
+      for (const auto& x : items_) {
+        if (x.Equals(v)) return;
+      }
+      items_.push_back(v);
+      break;
+    }
+  }
+  seen_ = true;
+}
+
+Value Aggregator::Final() const {
+  switch (monoid_) {
+    case Monoid::kCount:
+      return Value::Int(count_);
+    case Monoid::kSum:
+      if (!seen_) return Value::Int(0);
+      return all_int_ ? Value::Int(int_acc_) : Value::Float(float_acc_);
+    case Monoid::kMax:
+    case Monoid::kMin:
+      return seen_ ? extreme_ : Value::Null();
+    case Monoid::kAnd:
+      return Value::Boolean(seen_ ? bool_acc_ : true);
+    case Monoid::kOr:
+      return Value::Boolean(seen_ ? bool_acc_ : false);
+    case Monoid::kBag:
+    case Monoid::kList:
+    case Monoid::kSet:
+      return Value::MakeList(items_);
+  }
+  return Value::Null();
+}
+
+}  // namespace proteus

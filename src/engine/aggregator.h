@@ -1,0 +1,33 @@
+// Monoid accumulators shared by the Reduce and Nest interpreters.
+#pragma once
+
+#include "src/algebra/algebra.h"
+#include "src/common/value.h"
+
+namespace proteus {
+
+/// Folds values into one monoid. Value-boxed (interpreter path); the JIT
+/// engine keeps accumulators in registers instead.
+class Aggregator {
+ public:
+  explicit Aggregator(Monoid m) : monoid_(m) {}
+
+  void Add(const Value& v);
+  void AddCount() { count_++; }
+
+  /// The folded result; the monoid's zero element if nothing was added.
+  Value Final() const;
+
+ private:
+  Monoid monoid_;
+  int64_t count_ = 0;
+  bool seen_ = false;
+  bool all_int_ = true;
+  int64_t int_acc_ = 0;
+  double float_acc_ = 0;
+  bool bool_acc_ = false;
+  Value extreme_;     // max/min
+  ValueList items_;   // bag/list/set
+};
+
+}  // namespace proteus

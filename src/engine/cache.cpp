@@ -1,0 +1,216 @@
+#include "src/engine/cache.h"
+
+#include <algorithm>
+
+#include "src/common/counters.h"
+
+namespace proteus {
+
+uint64_t CacheBlockFormatRank(DataFormat f) {
+  // Eviction priority: cheap-to-rebuild caches go first
+  // (JSON > CSV > Binary in retention value — paper §6 "Cache Policies").
+  switch (f) {
+    case DataFormat::kJSON: return 3;
+    case DataFormat::kCSV: return 2;
+    default: return 1;
+  }
+}
+
+uint64_t CachingManager::Install(CacheBlock block) {
+  block.id = next_id_++;
+  block.last_used_tick = ++tick_;
+  // Replace an older block for the same subtree if this one covers at least
+  // as many columns.
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->second.signature == block.signature &&
+        it->second.cols.size() <= block.cols.size()) {
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  uint64_t id = block.id;
+  blocks_.emplace(id, std::move(block));
+  MaybeEvict();
+  return id;
+}
+
+void CachingManager::MaybeEvict() {
+  while (total_bytes() > policy_.memory_budget_bytes && blocks_.size() > 1) {
+    // Format-biased LRU: evict the lowest (format rank, last_used) block.
+    auto victim = blocks_.end();
+    for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+      if (victim == blocks_.end()) {
+        victim = it;
+        continue;
+      }
+      uint64_t a = CacheBlockFormatRank(it->second.source_format);
+      uint64_t b = CacheBlockFormatRank(victim->second.source_format);
+      if (a < b || (a == b && it->second.last_used_tick < victim->second.last_used_tick)) {
+        victim = it;
+      }
+    }
+    blocks_.erase(victim);
+  }
+}
+
+const CacheBlock* CachingManager::FindMatch(const Operator& op) const {
+  std::string sig = op.Signature();
+  for (const auto& [id, b] : blocks_) {
+    if (b.signature == sig) {
+      const_cast<CacheBlock&>(b).last_used_tick = ++const_cast<CachingManager*>(this)->tick_;
+      return &b;
+    }
+  }
+  return nullptr;
+}
+
+const CacheBlock* CachingManager::FindById(uint64_t id) const {
+  auto it = blocks_.find(id);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+OpPtr CachingManager::RewriteWithCaches(OpPtr plan, const Catalog& catalog) const {
+  if (plan->kind() == OpKind::kScan) {
+    const CacheBlock* b = FindMatch(*plan);
+    if (b == nullptr) return plan;
+    // Check coverage: every numeric scan field must be a cache column;
+    // strings may fall back to hybrid raw reads through the OID column.
+    auto info = catalog.Get(plan->dataset());
+    if (!info.ok()) return plan;
+    for (const auto& p : plan->scan_fields()) {
+      if (b->Find(plan->binding(), p) != nullptr) continue;
+      // Absent from cache: acceptable only for non-numeric leaves.
+      const Type* t = &(*info)->record_type();
+      TypePtr leaf;
+      bool resolvable = true;
+      for (size_t i = 0; i < p.size() && resolvable; ++i) {
+        auto ft = t->FieldType(p[i]);
+        if (!ft.ok()) {
+          resolvable = false;
+          break;
+        }
+        leaf = *ft;
+        if (leaf->kind() == TypeKind::kRecord) t = leaf.get();
+      }
+      if (!resolvable || leaf == nullptr) return plan;
+      if (leaf->is_numeric()) return plan;  // cache too narrow: keep raw scan
+    }
+    OpPtr cs = Operator::CacheScan(b->id, plan->binding(), b->signature, plan->dataset());
+    cs->set_scan_fields(plan->scan_fields());
+    return cs;
+  }
+  if (plan->kind() == OpKind::kCacheScan) return plan;
+  for (size_t i = 0; i < plan->children().size(); ++i) {
+    *plan->mutable_child(i) = RewriteWithCaches(plan->child(i), catalog);
+  }
+  return plan;
+}
+
+Result<uint64_t> CachingManager::BuildScanCache(InputPlugin* plugin, const DatasetInfo& info,
+                                                const std::string& binding,
+                                                const std::vector<FieldPath>& fields) {
+  CacheBlock block;
+  block.signature = Operator::Scan(info.name, binding)->Signature();
+  block.source_format = info.format;
+  uint64_t n = plugin->NumRecords();
+  block.num_rows = n;
+
+  // OID column (always): enables hybrid raw reads and partial reuse.
+  CacheColumn oid_col;
+  oid_col.var = binding;
+  oid_col.path = {"$oid"};
+  oid_col.type = TypeKind::kInt64;
+  oid_col.ints.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) oid_col.ints.push_back(static_cast<int64_t>(i));
+  block.cols.push_back(std::move(oid_col));
+
+  for (const auto& p : fields) {
+    // Resolve the leaf type; only cacheable leaves are materialized.
+    const Type* t = &info.record_type();
+    TypePtr leaf;
+    bool ok = true;
+    for (size_t i = 0; i < p.size(); ++i) {
+      auto ft = t->FieldType(p[i]);
+      if (!ft.ok()) {
+        ok = false;
+        break;
+      }
+      leaf = *ft;
+      if (leaf->kind() == TypeKind::kRecord) t = leaf.get();
+    }
+    if (!ok || leaf == nullptr) continue;
+    bool is_string = leaf->kind() == TypeKind::kString;
+    if (is_string && !policy_.cache_strings) continue;
+    if (!is_string && !leaf->is_numeric() && leaf->kind() != TypeKind::kBool) continue;
+
+    CacheColumn col;
+    col.var = binding;
+    col.path = p;
+    col.type = leaf->kind() == TypeKind::kDate ? TypeKind::kInt64 : leaf->kind();
+    for (uint64_t oid = 0; oid < n; ++oid) {
+      auto v = plugin->ReadValue(oid, p);
+      if (!v.ok()) {
+        if (v.status().code() == StatusCode::kNotFound) {
+          // Optional JSON field: store the monoid zero; hybrid readers
+          // re-check the raw object when exactness matters.
+          if (col.type == TypeKind::kFloat64) {
+            col.floats.push_back(0);
+          } else if (col.type == TypeKind::kString) {
+            col.strs.emplace_back();
+          } else {
+            col.ints.push_back(0);
+          }
+          continue;
+        }
+        return v.status();
+      }
+      switch (col.type) {
+        case TypeKind::kInt64:
+          col.ints.push_back(v->is_null() ? 0 : v->i());
+          break;
+        case TypeKind::kBool:
+          col.ints.push_back(!v->is_null() && v->b() ? 1 : 0);
+          break;
+        case TypeKind::kFloat64:
+          col.floats.push_back(v->is_null() ? 0.0 : v->AsFloat());
+          break;
+        case TypeKind::kString:
+          col.strs.push_back(v->is_null() ? "" : v->s());
+          break;
+        default:
+          return Status::Internal("unexpected cache column type");
+      }
+    }
+    GlobalCounters().bytes_materialized += col.bytes();
+    block.cols.push_back(std::move(col));
+  }
+  return Install(std::move(block));
+}
+
+void CachingManager::InvalidateDataset(const std::string& name) {
+  // Dataset scans embed the dataset name in their signature.
+  std::string needle = "scan(" + name + " ";
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->second.signature.find(needle) != std::string::npos) {
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t CachingManager::total_bytes() const {
+  size_t b = 0;
+  for (const auto& [id, block] : blocks_) b += block.bytes();
+  return b;
+}
+
+std::vector<const CacheBlock*> CachingManager::blocks() const {
+  std::vector<const CacheBlock*> out;
+  out.reserve(blocks_.size());
+  for (const auto& [id, b] : blocks_) out.push_back(&b);
+  return out;
+}
+
+}  // namespace proteus

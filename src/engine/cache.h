@@ -1,0 +1,128 @@
+// Adaptive caching structures (paper §6).
+//
+// Proteus materializes caches of algebraic expressions as a side-effect of
+// query execution (implicitly at blocking operators, or explicitly via
+// caching operators placed near the leaves). A cache block stores evaluated
+// field expressions of one plan subtree in compact *binary columns*, so that
+// later queries touching the same subtree read binary data instead of
+// re-navigating CSV/JSON. Caches are exposed back to the engine as an extra
+// input: the plan rewrite replaces the matched subtree with a CacheScan.
+//
+// Cache matching keys on the subtree's canonical Signature(); eviction uses
+// a format-biased LRU (JSON ≻ CSV ≻ binary: drop cheap-to-rebuild caches
+// first — paper: "favoring data from inputs that are more costly to access").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/algebra/algebra.h"
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/plugins/plugin.h"
+
+namespace proteus {
+
+/// One materialized column of a cache block: the evaluated values of a
+/// var-rooted field path (e.g. "l.l_orderkey") in compact typed storage.
+struct CacheColumn {
+  std::string var;    ///< bound variable the path is rooted at
+  FieldPath path;     ///< path within the variable's record
+  TypeKind type = TypeKind::kInt64;
+  std::vector<int64_t> ints;       // int64 / date / bool(0|1)
+  std::vector<double> floats;
+  std::vector<std::string> strs;
+
+  std::string DottedName() const { return var + "." + DottedPath(path); }
+  size_t bytes() const {
+    size_t b = ints.capacity() * 8 + floats.capacity() * 8;
+    for (const auto& s : strs) b += s.size() + sizeof(std::string);
+    return b;
+  }
+};
+
+/// A materialized cache: the signature of the plan subtree it replaces, the
+/// source format that produced it (for biased eviction), and its columns.
+struct CacheBlock {
+  uint64_t id = 0;
+  std::string signature;
+  DataFormat source_format = DataFormat::kBinaryColumn;
+  uint64_t num_rows = 0;
+  std::vector<CacheColumn> cols;
+  uint64_t last_used_tick = 0;
+
+  size_t bytes() const {
+    size_t b = 0;
+    for (const auto& c : cols) b += c.bytes();
+    return b;
+  }
+  const CacheColumn* Find(const std::string& var, const FieldPath& path) const {
+    for (const auto& c : cols) {
+      if (c.var == var && c.path == path) return &c;
+    }
+    return nullptr;
+  }
+};
+
+/// Policy knobs (paper: "different caching policies depending on the
+/// expected workload").
+struct CachePolicy {
+  bool enabled = false;
+  /// Skip variable-length string fields (paper: "Proteus avoids caching
+  /// variable-length string fields from CSV and JSON files").
+  bool cache_strings = false;
+  /// Only cache values read from raw text formats (CSV/JSON); binary inputs
+  /// are already cheap.
+  bool raw_formats_only = true;
+  size_t memory_budget_bytes = 256ull << 20;
+};
+
+class CachingManager {
+ public:
+  explicit CachingManager(CachePolicy policy = {}) : policy_(policy) {}
+
+  const CachePolicy& policy() const { return policy_; }
+  void set_policy(CachePolicy p) { policy_ = p; }
+
+  /// Registers a freshly built block; evicts LRU (format-biased) blocks if
+  /// over budget. Returns the assigned cache id.
+  uint64_t Install(CacheBlock block);
+
+  /// Looks up a cache whose signature matches the subtree rooted at `op`.
+  const CacheBlock* FindMatch(const Operator& op) const;
+  const CacheBlock* FindById(uint64_t id) const;
+
+  /// Rewrites `plan`, replacing every cached subtree with a CacheScan leaf
+  /// (full sub-tree matching, bottom-up — paper §6 "Cache Matching"). A scan
+  /// is replaced only when the cache covers all its numeric fields; string
+  /// fields fall back to hybrid raw reads via the cached OID column.
+  OpPtr RewriteWithCaches(OpPtr plan, const Catalog& catalog) const;
+
+  /// Builds a scan-shaped cache for `dataset`: evaluates the numeric leaf
+  /// fields in `fields` for every record of `plugin` into binary columns,
+  /// always including the OID column. This is the paper's leaf-level caching
+  /// operator ("convert input raw values to a binary format").
+  Result<uint64_t> BuildScanCache(InputPlugin* plugin, const DatasetInfo& info,
+                                  const std::string& binding,
+                                  const std::vector<FieldPath>& fields);
+
+  /// Drops all caches built from dataset `name` (append invalidation).
+  void InvalidateDataset(const std::string& name);
+
+  size_t total_bytes() const;
+  size_t num_blocks() const { return blocks_.size(); }
+  std::vector<const CacheBlock*> blocks() const;
+
+ private:
+  void MaybeEvict();
+
+  CachePolicy policy_;
+  uint64_t next_id_ = 1;
+  uint64_t tick_ = 0;
+  std::map<uint64_t, CacheBlock> blocks_;
+};
+
+}  // namespace proteus

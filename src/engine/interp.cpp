@@ -1,0 +1,593 @@
+#include "src/engine/interp.h"
+
+#include <unordered_map>
+
+#include "src/common/counters.h"
+#include "src/engine/aggregator.h"
+#include "src/engine/radix_table.h"
+
+namespace proteus {
+
+void CollectBoundVars(const OpPtr& op, std::vector<std::string>* out) {
+  switch (op->kind()) {
+    case OpKind::kScan:
+    case OpKind::kCacheScan:
+      out->push_back(op->binding());
+      return;
+    case OpKind::kUnnest:
+      CollectBoundVars(op->child(0), out);
+      out->push_back(op->binding());
+      return;
+    case OpKind::kNest:
+      out->push_back(op->binding().empty() ? "$group" : op->binding());
+      return;
+    default:
+      for (const auto& c : op->children()) CollectBoundVars(c, out);
+      return;
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+class ScanCursor : public Cursor {
+ public:
+  ScanCursor(const ExecContext& ctx, const Operator& op) : ctx_(ctx), op_(op) {}
+
+  Status Open() override {
+    PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ctx_.catalog->Get(op_.dataset()));
+    PROTEUS_ASSIGN_OR_RETURN(plugin_, ctx_.plugins->GetOrOpen(*info, ctx_.stats));
+    fields_ = op_.scan_fields();
+    if (fields_.empty()) {
+      for (const auto& f : info->record_type().fields()) fields_.push_back({f.name});
+    }
+    n_ = plugin_->NumRecords();
+    oid_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(EvalEnv* row) override {
+    GlobalCounters().virtual_calls++;
+    if (oid_ >= n_) return false;
+    GlobalCounters().tuples_scanned++;
+    PROTEUS_ASSIGN_OR_RETURN(Value rec, ReadOne(oid_));
+    (*row)[op_.binding()] = std::move(rec);
+    ++oid_;
+    return true;
+  }
+
+ protected:
+  virtual Result<Value> ReadOne(uint64_t oid) { return plugin_->ReadRecord(oid, fields_); }
+
+  const ExecContext& ctx_;
+  const Operator& op_;
+  InputPlugin* plugin_ = nullptr;
+  std::vector<FieldPath> fields_;
+  uint64_t n_ = 0;
+  uint64_t oid_ = 0;
+};
+
+/// JSON objects with optional fields: a requested-but-absent field binds
+/// null instead of failing the scan.
+class LenientScanCursor : public ScanCursor {
+ public:
+  using ScanCursor::ScanCursor;
+
+ protected:
+  Result<Value> ReadOne(uint64_t oid) override {
+    std::vector<std::string> names;
+    std::vector<Value> values;
+    for (const auto& p : fields_) {
+      auto v = plugin_->ReadValue(oid, p);
+      Value out = Value::Null();
+      if (v.ok()) {
+        out = std::move(*v);
+      } else if (v.status().code() != StatusCode::kNotFound) {
+        return v.status();
+      }
+      // Re-nest deep paths one level at a time.
+      for (size_t k = p.size(); k-- > 1;) out = Value::MakeRecord({p[k]}, {std::move(out)});
+      names.push_back(p[0]);
+      values.push_back(std::move(out));
+    }
+    // Merge duplicate heads (e.g. origin.ip + origin.country).
+    std::vector<std::string> merged_names;
+    std::vector<Value> merged_values;
+    for (size_t i = 0; i < names.size(); ++i) {
+      bool merged = false;
+      for (size_t j = 0; j < merged_names.size(); ++j) {
+        if (merged_names[j] == names[i] && merged_values[j].is_record() &&
+            values[i].is_record()) {
+          const auto& a = merged_values[j].record();
+          const auto& b = values[i].record();
+          std::vector<std::string> ns = a.names;
+          std::vector<Value> vs = a.values;
+          ns.insert(ns.end(), b.names.begin(), b.names.end());
+          vs.insert(vs.end(), b.values.begin(), b.values.end());
+          merged_values[j] = Value::MakeRecord(std::move(ns), std::move(vs));
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        merged_names.push_back(names[i]);
+        merged_values.push_back(values[i]);
+      }
+    }
+    return Value::MakeRecord(std::move(merged_names), std::move(merged_values));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CacheScan
+// ---------------------------------------------------------------------------
+
+class CacheScanCursor : public Cursor {
+ public:
+  CacheScanCursor(const ExecContext& ctx, const Operator& op) : ctx_(ctx), op_(op) {}
+
+  Status Open() override {
+    if (ctx_.caches == nullptr) return Status::Internal("cache scan without CachingManager");
+    block_ = ctx_.caches->FindById(op_.cache_id());
+    if (block_ == nullptr) {
+      return Status::NotFound("cache block #" + std::to_string(op_.cache_id()) + " evicted");
+    }
+    // Fields the plan needs; fall back to everything the block holds.
+    fields_ = op_.scan_fields();
+    if (fields_.empty()) {
+      for (const auto& c : block_->cols) {
+        if (c.path != FieldPath{"$oid"}) fields_.push_back(c.path);
+      }
+    }
+    // Hybrid raw access for fields missing from the block (e.g. strings).
+    for (const auto& p : fields_) {
+      if (block_->Find(op_.binding(), p) == nullptr) {
+        auto info = ctx_.catalog->Get(op_.dataset());
+        if (!info.ok()) return info.status();
+        PROTEUS_ASSIGN_OR_RETURN(plugin_, ctx_.plugins->GetOrOpen(**info, ctx_.stats));
+        oid_col_ = block_->Find(op_.binding(), {"$oid"});
+        if (oid_col_ == nullptr) {
+          return Status::Internal("hybrid cache scan requires an OID column");
+        }
+        break;
+      }
+    }
+    row_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(EvalEnv* row) override {
+    GlobalCounters().virtual_calls++;
+    if (row_ >= block_->num_rows) return false;
+    std::vector<std::string> names;
+    std::vector<Value> values;
+    for (const auto& p : fields_) {
+      const CacheColumn* c = block_->Find(op_.binding(), p);
+      Value v;
+      if (c != nullptr) {
+        GlobalCounters().cache_field_accesses++;
+        switch (c->type) {
+          case TypeKind::kInt64:
+          case TypeKind::kDate: v = Value::Int(c->ints[row_]); break;
+          case TypeKind::kBool: v = Value::Boolean(c->ints[row_] != 0); break;
+          case TypeKind::kFloat64: v = Value::Float(c->floats[row_]); break;
+          case TypeKind::kString: v = Value::Str(c->strs[row_]); break;
+          default: return Status::Internal("bad cache column type");
+        }
+      } else {
+        // Raw fallback through the OID (paper: caching only the OID can be
+        // sufficient; Q12-style string predicates still touch the file).
+        auto raw = plugin_->ReadValue(static_cast<uint64_t>(oid_col_->ints[row_]), p);
+        if (raw.ok()) {
+          v = std::move(*raw);
+        } else if (raw.status().code() == StatusCode::kNotFound) {
+          v = Value::Null();
+        } else {
+          return raw.status();
+        }
+      }
+      for (size_t k = p.size(); k-- > 1;) v = Value::MakeRecord({p[k]}, {std::move(v)});
+      names.push_back(p[0]);
+      values.push_back(std::move(v));
+    }
+    // Merge duplicate heads (nested sub-records split across columns).
+    std::vector<std::string> mn;
+    std::vector<Value> mv;
+    for (size_t i = 0; i < names.size(); ++i) {
+      bool merged = false;
+      for (size_t j = 0; j < mn.size(); ++j) {
+        if (mn[j] == names[i] && mv[j].is_record() && values[i].is_record()) {
+          const auto& a = mv[j].record();
+          const auto& b = values[i].record();
+          std::vector<std::string> ns = a.names;
+          std::vector<Value> vs = a.values;
+          ns.insert(ns.end(), b.names.begin(), b.names.end());
+          vs.insert(vs.end(), b.values.begin(), b.values.end());
+          mv[j] = Value::MakeRecord(std::move(ns), std::move(vs));
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        mn.push_back(names[i]);
+        mv.push_back(values[i]);
+      }
+    }
+    (*row)[op_.binding()] = Value::MakeRecord(std::move(mn), std::move(mv));
+    ++row_;
+    return true;
+  }
+
+ private:
+  const ExecContext& ctx_;
+  const Operator& op_;
+  const CacheBlock* block_ = nullptr;
+  std::vector<FieldPath> fields_;
+  InputPlugin* plugin_ = nullptr;
+  const CacheColumn* oid_col_ = nullptr;
+  uint64_t row_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Select
+// ---------------------------------------------------------------------------
+
+class SelectCursor : public Cursor {
+ public:
+  SelectCursor(std::unique_ptr<Cursor> child, const Operator& op)
+      : child_(std::move(child)), op_(op) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(EvalEnv* row) override {
+    GlobalCounters().virtual_calls++;
+    while (true) {
+      PROTEUS_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+      if (!has) return false;
+      PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op_.pred(), *row));
+      if (pass) return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<Cursor> child_;
+  const Operator& op_;
+};
+
+// ---------------------------------------------------------------------------
+// Unnest
+// ---------------------------------------------------------------------------
+
+class UnnestCursorOp : public Cursor {
+ public:
+  UnnestCursorOp(std::unique_ptr<Cursor> child, const Operator& op)
+      : child_(std::move(child)), op_(op) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(EvalEnv* row) override {
+    GlobalCounters().virtual_calls++;
+    while (true) {
+      if (pos_ < current_.size()) {
+        (*row) = outer_row_;
+        (*row)[op_.binding()] = current_[pos_++];
+        PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op_.pred(), *row));
+        if (!pass) continue;
+        return true;
+      }
+      if (pending_outer_emit_) {
+        pending_outer_emit_ = false;
+        (*row) = outer_row_;
+        (*row)[op_.binding()] = Value::Null();
+        return true;
+      }
+      PROTEUS_ASSIGN_OR_RETURN(bool has, child_->Next(&outer_row_));
+      if (!has) return false;
+      // Resolve the collection through the bound record value.
+      const FieldPath& p = op_.unnest_path();
+      auto it = outer_row_.find(p[0]);
+      if (it == outer_row_.end()) {
+        return Status::Internal("unnest source '" + p[0] + "' missing at runtime");
+      }
+      Value v = it->second;
+      for (size_t i = 1; i < p.size() && !v.is_null(); ++i) {
+        PROTEUS_ASSIGN_OR_RETURN(v, v.GetField(p[i]));
+      }
+      current_.clear();
+      pos_ = 0;
+      if (v.is_null()) {
+        // absent collection
+      } else if (v.is_list()) {
+        current_ = v.list();
+      } else {
+        return Status::TypeError("unnest path " + DottedPath(p) + " is not a collection");
+      }
+      if (current_.empty() && op_.outer()) pending_outer_emit_ = true;
+    }
+  }
+
+ private:
+  std::unique_ptr<Cursor> child_;
+  const Operator& op_;
+  EvalEnv outer_row_;
+  ValueList current_;
+  size_t pos_ = 0;
+  bool pending_outer_emit_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Join (radix hash for equi-joins, block nested loop otherwise)
+// ---------------------------------------------------------------------------
+
+class JoinCursorOp : public Cursor {
+ public:
+  JoinCursorOp(std::unique_ptr<Cursor> left, std::unique_ptr<Cursor> right, const Operator& op)
+      : left_(std::move(left)), right_(std::move(right)), op_(op) {
+    CollectBoundVars(op_.child(1), &right_vars_);
+  }
+
+  Status Open() override {
+    PROTEUS_RETURN_NOT_OK(left_->Open());
+    PROTEUS_RETURN_NOT_OK(right_->Open());
+    // Build phase: materialize the left (build) side.
+    EvalEnv row;
+    while (true) {
+      PROTEUS_ASSIGN_OR_RETURN(bool has, left_->Next(&row));
+      if (!has) break;
+      if (op_.left_key()) {
+        PROTEUS_ASSIGN_OR_RETURN(Value k, Eval(op_.left_key(), row));
+        if (k.is_null()) {
+          if (op_.outer()) {
+            build_rows_.push_back(row);
+            build_keys_.push_back(Value::Null());
+          }
+          continue;
+        }
+        table_.Insert(k.Hash(), static_cast<uint32_t>(build_rows_.size()));
+        build_rows_.push_back(row);
+        build_keys_.push_back(std::move(k));
+      } else {
+        build_rows_.push_back(row);
+      }
+      GlobalCounters().bytes_materialized += 64;  // boxed row estimate
+    }
+    if (op_.left_key()) table_.Build();
+    matched_.assign(build_rows_.size(), false);
+    return Status::OK();
+  }
+
+  Result<bool> Next(EvalEnv* row) override {
+    GlobalCounters().virtual_calls++;
+    while (true) {
+      if (match_pos_ < matches_.size()) {
+        uint32_t idx = matches_[match_pos_++];
+        *row = build_rows_[idx];
+        for (auto& [k, v] : probe_row_) (*row)[k] = v;
+        PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(ResidualPred(), *row));
+        if (!pass) continue;
+        matched_[idx] = true;
+        return true;
+      }
+      if (drain_unmatched_) {
+        while (unmatched_pos_ < build_rows_.size() && matched_[unmatched_pos_]) {
+          ++unmatched_pos_;
+        }
+        if (unmatched_pos_ >= build_rows_.size()) return false;
+        *row = build_rows_[unmatched_pos_++];
+        for (const auto& v : right_vars_) (*row)[v] = Value::Null();
+        return true;
+      }
+      PROTEUS_ASSIGN_OR_RETURN(bool has, right_->Next(&probe_row_));
+      if (!has) {
+        if (op_.outer()) {
+          drain_unmatched_ = true;
+          continue;
+        }
+        return false;
+      }
+      matches_.clear();
+      match_pos_ = 0;
+      if (op_.left_key()) {
+        PROTEUS_ASSIGN_OR_RETURN(Value k, Eval(op_.right_key(), probe_row_));
+        if (k.is_null()) continue;
+        uint64_t h = k.Hash();
+        table_.Probe(h, [&](uint32_t idx) {
+          if (build_keys_[idx].Equals(k)) matches_.push_back(idx);
+        });
+      } else {
+        // Nested loop: every build row is a candidate; predicate filters.
+        matches_.resize(build_rows_.size());
+        for (uint32_t i = 0; i < build_rows_.size(); ++i) matches_[i] = i;
+      }
+    }
+  }
+
+ private:
+  /// With hash keys, the equality itself is verified via build_keys_; the
+  /// full predicate still runs to cover residual conjuncts.
+  const ExprPtr& ResidualPred() const { return op_.pred(); }
+
+  std::unique_ptr<Cursor> left_, right_;
+  const Operator& op_;
+  std::vector<std::string> right_vars_;
+  std::vector<EvalEnv> build_rows_;
+  std::vector<Value> build_keys_;
+  RadixTable table_;
+  std::vector<bool> matched_;
+  EvalEnv probe_row_;
+  std::vector<uint32_t> matches_;
+  size_t match_pos_ = 0;
+  bool drain_unmatched_ = false;
+  size_t unmatched_pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Nest (hash grouping)
+// ---------------------------------------------------------------------------
+
+class NestCursorOp : public Cursor {
+ public:
+  NestCursorOp(std::unique_ptr<Cursor> child, const Operator& op)
+      : child_(std::move(child)), op_(op) {}
+
+  Status Open() override {
+    PROTEUS_RETURN_NOT_OK(child_->Open());
+    EvalEnv row;
+    std::unordered_map<uint64_t, std::vector<size_t>> index;
+    while (true) {
+      PROTEUS_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+      if (!has) break;
+      PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op_.pred(), row));
+      if (!pass) continue;
+      PROTEUS_ASSIGN_OR_RETURN(Value key, Eval(op_.group_by(), row));
+      uint64_t h = key.Hash();
+      size_t group = SIZE_MAX;
+      for (size_t g : index[h]) {
+        if (keys_[g].Equals(key)) {
+          group = g;
+          break;
+        }
+      }
+      if (group == SIZE_MAX) {
+        group = keys_.size();
+        keys_.push_back(key);
+        index[h].push_back(group);
+        aggs_.emplace_back();
+        for (const auto& o : op_.outputs()) aggs_.back().emplace_back(o.monoid);
+        GlobalCounters().bytes_materialized += 48;
+      }
+      for (size_t i = 0; i < op_.outputs().size(); ++i) {
+        const AggOutput& o = op_.outputs()[i];
+        if (o.monoid == Monoid::kCount) {
+          aggs_[group][i].Add(Value::Int(1));
+        } else {
+          PROTEUS_ASSIGN_OR_RETURN(Value v, Eval(o.expr, row));
+          aggs_[group][i].Add(v);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(EvalEnv* row) override {
+    GlobalCounters().virtual_calls++;
+    if (pos_ >= keys_.size()) return false;
+    std::vector<std::string> names{op_.group_name()};
+    std::vector<Value> values{keys_[pos_]};
+    for (size_t i = 0; i < op_.outputs().size(); ++i) {
+      names.push_back(op_.outputs()[i].name);
+      values.push_back(aggs_[pos_][i].Final());
+    }
+    row->clear();
+    (*row)[op_.binding().empty() ? "$group" : op_.binding()] =
+        Value::MakeRecord(std::move(names), std::move(values));
+    ++pos_;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Cursor> child_;
+  const Operator& op_;
+  std::vector<Value> keys_;
+  std::vector<std::vector<Aggregator>> aggs_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Cursor>> InterpExecutor::BuildCursor(const OpPtr& op) {
+  switch (op->kind()) {
+    case OpKind::kScan: {
+      PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ctx_.catalog->Get(op->dataset()));
+      if (info->format == DataFormat::kJSON) {
+        return std::unique_ptr<Cursor>(new LenientScanCursor(ctx_, *op));
+      }
+      return std::unique_ptr<Cursor>(new ScanCursor(ctx_, *op));
+    }
+    case OpKind::kCacheScan:
+      return std::unique_ptr<Cursor>(new CacheScanCursor(ctx_, *op));
+    case OpKind::kSelect: {
+      PROTEUS_ASSIGN_OR_RETURN(auto child, BuildCursor(op->child(0)));
+      return std::unique_ptr<Cursor>(new SelectCursor(std::move(child), *op));
+    }
+    case OpKind::kUnnest: {
+      PROTEUS_ASSIGN_OR_RETURN(auto child, BuildCursor(op->child(0)));
+      return std::unique_ptr<Cursor>(new UnnestCursorOp(std::move(child), *op));
+    }
+    case OpKind::kJoin: {
+      PROTEUS_ASSIGN_OR_RETURN(auto l, BuildCursor(op->child(0)));
+      PROTEUS_ASSIGN_OR_RETURN(auto r, BuildCursor(op->child(1)));
+      return std::unique_ptr<Cursor>(new JoinCursorOp(std::move(l), std::move(r), *op));
+    }
+    case OpKind::kNest: {
+      PROTEUS_ASSIGN_OR_RETURN(auto child, BuildCursor(op->child(0)));
+      return std::unique_ptr<Cursor>(new NestCursorOp(std::move(child), *op));
+    }
+    case OpKind::kReduce:
+      return Status::InvalidArgument("Reduce must be the plan root");
+  }
+  return Status::Internal("unknown operator kind");
+}
+
+Result<QueryResult> InterpExecutor::Execute(const OpPtr& plan) {
+  if (plan->kind() != OpKind::kReduce) {
+    return Status::InvalidArgument("physical plan root must be Reduce, got:\n" +
+                                   plan->ToString());
+  }
+  PROTEUS_ASSIGN_OR_RETURN(auto cursor, BuildCursor(plan->child(0)));
+  PROTEUS_RETURN_NOT_OK(cursor->Open());
+
+  const auto& outputs = plan->outputs();
+  std::vector<Aggregator> aggs;
+  aggs.reserve(outputs.size());
+  for (const auto& o : outputs) aggs.emplace_back(o.monoid);
+
+  EvalEnv row;
+  while (true) {
+    PROTEUS_ASSIGN_OR_RETURN(bool has, cursor->Next(&row));
+    if (!has) break;
+    PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(plan->pred(), row));
+    if (!pass) continue;
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (outputs[i].monoid == Monoid::kCount) {
+        aggs[i].Add(Value::Int(1));
+      } else {
+        PROTEUS_ASSIGN_OR_RETURN(Value v, Eval(outputs[i].expr, row));
+        aggs[i].Add(v);
+      }
+    }
+  }
+
+  QueryResult result;
+  // A single collection output of records unfolds into a row set.
+  if (outputs.size() == 1 && IsCollectionMonoid(outputs[0].monoid)) {
+    Value collected = aggs[0].Final();
+    const ValueList& items = collected.list();
+    bool records = !items.empty() && items[0].is_record();
+    if (records) {
+      result.columns = items[0].record().names;
+      for (const auto& item : items) {
+        result.rows.push_back(item.record().values);
+      }
+    } else {
+      result.columns = {outputs[0].name};
+      for (const auto& item : items) result.rows.push_back({item});
+    }
+    GlobalCounters().tuples_output += result.rows.size();
+    return result;
+  }
+  for (const auto& o : outputs) result.columns.push_back(o.name);
+  result.rows.emplace_back();
+  for (auto& a : aggs) result.rows[0].push_back(a.Final());
+  GlobalCounters().tuples_output += 1;
+  return result;
+}
+
+}  // namespace proteus

@@ -1,0 +1,56 @@
+// Volcano-style interpreter over physical plans.
+//
+// This is (a) the reference executor that the JIT engine is property-tested
+// against, and (b) the stand-in for general-purpose interpreted engines
+// (PostgreSQL-class row stores) in the benchmark suite: every tuple crosses
+// virtual getNext() calls and every expression is dispatched dynamically —
+// exactly the interpretation overhead the paper's code generation removes
+// (§5). ExecCounters::virtual_calls tracks those crossings.
+#pragma once
+
+#include <memory>
+
+#include "src/algebra/algebra.h"
+#include "src/catalog/catalog.h"
+#include "src/engine/cache.h"
+#include "src/engine/result.h"
+#include "src/expr/eval.h"
+#include "src/plugins/plugin.h"
+
+namespace proteus {
+
+struct ExecContext {
+  const Catalog* catalog = nullptr;
+  PluginRegistry* plugins = nullptr;
+  StatsStore* stats = nullptr;       ///< cold-access stats collection target
+  CachingManager* caches = nullptr;  ///< optional adaptive caching
+};
+
+/// Pull-based row cursor (getNextTuple() of the Volcano model).
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+  virtual Status Open() = 0;
+  /// Fills `row` and returns true, or returns false at end of stream.
+  virtual Result<bool> Next(EvalEnv* row) = 0;
+};
+
+class InterpExecutor {
+ public:
+  explicit InterpExecutor(ExecContext ctx) : ctx_(ctx) {}
+
+  /// Executes a physical plan whose root is Reduce.
+  Result<QueryResult> Execute(const OpPtr& plan);
+
+  /// Builds the cursor tree for a sub-plan (exposed for the caching manager,
+  /// which drains subtree cursors to populate explicit caches).
+  Result<std::unique_ptr<Cursor>> BuildCursor(const OpPtr& op);
+
+ private:
+  ExecContext ctx_;
+};
+
+/// Variables bound by the subtree rooted at `op` (shared helper).
+void CollectBoundVars(const OpPtr& op, std::vector<std::string>* out);
+
+}  // namespace proteus

@@ -1,0 +1,58 @@
+#include "src/engine/radix_table.h"
+
+#include "src/common/counters.h"
+
+namespace proteus {
+
+namespace {
+
+uint32_t NextPow2(uint32_t x) {
+  uint32_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void RadixTable::Build() {
+  const uint32_t num_parts = 1u << radix_bits_;
+  partition_mask_ = num_parts - 1;
+
+  // Pass 1: histogram.
+  std::vector<uint32_t> counts(num_parts, 0);
+  for (const Entry& e : entries_) counts[e.hash & partition_mask_]++;
+
+  // Prefix sums -> partition start offsets.
+  std::vector<uint32_t> offsets(num_parts + 1, 0);
+  for (uint32_t p = 0; p < num_parts; ++p) offsets[p + 1] = offsets[p] + counts[p];
+
+  // Pass 2: scatter into clustered order (the radix clustering step).
+  clustered_.resize(entries_.size());
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Entry& e : entries_) {
+    clustered_[cursor[e.hash & partition_mask_]++] = e;
+  }
+  GlobalCounters().bytes_materialized += entries_.size() * sizeof(Entry);
+  entries_.clear();
+  entries_.shrink_to_fit();
+
+  // Per-partition chained buckets, uniform bucket count for O(1) addressing.
+  uint32_t max_part = 0;
+  for (uint32_t p = 0; p < num_parts; ++p) max_part = std::max(max_part, counts[p]);
+  buckets_per_part_ = NextPow2(max_part == 0 ? 1 : max_part);
+  bucket_mask_ = buckets_per_part_ - 1;
+
+  buckets_.assign(static_cast<size_t>(num_parts) * buckets_per_part_, kNil);
+  next_.assign(clustered_.size(), kNil);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    for (uint32_t i = offsets[p]; i < offsets[p + 1]; ++i) {
+      uint64_t h = clustered_[i].hash;
+      uint32_t bucket = p * buckets_per_part_ +
+                        static_cast<uint32_t>((h >> radix_bits_) & bucket_mask_);
+      next_[i] = buckets_[bucket];
+      buckets_[bucket] = i;
+    }
+  }
+}
+
+}  // namespace proteus

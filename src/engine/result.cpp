@@ -1,0 +1,79 @@
+#include "src/engine/result.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace proteus {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) os << " | ";
+    os << columns[i];
+  }
+  os << "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i) os << " | ";
+      os << rows[r][i].ToString();
+    }
+    os << "\n";
+  }
+  if (rows.size() > max_rows) {
+    os << "... (" << rows.size() << " rows total)\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+bool CellEquals(const Value& a, const Value& b, double tol) {
+  if ((a.is_float() || a.is_int()) && (b.is_float() || b.is_int())) {
+    double x = a.AsFloat(), y = b.AsFloat();
+    double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
+    return std::fabs(x - y) <= tol * scale;
+  }
+  return a.Equals(b);
+}
+
+std::string RowKey(const std::vector<Value>& row) {
+  std::string k;
+  for (const auto& v : row) {
+    // Round floats so equal-within-tolerance rows sort together.
+    if (v.is_float()) {
+      std::ostringstream os;
+      os.precision(9);
+      os << v.f();
+      k += os.str();
+    } else {
+      k += v.ToString();
+    }
+    k += '\x1f';
+  }
+  return k;
+}
+
+}  // namespace
+
+bool QueryResult::EqualsUnordered(const QueryResult& other, double float_tol) const {
+  if (columns != other.columns || rows.size() != other.rows.size()) return false;
+  std::vector<size_t> a(rows.size()), b(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) a[i] = b[i] = i;
+  auto by_key = [](const std::vector<std::vector<Value>>& rs) {
+    return [&rs](size_t x, size_t y) { return RowKey(rs[x]) < RowKey(rs[y]); };
+  };
+  std::sort(a.begin(), a.end(), by_key(rows));
+  std::sort(b.begin(), b.end(), by_key(other.rows));
+  for (size_t i = 0; i < a.size(); ++i) {
+    const auto& ra = rows[a[i]];
+    const auto& rb = other.rows[b[i]];
+    if (ra.size() != rb.size()) return false;
+    for (size_t j = 0; j < ra.size(); ++j) {
+      if (!CellEquals(ra[j], rb[j], float_tol)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace proteus

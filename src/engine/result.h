@@ -1,0 +1,27 @@
+// Query results: a small column-named row set (aggregates produce one row).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace proteus {
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+
+  /// First cell of the first row — convenient for single-aggregate queries.
+  const Value& scalar() const { return rows.at(0).at(0); }
+
+  std::string ToString(size_t max_rows = 20) const;
+
+  /// Bag-semantics comparison: equal columns and equal row multisets.
+  /// Used by the JIT-vs-interpreter equivalence property tests.
+  bool EqualsUnordered(const QueryResult& other, double float_tol = 1e-9) const;
+};
+
+}  // namespace proteus

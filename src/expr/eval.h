@@ -1,0 +1,23 @@
+// Tree-walking expression evaluation over boxed Values. Used by the Volcano
+// interpreter engine and as the test oracle for the JIT expression compiler.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/common/value.h"
+#include "src/expr/expr.h"
+
+namespace proteus {
+
+/// Variable bindings during evaluation: generator variable -> current value.
+using EvalEnv = std::unordered_map<std::string, Value>;
+
+/// Evaluates `expr` under `env`. Increments ExecCounters::branch_evals for
+/// every conditional evaluated — the software analogue of the interpretation
+/// overhead the paper measures (§5).
+Result<Value> Eval(const ExprPtr& expr, const EvalEnv& env);
+
+/// Evaluates a predicate; null is treated as false (SQL-like semantics).
+Result<bool> EvalPredicate(const ExprPtr& pred, const EvalEnv& env);
+
+}  // namespace proteus

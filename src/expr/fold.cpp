@@ -1,0 +1,72 @@
+#include "src/expr/eval.h"
+#include "src/expr/expr.h"
+
+namespace proteus {
+
+namespace {
+
+bool IsLiteral(const ExprPtr& e) { return e->kind() == ExprKind::kLiteral; }
+
+bool IsTrue(const ExprPtr& e) {
+  return IsLiteral(e) && e->literal().is_bool() && e->literal().b();
+}
+bool IsFalse(const ExprPtr& e) {
+  return IsLiteral(e) && e->literal().is_bool() && !e->literal().b();
+}
+
+}  // namespace
+
+ExprPtr FoldConstants(const ExprPtr& expr) {
+  if (expr->children().empty()) return expr;
+
+  std::vector<ExprPtr> folded;
+  folded.reserve(expr->children().size());
+  bool all_literal = true;
+  for (const auto& c : expr->children()) {
+    folded.push_back(FoldConstants(c));
+    all_literal &= IsLiteral(folded.back());
+  }
+
+  auto rebuild = [&]() -> ExprPtr {
+    switch (expr->kind()) {
+      case ExprKind::kProj: return Expr::Proj(folded[0], expr->field());
+      case ExprKind::kBinary: return Expr::Bin(expr->bin_op(), folded[0], folded[1]);
+      case ExprKind::kUnary: return Expr::Un(expr->un_op(), folded[0]);
+      case ExprKind::kIf: return Expr::If(folded[0], folded[1], folded[2]);
+      case ExprKind::kCast: return Expr::Cast(expr->cast_to(), folded[0]);
+      case ExprKind::kRecordCons: return Expr::Record(expr->record_names(), folded);
+      default: return expr;
+    }
+  };
+
+  // Boolean identities that do not require full literal children.
+  if (expr->kind() == ExprKind::kBinary) {
+    BinOp op = expr->bin_op();
+    if (op == BinOp::kAnd) {
+      if (IsTrue(folded[0])) return folded[1];
+      if (IsTrue(folded[1])) return folded[0];
+      if (IsFalse(folded[0]) || IsFalse(folded[1])) return Expr::Bool(false);
+    }
+    if (op == BinOp::kOr) {
+      if (IsFalse(folded[0])) return folded[1];
+      if (IsFalse(folded[1])) return folded[0];
+      if (IsTrue(folded[0]) || IsTrue(folded[1])) return Expr::Bool(true);
+    }
+  }
+  if (expr->kind() == ExprKind::kIf) {
+    if (IsTrue(folded[0])) return folded[1];
+    if (IsFalse(folded[0])) return folded[2];
+  }
+
+  if (!all_literal || expr->kind() == ExprKind::kRecordCons) return rebuild();
+
+  // Pure literal subtree: evaluate it now.
+  ExprPtr candidate = rebuild();
+  EvalEnv empty;
+  auto v = Eval(candidate, empty);
+  if (!v.ok()) return candidate;  // e.g. division by zero: keep for runtime error
+  if (v->is_record() || v->is_list()) return candidate;
+  return Expr::Lit(std::move(*v));
+}
+
+}  // namespace proteus

@@ -1,0 +1,155 @@
+#include "src/expr/expr.h"
+
+namespace proteus {
+
+namespace {
+
+Result<TypePtr> LiteralType(const Value& v) {
+  if (v.is_null()) return Status::TypeError("cannot infer type of null literal");
+  if (v.is_int()) return Type::Int64();
+  if (v.is_float()) return Type::Float64();
+  if (v.is_bool()) return Type::Bool();
+  if (v.is_string()) return Type::String();
+  return Status::TypeError("unsupported literal " + v.ToString());
+}
+
+bool IsComparable(const TypePtr& a, const TypePtr& b) {
+  if (a->is_numeric() && b->is_numeric()) return true;
+  if (a->kind() == TypeKind::kString && b->kind() == TypeKind::kString) return true;
+  if (a->kind() == TypeKind::kBool && b->kind() == TypeKind::kBool) return true;
+  return false;
+}
+
+TypePtr NumericJoin(const TypePtr& a, const TypePtr& b) {
+  if (a->kind() == TypeKind::kFloat64 || b->kind() == TypeKind::kFloat64) {
+    return Type::Float64();
+  }
+  return Type::Int64();
+}
+
+}  // namespace
+
+Result<TypePtr> TypeCheck(const ExprPtr& expr, const TypeEnv& env) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral: {
+      PROTEUS_ASSIGN_OR_RETURN(TypePtr t, LiteralType(expr->literal()));
+      expr->set_type(t);
+      return t;
+    }
+    case ExprKind::kVarRef: {
+      auto it = env.find(expr->var_name());
+      if (it == env.end()) {
+        return Status::TypeError("unbound variable '" + expr->var_name() + "'");
+      }
+      expr->set_type(it->second);
+      return it->second;
+    }
+    case ExprKind::kProj: {
+      PROTEUS_ASSIGN_OR_RETURN(TypePtr in, TypeCheck(expr->child(0), env));
+      if (in->kind() != TypeKind::kRecord) {
+        return Status::TypeError("projection ." + expr->field() + " on non-record type " +
+                                 in->ToString());
+      }
+      auto ft = in->FieldType(expr->field());
+      if (!ft.ok()) return ft.status();
+      expr->set_type(*ft);
+      return *ft;
+    }
+    case ExprKind::kBinary: {
+      PROTEUS_ASSIGN_OR_RETURN(TypePtr l, TypeCheck(expr->child(0), env));
+      PROTEUS_ASSIGN_OR_RETURN(TypePtr r, TypeCheck(expr->child(1), env));
+      switch (expr->bin_op()) {
+        case BinOp::kAdd:
+        case BinOp::kSub:
+        case BinOp::kMul:
+        case BinOp::kDiv: {
+          if (!l->is_numeric() || !r->is_numeric()) {
+            return Status::TypeError("arithmetic on non-numeric types " + l->ToString() +
+                                     ", " + r->ToString());
+          }
+          TypePtr t = expr->bin_op() == BinOp::kDiv ? Type::Float64() : NumericJoin(l, r);
+          expr->set_type(t);
+          return t;
+        }
+        case BinOp::kMod: {
+          if (l->kind() != TypeKind::kInt64 || r->kind() != TypeKind::kInt64) {
+            return Status::TypeError("modulo requires int64 operands");
+          }
+          expr->set_type(Type::Int64());
+          return Type::Int64();
+        }
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe:
+        case BinOp::kEq:
+        case BinOp::kNe: {
+          if (!IsComparable(l, r)) {
+            return Status::TypeError("cannot compare " + l->ToString() + " with " +
+                                     r->ToString());
+          }
+          expr->set_type(Type::Bool());
+          return Type::Bool();
+        }
+        case BinOp::kAnd:
+        case BinOp::kOr: {
+          if (l->kind() != TypeKind::kBool || r->kind() != TypeKind::kBool) {
+            return Status::TypeError("logical op on non-bool operands");
+          }
+          expr->set_type(Type::Bool());
+          return Type::Bool();
+        }
+      }
+      return Status::Internal("unreachable binop");
+    }
+    case ExprKind::kUnary: {
+      PROTEUS_ASSIGN_OR_RETURN(TypePtr c, TypeCheck(expr->child(0), env));
+      if (expr->un_op() == UnOp::kNot) {
+        if (c->kind() != TypeKind::kBool) return Status::TypeError("not on non-bool");
+        expr->set_type(Type::Bool());
+        return Type::Bool();
+      }
+      if (!c->is_numeric()) return Status::TypeError("negation on non-numeric");
+      expr->set_type(c);
+      return c;
+    }
+    case ExprKind::kIf: {
+      PROTEUS_ASSIGN_OR_RETURN(TypePtr c, TypeCheck(expr->child(0), env));
+      if (c->kind() != TypeKind::kBool) return Status::TypeError("if condition must be bool");
+      PROTEUS_ASSIGN_OR_RETURN(TypePtr t, TypeCheck(expr->child(1), env));
+      PROTEUS_ASSIGN_OR_RETURN(TypePtr e, TypeCheck(expr->child(2), env));
+      if (t->is_numeric() && e->is_numeric()) {
+        TypePtr j = NumericJoin(t, e);
+        expr->set_type(j);
+        return j;
+      }
+      if (!t->Equals(*e)) {
+        return Status::TypeError("if branches have incompatible types " + t->ToString() +
+                                 " vs " + e->ToString());
+      }
+      expr->set_type(t);
+      return t;
+    }
+    case ExprKind::kCast: {
+      PROTEUS_ASSIGN_OR_RETURN(TypePtr c, TypeCheck(expr->child(0), env));
+      if (!c->is_numeric() || !expr->cast_to()->is_numeric()) {
+        return Status::TypeError("cast supports numeric types only");
+      }
+      expr->set_type(expr->cast_to());
+      return expr->cast_to();
+    }
+    case ExprKind::kRecordCons: {
+      std::vector<Field> fields;
+      for (size_t i = 0; i < expr->children().size(); ++i) {
+        PROTEUS_ASSIGN_OR_RETURN(TypePtr t, TypeCheck(expr->child(i), env));
+        fields.push_back({expr->record_names()[i], t});
+      }
+      TypePtr t = Type::Record(std::move(fields));
+      expr->set_type(t);
+      return t;
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+}  // namespace proteus

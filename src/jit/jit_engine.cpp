@@ -1,0 +1,1389 @@
+#include "src/jit/jit_engine.h"
+#include <cstdlib>
+
+#include <llvm/ExecutionEngine/Orc/LLJIT.h>
+#include <llvm/IR/IRBuilder.h>
+#include <llvm/IR/LLVMContext.h>
+#include <llvm/IR/Module.h>
+#include <llvm/IR/Verifier.h>
+#include <llvm/Passes/PassBuilder.h>
+#include <llvm/Support/TargetSelect.h>
+#include <llvm/Support/raw_ostream.h>
+
+#include <chrono>
+#include <functional>
+#include <unordered_map>
+
+#include "src/common/hash.h"
+#include "src/plugins/binary_plugins.h"
+#include "src/plugins/csv_plugin.h"
+#include "src/plugins/json_plugin.h"
+#include "src/jit/runtime.h"
+
+namespace proteus {
+
+namespace {
+
+using jit::QueryRuntime;
+
+void InitLLVMOnce() {
+  static bool done = [] {
+    llvm::InitializeNativeTarget();
+    llvm::InitializeNativeTargetAsmPrinter();
+    return true;
+  }();
+  (void)done;
+}
+
+/// A value in a virtual buffer: primitive kinds only; strings carry ptr+len.
+struct CgValue {
+  TypeKind kind = TypeKind::kInt64;
+  llvm::Value* v = nullptr;    // i64 / double / i1; strings: i8* data
+  llvm::Value* len = nullptr;  // strings only: i64
+};
+
+struct ScanSource {
+  DataFormat format;
+  InputPlugin* plugin = nullptr;
+  const CacheBlock* cache = nullptr;
+};
+
+class Codegen {
+ public:
+  Codegen(ExecContext ctx, QueryRuntime* rt)
+      : ectx_(ctx),
+        rt_(rt),
+        llctx_(std::make_unique<llvm::LLVMContext>()),
+        module_(std::make_unique<llvm::Module>("proteus_query", *llctx_)),
+        b_(*llctx_) {}
+
+  Status Compile(const OpPtr& plan);
+  std::unique_ptr<llvm::Module> TakeModule() { return std::move(module_); }
+  std::unique_ptr<llvm::LLVMContext> TakeContext() { return std::move(llctx_); }
+  std::string DumpIR() const {
+    std::string s;
+    llvm::raw_string_ostream os(s);
+    module_->print(os, nullptr);
+    return s;
+  }
+  const std::vector<std::string>& result_columns() const { return result_columns_; }
+
+ private:
+  using Consume = std::function<Status()>;
+
+  // ---- plan preparation ----------------------------------------------------
+  Status Prepare(const OpPtr& op);
+  Status CheckSupported(const OpPtr& op) const;
+  Result<TypePtr> VarType(const std::string& var) const;
+  Result<TypeKind> LeafKind(const std::string& var, const FieldPath& path) const;
+
+  // ---- IR emission ---------------------------------------------------------
+  Status EmitProduce(const OpPtr& op, const Consume& consume);
+  Status EmitScan(const OpPtr& op, const Consume& consume);
+  Status EmitCacheScan(const OpPtr& op, const Consume& consume);
+  Status EmitUnnest(const OpPtr& op, const Consume& consume);
+  Status EmitJoin(const OpPtr& op, const Consume& consume);
+  Status EmitNest(const OpPtr& op, const Consume& consume);
+  Status EmitFilter(const ExprPtr& pred, const Consume& consume);
+  Status EmitRoot(const OpPtr& reduce);
+
+  Result<CgValue> EmitExpr(const ExprPtr& e);
+  Result<CgValue> EmitBinary(const ExprPtr& e);
+  llvm::Value* ToDouble(const CgValue& v) {
+    return v.kind == TypeKind::kFloat64 ? v.v : b_.CreateSIToFP(v.v, b_.getDoubleTy());
+  }
+
+  // ---- small helpers -------------------------------------------------------
+  llvm::Function* Helper(const char* name, llvm::Type* ret,
+                         std::vector<llvm::Type*> args);
+  llvm::Value* ConstPtr(const void* p) {
+    return b_.CreateIntToPtr(b_.getInt64(reinterpret_cast<uint64_t>(p)), b_.getInt8PtrTy());
+  }
+  llvm::Value* RtPtr() { return rt_arg_; }
+  llvm::Value* GlobalString(const std::string& s) {
+    auto it = string_globals_.find(s);
+    if (it != string_globals_.end()) return it->second;
+    llvm::Value* g = b_.CreateGlobalStringPtr(s);
+    string_globals_[s] = g;
+    return g;
+  }
+  llvm::Value* LoadAt(llvm::Type* ty, llvm::Value* addr_i64) {
+    return b_.CreateLoad(ty, b_.CreateIntToPtr(addr_i64, ty->getPointerTo()));
+  }
+  static std::string Key(const std::string& var, const FieldPath& path) {
+    return path.empty() ? var : var + "." + DottedPath(path);
+  }
+
+  /// Emits a canonical counted loop [0, n); `body(i)` runs per iteration.
+  Status EmitCountedLoop(llvm::Value* n, const std::function<Status(llvm::Value*)>& body);
+
+  ExecContext ectx_;
+  QueryRuntime* rt_;
+  std::unique_ptr<llvm::LLVMContext> llctx_;
+  std::unique_ptr<llvm::Module> module_;
+  llvm::IRBuilder<> b_;
+  llvm::Function* fn_ = nullptr;
+  llvm::Value* rt_arg_ = nullptr;
+
+  std::unordered_map<std::string, CgValue> bindings_;       // virtual buffers
+  std::unordered_map<std::string, llvm::Value*> oids_;      // var -> current oid (i64)
+  std::unordered_map<std::string, ScanSource> sources_;     // var -> data source
+  std::unordered_map<std::string, TypePtr> var_types_;      // var -> record type
+  std::unordered_map<std::string, std::vector<FieldPath>> needed_;  // var -> used paths
+  std::unordered_map<const Operator*, uint32_t> join_ids_;
+  std::unordered_map<const Operator*, uint32_t> group_ids_;
+  std::unordered_map<const Operator*, uint32_t> unnest_ids_;
+  std::unordered_map<std::string, llvm::Value*> string_globals_;
+  std::vector<std::string> result_columns_;
+};
+
+// ---------------------------------------------------------------------------
+// Preparation: validate support, open plugins, register runtime tables
+// ---------------------------------------------------------------------------
+
+void CollectExprPaths(const ExprPtr& e,
+                      std::unordered_map<std::string, std::vector<FieldPath>>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == ExprKind::kProj) {
+    FieldPath path;
+    const Expr* cur = e.get();
+    while (cur->kind() == ExprKind::kProj) {
+      path.insert(path.begin(), cur->field());
+      cur = cur->child(0).get();
+    }
+    if (cur->kind() == ExprKind::kVarRef) {
+      (*out)[cur->var_name()].push_back(path);
+      return;
+    }
+  }
+  if (e->kind() == ExprKind::kVarRef) {
+    (*out)[e->var_name()].push_back({});
+    return;
+  }
+  for (const auto& c : e->children()) CollectExprPaths(c, out);
+}
+
+Status Codegen::CheckSupported(const OpPtr& op) const {
+  switch (op->kind()) {
+    case OpKind::kJoin:
+      if (op->outer()) return Status::Unimplemented("jit: outer join");
+      if (!op->left_key()) return Status::Unimplemented("jit: non-equi join");
+      break;
+    case OpKind::kUnnest:
+      if (op->outer()) return Status::Unimplemented("jit: outer unnest");
+      break;
+    case OpKind::kNest:
+      for (const auto& o : op->outputs()) {
+        if (IsCollectionMonoid(o.monoid) || o.monoid == Monoid::kAnd ||
+            o.monoid == Monoid::kOr) {
+          return Status::Unimplemented("jit: nest with collection/boolean monoid");
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  for (const auto& c : op->children()) PROTEUS_RETURN_NOT_OK(CheckSupported(c));
+  return Status::OK();
+}
+
+Result<TypePtr> Codegen::VarType(const std::string& var) const {
+  auto it = var_types_.find(var);
+  if (it == var_types_.end()) return Status::Unimplemented("jit: unknown variable " + var);
+  return it->second;
+}
+
+Result<TypeKind> Codegen::LeafKind(const std::string& var, const FieldPath& path) const {
+  PROTEUS_ASSIGN_OR_RETURN(TypePtr t, VarType(var));
+  for (const auto& f : path) {
+    if (t->kind() != TypeKind::kRecord) return Status::Unimplemented("jit: path into non-record");
+    PROTEUS_ASSIGN_OR_RETURN(t, t->FieldType(f));
+  }
+  if (!t->is_primitive()) return Status::Unimplemented("jit: non-primitive leaf " + Key(var, path));
+  return t->kind() == TypeKind::kDate ? TypeKind::kInt64 : t->kind();
+}
+
+Status Codegen::Prepare(const OpPtr& op) {
+  // Gather expression paths used anywhere.
+  CollectExprPaths(op->pred(), &needed_);
+  CollectExprPaths(op->group_by(), &needed_);
+  CollectExprPaths(op->left_key(), &needed_);
+  CollectExprPaths(op->right_key(), &needed_);
+  for (const auto& o : op->outputs()) CollectExprPaths(o.expr, &needed_);
+
+  switch (op->kind()) {
+    case OpKind::kScan: {
+      PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ectx_.catalog->Get(op->dataset()));
+      PROTEUS_ASSIGN_OR_RETURN(InputPlugin * plugin,
+                               ectx_.plugins->GetOrOpen(*info, ectx_.stats));
+      sources_[op->binding()] = {info->format, plugin, nullptr};
+      var_types_[op->binding()] = info->type->elem();
+      break;
+    }
+    case OpKind::kCacheScan: {
+      if (ectx_.caches == nullptr) return Status::Internal("jit: cache scan w/o manager");
+      const CacheBlock* blk = ectx_.caches->FindById(op->cache_id());
+      if (blk == nullptr) return Status::NotFound("jit: cache block evicted");
+      ScanSource src{DataFormat::kCacheBlock, nullptr, blk};
+      if (!op->dataset().empty()) {
+        PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ectx_.catalog->Get(op->dataset()));
+        PROTEUS_ASSIGN_OR_RETURN(src.plugin, ectx_.plugins->GetOrOpen(*info, ectx_.stats));
+        var_types_[op->binding()] = info->type->elem();
+      }
+      sources_[op->binding()] = src;
+      break;
+    }
+    case OpKind::kUnnest: {
+      PROTEUS_RETURN_NOT_OK(Prepare(op->child(0)));
+      const FieldPath& p = op->unnest_path();
+      PROTEUS_ASSIGN_OR_RETURN(TypePtr src_t, VarType(p[0]));
+      TypePtr t = src_t;
+      for (size_t i = 1; i < p.size(); ++i) {
+        PROTEUS_ASSIGN_OR_RETURN(t, t->FieldType(p[i]));
+      }
+      if (t->kind() != TypeKind::kCollection) {
+        return Status::TypeError("jit: unnest path is not a collection");
+      }
+      var_types_[op->binding()] = t->elem();
+      unnest_ids_[op.get()] = rt_->AddUnnest();
+      return Status::OK();
+    }
+    case OpKind::kJoin: {
+      PROTEUS_RETURN_NOT_OK(Prepare(op->child(0)));
+      PROTEUS_RETURN_NOT_OK(Prepare(op->child(1)));
+      // Join table registered in EmitJoin once payload width is known.
+      return Status::OK();
+    }
+    default:
+      for (const auto& c : op->children()) PROTEUS_RETURN_NOT_OK(Prepare(c));
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Helper function declarations
+// ---------------------------------------------------------------------------
+
+llvm::Function* Codegen::Helper(const char* name, llvm::Type* ret,
+                                std::vector<llvm::Type*> args) {
+  if (auto* f = module_->getFunction(name)) return f;
+  auto* fty = llvm::FunctionType::get(ret, args, false);
+  return llvm::Function::Create(fty, llvm::Function::ExternalLinkage, name, module_.get());
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Result<CgValue> Codegen::EmitExpr(const ExprPtr& e) {
+  switch (e->kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = e->literal();
+      if (v.is_int()) return CgValue{TypeKind::kInt64, b_.getInt64(v.i())};
+      if (v.is_float())
+        return CgValue{TypeKind::kFloat64, llvm::ConstantFP::get(b_.getDoubleTy(), v.f())};
+      if (v.is_bool()) return CgValue{TypeKind::kBool, b_.getInt1(v.b())};
+      if (v.is_string()) {
+        return CgValue{TypeKind::kString, GlobalString(v.s()),
+                       b_.getInt64(static_cast<int64_t>(v.s().size()))};
+      }
+      return Status::Unimplemented("jit: literal " + v.ToString());
+    }
+    case ExprKind::kVarRef:
+    case ExprKind::kProj: {
+      FieldPath path;
+      const Expr* cur = e.get();
+      while (cur->kind() == ExprKind::kProj) {
+        path.insert(path.begin(), cur->field());
+        cur = cur->child(0).get();
+      }
+      if (cur->kind() != ExprKind::kVarRef) {
+        return Status::Unimplemented("jit: projection over computed record");
+      }
+      auto it = bindings_.find(Key(cur->var_name(), path));
+      if (it == bindings_.end()) {
+        return Status::Unimplemented("jit: no virtual buffer for " +
+                                     Key(cur->var_name(), path));
+      }
+      return it->second;
+    }
+    case ExprKind::kBinary:
+      return EmitBinary(e);
+    case ExprKind::kUnary: {
+      PROTEUS_ASSIGN_OR_RETURN(CgValue c, EmitExpr(e->child(0)));
+      if (e->un_op() == UnOp::kNot) return CgValue{TypeKind::kBool, b_.CreateNot(c.v)};
+      if (c.kind == TypeKind::kFloat64) return CgValue{c.kind, b_.CreateFNeg(c.v)};
+      return CgValue{c.kind, b_.CreateNeg(c.v)};
+    }
+    case ExprKind::kIf: {
+      PROTEUS_ASSIGN_OR_RETURN(CgValue c, EmitExpr(e->child(0)));
+      PROTEUS_ASSIGN_OR_RETURN(CgValue t, EmitExpr(e->child(1)));
+      PROTEUS_ASSIGN_OR_RETURN(CgValue f, EmitExpr(e->child(2)));
+      if (t.kind != f.kind) {
+        if (t.kind == TypeKind::kInt64 && f.kind == TypeKind::kFloat64) {
+          t = CgValue{TypeKind::kFloat64, ToDouble(t)};
+        } else if (t.kind == TypeKind::kFloat64 && f.kind == TypeKind::kInt64) {
+          f = CgValue{TypeKind::kFloat64, ToDouble(f)};
+        } else {
+          return Status::Unimplemented("jit: if branches of mixed kinds");
+        }
+      }
+      CgValue out{t.kind, b_.CreateSelect(c.v, t.v, f.v)};
+      if (t.kind == TypeKind::kString) out.len = b_.CreateSelect(c.v, t.len, f.len);
+      return out;
+    }
+    case ExprKind::kCast: {
+      PROTEUS_ASSIGN_OR_RETURN(CgValue c, EmitExpr(e->child(0)));
+      if (e->cast_to()->kind() == TypeKind::kFloat64) {
+        return CgValue{TypeKind::kFloat64, ToDouble(c)};
+      }
+      if (c.kind == TypeKind::kFloat64) {
+        return CgValue{TypeKind::kInt64, b_.CreateFPToSI(c.v, b_.getInt64Ty())};
+      }
+      return c;
+    }
+    case ExprKind::kRecordCons:
+      return Status::Unimplemented("jit: record construction outside result emit");
+  }
+  return Status::Internal("jit: unreachable expr kind");
+}
+
+Result<CgValue> Codegen::EmitBinary(const ExprPtr& e) {
+  BinOp op = e->bin_op();
+  PROTEUS_ASSIGN_OR_RETURN(CgValue l, EmitExpr(e->child(0)));
+  PROTEUS_ASSIGN_OR_RETURN(CgValue r, EmitExpr(e->child(1)));
+
+  if (op == BinOp::kAnd) return CgValue{TypeKind::kBool, b_.CreateAnd(l.v, r.v)};
+  if (op == BinOp::kOr) return CgValue{TypeKind::kBool, b_.CreateOr(l.v, r.v)};
+
+  // String comparisons via runtime helpers.
+  if (l.kind == TypeKind::kString || r.kind == TypeKind::kString) {
+    if (l.kind != r.kind) return Status::TypeError("jit: string vs non-string comparison");
+    auto* i8p = b_.getInt8PtrTy();
+    auto* eqf = Helper("proteus_str_eq", b_.getInt32Ty(),
+                       {i8p, b_.getInt64Ty(), i8p, b_.getInt64Ty()});
+    auto* ltf = Helper("proteus_str_lt", b_.getInt32Ty(),
+                       {i8p, b_.getInt64Ty(), i8p, b_.getInt64Ty()});
+    auto call = [&](llvm::Function* f, llvm::Value* a, llvm::Value* alen, llvm::Value* c,
+                    llvm::Value* clen) {
+      return b_.CreateICmpNE(b_.CreateCall(f, {a, alen, c, clen}), b_.getInt32(0));
+    };
+    switch (op) {
+      case BinOp::kEq: return CgValue{TypeKind::kBool, call(eqf, l.v, l.len, r.v, r.len)};
+      case BinOp::kNe:
+        return CgValue{TypeKind::kBool,
+                       b_.CreateNot(call(eqf, l.v, l.len, r.v, r.len))};
+      case BinOp::kLt: return CgValue{TypeKind::kBool, call(ltf, l.v, l.len, r.v, r.len)};
+      case BinOp::kGt: return CgValue{TypeKind::kBool, call(ltf, r.v, r.len, l.v, l.len)};
+      case BinOp::kLe:
+        return CgValue{TypeKind::kBool, b_.CreateNot(call(ltf, r.v, r.len, l.v, l.len))};
+      case BinOp::kGe:
+        return CgValue{TypeKind::kBool, b_.CreateNot(call(ltf, l.v, l.len, r.v, r.len))};
+      default:
+        return Status::TypeError("jit: arithmetic on strings");
+    }
+  }
+
+  bool bools = l.kind == TypeKind::kBool && r.kind == TypeKind::kBool;
+  bool floats = l.kind == TypeKind::kFloat64 || r.kind == TypeKind::kFloat64;
+  switch (op) {
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul: {
+      if (floats) {
+        llvm::Value* a = ToDouble(l);
+        llvm::Value* c = ToDouble(r);
+        llvm::Value* v = op == BinOp::kAdd   ? b_.CreateFAdd(a, c)
+                         : op == BinOp::kSub ? b_.CreateFSub(a, c)
+                                             : b_.CreateFMul(a, c);
+        return CgValue{TypeKind::kFloat64, v};
+      }
+      llvm::Value* v = op == BinOp::kAdd   ? b_.CreateAdd(l.v, r.v)
+                       : op == BinOp::kSub ? b_.CreateSub(l.v, r.v)
+                                           : b_.CreateMul(l.v, r.v);
+      return CgValue{TypeKind::kInt64, v};
+    }
+    case BinOp::kDiv:
+      return CgValue{TypeKind::kFloat64, b_.CreateFDiv(ToDouble(l), ToDouble(r))};
+    case BinOp::kMod:
+      return CgValue{TypeKind::kInt64, b_.CreateSRem(l.v, r.v)};
+    default:
+      break;
+  }
+  // Comparisons.
+  llvm::Value* cmp;
+  if (floats) {
+    llvm::Value* a = ToDouble(l);
+    llvm::Value* c = ToDouble(r);
+    switch (op) {
+      case BinOp::kLt: cmp = b_.CreateFCmpOLT(a, c); break;
+      case BinOp::kLe: cmp = b_.CreateFCmpOLE(a, c); break;
+      case BinOp::kGt: cmp = b_.CreateFCmpOGT(a, c); break;
+      case BinOp::kGe: cmp = b_.CreateFCmpOGE(a, c); break;
+      case BinOp::kEq: cmp = b_.CreateFCmpOEQ(a, c); break;
+      default: cmp = b_.CreateFCmpONE(a, c); break;
+    }
+  } else if (bools) {
+    cmp = op == BinOp::kEq ? b_.CreateICmpEQ(l.v, r.v) : b_.CreateICmpNE(l.v, r.v);
+  } else {
+    switch (op) {
+      case BinOp::kLt: cmp = b_.CreateICmpSLT(l.v, r.v); break;
+      case BinOp::kLe: cmp = b_.CreateICmpSLE(l.v, r.v); break;
+      case BinOp::kGt: cmp = b_.CreateICmpSGT(l.v, r.v); break;
+      case BinOp::kGe: cmp = b_.CreateICmpSGE(l.v, r.v); break;
+      case BinOp::kEq: cmp = b_.CreateICmpEQ(l.v, r.v); break;
+      default: cmp = b_.CreateICmpNE(l.v, r.v); break;
+    }
+  }
+  return CgValue{TypeKind::kBool, cmp};
+}
+
+// ---------------------------------------------------------------------------
+// Control-flow scaffolding
+// ---------------------------------------------------------------------------
+
+Status Codegen::EmitCountedLoop(llvm::Value* n,
+                                const std::function<Status(llvm::Value*)>& body) {
+  llvm::Value* idx_ptr = b_.CreateAlloca(b_.getInt64Ty(), nullptr, "idx");
+  b_.CreateStore(b_.getInt64(0), idx_ptr);
+  auto* cond_bb = llvm::BasicBlock::Create(*llctx_, "loop.cond", fn_);
+  auto* body_bb = llvm::BasicBlock::Create(*llctx_, "loop.body", fn_);
+  auto* exit_bb = llvm::BasicBlock::Create(*llctx_, "loop.exit", fn_);
+  b_.CreateBr(cond_bb);
+  b_.SetInsertPoint(cond_bb);
+  llvm::Value* idx = b_.CreateLoad(b_.getInt64Ty(), idx_ptr);
+  b_.CreateCondBr(b_.CreateICmpULT(idx, n), body_bb, exit_bb);
+  b_.SetInsertPoint(body_bb);
+  PROTEUS_RETURN_NOT_OK(body(idx));
+  // Whatever block the body ended in continues to the increment.
+  llvm::Value* next = b_.CreateAdd(b_.CreateLoad(b_.getInt64Ty(), idx_ptr), b_.getInt64(1));
+  b_.CreateStore(next, idx_ptr);
+  b_.CreateBr(cond_bb);
+  b_.SetInsertPoint(exit_bb);
+  return Status::OK();
+}
+
+Status Codegen::EmitFilter(const ExprPtr& pred, const Consume& consume) {
+  if (!pred) return consume();
+  PROTEUS_ASSIGN_OR_RETURN(CgValue c, EmitExpr(pred));
+  auto* pass_bb = llvm::BasicBlock::Create(*llctx_, "sel.pass", fn_);
+  auto* merge_bb = llvm::BasicBlock::Create(*llctx_, "sel.merge", fn_);
+  b_.CreateCondBr(c.v, pass_bb, merge_bb);
+  b_.SetInsertPoint(pass_bb);
+  PROTEUS_RETURN_NOT_OK(consume());
+  b_.CreateBr(merge_bb);
+  b_.SetInsertPoint(merge_bb);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
+  const std::string& var = op->binding();
+  const ScanSource& src = sources_.at(var);
+  std::vector<FieldPath> fields = op->scan_fields();
+  if (fields.empty()) {
+    for (const auto& f : var_types_.at(var)->fields()) {
+      if (f.type->is_primitive()) fields.push_back({f.name});
+    }
+  }
+  uint64_t n = src.plugin->NumRecords();
+
+  return EmitCountedLoop(b_.getInt64(static_cast<int64_t>(n)), [&](llvm::Value* oid) -> Status {
+    oids_[var] = oid;
+    for (const auto& p : fields) {
+      auto lk = LeafKind(var, p);
+      if (!lk.ok()) continue;  // collections (unnest paths) are read lazily
+      TypeKind kind = *lk;
+      CgValue cv;
+      cv.kind = kind;
+      switch (src.format) {
+        case DataFormat::kBinaryColumn: {
+          auto* plugin = static_cast<BinColPlugin*>(src.plugin);
+          const BinColReader* r = plugin->reader();
+          int ci = r->ColumnIndex(p[0]);
+          if (ci < 0) return Status::Internal("jit: missing bincol column " + p[0]);
+          auto col = static_cast<uint32_t>(ci);
+          if (kind == TypeKind::kInt64) {
+            llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(r->IntColumn(col)));
+            cv.v = LoadAt(b_.getInt64Ty(),
+                          b_.CreateAdd(base, b_.CreateMul(oid, b_.getInt64(8))));
+          } else if (kind == TypeKind::kFloat64) {
+            llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(r->FloatColumn(col)));
+            cv.v = LoadAt(b_.getDoubleTy(),
+                          b_.CreateAdd(base, b_.CreateMul(oid, b_.getInt64(8))));
+          } else if (kind == TypeKind::kBool) {
+            llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(r->BoolColumn(col)));
+            llvm::Value* byte = LoadAt(b_.getInt8Ty(), b_.CreateAdd(base, oid));
+            cv.v = b_.CreateICmpNE(byte, b_.getInt8(0));
+          } else {  // string: offsets + data
+            llvm::Value* offs =
+                b_.getInt64(reinterpret_cast<uint64_t>(r->StringOffsets(col)));
+            llvm::Value* data = b_.getInt64(reinterpret_cast<uint64_t>(r->StringData(col)));
+            llvm::Value* o1 = LoadAt(b_.getInt64Ty(),
+                                     b_.CreateAdd(offs, b_.CreateMul(oid, b_.getInt64(8))));
+            llvm::Value* o2 = LoadAt(
+                b_.getInt64Ty(),
+                b_.CreateAdd(offs, b_.CreateMul(b_.CreateAdd(oid, b_.getInt64(1)),
+                                                b_.getInt64(8))));
+            cv.v = b_.CreateIntToPtr(b_.CreateAdd(data, o1), b_.getInt8PtrTy());
+            cv.len = b_.CreateSub(o2, o1);
+          }
+          break;
+        }
+        case DataFormat::kBinaryRow: {
+          auto* plugin = static_cast<BinRowPlugin*>(src.plugin);
+          const BinRowReader* r = plugin->reader();
+          int ci = r->ColumnIndex(p[0]);
+          if (ci < 0) return Status::Internal("jit: missing binrow column " + p[0]);
+          llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(r->rows_base()));
+          llvm::Value* addr = b_.CreateAdd(
+              base, b_.CreateAdd(b_.CreateMul(oid, b_.getInt64(r->row_width())),
+                                 b_.getInt64(8 * static_cast<uint64_t>(ci))));
+          if (kind == TypeKind::kInt64) {
+            cv.v = LoadAt(b_.getInt64Ty(), addr);
+          } else if (kind == TypeKind::kFloat64) {
+            cv.v = LoadAt(b_.getDoubleTy(), addr);
+          } else if (kind == TypeKind::kBool) {
+            cv.v = b_.CreateICmpNE(LoadAt(b_.getInt64Ty(), addr), b_.getInt64(0));
+          } else {  // packed (u32 off, u32 len) into the heap
+            llvm::Value* off = b_.CreateZExt(LoadAt(b_.getInt32Ty(), addr), b_.getInt64Ty());
+            llvm::Value* len = b_.CreateZExt(
+                LoadAt(b_.getInt32Ty(), b_.CreateAdd(addr, b_.getInt64(4))), b_.getInt64Ty());
+            llvm::Value* heap = b_.getInt64(reinterpret_cast<uint64_t>(r->heap_base()));
+            cv.v = b_.CreateIntToPtr(b_.CreateAdd(heap, off), b_.getInt8PtrTy());
+            cv.len = len;
+          }
+          break;
+        }
+        case DataFormat::kCSV: {
+          auto* plugin = static_cast<CsvPlugin*>(src.plugin);
+          int ci = plugin->ColumnIndex(p[0]);
+          if (ci < 0) return Status::Internal("jit: missing csv column " + p[0]);
+          llvm::Value* pp = ConstPtr(plugin);
+          llvm::Value* col = b_.getInt32(static_cast<uint32_t>(ci));
+          auto* i8p = b_.getInt8PtrTy();
+          if (kind == TypeKind::kInt64) {
+            cv.v = b_.CreateCall(Helper("proteus_csv_int", b_.getInt64Ty(),
+                                        {i8p, b_.getInt64Ty(), b_.getInt32Ty()}),
+                                 {pp, oid, col});
+          } else if (kind == TypeKind::kFloat64) {
+            cv.v = b_.CreateCall(Helper("proteus_csv_double", b_.getDoubleTy(),
+                                        {i8p, b_.getInt64Ty(), b_.getInt32Ty()}),
+                                 {pp, oid, col});
+          } else if (kind == TypeKind::kBool) {
+            llvm::Value* i = b_.CreateCall(Helper("proteus_csv_int", b_.getInt64Ty(),
+                                                  {i8p, b_.getInt64Ty(), b_.getInt32Ty()}),
+                                           {pp, oid, col});
+            cv.v = b_.CreateICmpNE(i, b_.getInt64(0));
+          } else {
+            llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+            cv.v = b_.CreateCall(
+                Helper("proteus_csv_str", i8p,
+                       {i8p, b_.getInt64Ty(), b_.getInt32Ty(), b_.getInt64Ty()->getPointerTo()}),
+                {pp, oid, col, len_ptr});
+            cv.len = b_.CreateLoad(b_.getInt64Ty(), len_ptr);
+          }
+          break;
+        }
+        case DataFormat::kJSON: {
+          llvm::Value* pp = ConstPtr(src.plugin);
+          llvm::Value* h = b_.getInt64(HashString(DottedPath(p)));
+          auto* i8p = b_.getInt8PtrTy();
+          if (kind == TypeKind::kInt64) {
+            cv.v = b_.CreateCall(Helper("proteus_json_int", b_.getInt64Ty(),
+                                        {i8p, b_.getInt64Ty(), b_.getInt64Ty()}),
+                                 {pp, oid, h});
+          } else if (kind == TypeKind::kFloat64) {
+            cv.v = b_.CreateCall(Helper("proteus_json_double", b_.getDoubleTy(),
+                                        {i8p, b_.getInt64Ty(), b_.getInt64Ty()}),
+                                 {pp, oid, h});
+          } else if (kind == TypeKind::kBool) {
+            llvm::Value* i = b_.CreateCall(Helper("proteus_json_bool", b_.getInt64Ty(),
+                                                  {i8p, b_.getInt64Ty(), b_.getInt64Ty()}),
+                                           {pp, oid, h});
+            cv.v = b_.CreateICmpNE(i, b_.getInt64(0));
+          } else {
+            llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+            cv.v = b_.CreateCall(
+                Helper("proteus_json_str", i8p,
+                       {i8p, b_.getInt64Ty(), b_.getInt64Ty(), b_.getInt64Ty()->getPointerTo()}),
+                {pp, oid, h, len_ptr});
+            cv.len = b_.CreateLoad(b_.getInt64Ty(), len_ptr);
+          }
+          break;
+        }
+        case DataFormat::kCacheBlock:
+          return Status::Internal("jit: cache scans take the EmitCacheScan path");
+      }
+      bindings_[Key(var, p)] = cv;
+    }
+    return consume();
+  });
+}
+
+Status Codegen::EmitCacheScan(const OpPtr& op, const Consume& consume) {
+  const std::string& var = op->binding();
+  const ScanSource& src = sources_.at(var);
+  const CacheBlock* blk = src.cache;
+
+  std::vector<FieldPath> fields = op->scan_fields();
+  if (fields.empty()) {
+    for (const auto& c : blk->cols) {
+      if (c.path != FieldPath{"$oid"}) fields.push_back(c.path);
+    }
+  }
+  const CacheColumn* oid_col = blk->Find(var, {"$oid"});
+
+  return EmitCountedLoop(
+      b_.getInt64(static_cast<int64_t>(blk->num_rows)), [&](llvm::Value* row) -> Status {
+        if (oid_col != nullptr) {
+          // Expose the raw OID: the Unnest operator and hybrid string reads
+          // address the original file through it.
+          llvm::Value* oid_base =
+              b_.getInt64(reinterpret_cast<uint64_t>(oid_col->ints.data()));
+          oids_[var] = LoadAt(b_.getInt64Ty(),
+                              b_.CreateAdd(oid_base, b_.CreateMul(row, b_.getInt64(8))));
+        }
+        for (const auto& p : fields) {
+          const CacheColumn* c = blk->Find(var, p);
+          CgValue cv;
+          if (c != nullptr && c->type != TypeKind::kString) {
+            if (c->type == TypeKind::kFloat64) {
+              llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(c->floats.data()));
+              cv.kind = TypeKind::kFloat64;
+              cv.v = LoadAt(b_.getDoubleTy(),
+                            b_.CreateAdd(base, b_.CreateMul(row, b_.getInt64(8))));
+            } else {
+              llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(c->ints.data()));
+              llvm::Value* raw = LoadAt(b_.getInt64Ty(),
+                                        b_.CreateAdd(base, b_.CreateMul(row, b_.getInt64(8))));
+              if (c->type == TypeKind::kBool) {
+                cv.kind = TypeKind::kBool;
+                cv.v = b_.CreateICmpNE(raw, b_.getInt64(0));
+              } else {
+                cv.kind = TypeKind::kInt64;
+                cv.v = raw;
+              }
+            }
+          } else if (src.plugin != nullptr && oid_col != nullptr) {
+            // Hybrid raw access by OID (e.g. uncached string field).
+            auto lk = LeafKind(var, p);
+            if (!lk.ok()) continue;  // collection field: unnest reads it lazily
+            TypeKind kind = *lk;
+            llvm::Value* oid_base = b_.getInt64(reinterpret_cast<uint64_t>(oid_col->ints.data()));
+            llvm::Value* oid = LoadAt(b_.getInt64Ty(),
+                                      b_.CreateAdd(oid_base, b_.CreateMul(row, b_.getInt64(8))));
+            llvm::Value* pp = ConstPtr(src.plugin);
+            auto* i8p = b_.getInt8PtrTy();
+            const DatasetInfo& info = src.plugin->info();
+            if (info.format == DataFormat::kJSON) {
+              llvm::Value* h = b_.getInt64(HashString(DottedPath(p)));
+              if (kind == TypeKind::kString) {
+                llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+                cv.kind = TypeKind::kString;
+                cv.v = b_.CreateCall(Helper("proteus_json_str", i8p,
+                                            {i8p, b_.getInt64Ty(), b_.getInt64Ty(),
+                                             b_.getInt64Ty()->getPointerTo()}),
+                                     {pp, oid, h, len_ptr});
+                cv.len = b_.CreateLoad(b_.getInt64Ty(), len_ptr);
+              } else if (kind == TypeKind::kFloat64) {
+                cv.kind = kind;
+                cv.v = b_.CreateCall(Helper("proteus_json_double", b_.getDoubleTy(),
+                                            {i8p, b_.getInt64Ty(), b_.getInt64Ty()}),
+                                     {pp, oid, b_.getInt64(HashString(DottedPath(p)))});
+              } else {
+                cv.kind = TypeKind::kInt64;
+                cv.v = b_.CreateCall(Helper("proteus_json_int", b_.getInt64Ty(),
+                                            {i8p, b_.getInt64Ty(), b_.getInt64Ty()}),
+                                     {pp, oid, h});
+              }
+            } else if (info.format == DataFormat::kCSV) {
+              auto* csv = static_cast<CsvPlugin*>(src.plugin);
+              int ci = csv->ColumnIndex(p[0]);
+              if (ci < 0) return Status::Internal("jit: missing csv column " + p[0]);
+              llvm::Value* col = b_.getInt32(static_cast<uint32_t>(ci));
+              if (kind == TypeKind::kString) {
+                llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+                cv.kind = TypeKind::kString;
+                cv.v = b_.CreateCall(Helper("proteus_csv_str", i8p,
+                                            {i8p, b_.getInt64Ty(), b_.getInt32Ty(),
+                                             b_.getInt64Ty()->getPointerTo()}),
+                                     {pp, oid, col, len_ptr});
+                cv.len = b_.CreateLoad(b_.getInt64Ty(), len_ptr);
+              } else if (kind == TypeKind::kFloat64) {
+                cv.kind = kind;
+                cv.v = b_.CreateCall(Helper("proteus_csv_double", b_.getDoubleTy(),
+                                            {i8p, b_.getInt64Ty(), b_.getInt32Ty()}),
+                                     {pp, oid, col});
+              } else {
+                cv.kind = TypeKind::kInt64;
+                cv.v = b_.CreateCall(Helper("proteus_csv_int", b_.getInt64Ty(),
+                                            {i8p, b_.getInt64Ty(), b_.getInt32Ty()}),
+                                     {pp, oid, col});
+              }
+            } else {
+              return Status::Unimplemented("jit: hybrid cache read from binary source");
+            }
+          } else {
+            return Status::Unimplemented("jit: cache miss for field " + Key(var, p));
+          }
+          bindings_[Key(var, p)] = cv;
+        }
+        return consume();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Unnest
+// ---------------------------------------------------------------------------
+
+Status Codegen::EmitUnnest(const OpPtr& op, const Consume& consume) {
+  const FieldPath& p = op->unnest_path();
+  const std::string& src_var = p[0];
+  const std::string& elem_var = op->binding();
+  uint32_t slot = unnest_ids_.at(op.get());
+
+  return EmitProduce(op->child(0), [&]() -> Status {
+    // The source may be a raw JSON scan or a cache scan over a JSON dataset
+    // (the cached OID addresses the original file's structural index).
+    auto src_it = sources_.find(src_var);
+    if (src_it == sources_.end() || src_it->second.plugin == nullptr ||
+        src_it->second.plugin->info().format != DataFormat::kJSON) {
+      return Status::Unimplemented("jit: unnest source must be a JSON scan");
+    }
+    auto oid_it = oids_.find(src_var);
+    if (oid_it == oids_.end()) return Status::Unimplemented("jit: unnest without OID");
+    llvm::Value* pp = ConstPtr(src_it->second.plugin);
+    llvm::Value* oid = oid_it->second;
+    FieldPath rel(p.begin() + 1, p.end());
+    llvm::Value* h = b_.getInt64(HashString(DottedPath(rel)));
+    auto* i8p = b_.getInt8PtrTy();
+    auto* voidty = b_.getVoidTy();
+    llvm::Value* slot_v = b_.getInt32(slot);
+
+    b_.CreateCall(Helper("proteus_unnest_init", voidty,
+                         {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty(), b_.getInt64Ty()}),
+                  {RtPtr(), slot_v, pp, oid, h});
+
+    auto* cond_bb = llvm::BasicBlock::Create(*llctx_, "unnest.cond", fn_);
+    auto* body_bb = llvm::BasicBlock::Create(*llctx_, "unnest.body", fn_);
+    auto* exit_bb = llvm::BasicBlock::Create(*llctx_, "unnest.exit", fn_);
+    b_.CreateBr(cond_bb);
+    b_.SetInsertPoint(cond_bb);
+    llvm::Value* has =
+        b_.CreateCall(Helper("proteus_unnest_has_next", b_.getInt32Ty(), {i8p, b_.getInt32Ty()}),
+                      {RtPtr(), slot_v});
+    b_.CreateCondBr(b_.CreateICmpNE(has, b_.getInt32(0)), body_bb, exit_bb);
+    b_.SetInsertPoint(body_bb);
+
+    // Bind the element fields used above.
+    TypePtr elem_t = var_types_.at(elem_var);
+    auto needed_it = needed_.find(elem_var);
+    std::vector<FieldPath> paths =
+        needed_it == needed_.end() ? std::vector<FieldPath>{} : needed_it->second;
+    for (const auto& ep : paths) {
+      if (ep.size() > 1) return Status::Unimplemented("jit: deep path inside array element");
+      CgValue cv;
+      TypeKind kind;
+      llvm::Value* name;
+      llvm::Value* name_len;
+      if (ep.empty()) {
+        if (!elem_t->is_primitive()) {
+          return Status::Unimplemented("jit: whole-record element use");
+        }
+        kind = elem_t->kind() == TypeKind::kDate ? TypeKind::kInt64 : elem_t->kind();
+        name = GlobalString("");
+        name_len = b_.getInt64(0);
+      } else {
+        PROTEUS_ASSIGN_OR_RETURN(kind, LeafKind(elem_var, ep));
+        name = GlobalString(ep[0]);
+        name_len = b_.getInt64(static_cast<int64_t>(ep[0].size()));
+      }
+      cv.kind = kind;
+      if (kind == TypeKind::kInt64) {
+        cv.v = b_.CreateCall(Helper("proteus_unnest_elem_int", b_.getInt64Ty(),
+                                    {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty()}),
+                             {RtPtr(), slot_v, name, name_len});
+      } else if (kind == TypeKind::kFloat64) {
+        cv.v = b_.CreateCall(Helper("proteus_unnest_elem_double", b_.getDoubleTy(),
+                                    {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty()}),
+                             {RtPtr(), slot_v, name, name_len});
+      } else if (kind == TypeKind::kBool) {
+        llvm::Value* i = b_.CreateCall(Helper("proteus_unnest_elem_int", b_.getInt64Ty(),
+                                              {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty()}),
+                                       {RtPtr(), slot_v, name, name_len});
+        cv.v = b_.CreateICmpNE(i, b_.getInt64(0));
+      } else {
+        llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+        cv.v = b_.CreateCall(Helper("proteus_unnest_elem_str", i8p,
+                                    {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty(),
+                                     b_.getInt64Ty()->getPointerTo()}),
+                             {RtPtr(), slot_v, name, name_len, len_ptr});
+        cv.len = b_.CreateLoad(b_.getInt64Ty(), len_ptr);
+      }
+      bindings_[Key(elem_var, ep)] = cv;
+    }
+
+    PROTEUS_RETURN_NOT_OK(EmitFilter(op->pred(), consume));
+
+    b_.CreateCall(Helper("proteus_unnest_advance", voidty, {i8p, b_.getInt32Ty()}),
+                  {RtPtr(), slot_v});
+    b_.CreateBr(cond_bb);
+    b_.SetInsertPoint(exit_bb);
+    return Status::OK();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Join
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Lists (var, path, kind) of every binding the build side provides that the
+/// plan needs above the join: those become the packed payload.
+struct PayloadField {
+  std::string var;
+  FieldPath path;
+  TypeKind kind;
+  uint32_t slot;  // first slot index; strings take two
+};
+
+}  // namespace
+
+Status Codegen::EmitJoin(const OpPtr& op, const Consume& consume) {
+  // Determine the build-side payload: all needed paths of build-side vars.
+  std::vector<std::string> build_vars;
+  CollectBoundVars(op->child(0), &build_vars);
+  std::vector<PayloadField> payload;
+  uint32_t slots = 0;
+  for (const auto& var : build_vars) {
+    auto it = needed_.find(var);
+    if (it == needed_.end()) continue;
+    // Dedup paths.
+    std::vector<FieldPath> uniq = it->second;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    for (const auto& path : uniq) {
+      if (path.empty()) return Status::Unimplemented("jit: whole-record join payload");
+      PROTEUS_ASSIGN_OR_RETURN(TypeKind kind, LeafKind(var, path));
+      payload.push_back({var, path, kind, slots});
+      slots += (kind == TypeKind::kString) ? 2 : 1;
+    }
+  }
+  if (slots == 0) slots = 1;  // keep payload pointers distinguishable from null
+  uint32_t table = rt_->AddJoin(slots);
+  auto* i8p = b_.getInt8PtrTy();
+  auto* i64p = b_.getInt64Ty()->getPointerTo();
+  llvm::Value* table_v = b_.getInt32(table);
+
+  // ---- build pipeline ----
+  llvm::Value* pay_buf = b_.CreateAlloca(b_.getInt64Ty(), b_.getInt32(slots), "payload");
+  PROTEUS_RETURN_NOT_OK(EmitProduce(op->child(0), [&]() -> Status {
+    PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op->left_key()));
+    if (key.kind == TypeKind::kFloat64 || key.kind == TypeKind::kString) {
+      return Status::Unimplemented("jit: non-integer join key");
+    }
+    for (const auto& f : payload) {
+      const CgValue& cv = bindings_.at(Key(f.var, f.path));
+      llvm::Value* slot_ptr = b_.CreateGEP(b_.getInt64Ty(), pay_buf, b_.getInt32(f.slot));
+      if (f.kind == TypeKind::kFloat64) {
+        b_.CreateStore(b_.CreateBitCast(cv.v, b_.getInt64Ty()), slot_ptr);
+      } else if (f.kind == TypeKind::kString) {
+        b_.CreateStore(b_.CreatePtrToInt(cv.v, b_.getInt64Ty()), slot_ptr);
+        llvm::Value* slot2 = b_.CreateGEP(b_.getInt64Ty(), pay_buf, b_.getInt32(f.slot + 1));
+        b_.CreateStore(cv.len, slot2);
+      } else if (f.kind == TypeKind::kBool) {
+        b_.CreateStore(b_.CreateZExt(cv.v, b_.getInt64Ty()), slot_ptr);
+      } else {
+        b_.CreateStore(cv.v, slot_ptr);
+      }
+    }
+    b_.CreateCall(Helper("proteus_join_insert", b_.getVoidTy(),
+                         {i8p, b_.getInt32Ty(), b_.getInt64Ty(), i64p}),
+                  {RtPtr(), table_v, key.v, pay_buf});
+    return Status::OK();
+  }));
+
+  b_.CreateCall(Helper("proteus_join_build", b_.getVoidTy(), {i8p, b_.getInt32Ty()}),
+                {RtPtr(), table_v});
+
+  // ---- probe pipeline ----
+  return EmitProduce(op->child(1), [&]() -> Status {
+    PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op->right_key()));
+    llvm::Value* first = b_.CreateCall(
+        Helper("proteus_join_probe_first", i64p, {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
+        {RtPtr(), table_v, key.v});
+
+    llvm::Value* match_ptr = b_.CreateAlloca(i64p, nullptr, "match");
+    b_.CreateStore(first, match_ptr);
+    auto* cond_bb = llvm::BasicBlock::Create(*llctx_, "probe.cond", fn_);
+    auto* body_bb = llvm::BasicBlock::Create(*llctx_, "probe.body", fn_);
+    auto* exit_bb = llvm::BasicBlock::Create(*llctx_, "probe.exit", fn_);
+    b_.CreateBr(cond_bb);
+    b_.SetInsertPoint(cond_bb);
+    llvm::Value* cur = b_.CreateLoad(i64p, match_ptr);
+    b_.CreateCondBr(b_.CreateIsNotNull(cur), body_bb, exit_bb);
+    b_.SetInsertPoint(body_bb);
+
+    // Rebind build-side virtual buffers from the payload row.
+    for (const auto& f : payload) {
+      CgValue cv;
+      cv.kind = f.kind;
+      llvm::Value* slot_ptr = b_.CreateGEP(b_.getInt64Ty(), cur, b_.getInt32(f.slot));
+      llvm::Value* raw = b_.CreateLoad(b_.getInt64Ty(), slot_ptr);
+      if (f.kind == TypeKind::kFloat64) {
+        cv.v = b_.CreateBitCast(raw, b_.getDoubleTy());
+      } else if (f.kind == TypeKind::kString) {
+        cv.v = b_.CreateIntToPtr(raw, i8p);
+        llvm::Value* slot2 = b_.CreateGEP(b_.getInt64Ty(), cur, b_.getInt32(f.slot + 1));
+        cv.len = b_.CreateLoad(b_.getInt64Ty(), slot2);
+      } else if (f.kind == TypeKind::kBool) {
+        cv.v = b_.CreateICmpNE(raw, b_.getInt64(0));
+      } else {
+        cv.v = raw;
+      }
+      bindings_[Key(f.var, f.path)] = cv;
+    }
+
+    // Residual predicate (the equi-conjunct re-evaluates to true).
+    PROTEUS_RETURN_NOT_OK(EmitFilter(op->pred(), consume));
+
+    llvm::Value* next =
+        b_.CreateCall(Helper("proteus_join_probe_next", i64p, {i8p, b_.getInt32Ty()}),
+                      {RtPtr(), table_v});
+    b_.CreateStore(next, match_ptr);
+    b_.CreateBr(cond_bb);
+    b_.SetInsertPoint(exit_bb);
+    return Status::OK();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Nest
+// ---------------------------------------------------------------------------
+
+Status Codegen::EmitNest(const OpPtr& op, const Consume& consume) {
+  // Agg slot layout + init values.
+  TypeEnv env;  // key/agg expr types were annotated by the optimizer
+  std::vector<TypeKind> slot_kinds;
+  std::vector<int64_t> init;
+  for (const auto& o : op->outputs()) {
+    TypeKind k = TypeKind::kInt64;
+    if (o.monoid != Monoid::kCount) {
+      if (!o.expr->type()) return Status::Internal("jit: un-typechecked nest output");
+      k = o.expr->type()->kind() == TypeKind::kFloat64 ? TypeKind::kFloat64 : TypeKind::kInt64;
+    }
+    slot_kinds.push_back(k);
+    int64_t zero = 0;
+    if (o.monoid == Monoid::kMax) {
+      if (k == TypeKind::kFloat64) {
+        double d = -std::numeric_limits<double>::infinity();
+        std::memcpy(&zero, &d, 8);
+      } else {
+        zero = std::numeric_limits<int64_t>::min();
+      }
+    } else if (o.monoid == Monoid::kMin) {
+      if (k == TypeKind::kFloat64) {
+        double d = std::numeric_limits<double>::infinity();
+        std::memcpy(&zero, &d, 8);
+      } else {
+        zero = std::numeric_limits<int64_t>::max();
+      }
+    }
+    init.push_back(zero);
+  }
+
+  if (!op->group_by()->type()) return Status::Internal("jit: un-typechecked group key");
+  TypeKind key_kind = op->group_by()->type()->kind();
+  bool string_keys = key_kind == TypeKind::kString;
+  if (key_kind == TypeKind::kFloat64) {
+    return Status::Unimplemented("jit: float group keys");
+  }
+  uint32_t table = rt_->AddGroup(string_keys, init);
+  auto* i8p = b_.getInt8PtrTy();
+  auto* i64p = b_.getInt64Ty()->getPointerTo();
+  llvm::Value* table_v = b_.getInt32(table);
+
+  // ---- aggregation pipeline ----
+  PROTEUS_RETURN_NOT_OK(EmitProduce(op->child(0), [&]() -> Status {
+    Consume update = [&]() -> Status {
+      PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op->group_by()));
+      llvm::Value* slots;
+      if (string_keys) {
+        slots = b_.CreateCall(Helper("proteus_group_upsert_str", i64p,
+                                     {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty()}),
+                              {RtPtr(), table_v, key.v, key.len});
+      } else {
+        llvm::Value* k64 = key.kind == TypeKind::kBool
+                               ? b_.CreateZExt(key.v, b_.getInt64Ty())
+                               : key.v;
+        slots = b_.CreateCall(Helper("proteus_group_upsert", i64p,
+                                     {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
+                              {RtPtr(), table_v, k64});
+      }
+      for (size_t i = 0; i < op->outputs().size(); ++i) {
+        const AggOutput& o = op->outputs()[i];
+        llvm::Value* slot_ptr = b_.CreateGEP(b_.getInt64Ty(), slots, b_.getInt32((uint32_t)i));
+        llvm::Value* raw = b_.CreateLoad(b_.getInt64Ty(), slot_ptr);
+        llvm::Value* updated;
+        if (o.monoid == Monoid::kCount) {
+          updated = b_.CreateAdd(raw, b_.getInt64(1));
+        } else {
+          PROTEUS_ASSIGN_OR_RETURN(CgValue v, EmitExpr(o.expr));
+          if (slot_kinds[i] == TypeKind::kFloat64) {
+            llvm::Value* acc = b_.CreateBitCast(raw, b_.getDoubleTy());
+            llvm::Value* x = ToDouble(v);
+            llvm::Value* res;
+            if (o.monoid == Monoid::kSum) {
+              res = b_.CreateFAdd(acc, x);
+            } else if (o.monoid == Monoid::kMax) {
+              res = b_.CreateSelect(b_.CreateFCmpOGT(x, acc), x, acc);
+            } else {
+              res = b_.CreateSelect(b_.CreateFCmpOLT(x, acc), x, acc);
+            }
+            updated = b_.CreateBitCast(res, b_.getInt64Ty());
+          } else {
+            llvm::Value* x = v.kind == TypeKind::kBool ? b_.CreateZExt(v.v, b_.getInt64Ty())
+                                                       : v.v;
+            if (o.monoid == Monoid::kSum) {
+              updated = b_.CreateAdd(raw, x);
+            } else if (o.monoid == Monoid::kMax) {
+              updated = b_.CreateSelect(b_.CreateICmpSGT(x, raw), x, raw);
+            } else {
+              updated = b_.CreateSelect(b_.CreateICmpSLT(x, raw), x, raw);
+            }
+          }
+        }
+        b_.CreateStore(updated, slot_ptr);
+      }
+      return Status::OK();
+    };
+    return EmitFilter(op->pred(), update);
+  }));
+
+  // ---- group emission pipeline ----
+  llvm::Value* count = b_.CreateCall(
+      Helper("proteus_group_count", b_.getInt64Ty(), {i8p, b_.getInt32Ty()}),
+      {RtPtr(), table_v});
+  std::string gvar = op->binding().empty() ? "$group" : op->binding();
+  return EmitCountedLoop(count, [&](llvm::Value* g) -> Status {
+    CgValue keyv;
+    if (string_keys) {
+      llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+      keyv.kind = TypeKind::kString;
+      keyv.v = b_.CreateCall(Helper("proteus_group_key_str", i8p,
+                                    {i8p, b_.getInt32Ty(), b_.getInt64Ty(),
+                                     b_.getInt64Ty()->getPointerTo()}),
+                             {RtPtr(), table_v, g, len_ptr});
+      keyv.len = b_.CreateLoad(b_.getInt64Ty(), len_ptr);
+    } else {
+      keyv.kind = key_kind == TypeKind::kBool ? TypeKind::kBool : TypeKind::kInt64;
+      llvm::Value* raw = b_.CreateCall(Helper("proteus_group_key", b_.getInt64Ty(),
+                                              {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
+                                       {RtPtr(), table_v, g});
+      keyv.v = key_kind == TypeKind::kBool ? b_.CreateICmpNE(raw, b_.getInt64(0)) : raw;
+    }
+    bindings_[Key(gvar, {op->group_name()})] = keyv;
+
+    llvm::Value* slots = b_.CreateCall(
+        Helper("proteus_group_slots", i64p, {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
+        {RtPtr(), table_v, g});
+    for (size_t i = 0; i < op->outputs().size(); ++i) {
+      const AggOutput& o = op->outputs()[i];
+      llvm::Value* raw = b_.CreateLoad(
+          b_.getInt64Ty(), b_.CreateGEP(b_.getInt64Ty(), slots, b_.getInt32((uint32_t)i)));
+      CgValue cv;
+      if (slot_kinds[i] == TypeKind::kFloat64) {
+        cv.kind = TypeKind::kFloat64;
+        cv.v = b_.CreateBitCast(raw, b_.getDoubleTy());
+      } else {
+        cv.kind = TypeKind::kInt64;
+        cv.v = raw;
+      }
+      bindings_[Key(gvar, {o.name})] = cv;
+    }
+    return consume();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch + root
+// ---------------------------------------------------------------------------
+
+Status Codegen::EmitProduce(const OpPtr& op, const Consume& consume) {
+  switch (op->kind()) {
+    case OpKind::kScan:
+      return EmitScan(op, consume);
+    case OpKind::kCacheScan:
+      return EmitCacheScan(op, consume);
+    case OpKind::kSelect:
+      return EmitProduce(op->child(0), [&]() { return EmitFilter(op->pred(), consume); });
+    case OpKind::kUnnest:
+      return EmitUnnest(op, consume);
+    case OpKind::kJoin:
+      return EmitJoin(op, consume);
+    case OpKind::kNest:
+      return EmitNest(op, consume);
+    case OpKind::kReduce:
+      return Status::Internal("jit: nested Reduce");
+  }
+  return Status::Internal("jit: unknown operator");
+}
+
+Status Codegen::EmitRoot(const OpPtr& reduce) {
+  const auto& outputs = reduce->outputs();
+  auto* i8p = b_.getInt8PtrTy();
+
+  bool is_bag = outputs.size() == 1 && IsCollectionMonoid(outputs[0].monoid);
+  if (is_bag && outputs[0].monoid == Monoid::kSet) {
+    // Set semantics require deduplication of boxed rows: interpreter path.
+    return Status::Unimplemented("jit: set monoid output");
+  }
+  if (is_bag) {
+    const ExprPtr& head = outputs[0].expr;
+    std::vector<ExprPtr> cols;
+    if (head->kind() == ExprKind::kRecordCons) {
+      result_columns_ = head->record_names();
+      cols = head->children();
+    } else {
+      result_columns_ = {outputs[0].name};
+      cols = {head};
+    }
+    auto emit_row = [&]() -> Status {
+      for (const auto& c : cols) {
+        PROTEUS_ASSIGN_OR_RETURN(CgValue v, EmitExpr(c));
+        if (v.kind == TypeKind::kInt64) {
+          b_.CreateCall(Helper("proteus_result_emit_int", b_.getVoidTy(), {i8p, b_.getInt64Ty()}),
+                        {RtPtr(), v.v});
+        } else if (v.kind == TypeKind::kFloat64) {
+          b_.CreateCall(
+              Helper("proteus_result_emit_double", b_.getVoidTy(), {i8p, b_.getDoubleTy()}),
+              {RtPtr(), v.v});
+        } else if (v.kind == TypeKind::kBool) {
+          b_.CreateCall(
+              Helper("proteus_result_emit_bool", b_.getVoidTy(), {i8p, b_.getInt32Ty()}),
+              {RtPtr(), b_.CreateZExt(v.v, b_.getInt32Ty())});
+        } else {
+          b_.CreateCall(Helper("proteus_result_emit_str", b_.getVoidTy(),
+                               {i8p, i8p, b_.getInt64Ty()}),
+                        {RtPtr(), v.v, v.len});
+        }
+      }
+      b_.CreateCall(Helper("proteus_result_end_row", b_.getVoidTy(), {i8p}), {RtPtr()});
+      return Status::OK();
+    };
+    return EmitProduce(reduce->child(0),
+                       [&]() { return EmitFilter(reduce->pred(), emit_row); });
+  }
+
+  // Scalar aggregates: accumulators live in allocas (promoted to registers).
+  struct Acc {
+    llvm::Value* ptr;
+    TypeKind kind;
+    Monoid monoid;
+  };
+  std::vector<Acc> accs;
+  for (const auto& o : outputs) {
+    if (IsCollectionMonoid(o.monoid)) {
+      return Status::Unimplemented("jit: mixed collection/aggregate outputs");
+    }
+    TypeKind k = TypeKind::kInt64;
+    if (o.monoid != Monoid::kCount) {
+      if (!o.expr->type()) return Status::Internal("jit: un-typechecked reduce output");
+      TypeKind ek = o.expr->type()->kind();
+      if (o.monoid == Monoid::kAnd || o.monoid == Monoid::kOr) {
+        k = TypeKind::kBool;
+      } else {
+        k = ek == TypeKind::kFloat64 ? TypeKind::kFloat64 : TypeKind::kInt64;
+      }
+    }
+    llvm::Type* ty = k == TypeKind::kFloat64 ? (llvm::Type*)b_.getDoubleTy()
+                     : k == TypeKind::kBool  ? (llvm::Type*)b_.getInt1Ty()
+                                             : (llvm::Type*)b_.getInt64Ty();
+    llvm::Value* ptr = b_.CreateAlloca(ty, nullptr, "acc");
+    llvm::Value* zero;
+    if (k == TypeKind::kFloat64) {
+      double d = 0;
+      if (o.monoid == Monoid::kMax) d = -std::numeric_limits<double>::infinity();
+      if (o.monoid == Monoid::kMin) d = std::numeric_limits<double>::infinity();
+      zero = llvm::ConstantFP::get(b_.getDoubleTy(), d);
+    } else if (k == TypeKind::kBool) {
+      zero = b_.getInt1(o.monoid == Monoid::kAnd);
+    } else {
+      int64_t z = 0;
+      if (o.monoid == Monoid::kMax) z = std::numeric_limits<int64_t>::min();
+      if (o.monoid == Monoid::kMin) z = std::numeric_limits<int64_t>::max();
+      zero = b_.getInt64(z);
+    }
+    b_.CreateStore(zero, ptr);
+    accs.push_back({ptr, k, o.monoid});
+    result_columns_.push_back(o.name);
+  }
+
+  auto update = [&]() -> Status {
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      const AggOutput& o = outputs[i];
+      const Acc& a = accs[i];
+      llvm::Type* ty = a.kind == TypeKind::kFloat64 ? (llvm::Type*)b_.getDoubleTy()
+                       : a.kind == TypeKind::kBool  ? (llvm::Type*)b_.getInt1Ty()
+                                                    : (llvm::Type*)b_.getInt64Ty();
+      llvm::Value* cur = b_.CreateLoad(ty, a.ptr);
+      llvm::Value* updated;
+      if (o.monoid == Monoid::kCount) {
+        updated = b_.CreateAdd(cur, b_.getInt64(1));
+      } else {
+        PROTEUS_ASSIGN_OR_RETURN(CgValue v, EmitExpr(o.expr));
+        if (a.kind == TypeKind::kFloat64) {
+          llvm::Value* x = ToDouble(v);
+          if (o.monoid == Monoid::kSum) {
+            updated = b_.CreateFAdd(cur, x);
+          } else if (o.monoid == Monoid::kMax) {
+            updated = b_.CreateSelect(b_.CreateFCmpOGT(x, cur), x, cur);
+          } else {
+            updated = b_.CreateSelect(b_.CreateFCmpOLT(x, cur), x, cur);
+          }
+        } else if (a.kind == TypeKind::kBool) {
+          updated = o.monoid == Monoid::kAnd ? b_.CreateAnd(cur, v.v) : b_.CreateOr(cur, v.v);
+        } else {
+          if (o.monoid == Monoid::kSum) {
+            updated = b_.CreateAdd(cur, v.v);
+          } else if (o.monoid == Monoid::kMax) {
+            updated = b_.CreateSelect(b_.CreateICmpSGT(v.v, cur), v.v, cur);
+          } else {
+            updated = b_.CreateSelect(b_.CreateICmpSLT(v.v, cur), v.v, cur);
+          }
+        }
+      }
+      b_.CreateStore(updated, a.ptr);
+    }
+    return Status::OK();
+  };
+
+  PROTEUS_RETURN_NOT_OK(EmitProduce(reduce->child(0),
+                                    [&]() { return EmitFilter(reduce->pred(), update); }));
+
+  // Emit the single result row.
+  for (const Acc& a : accs) {
+    if (a.kind == TypeKind::kFloat64) {
+      llvm::Value* v = b_.CreateLoad(b_.getDoubleTy(), a.ptr);
+      b_.CreateCall(Helper("proteus_result_emit_double", b_.getVoidTy(), {i8p, b_.getDoubleTy()}),
+                    {RtPtr(), v});
+    } else if (a.kind == TypeKind::kBool) {
+      llvm::Value* v = b_.CreateLoad(b_.getInt1Ty(), a.ptr);
+      b_.CreateCall(Helper("proteus_result_emit_bool", b_.getVoidTy(), {i8p, b_.getInt32Ty()}),
+                    {RtPtr(), b_.CreateZExt(v, b_.getInt32Ty())});
+    } else {
+      llvm::Value* v = b_.CreateLoad(b_.getInt64Ty(), a.ptr);
+      b_.CreateCall(Helper("proteus_result_emit_int", b_.getVoidTy(), {i8p, b_.getInt64Ty()}),
+                    {RtPtr(), v});
+    }
+  }
+  b_.CreateCall(Helper("proteus_result_end_row", b_.getVoidTy(), {i8p}), {RtPtr()});
+  return Status::OK();
+}
+
+Status Codegen::Compile(const OpPtr& plan) {
+  if (plan->kind() != OpKind::kReduce) {
+    return Status::InvalidArgument("jit: plan root must be Reduce");
+  }
+  PROTEUS_RETURN_NOT_OK(CheckSupported(plan));
+  PROTEUS_RETURN_NOT_OK(Prepare(plan));
+
+  auto* fty = llvm::FunctionType::get(b_.getVoidTy(), {b_.getInt8PtrTy()}, false);
+  fn_ = llvm::Function::Create(fty, llvm::Function::ExternalLinkage, "proteus_query",
+                               module_.get());
+  rt_arg_ = fn_->getArg(0);
+  auto* entry = llvm::BasicBlock::Create(*llctx_, "entry", fn_);
+  b_.SetInsertPoint(entry);
+
+  PROTEUS_RETURN_NOT_OK(EmitRoot(plan));
+  b_.CreateRetVoid();
+
+  std::string err;
+  llvm::raw_string_ostream os(err);
+  if (llvm::verifyModule(*module_, &os)) {
+    return Status::Internal("jit: invalid IR generated: " + os.str() +
+                            (std::getenv("PROTEUS_DUMP_BAD_IR") ? "\n" + DumpIR() : ""));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JitExecutor
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> JitExecutor::Execute(const OpPtr& plan) {
+  InitLLVMOnce();
+  auto t0 = std::chrono::steady_clock::now();
+
+  QueryRuntime rt;
+  Codegen cg(ctx_, &rt);
+  PROTEUS_RETURN_NOT_OK(cg.Compile(plan));
+  last_ir_ = cg.DumpIR();
+  std::vector<std::string> columns = cg.result_columns();
+
+  auto module = cg.TakeModule();
+  auto llctx = cg.TakeContext();
+
+  // Optimize: mem2reg + the standard O2 pipeline (promotes virtual buffers
+  // to registers, fuses the pipeline into tight loops).
+  {
+    llvm::PassBuilder pb;
+    llvm::LoopAnalysisManager lam;
+    llvm::FunctionAnalysisManager fam;
+    llvm::CGSCCAnalysisManager cam;
+    llvm::ModuleAnalysisManager mam;
+    pb.registerModuleAnalyses(mam);
+    pb.registerCGSCCAnalyses(cam);
+    pb.registerFunctionAnalyses(fam);
+    pb.registerLoopAnalyses(lam);
+    pb.crossRegisterProxies(lam, fam, cam, mam);
+    auto mpm = pb.buildPerModuleDefaultPipeline(llvm::OptimizationLevel::O2);
+    mpm.run(*module, mam);
+  }
+
+  auto jit_or = llvm::orc::LLJITBuilder().create();
+  if (!jit_or) {
+    return Status::Internal("jit: LLJIT creation failed: " +
+                            llvm::toString(jit_or.takeError()));
+  }
+  auto jit = std::move(*jit_or);
+
+  llvm::orc::SymbolMap symbols;
+  for (const auto& [name, addr] : jit::RuntimeSymbols()) {
+    symbols[jit->mangleAndIntern(name)] = llvm::JITEvaluatedSymbol(
+        llvm::pointerToJITTargetAddress(addr),
+        llvm::JITSymbolFlags::Exported | llvm::JITSymbolFlags::Callable);
+  }
+  if (auto err = jit->getMainJITDylib().define(llvm::orc::absoluteSymbols(symbols))) {
+    return Status::Internal("jit: symbol registration failed: " +
+                            llvm::toString(std::move(err)));
+  }
+  if (auto err = jit->addIRModule(
+          llvm::orc::ThreadSafeModule(std::move(module), std::move(llctx)))) {
+    return Status::Internal("jit: addIRModule failed: " + llvm::toString(std::move(err)));
+  }
+  auto sym = jit->lookup("proteus_query");
+  if (!sym) {
+    return Status::Internal("jit: lookup failed: " + llvm::toString(sym.takeError()));
+  }
+  last_compile_ms_ = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+  auto* entry = reinterpret_cast<void (*)(void*)>(sym->getAddress());
+  entry(&rt);
+  if (rt.failed) return Status::Internal("jit runtime: " + rt.error);
+
+  rt.result.columns = std::move(columns);
+  return std::move(rt.result);
+}
+
+}  // namespace proteus

@@ -1,0 +1,45 @@
+// The on-demand query engine (paper §5.1 "An Engine per Query").
+//
+// The JitExecutor traverses a physical plan once, post-order, and emits one
+// LLVM IR function for the whole query — scans become loops, selections
+// become branches, pipelined operators fuse into their parent's loop body,
+// and blocking operators (radix-join build, nest) split the function into
+// consecutive pipelines. Field values live in virtual buffers (allocas) that
+// LLVM's mem2reg promotes to CPU registers. The IR is optimized and compiled
+// to machine code by ORC LLJIT within milliseconds, then run.
+//
+// Plans using features outside the generated fast path (outer joins,
+// non-equi joins, collection monoids inside Nest, deep paths inside array
+// elements) return Unimplemented, and the QueryEngine facade transparently
+// falls back to the interpreter. The property suite asserts JIT ≡
+// interpreter on everything the JIT accepts.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/algebra/algebra.h"
+#include "src/engine/interp.h"
+#include "src/engine/result.h"
+
+namespace proteus {
+
+class JitExecutor {
+ public:
+  explicit JitExecutor(ExecContext ctx) : ctx_(ctx) {}
+
+  /// Compiles and runs `plan` (root must be Reduce).
+  Result<QueryResult> Execute(const OpPtr& plan);
+
+  /// Milliseconds spent generating + compiling IR for the last query.
+  double last_compile_ms() const { return last_compile_ms_; }
+  /// The LLVM IR of the last query (before optimization), for inspection.
+  const std::string& last_ir() const { return last_ir_; }
+
+ private:
+  ExecContext ctx_;
+  double last_compile_ms_ = 0;
+  std::string last_ir_;
+};
+
+}  // namespace proteus

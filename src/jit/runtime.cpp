@@ -1,0 +1,391 @@
+#include "src/jit/runtime.h"
+
+#include <charconv>
+#include <cstring>
+
+#include "src/common/hash.h"
+
+namespace proteus {
+namespace jit {
+
+std::vector<std::pair<std::string, void*>> RuntimeSymbols() {
+  return {
+      {"proteus_csv_int", reinterpret_cast<void*>(&proteus_csv_int)},
+      {"proteus_csv_double", reinterpret_cast<void*>(&proteus_csv_double)},
+      {"proteus_csv_str", reinterpret_cast<void*>(&proteus_csv_str)},
+      {"proteus_json_int", reinterpret_cast<void*>(&proteus_json_int)},
+      {"proteus_json_double", reinterpret_cast<void*>(&proteus_json_double)},
+      {"proteus_json_bool", reinterpret_cast<void*>(&proteus_json_bool)},
+      {"proteus_json_str", reinterpret_cast<void*>(&proteus_json_str)},
+      {"proteus_unnest_init", reinterpret_cast<void*>(&proteus_unnest_init)},
+      {"proteus_unnest_has_next", reinterpret_cast<void*>(&proteus_unnest_has_next)},
+      {"proteus_unnest_advance", reinterpret_cast<void*>(&proteus_unnest_advance)},
+      {"proteus_unnest_elem_int", reinterpret_cast<void*>(&proteus_unnest_elem_int)},
+      {"proteus_unnest_elem_double", reinterpret_cast<void*>(&proteus_unnest_elem_double)},
+      {"proteus_unnest_elem_str", reinterpret_cast<void*>(&proteus_unnest_elem_str)},
+      {"proteus_join_insert", reinterpret_cast<void*>(&proteus_join_insert)},
+      {"proteus_join_build", reinterpret_cast<void*>(&proteus_join_build)},
+      {"proteus_join_probe_first", reinterpret_cast<void*>(&proteus_join_probe_first)},
+      {"proteus_join_probe_next", reinterpret_cast<void*>(&proteus_join_probe_next)},
+      {"proteus_group_upsert", reinterpret_cast<void*>(&proteus_group_upsert)},
+      {"proteus_group_upsert_str", reinterpret_cast<void*>(&proteus_group_upsert_str)},
+      {"proteus_group_count", reinterpret_cast<void*>(&proteus_group_count)},
+      {"proteus_group_key", reinterpret_cast<void*>(&proteus_group_key)},
+      {"proteus_group_key_str", reinterpret_cast<void*>(&proteus_group_key_str)},
+      {"proteus_group_slots", reinterpret_cast<void*>(&proteus_group_slots)},
+      {"proteus_result_emit_int", reinterpret_cast<void*>(&proteus_result_emit_int)},
+      {"proteus_result_emit_double", reinterpret_cast<void*>(&proteus_result_emit_double)},
+      {"proteus_result_emit_bool", reinterpret_cast<void*>(&proteus_result_emit_bool)},
+      {"proteus_result_emit_str", reinterpret_cast<void*>(&proteus_result_emit_str)},
+      {"proteus_result_end_row", reinterpret_cast<void*>(&proteus_result_end_row)},
+      {"proteus_str_eq", reinterpret_cast<void*>(&proteus_str_eq)},
+      {"proteus_str_lt", reinterpret_cast<void*>(&proteus_str_lt)},
+  };
+}
+
+}  // namespace jit
+}  // namespace proteus
+
+// ---------------------------------------------------------------------------
+// Shared parsing helpers (file-local)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using proteus::CsvPlugin;
+using proteus::JsonPlugin;
+using proteus::JsonToken;
+using proteus::JsonTokenType;
+using proteus::jit::GroupTableRt;
+using proteus::jit::JoinTableRt;
+using proteus::jit::QueryRuntime;
+using proteus::jit::UnnestStateRt;
+
+QueryRuntime* RT(void* p) { return static_cast<QueryRuntime*>(p); }
+
+int64_t ParseIntSpan(const char* s, const char* e) {
+  int64_t v = 0;
+  std::from_chars(s, e, v);
+  return v;
+}
+
+double ParseDoubleSpan(const char* s, const char* e) {
+  double v = 0;
+  std::from_chars(s, e, v);
+  return v;
+}
+
+/// Finds the value span of `"name": value` among the top-level fields of a
+/// JSON object element ([s, e)). Returns false if absent.
+bool FindElemField(const char* s, const char* e, const char* name, int64_t name_len,
+                   const char** vs, const char** ve) {
+  const char* p = s;
+  if (p >= e || *p != '{') return false;
+  ++p;
+  while (p < e) {
+    while (p < e && (*p == ' ' || *p == ',' || *p == '\n' || *p == '\t')) ++p;
+    if (p >= e || *p == '}') return false;
+    if (*p != '"') return false;
+    const char* ns = ++p;
+    while (p < e && *p != '"') {
+      if (*p == '\\') ++p;
+      ++p;
+    }
+    const char* ne = p;
+    ++p;  // closing quote
+    while (p < e && (*p == ' ' || *p == ':')) ++p;
+    const char* val_start = p;
+    if (p < e && *p == '"') {
+      ++p;
+      while (p < e && *p != '"') {
+        if (*p == '\\') ++p;
+        ++p;
+      }
+      ++p;
+    } else if (p < e && (*p == '{' || *p == '[')) {
+      int depth = 0;
+      while (p < e) {
+        if (*p == '"') {
+          ++p;
+          while (p < e && *p != '"') {
+            if (*p == '\\') ++p;
+            ++p;
+          }
+          ++p;
+          continue;
+        }
+        if (*p == '{' || *p == '[') ++depth;
+        if (*p == '}' || *p == ']') {
+          --depth;
+          ++p;
+          if (depth == 0) break;
+          continue;
+        }
+        ++p;
+      }
+    } else {
+      while (p < e && *p != ',' && *p != '}') ++p;
+    }
+    if (static_cast<int64_t>(ne - ns) == name_len && std::memcmp(ns, name, name_len) == 0) {
+      *vs = val_start;
+      *ve = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+const JsonToken* JsonTok(const void* plugin, uint64_t oid, uint64_t path_hash) {
+  return static_cast<const JsonPlugin*>(plugin)->FindTokenByHash(oid, path_hash);
+}
+
+uint32_t GroupFind(GroupTableRt& g, uint64_t hash, int64_t ikey, const char* skey,
+                   int64_t slen) {
+  if (g.buckets.empty()) {
+    g.buckets.assign(1024, 0xFFFFFFFFu);
+    g.mask = 1023;
+  }
+  // Grow at 70% load.
+  auto count = static_cast<uint32_t>(g.string_keys ? g.skeys.size() : g.ikeys.size());
+  if (count * 10 > (g.mask + 1) * 7) {
+    uint32_t new_size = (g.mask + 1) * 2;
+    g.buckets.assign(new_size, 0xFFFFFFFFu);
+    g.mask = new_size - 1;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint64_t h = g.string_keys
+                       ? proteus::HashString(g.skeys[i])
+                       : proteus::HashMix64(static_cast<uint64_t>(g.ikeys[i]));
+      uint32_t b = static_cast<uint32_t>(h) & g.mask;
+      while (g.buckets[b] != 0xFFFFFFFFu) b = (b + 1) & g.mask;
+      g.buckets[b] = i;
+    }
+  }
+  uint32_t b = static_cast<uint32_t>(hash) & g.mask;
+  while (true) {
+    uint32_t idx = g.buckets[b];
+    if (idx == 0xFFFFFFFFu) {
+      // Insert new group.
+      uint32_t gi;
+      if (g.string_keys) {
+        gi = static_cast<uint32_t>(g.skeys.size());
+        g.skeys.emplace_back(skey, static_cast<size_t>(slen));
+      } else {
+        gi = static_cast<uint32_t>(g.ikeys.size());
+        g.ikeys.push_back(ikey);
+      }
+      g.buckets[b] = gi;
+      g.slots.insert(g.slots.end(), g.init_slots.begin(), g.init_slots.end());
+      return gi;
+    }
+    bool match = g.string_keys
+                     ? (static_cast<int64_t>(g.skeys[idx].size()) == slen &&
+                        std::memcmp(g.skeys[idx].data(), skey, static_cast<size_t>(slen)) == 0)
+                     : g.ikeys[idx] == ikey;
+    if (match) return idx;
+    b = (b + 1) & g.mask;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// extern "C" implementations
+// ---------------------------------------------------------------------------
+
+int64_t proteus_csv_int(const void* plugin, uint64_t oid, uint32_t col) {
+  std::string_view t = static_cast<const CsvPlugin*>(plugin)->FieldText(oid, col);
+  return ParseIntSpan(t.data(), t.data() + t.size());
+}
+
+double proteus_csv_double(const void* plugin, uint64_t oid, uint32_t col) {
+  std::string_view t = static_cast<const CsvPlugin*>(plugin)->FieldText(oid, col);
+  return ParseDoubleSpan(t.data(), t.data() + t.size());
+}
+
+const char* proteus_csv_str(const void* plugin, uint64_t oid, uint32_t col, int64_t* len) {
+  std::string_view t = static_cast<const CsvPlugin*>(plugin)->FieldText(oid, col);
+  *len = static_cast<int64_t>(t.size());
+  return t.data();
+}
+
+int64_t proteus_json_int(const void* plugin, uint64_t oid, uint64_t path_hash) {
+  const JsonToken* t = JsonTok(plugin, oid, path_hash);
+  if (t == nullptr) return 0;
+  const char* b = static_cast<const JsonPlugin*>(plugin)->ObjectBase(oid);
+  return ParseIntSpan(b + t->start, b + t->end);
+}
+
+double proteus_json_double(const void* plugin, uint64_t oid, uint64_t path_hash) {
+  const JsonToken* t = JsonTok(plugin, oid, path_hash);
+  if (t == nullptr) return 0;
+  const char* b = static_cast<const JsonPlugin*>(plugin)->ObjectBase(oid);
+  return ParseDoubleSpan(b + t->start, b + t->end);
+}
+
+int64_t proteus_json_bool(const void* plugin, uint64_t oid, uint64_t path_hash) {
+  const JsonToken* t = JsonTok(plugin, oid, path_hash);
+  if (t == nullptr) return 0;
+  const char* b = static_cast<const JsonPlugin*>(plugin)->ObjectBase(oid);
+  return b[t->start] == 't' ? 1 : 0;
+}
+
+const char* proteus_json_str(const void* plugin, uint64_t oid, uint64_t path_hash,
+                             int64_t* len) {
+  const JsonToken* t = JsonTok(plugin, oid, path_hash);
+  if (t == nullptr || t->type != JsonTokenType::kString) {
+    *len = 0;
+    return "";
+  }
+  const char* b = static_cast<const JsonPlugin*>(plugin)->ObjectBase(oid);
+  *len = static_cast<int64_t>(t->end - t->start) - 2;  // strip quotes
+  return b + t->start + 1;
+}
+
+void proteus_unnest_init(void* rt, uint32_t slot, const void* plugin, uint64_t oid,
+                         uint64_t path_hash) {
+  UnnestStateRt& u = RT(rt)->unnests[slot];
+  const auto* jp = static_cast<const JsonPlugin*>(plugin);
+  u.plugin = jp;
+  u.obj_base = jp->ObjectBase(oid);
+  const JsonToken* t = jp->FindTokenByHash(oid, path_hash);
+  const proteus::JsonArrayInfo* info =
+      (t != nullptr && t->type == JsonTokenType::kArray) ? jp->FindArrayInfo(t) : nullptr;
+  if (info == nullptr) {
+    u.pos = u.end = 0;
+    return;
+  }
+  u.elems = jp->elems().data();
+  u.pos = info->elem_begin;
+  u.end = info->elem_begin + info->elem_count;
+}
+
+int32_t proteus_unnest_has_next(void* rt, uint32_t slot) {
+  UnnestStateRt& u = RT(rt)->unnests[slot];
+  if (u.pos >= u.end) return 0;
+  u.elem_start = u.obj_base + u.elems[u.pos].start;
+  u.elem_end = u.obj_base + u.elems[u.pos].end;
+  return 1;
+}
+
+void proteus_unnest_advance(void* rt, uint32_t slot) { RT(rt)->unnests[slot].pos++; }
+
+int64_t proteus_unnest_elem_int(void* rt, uint32_t slot, const char* name, int64_t name_len) {
+  UnnestStateRt& u = RT(rt)->unnests[slot];
+  if (name_len == 0) return ParseIntSpan(u.elem_start, u.elem_end);
+  const char *vs, *ve;
+  if (!FindElemField(u.elem_start, u.elem_end, name, name_len, &vs, &ve)) return 0;
+  return ParseIntSpan(vs, ve);
+}
+
+double proteus_unnest_elem_double(void* rt, uint32_t slot, const char* name,
+                                  int64_t name_len) {
+  UnnestStateRt& u = RT(rt)->unnests[slot];
+  if (name_len == 0) return ParseDoubleSpan(u.elem_start, u.elem_end);
+  const char *vs, *ve;
+  if (!FindElemField(u.elem_start, u.elem_end, name, name_len, &vs, &ve)) return 0;
+  return ParseDoubleSpan(vs, ve);
+}
+
+const char* proteus_unnest_elem_str(void* rt, uint32_t slot, const char* name,
+                                    int64_t name_len, int64_t* len) {
+  UnnestStateRt& u = RT(rt)->unnests[slot];
+  const char *vs = u.elem_start, *ve = u.elem_end;
+  if (name_len > 0 && !FindElemField(u.elem_start, u.elem_end, name, name_len, &vs, &ve)) {
+    *len = 0;
+    return "";
+  }
+  if (vs < ve && *vs == '"') {
+    *len = static_cast<int64_t>(ve - vs) - 2;
+    return vs + 1;
+  }
+  *len = static_cast<int64_t>(ve - vs);
+  return vs;
+}
+
+void proteus_join_insert(void* rt, uint32_t table, int64_t key, const int64_t* payload) {
+  JoinTableRt& t = *RT(rt)->joins[table];
+  uint32_t row = static_cast<uint32_t>(t.keys.size());
+  t.keys.push_back(key);
+  t.payload.insert(t.payload.end(), payload, payload + t.slots_per_row);
+  t.table.Insert(proteus::HashMix64(static_cast<uint64_t>(key)), row);
+}
+
+void proteus_join_build(void* rt, uint32_t table) { RT(rt)->joins[table]->table.Build(); }
+
+const int64_t* proteus_join_probe_first(void* rt, uint32_t table, int64_t key) {
+  JoinTableRt& t = *RT(rt)->joins[table];
+  t.matches.clear();
+  t.pos = 0;
+  t.table.Probe(proteus::HashMix64(static_cast<uint64_t>(key)), [&](uint32_t row) {
+    if (t.keys[row] == key) t.matches.push_back(row);
+  });
+  return proteus_join_probe_next(rt, table);
+}
+
+const int64_t* proteus_join_probe_next(void* rt, uint32_t table) {
+  JoinTableRt& t = *RT(rt)->joins[table];
+  if (t.pos >= t.matches.size()) return nullptr;
+  uint32_t row = t.matches[t.pos++];
+  // slots_per_row == 0 would alias end-of-data with "no match"; the builder
+  // always reserves at least one slot.
+  return t.payload.data() + static_cast<size_t>(row) * t.slots_per_row;
+}
+
+int64_t* proteus_group_upsert(void* rt, uint32_t table, int64_t key) {
+  GroupTableRt& g = *RT(rt)->groups[table];
+  uint32_t idx = GroupFind(g, proteus::HashMix64(static_cast<uint64_t>(key)), key, nullptr, 0);
+  return g.slots.data() + static_cast<size_t>(idx) * g.slots_per_group;
+}
+
+int64_t* proteus_group_upsert_str(void* rt, uint32_t table, const char* key, int64_t len) {
+  GroupTableRt& g = *RT(rt)->groups[table];
+  uint32_t idx = GroupFind(g, proteus::HashBytes(key, static_cast<size_t>(len)), 0, key, len);
+  return g.slots.data() + static_cast<size_t>(idx) * g.slots_per_group;
+}
+
+uint64_t proteus_group_count(void* rt, uint32_t table) {
+  GroupTableRt& g = *RT(rt)->groups[table];
+  return g.string_keys ? g.skeys.size() : g.ikeys.size();
+}
+
+int64_t proteus_group_key(void* rt, uint32_t table, uint64_t idx) {
+  return RT(rt)->groups[table]->ikeys[idx];
+}
+
+const char* proteus_group_key_str(void* rt, uint32_t table, uint64_t idx, int64_t* len) {
+  const std::string& s = RT(rt)->groups[table]->skeys[idx];
+  *len = static_cast<int64_t>(s.size());
+  return s.data();
+}
+
+int64_t* proteus_group_slots(void* rt, uint32_t table, uint64_t idx) {
+  GroupTableRt& g = *RT(rt)->groups[table];
+  return g.slots.data() + idx * g.slots_per_group;
+}
+
+void proteus_result_emit_int(void* rt, int64_t v) {
+  RT(rt)->cur_row.push_back(proteus::Value::Int(v));
+}
+void proteus_result_emit_double(void* rt, double v) {
+  RT(rt)->cur_row.push_back(proteus::Value::Float(v));
+}
+void proteus_result_emit_bool(void* rt, int32_t v) {
+  RT(rt)->cur_row.push_back(proteus::Value::Boolean(v != 0));
+}
+void proteus_result_emit_str(void* rt, const char* p, int64_t len) {
+  RT(rt)->cur_row.push_back(proteus::Value::Str(std::string(p, static_cast<size_t>(len))));
+}
+void proteus_result_end_row(void* rt) {
+  QueryRuntime* q = RT(rt);
+  q->result.rows.push_back(std::move(q->cur_row));
+  q->cur_row.clear();
+}
+
+int32_t proteus_str_eq(const char* a, int64_t alen, const char* b, int64_t blen) {
+  return alen == blen && std::memcmp(a, b, static_cast<size_t>(alen)) == 0 ? 1 : 0;
+}
+
+int32_t proteus_str_lt(const char* a, int64_t alen, const char* b, int64_t blen) {
+  int c = std::memcmp(a, b, static_cast<size_t>(std::min(alen, blen)));
+  return (c < 0 || (c == 0 && alen < blen)) ? 1 : 0;
+}

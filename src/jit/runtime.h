@@ -1,0 +1,151 @@
+// Runtime support library for generated code (paper §5.1 "Proteus also uses
+// pre-existing (i.e., not generated) C++ code for some of its functionality.
+// Proteus wraps these operations in C++ functions and calls them when
+// appropriate from the generated code").
+//
+// The generated query function receives a QueryRuntime*. Join tables, group
+// tables, unnest cursors, and the result builder live here; tight per-tuple
+// work (field loads from binary data, predicate evaluation, aggregation
+// arithmetic) is emitted as straight LLVM IR and never crosses this
+// boundary. CSV/JSON token access crosses it through thin helpers, mirroring
+// the paper's plug-in calls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/radix_table.h"
+#include "src/engine/result.h"
+#include "src/plugins/csv_plugin.h"
+#include "src/plugins/json_plugin.h"
+
+namespace proteus {
+namespace jit {
+
+/// Radix join state: build-side keys + packed 8-byte payload slots.
+struct JoinTableRt {
+  RadixTable table;
+  std::vector<int64_t> keys;
+  std::vector<int64_t> payload;  ///< row-major, slots_per_row per entry
+  uint32_t slots_per_row = 0;
+  // probe iteration state (one active probe per table)
+  std::vector<uint32_t> matches;
+  size_t pos = 0;
+};
+
+/// Hash grouping state: int64 or string keys, packed 8-byte agg slots.
+struct GroupTableRt {
+  bool string_keys = false;
+  std::vector<int64_t> ikeys;
+  std::vector<std::string> skeys;
+  std::vector<int64_t> slots;  ///< group-major, slots_per_group per group
+  uint32_t slots_per_group = 0;
+  std::vector<int64_t> init_slots;
+  // open addressing over key hash -> group index
+  std::vector<uint32_t> buckets;
+  uint32_t mask = 0;
+};
+
+/// Lazy JSON array iteration state for generated Unnest loops.
+struct UnnestStateRt {
+  const JsonPlugin* plugin = nullptr;
+  const char* obj_base = nullptr;
+  uint32_t pos = 0;
+  uint32_t end = 0;
+  const JsonElem* elems = nullptr;
+  // current element span
+  const char* elem_start = nullptr;
+  const char* elem_end = nullptr;
+};
+
+struct QueryRuntime {
+  std::vector<std::unique_ptr<JoinTableRt>> joins;
+  std::vector<std::unique_ptr<GroupTableRt>> groups;
+  std::vector<UnnestStateRt> unnests;
+  QueryResult result;
+  std::vector<Value> cur_row;
+  bool failed = false;
+  std::string error;
+
+  uint32_t AddJoin(uint32_t payload_slots) {
+    auto t = std::make_unique<JoinTableRt>();
+    t->slots_per_row = payload_slots;
+    joins.push_back(std::move(t));
+    return static_cast<uint32_t>(joins.size() - 1);
+  }
+  uint32_t AddGroup(bool string_keys, std::vector<int64_t> init) {
+    auto t = std::make_unique<GroupTableRt>();
+    t->string_keys = string_keys;
+    t->slots_per_group = static_cast<uint32_t>(init.size());
+    t->init_slots = std::move(init);
+    groups.push_back(std::move(t));
+    return static_cast<uint32_t>(groups.size() - 1);
+  }
+  uint32_t AddUnnest() {
+    unnests.emplace_back();
+    return static_cast<uint32_t>(unnests.size() - 1);
+  }
+};
+
+/// Registers every helper below in `names` -> address pairs so the ORC JIT
+/// can resolve them.
+std::vector<std::pair<std::string, void*>> RuntimeSymbols();
+
+}  // namespace jit
+}  // namespace proteus
+
+// ---------------------------------------------------------------------------
+// C ABI helpers callable from generated IR
+// ---------------------------------------------------------------------------
+extern "C" {
+
+// CSV field access (the CSV plug-in's generated access path).
+int64_t proteus_csv_int(const void* plugin, uint64_t oid, uint32_t col);
+double proteus_csv_double(const void* plugin, uint64_t oid, uint32_t col);
+const char* proteus_csv_str(const void* plugin, uint64_t oid, uint32_t col, int64_t* len);
+
+// JSON field access through the structural index.
+int64_t proteus_json_int(const void* plugin, uint64_t oid, uint64_t path_hash);
+double proteus_json_double(const void* plugin, uint64_t oid, uint64_t path_hash);
+int64_t proteus_json_bool(const void* plugin, uint64_t oid, uint64_t path_hash);
+const char* proteus_json_str(const void* plugin, uint64_t oid, uint64_t path_hash,
+                             int64_t* len);
+
+// JSON array unnest (unnestInit / unnestHasNext / unnestGetNext).
+void proteus_unnest_init(void* rt, uint32_t slot, const void* plugin, uint64_t oid,
+                         uint64_t path_hash);
+int32_t proteus_unnest_has_next(void* rt, uint32_t slot);
+void proteus_unnest_advance(void* rt, uint32_t slot);
+int64_t proteus_unnest_elem_int(void* rt, uint32_t slot, const char* name, int64_t name_len);
+double proteus_unnest_elem_double(void* rt, uint32_t slot, const char* name, int64_t name_len);
+const char* proteus_unnest_elem_str(void* rt, uint32_t slot, const char* name,
+                                    int64_t name_len, int64_t* len);
+
+// Radix hash join.
+void proteus_join_insert(void* rt, uint32_t table, int64_t key, const int64_t* payload);
+void proteus_join_build(void* rt, uint32_t table);
+const int64_t* proteus_join_probe_first(void* rt, uint32_t table, int64_t key);
+const int64_t* proteus_join_probe_next(void* rt, uint32_t table);
+
+// Hash grouping (Nest).
+int64_t* proteus_group_upsert(void* rt, uint32_t table, int64_t key);
+int64_t* proteus_group_upsert_str(void* rt, uint32_t table, const char* key, int64_t len);
+uint64_t proteus_group_count(void* rt, uint32_t table);
+int64_t proteus_group_key(void* rt, uint32_t table, uint64_t idx);
+const char* proteus_group_key_str(void* rt, uint32_t table, uint64_t idx, int64_t* len);
+int64_t* proteus_group_slots(void* rt, uint32_t table, uint64_t idx);
+
+// Result building.
+void proteus_result_emit_int(void* rt, int64_t v);
+void proteus_result_emit_double(void* rt, double v);
+void proteus_result_emit_bool(void* rt, int32_t v);
+void proteus_result_emit_str(void* rt, const char* p, int64_t len);
+void proteus_result_end_row(void* rt);
+
+// Strings.
+int32_t proteus_str_eq(const char* a, int64_t alen, const char* b, int64_t blen);
+int32_t proteus_str_lt(const char* a, int64_t alen, const char* b, int64_t blen);
+
+}  // extern "C"

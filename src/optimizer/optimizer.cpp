@@ -1,0 +1,567 @@
+#include "src/optimizer/optimizer.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+namespace proteus {
+
+namespace {
+
+/// Variables bound by the subtree rooted at `op`.
+void BoundVars(const OpPtr& op, std::unordered_set<std::string>* out) {
+  switch (op->kind()) {
+    case OpKind::kScan:
+    case OpKind::kCacheScan:
+      out->insert(op->binding());
+      return;
+    case OpKind::kUnnest:
+      BoundVars(op->child(0), out);
+      out->insert(op->binding());
+      return;
+    case OpKind::kNest:
+      out->insert(op->binding().empty() ? "$group" : op->binding());
+      return;
+    default:
+      for (const auto& c : op->children()) BoundVars(c, out);
+      return;
+  }
+}
+
+ExprPtr FoldOrNull(const ExprPtr& e) { return e ? FoldConstants(e) : e; }
+
+/// Rebuilds the tree with all embedded expressions constant-folded.
+OpPtr FoldPlanConstants(const OpPtr& op) {
+  // Operators are shared_ptrs built once per query; in-place is safe here.
+  for (const auto& c : op->children()) FoldPlanConstants(c);
+  op->set_pred(FoldOrNull(op->pred()));
+  return op;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Selection pushdown
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PushResult {
+  OpPtr op;
+  std::vector<ExprPtr> leftover;
+};
+
+bool DependsOnlyOn(const ExprPtr& e, const std::unordered_set<std::string>& vars) {
+  return e->OnlyDependsOn(vars);
+}
+
+PushResult PushDown(OpPtr op, std::vector<ExprPtr> pending) {
+  switch (op->kind()) {
+    case OpKind::kSelect: {
+      auto conj = SplitConjuncts(op->pred());
+      pending.insert(pending.end(), conj.begin(), conj.end());
+      return PushDown(op->child(0), std::move(pending));
+    }
+    case OpKind::kScan:
+    case OpKind::kCacheScan: {
+      std::unordered_set<std::string> bound{op->binding()};
+      std::vector<ExprPtr> mine, rest;
+      for (auto& p : pending) {
+        (DependsOnlyOn(p, bound) ? mine : rest).push_back(p);
+      }
+      OpPtr out = op;
+      if (!mine.empty()) out = Operator::Select(out, CombineConjuncts(mine));
+      return {out, std::move(rest)};
+    }
+    case OpKind::kJoin: {
+      // Existing join predicate joins the pending pool, then partitions.
+      auto conj = SplitConjuncts(op->pred());
+      pending.insert(pending.end(), conj.begin(), conj.end());
+      std::unordered_set<std::string> bl, br;
+      BoundVars(op->child(0), &bl);
+      BoundVars(op->child(1), &br);
+      std::unordered_set<std::string> both = bl;
+      both.insert(br.begin(), br.end());
+
+      std::vector<ExprPtr> left_p, right_p, join_p, rest;
+      for (auto& p : pending) {
+        if (DependsOnlyOn(p, bl)) {
+          left_p.push_back(p);
+        } else if (DependsOnlyOn(p, br)) {
+          right_p.push_back(p);
+        } else if (DependsOnlyOn(p, both)) {
+          join_p.push_back(p);
+        } else {
+          rest.push_back(p);
+        }
+      }
+      // Outer joins must not filter the preserved side below the join.
+      if (op->outer()) {
+        join_p.insert(join_p.end(), right_p.begin(), right_p.end());
+        right_p.clear();
+      }
+      PushResult l = PushDown(op->child(0), std::move(left_p));
+      PushResult r = PushDown(op->child(1), std::move(right_p));
+      join_p.insert(join_p.end(), l.leftover.begin(), l.leftover.end());
+      join_p.insert(join_p.end(), r.leftover.begin(), r.leftover.end());
+      OpPtr out = Operator::Join(l.op, r.op, join_p.empty() ? nullptr : CombineConjuncts(join_p),
+                                 op->outer());
+      return {out, std::move(rest)};
+    }
+    case OpKind::kUnnest: {
+      auto conj = SplitConjuncts(op->pred());
+      pending.insert(pending.end(), conj.begin(), conj.end());
+      std::unordered_set<std::string> below;
+      BoundVars(op->child(0), &below);
+      std::unordered_set<std::string> with_elem = below;
+      with_elem.insert(op->binding());
+
+      std::vector<ExprPtr> child_p, mine, rest;
+      for (auto& p : pending) {
+        if (DependsOnlyOn(p, below)) {
+          child_p.push_back(p);
+        } else if (DependsOnlyOn(p, with_elem)) {
+          mine.push_back(p);  // embedded filtering step of Unnest (Table 1)
+        } else {
+          rest.push_back(p);
+        }
+      }
+      PushResult c = PushDown(op->child(0), std::move(child_p));
+      rest.insert(rest.end(), c.leftover.begin(), c.leftover.end());
+      OpPtr out = Operator::Unnest(c.op, op->unnest_path(), op->binding(),
+                                   mine.empty() ? nullptr : CombineConjuncts(mine), op->outer());
+      return {out, std::move(rest)};
+    }
+    case OpKind::kReduce: {
+      PushResult c = PushDown(op->child(0), std::move(pending));
+      OpPtr in = c.op;
+      if (!c.leftover.empty()) in = Operator::Select(in, CombineConjuncts(c.leftover));
+      return {Operator::Reduce(in, op->outputs(), op->pred()), {}};
+    }
+    case OpKind::kNest: {
+      PushResult c = PushDown(op->child(0), std::move(pending));
+      OpPtr in = c.op;
+      if (!c.leftover.empty()) in = Operator::Select(in, CombineConjuncts(c.leftover));
+      return {Operator::Nest(in, op->group_by(), op->group_name(), op->outputs(), op->pred(),
+                             op->binding()),
+              {}};
+    }
+  }
+  return {op, std::move(pending)};
+}
+
+}  // namespace
+
+Result<OpPtr> Optimizer::PushdownSelections(OpPtr plan) {
+  PushResult r = PushDown(std::move(plan), {});
+  OpPtr out = r.op;
+  if (!r.leftover.empty()) out = Operator::Select(out, CombineConjuncts(r.leftover));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Equi-join key extraction
+// ---------------------------------------------------------------------------
+
+Result<OpPtr> Optimizer::ExtractJoinKeys(OpPtr plan) {
+  for (size_t i = 0; i < plan->children().size(); ++i) {
+    PROTEUS_ASSIGN_OR_RETURN(*plan->mutable_child(i), ExtractJoinKeys(plan->child(i)));
+  }
+  if (plan->kind() != OpKind::kJoin || !plan->pred()) return plan;
+
+  std::unordered_set<std::string> bl, br;
+  BoundVars(plan->child(0), &bl);
+  BoundVars(plan->child(1), &br);
+
+  auto conjuncts = SplitConjuncts(plan->pred());
+  for (const auto& c : conjuncts) {
+    if (c->kind() != ExprKind::kBinary || c->bin_op() != BinOp::kEq) continue;
+    const ExprPtr& a = c->child(0);
+    const ExprPtr& b = c->child(1);
+    if (DependsOnlyOn(a, bl) && DependsOnlyOn(b, br)) {
+      plan->set_join_keys(a, b);
+      break;
+    }
+    if (DependsOnlyOn(a, br) && DependsOnlyOn(b, bl)) {
+      plan->set_join_keys(b, a);
+      break;
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality / selectivity estimation
+// ---------------------------------------------------------------------------
+
+double Optimizer::EstimateSelectivity(const ExprPtr& pred, const OpPtr& op) const {
+  if (!pred) return 1.0;
+  double sel = 1.0;
+  for (const auto& c : SplitConjuncts(pred)) {
+    double s = opts_.default_selectivity;
+    // Range predicate col <op> literal with known min/max: uniform model.
+    if (c->kind() == ExprKind::kBinary) {
+      const ExprPtr* col = nullptr;
+      const ExprPtr* lit = nullptr;
+      bool flipped = false;
+      if (c->child(0)->kind() == ExprKind::kProj && c->child(1)->kind() == ExprKind::kLiteral) {
+        col = &c->child(0);
+        lit = &c->child(1);
+      } else if (c->child(1)->kind() == ExprKind::kProj &&
+                 c->child(0)->kind() == ExprKind::kLiteral) {
+        col = &c->child(1);
+        lit = &c->child(0);
+        flipped = true;
+      }
+      if (col != nullptr &&
+          ((*lit)->literal().is_int() || (*lit)->literal().is_float())) {
+        // Resolve var.field to a dataset column.
+        FieldPath path;
+        const Expr* e = col->get();
+        while (e->kind() == ExprKind::kProj) {
+          path.insert(path.begin(), e->field());
+          e = e->child(0).get();
+        }
+        if (e->kind() == ExprKind::kVarRef) {
+          // Find the dataset that binds this variable.
+          std::string var = e->var_name();
+          std::function<const Operator*(const Operator*)> find_scan =
+              [&](const Operator* o) -> const Operator* {
+            if ((o->kind() == OpKind::kScan) && o->binding() == var) return o;
+            for (const auto& ch : o->children()) {
+              const Operator* f = find_scan(ch.get());
+              if (f != nullptr) return f;
+            }
+            return nullptr;
+          };
+          const Operator* scan = find_scan(op.get());
+          if (scan != nullptr) {
+            const DatasetStats* ds = catalog_.stats().Find(scan->dataset());
+            if (ds != nullptr) {
+              auto it = ds->columns.find(DottedPath(path));
+              if (it != ds->columns.end() && it->second.valid &&
+                  it->second.max > it->second.min) {
+                double x = (*lit)->literal().AsFloat();
+                double lo = it->second.min, hi = it->second.max;
+                double frac = (x - lo) / (hi - lo);
+                frac = std::clamp(frac, 0.0, 1.0);
+                BinOp o2 = c->bin_op();
+                if (flipped) {
+                  if (o2 == BinOp::kLt) o2 = BinOp::kGt;
+                  else if (o2 == BinOp::kLe) o2 = BinOp::kGe;
+                  else if (o2 == BinOp::kGt) o2 = BinOp::kLt;
+                  else if (o2 == BinOp::kGe) o2 = BinOp::kLe;
+                }
+                switch (o2) {
+                  case BinOp::kLt:
+                  case BinOp::kLe: s = frac; break;
+                  case BinOp::kGt:
+                  case BinOp::kGe: s = 1.0 - frac; break;
+                  case BinOp::kEq: s = 1.0 / std::max(1.0, hi - lo); break;
+                  case BinOp::kNe: s = 1.0 - 1.0 / std::max(1.0, hi - lo); break;
+                  default: break;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    sel *= s;
+  }
+  return sel;
+}
+
+double Optimizer::EstimateCardinality(const OpPtr& op) const {
+  switch (op->kind()) {
+    case OpKind::kScan: {
+      const DatasetStats* ds = catalog_.stats().Find(op->dataset());
+      return ds != nullptr && ds->valid ? static_cast<double>(ds->cardinality) : 1000.0;
+    }
+    case OpKind::kCacheScan:
+      return 1000.0;
+    case OpKind::kSelect:
+      return EstimateCardinality(op->child(0)) *
+             EstimateSelectivity(op->pred(), op->child(0));
+    case OpKind::kJoin: {
+      double l = EstimateCardinality(op->child(0));
+      double r = EstimateCardinality(op->child(1));
+      // PK-FK model: result ~ the FK (larger) side, scaled by any residual.
+      double card = std::max(l, r);
+      if (!op->left_key() && op->pred()) card = l * r * 0.1;
+      return std::max(card, 1.0);
+    }
+    case OpKind::kUnnest:
+      // Average fan-out guess of 4 elements per record (TPC-H-like).
+      return EstimateCardinality(op->child(0)) * 4.0 *
+             (op->pred() ? opts_.default_selectivity : 1.0);
+    case OpKind::kReduce:
+      return 1.0;
+    case OpKind::kNest:
+      return std::max(1.0, EstimateCardinality(op->child(0)) * 0.1);
+  }
+  return 1000.0;
+}
+
+// ---------------------------------------------------------------------------
+// Join reordering (greedy smallest-result-first, left-deep)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Collects the maximal join-only region rooted at `op`: base units (any
+/// non-join operator) and the equi/filter predicates between them.
+void FlattenJoins(const OpPtr& op, std::vector<OpPtr>* units, std::vector<ExprPtr>* preds) {
+  if (op->kind() == OpKind::kJoin && !op->outer()) {
+    FlattenJoins(op->child(0), units, preds);
+    FlattenJoins(op->child(1), units, preds);
+    if (op->pred()) {
+      auto c = SplitConjuncts(op->pred());
+      preds->insert(preds->end(), c.begin(), c.end());
+    }
+    return;
+  }
+  units->push_back(op);
+}
+
+}  // namespace
+
+Result<OpPtr> Optimizer::ReorderJoins(OpPtr plan) {
+  for (size_t i = 0; i < plan->children().size(); ++i) {
+    if (plan->child(i)->kind() == OpKind::kJoin) continue;  // handled below
+  }
+  // Recurse into non-join children first.
+  if (plan->kind() != OpKind::kJoin) {
+    for (size_t i = 0; i < plan->children().size(); ++i) {
+      PROTEUS_ASSIGN_OR_RETURN(*plan->mutable_child(i), ReorderJoins(plan->child(i)));
+    }
+    return plan;
+  }
+  if (plan->outer()) {
+    for (size_t i = 0; i < plan->children().size(); ++i) {
+      PROTEUS_ASSIGN_OR_RETURN(*plan->mutable_child(i), ReorderJoins(plan->child(i)));
+    }
+    return plan;
+  }
+
+  std::vector<OpPtr> units;
+  std::vector<ExprPtr> preds;
+  FlattenJoins(plan, &units, &preds);
+  for (auto& u : units) {
+    PROTEUS_ASSIGN_OR_RETURN(u, ReorderJoins(u));
+  }
+  if (units.size() < 2 || !opts_.reorder_joins) {
+    // Nothing to reorder; rebuild as-is.
+    OpPtr acc = units[0];
+    for (size_t i = 1; i < units.size(); ++i) acc = Operator::Join(acc, units[i], nullptr);
+    return Operator::Select(acc, CombineConjuncts(preds));
+  }
+
+  // Greedy: start from the smallest unit; repeatedly add the connected unit
+  // with the smallest estimated join result.
+  std::vector<std::unordered_set<std::string>> unit_vars(units.size());
+  for (size_t i = 0; i < units.size(); ++i) BoundVars(units[i], &unit_vars[i]);
+
+  std::vector<double> card(units.size());
+  for (size_t i = 0; i < units.size(); ++i) card[i] = EstimateCardinality(units[i]);
+
+  std::vector<bool> used(units.size(), false);
+  size_t first = 0;
+  for (size_t i = 1; i < units.size(); ++i) {
+    if (card[i] < card[first]) first = i;
+  }
+  used[first] = true;
+  OpPtr acc = units[first];
+  std::unordered_set<std::string> acc_vars = unit_vars[first];
+  double acc_card = card[first];
+
+  auto connected = [&](size_t i) {
+    for (const auto& p : preds) {
+      std::unordered_set<std::string> fv;
+      p->CollectFreeVars(&fv);
+      bool touches_acc = false, touches_i = false, touches_other = false;
+      for (const auto& v : fv) {
+        if (acc_vars.count(v)) touches_acc = true;
+        else if (unit_vars[i].count(v)) touches_i = true;
+        else touches_other = true;
+      }
+      if (touches_acc && touches_i && !touches_other) return true;
+    }
+    return false;
+  };
+
+  for (size_t step = 1; step < units.size(); ++step) {
+    size_t best = units.size();
+    double best_card = 0;
+    for (size_t i = 0; i < units.size(); ++i) {
+      if (used[i]) continue;
+      double est = connected(i) ? std::max(acc_card, card[i]) : acc_card * card[i];
+      if (best == units.size() || est < best_card) {
+        best = i;
+        best_card = est;
+      }
+    }
+    acc = Operator::Join(acc, units[best], nullptr);
+    used[best] = true;
+    acc_vars.insert(unit_vars[best].begin(), unit_vars[best].end());
+    acc_card = best_card;
+  }
+  // Reapply predicates above; a pushdown+key-extraction pass will sink them.
+  OpPtr out = Operator::Select(acc, CombineConjuncts(preds));
+  PROTEUS_ASSIGN_OR_RETURN(out, PushdownSelections(out));
+  return ExtractJoinKeys(out);
+}
+
+// ---------------------------------------------------------------------------
+// Projection pushdown
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Collects every var-rooted path used by `e` into out[var].
+void CollectPaths(const ExprPtr& e,
+                  std::unordered_map<std::string, std::vector<FieldPath>>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == ExprKind::kProj) {
+    FieldPath path;
+    const Expr* cur = e.get();
+    while (cur->kind() == ExprKind::kProj) {
+      path.insert(path.begin(), cur->field());
+      cur = cur->child(0).get();
+    }
+    if (cur->kind() == ExprKind::kVarRef) {
+      (*out)[cur->var_name()].push_back(path);
+      return;
+    }
+    // Projection over a computed record: recurse normally.
+  }
+  if (e->kind() == ExprKind::kVarRef) {
+    // Whole-record use: mark with an empty path = "all fields".
+    (*out)[e->var_name()].push_back({});
+    return;
+  }
+  for (const auto& c : e->children()) CollectPaths(c, out);
+}
+
+void CollectPlanPaths(const OpPtr& op,
+                      std::unordered_map<std::string, std::vector<FieldPath>>* out) {
+  CollectPaths(op->pred(), out);
+  CollectPaths(op->group_by(), out);
+  CollectPaths(op->left_key(), out);
+  CollectPaths(op->right_key(), out);
+  for (const auto& o : op->outputs()) CollectPaths(o.expr, out);
+  if (op->kind() == OpKind::kUnnest) {
+    const FieldPath& p = op->unnest_path();
+    (*out)[p[0]].push_back(FieldPath(p.begin() + 1, p.end()));
+  }
+  for (const auto& c : op->children()) CollectPlanPaths(c, out);
+}
+
+void ApplyScanFields(const OpPtr& op, const Catalog& catalog,
+                     const std::unordered_map<std::string, std::vector<FieldPath>>& paths) {
+  if (op->kind() == OpKind::kScan) {
+    std::vector<FieldPath> fields;
+    auto it = paths.find(op->binding());
+    if (it != paths.end()) {
+      bool whole_record = false;
+      for (const auto& p : it->second) {
+        if (p.empty()) whole_record = true;
+      }
+      if (whole_record) {
+        // Expand to all top-level fields.
+        auto info = catalog.Get(op->dataset());
+        if (info.ok()) {
+          for (const auto& f : (*info)->record_type().fields()) fields.push_back({f.name});
+        }
+      } else {
+        for (const auto& p : it->second) fields.push_back(p);
+      }
+      // Dedup, dropping paths covered by a shorter prefix.
+      std::sort(fields.begin(), fields.end());
+      fields.erase(std::unique(fields.begin(), fields.end()), fields.end());
+      std::vector<FieldPath> kept;
+      for (const auto& p : fields) {
+        bool covered = false;
+        for (const auto& q : kept) {
+          if (q.size() <= p.size() && std::equal(q.begin(), q.end(), p.begin())) covered = true;
+        }
+        if (!covered) kept.push_back(p);
+      }
+      fields = std::move(kept);
+    }
+    op->set_scan_fields(std::move(fields));
+    return;
+  }
+  for (const auto& c : op->children()) ApplyScanFields(c, catalog, paths);
+}
+
+}  // namespace
+
+Result<OpPtr> Optimizer::PushdownProjections(OpPtr plan) {
+  std::unordered_map<std::string, std::vector<FieldPath>> paths;
+  CollectPlanPaths(plan, &paths);
+  ApplyScanFields(plan, catalog_, paths);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Type checking
+// ---------------------------------------------------------------------------
+
+Status Optimizer::TypeCheckPlan(const OpPtr& plan) {
+  for (const auto& c : plan->children()) PROTEUS_RETURN_NOT_OK(TypeCheckPlan(c));
+  // Cache scans erase static type info; the engine validates at runtime.
+  std::function<bool(const Operator*)> has_cache = [&](const Operator* o) {
+    if (o->kind() == OpKind::kCacheScan) return true;
+    for (const auto& ch : o->children()) {
+      if (has_cache(ch.get())) return true;
+    }
+    return false;
+  };
+  if (has_cache(plan.get())) return Status::OK();
+
+  TypeEnv env;
+  if (!plan->children().empty()) {
+    PROTEUS_ASSIGN_OR_RETURN(env, plan->child(0)->OutputEnv(catalog_));
+    if (plan->kind() == OpKind::kJoin) {
+      PROTEUS_ASSIGN_OR_RETURN(TypeEnv renv, plan->child(1)->OutputEnv(catalog_));
+      for (auto& [k, v] : renv) env[k] = v;
+    }
+  }
+  if (plan->kind() == OpKind::kUnnest) {
+    PROTEUS_ASSIGN_OR_RETURN(TypeEnv self, plan->OutputEnv(catalog_));
+    env = self;
+  }
+  if (plan->pred()) {
+    PROTEUS_ASSIGN_OR_RETURN(TypePtr t, TypeCheck(plan->pred(), env));
+    if (t->kind() != TypeKind::kBool) {
+      return Status::TypeError("predicate is not boolean: " + plan->pred()->ToString());
+    }
+  }
+  if (plan->group_by()) PROTEUS_RETURN_NOT_OK(TypeCheck(plan->group_by(), env).status());
+  if (plan->left_key()) {
+    PROTEUS_RETURN_NOT_OK(TypeCheck(plan->left_key(), env).status());
+    PROTEUS_RETURN_NOT_OK(TypeCheck(plan->right_key(), env).status());
+  }
+  for (const auto& o : plan->outputs()) {
+    if (o.expr) PROTEUS_RETURN_NOT_OK(TypeCheck(o.expr, env).status());
+  }
+  return Status::OK();
+}
+
+Result<OpPtr> Optimizer::Optimize(OpPtr plan) {
+  plan = FoldPlanConstants(std::move(plan));
+  PROTEUS_ASSIGN_OR_RETURN(plan, PushdownSelections(std::move(plan)));
+  PROTEUS_ASSIGN_OR_RETURN(plan, ExtractJoinKeys(std::move(plan)));
+  if (opts_.reorder_joins) {
+    PROTEUS_ASSIGN_OR_RETURN(plan, ReorderJoins(std::move(plan)));
+    // Reordering re-wraps predicates; normalize once more.
+    PROTEUS_ASSIGN_OR_RETURN(plan, PushdownSelections(std::move(plan)));
+    PROTEUS_ASSIGN_OR_RETURN(plan, ExtractJoinKeys(std::move(plan)));
+  }
+  PROTEUS_ASSIGN_OR_RETURN(plan, PushdownProjections(std::move(plan)));
+  PROTEUS_RETURN_NOT_OK(TypeCheckPlan(plan));
+  return plan;
+}
+
+}  // namespace proteus

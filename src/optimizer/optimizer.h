@@ -1,0 +1,56 @@
+// Query optimizer (paper §4 "Query Optimization").
+//
+// Pipeline: after the frontend normalizes the comprehension and the
+// translator emits an algebraic tree, the optimizer applies
+//   1. constant folding over all embedded expressions,
+//   2. selection pushdown — conjuncts sink to the lowest operator whose
+//      bindings cover them (scans get Select wrappers, cross-side conjuncts
+//      become join predicates, unnest-element conjuncts embed into the
+//      Unnest operator's own filtering step),
+//   3. equi-join key extraction for the radix hash join,
+//   4. cost-based join reordering (greedy smallest-result-first over the
+//      join graph) driven by statistics and per-source cost formulas that
+//      the input plug-ins provide,
+//   5. projection pushdown — each scan learns exactly the field paths the
+//      rest of the plan touches,
+//   6. a full type-checking pass annotating every expression.
+#pragma once
+
+#include "src/algebra/algebra.h"
+#include "src/catalog/catalog.h"
+
+namespace proteus {
+
+struct OptimizerOptions {
+  bool reorder_joins = true;
+  /// Fallback predicate selectivity when statistics cannot answer
+  /// (the paper's plug-in skeleton default: 10%).
+  double default_selectivity = 0.1;
+};
+
+class Optimizer {
+ public:
+  Optimizer(const Catalog& catalog, OptimizerOptions opts = {})
+      : catalog_(catalog), opts_(opts) {}
+
+  /// Runs all passes; returns the physical plan.
+  Result<OpPtr> Optimize(OpPtr plan);
+
+  /// Individual passes (exposed for tests / ablations).
+  Result<OpPtr> PushdownSelections(OpPtr plan);
+  Result<OpPtr> ExtractJoinKeys(OpPtr plan);
+  Result<OpPtr> ReorderJoins(OpPtr plan);
+  Result<OpPtr> PushdownProjections(OpPtr plan);
+  Status TypeCheckPlan(const OpPtr& plan);
+
+  /// Estimated output cardinality of a subtree (uses StatsStore).
+  double EstimateCardinality(const OpPtr& op) const;
+  /// Estimated selectivity of a predicate over `op`'s output.
+  double EstimateSelectivity(const ExprPtr& pred, const OpPtr& op) const;
+
+ private:
+  const Catalog& catalog_;
+  OptimizerOptions opts_;
+};
+
+}  // namespace proteus

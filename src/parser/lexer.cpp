@@ -1,0 +1,151 @@
+#include "src/parser/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace proteus {
+
+bool Token::Is(const char* kw) const {
+  if (kind != TokKind::kIdent) return false;
+  size_t n = text.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (kw[i] == '\0' ||
+        std::tolower(static_cast<unsigned char>(text[i])) !=
+            std::tolower(static_cast<unsigned char>(kw[i]))) {
+      return false;
+    }
+  }
+  return kw[n] == '\0';
+}
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokKind k, size_t pos) {
+    Token t;
+    t.kind = k;
+    t.pos = pos;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) || input[j] == '_' ||
+                       input[j] == '$')) {
+        ++j;
+      }
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.text = input.substr(i, j - i);
+      t.pos = start;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) || input[j] == '.' ||
+                       input[j] == 'e' || input[j] == 'E' ||
+                       ((input[j] == '+' || input[j] == '-') && j > i &&
+                        (input[j - 1] == 'e' || input[j - 1] == 'E')))) {
+        if (input[j] == '.' || input[j] == 'e' || input[j] == 'E') is_float = true;
+        ++j;
+      }
+      Token t;
+      t.pos = start;
+      std::string text = input.substr(i, j - i);
+      if (is_float) {
+        t.kind = TokKind::kFloat;
+        auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), t.float_val);
+        if (ec != std::errc()) return Status::ParseError("bad number '" + text + "'");
+      } else {
+        t.kind = TokKind::kInt;
+        auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), t.int_val);
+        if (ec != std::errc()) return Status::ParseError("bad number '" + text + "'");
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      size_t j = i + 1;
+      std::string s;
+      while (j < n && input[j] != c) {
+        if (input[j] == '\\' && j + 1 < n) ++j;
+        s += input[j++];
+      }
+      if (j >= n) return Status::ParseError("unterminated string literal");
+      Token t;
+      t.kind = TokKind::kString;
+      t.text = std::move(s);
+      t.pos = start;
+      out.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case '{': push(TokKind::kLBrace, start); ++i; break;
+      case '}': push(TokKind::kRBrace, start); ++i; break;
+      case '(': push(TokKind::kLParen, start); ++i; break;
+      case ')': push(TokKind::kRParen, start); ++i; break;
+      case ',': push(TokKind::kComma, start); ++i; break;
+      case '.': push(TokKind::kDot, start); ++i; break;
+      case ':': push(TokKind::kColon, start); ++i; break;
+      case '+': push(TokKind::kPlus, start); ++i; break;
+      case '-': push(TokKind::kMinus, start); ++i; break;
+      case '*': push(TokKind::kStar, start); ++i; break;
+      case '/': push(TokKind::kSlash, start); ++i; break;
+      case '%': push(TokKind::kPercent, start); ++i; break;
+      case '=': push(TokKind::kEq, start); ++i; break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokKind::kNe, start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " + std::to_string(i));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '-') {
+          push(TokKind::kArrow, start);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '=') {
+          push(TokKind::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokKind::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c + "' at offset " +
+                                  std::to_string(i));
+    }
+  }
+  push(TokKind::kEnd, n);
+  return out;
+}
+
+}  // namespace proteus

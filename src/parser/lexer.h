@@ -1,0 +1,39 @@
+// Tokenizer shared by the comprehension-syntax and SQL frontends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace proteus {
+
+enum class TokKind {
+  kEnd,
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  // punctuation / operators
+  kLBrace, kRBrace, kLParen, kRParen, kComma, kDot, kColon,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kArrow,  // <-
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // identifier / string contents
+  int64_t int_val = 0;
+  double float_val = 0;
+  size_t pos = 0;       // byte offset, for error messages
+
+  /// Case-insensitive keyword check (identifiers only).
+  bool Is(const char* kw) const;
+};
+
+/// Tokenizes `input`. `<` directly followed by `-` lexes as the generator
+/// arrow `<-`; string literals use single or double quotes.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace proteus

@@ -1,0 +1,662 @@
+#include "src/parser/parser.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/parser/lexer.h"
+
+namespace proteus {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared expression parsing (precedence climbing)
+// ---------------------------------------------------------------------------
+
+class ParserBase {
+ public:
+  explicit ParserBase(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+ protected:
+  const Token& Peek(size_t k = 0) const {
+    size_t i = pos_ + k;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& Cur() const { return Peek(0); }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  bool Eat(TokKind k) {
+    if (Cur().kind == k) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool EatKw(const char* kw) {
+    if (Cur().Is(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokKind k, const char* what) {
+    if (!Eat(k)) {
+      return Status::ParseError(std::string("expected ") + what + " at offset " +
+                                std::to_string(Cur().pos));
+    }
+    return Status::OK();
+  }
+  Status ExpectKw(const char* kw) {
+    if (!EatKw(kw)) {
+      return Status::ParseError(std::string("expected '") + kw + "' at offset " +
+                                std::to_string(Cur().pos));
+    }
+    return Status::OK();
+  }
+
+  Status ErrorHere(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(Cur().pos));
+  }
+
+  // expr := or_expr
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    PROTEUS_ASSIGN_OR_RETURN(ExprPtr l, ParseAnd());
+    while (Cur().Is("or")) {
+      Advance();
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr r, ParseAnd());
+      l = Expr::Bin(BinOp::kOr, l, r);
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    PROTEUS_ASSIGN_OR_RETURN(ExprPtr l, ParseNot());
+    while (Cur().Is("and")) {
+      Advance();
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr r, ParseNot());
+      l = Expr::Bin(BinOp::kAnd, l, r);
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Cur().Is("not")) {
+      Advance();
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr c, ParseNot());
+      return Expr::Un(UnOp::kNot, c);
+    }
+    return ParseCmp();
+  }
+
+  Result<ExprPtr> ParseCmp() {
+    PROTEUS_ASSIGN_OR_RETURN(ExprPtr l, ParseAdd());
+    BinOp op;
+    switch (Cur().kind) {
+      case TokKind::kLt: op = BinOp::kLt; break;
+      case TokKind::kLe: op = BinOp::kLe; break;
+      case TokKind::kGt: op = BinOp::kGt; break;
+      case TokKind::kGe: op = BinOp::kGe; break;
+      case TokKind::kEq: op = BinOp::kEq; break;
+      case TokKind::kNe: op = BinOp::kNe; break;
+      default: return l;
+    }
+    Advance();
+    PROTEUS_ASSIGN_OR_RETURN(ExprPtr r, ParseAdd());
+    return Expr::Bin(op, l, r);
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    PROTEUS_ASSIGN_OR_RETURN(ExprPtr l, ParseMul());
+    while (Cur().kind == TokKind::kPlus || Cur().kind == TokKind::kMinus) {
+      BinOp op = Cur().kind == TokKind::kPlus ? BinOp::kAdd : BinOp::kSub;
+      Advance();
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr r, ParseMul());
+      l = Expr::Bin(op, l, r);
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseMul() {
+    PROTEUS_ASSIGN_OR_RETURN(ExprPtr l, ParseUnary());
+    while (Cur().kind == TokKind::kStar || Cur().kind == TokKind::kSlash ||
+           Cur().kind == TokKind::kPercent) {
+      BinOp op = Cur().kind == TokKind::kStar
+                     ? BinOp::kMul
+                     : (Cur().kind == TokKind::kSlash ? BinOp::kDiv : BinOp::kMod);
+      Advance();
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr r, ParseUnary());
+      l = Expr::Bin(op, l, r);
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Eat(TokKind::kMinus)) {
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr c, ParseUnary());
+      return Expr::Un(UnOp::kNeg, c);
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokKind::kInt: {
+        int64_t v = t.int_val;
+        Advance();
+        return Expr::Int(v);
+      }
+      case TokKind::kFloat: {
+        double v = t.float_val;
+        Advance();
+        return Expr::Float(v);
+      }
+      case TokKind::kString: {
+        std::string s = t.text;
+        Advance();
+        return Expr::Str(std::move(s));
+      }
+      case TokKind::kLParen: {
+        Advance();
+        PROTEUS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        PROTEUS_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+        return e;
+      }
+      case TokKind::kLt: {
+        if (!allow_record_cons_) break;
+        return ParseRecordCons();
+      }
+      case TokKind::kIdent: {
+        if (t.Is("true")) {
+          Advance();
+          return Expr::Bool(true);
+        }
+        if (t.Is("false")) {
+          Advance();
+          return Expr::Bool(false);
+        }
+        if (t.Is("if")) {
+          Advance();
+          PROTEUS_ASSIGN_OR_RETURN(ExprPtr c, ParseExpr());
+          PROTEUS_RETURN_NOT_OK(ExpectKw("then"));
+          PROTEUS_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+          PROTEUS_RETURN_NOT_OK(ExpectKw("else"));
+          PROTEUS_ASSIGN_OR_RETURN(ExprPtr b, ParseExpr());
+          return Expr::If(c, a, b);
+        }
+        return ParsePath();
+      }
+      default:
+        break;
+    }
+    return ErrorHere("unexpected token in expression");
+  }
+
+  /// IDENT ('.' IDENT)*  -> VarRef with Proj chain.
+  Result<ExprPtr> ParsePath() {
+    if (Cur().kind != TokKind::kIdent) return ErrorHere("expected identifier");
+    ExprPtr e = Expr::Var(Cur().text);
+    Advance();
+    while (Eat(TokKind::kDot)) {
+      if (Cur().kind != TokKind::kIdent) return ErrorHere("expected field name after '.'");
+      e = Expr::Proj(e, Cur().text);
+      Advance();
+    }
+    return e;
+  }
+
+  /// < name: expr, ... >
+  Result<ExprPtr> ParseRecordCons() {
+    PROTEUS_RETURN_NOT_OK(Expect(TokKind::kLt, "'<'"));
+    std::vector<std::string> names;
+    std::vector<ExprPtr> exprs;
+    while (true) {
+      if (Cur().kind != TokKind::kIdent) return ErrorHere("expected field name in record");
+      names.push_back(Cur().text);
+      Advance();
+      PROTEUS_RETURN_NOT_OK(Expect(TokKind::kColon, "':'"));
+      // Field values parse below comparison precedence: the record's closing
+      // '>' would otherwise be taken as a comparison. Parenthesize to compare.
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr e, ParseAdd());
+      exprs.push_back(std::move(e));
+      if (Eat(TokKind::kComma)) continue;
+      break;
+    }
+    PROTEUS_RETURN_NOT_OK(Expect(TokKind::kGt, "'>'"));
+    return Expr::Record(std::move(names), std::move(exprs));
+  }
+
+  static bool MonoidFromName(const Token& t, Monoid* out) {
+    static const std::pair<const char*, Monoid> kNames[] = {
+        {"sum", Monoid::kSum}, {"count", Monoid::kCount}, {"max", Monoid::kMax},
+        {"min", Monoid::kMin}, {"bag", Monoid::kBag},     {"list", Monoid::kList},
+        {"set", Monoid::kSet}, {"all", Monoid::kAnd},     {"some", Monoid::kOr},
+    };
+    for (const auto& [name, m] : kNames) {
+      if (t.Is(name)) {
+        *out = m;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  bool allow_record_cons_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Comprehension syntax
+// ---------------------------------------------------------------------------
+
+class ComprehensionParser : public ParserBase {
+ public:
+  using ParserBase::ParserBase;
+
+  Result<Comprehension> Parse() {
+    PROTEUS_ASSIGN_OR_RETURN(Comprehension c, ParseFor());
+    if (Cur().kind != TokKind::kEnd) return ErrorHere("trailing input after query");
+    return c;
+  }
+
+ private:
+  Result<Comprehension> ParseFor() {
+    Comprehension c;
+    PROTEUS_RETURN_NOT_OK(ExpectKw("for"));
+    PROTEUS_RETURN_NOT_OK(Expect(TokKind::kLBrace, "'{'"));
+    while (true) {
+      PROTEUS_ASSIGN_OR_RETURN(Qualifier q, ParseQualifier());
+      c.quals.push_back(std::move(q));
+      if (Eat(TokKind::kComma)) continue;
+      break;
+    }
+    PROTEUS_RETURN_NOT_OK(Expect(TokKind::kRBrace, "'}'"));
+    PROTEUS_RETURN_NOT_OK(ExpectKw("yield"));
+    PROTEUS_RETURN_NOT_OK(ParseYield(&c));
+    return c;
+  }
+
+  Result<Qualifier> ParseQualifier() {
+    // Generator: IDENT <- source
+    if (Cur().kind == TokKind::kIdent && Peek(1).kind == TokKind::kArrow) {
+      std::string var = Cur().text;
+      Advance();
+      Advance();  // <-
+      if (Cur().kind == TokKind::kLParen && Peek(1).Is("for")) {
+        Advance();
+        PROTEUS_ASSIGN_OR_RETURN(Comprehension inner, ParseFor());
+        PROTEUS_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+        return Qualifier::GeneratorComp(var, std::make_shared<Comprehension>(std::move(inner)));
+      }
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr src, ParsePath());
+      return Qualifier::Generator(var, std::move(src));
+    }
+    PROTEUS_ASSIGN_OR_RETURN(ExprPtr p, ParseExpr());
+    return Qualifier::Predicate(std::move(p));
+  }
+
+  Status ParseYield(Comprehension* c) {
+    if (Cur().kind == TokKind::kLParen) {
+      // Multi-aggregate: yield (sum e, max e2, count)
+      Advance();
+      int idx = 0;
+      while (true) {
+        PROTEUS_ASSIGN_OR_RETURN(AggOutput o, ParseOneOutput(idx++));
+        c->outputs.push_back(std::move(o));
+        if (Eat(TokKind::kComma)) continue;
+        break;
+      }
+      return Expect(TokKind::kRParen, "')'");
+    }
+    PROTEUS_ASSIGN_OR_RETURN(AggOutput o, ParseOneOutput(0));
+    c->monoid = o.monoid;
+    c->head = o.expr;
+    return Status::OK();
+  }
+
+  Result<AggOutput> ParseOneOutput(int idx) {
+    Monoid m;
+    if (!MonoidFromName(Cur(), &m)) {
+      return ErrorHere("expected a monoid (bag/sum/max/min/count/list/set/all/some)");
+    }
+    Advance();
+    AggOutput o;
+    o.monoid = m;
+    o.name = std::string(MonoidName(m)) + (idx > 0 ? "_" + std::to_string(idx) : "");
+    if (m != Monoid::kCount) {
+      PROTEUS_ASSIGN_OR_RETURN(o.expr, ParseExpr());
+    }
+    if (EatKw("as")) {
+      if (Cur().kind != TokKind::kIdent) return ErrorHere("expected alias after 'as'");
+      o.name = Cur().text;
+      Advance();
+    }
+    return o;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SQL subset
+// ---------------------------------------------------------------------------
+
+struct FromItem {
+  std::string var;       // binding
+  std::string dataset;   // dataset generator, or
+  FieldPath unnest_path; // unnest generator (path[0] = source var)
+};
+
+class SqlParser : public ParserBase {
+ public:
+  SqlParser(std::vector<Token> toks, const Catalog& catalog)
+      : ParserBase(std::move(toks)), catalog_(catalog) {
+    allow_record_cons_ = false;  // '<' is always a comparison in SQL
+  }
+
+  Result<Comprehension> Parse() {
+    PROTEUS_RETURN_NOT_OK(ExpectKw("select"));
+    PROTEUS_RETURN_NOT_OK(ParseSelectList());
+    PROTEUS_RETURN_NOT_OK(ExpectKw("from"));
+    PROTEUS_RETURN_NOT_OK(ParseFromList());
+    while (EatKw("join")) {
+      PROTEUS_RETURN_NOT_OK(ParseOneFrom());
+      PROTEUS_RETURN_NOT_OK(ExpectKw("on"));
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr on, ParseExpr());
+      where_.push_back(std::move(on));
+    }
+    if (EatKw("where")) {
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr w, ParseExpr());
+      where_.push_back(std::move(w));
+    }
+    if (EatKw("group")) {
+      PROTEUS_RETURN_NOT_OK(ExpectKw("by"));
+      PROTEUS_ASSIGN_OR_RETURN(group_by_, ParsePath());
+    }
+    if (Cur().kind != TokKind::kEnd) return ErrorHere("trailing input after query");
+    return Desugar();
+  }
+
+ private:
+  struct SelItem {
+    bool is_agg = false;
+    Monoid monoid = Monoid::kCount;
+    ExprPtr expr;  // null for count(*)
+    std::string name;
+  };
+
+  Status ParseSelectList() {
+    int idx = 0;
+    while (true) {
+      SelItem item;
+      Monoid m;
+      if (MonoidFromName(Cur(), &m) && Peek(1).kind == TokKind::kLParen) {
+        Advance();
+        Advance();
+        item.is_agg = true;
+        item.monoid = m;
+        item.name = std::string(MonoidName(m)) + (idx > 0 ? "_" + std::to_string(idx) : "");
+        if (m == Monoid::kCount && Cur().kind == TokKind::kStar) {
+          Advance();
+        } else {
+          PROTEUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+          if (m == Monoid::kCount) item.expr = nullptr;  // COUNT(x) == COUNT(*) here
+        }
+        PROTEUS_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+      } else {
+        PROTEUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        item.name = "col" + std::to_string(idx);
+        if (item.expr->kind() == ExprKind::kProj) item.name = item.expr->field();
+        if (item.expr->kind() == ExprKind::kVarRef) item.name = item.expr->var_name();
+      }
+      if (EatKw("as")) {
+        if (Cur().kind != TokKind::kIdent) return ErrorHere("expected alias after 'as'");
+        item.name = Cur().text;
+        Advance();
+      }
+      select_.push_back(std::move(item));
+      ++idx;
+      if (Eat(TokKind::kComma)) continue;
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseFromList() {
+    PROTEUS_RETURN_NOT_OK(ParseOneFrom());
+    while (Eat(TokKind::kComma)) PROTEUS_RETURN_NOT_OK(ParseOneFrom());
+    return Status::OK();
+  }
+
+  Status ParseOneFrom() {
+    FromItem item;
+    if (EatKw("unnest")) {
+      PROTEUS_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
+      PROTEUS_RETURN_NOT_OK(ParsePathInto(&item.unnest_path));
+      PROTEUS_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+    } else {
+      if (Cur().kind != TokKind::kIdent) return ErrorHere("expected dataset name");
+      std::string first = Cur().text;
+      Advance();
+      if (Cur().kind == TokKind::kDot) {
+        // alias.path form of unnest (FROM o, o.lineitems l)
+        item.unnest_path.push_back(first);
+        while (Eat(TokKind::kDot)) {
+          if (Cur().kind != TokKind::kIdent) return ErrorHere("expected field after '.'");
+          item.unnest_path.push_back(Cur().text);
+          Advance();
+        }
+      } else {
+        item.dataset = first;
+      }
+    }
+    EatKw("as");
+    if (Cur().kind == TokKind::kIdent && !IsClauseKeyword(Cur())) {
+      item.var = Cur().text;
+      Advance();
+    } else if (!item.dataset.empty()) {
+      item.var = item.dataset;  // default alias
+    } else {
+      return ErrorHere("UNNEST requires an alias");
+    }
+    from_.push_back(std::move(item));
+    return Status::OK();
+  }
+
+  Status ParsePathInto(FieldPath* out) {
+    if (Cur().kind != TokKind::kIdent) return ErrorHere("expected path");
+    out->push_back(Cur().text);
+    Advance();
+    while (Eat(TokKind::kDot)) {
+      if (Cur().kind != TokKind::kIdent) return ErrorHere("expected field after '.'");
+      out->push_back(Cur().text);
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  static bool IsClauseKeyword(const Token& t) {
+    return t.Is("join") || t.Is("on") || t.Is("where") || t.Is("group") || t.Is("select") ||
+           t.Is("from");
+  }
+
+  /// Resolves unqualified column names against FROM schemas and assembles
+  /// the comprehension.
+  Result<Comprehension> Desugar() {
+    // Build variable -> record type for every generator.
+    std::unordered_map<std::string, TypePtr> var_types;
+    std::unordered_map<std::string, std::string> field_to_var;
+    std::unordered_set<std::string> ambiguous;
+    auto add_fields = [&](const std::string& var, const TypePtr& rec) {
+      for (const auto& f : rec->fields()) {
+        auto [it, inserted] = field_to_var.emplace(f.name, var);
+        if (!inserted && it->second != var) ambiguous.insert(f.name);
+      }
+    };
+
+    Comprehension c;
+    for (const auto& item : from_) {
+      if (!item.dataset.empty()) {
+        PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, catalog_.Get(item.dataset));
+        TypePtr rec = info->type->elem();
+        var_types[item.var] = rec;
+        add_fields(item.var, rec);
+        c.quals.push_back(Qualifier::Generator(item.var, Expr::Var(item.dataset)));
+      } else {
+        // Unnest: resolve the element type through the source variable.
+        auto it = var_types.find(item.unnest_path[0]);
+        if (it == var_types.end()) {
+          return Status::InvalidArgument("unnest source '" + item.unnest_path[0] +
+                                         "' is not a known alias");
+        }
+        TypePtr t = it->second;
+        for (size_t i = 1; i < item.unnest_path.size(); ++i) {
+          PROTEUS_ASSIGN_OR_RETURN(t, t->FieldType(item.unnest_path[i]));
+        }
+        if (t->kind() != TypeKind::kCollection) {
+          return Status::TypeError("UNNEST path is not a collection");
+        }
+        TypePtr elem = t->elem();
+        var_types[item.var] = elem;
+        if (elem->kind() == TypeKind::kRecord) add_fields(item.var, elem);
+        c.quals.push_back(
+            Qualifier::Generator(item.var, Expr::Path(item.unnest_path)));
+      }
+    }
+
+    auto resolve = [&](const ExprPtr& e) -> Result<ExprPtr> {
+      return ResolveNames(e, var_types, field_to_var, ambiguous);
+    };
+
+    for (auto& w : where_) {
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr r, resolve(w));
+      c.quals.push_back(Qualifier::Predicate(std::move(r)));
+    }
+
+    bool has_agg = false, has_plain = false;
+    for (const auto& s : select_) {
+      (s.is_agg ? has_agg : has_plain) = true;
+    }
+
+    if (group_by_) {
+      PROTEUS_ASSIGN_OR_RETURN(c.group_by, resolve(group_by_));
+      c.group_name = "key";
+      if (c.group_by->kind() == ExprKind::kProj) c.group_name = c.group_by->field();
+      for (const auto& s : select_) {
+        if (!s.is_agg) {
+          // Plain items must be the group key.
+          PROTEUS_ASSIGN_OR_RETURN(ExprPtr r, resolve(s.expr));
+          if (!r->Equals(*c.group_by)) {
+            return Status::InvalidArgument("non-aggregate SELECT item '" + s.name +
+                                           "' is not the GROUP BY key");
+          }
+          c.group_name = s.name;
+          continue;
+        }
+        AggOutput o{s.monoid, nullptr, s.name};
+        if (s.expr) {
+          PROTEUS_ASSIGN_OR_RETURN(o.expr, resolve(s.expr));
+        }
+        c.outputs.push_back(std::move(o));
+      }
+      if (c.outputs.empty()) {
+        return Status::InvalidArgument("GROUP BY query needs at least one aggregate");
+      }
+      return c;
+    }
+
+    if (has_agg && has_plain) {
+      return Status::InvalidArgument("mixing aggregates and plain columns requires GROUP BY");
+    }
+    if (has_agg) {
+      for (const auto& s : select_) {
+        AggOutput o{s.monoid, nullptr, s.name};
+        if (s.expr) {
+          PROTEUS_ASSIGN_OR_RETURN(o.expr, resolve(s.expr));
+        }
+        c.outputs.push_back(std::move(o));
+      }
+      return c;
+    }
+    // Plain projection: bag of a record.
+    std::vector<std::string> names;
+    std::vector<ExprPtr> exprs;
+    for (const auto& s : select_) {
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr r, resolve(s.expr));
+      names.push_back(s.name);
+      exprs.push_back(std::move(r));
+    }
+    c.monoid = Monoid::kBag;
+    c.head = Expr::Record(std::move(names), std::move(exprs));
+    return c;
+  }
+
+  Result<ExprPtr> ResolveNames(const ExprPtr& e,
+                               const std::unordered_map<std::string, TypePtr>& var_types,
+                               const std::unordered_map<std::string, std::string>& field_to_var,
+                               const std::unordered_set<std::string>& ambiguous) {
+    if (e->kind() == ExprKind::kVarRef) {
+      const std::string& n = e->var_name();
+      if (var_types.count(n)) return e;  // a generator alias
+      if (ambiguous.count(n)) {
+        return Status::InvalidArgument("column '" + n + "' is ambiguous; qualify it");
+      }
+      auto it = field_to_var.find(n);
+      if (it == field_to_var.end()) {
+        return Status::NotFound("unknown column '" + n + "'");
+      }
+      return Expr::Proj(Expr::Var(it->second), n);
+    }
+    if (e->children().empty()) return e;
+    std::vector<ExprPtr> kids;
+    kids.reserve(e->children().size());
+    bool changed = false;
+    for (const auto& ch : e->children()) {
+      PROTEUS_ASSIGN_OR_RETURN(ExprPtr r, ResolveNames(ch, var_types, field_to_var, ambiguous));
+      changed |= (r != ch);
+      kids.push_back(std::move(r));
+    }
+    if (!changed) return e;
+    switch (e->kind()) {
+      case ExprKind::kProj: return Expr::Proj(kids[0], e->field());
+      case ExprKind::kBinary: return Expr::Bin(e->bin_op(), kids[0], kids[1]);
+      case ExprKind::kUnary: return Expr::Un(e->un_op(), kids[0]);
+      case ExprKind::kIf: return Expr::If(kids[0], kids[1], kids[2]);
+      case ExprKind::kCast: return Expr::Cast(e->cast_to(), kids[0]);
+      case ExprKind::kRecordCons: return Expr::Record(e->record_names(), kids);
+      default: return e;
+    }
+  }
+
+  const Catalog& catalog_;
+  std::vector<SelItem> select_;
+  std::vector<FromItem> from_;
+  std::vector<ExprPtr> where_;
+  ExprPtr group_by_;
+};
+
+}  // namespace
+
+Result<Comprehension> ParseComprehension(const std::string& text) {
+  PROTEUS_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(text));
+  return ComprehensionParser(std::move(toks)).Parse();
+}
+
+Result<Comprehension> ParseSQL(const std::string& text, const Catalog& catalog) {
+  PROTEUS_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(text));
+  return SqlParser(std::move(toks), catalog).Parse();
+}
+
+Result<Comprehension> ParseQuery(const std::string& text, const Catalog& catalog) {
+  PROTEUS_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(text));
+  if (toks.empty() || toks[0].kind == TokKind::kEnd) {
+    return Status::ParseError("empty query");
+  }
+  if (toks[0].Is("for")) return ComprehensionParser(std::move(toks)).Parse();
+  if (toks[0].Is("select")) return SqlParser(std::move(toks), catalog).Parse();
+  return Status::ParseError("query must start with FOR or SELECT");
+}
+
+}  // namespace proteus

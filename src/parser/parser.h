@@ -1,0 +1,38 @@
+// Query frontends (paper §3): a monoid-comprehension syntax for queries over
+// nested data, and a SQL subset for relational-style queries that desugars
+// into comprehensions.
+//
+// Comprehension syntax (Example 3.1 of the paper):
+//
+//   for { s <- sailors, c <- s.children, s2 <- ships,
+//         p <- s2.personnel, s.id = p.id, c.age > 18 }
+//   yield bag <id: s.id, ship: s2.name, child: c.name>
+//
+//   yield clause:  yield MONOID expr            (bag/sum/max/min/list/set/and/or)
+//                  yield count
+//                  yield (sum e1, max e2, count)   -- multi-aggregate
+//
+// SQL subset:
+//
+//   SELECT count(*), max(l_quantity) FROM lineitem WHERE l_orderkey < 100
+//   SELECT o.o_orderkey, sum(l.l_extendedprice)
+//     FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+//     GROUP BY o.o_orderkey
+//   SELECT count(*) FROM orders_denorm o, UNNEST(o.lineitems) l WHERE ...
+//
+// Unqualified SQL column names resolve against the FROM datasets' schemas.
+#pragma once
+
+#include "src/calculus/calculus.h"
+#include "src/catalog/catalog.h"
+
+namespace proteus {
+
+/// Parses either syntax (dispatch on the first keyword: FOR / SELECT).
+Result<Comprehension> ParseQuery(const std::string& text, const Catalog& catalog);
+
+/// Entry points for a single syntax (exposed for tests).
+Result<Comprehension> ParseComprehension(const std::string& text);
+Result<Comprehension> ParseSQL(const std::string& text, const Catalog& catalog);
+
+}  // namespace proteus

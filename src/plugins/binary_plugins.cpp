@@ -1,0 +1,114 @@
+#include "src/plugins/binary_plugins.h"
+
+namespace proteus {
+
+namespace {
+
+Status CheckFlatPath(const FieldPath& path, const char* fmt) {
+  if (path.size() != 1) {
+    return Status::InvalidArgument(std::string(fmt) + " stores flat records; bad path " +
+                                   DottedPath(path));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BinColPlugin
+// ---------------------------------------------------------------------------
+
+Status BinColPlugin::Open() {
+  if (reader_) return Status::OK();
+  PROTEUS_ASSIGN_OR_RETURN(BinColReader r, BinColReader::Open(info_.path));
+  reader_ = std::move(r);
+  return Status::OK();
+}
+
+Result<Value> BinColPlugin::ReadValue(uint64_t oid, const FieldPath& path) {
+  PROTEUS_RETURN_NOT_OK(CheckFlatPath(path, "bincol"));
+  int j = reader_->ColumnIndex(path[0]);
+  if (j < 0) return Status::NotFound("bincol has no column '" + path[0] + "'");
+  auto col = static_cast<uint32_t>(j);
+  switch (reader_->col_type(col)) {
+    case TypeKind::kInt64:
+    case TypeKind::kDate:
+      return Value::Int(reader_->ReadInt(oid, col));
+    case TypeKind::kFloat64:
+      return Value::Float(reader_->ReadFloat(oid, col));
+    case TypeKind::kBool:
+      return Value::Boolean(reader_->ReadBool(oid, col));
+    case TypeKind::kString:
+      return Value::Str(std::string(reader_->ReadString(oid, col)));
+    default:
+      return Status::Internal("unexpected bincol type");
+  }
+}
+
+Status BinColPlugin::CollectStats(StatsStore* store) {
+  PROTEUS_RETURN_NOT_OK(Open());
+  DatasetStats& ds = store->GetOrCreate(info_.name);
+  ds.cardinality = reader_->num_rows();
+  for (uint32_t j = 0; j < reader_->num_cols(); ++j) {
+    TypeKind k = reader_->col_type(j);
+    if (k != TypeKind::kInt64 && k != TypeKind::kDate && k != TypeKind::kFloat64) continue;
+    ColumnStats& cs = ds.columns[reader_->col_name(j)];
+    uint64_t n = reader_->num_rows();
+    if (n == 0) continue;
+    double mn = 0, mx = 0;
+    if (k == TypeKind::kFloat64) {
+      const double* col = reader_->FloatColumn(j);
+      mn = mx = col[0];
+      for (uint64_t i = 1; i < n; ++i) {
+        if (col[i] < mn) mn = col[i];
+        if (col[i] > mx) mx = col[i];
+      }
+    } else {
+      const int64_t* col = reader_->IntColumn(j);
+      mn = mx = static_cast<double>(col[0]);
+      for (uint64_t i = 1; i < n; ++i) {
+        double d = static_cast<double>(col[i]);
+        if (d < mn) mn = d;
+        if (d > mx) mx = d;
+      }
+    }
+    cs.min = mn;
+    cs.max = mx;
+    cs.valid = true;
+  }
+  ds.valid = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// BinRowPlugin
+// ---------------------------------------------------------------------------
+
+Status BinRowPlugin::Open() {
+  if (reader_) return Status::OK();
+  PROTEUS_ASSIGN_OR_RETURN(BinRowReader r, BinRowReader::Open(info_.path));
+  reader_ = std::move(r);
+  return Status::OK();
+}
+
+Result<Value> BinRowPlugin::ReadValue(uint64_t oid, const FieldPath& path) {
+  PROTEUS_RETURN_NOT_OK(CheckFlatPath(path, "binrow"));
+  int j = reader_->ColumnIndex(path[0]);
+  if (j < 0) return Status::NotFound("binrow has no column '" + path[0] + "'");
+  auto col = static_cast<uint32_t>(j);
+  switch (reader_->col_types()[col]) {
+    case binrow::kTypeInt64:
+    case binrow::kTypeDate:
+      return Value::Int(reader_->ReadInt(oid, col));
+    case binrow::kTypeFloat64:
+      return Value::Float(reader_->ReadFloat(oid, col));
+    case binrow::kTypeBool:
+      return Value::Boolean(reader_->ReadBool(oid, col));
+    case binrow::kTypeString:
+      return Value::Str(std::string(reader_->ReadString(oid, col)));
+    default:
+      return Status::Internal("unexpected binrow type code");
+  }
+}
+
+}  // namespace proteus

@@ -1,0 +1,175 @@
+#include "src/plugins/csv_plugin.h"
+
+#include <charconv>
+
+#include "src/common/counters.h"
+
+namespace proteus {
+
+Status CsvPlugin::Open() {
+  if (opened_) return Status::OK();
+  PROTEUS_ASSIGN_OR_RETURN(file_, MmapFile::Open(info_.path));
+  for (const auto& f : info_.record_type().fields()) {
+    if (!f.type->is_primitive()) {
+      return Status::InvalidArgument("CSV dataset '" + info_.name +
+                                     "' must have a flat schema; field '" + f.name +
+                                     "' is " + f.type->ToString());
+    }
+    col_names_.push_back(f.name);
+    col_types_.push_back(f.type->kind());
+  }
+  stride_ = info_.csv.index_stride > 0 ? info_.csv.index_stride : 10;
+  PROTEUS_RETURN_NOT_OK(BuildIndex());
+  opened_ = true;
+  return Status::OK();
+}
+
+Status CsvPlugin::BuildIndex() {
+  const char* base = file_.data();
+  const char* end = base + file_.size();
+  const char delim = info_.csv.delimiter;
+  const uint32_t ncols = static_cast<uint32_t>(col_names_.size());
+  samples_per_row_ = (ncols + stride_ - 1) / static_cast<uint32_t>(stride_);
+
+  const char* p = base;
+  if (info_.csv.has_header) {
+    while (p < end && *p != '\n') ++p;
+    if (p < end) ++p;
+  }
+
+  bool maybe_fixed = true;
+  uint64_t first_width = 0;
+  std::vector<uint16_t> first_offsets;
+
+  while (p < end) {
+    uint64_t row_start = static_cast<uint64_t>(p - base);
+    row_offsets_.push_back(row_start);
+    const char* q = p;
+    std::vector<uint16_t> offsets_this_row;
+    offsets_this_row.reserve(ncols);
+    offsets_this_row.push_back(0);
+    while (p < end && *p != '\n') {
+      if (*p == delim) {
+        uint64_t rel = static_cast<uint64_t>(p + 1 - q);
+        if (rel > 0xFFFF) {
+          return Status::ParseError("CSV row longer than 64KB at offset " +
+                                    std::to_string(row_start));
+        }
+        offsets_this_row.push_back(static_cast<uint16_t>(rel));
+      }
+      ++p;
+    }
+    const char* line_end = p;
+    if (offsets_this_row.size() != ncols) {
+      return Status::ParseError("CSV row " + std::to_string(row_offsets_.size() - 1) +
+                                " has " + std::to_string(offsets_this_row.size()) +
+                                " fields, schema expects " + std::to_string(ncols));
+    }
+    for (uint32_t s = 0; s < samples_per_row_; ++s) {
+      samples_.push_back(offsets_this_row[s * static_cast<uint32_t>(stride_)]);
+    }
+
+    uint64_t width = static_cast<uint64_t>(line_end - q) + 1;  // + newline
+    if (row_offsets_.size() == 1) {
+      first_width = width;
+      first_offsets = offsets_this_row;
+    } else if (maybe_fixed && (width != first_width || offsets_this_row != first_offsets)) {
+      maybe_fixed = false;
+    }
+    if (p < end) ++p;  // skip newline
+  }
+  num_rows_ = row_offsets_.size();
+  row_offsets_.push_back(static_cast<uint64_t>(end - base));
+  row_offsets_.shrink_to_fit();
+  samples_.shrink_to_fit();
+
+  if (maybe_fixed && num_rows_ > 0) {
+    // Specialize per dataset contents: deterministic positions, no samples.
+    fixed_width_ = true;
+    fixed_row_width_ = first_width;
+    first_row_offset_ = row_offsets_[0];
+    fixed_field_off_ = first_offsets;
+    samples_.clear();
+    samples_.shrink_to_fit();
+    row_offsets_.clear();
+    row_offsets_.shrink_to_fit();
+  }
+  return Status::OK();
+}
+
+size_t CsvPlugin::StructuralIndexBytes() const {
+  return row_offsets_.capacity() * sizeof(uint64_t) + samples_.capacity() * sizeof(uint16_t) +
+         fixed_field_off_.capacity() * sizeof(uint16_t);
+}
+
+int CsvPlugin::ColumnIndex(const std::string& name) const {
+  for (size_t j = 0; j < col_names_.size(); ++j) {
+    if (col_names_[j] == name) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+std::string_view CsvPlugin::FieldText(uint64_t oid, uint32_t col) const {
+  GlobalCounters().raw_field_accesses++;
+  const char* base = file_.data();
+  const char delim = info_.csv.delimiter;
+  const char* field;
+  const char* row_end;
+  if (fixed_width_) {
+    const char* row = base + first_row_offset_ + oid * fixed_row_width_;
+    field = row + fixed_field_off_[col];
+    row_end = row + fixed_row_width_ - 1;
+  } else {
+    const char* row = base + row_offsets_[oid];
+    row_end = base + row_offsets_[oid + 1];
+    if (row_end > row && row_end[-1] == '\n') --row_end;
+    // Closest indexed field at or before `col`, then seek forward.
+    uint32_t sample = col / static_cast<uint32_t>(stride_);
+    field = row + samples_[oid * samples_per_row_ + sample];
+    uint32_t remaining = col - sample * static_cast<uint32_t>(stride_);
+    while (remaining > 0 && field < row_end) {
+      if (*field == delim) --remaining;
+      ++field;
+    }
+  }
+  const char* fe = field;
+  while (fe < row_end && *fe != delim) ++fe;
+  return {field, static_cast<size_t>(fe - field)};
+}
+
+Result<Value> CsvPlugin::ReadValue(uint64_t oid, const FieldPath& path) {
+  if (path.size() != 1) {
+    return Status::InvalidArgument("CSV is flat; bad path " + DottedPath(path));
+  }
+  int j = ColumnIndex(path[0]);
+  if (j < 0) return Status::NotFound("CSV has no column '" + path[0] + "'");
+  std::string_view text = FieldText(oid, static_cast<uint32_t>(j));
+  if (text.empty()) return Value::Null();
+  switch (col_types_[j]) {
+    case TypeKind::kInt64:
+    case TypeKind::kDate: {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::ParseError("bad int '" + std::string(text) + "' in " + info_.name);
+      }
+      return Value::Int(v);
+    }
+    case TypeKind::kFloat64: {
+      double v = 0;
+      auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::ParseError("bad float '" + std::string(text) + "' in " + info_.name);
+      }
+      return Value::Float(v);
+    }
+    case TypeKind::kBool:
+      return Value::Boolean(text == "true" || text == "1");
+    case TypeKind::kString:
+      return Value::Str(std::string(text));
+    default:
+      return Status::Internal("unexpected CSV column type");
+  }
+}
+
+}  // namespace proteus

@@ -1,0 +1,25 @@
+#include "src/plugins/binary_plugins.h"
+#include "src/plugins/csv_plugin.h"
+#include "src/plugins/json_plugin.h"
+#include "src/plugins/plugin.h"
+
+namespace proteus {
+
+Result<std::unique_ptr<InputPlugin>> CreateInputPlugin(const DatasetInfo& info) {
+  switch (info.format) {
+    case DataFormat::kCSV:
+      return std::unique_ptr<InputPlugin>(new CsvPlugin(info));
+    case DataFormat::kJSON:
+      return std::unique_ptr<InputPlugin>(new JsonPlugin(info));
+    case DataFormat::kBinaryRow:
+      return std::unique_ptr<InputPlugin>(new BinRowPlugin(info));
+    case DataFormat::kBinaryColumn:
+      return std::unique_ptr<InputPlugin>(new BinColPlugin(info));
+    case DataFormat::kCacheBlock:
+      return Status::InvalidArgument(
+          "cache plug-ins are created by the CachingManager, not the factory");
+  }
+  return Status::Internal("unknown data format");
+}
+
+}  // namespace proteus

@@ -1,0 +1,158 @@
+#include "src/plugins/plugin.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace proteus {
+
+std::string DottedPath(const FieldPath& path) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i) out += '.';
+    out += path[i];
+  }
+  return out;
+}
+
+FieldPath SplitPath(const std::string& dotted) {
+  FieldPath out;
+  std::string cur;
+  for (char c : dotted) {
+    if (c == '.') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+Result<Value> InputPlugin::ReadRecord(uint64_t oid, const std::vector<FieldPath>& fields) {
+  // Group requested paths by head field, reconstructing nested sub-records so
+  // that Proj chains evaluate naturally over the result.
+  std::vector<std::string> names;
+  std::vector<Value> values;
+  // Preserve request order but merge duplicate heads.
+  std::vector<std::pair<std::string, std::vector<FieldPath>>> groups;
+  for (const auto& p : fields) {
+    if (p.empty()) continue;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == p[0]; });
+    if (it == groups.end()) {
+      groups.push_back({p[0], {}});
+      it = groups.end() - 1;
+    }
+    if (p.size() > 1) it->second.push_back(FieldPath(p.begin() + 1, p.end()));
+  }
+  for (auto& [head, subpaths] : groups) {
+    if (subpaths.empty()) {
+      PROTEUS_ASSIGN_OR_RETURN(Value v, ReadValue(oid, {head}));
+      names.push_back(head);
+      values.push_back(std::move(v));
+    } else {
+      // Nested reconstruction: read each leaf and assemble a sub-record.
+      std::vector<std::string> sub_names;
+      std::vector<Value> sub_values;
+      for (auto& sp : subpaths) {
+        FieldPath full{head};
+        full.insert(full.end(), sp.begin(), sp.end());
+        PROTEUS_ASSIGN_OR_RETURN(Value v, ReadValue(oid, full));
+        // Re-nest one level at a time.
+        for (size_t k = sp.size(); k-- > 1;) {
+          v = Value::MakeRecord({sp[k]}, {std::move(v)});
+        }
+        sub_names.push_back(sp[0]);
+        sub_values.push_back(std::move(v));
+      }
+      names.push_back(head);
+      values.push_back(Value::MakeRecord(std::move(sub_names), std::move(sub_values)));
+    }
+  }
+  return Value::MakeRecord(std::move(names), std::move(values));
+}
+
+Result<std::unique_ptr<UnnestCursor>> InputPlugin::UnnestInit(uint64_t oid,
+                                                              const FieldPath& path) {
+  PROTEUS_ASSIGN_OR_RETURN(Value v, ReadValue(oid, path));
+  if (v.is_null()) {
+    return std::unique_ptr<UnnestCursor>(new ValueListUnnestCursor({}));
+  }
+  if (!v.is_list()) {
+    return Status::TypeError("unnest path " + DottedPath(path) + " is not a collection");
+  }
+  return std::unique_ptr<UnnestCursor>(new ValueListUnnestCursor(v.list()));
+}
+
+Result<uint64_t> InputPlugin::HashValue(uint64_t oid, const FieldPath& path) {
+  PROTEUS_ASSIGN_OR_RETURN(Value v, ReadValue(oid, path));
+  return v.Hash();
+}
+
+Status InputPlugin::FlushValue(uint64_t oid, const FieldPath& path, std::string* out) {
+  PROTEUS_ASSIGN_OR_RETURN(Value v, ReadValue(oid, path));
+  out->append(v.ToString());
+  return Status::OK();
+}
+
+namespace {
+
+/// Recursively enumerates numeric leaf paths of a record type, skipping
+/// collection contents (array stats are the unnest operator's concern).
+void NumericLeafPaths(const Type& rec, FieldPath* prefix, std::vector<FieldPath>* out) {
+  for (const auto& f : rec.fields()) {
+    prefix->push_back(f.name);
+    if (f.type->is_numeric()) {
+      out->push_back(*prefix);
+    } else if (f.type->kind() == TypeKind::kRecord) {
+      NumericLeafPaths(*f.type, prefix, out);
+    }
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+Status InputPlugin::CollectStats(StatsStore* store) {
+  PROTEUS_RETURN_NOT_OK(Open());
+  DatasetStats& ds = store->GetOrCreate(info().name);
+  ds.cardinality = NumRecords();
+  std::vector<FieldPath> paths;
+  FieldPath prefix;
+  NumericLeafPaths(info().record_type(), &prefix, &paths);
+  for (const auto& p : paths) {
+    ColumnStats& cs = ds.columns[DottedPath(p)];
+    cs.valid = false;
+    bool first = true;
+    for (uint64_t oid = 0; oid < NumRecords(); ++oid) {
+      PROTEUS_ASSIGN_OR_RETURN(Value v, ReadValue(oid, p));
+      if (v.is_null()) continue;
+      double d = v.AsFloat();
+      if (first || d < cs.min) cs.min = d;
+      if (first || d > cs.max) cs.max = d;
+      first = false;
+    }
+    cs.valid = !first;
+  }
+  ds.valid = true;
+  return Status::OK();
+}
+
+Result<InputPlugin*> PluginRegistry::GetOrOpen(const DatasetInfo& info, StatsStore* stats) {
+  auto it = open_.find(info.name);
+  if (it != open_.end()) return it->second.get();
+  PROTEUS_ASSIGN_OR_RETURN(std::unique_ptr<InputPlugin> plugin, CreateInputPlugin(info));
+  PROTEUS_RETURN_NOT_OK(plugin->Open());
+  // Cold access: gather statistics while I/O is warm (paper §5.2).
+  if (stats != nullptr && stats->Find(info.name) == nullptr) {
+    PROTEUS_RETURN_NOT_OK(plugin->CollectStats(stats));
+  }
+  InputPlugin* raw = plugin.get();
+  open_.emplace(info.name, std::move(plugin));
+  return raw;
+}
+
+void PluginRegistry::Evict(const std::string& dataset) { open_.erase(dataset); }
+
+}  // namespace proteus

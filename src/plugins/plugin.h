@@ -1,0 +1,123 @@
+// Input plug-in API (paper §5.2, Table 2).
+//
+// Each supported file format has an input plug-in that encapsulates format
+// heterogeneity: it "generates" the scan access path, serves lazy field reads
+// addressed by OID, iterates nested collections for the Unnest operator, and
+// supplies statistics plus cost formulas to the optimizer.
+//
+// Mapping to the paper's Table 2 API:
+//   generate()        -> Open() + the scan loop over [0, NumRecords())
+//   readValue()       -> ReadValue(oid, path) for a primitive leaf
+//   readPath()        -> ReadValue(oid, path) for nested paths / ReadRecord()
+//   hashValue()       -> HashValue(oid, path)
+//   flushValue()      -> FlushValue(oid, path, out)
+//   unnestInit()      -> UnnestInit(oid, path)
+//   unnestHasNext()   -> UnnestCursor::HasNext()
+//   unnestGetNext()   -> UnnestCursor::GetNext()
+//
+// The JIT engine additionally specializes scans per format (direct loads for
+// binary data, structural-index helpers for CSV/JSON); see src/jit/.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace proteus {
+
+/// A dotted access path into a record, e.g. {"origin", "country"}.
+using FieldPath = std::vector<std::string>;
+
+std::string DottedPath(const FieldPath& path);
+FieldPath SplitPath(const std::string& dotted);
+
+/// Iterates the elements of one nested collection of one record
+/// (unnestInit / unnestHasNext / unnestGetNext).
+class UnnestCursor {
+ public:
+  virtual ~UnnestCursor() = default;
+  virtual bool HasNext() = 0;
+  virtual Result<Value> GetNext() = 0;
+};
+
+class InputPlugin {
+ public:
+  virtual ~InputPlugin() = default;
+
+  virtual const DatasetInfo& info() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Prepares the dataset for scanning; builds the structural index on the
+  /// first (cold) access for raw formats. Idempotent.
+  virtual Status Open() = 0;
+
+  /// Number of records / "tuples"; valid after Open(). OIDs are [0, n).
+  virtual uint64_t NumRecords() const = 0;
+
+  /// Lazily reads a (possibly nested) field of record `oid` and converts it
+  /// to a boxed value. Raw formats count a raw_field_access.
+  virtual Result<Value> ReadValue(uint64_t oid, const FieldPath& path) = 0;
+
+  /// Reads record `oid` restricted to `fields` (the pushed-down projection
+  /// set). Nested paths reconstruct the enclosing sub-records.
+  virtual Result<Value> ReadRecord(uint64_t oid, const std::vector<FieldPath>& fields);
+
+  /// Opens a cursor over the nested collection at `path` of record `oid`.
+  virtual Result<std::unique_ptr<UnnestCursor>> UnnestInit(uint64_t oid,
+                                                           const FieldPath& path);
+
+  /// Hash of a field value, for join/group keys.
+  virtual Result<uint64_t> HashValue(uint64_t oid, const FieldPath& path);
+
+  /// Appends the textual form of a field value to `out` (result flushing).
+  virtual Status FlushValue(uint64_t oid, const FieldPath& path, std::string* out);
+
+  /// Collects dataset statistics into `store` (cardinality, min/max per
+  /// numeric leaf). Called on the cold access / by the idle daemon.
+  virtual Status CollectStats(StatsStore* store);
+
+  /// Cost formula inputs used by the optimizer (paper: each plug-in provides
+  /// costing for its data source). Units are abstract "work per tuple".
+  virtual double CostPerTuple() const = 0;
+  virtual double CostPerField() const = 0;
+
+  /// Bytes of auxiliary structural index memory (0 for binary formats).
+  virtual size_t StructuralIndexBytes() const { return 0; }
+};
+
+/// Creates the plug-in matching `info.format`. Adding a format = adding a
+/// case here plus an InputPlugin subclass (paper: "adding a plug-in suffices
+/// to support a new data format").
+Result<std::unique_ptr<InputPlugin>> CreateInputPlugin(const DatasetInfo& info);
+
+/// Keeps plug-ins (and their structural indexes) alive across queries.
+class PluginRegistry {
+ public:
+  /// Returns the opened plug-in for `info.name`, creating it on first use
+  /// (the cold access, where index construction and stats gathering happen).
+  Result<InputPlugin*> GetOrOpen(const DatasetInfo& info, StatsStore* stats);
+
+  /// Drops the plug-in (e.g. after an append invalidates its index).
+  void Evict(const std::string& dataset);
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<InputPlugin>> open_;
+};
+
+/// Shared default implementation: builds an UnnestCursor over a ValueList.
+class ValueListUnnestCursor : public UnnestCursor {
+ public:
+  explicit ValueListUnnestCursor(ValueList values) : values_(std::move(values)) {}
+  bool HasNext() override { return pos_ < values_.size(); }
+  Result<Value> GetNext() override { return values_[pos_++]; }
+
+ private:
+  ValueList values_;
+  size_t pos_ = 0;
+};
+
+}  // namespace proteus

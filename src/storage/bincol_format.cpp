@@ -1,0 +1,169 @@
+#include "src/storage/bincol_format.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace proteus {
+
+namespace {
+
+const char* TypeNameOf(TypeKind k) {
+  switch (k) {
+    case TypeKind::kInt64: return "int64";
+    case TypeKind::kFloat64: return "float64";
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kDate: return "date";
+    case TypeKind::kString: return "string";
+    default: return nullptr;
+  }
+}
+
+Result<TypeKind> TypeFromName(const std::string& s) {
+  if (s == "int64") return TypeKind::kInt64;
+  if (s == "float64") return TypeKind::kFloat64;
+  if (s == "bool") return TypeKind::kBool;
+  if (s == "date") return TypeKind::kDate;
+  if (s == "string") return TypeKind::kString;
+  return Status::ParseError("unknown column type '" + s + "'");
+}
+
+Status WriteWhole(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteBinaryColumnDir(const std::string& dir, const RowTable& table) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir(" + dir + "): " + std::strerror(errno));
+  }
+  const auto& fields = table.record_type()->fields();
+  std::ostringstream manifest;
+  manifest << "proteus-bincol 1\n";
+  manifest << "rows " << table.num_rows() << "\n";
+
+  for (size_t j = 0; j < fields.size(); ++j) {
+    const char* tn = TypeNameOf(fields[j].type->kind());
+    if (tn == nullptr) {
+      return Status::InvalidArgument("bincol supports flat schemas only, field '" +
+                                     fields[j].name + "' is " + fields[j].type->ToString());
+    }
+    manifest << "col " << fields[j].name << " " << tn << "\n";
+
+    std::string data, offs;
+    TypeKind k = fields[j].type->kind();
+    uint64_t running = 0;
+    if (k == TypeKind::kString) {
+      offs.append(reinterpret_cast<const char*>(&running), 8);
+    }
+    for (size_t i = 0; i < table.num_rows(); ++i) {
+      const Value& v = table.row(i)[j];
+      switch (k) {
+        case TypeKind::kInt64:
+        case TypeKind::kDate: {
+          int64_t x = v.is_null() ? 0 : v.i();
+          data.append(reinterpret_cast<const char*>(&x), 8);
+          break;
+        }
+        case TypeKind::kFloat64: {
+          double x = v.is_null() ? 0.0 : v.AsFloat();
+          data.append(reinterpret_cast<const char*>(&x), 8);
+          break;
+        }
+        case TypeKind::kBool: {
+          int8_t x = (!v.is_null() && v.b()) ? 1 : 0;
+          data.append(reinterpret_cast<const char*>(&x), 1);
+          break;
+        }
+        case TypeKind::kString: {
+          if (!v.is_null()) data.append(v.s());
+          running = data.size();
+          offs.append(reinterpret_cast<const char*>(&running), 8);
+          break;
+        }
+        default:
+          return Status::Internal("unreachable");
+      }
+    }
+    if (k == TypeKind::kString) {
+      PROTEUS_RETURN_NOT_OK(WriteWhole(dir + "/" + fields[j].name + ".dat", data));
+      PROTEUS_RETURN_NOT_OK(WriteWhole(dir + "/" + fields[j].name + ".off", offs));
+    } else {
+      PROTEUS_RETURN_NOT_OK(WriteWhole(dir + "/" + fields[j].name + ".bin", data));
+    }
+  }
+  return WriteWhole(dir + "/manifest.txt", manifest.str());
+}
+
+Result<BinColReader> BinColReader::Open(const std::string& dir) {
+  std::ifstream mf(dir + "/manifest.txt");
+  if (!mf) return Status::IOError("cannot open " + dir + "/manifest.txt");
+  std::string word, version;
+  mf >> word >> version;
+  if (word != "proteus-bincol") return Status::ParseError(dir + ": not a bincol directory");
+
+  BinColReader r;
+  std::string key;
+  mf >> key >> r.num_rows_;
+  if (key != "rows") return Status::ParseError(dir + ": malformed manifest");
+
+  std::string name, tname;
+  while (mf >> key >> name >> tname) {
+    if (key != "col") return Status::ParseError(dir + ": malformed manifest line");
+    PROTEUS_ASSIGN_OR_RETURN(TypeKind k, TypeFromName(tname));
+    Column c;
+    c.name = name;
+    c.type = k;
+    if (k == TypeKind::kString) {
+      PROTEUS_ASSIGN_OR_RETURN(c.data, MmapFile::Open(dir + "/" + name + ".dat"));
+      PROTEUS_ASSIGN_OR_RETURN(c.offsets, MmapFile::Open(dir + "/" + name + ".off"));
+      if (c.offsets.size() != (r.num_rows_ + 1) * 8) {
+        return Status::ParseError(dir + "/" + name + ".off: wrong size");
+      }
+    } else {
+      PROTEUS_ASSIGN_OR_RETURN(c.data, MmapFile::Open(dir + "/" + name + ".bin"));
+      size_t width = (k == TypeKind::kBool) ? 1 : 8;
+      if (c.data.size() != r.num_rows_ * width) {
+        return Status::ParseError(dir + "/" + name + ".bin: wrong size");
+      }
+    }
+    r.cols_.push_back(std::move(c));
+  }
+  return r;
+}
+
+int BinColReader::ColumnIndex(const std::string& name) const {
+  for (size_t j = 0; j < cols_.size(); ++j) {
+    if (cols_[j].name == name) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+const int64_t* BinColReader::IntColumn(uint32_t j) const {
+  return reinterpret_cast<const int64_t*>(cols_[j].data.data());
+}
+const double* BinColReader::FloatColumn(uint32_t j) const {
+  return reinterpret_cast<const double*>(cols_[j].data.data());
+}
+const int8_t* BinColReader::BoolColumn(uint32_t j) const {
+  return reinterpret_cast<const int8_t*>(cols_[j].data.data());
+}
+const uint64_t* BinColReader::StringOffsets(uint32_t j) const {
+  return reinterpret_cast<const uint64_t*>(cols_[j].offsets.data());
+}
+const char* BinColReader::StringData(uint32_t j) const { return cols_[j].data.data(); }
+
+std::string_view BinColReader::ReadString(uint64_t row, uint32_t col) const {
+  const uint64_t* off = StringOffsets(col);
+  return {StringData(col) + off[row], off[row + 1] - off[row]};
+}
+
+}  // namespace proteus

@@ -1,0 +1,66 @@
+// Relational binary column format ("bincol"): one raw array file per column
+// in a directory, plus a text manifest. This mirrors the paper's setup where
+// "Proteus operates over binary column files similar to the ones of MonetDB".
+//
+// Manifest (`manifest.txt`):
+//   proteus-bincol 1
+//   rows <n>
+//   col <name> <type>          (type in int64|float64|bool|date|string)
+//
+// Fixed-width columns are raw little-endian arrays (`<name>.bin`): int64 and
+// date as int64, float64 as double, bool as int8. Strings use `<name>.off`
+// (uint64 offsets, n+1 entries) plus `<name>.dat` (bytes).
+//
+// Flat (non-nested) schemas only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/mmap_file.h"
+#include "src/common/status.h"
+#include "src/storage/table.h"
+#include "src/types/type.h"
+
+namespace proteus {
+
+/// Serializes `table` into directory `dir` (created if missing).
+Status WriteBinaryColumnDir(const std::string& dir, const RowTable& table);
+
+/// Zero-copy reader over a memory-mapped bincol directory.
+class BinColReader {
+ public:
+  static Result<BinColReader> Open(const std::string& dir);
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t num_cols() const { return static_cast<uint32_t>(cols_.size()); }
+  int ColumnIndex(const std::string& name) const;
+  const std::string& col_name(uint32_t j) const { return cols_[j].name; }
+  TypeKind col_type(uint32_t j) const { return cols_[j].type; }
+
+  /// Raw base pointers for JIT-emitted direct loads.
+  const int64_t* IntColumn(uint32_t j) const;
+  const double* FloatColumn(uint32_t j) const;
+  const int8_t* BoolColumn(uint32_t j) const;
+  const uint64_t* StringOffsets(uint32_t j) const;
+  const char* StringData(uint32_t j) const;
+
+  int64_t ReadInt(uint64_t row, uint32_t col) const { return IntColumn(col)[row]; }
+  double ReadFloat(uint64_t row, uint32_t col) const { return FloatColumn(col)[row]; }
+  bool ReadBool(uint64_t row, uint32_t col) const { return BoolColumn(col)[row] != 0; }
+  std::string_view ReadString(uint64_t row, uint32_t col) const;
+
+ private:
+  struct Column {
+    std::string name;
+    TypeKind type;
+    MmapFile data;     // .bin or .dat
+    MmapFile offsets;  // .off, strings only
+  };
+
+  uint64_t num_rows_ = 0;
+  std::vector<Column> cols_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,160 @@
+#include "src/storage/binrow_format.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace proteus {
+
+namespace {
+
+Result<uint8_t> TypeCodeOf(const TypePtr& t) {
+  switch (t->kind()) {
+    case TypeKind::kInt64: return binrow::kTypeInt64;
+    case TypeKind::kFloat64: return binrow::kTypeFloat64;
+    case TypeKind::kBool: return binrow::kTypeBool;
+    case TypeKind::kString: return binrow::kTypeString;
+    case TypeKind::kDate: return binrow::kTypeDate;
+    default:
+      return Status::InvalidArgument("binary row format supports flat schemas only, got " +
+                                     t->ToString());
+  }
+}
+
+template <typename T>
+void PutRaw(std::string* out, const T& v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+}  // namespace
+
+Status WriteBinaryRowFile(const std::string& path, const RowTable& table) {
+  const auto& fields = table.record_type()->fields();
+  std::vector<uint8_t> codes;
+  for (const auto& f : fields) {
+    PROTEUS_ASSIGN_OR_RETURN(uint8_t c, TypeCodeOf(f.type));
+    codes.push_back(c);
+  }
+
+  std::string header;
+  header.append(binrow::kMagic, 8);
+  PutRaw(&header, uint64_t(table.num_rows()));
+  PutRaw(&header, uint32_t(fields.size()));
+  uint32_t row_width = 8 * static_cast<uint32_t>(fields.size());
+  PutRaw(&header, row_width);
+  for (size_t j = 0; j < fields.size(); ++j) {
+    PutRaw(&header, codes[j]);
+    PutRaw(&header, uint16_t(fields[j].name.size()));
+    header.append(fields[j].name);
+  }
+  while (header.size() % 8 != 0) header.push_back('\0');
+
+  std::string rows;
+  rows.reserve(table.num_rows() * row_width);
+  std::string heap;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const auto& row = table.row(i);
+    if (row.size() != fields.size()) {
+      return Status::InvalidArgument("row " + std::to_string(i) + " has wrong arity");
+    }
+    for (size_t j = 0; j < fields.size(); ++j) {
+      const Value& v = row[j];
+      switch (codes[j]) {
+        case binrow::kTypeInt64:
+        case binrow::kTypeDate:
+          PutRaw(&rows, int64_t(v.is_null() ? 0 : v.i()));
+          break;
+        case binrow::kTypeFloat64:
+          PutRaw(&rows, double(v.is_null() ? 0.0 : v.AsFloat()));
+          break;
+        case binrow::kTypeBool:
+          PutRaw(&rows, int64_t(v.is_null() ? 0 : (v.b() ? 1 : 0)));
+          break;
+        case binrow::kTypeString: {
+          uint32_t off = static_cast<uint32_t>(heap.size());
+          uint32_t len = 0;
+          if (!v.is_null()) {
+            heap.append(v.s());
+            len = static_cast<uint32_t>(v.s().size());
+          }
+          PutRaw(&rows, off);
+          PutRaw(&rows, len);
+          break;
+        }
+      }
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(rows.data(), static_cast<std::streamsize>(rows.size()));
+  out.write(heap.data(), static_cast<std::streamsize>(heap.size()));
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<BinRowReader> BinRowReader::Open(const std::string& path) {
+  PROTEUS_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  BinRowReader r;
+  const char* p = file.data();
+  const char* end = p + file.size();
+  if (file.size() < 24 || std::memcmp(p, binrow::kMagic, 8) != 0) {
+    return Status::ParseError(path + ": not a PROTROW1 file");
+  }
+  p += 8;
+  uint64_t nrows;
+  uint32_t ncols;
+  std::memcpy(&nrows, p, 8); p += 8;
+  std::memcpy(&ncols, p, 4); p += 4;
+  std::memcpy(&r.row_width_, p, 4); p += 4;
+  for (uint32_t j = 0; j < ncols; ++j) {
+    if (p + 3 > end) return Status::ParseError(path + ": truncated column descriptor");
+    uint8_t code = static_cast<uint8_t>(*p++);
+    uint16_t len;
+    std::memcpy(&len, p, 2); p += 2;
+    if (p + len > end) return Status::ParseError(path + ": truncated column name");
+    r.col_names_.emplace_back(p, len);
+    r.col_types_.push_back(code);
+    p += len;
+  }
+  while ((p - file.data()) % 8 != 0) ++p;
+  r.num_rows_ = nrows;
+  r.rows_base_ = p;
+  r.heap_base_ = p + nrows * r.row_width_;
+  if (r.heap_base_ > end) return Status::ParseError(path + ": truncated row data");
+  r.file_ = std::move(file);
+  return r;
+}
+
+int BinRowReader::ColumnIndex(const std::string& name) const {
+  for (size_t j = 0; j < col_names_.size(); ++j) {
+    if (col_names_[j] == name) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+int64_t BinRowReader::ReadInt(uint64_t row, uint32_t col) const {
+  int64_t v;
+  std::memcpy(&v, rows_base_ + row * row_width_ + 8 * col, 8);
+  return v;
+}
+
+double BinRowReader::ReadFloat(uint64_t row, uint32_t col) const {
+  double v;
+  std::memcpy(&v, rows_base_ + row * row_width_ + 8 * col, 8);
+  return v;
+}
+
+bool BinRowReader::ReadBool(uint64_t row, uint32_t col) const {
+  return ReadInt(row, col) != 0;
+}
+
+std::string_view BinRowReader::ReadString(uint64_t row, uint32_t col) const {
+  uint32_t off, len;
+  const char* p = rows_base_ + row * row_width_ + 8 * col;
+  std::memcpy(&off, p, 4);
+  std::memcpy(&len, p + 4, 4);
+  return {heap_base_ + off, len};
+}
+
+}  // namespace proteus

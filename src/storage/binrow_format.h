@@ -1,0 +1,69 @@
+// Relational binary row format ("PROTROW1").
+//
+// Layout: header { magic[8], uint64 nrows, uint32 ncols, uint32 row_width }
+// followed by ncols column descriptors { uint8 typecode, uint16 name_len,
+// name bytes }, padded to 8 bytes, then nrows fixed-width rows (8 bytes per
+// field), then a string heap. Strings are stored in-row as packed
+// (uint32 heap offset, uint32 length).
+//
+// This is the "relational binary, row-oriented" native storage of the paper.
+// Flat (non-nested) schemas only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/mmap_file.h"
+#include "src/common/status.h"
+#include "src/storage/table.h"
+#include "src/types/type.h"
+
+namespace proteus {
+
+namespace binrow {
+constexpr char kMagic[8] = {'P', 'R', 'O', 'T', 'R', 'O', 'W', '1'};
+constexpr uint8_t kTypeInt64 = 1;
+constexpr uint8_t kTypeFloat64 = 2;
+constexpr uint8_t kTypeBool = 3;
+constexpr uint8_t kTypeString = 4;
+constexpr uint8_t kTypeDate = 5;
+}  // namespace binrow
+
+/// Serializes `table` to `path` in PROTROW1 format.
+Status WriteBinaryRowFile(const std::string& path, const RowTable& table);
+
+/// Zero-copy reader over a memory-mapped PROTROW1 file.
+class BinRowReader {
+ public:
+  static Result<BinRowReader> Open(const std::string& path);
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t num_cols() const { return static_cast<uint32_t>(col_names_.size()); }
+  uint32_t row_width() const { return row_width_; }
+  const std::vector<std::string>& col_names() const { return col_names_; }
+  const std::vector<uint8_t>& col_types() const { return col_types_; }
+  int ColumnIndex(const std::string& name) const;
+
+  /// Base pointer of the fixed-width row region; field j of row i lives at
+  /// rows_base() + i * row_width() + 8 * j. Exposed so the JIT scan code can
+  /// emit direct address arithmetic (the plug-in "generates" these accesses).
+  const char* rows_base() const { return rows_base_; }
+  const char* heap_base() const { return heap_base_; }
+
+  int64_t ReadInt(uint64_t row, uint32_t col) const;
+  double ReadFloat(uint64_t row, uint32_t col) const;
+  bool ReadBool(uint64_t row, uint32_t col) const;
+  std::string_view ReadString(uint64_t row, uint32_t col) const;
+
+ private:
+  MmapFile file_;
+  const char* rows_base_ = nullptr;
+  const char* heap_base_ = nullptr;
+  uint64_t num_rows_ = 0;
+  uint32_t row_width_ = 0;
+  std::vector<std::string> col_names_;
+  std::vector<uint8_t> col_types_;
+};
+
+}  // namespace proteus

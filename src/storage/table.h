@@ -1,0 +1,44 @@
+// In-memory row table: the interchange unit between data generators, format
+// writers, and test oracles. Not used on the query path (Proteus queries data
+// in situ).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/types/type.h"
+
+namespace proteus {
+
+/// A schema plus rows of boxed values. Row i, field j corresponds to
+/// schema->fields()[j].
+class RowTable {
+ public:
+  RowTable() = default;
+  explicit RowTable(TypePtr record_type) : record_type_(std::move(record_type)) {}
+
+  const TypePtr& record_type() const { return record_type_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return record_type_ ? record_type_->fields().size() : 0; }
+
+  void Append(std::vector<Value> row) { rows_.push_back(std::move(row)); }
+  const std::vector<Value>& row(size_t i) const { return rows_[i]; }
+  std::vector<std::vector<Value>>& rows() { return rows_; }
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+
+  /// Row as a record Value (for EvalEnv bindings in oracles).
+  Value RecordAt(size_t i) const {
+    std::vector<std::string> names;
+    names.reserve(num_cols());
+    for (const auto& f : record_type_->fields()) names.push_back(f.name);
+    return Value::MakeRecord(std::move(names), rows_[i]);
+  }
+
+ private:
+  TypePtr record_type_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,147 @@
+#include "src/storage/text_writers.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <random>
+#include <sstream>
+
+namespace proteus {
+
+namespace {
+
+void AppendJSONString(std::ostringstream* os, const std::string& s) {
+  (*os) << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': (*os) << "\\\""; break;
+      case '\\': (*os) << "\\\\"; break;
+      case '\n': (*os) << "\\n"; break;
+      case '\t': (*os) << "\\t"; break;
+      case '\r': (*os) << "\\r"; break;
+      default: (*os) << c;
+    }
+  }
+  (*os) << '"';
+}
+
+void AppendJSON(std::ostringstream* os, const Value& v) {
+  if (v.is_null()) {
+    (*os) << "null";
+  } else if (v.is_int()) {
+    (*os) << v.i();
+  } else if (v.is_float()) {
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << v.f();
+    std::string s = tmp.str();
+    // Ensure floats stay floats on round-trip.
+    if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+        s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+      s += ".0";
+    }
+    (*os) << s;
+  } else if (v.is_bool()) {
+    (*os) << (v.b() ? "true" : "false");
+  } else if (v.is_string()) {
+    AppendJSONString(os, v.s());
+  } else if (v.is_record()) {
+    const auto& r = v.record();
+    (*os) << '{';
+    for (size_t i = 0; i < r.names.size(); ++i) {
+      if (i) (*os) << ',';
+      AppendJSONString(os, r.names[i]);
+      (*os) << ':';
+      AppendJSON(os, r.values[i]);
+    }
+    (*os) << '}';
+  } else {
+    (*os) << '[';
+    const auto& l = v.list();
+    for (size_t i = 0; i < l.size(); ++i) {
+      if (i) (*os) << ',';
+      AppendJSON(os, l[i]);
+    }
+    (*os) << ']';
+  }
+}
+
+void AppendCSVValue(std::ostream& os, const Value& v) {
+  if (v.is_null()) return;  // empty cell
+  if (v.is_int()) {
+    os << v.i();
+  } else if (v.is_float()) {
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << v.f();
+    os << tmp.str();
+  } else if (v.is_bool()) {
+    os << (v.b() ? "true" : "false");
+  } else {
+    os << v.s();
+  }
+}
+
+}  // namespace
+
+std::string ValueToJSON(const Value& v) {
+  std::ostringstream os;
+  AppendJSON(&os, v);
+  return os.str();
+}
+
+Status WriteCSVFile(const std::string& path, const RowTable& table,
+                    const CSVWriteOptions& opts) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  const auto& fields = table.record_type()->fields();
+  if (opts.write_header) {
+    for (size_t j = 0; j < fields.size(); ++j) {
+      if (j) out << opts.delimiter;
+      out << fields[j].name;
+    }
+    out << '\n';
+  }
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const auto& row = table.row(i);
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (j) out << opts.delimiter;
+      AppendCSVValue(out, row[j]);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Status WriteJSONFile(const std::string& path, const RowTable& table,
+                     const JSONWriteOptions& opts) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  const auto& fields = table.record_type()->fields();
+  std::mt19937_64 rng(opts.shuffle_seed);
+  std::vector<size_t> order(fields.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const auto& row = table.row(i);
+    if (opts.shuffle_field_order) {
+      std::shuffle(order.begin(), order.end(), rng);
+    }
+    std::ostringstream os;
+    os << '{';
+    for (size_t k = 0; k < order.size(); ++k) {
+      size_t j = order[k];
+      if (k) os << ',';
+      AppendJSONString(&os, fields[j].name);
+      os << ':';
+      AppendJSON(&os, row[j]);
+    }
+    os << '}';
+    out << os.str() << '\n';
+  }
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace proteus

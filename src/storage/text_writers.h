@@ -1,0 +1,40 @@
+// Writers for the textual raw formats (CSV, newline-delimited JSON) used to
+// materialize generated workloads on disk. Query execution never uses these;
+// Proteus reads the raw files in situ through input plug-ins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/storage/table.h"
+
+namespace proteus {
+
+struct CSVWriteOptions {
+  char delimiter = ',';
+  bool write_header = false;
+};
+
+/// Writes `table` as CSV. String fields must not contain the delimiter or
+/// newlines (the generators guarantee this; quoting is out of scope, as the
+/// paper's CSV datasets are machine-generated).
+Status WriteCSVFile(const std::string& path, const RowTable& table,
+                    const CSVWriteOptions& opts = {});
+
+struct JSONWriteOptions {
+  /// When true, each object's top-level field order is permuted pseudo-
+  /// randomly (paper: "JSON file of 28M objects with arbitrary field order").
+  bool shuffle_field_order = false;
+  uint64_t shuffle_seed = 42;
+};
+
+/// Writes `table` as newline-delimited JSON objects. Nested record and list
+/// values serialize recursively.
+Status WriteJSONFile(const std::string& path, const RowTable& table,
+                     const JSONWriteOptions& opts = {});
+
+/// Serializes one Value as JSON text (helper shared with tests).
+std::string ValueToJSON(const Value& v);
+
+}  // namespace proteus

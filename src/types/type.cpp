@@ -1,0 +1,108 @@
+#include "src/types/type.h"
+
+#include <sstream>
+
+namespace proteus {
+
+TypePtr Type::Int64() {
+  static TypePtr t(new Type(TypeKind::kInt64));
+  return t;
+}
+TypePtr Type::Float64() {
+  static TypePtr t(new Type(TypeKind::kFloat64));
+  return t;
+}
+TypePtr Type::Bool() {
+  static TypePtr t(new Type(TypeKind::kBool));
+  return t;
+}
+TypePtr Type::String() {
+  static TypePtr t(new Type(TypeKind::kString));
+  return t;
+}
+TypePtr Type::Date() {
+  static TypePtr t(new Type(TypeKind::kDate));
+  return t;
+}
+
+TypePtr Type::Record(std::vector<Field> fields) {
+  auto* t = new Type(TypeKind::kRecord);
+  t->fields_ = std::move(fields);
+  return TypePtr(t);
+}
+
+TypePtr Type::Collection(CollectionKind kind, TypePtr elem) {
+  auto* t = new Type(TypeKind::kCollection);
+  t->ckind_ = kind;
+  t->elem_ = std::move(elem);
+  return TypePtr(t);
+}
+
+int Type::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<TypePtr> Type::FieldType(const std::string& name) const {
+  int i = FieldIndex(name);
+  if (i < 0) return Status::NotFound("no field '" + name + "' in " + ToString());
+  return fields_[i].type;
+}
+
+bool Type::Equals(const Type& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case TypeKind::kRecord: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name) return false;
+        if (!fields_[i].type->Equals(*other.fields_[i].type)) return false;
+      }
+      return true;
+    }
+    case TypeKind::kCollection:
+      return ckind_ == other.ckind_ && elem_->Equals(*other.elem_);
+    default:
+      return true;
+  }
+}
+
+const char* CollectionKindName(CollectionKind k) {
+  switch (k) {
+    case CollectionKind::kBag: return "bag";
+    case CollectionKind::kList: return "list";
+    case CollectionKind::kSet: return "set";
+    case CollectionKind::kArray: return "array";
+  }
+  return "?";
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kInt64: return "int64";
+    case TypeKind::kFloat64: return "float64";
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kString: return "string";
+    case TypeKind::kDate: return "date";
+    case TypeKind::kRecord: {
+      std::ostringstream os;
+      os << "record<";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i) os << ", ";
+        os << fields_[i].name << ": " << fields_[i].type->ToString();
+      }
+      os << ">";
+      return os.str();
+    }
+    case TypeKind::kCollection: {
+      std::ostringstream os;
+      os << CollectionKindName(ckind_) << "<" << elem_->ToString() << ">";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace proteus

@@ -1,0 +1,83 @@
+// The Proteus type system: primitives, records, and monoid collections.
+//
+// The monoid comprehension calculus (Fegaras & Maier) supports arbitrary
+// nestings of collection monoids (bag, set, list, array) over records and
+// primitives. Types are immutable and shared via TypePtr.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace proteus {
+
+enum class TypeKind {
+  kInt64,
+  kFloat64,
+  kBool,
+  kString,
+  kDate,       ///< days since epoch, stored as int64
+  kRecord,
+  kCollection,
+};
+
+enum class CollectionKind { kBag, kList, kSet, kArray };
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+struct Field {
+  std::string name;
+  TypePtr type;
+};
+
+/// An immutable type descriptor.
+class Type {
+ public:
+  static TypePtr Int64();
+  static TypePtr Float64();
+  static TypePtr Bool();
+  static TypePtr String();
+  static TypePtr Date();
+  static TypePtr Record(std::vector<Field> fields);
+  static TypePtr Collection(CollectionKind kind, TypePtr elem);
+  /// Shorthand: bag-of-records, the common dataset type.
+  static TypePtr BagOfRecords(std::vector<Field> fields) {
+    return Collection(CollectionKind::kBag, Record(std::move(fields)));
+  }
+
+  TypeKind kind() const { return kind_; }
+  bool is_primitive() const {
+    return kind_ != TypeKind::kRecord && kind_ != TypeKind::kCollection;
+  }
+  bool is_numeric() const { return kind_ == TypeKind::kInt64 || kind_ == TypeKind::kFloat64 || kind_ == TypeKind::kDate; }
+
+  /// Record accessors (kind() == kRecord).
+  const std::vector<Field>& fields() const { return fields_; }
+  /// Returns the index of `name` in fields(), or -1.
+  int FieldIndex(const std::string& name) const;
+  /// Returns the type of field `name`, or error.
+  Result<TypePtr> FieldType(const std::string& name) const;
+
+  /// Collection accessors (kind() == kCollection).
+  CollectionKind collection_kind() const { return ckind_; }
+  const TypePtr& elem() const { return elem_; }
+
+  /// Structural equality.
+  bool Equals(const Type& other) const;
+  std::string ToString() const;
+
+ private:
+  explicit Type(TypeKind k) : kind_(k) {}
+
+  TypeKind kind_;
+  std::vector<Field> fields_;                      // kRecord
+  CollectionKind ckind_ = CollectionKind::kBag;    // kCollection
+  TypePtr elem_;                                   // kCollection
+};
+
+const char* CollectionKindName(CollectionKind k);
+
+}  // namespace proteus

@@ -1,0 +1,94 @@
+// Shared fixture: generates a small TPC-H-like corpus in every format once
+// per test binary and registers it with fresh engines on demand.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/core/query_engine.h"
+#include "src/datagen/spam.h"
+#include "src/datagen/tpch.h"
+#include "src/storage/bincol_format.h"
+#include "src/storage/binrow_format.h"
+#include "src/storage/text_writers.h"
+
+namespace proteus {
+namespace testutil {
+
+struct Corpus {
+  std::string dir;
+  RowTable lineitem;
+  RowTable orders;
+  RowTable denorm;
+  RowTable spam;
+  uint64_t num_orders = 60;
+
+  static const Corpus& Get() {
+    static Corpus c = Build();
+    return c;
+  }
+
+ private:
+  static Corpus Build() {
+    Corpus c;
+    c.dir = ::testing::TempDir() + "/proteus_corpus";
+    std::filesystem::create_directories(c.dir);
+    c.lineitem = datagen::GenLineitem(c.num_orders, 101);
+    c.orders = datagen::GenOrders(c.num_orders, 102);
+    c.denorm = datagen::Denormalize(c.orders, c.lineitem);
+    c.spam = datagen::GenSpamJSON(80, 103);
+
+    auto check = [](const Status& s) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    };
+    check(WriteBinaryColumnDir(c.dir + "/lineitem.bincol", c.lineitem));
+    check(WriteBinaryColumnDir(c.dir + "/orders.bincol", c.orders));
+    check(WriteBinaryRowFile(c.dir + "/lineitem.binrow", c.lineitem));
+    check(WriteCSVFile(c.dir + "/lineitem.csv", c.lineitem));
+    check(WriteCSVFile(c.dir + "/orders.csv", c.orders));
+    check(WriteJSONFile(c.dir + "/lineitem.json", c.lineitem));
+    check(WriteJSONFile(c.dir + "/orders.json", c.orders));
+    JSONWriteOptions shuffled;
+    shuffled.shuffle_field_order = true;
+    check(WriteJSONFile(c.dir + "/lineitem_shuffled.json", c.lineitem, shuffled));
+    check(WriteJSONFile(c.dir + "/denorm.json", c.denorm));
+    check(WriteJSONFile(c.dir + "/spam.json", c.spam));
+    return c;
+  }
+};
+
+/// Registers the full corpus under canonical names:
+/// lineitem_{bincol,binrow,csv,json,json_shuffled}, orders_{bincol,csv,json},
+/// orders_denorm (JSON), spam (JSON).
+inline void RegisterAll(QueryEngine* engine) {
+  const Corpus& c = Corpus::Get();
+  auto reg = [&](const std::string& name, DataFormat fmt, const std::string& path,
+                 TypePtr type) {
+    DatasetInfo info;
+    info.name = name;
+    info.format = fmt;
+    info.path = path;
+    info.type = std::move(type);
+    ASSERT_TRUE(engine->RegisterDataset(info).ok()) << name;
+  };
+  reg("lineitem_bincol", DataFormat::kBinaryColumn, c.dir + "/lineitem.bincol",
+      datagen::LineitemSchema());
+  reg("orders_bincol", DataFormat::kBinaryColumn, c.dir + "/orders.bincol",
+      datagen::OrdersSchema());
+  reg("lineitem_binrow", DataFormat::kBinaryRow, c.dir + "/lineitem.binrow",
+      datagen::LineitemSchema());
+  reg("lineitem_csv", DataFormat::kCSV, c.dir + "/lineitem.csv", datagen::LineitemSchema());
+  reg("orders_csv", DataFormat::kCSV, c.dir + "/orders.csv", datagen::OrdersSchema());
+  reg("lineitem_json", DataFormat::kJSON, c.dir + "/lineitem.json",
+      datagen::LineitemSchema());
+  reg("lineitem_json_shuffled", DataFormat::kJSON, c.dir + "/lineitem_shuffled.json",
+      datagen::LineitemSchema());
+  reg("orders_json", DataFormat::kJSON, c.dir + "/orders.json", datagen::OrdersSchema());
+  reg("orders_denorm", DataFormat::kJSON, c.dir + "/denorm.json",
+      datagen::OrdersDenormSchema());
+  reg("spam", DataFormat::kJSON, c.dir + "/spam.json", datagen::SpamJSONSchema());
+}
+
+}  // namespace testutil
+}  // namespace proteus

@@ -1,0 +1,228 @@
+// Tests for the baseline engines: results must agree with Proteus (they run
+// the same logical queries), and their architectural cost signatures must
+// show up in the software counters.
+#include <gtest/gtest.h>
+
+#include "src/baselines/baselines.h"
+#include "src/common/counters.h"
+#include "tests/engine_test_util.h"
+
+namespace proteus {
+namespace baselines {
+namespace {
+
+using testutil::Corpus;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const Corpus& c = Corpus::Get();
+    ASSERT_TRUE(row_.LoadTable("lineitem", c.lineitem).ok());
+    ASSERT_TRUE(row_.LoadTable("orders", c.orders).ok());
+    ASSERT_TRUE(row_.LoadDocuments("spam", c.spam).ok());
+    ASSERT_TRUE(row_.LoadDocuments("denorm", c.denorm).ok());
+    ASSERT_TRUE(col_.LoadTable("lineitem", c.lineitem).ok());
+    ASSERT_TRUE(col_.LoadTable("orders", c.orders).ok());
+    ColumnarOptions sorted;
+    sorted.sort_key = "l_orderkey";
+    ASSERT_TRUE(col_.LoadTable("lineitem_sorted", c.lineitem, sorted).ok());
+    ASSERT_TRUE(col_.LoadJSONAsVarchar("lineitem_varchar", c.lineitem).ok());
+    ASSERT_TRUE(doc_.LoadDocuments("lineitem", c.lineitem).ok());
+    ASSERT_TRUE(doc_.LoadDocuments("orders", c.orders).ok());
+    ASSERT_TRUE(doc_.LoadDocuments("denorm", c.denorm).ok());
+    ASSERT_TRUE(doc_.LoadDocuments("spam", c.spam).ok());
+  }
+
+  RowStoreEngine row_;
+  ColumnarEngine col_;
+  DocStoreEngine doc_;
+};
+
+int64_t OracleCount(double key_lt) {
+  int64_t n = 0;
+  for (const auto& r : Corpus::Get().lineitem.rows()) {
+    if (r[0].i() < key_lt) ++n;
+  }
+  return n;
+}
+
+TEST_F(BaselinesTest, AllEnginesAgreeOnCount) {
+  BenchQuery q;
+  q.table = "lineitem";
+  q.where = {{.col = "l_orderkey", .cmp = '<', .val = 30}};
+  q.aggs = {{AggKind::kCount, ""}};
+  int64_t expected = OracleCount(30);
+  auto a = row_.Execute(q);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->scalar().i(), expected);
+  auto b = col_.Execute(q);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->scalar().i(), expected);
+  auto c = doc_.Execute(q);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->scalar().i(), expected);
+  q.table = "lineitem_sorted";
+  auto d = col_.Execute(q);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->scalar().i(), expected);
+  q.table = "lineitem_varchar";
+  auto e = col_.Execute(q);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->scalar().i(), expected);
+}
+
+TEST_F(BaselinesTest, AggregatesMatchOracle) {
+  const Corpus& c = Corpus::Get();
+  double maxq = -1e300, sumt = 0;
+  for (const auto& r : c.lineitem.rows()) {
+    if (r[0].i() < 40) {
+      maxq = std::max(maxq, r[2].f());
+      sumt += r[5].f();
+    }
+  }
+  BenchQuery q;
+  q.table = "lineitem";
+  q.where = {{.col = "l_orderkey", .cmp = '<', .val = 40}};
+  q.aggs = {{AggKind::kMax, "l_quantity"}, {AggKind::kSum, "l_tax"}};
+  for (int engine = 0; engine < 3; ++engine) {
+    Result<QueryResult> r = engine == 0   ? row_.Execute(q)
+                            : engine == 1 ? col_.Execute(q)
+                                          : doc_.Execute(q);
+    ASSERT_TRUE(r.ok()) << engine;
+    EXPECT_NEAR(r->rows[0][0].AsFloat(), maxq, 1e-9) << engine;
+    EXPECT_NEAR(r->rows[0][1].AsFloat(), sumt, 1e-6) << engine;
+  }
+}
+
+TEST_F(BaselinesTest, JoinAgree) {
+  const Corpus& c = Corpus::Get();
+  int64_t expected = 0;
+  for (const auto& r : c.lineitem.rows()) {
+    if (r[0].i() < 25) ++expected;
+  }
+  BenchQuery q;
+  q.table = "lineitem";
+  q.where = {{.col = "l_orderkey", .cmp = '<', .val = 25}};
+  q.aggs = {{AggKind::kCount, ""}};
+  q.join_table = "orders";
+  q.probe_key = "l_orderkey";
+  q.build_key = "o_orderkey";
+  auto a = row_.Execute(q);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->scalar().i(), expected);
+  auto b = col_.Execute(q);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->scalar().i(), expected);
+  auto d = doc_.Execute(q);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->scalar().i(), expected);
+}
+
+TEST_F(BaselinesTest, UnnestAgree) {
+  const Corpus& c = Corpus::Get();
+  int64_t expected = 0;
+  for (const auto& r : c.denorm.rows()) {
+    for (const auto& l : r[3].list()) {
+      if (l.GetField("l_quantity")->f() > 25.0) ++expected;
+    }
+  }
+  BenchQuery q;
+  q.table = "denorm";
+  q.aggs = {{AggKind::kCount, ""}};
+  q.unnest_path = "lineitems";
+  q.unnest_where = {{.col = "l_quantity", .cmp = '>', .val = 25.0}};
+  auto a = row_.Execute(q);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->scalar().i(), expected);
+  auto d = doc_.Execute(q);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->scalar().i(), expected);
+  // Columnar has no unnest operator (as in the paper's MonetDB experience).
+  EXPECT_FALSE(col_.Execute(q).ok());
+}
+
+TEST_F(BaselinesTest, GroupByAgree) {
+  const Corpus& c = Corpus::Get();
+  std::map<int64_t, int64_t> expected;
+  for (const auto& r : c.lineitem.rows()) expected[r[1].i()]++;
+  BenchQuery q;
+  q.table = "lineitem";
+  q.aggs = {{AggKind::kCount, ""}};
+  q.group_by = "l_linenumber";
+  for (int engine = 0; engine < 3; ++engine) {
+    Result<QueryResult> r = engine == 0   ? row_.Execute(q)
+                            : engine == 1 ? col_.Execute(q)
+                                          : doc_.Execute(q);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->rows.size(), expected.size()) << engine;
+    for (const auto& row : r->rows) {
+      EXPECT_EQ(row[1].i(), expected.at(row[0].i())) << engine;
+    }
+  }
+}
+
+TEST_F(BaselinesTest, ColumnarMaterializationGrowsWithSelectivity) {
+  BenchQuery lo;
+  lo.table = "lineitem";
+  lo.where = {{.col = "l_orderkey", .cmp = '<', .val = 6}};
+  lo.aggs = {{AggKind::kMax, "l_quantity"}};
+  BenchQuery hi = lo;
+  hi.where[0].val = 60;
+  ASSERT_TRUE(col_.Execute(lo).ok());
+  size_t lo_bytes = col_.last_materialized_bytes();
+  ASSERT_TRUE(col_.Execute(hi).ok());
+  size_t hi_bytes = col_.last_materialized_bytes();
+  EXPECT_GT(hi_bytes, lo_bytes);  // the crossover driver in Figs 6/8/10
+}
+
+TEST_F(BaselinesTest, SortedTableStillCorrectUnderZoneSkipping) {
+  for (double sel : {3.0, 11.0, 47.0, 60.0}) {
+    BenchQuery q;
+    q.table = "lineitem_sorted";
+    q.where = {{.col = "l_orderkey", .cmp = '<', .val = sel}};
+    q.aggs = {{AggKind::kCount, ""}};
+    auto r = col_.Execute(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->scalar().i(), OracleCount(sel)) << sel;
+  }
+}
+
+TEST_F(BaselinesTest, RowStoreCountsInterpretationOverhead) {
+  GlobalCounters().Reset();
+  BenchQuery q;
+  q.table = "lineitem";
+  q.where = {{.col = "l_orderkey", .cmp = '<', .val = 60}};
+  q.aggs = {{AggKind::kCount, ""}};
+  ASSERT_TRUE(row_.Execute(q).ok());
+  EXPECT_GT(GlobalCounters().virtual_calls, Corpus::Get().lineitem.num_rows());
+}
+
+TEST(DocEncoding, RoundTripNestedDocument) {
+  Value rec = Value::MakeRecord(
+      {"id", "score", "flag", "name", "origin", "items"},
+      {Value::Int(7), Value::Float(0.25), Value::Boolean(true), Value::Str("hello"),
+       Value::MakeRecord({"country"}, {Value::Str("US")}),
+       Value::MakeList({Value::Int(1), Value::MakeRecord({"x"}, {Value::Int(2)})})});
+  std::string buf;
+  EncodeDocument(rec, &buf);
+  double num;
+  EXPECT_TRUE(DocGetNumeric(buf.data(), "id", &num));
+  EXPECT_EQ(num, 7);
+  EXPECT_TRUE(DocGetNumeric(buf.data(), "score", &num));
+  EXPECT_DOUBLE_EQ(num, 0.25);
+  std::string_view s;
+  EXPECT_TRUE(DocGetString(buf.data(), "name", &s));
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(DocGetString(buf.data(), "origin.country", &s));
+  EXPECT_EQ(s, "US");
+  const char* arr;
+  uint32_t count;
+  EXPECT_TRUE(DocGetArray(buf.data(), "items", &arr, &count));
+  EXPECT_EQ(count, 2u);
+  EXPECT_FALSE(DocGetNumeric(buf.data(), "missing", &num));
+  EXPECT_FALSE(DocGetNumeric(buf.data(), "name", &num));  // wrong type
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace proteus

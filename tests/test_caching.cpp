@@ -1,0 +1,171 @@
+// Tests for the adaptive caching subsystem (paper §6): block building,
+// plan-signature matching, plan rewriting, hybrid string reads, eviction
+// policy (format-biased LRU), and invalidation on dataset updates.
+#include <gtest/gtest.h>
+
+#include "src/engine/radix_table.h"
+#include "tests/engine_test_util.h"
+
+namespace proteus {
+namespace {
+
+using testutil::Corpus;
+
+class CachingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions opts;
+    opts.cache_policy.enabled = true;
+    engine_ = std::make_unique<QueryEngine>(opts);
+    testutil::RegisterAll(engine_.get());
+  }
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(CachingTest, FirstQueryBuildsCacheSecondUsesIt) {
+  std::string q = "SELECT count(*) FROM lineitem_json WHERE l_orderkey < 30";
+  auto r1 = engine_->Execute(q);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_GT(engine_->caches().num_blocks(), 0u);
+  double first_build = engine_->telemetry().cache_build_ms;
+  EXPECT_GT(first_build, 0.0);
+
+  auto r2 = engine_->Execute(q);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(engine_->telemetry().used_cache);
+  EXPECT_TRUE(r1->EqualsUnordered(*r2));
+}
+
+TEST_F(CachingTest, CacheSharedAcrossDifferentQueriesOnSameFields) {
+  ASSERT_TRUE(engine_->Execute("SELECT count(*) FROM lineitem_json WHERE l_orderkey < 30")
+                  .ok());
+  size_t blocks = engine_->caches().num_blocks();
+  // Different predicate, same fields: full sub-tree scan match applies.
+  auto r = engine_->Execute("SELECT count(*) FROM lineitem_json WHERE l_orderkey < 50");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(engine_->telemetry().used_cache);
+  EXPECT_EQ(engine_->caches().num_blocks(), blocks);  // no new block
+}
+
+TEST_F(CachingTest, WiderFieldSetReplacesNarrowBlock) {
+  ASSERT_TRUE(engine_->Execute("SELECT count(*) FROM lineitem_json WHERE l_orderkey < 30")
+                  .ok());
+  // Query needing an extra numeric field: the narrow block cannot serve it;
+  // a wider block replaces it (Install() drops covered same-signature blocks).
+  auto r = engine_->Execute(
+      "SELECT max(l_quantity) FROM lineitem_json WHERE l_orderkey < 30");
+  ASSERT_TRUE(r.ok());
+  auto r2 = engine_->Execute(
+      "SELECT max(l_quantity) FROM lineitem_json WHERE l_orderkey < 30");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(engine_->telemetry().used_cache);
+  EXPECT_NEAR(r->scalar().AsFloat(), r2->scalar().AsFloat(), 1e-9);
+}
+
+TEST_F(CachingTest, StringPredicateUsesHybridOidReads) {
+  // Strings are not cached (policy); the predicate still answers correctly
+  // through raw reads addressed by the cached OID column.
+  std::string q = "SELECT count(*) FROM lineitem_json WHERE l_shipmode = 'AIR'";
+  auto r1 = engine_->Execute(q);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = engine_->Execute(q);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(engine_->telemetry().used_cache);
+  int64_t expected = 0;
+  for (const auto& row : Corpus::Get().lineitem.rows()) {
+    if (row[6].s() == "AIR") ++expected;
+  }
+  EXPECT_EQ(r1->scalar().i(), expected);
+  EXPECT_EQ(r2->scalar().i(), expected);
+}
+
+TEST_F(CachingTest, InvalidationDropsCachesAndRecovers) {
+  std::string q = "SELECT count(*) FROM lineitem_json WHERE l_orderkey < 30";
+  ASSERT_TRUE(engine_->Execute(q).ok());
+  ASSERT_GT(engine_->caches().num_blocks(), 0u);
+  engine_->InvalidateDataset("lineitem_json");
+  EXPECT_EQ(engine_->caches().num_blocks(), 0u);
+  auto r = engine_->Execute(q);  // rebuilds index + cache
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(engine_->caches().num_blocks(), 0u);
+}
+
+TEST(CachingManager, FormatBiasedEviction) {
+  CachePolicy policy;
+  policy.enabled = true;
+  policy.memory_budget_bytes = 1;  // force eviction on every install
+  CachingManager mgr(policy);
+
+  auto block = [](const std::string& sig, DataFormat fmt, size_t rows) {
+    CacheBlock b;
+    b.signature = sig;
+    b.source_format = fmt;
+    b.num_rows = rows;
+    CacheColumn col;
+    col.var = "x";
+    col.path = {"f"};
+    col.type = TypeKind::kInt64;
+    col.ints.resize(rows);
+    b.cols.push_back(std::move(col));
+    return b;
+  };
+  // Install a JSON-sourced and a CSV-sourced block; over budget, the CSV
+  // block (cheaper to rebuild) must be evicted first.
+  mgr.Install(block("scan(a as x)", DataFormat::kJSON, 1000));
+  mgr.Install(block("scan(b as x)", DataFormat::kCSV, 1000));
+  ASSERT_EQ(mgr.num_blocks(), 1u);
+  EXPECT_EQ(mgr.blocks()[0]->source_format, DataFormat::kJSON);
+}
+
+TEST(CachingManager, SignatureMatchIsExact) {
+  CachingManager mgr({.enabled = true});
+  CacheBlock b;
+  b.signature = Operator::Scan("ds", "x")->Signature();
+  b.num_rows = 0;
+  mgr.Install(std::move(b));
+  EXPECT_NE(mgr.FindMatch(*Operator::Scan("ds", "x")), nullptr);
+  EXPECT_EQ(mgr.FindMatch(*Operator::Scan("ds", "y")), nullptr);   // other binding
+  EXPECT_EQ(mgr.FindMatch(*Operator::Scan("ds2", "x")), nullptr);  // other dataset
+}
+
+TEST(RadixTable, InsertBuildProbe) {
+  RadixTable t(4);
+  for (uint32_t i = 0; i < 1000; ++i) t.Insert(HashMix64(i % 100), i);
+  t.Build();
+  // Every key 0..99 has exactly 10 rows.
+  for (uint64_t k = 0; k < 100; ++k) {
+    int hits = 0;
+    t.Probe(HashMix64(k), [&](uint32_t row) {
+      EXPECT_EQ(row % 100, k);
+      ++hits;
+    });
+    EXPECT_EQ(hits, 10) << k;
+  }
+  // Missing keys probe empty.
+  int miss = 0;
+  t.Probe(HashMix64(100000), [&](uint32_t) { ++miss; });
+  EXPECT_EQ(miss, 0);
+}
+
+TEST(RadixTable, EmptyTableProbeSafe) {
+  RadixTable t;
+  t.Build();
+  int hits = 0;
+  t.Probe(42, [&](uint32_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(RadixTable, SingleEntry) {
+  RadixTable t;
+  t.Insert(HashMix64(7), 3);
+  t.Build();
+  int hits = 0;
+  t.Probe(HashMix64(7), [&](uint32_t row) {
+    EXPECT_EQ(row, 3u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,196 @@
+// Unit tests for expression construction, type checking, evaluation, and
+// constant folding.
+#include <gtest/gtest.h>
+
+#include "src/expr/eval.h"
+#include "src/expr/expr.h"
+
+namespace proteus {
+namespace {
+
+TypePtr LineitemType() {
+  return Type::Record({{"l_orderkey", Type::Int64()},
+                       {"l_quantity", Type::Float64()},
+                       {"l_comment", Type::String()},
+                       {"l_flag", Type::Bool()}});
+}
+
+TEST(Expr, ToStringCanonical) {
+  auto e = Expr::Bin(BinOp::kLt, Expr::Proj(Expr::Var("l"), "l_orderkey"), Expr::Int(10));
+  EXPECT_EQ(e->ToString(), "(l.l_orderkey < 10)");
+}
+
+TEST(Expr, EqualsStructural) {
+  auto a = Expr::Bin(BinOp::kAdd, Expr::Var("x"), Expr::Int(1));
+  auto b = Expr::Bin(BinOp::kAdd, Expr::Var("x"), Expr::Int(1));
+  auto c = Expr::Bin(BinOp::kAdd, Expr::Var("x"), Expr::Int(2));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(Expr, FreeVars) {
+  auto e = Expr::Bin(BinOp::kAdd, Expr::Proj(Expr::Var("a"), "f"), Expr::Var("b"));
+  std::unordered_set<std::string> fv;
+  e->CollectFreeVars(&fv);
+  EXPECT_EQ(fv.size(), 2u);
+  EXPECT_TRUE(fv.count("a"));
+  EXPECT_TRUE(fv.count("b"));
+  EXPECT_TRUE(e->OnlyDependsOn({"a", "b", "c"}));
+  EXPECT_FALSE(e->OnlyDependsOn({"a"}));
+}
+
+TEST(Expr, SubstituteVar) {
+  auto e = Expr::Bin(BinOp::kAdd, Expr::Var("x"), Expr::Var("y"));
+  auto s = Expr::SubstituteVar(e, "x", Expr::Int(5));
+  EXPECT_EQ(s->ToString(), "(5 + y)");
+  // Original unchanged.
+  EXPECT_EQ(e->ToString(), "(x + y)");
+}
+
+TEST(TypeCheck, InfersArithmetic) {
+  TypeEnv env{{"l", LineitemType()}};
+  auto e = Expr::Bin(BinOp::kAdd, Expr::Proj(Expr::Var("l"), "l_orderkey"),
+                     Expr::Proj(Expr::Var("l"), "l_quantity"));
+  auto t = TypeCheck(e, env);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ((*t)->kind(), TypeKind::kFloat64);  // int + float widens
+}
+
+TEST(TypeCheck, DivisionIsFloat) {
+  TypeEnv env;
+  auto e = Expr::Bin(BinOp::kDiv, Expr::Int(1), Expr::Int(2));
+  auto t = TypeCheck(e, env);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->kind(), TypeKind::kFloat64);
+}
+
+TEST(TypeCheck, RejectsUnboundVar) {
+  TypeEnv env;
+  auto t = TypeCheck(Expr::Var("ghost"), env);
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(TypeCheck, RejectsBadProjection) {
+  TypeEnv env{{"l", LineitemType()}};
+  EXPECT_FALSE(TypeCheck(Expr::Proj(Expr::Var("l"), "nope"), env).ok());
+  EXPECT_FALSE(TypeCheck(Expr::Proj(Expr::Int(3), "f"), env).ok());
+}
+
+TEST(TypeCheck, RejectsStringArithmetic) {
+  TypeEnv env{{"l", LineitemType()}};
+  auto e = Expr::Bin(BinOp::kAdd, Expr::Proj(Expr::Var("l"), "l_comment"), Expr::Int(1));
+  EXPECT_FALSE(TypeCheck(e, env).ok());
+}
+
+TEST(TypeCheck, RecordConstruction) {
+  TypeEnv env{{"l", LineitemType()}};
+  auto e = Expr::Record({"k", "q"}, {Expr::Proj(Expr::Var("l"), "l_orderkey"),
+                                     Expr::Proj(Expr::Var("l"), "l_quantity")});
+  auto t = TypeCheck(e, env);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->kind(), TypeKind::kRecord);
+  EXPECT_EQ((*t)->fields()[0].name, "k");
+}
+
+TEST(Eval, Arithmetic) {
+  EvalEnv env;
+  auto e = Expr::Bin(BinOp::kMul, Expr::Int(6), Expr::Int(7));
+  auto v = Eval(e, env);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->i(), 42);
+}
+
+TEST(Eval, ProjectionChain) {
+  EvalEnv env;
+  env["s"] = Value::MakeRecord(
+      {"addr"}, {Value::MakeRecord({"city"}, {Value::Str("lausanne")})});
+  auto e = Expr::Path({"s", "addr", "city"});
+  auto v = Eval(e, env);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->s(), "lausanne");
+}
+
+TEST(Eval, ShortCircuitAnd) {
+  EvalEnv env{{"x", Value::Int(0)}};
+  // (false and (1/0 ...)) must not evaluate the rhs.
+  auto e = Expr::Bin(BinOp::kAnd, Expr::Bool(false),
+                     Expr::Bin(BinOp::kEq, Expr::Bin(BinOp::kDiv, Expr::Int(1), Expr::Var("x")),
+                               Expr::Int(1)));
+  auto v = Eval(e, env);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->b());
+}
+
+TEST(Eval, DivisionByZeroFails) {
+  EvalEnv env;
+  auto e = Expr::Bin(BinOp::kDiv, Expr::Int(1), Expr::Int(0));
+  EXPECT_FALSE(Eval(e, env).ok());
+}
+
+TEST(Eval, NullPropagates) {
+  EvalEnv env{{"x", Value::Null()}};
+  auto e = Expr::Bin(BinOp::kAdd, Expr::Var("x"), Expr::Int(1));
+  auto v = Eval(e, env);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  // Null in a predicate is false.
+  auto p = EvalPredicate(Expr::Bin(BinOp::kLt, Expr::Var("x"), Expr::Int(1)), env);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(*p);
+}
+
+TEST(Eval, IfExpression) {
+  EvalEnv env{{"x", Value::Int(5)}};
+  auto e = Expr::If(Expr::Bin(BinOp::kGt, Expr::Var("x"), Expr::Int(3)), Expr::Str("big"),
+                    Expr::Str("small"));
+  auto v = Eval(e, env);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->s(), "big");
+}
+
+TEST(Eval, CastIntFloat) {
+  EvalEnv env;
+  auto v = Eval(Expr::Cast(Type::Float64(), Expr::Int(3)), env);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_float());
+  EXPECT_DOUBLE_EQ(v->f(), 3.0);
+  auto w = Eval(Expr::Cast(Type::Int64(), Expr::Float(3.9)), env);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->i(), 3);
+}
+
+TEST(Fold, LiteralArithmetic) {
+  auto e = Expr::Bin(BinOp::kAdd, Expr::Int(1), Expr::Bin(BinOp::kMul, Expr::Int(2), Expr::Int(3)));
+  auto f = FoldConstants(e);
+  ASSERT_EQ(f->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(f->literal().i(), 7);
+}
+
+TEST(Fold, BooleanIdentities) {
+  auto x = Expr::Bin(BinOp::kLt, Expr::Var("x"), Expr::Int(1));
+  EXPECT_EQ(FoldConstants(Expr::Bin(BinOp::kAnd, Expr::Bool(true), x))->ToString(), x->ToString());
+  EXPECT_EQ(FoldConstants(Expr::Bin(BinOp::kAnd, Expr::Bool(false), x))->ToString(), "false");
+  EXPECT_EQ(FoldConstants(Expr::Bin(BinOp::kOr, Expr::Bool(true), x))->ToString(), "true");
+}
+
+TEST(Fold, KeepsRuntimeErrors) {
+  // 1/0 must not fold into a crash; it stays an expression.
+  auto e = Expr::Bin(BinOp::kDiv, Expr::Int(1), Expr::Int(0));
+  auto f = FoldConstants(e);
+  EXPECT_EQ(f->kind(), ExprKind::kBinary);
+}
+
+TEST(Conjuncts, SplitAndCombine) {
+  auto a = Expr::Bin(BinOp::kLt, Expr::Var("x"), Expr::Int(1));
+  auto b = Expr::Bin(BinOp::kGt, Expr::Var("y"), Expr::Int(2));
+  auto c = Expr::Bin(BinOp::kEq, Expr::Var("z"), Expr::Int(3));
+  auto pred = Expr::Bin(BinOp::kAnd, Expr::Bin(BinOp::kAnd, a, b), c);
+  auto parts = SplitConjuncts(pred);
+  ASSERT_EQ(parts.size(), 3u);
+  auto back = CombineConjuncts(parts);
+  EXPECT_TRUE(back->Equals(*pred));
+  EXPECT_EQ(CombineConjuncts({})->ToString(), "true");
+}
+
+}  // namespace
+}  // namespace proteus

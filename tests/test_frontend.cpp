@@ -1,0 +1,301 @@
+// Tests for the query frontends (comprehension + SQL), the calculus
+// normalization rules, the calculus-to-algebra translation, and the
+// optimizer passes.
+#include <gtest/gtest.h>
+
+#include "src/calculus/calculus.h"
+#include "src/datagen/spam.h"
+#include "src/datagen/tpch.h"
+#include "src/optimizer/optimizer.h"
+#include "src/parser/parser.h"
+
+namespace proteus {
+namespace {
+
+class FrontendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetInfo lineitem{.name = "lineitem", .format = DataFormat::kBinaryColumn,
+                         .path = "/dev/null", .type = datagen::LineitemSchema()};
+    DatasetInfo orders{.name = "orders", .format = DataFormat::kBinaryColumn,
+                       .path = "/dev/null", .type = datagen::OrdersSchema()};
+    DatasetInfo denorm{.name = "orders_denorm", .format = DataFormat::kJSON,
+                       .path = "/dev/null", .type = datagen::OrdersDenormSchema()};
+    DatasetInfo spam{.name = "spam", .format = DataFormat::kJSON, .path = "/dev/null",
+                     .type = datagen::SpamJSONSchema()};
+    ASSERT_TRUE(catalog_.Register(lineitem).ok());
+    ASSERT_TRUE(catalog_.Register(orders).ok());
+    ASSERT_TRUE(catalog_.Register(denorm).ok());
+    ASSERT_TRUE(catalog_.Register(spam).ok());
+  }
+
+  OpPtr MustPlan(const std::string& q) {
+    auto comp = ParseQuery(q, catalog_);
+    EXPECT_TRUE(comp.ok()) << q << "\n" << comp.status().ToString();
+    Normalize(&*comp);
+    auto plan = ToAlgebra(*comp, catalog_);
+    EXPECT_TRUE(plan.ok()) << q << "\n" << plan.status().ToString();
+    return *plan;
+  }
+
+  OpPtr MustOptimize(const std::string& q) {
+    Optimizer opt(catalog_);
+    auto plan = opt.Optimize(MustPlan(q));
+    EXPECT_TRUE(plan.ok()) << q << "\n" << plan.status().ToString();
+    return *plan;
+  }
+
+  Catalog catalog_;
+};
+
+// ---------------------------------------------------------------------------
+// Comprehension parsing
+// ---------------------------------------------------------------------------
+
+TEST_F(FrontendTest, ParsesSimpleComprehension) {
+  auto c = ParseComprehension("for { l <- lineitem, l.l_orderkey < 100 } yield count");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  ASSERT_EQ(c->quals.size(), 2u);
+  EXPECT_EQ(c->quals[0].kind, Qualifier::Kind::kGenerator);
+  EXPECT_EQ(c->quals[0].var, "l");
+  EXPECT_EQ(c->quals[1].kind, Qualifier::Kind::kPredicate);
+  EXPECT_EQ(c->monoid, Monoid::kCount);
+}
+
+TEST_F(FrontendTest, ParsesRecordConstructionAndPaths) {
+  auto c = ParseComprehension(
+      "for { s <- spam, k <- s.classes, k.label > 3 } "
+      "yield bag <id: s.mail_id, lab: k.label>");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->monoid, Monoid::kBag);
+  EXPECT_EQ(c->head->kind(), ExprKind::kRecordCons);
+  // Generator over a path == unnest.
+  EXPECT_EQ(c->quals[1].source->ToString(), "s.classes");
+}
+
+TEST_F(FrontendTest, ParsesMultiAggregateYield) {
+  auto c = ParseComprehension(
+      "for { l <- lineitem } yield (count, max l.l_quantity as mq, sum l.l_tax)");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  ASSERT_EQ(c->outputs.size(), 3u);
+  EXPECT_EQ(c->outputs[0].monoid, Monoid::kCount);
+  EXPECT_EQ(c->outputs[1].name, "mq");
+  EXPECT_EQ(c->outputs[2].monoid, Monoid::kSum);
+}
+
+TEST_F(FrontendTest, ParseErrorsAreReported) {
+  EXPECT_FALSE(ParseComprehension("for { } yield count").ok());
+  EXPECT_FALSE(ParseComprehension("for { l <- lineitem yield count").ok());
+  EXPECT_FALSE(ParseComprehension("hello world").ok());
+  EXPECT_FALSE(ParseQuery("", catalog_).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Normalization
+// ---------------------------------------------------------------------------
+
+TEST_F(FrontendTest, NestedComprehensionSplices) {
+  // for { x <- (for { l <- lineitem, l.l_tax > 0 } yield bag l), x.l_orderkey < 5 }
+  //   yield count
+  // must normalize to a single-level comprehension over lineitem.
+  auto c = ParseComprehension(
+      "for { x <- (for { l <- lineitem, l.l_tax > 0.0 } yield bag l), "
+      "x.l_orderkey < 5 } yield count");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  Normalize(&*c);
+  ASSERT_EQ(c->quals.size(), 3u);
+  EXPECT_EQ(c->quals[0].var, "l");
+  EXPECT_EQ(c->quals[2].pred->ToString(), "(l.l_orderkey < 5)");
+  auto plan = ToAlgebra(*c, catalog_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
+TEST_F(FrontendTest, NormalizeDropsTruePredicates) {
+  auto c = ParseComprehension("for { l <- lineitem, 1 < 2 } yield count");
+  ASSERT_TRUE(c.ok());
+  Normalize(&*c);
+  EXPECT_EQ(c->quals.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SQL parsing + desugaring
+// ---------------------------------------------------------------------------
+
+TEST_F(FrontendTest, SqlSimpleAggregate) {
+  auto c = ParseSQL("SELECT count(*), max(l_quantity) FROM lineitem WHERE l_orderkey < 10",
+                    catalog_);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  ASSERT_EQ(c->outputs.size(), 2u);
+  EXPECT_EQ(c->outputs[0].monoid, Monoid::kCount);
+  EXPECT_EQ(c->outputs[1].monoid, Monoid::kMax);
+  // Unqualified name resolved to the lineitem binding.
+  EXPECT_EQ(c->outputs[1].expr->ToString(), "lineitem.l_quantity");
+}
+
+TEST_F(FrontendTest, SqlJoinOn) {
+  auto c = ParseSQL(
+      "SELECT count(*) FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey "
+      "WHERE l_orderkey < 100",
+      catalog_);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  ASSERT_EQ(c->quals.size(), 4u);  // 2 generators + on + where
+}
+
+TEST_F(FrontendTest, SqlGroupBy) {
+  auto c = ParseSQL(
+      "SELECT l_linenumber, count(*), sum(l_extendedprice) FROM lineitem "
+      "GROUP BY l_linenumber",
+      catalog_);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  ASSERT_TRUE(c->group_by != nullptr);
+  EXPECT_EQ(c->group_name, "l_linenumber");
+  EXPECT_EQ(c->outputs.size(), 2u);
+}
+
+TEST_F(FrontendTest, SqlUnnest) {
+  auto c = ParseSQL(
+      "SELECT count(*) FROM orders_denorm o, UNNEST(o.lineitems) l "
+      "WHERE l.l_quantity > 10.0",
+      catalog_);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->quals[1].source->ToString(), "o.lineitems");
+}
+
+TEST_F(FrontendTest, SqlErrors) {
+  EXPECT_FALSE(ParseSQL("SELECT count(*) FROM ghost_table", catalog_).ok());
+  EXPECT_FALSE(ParseSQL("SELECT no_such_col FROM lineitem", catalog_).ok());
+  EXPECT_FALSE(ParseSQL("SELECT l_orderkey, count(*) FROM lineitem", catalog_).ok());
+  // A plain SELECT item that is not the GROUP BY key is invalid.
+  EXPECT_FALSE(
+      ParseSQL("SELECT l_tax, count(*) FROM lineitem GROUP BY l_orderkey", catalog_).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Algebra translation
+// ---------------------------------------------------------------------------
+
+TEST_F(FrontendTest, TranslatesToScanSelectReduce) {
+  OpPtr plan = MustPlan("SELECT count(*) FROM lineitem WHERE l_orderkey < 10");
+  ASSERT_EQ(plan->kind(), OpKind::kReduce);
+  EXPECT_EQ(plan->child(0)->kind(), OpKind::kSelect);
+  EXPECT_EQ(plan->child(0)->child(0)->kind(), OpKind::kScan);
+}
+
+TEST_F(FrontendTest, TranslatesUnnest) {
+  OpPtr plan = MustPlan(
+      "for { o <- orders_denorm, l <- o.lineitems, l.l_quantity > 5.0 } yield count");
+  ASSERT_EQ(plan->kind(), OpKind::kReduce);
+  const Operator* sel = plan->child(0).get();
+  ASSERT_EQ(sel->kind(), OpKind::kSelect);
+  EXPECT_EQ(sel->child(0)->kind(), OpKind::kUnnest);
+}
+
+TEST_F(FrontendTest, TranslatesGroupByToNest) {
+  OpPtr plan = MustPlan(
+      "SELECT l_linenumber, count(*) FROM lineitem GROUP BY l_linenumber");
+  ASSERT_EQ(plan->kind(), OpKind::kReduce);
+  EXPECT_EQ(plan->child(0)->kind(), OpKind::kNest);
+}
+
+TEST_F(FrontendTest, UnboundUnnestVariableFails) {
+  auto c = ParseComprehension("for { l <- z.items } yield count");
+  ASSERT_TRUE(c.ok());
+  Normalize(&*c);
+  EXPECT_FALSE(ToAlgebra(*c, catalog_).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer
+// ---------------------------------------------------------------------------
+
+TEST_F(FrontendTest, PushdownSinksPredicatesToScans) {
+  OpPtr plan = MustOptimize(
+      "SELECT count(*) FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey "
+      "WHERE l.l_orderkey < 100 and o.o_totalprice > 5000.0");
+  std::string s = plan->ToString();
+  // Join must carry hash keys; single-table predicates sit below the join.
+  EXPECT_NE(s.find("hash:"), std::string::npos) << s;
+  // The select on l_orderkey must be below the join (find Join line first).
+  size_t join_pos = s.find("Join");
+  size_t sel_pos = s.find("(l.l_orderkey < 100)");
+  ASSERT_NE(join_pos, std::string::npos);
+  ASSERT_NE(sel_pos, std::string::npos);
+  EXPECT_GT(sel_pos, join_pos);
+}
+
+TEST_F(FrontendTest, UnnestPredicateEmbeds) {
+  OpPtr plan = MustOptimize(
+      "for { o <- orders_denorm, l <- o.lineitems, l.l_quantity > 5.0, "
+      "o.o_totalprice > 100.0 } yield count");
+  std::string s = plan->ToString();
+  // The element predicate must be embedded in the Unnest operator line.
+  size_t unnest_pos = s.find("Unnest");
+  ASSERT_NE(unnest_pos, std::string::npos);
+  size_t embedded = s.find("| (l.l_quantity > 5", unnest_pos);
+  EXPECT_NE(embedded, std::string::npos) << s;
+  // The o predicate is below the unnest, on the scan.
+  EXPECT_NE(s.find("Select (o.o_totalprice > 100"), std::string::npos) << s;
+}
+
+TEST_F(FrontendTest, ProjectionPushdownListsOnlyNeededFields) {
+  OpPtr plan = MustOptimize(
+      "SELECT max(l_quantity) FROM lineitem WHERE l_orderkey < 10");
+  // Find the scan and inspect fields.
+  const Operator* op = plan.get();
+  while (op->kind() != OpKind::kScan) op = op->child(0).get();
+  auto fields = op->scan_fields();
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(DottedPath(fields[0]), "l_orderkey");
+  EXPECT_EQ(DottedPath(fields[1]), "l_quantity");
+}
+
+TEST_F(FrontendTest, PlanSignatureStableAcrossIdenticalQueries) {
+  OpPtr a = MustOptimize("SELECT count(*) FROM lineitem WHERE l_orderkey < 10");
+  OpPtr b = MustOptimize("SELECT count(*) FROM lineitem WHERE l_orderkey < 10");
+  OpPtr c = MustOptimize("SELECT count(*) FROM lineitem WHERE l_orderkey < 20");
+  EXPECT_EQ(a->Signature(), b->Signature());
+  EXPECT_NE(a->Signature(), c->Signature());
+}
+
+TEST_F(FrontendTest, TypeCheckRejectsBadPlans) {
+  auto comp = ParseComprehension("for { l <- lineitem, l.l_comment > 3 } yield count");
+  ASSERT_TRUE(comp.ok());
+  Normalize(&*comp);
+  auto plan = ToAlgebra(*comp, catalog_);
+  ASSERT_TRUE(plan.ok());
+  Optimizer opt(catalog_);
+  EXPECT_FALSE(opt.Optimize(*plan).ok());  // string vs int comparison
+}
+
+TEST_F(FrontendTest, SelectivityUsesStats) {
+  DatasetStats& ds = catalog_.stats().GetOrCreate("lineitem");
+  ds.valid = true;
+  ds.cardinality = 1000;
+  ds.columns["l_orderkey"] = {.valid = true, .min = 0, .max = 100, .ndv = 100};
+  Optimizer opt(catalog_);
+  OpPtr scan = Operator::Scan("lineitem", "l");
+  auto pred = Expr::Bin(BinOp::kLt, Expr::Proj(Expr::Var("l"), "l_orderkey"), Expr::Int(20));
+  EXPECT_NEAR(opt.EstimateSelectivity(pred, scan), 0.2, 0.01);
+  auto pred2 = Expr::Bin(BinOp::kGt, Expr::Proj(Expr::Var("l"), "l_orderkey"), Expr::Int(20));
+  EXPECT_NEAR(opt.EstimateSelectivity(pred2, scan), 0.8, 0.01);
+}
+
+TEST_F(FrontendTest, JoinReorderPutsSmallSideFirst) {
+  DatasetStats& lo = catalog_.stats().GetOrCreate("lineitem");
+  lo.valid = true;
+  lo.cardinality = 400000;
+  DatasetStats& od = catalog_.stats().GetOrCreate("orders");
+  od.valid = true;
+  od.cardinality = 100000;
+  OpPtr plan = MustOptimize(
+      "SELECT count(*) FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey");
+  // The left (build) side of the top join should be the smaller orders scan.
+  const Operator* join = plan.get();
+  while (join->kind() != OpKind::kJoin) join = join->child(0).get();
+  const Operator* left = join->child(0).get();
+  while (!left->children().empty()) left = left->child(0).get();
+  EXPECT_EQ(left->dataset(), "orders") << plan->ToString();
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,154 @@
+// Property suite: the generated engine must agree with the Volcano
+// interpreter on every query the JIT accepts — across formats, query shapes,
+// and selectivities (parameterized sweep), plus randomized predicates.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tests/engine_test_util.h"
+
+namespace proteus {
+namespace {
+
+struct EquivCase {
+  std::string name;
+  std::string query;
+};
+
+class JitEquivTest : public ::testing::TestWithParam<EquivCase> {};
+
+QueryResult RunMode(const std::string& q, ExecMode mode, bool* used_jit) {
+  EngineOptions opts;
+  opts.mode = mode;
+  QueryEngine engine(opts);
+  testutil::RegisterAll(&engine);
+  auto r = engine.Execute(q);
+  EXPECT_TRUE(r.ok()) << q << "\n" << r.status().ToString();
+  if (used_jit != nullptr) *used_jit = engine.telemetry().used_jit;
+  return r.ok() ? *r : QueryResult{};
+}
+
+TEST_P(JitEquivTest, JitMatchesInterpreter) {
+  const EquivCase& c = GetParam();
+  bool used_jit = false;
+  QueryResult jit = RunMode(c.query, ExecMode::kJIT, &used_jit);
+  QueryResult interp = RunMode(c.query, ExecMode::kInterp, nullptr);
+  EXPECT_TRUE(used_jit) << "query unexpectedly fell back: " << c.query;
+  EXPECT_TRUE(jit.EqualsUnordered(interp, 1e-6))
+      << c.query << "\nJIT:\n"
+      << jit.ToString() << "\nInterp:\n"
+      << interp.ToString();
+}
+
+std::vector<EquivCase> SweepCases() {
+  std::vector<EquivCase> cases;
+  // Selectivity sweep (the paper's 10/20/50/100%) x format x template.
+  for (int sel : {6, 12, 30, 60}) {  // of 60 orders
+    for (const char* ds : {"lineitem_bincol", "lineitem_binrow", "lineitem_csv",
+                           "lineitem_json", "lineitem_json_shuffled"}) {
+      std::string s = std::to_string(sel);
+      cases.push_back({std::string(ds) + "_count_" + s,
+                       "SELECT count(*) FROM " + std::string(ds) + " WHERE l_orderkey < " + s});
+      cases.push_back({std::string(ds) + "_agg4_" + s,
+                       "SELECT count(*), max(l_quantity), sum(l_tax), min(l_discount) FROM " +
+                           std::string(ds) + " WHERE l_orderkey < " + s});
+      cases.push_back(
+          {std::string(ds) + "_preds_" + s,
+           "SELECT count(*) FROM " + std::string(ds) + " WHERE l_orderkey < " + s +
+               " and l_quantity < 40.0 and l_discount < 0.08 and l_tax < 0.06"});
+      cases.push_back({std::string(ds) + "_group_" + s,
+                       "SELECT l_linenumber, count(*), sum(l_extendedprice) FROM " +
+                           std::string(ds) + " WHERE l_orderkey < " + s +
+                           " GROUP BY l_linenumber"});
+    }
+    std::string s = std::to_string(sel);
+    cases.push_back({"join_bincol_" + s,
+                     "SELECT count(*), max(o.o_totalprice) FROM orders_bincol o JOIN "
+                     "lineitem_bincol l ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < " +
+                         s});
+    cases.push_back({"join_json_" + s,
+                     "SELECT count(*), max(o.o_totalprice) FROM orders_json o JOIN "
+                     "lineitem_json l ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < " +
+                         s});
+    cases.push_back({"unnest_" + s,
+                     "SELECT count(*) FROM orders_denorm o, UNNEST(o.lineitems) l WHERE "
+                     "l.l_orderkey < " +
+                         s});
+  }
+  // Strings, projections, comprehension syntax.
+  cases.push_back({"str_eq_csv",
+                   "SELECT count(*) FROM lineitem_csv WHERE l_shipmode = 'RAIL'"});
+  cases.push_back({"str_eq_json",
+                   "SELECT count(*) FROM lineitem_json WHERE l_shipmode = 'SHIP'"});
+  cases.push_back({"str_group",
+                   "SELECT l_shipmode, count(*), max(l_quantity) FROM lineitem_bincol "
+                   "GROUP BY l_shipmode"});
+  cases.push_back({"projection_rows",
+                   "SELECT o_orderkey, o_totalprice FROM orders_bincol WHERE o_orderkey < 17"});
+  cases.push_back({"comp_record_yield",
+                   "for { s <- spam, s.body_len > 3000 } "
+                   "yield bag <id: s.mail_id, n: s.body_len>"});
+  cases.push_back({"comp_nested_path",
+                   "for { s <- spam, s.origin.country = 'RU' } yield count"});
+  cases.push_back({"comp_unnest_elem",
+                   "for { s <- spam, k <- s.classes, k.label > 10 } yield (count, max k.label)"});
+  cases.push_back({"arith_expr",
+                   "SELECT sum(l_extendedprice * (1.0 - l_discount) * (1.0 + l_tax)) "
+                   "FROM lineitem_bincol WHERE l_orderkey < 30"});
+  cases.push_back({"three_way_join",
+                   "SELECT count(*) FROM lineitem_bincol l JOIN orders_bincol o ON "
+                   "l.l_orderkey = o.o_orderkey JOIN orders_json oj ON "
+                   "o.o_orderkey = oj.o_orderkey WHERE l.l_orderkey < 21"});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JitEquivTest, ::testing::ValuesIn(SweepCases()),
+                         [](const auto& info) { return info.param.name; });
+
+// Randomized predicates: conjunctions of range predicates over numeric
+// lineitem columns with random thresholds must agree in both engines.
+TEST(JitEquivRandom, RandomRangePredicates) {
+  std::mt19937_64 rng(2016);
+  std::uniform_int_distribution<int> key(0, 60);
+  std::uniform_real_distribution<double> qty(1, 50), disc(0, 0.1), tax(0, 0.08);
+  const char* datasets[] = {"lineitem_bincol", "lineitem_csv", "lineitem_json"};
+  for (int trial = 0; trial < 12; ++trial) {
+    std::ostringstream q;
+    q.precision(6);
+    q << "SELECT count(*), sum(l_quantity) FROM " << datasets[trial % 3] << " WHERE ";
+    q << "l_orderkey < " << key(rng);
+    if (trial % 2 == 0) q << " and l_quantity < " << qty(rng);
+    if (trial % 3 == 0) q << " and l_discount < " << disc(rng);
+    if (trial % 4 == 0) q << " and l_tax >= " << tax(rng);
+    bool used_jit = false;
+    QueryResult a = RunMode(q.str(), ExecMode::kJIT, &used_jit);
+    QueryResult b = RunMode(q.str(), ExecMode::kInterp, nullptr);
+    EXPECT_TRUE(used_jit);
+    EXPECT_TRUE(a.EqualsUnordered(b, 1e-6)) << q.str();
+  }
+}
+
+// Caching must not change results: run the same query twice with caching on
+// (second run reads from cache) and compare to the uncached interpreter.
+TEST(JitEquivRandom, CachedRunsMatchUncached) {
+  EngineOptions opts;
+  opts.mode = ExecMode::kJIT;
+  opts.cache_policy.enabled = true;
+  QueryEngine cached(opts);
+  testutil::RegisterAll(&cached);
+
+  std::string q =
+      "SELECT count(*), max(l_quantity) FROM lineitem_json WHERE l_orderkey < 30";
+  auto first = cached.Execute(q);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cached.Execute(q);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(cached.telemetry().used_cache);
+
+  QueryResult oracle = RunMode(q, ExecMode::kInterp, nullptr);
+  EXPECT_TRUE(first->EqualsUnordered(oracle, 1e-6));
+  EXPECT_TRUE(second->EqualsUnordered(oracle, 1e-6));
+}
+
+}  // namespace
+}  // namespace proteus

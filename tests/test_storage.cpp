@@ -1,0 +1,160 @@
+// Round-trip tests for the storage formats (binary row/column, CSV, JSON).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/datagen/tpch.h"
+#include "src/storage/bincol_format.h"
+#include "src/storage/binrow_format.h"
+#include "src/storage/table.h"
+#include "src/storage/text_writers.h"
+
+namespace proteus {
+namespace {
+
+RowTable SmallTable() {
+  RowTable t(Type::Record({{"k", Type::Int64()},
+                           {"v", Type::Float64()},
+                           {"flag", Type::Bool()},
+                           {"name", Type::String()}}));
+  t.Append({Value::Int(1), Value::Float(1.5), Value::Boolean(true), Value::Str("alpha")});
+  t.Append({Value::Int(-7), Value::Float(-2.25), Value::Boolean(false), Value::Str("")});
+  t.Append({Value::Int(1LL << 40), Value::Float(3.0), Value::Boolean(true), Value::Str("gamma delta")});
+  return t;
+}
+
+TEST(BinRow, RoundTrip) {
+  std::string path = testing::TempDir() + "/t.binrow";
+  RowTable t = SmallTable();
+  ASSERT_TRUE(WriteBinaryRowFile(path, t).ok());
+  auto r = BinRowReader::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->num_cols(), 4u);
+  EXPECT_EQ(r->ReadInt(0, 0), 1);
+  EXPECT_EQ(r->ReadInt(2, 0), 1LL << 40);
+  EXPECT_DOUBLE_EQ(r->ReadFloat(1, 1), -2.25);
+  EXPECT_TRUE(r->ReadBool(0, 2));
+  EXPECT_FALSE(r->ReadBool(1, 2));
+  EXPECT_EQ(r->ReadString(0, 3), "alpha");
+  EXPECT_EQ(r->ReadString(1, 3), "");
+  EXPECT_EQ(r->ReadString(2, 3), "gamma delta");
+  EXPECT_EQ(r->ColumnIndex("v"), 1);
+  EXPECT_EQ(r->ColumnIndex("zzz"), -1);
+  std::remove(path.c_str());
+}
+
+TEST(BinRow, RejectsGarbage) {
+  std::string path = testing::TempDir() + "/garbage.binrow";
+  {
+    std::ofstream f(path);
+    f << "this is not a binrow file at all";
+  }
+  EXPECT_FALSE(BinRowReader::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinRow, RejectsNestedSchema) {
+  RowTable t(Type::Record({{"r", Type::Record({{"x", Type::Int64()}})}}));
+  t.Append({Value::MakeRecord({"x"}, {Value::Int(1)})});
+  EXPECT_FALSE(WriteBinaryRowFile(testing::TempDir() + "/nested.binrow", t).ok());
+}
+
+TEST(BinCol, RoundTrip) {
+  std::string dir = testing::TempDir() + "/t_bincol";
+  RowTable t = SmallTable();
+  ASSERT_TRUE(WriteBinaryColumnDir(dir, t).ok());
+  auto r = BinColReader::Open(dir);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->ReadInt(1, 0), -7);
+  EXPECT_DOUBLE_EQ(r->ReadFloat(2, 1), 3.0);
+  EXPECT_TRUE(r->ReadBool(2, 2));
+  EXPECT_EQ(r->ReadString(2, 3), "gamma delta");
+  EXPECT_EQ(r->col_type(0), TypeKind::kInt64);
+}
+
+TEST(BinCol, EmptyTable) {
+  std::string dir = testing::TempDir() + "/empty_bincol";
+  RowTable t(Type::Record({{"k", Type::Int64()}}));
+  ASSERT_TRUE(WriteBinaryColumnDir(dir, t).ok());
+  auto r = BinColReader::Open(dir);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0u);
+}
+
+TEST(TextWriters, CSVBasic) {
+  std::string path = testing::TempDir() + "/t.csv";
+  RowTable t = SmallTable();
+  ASSERT_TRUE(WriteCSVFile(path, t, {.delimiter = '|', .write_header = true}).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k|v|flag|name");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1|1.5|true|alpha");
+  std::remove(path.c_str());
+}
+
+TEST(TextWriters, JSONSerializesNested) {
+  Value v = Value::MakeRecord(
+      {"a", "b"},
+      {Value::Int(1), Value::MakeList({Value::MakeRecord({"x"}, {Value::Float(0.5)})})});
+  EXPECT_EQ(ValueToJSON(v), R"({"a":1,"b":[{"x":0.5}]})");
+}
+
+TEST(TextWriters, JSONEscapes) {
+  Value v = Value::Str("a\"b\\c\nd");
+  EXPECT_EQ(ValueToJSON(v), R"("a\"b\\c\nd")");
+}
+
+TEST(TextWriters, FloatStaysFloat) {
+  // 3.0 must not serialize as "3" or it round-trips as an int token.
+  EXPECT_EQ(ValueToJSON(Value::Float(3.0)), "3.0");
+}
+
+TEST(Datagen, LineitemShape) {
+  RowTable t = datagen::GenLineitem(100, 7);
+  // 1..7 lines per order.
+  EXPECT_GE(t.num_rows(), 100u);
+  EXPECT_LE(t.num_rows(), 700u);
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    int64_t ok = t.row(i)[0].i();
+    EXPECT_GE(ok, 0);
+    EXPECT_LT(ok, 100);
+    double qty = t.row(i)[2].f();
+    EXPECT_GE(qty, 1.0);
+    EXPECT_LE(qty, 50.0);
+  }
+}
+
+TEST(Datagen, Deterministic) {
+  RowTable a = datagen::GenLineitem(50, 3);
+  RowTable b = datagen::GenLineitem(50, 3);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_TRUE(a.RecordAt(i).Equals(b.RecordAt(i)));
+  }
+}
+
+TEST(Datagen, DenormalizeGroupsAllLineitems) {
+  RowTable orders = datagen::GenOrders(40);
+  RowTable lineitem = datagen::GenLineitem(40);
+  RowTable denorm = datagen::Denormalize(orders, lineitem);
+  EXPECT_EQ(denorm.num_rows(), orders.num_rows());
+  size_t total_lines = 0;
+  for (size_t i = 0; i < denorm.num_rows(); ++i) {
+    const Value& lines = denorm.row(i)[3];
+    ASSERT_TRUE(lines.is_list());
+    total_lines += lines.list().size();
+    // Every nested lineitem belongs to this order.
+    for (const auto& l : lines.list()) {
+      EXPECT_EQ(l.GetField("l_orderkey")->i(), denorm.row(i)[0].i());
+    }
+  }
+  EXPECT_EQ(total_lines, lineitem.num_rows());
+}
+
+}  // namespace
+}  // namespace proteus
