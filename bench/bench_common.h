@@ -18,6 +18,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -166,6 +167,41 @@ struct Systems {
     die(doc.LoadDocuments("denorm", c.denorm));
   }
 };
+
+/// Thread counts exercised by the morsel-parallel scaling variants.
+inline const std::vector<int>& ThreadCounts() {
+  static std::vector<int> t{1, 2, 4};
+  return t;
+}
+
+/// Engine running the morsel-parallel interpreter at a fixed worker count
+/// (interpreter mode for every count, so scaling numbers compare
+/// like-for-like; results are identical across counts by construction).
+inline QueryEngine& ThreadedEngine(int threads) {
+  static std::map<int, std::unique_ptr<QueryEngine>> engines;
+  auto it = engines.find(threads);
+  if (it == engines.end()) {
+    EngineOptions opts;
+    opts.mode = ExecMode::kInterp;
+    opts.num_threads = threads;
+    auto e = std::make_unique<QueryEngine>(opts);
+    RegisterBenchDatasets(e.get());
+    it = engines.emplace(threads, std::move(e)).first;
+  }
+  return *it->second;
+}
+
+/// Runs one query on the `threads`-worker engine, returns execution ms.
+inline double ThreadedMs(int threads, const std::string& query) {
+  QueryEngine& e = ThreadedEngine(threads);
+  auto r = e.Execute(query);
+  if (!r.ok()) {
+    fprintf(stderr, "proteus[%d threads]: %s\n  %s\n", threads, query.c_str(),
+            r.status().ToString().c_str());
+    std::abort();
+  }
+  return e.telemetry().execute_ms;
+}
 
 /// Runs one Proteus query and returns execution ms (excludes compile).
 inline double ProteusMs(const std::string& query) {

@@ -38,6 +38,13 @@ void Register() {
                       "l.l_orderkey WHERE l.l_orderkey < " +
                       std::to_string(key);
       RegisterMs(tag + "Proteus", [q] { return ProteusMs(q); });
+      // Morsel-parallel scaling: build + probe fan out over the scheduler.
+      if (sel == 100) {
+        for (int threads : ThreadCounts()) {
+          RegisterMs(tag + "Proteus_parallel/threads=" + std::to_string(threads),
+                     [q, threads] { return ThreadedMs(threads, q); });
+        }
+      }
 
       BenchQuery bq;
       bq.table = "lineitem";

@@ -42,6 +42,13 @@ void Register() {
                       " FROM lineitem_json WHERE l_orderkey < " + std::to_string(key) +
                       " GROUP BY l_linenumber";
       RegisterMs(tag + "Proteus", [q] { return ProteusMs(q); });
+      // Morsel-parallel scaling: per-worker partial groups merged at the end.
+      if (sel == 100) {
+        for (int threads : ThreadCounts()) {
+          RegisterMs(tag + "Proteus_parallel/threads=" + std::to_string(threads),
+                     [q, threads] { return ThreadedMs(threads, q); });
+        }
+      }
 
       BenchQuery bq;
       bq.table = "lineitem";

@@ -3,7 +3,7 @@
 namespace proteus {
 
 ExecCounters& GlobalCounters() {
-  static ExecCounters counters;
+  static thread_local ExecCounters counters;
   return counters;
 }
 

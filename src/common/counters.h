@@ -9,6 +9,19 @@
 
 namespace proteus {
 
+/// Field list expanded by operator+= and Since(), keeping parallel-run
+/// fold-back (TaskScheduler worker deltas) in sync with serial accounting.
+/// When adding a counter: add the field below, add it here, and bump the
+/// static_assert — it trips the build if the two drift apart.
+#define PROTEUS_EXEC_COUNTER_FIELDS(X) \
+  X(tuples_scanned)                    \
+  X(tuples_output)                     \
+  X(bytes_materialized)                \
+  X(branch_evals)                      \
+  X(raw_field_accesses)                \
+  X(cache_field_accesses)              \
+  X(virtual_calls)
+
 struct ExecCounters {
   uint64_t tuples_scanned = 0;
   uint64_t tuples_output = 0;
@@ -21,20 +34,30 @@ struct ExecCounters {
   void Reset() { *this = ExecCounters{}; }
 
   ExecCounters& operator+=(const ExecCounters& o) {
-    tuples_scanned += o.tuples_scanned;
-    tuples_output += o.tuples_output;
-    bytes_materialized += o.bytes_materialized;
-    branch_evals += o.branch_evals;
-    raw_field_accesses += o.raw_field_accesses;
-    cache_field_accesses += o.cache_field_accesses;
-    virtual_calls += o.virtual_calls;
+#define PROTEUS_ADD_FIELD(f) f += o.f;
+    PROTEUS_EXEC_COUNTER_FIELDS(PROTEUS_ADD_FIELD)
+#undef PROTEUS_ADD_FIELD
     return *this;
+  }
+
+  /// Field-wise delta against an earlier snapshot of the same counters.
+  ExecCounters Since(const ExecCounters& base) const {
+    ExecCounters d;
+#define PROTEUS_SUB_FIELD(f) d.f = f - base.f;
+    PROTEUS_EXEC_COUNTER_FIELDS(PROTEUS_SUB_FIELD)
+#undef PROTEUS_SUB_FIELD
+    return d;
   }
 };
 
-/// Process-wide counters for the currently running query. Benchmarks reset
-/// before a query and read after; single-threaded by design (the paper's
-/// evaluation runs all systems single-threaded).
+static_assert(sizeof(ExecCounters) == 7 * sizeof(uint64_t),
+              "ExecCounters field added? Update PROTEUS_EXEC_COUNTER_FIELDS "
+              "and this count together.");
+
+/// Per-thread counters for the currently running query. Benchmarks reset
+/// before a query and read after, on the thread that runs the query; the
+/// TaskScheduler folds pool workers' counters back into the submitting
+/// thread at the end of every parallel batch, so totals match a serial run.
 ExecCounters& GlobalCounters();
 
 }  // namespace proteus

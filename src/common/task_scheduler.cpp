@@ -1,0 +1,186 @@
+#include "src/common/task_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace proteus {
+
+namespace {
+/// True while the current thread is executing tasks of some batch; nested
+/// ParallelFor calls detect this and run inline instead of deadlocking.
+thread_local bool t_in_batch = false;
+}  // namespace
+
+struct TaskScheduler::Batch {
+  explicit Batch(int workers) : queues(workers), queue_mus(workers) {}
+
+  std::vector<std::deque<uint64_t>> queues;
+  std::vector<std::mutex> queue_mus;
+  const std::function<Status(uint64_t, int)>* body = nullptr;
+
+  std::atomic<uint64_t> unfinished{0};  ///< tasks not yet completed
+  std::atomic<bool> cancelled{false};
+  std::atomic<uint64_t> steals{0};
+
+  std::mutex err_mu;
+  Status error = Status::OK();
+  uint64_t error_task = UINT64_MAX;  // lowest failing index wins
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::atomic<int> active_workers{0};  ///< pool workers still inside RunBatch
+
+  ExecCounters pool_counters;  ///< folded from pool workers (under err_mu)
+};
+
+TaskScheduler::TaskScheduler(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads_ = std::max(1, num_threads);
+  threads_.reserve(num_threads_ - 1);
+  for (int i = 1; i < num_threads_; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void TaskScheduler::WorkerLoop(int worker_id) {
+  uint64_t seen_seq = 0;
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || (batch_ != nullptr && batch_seq_ != seen_seq); });
+      if (stop_) return;
+      batch = batch_;
+      seen_seq = batch_seq_;
+    }
+    batch->active_workers.fetch_add(1, std::memory_order_relaxed);
+    // Pool workers account their counters into the batch; the caller folds
+    // them into its own thread-local counters when the batch completes.
+    ExecCounters& local = GlobalCounters();
+    ExecCounters before = local;
+    t_in_batch = true;
+    RunBatch(batch.get(), worker_id);
+    t_in_batch = false;
+    ExecCounters delta = local.Since(before);
+    {
+      std::lock_guard<std::mutex> lk(batch->err_mu);
+      batch->pool_counters += delta;
+    }
+    if (batch->active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        batch->unfinished.load(std::memory_order_acquire) == 0) {
+      std::lock_guard<std::mutex> lk(batch->done_mu);  // pairs with the waiter
+      batch->done_cv.notify_one();
+    }
+  }
+}
+
+void TaskScheduler::RunBatch(Batch* batch, int worker_id) {
+  const int n = static_cast<int>(batch->queues.size());
+  while (batch->unfinished.load(std::memory_order_acquire) > 0) {
+    uint64_t task = UINT64_MAX;
+    bool stolen = false;
+    {
+      std::lock_guard<std::mutex> lk(batch->queue_mus[worker_id]);
+      if (!batch->queues[worker_id].empty()) {
+        task = batch->queues[worker_id].front();
+        batch->queues[worker_id].pop_front();
+      }
+    }
+    if (task == UINT64_MAX) {
+      // Steal from the back of the first non-empty victim deque.
+      for (int k = 1; k < n && task == UINT64_MAX; ++k) {
+        int victim = (worker_id + k) % n;
+        std::lock_guard<std::mutex> lk(batch->queue_mus[victim]);
+        if (!batch->queues[victim].empty()) {
+          task = batch->queues[victim].back();
+          batch->queues[victim].pop_back();
+          stolen = true;
+        }
+      }
+    }
+    if (task == UINT64_MAX) return;  // fully drained (some tasks may still run elsewhere)
+    if (stolen) batch->steals.fetch_add(1, std::memory_order_relaxed);
+    if (!batch->cancelled.load(std::memory_order_acquire)) {
+      Status s = (*batch->body)(task, worker_id);
+      if (!s.ok()) {
+        batch->cancelled.store(true, std::memory_order_release);
+        std::lock_guard<std::mutex> lk(batch->err_mu);
+        if (task < batch->error_task) {
+          batch->error_task = task;
+          batch->error = s;
+        }
+      }
+    }
+    if (batch->unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(batch->done_mu);  // pairs with the waiter
+      batch->done_cv.notify_one();
+    }
+  }
+}
+
+Status TaskScheduler::ParallelFor(uint64_t num_tasks,
+                                  const std::function<Status(uint64_t, int)>& body) {
+  if (num_tasks == 0) return Status::OK();
+  if (t_in_batch || num_threads_ == 1) {
+    // Inline path: nested call from inside a task, or a single-worker pool.
+    for (uint64_t t = 0; t < num_tasks; ++t) {
+      PROTEUS_RETURN_NOT_OK(body(t, 0));
+    }
+    return Status::OK();
+  }
+
+  std::lock_guard<std::mutex> submit_lk(submit_mu_);
+  auto batch = std::make_shared<Batch>(num_threads_);
+  batch->body = &body;
+  batch->unfinished.store(num_tasks, std::memory_order_relaxed);
+  // Deal morsels round-robin so neighbouring ranges land on different
+  // workers' deques; stealing rebalances skew.
+  for (uint64_t t = 0; t < num_tasks; ++t) {
+    batch->queues[t % num_threads_].push_back(t);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batch_ = batch;
+    ++batch_seq_;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates as worker 0.
+  t_in_batch = true;
+  RunBatch(batch.get(), 0);
+  t_in_batch = false;
+
+  {
+    std::unique_lock<std::mutex> lk(batch->done_mu);
+    batch->done_cv.wait(lk, [&] {
+      return batch->unfinished.load(std::memory_order_acquire) == 0 &&
+             batch->active_workers.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batch_ = nullptr;
+  }
+  {
+    // err_mu also guards pool_counters; a late-waking worker may still fold
+    // in its (necessarily empty) delta after the done-wait released us.
+    std::lock_guard<std::mutex> lk(batch->err_mu);
+    GlobalCounters() += batch->pool_counters;
+  }
+  total_steals_.fetch_add(batch->steals.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  return batch->error;
+}
+
+}  // namespace proteus

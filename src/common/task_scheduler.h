@@ -1,0 +1,80 @@
+// Work-stealing task scheduler for morsel-driven parallel execution
+// (Leis et al., "Morsel-Driven Parallelism", adapted to this engine).
+//
+// A fixed pool of worker threads executes batches of index-addressed tasks
+// ("morsels"). Each worker owns a deque; a batch deals task indices
+// round-robin across the deques, workers pop from the front of their own
+// deque and steal from the back of a victim's when theirs runs dry. The
+// calling thread participates as worker 0, so `num_threads == 1` degenerates
+// to inline serial execution with no cross-thread traffic at all.
+//
+// ExecCounters are thread-local (see counters.h); the scheduler folds the
+// counters accumulated by pool workers during a batch back into the calling
+// thread's counters, so callers observe the same totals as a serial run.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/counters.h"
+#include "src/common/status.h"
+
+namespace proteus {
+
+class TaskScheduler {
+ public:
+  /// `num_threads` total workers including the caller; 0 picks the hardware
+  /// concurrency. The pool spawns `num_threads - 1` threads.
+  explicit TaskScheduler(int num_threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `body(task_index, worker_id)` for every index in [0, num_tasks)
+  /// and blocks until all tasks finished. Task indices are dealt round-robin
+  /// over the workers' deques; idle workers steal. On error the batch is
+  /// cancelled best-effort and the lowest-index error among the tasks that
+  /// actually ran is returned. Which tasks ran before cancellation depends
+  /// on scheduling, so with several failing tasks the reported one can vary
+  /// between runs — only success/failure itself is deterministic.
+  ///
+  /// Not reentrant from inside a task: a nested call runs inline on the
+  /// calling worker (morsel pipelines materialize join build sides before
+  /// the probe batch, so nesting only arises in degenerate plans).
+  Status ParallelFor(uint64_t num_tasks, const std::function<Status(uint64_t, int)>& body);
+
+  /// Tasks executed by a worker other than the one whose deque they were
+  /// dealt to, across all batches so far (work-stealing telemetry; safe to
+  /// read from any thread).
+  uint64_t total_steals() const { return total_steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Batch;
+
+  void WorkerLoop(int worker_id);
+  /// Drains `batch` from `worker_id`'s deque, stealing when empty.
+  void RunBatch(Batch* batch, int worker_id);
+
+  int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::shared_ptr<Batch> batch_;  // current batch; null when idle
+  uint64_t batch_seq_ = 0;
+  bool stop_ = false;
+
+  std::mutex submit_mu_;  // serializes concurrent ParallelFor callers
+  std::atomic<uint64_t> total_steals_{0};
+};
+
+}  // namespace proteus

@@ -28,7 +28,9 @@ void CollectRawScans(const OpPtr& op, std::vector<const Operator*>* out) {
 }  // namespace
 
 QueryEngine::QueryEngine(EngineOptions opts)
-    : opts_(std::move(opts)), caches_(opts_.cache_policy) {}
+    : opts_(std::move(opts)),
+      caches_(opts_.cache_policy),
+      scheduler_(opts_.num_threads) {}
 
 Status QueryEngine::RegisterDataset(DatasetInfo info) { return catalog_.Register(std::move(info)); }
 
@@ -144,9 +146,18 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
   ctx.plugins = &plugins_;
   ctx.stats = opts_.collect_stats_on_cold_access ? &catalog_.stats() : nullptr;
   ctx.caches = &caches_;
+  ctx.scheduler = &scheduler_;
+  ctx.morsel_rows = opts_.morsel_rows;
 
   auto t0 = std::chrono::steady_clock::now();
-  if (opts_.mode == ExecMode::kJIT) {
+  // Parallel routing: only forfeit the JIT when the plan can actually fan
+  // out — morsel-ineligible plans (outer joins, odd shapes) gain nothing
+  // from workers and keep their normal path.
+  const bool parallel_eligible =
+      scheduler_.num_threads() > 1 && PlanIsMorselParallelizable(physical);
+  if (opts_.mode == ExecMode::kJIT && !parallel_eligible) {
+    // The generated engine runs single-threaded (parallel JIT pipelines are
+    // a ROADMAP item); telemetry_.threads_used stays 1 on this path.
     JitExecutor jit(ctx);
     auto result = jit.Execute(physical);
     if (result.ok()) {
@@ -160,10 +171,16 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
       return result.status();
     }
     telemetry_.fallback_reason = result.status().message();
+  } else if (opts_.mode == ExecMode::kJIT) {
+    telemetry_.fallback_reason =
+        "num_threads > 1 and plan is morsel-parallelizable: JIT pipelines "
+        "are single-threaded, running the morsel-parallel interpreter";
   }
   InterpExecutor interp(ctx);
   auto result = interp.Execute(physical);
   telemetry_.execute_ms = MsSince(t0);
+  telemetry_.threads_used = interp.exec_stats().threads_used;
+  telemetry_.morsels = interp.exec_stats().morsels;
   return result;
 }
 

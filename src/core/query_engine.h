@@ -19,6 +19,7 @@
 #include <string>
 
 #include "src/catalog/catalog.h"
+#include "src/common/task_scheduler.h"
 #include "src/engine/cache.h"
 #include "src/engine/interp.h"
 #include "src/engine/result.h"
@@ -36,6 +37,17 @@ struct EngineOptions {
   CachePolicy cache_policy;             ///< caching off by default
   OptimizerOptions optimizer;
   bool collect_stats_on_cold_access = true;
+  /// Workers for morsel-driven parallel execution (scans, join build/probe,
+  /// partial aggregation). 1 = no extra threads; 0 = hardware concurrency.
+  /// Results are identical for every value — morsel boundaries depend only
+  /// on the data. Generated (JIT) engines are single-threaded for now
+  /// (parallel JIT pipelines are a ROADMAP item), so num_threads > 1 routes
+  /// queries to the morsel-parallel interpreter; num_threads == 1 keeps the
+  /// usual JIT-first behaviour, reporting threads_used = 1.
+  int num_threads = 1;
+  /// Target scan rows per morsel (tuning / testing). Affects the morsel
+  /// decomposition — deterministically, per dataset — but never the result.
+  uint64_t morsel_rows = kDefaultMorselRows;
 };
 
 /// Telemetry for the last executed query.
@@ -46,6 +58,8 @@ struct QueryTelemetry {
   double cache_build_ms = 0;
   bool used_jit = false;
   bool used_cache = false;
+  int threads_used = 1;    ///< workers that executed the plan (1 = serial/JIT)
+  uint64_t morsels = 0;    ///< morsels driven through parallel pipelines (0 = serial)
   std::string fallback_reason;  ///< why the interpreter ran, if it did
   std::string plan;             ///< physical plan, printable
 };
@@ -76,6 +90,7 @@ class QueryEngine {
   Catalog& catalog() { return catalog_; }
   CachingManager& caches() { return caches_; }
   PluginRegistry& plugins() { return plugins_; }
+  TaskScheduler& scheduler() { return scheduler_; }
   const EngineOptions& options() const { return opts_; }
   void set_mode(ExecMode m) { opts_.mode = m; }
 
@@ -87,6 +102,7 @@ class QueryEngine {
   Catalog catalog_;
   PluginRegistry plugins_;
   CachingManager caches_;
+  TaskScheduler scheduler_;
   QueryTelemetry telemetry_;
   std::string last_ir_;
 };

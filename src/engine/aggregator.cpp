@@ -1,5 +1,7 @@
 #include "src/engine/aggregator.h"
 
+#include <iterator>
+
 namespace proteus {
 
 void Aggregator::Add(const Value& v) {
@@ -35,15 +37,82 @@ void Aggregator::Add(const Value& v) {
     case Monoid::kList:
       items_.push_back(v);
       break;
-    case Monoid::kSet: {
-      for (const auto& x : items_) {
-        if (x.Equals(v)) return;
-      }
-      items_.push_back(v);
+    case Monoid::kSet:
+      if (!InsertSetItem(v)) return;
       break;
-    }
   }
   seen_ = true;
+}
+
+bool Aggregator::InsertSetItem(Value v) {
+  for (const auto& x : items_) {
+    if (x.Equals(v)) return false;
+  }
+  items_.push_back(std::move(v));
+  return true;
+}
+
+void Aggregator::Merge(const Aggregator& other) {
+  switch (monoid_) {
+    case Monoid::kCount:
+      count_ += other.count_;
+      break;
+    case Monoid::kSum:
+      if (!other.seen_) return;
+      if (all_int_ && other.all_int_) {
+        int_acc_ += other.int_acc_;
+      } else {
+        if (all_int_) {
+          float_acc_ = static_cast<double>(int_acc_);
+          all_int_ = false;
+        }
+        float_acc_ += other.all_int_ ? static_cast<double>(other.int_acc_) : other.float_acc_;
+      }
+      break;
+    case Monoid::kMax:
+      if (other.seen_ && (!seen_ || other.extreme_.Compare(extreme_) > 0)) {
+        extreme_ = other.extreme_;
+      }
+      break;
+    case Monoid::kMin:
+      if (other.seen_ && (!seen_ || other.extreme_.Compare(extreme_) < 0)) {
+        extreme_ = other.extreme_;
+      }
+      break;
+    case Monoid::kAnd:
+      if (other.seen_) bool_acc_ = seen_ ? (bool_acc_ && other.bool_acc_) : other.bool_acc_;
+      break;
+    case Monoid::kOr:
+      if (other.seen_) bool_acc_ = seen_ ? (bool_acc_ || other.bool_acc_) : other.bool_acc_;
+      break;
+    case Monoid::kBag:
+    case Monoid::kList:
+      items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+      break;
+    case Monoid::kSet:
+      for (const auto& v : other.items_) Add(v);
+      return;  // Add already maintains seen_
+  }
+  seen_ = seen_ || other.seen_;
+}
+
+void Aggregator::Merge(Aggregator&& other) {
+  switch (monoid_) {
+    case Monoid::kBag:
+    case Monoid::kList:
+      items_.insert(items_.end(), std::make_move_iterator(other.items_.begin()),
+                    std::make_move_iterator(other.items_.end()));
+      seen_ = seen_ || other.seen_;
+      return;
+    case Monoid::kSet:
+      for (auto& v : other.items_) {
+        if (InsertSetItem(std::move(v))) seen_ = true;
+      }
+      return;
+    default:
+      Merge(other);  // scalar accumulator state: copying is free
+      return;
+  }
 }
 
 Value Aggregator::Final() const {

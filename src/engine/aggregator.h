@@ -15,10 +15,24 @@ class Aggregator {
   void Add(const Value& v);
   void AddCount() { count_++; }
 
+  /// Folds another partial accumulator of the same monoid into this one —
+  /// the merge step of morsel-parallel aggregation. Merging partials in
+  /// morsel order keeps results deterministic regardless of worker count
+  /// (collection monoids concatenate in order; set union keeps first-seen
+  /// order; numeric merges are order-fixed by the caller).
+  void Merge(const Aggregator& other);
+  /// Move-aware overload: splices collection payloads out of an expiring
+  /// partial instead of copying them (scalar monoids defer to the copy).
+  void Merge(Aggregator&& other);
+
   /// The folded result; the monoid's zero element if nothing was added.
   Value Final() const;
 
  private:
+  /// Single home of the set monoid's dedup: appends `v` unless an equal
+  /// element exists. Returns whether it was added.
+  bool InsertSetItem(Value v);
+
   Monoid monoid_;
   int64_t count_ = 0;
   bool seen_ = false;

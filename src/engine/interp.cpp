@@ -36,6 +36,9 @@ namespace {
 class ScanCursor : public Cursor {
  public:
   ScanCursor(const ExecContext& ctx, const Operator& op) : ctx_(ctx), op_(op) {}
+  /// Morsel variant: scans only OIDs in `range`.
+  ScanCursor(const ExecContext& ctx, const Operator& op, ScanRange range)
+      : ctx_(ctx), op_(op), range_{range.begin, range.end} {}
 
   Status Open() override {
     PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ctx_.catalog->Get(op_.dataset()));
@@ -44,8 +47,8 @@ class ScanCursor : public Cursor {
     if (fields_.empty()) {
       for (const auto& f : info->record_type().fields()) fields_.push_back({f.name});
     }
-    n_ = plugin_->NumRecords();
-    oid_ = 0;
+    n_ = std::min(plugin_->NumRecords(), range_.end);
+    oid_ = range_.begin;
     return Status::OK();
   }
 
@@ -64,6 +67,7 @@ class ScanCursor : public Cursor {
 
   const ExecContext& ctx_;
   const Operator& op_;
+  ScanRange range_{0, UINT64_MAX};
   InputPlugin* plugin_ = nullptr;
   std::vector<FieldPath> fields_;
   uint64_t n_ = 0;
@@ -125,16 +129,26 @@ class LenientScanCursor : public ScanCursor {
 // CacheScan
 // ---------------------------------------------------------------------------
 
+/// Cache-block lookup shared by the serial cursor and the morsel splitter,
+/// so both resolve (and report) blocks identically.
+Result<const CacheBlock*> ResolveCacheBlock(const ExecContext& ctx, uint64_t cache_id) {
+  if (ctx.caches == nullptr) return Status::Internal("cache scan without CachingManager");
+  const CacheBlock* block = ctx.caches->FindById(cache_id);
+  if (block == nullptr) {
+    return Status::NotFound("cache block #" + std::to_string(cache_id) + " evicted");
+  }
+  return block;
+}
+
 class CacheScanCursor : public Cursor {
  public:
   CacheScanCursor(const ExecContext& ctx, const Operator& op) : ctx_(ctx), op_(op) {}
+  /// Morsel variant: reads only block rows in `range`.
+  CacheScanCursor(const ExecContext& ctx, const Operator& op, ScanRange range)
+      : ctx_(ctx), op_(op), range_{range.begin, range.end} {}
 
   Status Open() override {
-    if (ctx_.caches == nullptr) return Status::Internal("cache scan without CachingManager");
-    block_ = ctx_.caches->FindById(op_.cache_id());
-    if (block_ == nullptr) {
-      return Status::NotFound("cache block #" + std::to_string(op_.cache_id()) + " evicted");
-    }
+    PROTEUS_ASSIGN_OR_RETURN(block_, ResolveCacheBlock(ctx_, op_.cache_id()));
     // Fields the plan needs; fall back to everything the block holds.
     fields_ = op_.scan_fields();
     if (fields_.empty()) {
@@ -155,13 +169,14 @@ class CacheScanCursor : public Cursor {
         break;
       }
     }
-    row_ = 0;
+    row_ = range_.begin;
+    limit_ = std::min(block_->num_rows, range_.end);
     return Status::OK();
   }
 
   Result<bool> Next(EvalEnv* row) override {
     GlobalCounters().virtual_calls++;
-    if (row_ >= block_->num_rows) return false;
+    if (row_ >= limit_) return false;
     std::vector<std::string> names;
     std::vector<Value> values;
     for (const auto& p : fields_) {
@@ -224,11 +239,13 @@ class CacheScanCursor : public Cursor {
  private:
   const ExecContext& ctx_;
   const Operator& op_;
+  ScanRange range_{0, UINT64_MAX};
   const CacheBlock* block_ = nullptr;
   std::vector<FieldPath> fields_;
   InputPlugin* plugin_ = nullptr;
   const CacheColumn* oid_col_ = nullptr;
   uint64_t row_ = 0;
+  uint64_t limit_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -322,6 +339,47 @@ class UnnestCursorOp : public Cursor {
 // Join (radix hash for equi-joins, block nested loop otherwise)
 // ---------------------------------------------------------------------------
 
+/// A materialized join build side. The serial JoinCursorOp fills one during
+/// Open(); the morsel executor fills one up front and shares it read-only
+/// across all worker pipelines.
+struct SharedJoinBuild {
+  std::vector<EvalEnv> rows;
+  std::vector<Value> keys;  ///< parallel to rows when has_key
+  RadixTable table;
+  bool has_key = false;
+};
+
+/// Match set of `probe_row` against a build side — the probe semantics
+/// shared verbatim by the serial and morsel join cursors (equi probe via
+/// the radix table with key-equality check; nested loop otherwise). A null
+/// probe key matches nothing.
+Status FindJoinMatches(const Operator& op, const SharedJoinBuild& build,
+                       const EvalEnv& probe_row, std::vector<uint32_t>* matches) {
+  matches->clear();
+  if (build.has_key) {
+    PROTEUS_ASSIGN_OR_RETURN(Value k, Eval(op.right_key(), probe_row));
+    if (k.is_null()) return Status::OK();
+    build.table.Probe(k.Hash(), [&](uint32_t idx) {
+      if (build.keys[idx].Equals(k)) matches->push_back(idx);
+    });
+  } else {
+    // Nested loop: every build row is a candidate; predicate filters.
+    matches->resize(build.rows.size());
+    for (uint32_t i = 0; i < build.rows.size(); ++i) (*matches)[i] = i;
+  }
+  return Status::OK();
+}
+
+/// Emits build row `idx` overlaid with the probe row's bindings, then runs
+/// the join predicate (with hash keys, equality was already verified via
+/// build.keys; the full predicate still covers residual conjuncts).
+Result<bool> EmitJoinRow(const Operator& op, const SharedJoinBuild& build, uint32_t idx,
+                         const EvalEnv& probe_row, EvalEnv* row) {
+  *row = build.rows[idx];
+  for (const auto& [k, v] : probe_row) (*row)[k] = v;
+  return EvalPredicate(op.pred(), *row);
+}
+
 class JoinCursorOp : public Cursor {
  public:
   JoinCursorOp(std::unique_ptr<Cursor> left, std::unique_ptr<Cursor> right, const Operator& op)
@@ -333,29 +391,32 @@ class JoinCursorOp : public Cursor {
     PROTEUS_RETURN_NOT_OK(left_->Open());
     PROTEUS_RETURN_NOT_OK(right_->Open());
     // Build phase: materialize the left (build) side.
+    build_.has_key = op_.left_key() != nullptr;
     EvalEnv row;
     while (true) {
       PROTEUS_ASSIGN_OR_RETURN(bool has, left_->Next(&row));
       if (!has) break;
-      if (op_.left_key()) {
+      if (build_.has_key) {
         PROTEUS_ASSIGN_OR_RETURN(Value k, Eval(op_.left_key(), row));
         if (k.is_null()) {
+          // Null keys never match; outer joins still keep the row so the
+          // unmatched drain can emit it.
           if (op_.outer()) {
-            build_rows_.push_back(row);
-            build_keys_.push_back(Value::Null());
+            build_.rows.push_back(row);
+            build_.keys.push_back(Value::Null());
           }
           continue;
         }
-        table_.Insert(k.Hash(), static_cast<uint32_t>(build_rows_.size()));
-        build_rows_.push_back(row);
-        build_keys_.push_back(std::move(k));
+        build_.table.Insert(k.Hash(), static_cast<uint32_t>(build_.rows.size()));
+        build_.rows.push_back(row);
+        build_.keys.push_back(std::move(k));
       } else {
-        build_rows_.push_back(row);
+        build_.rows.push_back(row);
       }
       GlobalCounters().bytes_materialized += 64;  // boxed row estimate
     }
-    if (op_.left_key()) table_.Build();
-    matched_.assign(build_rows_.size(), false);
+    if (build_.has_key) build_.table.Build();
+    matched_.assign(build_.rows.size(), false);
     return Status::OK();
   }
 
@@ -364,19 +425,17 @@ class JoinCursorOp : public Cursor {
     while (true) {
       if (match_pos_ < matches_.size()) {
         uint32_t idx = matches_[match_pos_++];
-        *row = build_rows_[idx];
-        for (auto& [k, v] : probe_row_) (*row)[k] = v;
-        PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(ResidualPred(), *row));
+        PROTEUS_ASSIGN_OR_RETURN(bool pass, EmitJoinRow(op_, build_, idx, probe_row_, row));
         if (!pass) continue;
         matched_[idx] = true;
         return true;
       }
       if (drain_unmatched_) {
-        while (unmatched_pos_ < build_rows_.size() && matched_[unmatched_pos_]) {
+        while (unmatched_pos_ < build_.rows.size() && matched_[unmatched_pos_]) {
           ++unmatched_pos_;
         }
-        if (unmatched_pos_ >= build_rows_.size()) return false;
-        *row = build_rows_[unmatched_pos_++];
+        if (unmatched_pos_ >= build_.rows.size()) return false;
+        *row = build_.rows[unmatched_pos_++];
         for (const auto& v : right_vars_) (*row)[v] = Value::Null();
         return true;
       }
@@ -388,34 +447,16 @@ class JoinCursorOp : public Cursor {
         }
         return false;
       }
-      matches_.clear();
       match_pos_ = 0;
-      if (op_.left_key()) {
-        PROTEUS_ASSIGN_OR_RETURN(Value k, Eval(op_.right_key(), probe_row_));
-        if (k.is_null()) continue;
-        uint64_t h = k.Hash();
-        table_.Probe(h, [&](uint32_t idx) {
-          if (build_keys_[idx].Equals(k)) matches_.push_back(idx);
-        });
-      } else {
-        // Nested loop: every build row is a candidate; predicate filters.
-        matches_.resize(build_rows_.size());
-        for (uint32_t i = 0; i < build_rows_.size(); ++i) matches_[i] = i;
-      }
+      PROTEUS_RETURN_NOT_OK(FindJoinMatches(op_, build_, probe_row_, &matches_));
     }
   }
 
  private:
-  /// With hash keys, the equality itself is verified via build_keys_; the
-  /// full predicate still runs to cover residual conjuncts.
-  const ExprPtr& ResidualPred() const { return op_.pred(); }
-
   std::unique_ptr<Cursor> left_, right_;
   const Operator& op_;
   std::vector<std::string> right_vars_;
-  std::vector<EvalEnv> build_rows_;
-  std::vector<Value> build_keys_;
-  RadixTable table_;
+  SharedJoinBuild build_;
   std::vector<bool> matched_;
   EvalEnv probe_row_;
   std::vector<uint32_t> matches_;
@@ -428,6 +469,80 @@ class JoinCursorOp : public Cursor {
 // Nest (hash grouping)
 // ---------------------------------------------------------------------------
 
+/// Hash group table of a Nest operator. The single home of the grouping
+/// semantics: the serial NestCursorOp fills one over its whole input; the
+/// morsel executor fills one per morsel and folds them together in morsel
+/// order (first-appearance group order then matches the serial scan's).
+struct GroupTable {
+  std::vector<Value> keys;
+  std::vector<std::vector<Aggregator>> aggs;
+  std::unordered_map<uint64_t, std::vector<size_t>> index;
+  /// Per-morsel partials set this false and the merged distinct-group total
+  /// is counted once instead, so bytes_materialized for a group-by matches
+  /// the serial path regardless of morsel count.
+  bool count_bytes = true;
+
+  Status AddRow(const Operator& op, const EvalEnv& row) {
+    PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op.pred(), row));
+    if (!pass) return Status::OK();
+    PROTEUS_ASSIGN_OR_RETURN(Value key, Eval(op.group_by(), row));
+    size_t group = FindOrAdd(op, std::move(key));
+    for (size_t i = 0; i < op.outputs().size(); ++i) {
+      const AggOutput& o = op.outputs()[i];
+      if (o.monoid == Monoid::kCount) {
+        aggs[group][i].Add(Value::Int(1));
+      } else {
+        PROTEUS_ASSIGN_OR_RETURN(Value v, Eval(o.expr, row));
+        aggs[group][i].Add(v);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Folds `other` into this table, appending unseen groups in `other`'s
+  /// first-appearance order.
+  void MergeFrom(const Operator& op, GroupTable&& other) {
+    for (size_t g = 0; g < other.keys.size(); ++g) {
+      size_t group = FindOrAdd(op, std::move(other.keys[g]));
+      for (size_t i = 0; i < aggs[group].size(); ++i) {
+        aggs[group][i].Merge(std::move(other.aggs[g][i]));
+      }
+    }
+  }
+
+  /// Output record of group `g` ({group_name: key, <output aggregates>...}).
+  Value GroupRecord(const Operator& op, size_t g) const {
+    std::vector<std::string> names{op.group_name()};
+    std::vector<Value> values{keys[g]};
+    for (size_t i = 0; i < op.outputs().size(); ++i) {
+      names.push_back(op.outputs()[i].name);
+      values.push_back(aggs[g][i].Final());
+    }
+    return Value::MakeRecord(std::move(names), std::move(values));
+  }
+
+ private:
+  size_t FindOrAdd(const Operator& op, Value key) {
+    uint64_t h = key.Hash();
+    for (size_t g : index[h]) {
+      if (keys[g].Equals(key)) return g;
+    }
+    size_t group = keys.size();
+    keys.push_back(std::move(key));
+    index[h].push_back(group);
+    aggs.emplace_back();
+    for (const auto& o : op.outputs()) aggs.back().emplace_back(o.monoid);
+    if (count_bytes) GlobalCounters().bytes_materialized += 48;
+    return group;
+  }
+};
+
+/// The binding a Nest's grouped record is published under.
+const std::string& NestBinding(const Operator& op) {
+  static const std::string kDefault = "$group";
+  return op.binding().empty() ? kDefault : op.binding();
+}
+
 class NestCursorOp : public Cursor {
  public:
   NestCursorOp(std::unique_ptr<Cursor> child, const Operator& op)
@@ -436,54 +551,19 @@ class NestCursorOp : public Cursor {
   Status Open() override {
     PROTEUS_RETURN_NOT_OK(child_->Open());
     EvalEnv row;
-    std::unordered_map<uint64_t, std::vector<size_t>> index;
     while (true) {
       PROTEUS_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
       if (!has) break;
-      PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op_.pred(), row));
-      if (!pass) continue;
-      PROTEUS_ASSIGN_OR_RETURN(Value key, Eval(op_.group_by(), row));
-      uint64_t h = key.Hash();
-      size_t group = SIZE_MAX;
-      for (size_t g : index[h]) {
-        if (keys_[g].Equals(key)) {
-          group = g;
-          break;
-        }
-      }
-      if (group == SIZE_MAX) {
-        group = keys_.size();
-        keys_.push_back(key);
-        index[h].push_back(group);
-        aggs_.emplace_back();
-        for (const auto& o : op_.outputs()) aggs_.back().emplace_back(o.monoid);
-        GlobalCounters().bytes_materialized += 48;
-      }
-      for (size_t i = 0; i < op_.outputs().size(); ++i) {
-        const AggOutput& o = op_.outputs()[i];
-        if (o.monoid == Monoid::kCount) {
-          aggs_[group][i].Add(Value::Int(1));
-        } else {
-          PROTEUS_ASSIGN_OR_RETURN(Value v, Eval(o.expr, row));
-          aggs_[group][i].Add(v);
-        }
-      }
+      PROTEUS_RETURN_NOT_OK(groups_.AddRow(op_, row));
     }
     return Status::OK();
   }
 
   Result<bool> Next(EvalEnv* row) override {
     GlobalCounters().virtual_calls++;
-    if (pos_ >= keys_.size()) return false;
-    std::vector<std::string> names{op_.group_name()};
-    std::vector<Value> values{keys_[pos_]};
-    for (size_t i = 0; i < op_.outputs().size(); ++i) {
-      names.push_back(op_.outputs()[i].name);
-      values.push_back(aggs_[pos_][i].Final());
-    }
+    if (pos_ >= groups_.keys.size()) return false;
     row->clear();
-    (*row)[op_.binding().empty() ? "$group" : op_.binding()] =
-        Value::MakeRecord(std::move(names), std::move(values));
+    (*row)[NestBinding(op_)] = groups_.GroupRecord(op_, pos_);
     ++pos_;
     return true;
   }
@@ -491,9 +571,376 @@ class NestCursorOp : public Cursor {
  private:
   std::unique_ptr<Cursor> child_;
   const Operator& op_;
-  std::vector<Value> keys_;
-  std::vector<std::vector<Aggregator>> aggs_;
+  GroupTable groups_;
   size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shared Reduce plumbing (serial drain loop and morsel sinks both use these)
+// ---------------------------------------------------------------------------
+
+Status AccumulateReduceRow(const Operator& reduce, const EvalEnv& row,
+                           std::vector<Aggregator>* aggs) {
+  PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(reduce.pred(), row));
+  if (!pass) return Status::OK();
+  const auto& outputs = reduce.outputs();
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i].monoid == Monoid::kCount) {
+      (*aggs)[i].Add(Value::Int(1));
+    } else {
+      PROTEUS_ASSIGN_OR_RETURN(Value v, Eval(outputs[i].expr, row));
+      (*aggs)[i].Add(v);
+    }
+  }
+  return Status::OK();
+}
+
+QueryResult FinalizeReduce(const Operator& reduce, std::vector<Aggregator>& aggs) {
+  const auto& outputs = reduce.outputs();
+  QueryResult result;
+  // A single collection output of records unfolds into a row set.
+  if (outputs.size() == 1 && IsCollectionMonoid(outputs[0].monoid)) {
+    Value collected = aggs[0].Final();
+    const ValueList& items = collected.list();
+    bool records = !items.empty() && items[0].is_record();
+    if (records) {
+      result.columns = items[0].record().names;
+      for (const auto& item : items) {
+        result.rows.push_back(item.record().values);
+      }
+    } else {
+      result.columns = {outputs[0].name};
+      for (const auto& item : items) result.rows.push_back({item});
+    }
+    GlobalCounters().tuples_output += result.rows.size();
+    return result;
+  }
+  for (const auto& o : outputs) result.columns.push_back(o.name);
+  result.rows.emplace_back();
+  for (auto& a : aggs) result.rows[0].push_back(a.Final());
+  GlobalCounters().tuples_output += 1;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel execution (Leis et al., adapted to this engine)
+//
+// Eligible plans are chains of Select / Unnest / non-outer Join ops between
+// the Reduce root (optionally through one Nest directly under it) and a
+// splittable Scan or CacheScan leaf. Join build sides are materialized once
+// up front — themselves morsel-parallel when their shape allows — into
+// SharedJoinBuild structures that worker pipelines probe read-only. The
+// driver leaf is split into morsels via the plug-in Split() API; each morsel
+// runs a private pipeline instance feeding a per-morsel partial sink
+// (Reduce accumulators or Nest group tables), merged in morsel order.
+//
+// Determinism: morsel boundaries, radix-build layout, and merge order all
+// depend only on the data — never on the worker count — so a query returns
+// bit-identical results for num_threads = 1 and num_threads = N.
+// ---------------------------------------------------------------------------
+
+/// Upper bound on morsels per pipeline (merge cost stays negligible).
+constexpr uint64_t kMaxMorsels = 1024;
+
+/// Probe side of a non-outer join over a shared, pre-built build side; the
+/// per-morsel replacement for JoinCursorOp. Match computation and row
+/// emission are the same FindJoinMatches/EmitJoinRow the serial cursor
+/// uses; only outer-join bookkeeping (matched bits, unmatched drain) is
+/// absent — those plans stay serial.
+class SharedJoinProbeCursor : public Cursor {
+ public:
+  SharedJoinProbeCursor(std::unique_ptr<Cursor> probe, const SharedJoinBuild* build,
+                        const Operator& op)
+      : probe_(std::move(probe)), build_(build), op_(op) {}
+
+  Status Open() override { return probe_->Open(); }
+
+  Result<bool> Next(EvalEnv* row) override {
+    GlobalCounters().virtual_calls++;
+    while (true) {
+      if (match_pos_ < matches_.size()) {
+        uint32_t idx = matches_[match_pos_++];
+        PROTEUS_ASSIGN_OR_RETURN(bool pass, EmitJoinRow(op_, *build_, idx, probe_row_, row));
+        if (!pass) continue;
+        return true;
+      }
+      PROTEUS_ASSIGN_OR_RETURN(bool has, probe_->Next(&probe_row_));
+      if (!has) return false;
+      match_pos_ = 0;
+      PROTEUS_RETURN_NOT_OK(FindJoinMatches(op_, *build_, probe_row_, &matches_));
+    }
+  }
+
+ private:
+  std::unique_ptr<Cursor> probe_;
+  const SharedJoinBuild* build_;
+  const Operator& op_;
+  EvalEnv probe_row_;
+  std::vector<uint32_t> matches_;
+  size_t match_pos_ = 0;
+};
+
+/// A morsel-parallelizable pipeline: ops from the region root down to the
+/// splittable leaf (root first). Probe sides continue the chain; join build
+/// subtrees hang off the collected join nodes.
+struct PipelineDesc {
+  std::vector<const Operator*> ops;
+  const Operator* leaf = nullptr;
+  std::vector<const Operator*> joins;
+};
+
+bool CollectPipelineDesc(const OpPtr& op, PipelineDesc* out) {
+  switch (op->kind()) {
+    case OpKind::kScan:
+    case OpKind::kCacheScan:
+      out->ops.push_back(op.get());
+      out->leaf = op.get();
+      return true;
+    case OpKind::kSelect:
+    case OpKind::kUnnest:
+      out->ops.push_back(op.get());
+      return CollectPipelineDesc(op->child(0), out);
+    case OpKind::kJoin:
+      // Outer joins track unmatched build rows across morsels; they stay on
+      // the serial path for now (ROADMAP: parallel outer-join drain).
+      if (op->outer()) return false;
+      out->ops.push_back(op.get());
+      out->joins.push_back(op.get());
+      return CollectPipelineDesc(op->child(1), out);
+    default:
+      return false;  // Nest mid-chain, Reduce, unknown
+  }
+}
+
+class MorselRunner {
+ public:
+  explicit MorselRunner(const ExecContext& ctx) : ctx_(ctx) {}
+
+  /// Attempts morsel-parallel execution of `plan` (root = Reduce). Sets
+  /// `*ran = false` without touching `*stats` when the plan shape is not
+  /// eligible; the caller then falls back to the serial Volcano path.
+  Result<QueryResult> Run(const OpPtr& plan, bool* ran, InterpExecutor::ExecStats* stats) {
+    *ran = false;
+    const OpPtr& top = plan->child(0);
+    const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
+    const OpPtr& pipe_root = nest != nullptr ? top->child(0) : top;
+    PipelineDesc desc;
+    if (!CollectPipelineDesc(pipe_root, &desc)) return QueryResult{};
+
+    // Open every scanned dataset (and collect cold-access stats) on this
+    // thread before fanning out; workers then only hit the warm path.
+    PROTEUS_RETURN_NOT_OK(PreOpenPlugins(plan));
+    for (const Operator* j : desc.joins) {
+      PROTEUS_RETURN_NOT_OK(MaterializeBuild(*j));
+    }
+    PROTEUS_ASSIGN_OR_RETURN(std::vector<ScanRange> morsels, SplitLeaf(*desc.leaf));
+    *ran = true;
+
+    QueryResult result;
+    if (nest != nullptr) {
+      std::vector<GroupTable> partials(morsels.size());
+      for (auto& p : partials) p.count_bytes = false;
+      PROTEUS_RETURN_NOT_OK(RunPipelines(desc, morsels, [&](EvalEnv& row, uint64_t m) {
+        return partials[m].AddRow(*nest, row);
+      }));
+      GroupTable merged = std::move(partials[0]);
+      for (size_t m = 1; m < partials.size(); ++m) {
+        merged.MergeFrom(*nest, std::move(partials[m]));
+      }
+      // Serial-parity materialization estimate: 48 bytes per distinct group.
+      GlobalCounters().bytes_materialized += 48 * merged.keys.size();
+      // Stream the merged groups through the Reduce root serially (group
+      // counts are small next to input cardinalities).
+      std::vector<Aggregator> aggs = MakeAggs(*plan);
+      for (size_t g = 0; g < merged.keys.size(); ++g) {
+        EvalEnv row;
+        row[NestBinding(*nest)] = merged.GroupRecord(*nest, g);
+        PROTEUS_RETURN_NOT_OK(AccumulateReduceRow(*plan, row, &aggs));
+      }
+      result = FinalizeReduce(*plan, aggs);
+    } else {
+      std::vector<std::vector<Aggregator>> partials;
+      partials.reserve(morsels.size());
+      for (size_t m = 0; m < morsels.size(); ++m) partials.push_back(MakeAggs(*plan));
+      PROTEUS_RETURN_NOT_OK(RunPipelines(desc, morsels, [&](EvalEnv& row, uint64_t m) {
+        return AccumulateReduceRow(*plan, row, &partials[m]);
+      }));
+      std::vector<Aggregator> aggs = std::move(partials[0]);
+      for (size_t m = 1; m < partials.size(); ++m) {
+        for (size_t i = 0; i < aggs.size(); ++i) aggs[i].Merge(std::move(partials[m][i]));
+      }
+      result = FinalizeReduce(*plan, aggs);
+    }
+    stats->morsels = morsels_run_;
+    stats->threads_used =
+        static_cast<int>(std::min<uint64_t>(ctx_.scheduler->num_threads(), max_batch_));
+    return result;
+  }
+
+ private:
+  static std::vector<Aggregator> MakeAggs(const Operator& reduce) {
+    std::vector<Aggregator> aggs;
+    aggs.reserve(reduce.outputs().size());
+    for (const auto& o : reduce.outputs()) aggs.emplace_back(o.monoid);
+    return aggs;
+  }
+
+  Status PreOpenPlugins(const OpPtr& op) {
+    if (op->kind() == OpKind::kScan ||
+        (op->kind() == OpKind::kCacheScan && !op->dataset().empty())) {
+      PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ctx_.catalog->Get(op->dataset()));
+      PROTEUS_RETURN_NOT_OK(ctx_.plugins->GetOrOpen(*info, ctx_.stats).status());
+    }
+    for (const auto& c : op->children()) PROTEUS_RETURN_NOT_OK(PreOpenPlugins(c));
+    return Status::OK();
+  }
+
+  Result<std::vector<ScanRange>> SplitLeaf(const Operator& leaf) {
+    if (leaf.kind() == OpKind::kScan) {
+      PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ctx_.catalog->Get(leaf.dataset()));
+      PROTEUS_ASSIGN_OR_RETURN(InputPlugin * plugin,
+                               ctx_.plugins->GetOrOpen(*info, ctx_.stats));
+      uint64_t n = plugin->NumRecords();
+      std::vector<ScanRange> morsels = plugin->Split(TargetMorsels(n));
+      // The Split contract does not promise non-emptiness; the merge phase
+      // indexes partials[0], so guarantee at least one morsel here.
+      if (morsels.empty()) morsels.push_back({0, n});
+      return morsels;
+    }
+    // CacheScan: evenly split the block's row range.
+    PROTEUS_ASSIGN_OR_RETURN(const CacheBlock* block, ResolveCacheBlock(ctx_, leaf.cache_id()));
+    return EvenSplit(block->num_rows, TargetMorsels(block->num_rows));
+  }
+
+  uint64_t TargetMorsels(uint64_t n) const {
+    const uint64_t per_morsel = ctx_.morsel_rows == 0 ? kDefaultMorselRows : ctx_.morsel_rows;
+    return std::max<uint64_t>(1, std::min(kMaxMorsels, (n + per_morsel - 1) / per_morsel));
+  }
+
+  /// Materializes the build side of `join` into builds_[join]; the subtree
+  /// runs morsel-parallel itself when its shape allows.
+  Status MaterializeBuild(const Operator& join) {
+    PROTEUS_ASSIGN_OR_RETURN(std::vector<EvalEnv> rows, MaterializeRows(join.child(0)));
+    auto build = std::make_shared<SharedJoinBuild>();
+    if (join.left_key()) {
+      build->has_key = true;
+      build->rows.reserve(rows.size());
+      build->keys.reserve(rows.size());
+      build->table.Reserve(rows.size());
+      for (auto& row : rows) {
+        PROTEUS_ASSIGN_OR_RETURN(Value k, Eval(join.left_key(), row));
+        // Null keys never match a non-outer equi-join; drop them here like
+        // the serial build phase does.
+        if (k.is_null()) continue;
+        build->table.Insert(k.Hash(), static_cast<uint32_t>(build->rows.size()));
+        build->rows.push_back(std::move(row));
+        build->keys.push_back(std::move(k));
+        GlobalCounters().bytes_materialized += 64;  // boxed row estimate
+      }
+      build->table.Build(ctx_.scheduler);
+    } else {
+      GlobalCounters().bytes_materialized += 64 * rows.size();
+      build->rows = std::move(rows);
+    }
+    builds_[&join] = std::move(build);
+    return Status::OK();
+  }
+
+  /// Materializes all rows produced by `subtree`, morsel-parallel when the
+  /// subtree is itself an eligible pipeline, serially otherwise.
+  Result<std::vector<EvalEnv>> MaterializeRows(const OpPtr& subtree) {
+    PipelineDesc desc;
+    if (CollectPipelineDesc(subtree, &desc)) {
+      for (const Operator* j : desc.joins) {
+        PROTEUS_RETURN_NOT_OK(MaterializeBuild(*j));
+      }
+      PROTEUS_ASSIGN_OR_RETURN(std::vector<ScanRange> morsels, SplitLeaf(*desc.leaf));
+      std::vector<std::vector<EvalEnv>> per_morsel(morsels.size());
+      PROTEUS_RETURN_NOT_OK(RunPipelines(desc, morsels, [&](EvalEnv& row, uint64_t m) {
+        per_morsel[m].push_back(row);
+        return Status::OK();
+      }));
+      std::vector<EvalEnv> rows;
+      for (auto& chunk : per_morsel) {
+        for (auto& row : chunk) rows.push_back(std::move(row));
+      }
+      return rows;
+    }
+    // Serial fallback: drain a Volcano cursor tree for this subtree.
+    InterpExecutor serial(ctx_);
+    PROTEUS_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> cursor, serial.BuildCursor(subtree));
+    PROTEUS_RETURN_NOT_OK(cursor->Open());
+    std::vector<EvalEnv> rows;
+    EvalEnv row;
+    while (true) {
+      PROTEUS_ASSIGN_OR_RETURN(bool has, cursor->Next(&row));
+      if (!has) break;
+      rows.push_back(row);
+    }
+    return rows;
+  }
+
+  /// Builds one private pipeline instance over `range` (leaf up to root).
+  Result<std::unique_ptr<Cursor>> MakePipeline(const PipelineDesc& desc, ScanRange range) {
+    std::unique_ptr<Cursor> cursor;
+    for (size_t i = desc.ops.size(); i-- > 0;) {
+      const Operator& op = *desc.ops[i];
+      switch (op.kind()) {
+        case OpKind::kScan: {
+          PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ctx_.catalog->Get(op.dataset()));
+          if (info->format == DataFormat::kJSON) {
+            cursor.reset(new LenientScanCursor(ctx_, op, range));
+          } else {
+            cursor.reset(new ScanCursor(ctx_, op, range));
+          }
+          break;
+        }
+        case OpKind::kCacheScan:
+          cursor.reset(new CacheScanCursor(ctx_, op, range));
+          break;
+        case OpKind::kSelect:
+          cursor.reset(new SelectCursor(std::move(cursor), op));
+          break;
+        case OpKind::kUnnest:
+          cursor.reset(new UnnestCursorOp(std::move(cursor), op));
+          break;
+        case OpKind::kJoin:
+          cursor.reset(
+              new SharedJoinProbeCursor(std::move(cursor), builds_.at(&op).get(), op));
+          break;
+        default:
+          return Status::Internal("unexpected op in morsel pipeline");
+      }
+    }
+    return cursor;
+  }
+
+  /// Runs one pipeline instance per morsel, fanning out over the scheduler;
+  /// `sink(row, morsel_idx)` receives every produced row (workers write
+  /// disjoint per-morsel slots, so sinks need no locking).
+  Status RunPipelines(const PipelineDesc& desc, const std::vector<ScanRange>& morsels,
+                      const std::function<Status(EvalEnv&, uint64_t)>& sink) {
+    morsels_run_ += morsels.size();
+    max_batch_ = std::max<uint64_t>(max_batch_, morsels.size());
+    return ctx_.scheduler->ParallelFor(
+        morsels.size(), [&](uint64_t m, int) -> Status {
+          PROTEUS_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> cursor,
+                                   MakePipeline(desc, morsels[m]));
+          PROTEUS_RETURN_NOT_OK(cursor->Open());
+          EvalEnv row;
+          while (true) {
+            PROTEUS_ASSIGN_OR_RETURN(bool has, cursor->Next(&row));
+            if (!has) break;
+            PROTEUS_RETURN_NOT_OK(sink(row, m));
+          }
+          return Status::OK();
+        });
+  }
+
+  const ExecContext& ctx_;
+  std::unordered_map<const Operator*, std::shared_ptr<SharedJoinBuild>> builds_;
+  uint64_t morsels_run_ = 0;
+  uint64_t max_batch_ = 0;
 };
 
 }  // namespace
@@ -501,6 +948,14 @@ class NestCursorOp : public Cursor {
 // ---------------------------------------------------------------------------
 // Executor
 // ---------------------------------------------------------------------------
+
+bool PlanIsMorselParallelizable(const OpPtr& plan) {
+  if (plan == nullptr || plan->kind() != OpKind::kReduce) return false;
+  const OpPtr& top = plan->child(0);
+  const OpPtr& root = top->kind() == OpKind::kNest ? top->child(0) : top;
+  PipelineDesc desc;
+  return CollectPipelineDesc(root, &desc);
+}
 
 Result<std::unique_ptr<Cursor>> InterpExecutor::BuildCursor(const OpPtr& op) {
   switch (op->kind()) {
@@ -541,53 +996,38 @@ Result<QueryResult> InterpExecutor::Execute(const OpPtr& plan) {
     return Status::InvalidArgument("physical plan root must be Reduce, got:\n" +
                                    plan->ToString());
   }
+  exec_stats_ = ExecStats{};
+
+  // Morsel-driven parallel path; ineligible plan shapes (outer joins, Nest
+  // mid-chain) fall through to the serial Volcano drain below.
+  //
+  // Deliberately taken even at num_threads == 1: cross-thread-count result
+  // identity requires every worker count to use the same per-morsel partial
+  // sums (float addition is not associative), so the worker count may only
+  // change who runs a morsel, never the fold shape. The cost is that
+  // eligible plans' float aggregates can differ in the last ulps from the
+  // serial drain — within every oracle tolerance in the suite.
+  if (ctx_.scheduler != nullptr) {
+    MorselRunner runner(ctx_);
+    bool ran = false;
+    PROTEUS_ASSIGN_OR_RETURN(QueryResult result, runner.Run(plan, &ran, &exec_stats_));
+    if (ran) return result;
+  }
+
   PROTEUS_ASSIGN_OR_RETURN(auto cursor, BuildCursor(plan->child(0)));
   PROTEUS_RETURN_NOT_OK(cursor->Open());
 
-  const auto& outputs = plan->outputs();
   std::vector<Aggregator> aggs;
-  aggs.reserve(outputs.size());
-  for (const auto& o : outputs) aggs.emplace_back(o.monoid);
+  aggs.reserve(plan->outputs().size());
+  for (const auto& o : plan->outputs()) aggs.emplace_back(o.monoid);
 
   EvalEnv row;
   while (true) {
     PROTEUS_ASSIGN_OR_RETURN(bool has, cursor->Next(&row));
     if (!has) break;
-    PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(plan->pred(), row));
-    if (!pass) continue;
-    for (size_t i = 0; i < outputs.size(); ++i) {
-      if (outputs[i].monoid == Monoid::kCount) {
-        aggs[i].Add(Value::Int(1));
-      } else {
-        PROTEUS_ASSIGN_OR_RETURN(Value v, Eval(outputs[i].expr, row));
-        aggs[i].Add(v);
-      }
-    }
+    PROTEUS_RETURN_NOT_OK(AccumulateReduceRow(*plan, row, &aggs));
   }
-
-  QueryResult result;
-  // A single collection output of records unfolds into a row set.
-  if (outputs.size() == 1 && IsCollectionMonoid(outputs[0].monoid)) {
-    Value collected = aggs[0].Final();
-    const ValueList& items = collected.list();
-    bool records = !items.empty() && items[0].is_record();
-    if (records) {
-      result.columns = items[0].record().names;
-      for (const auto& item : items) {
-        result.rows.push_back(item.record().values);
-      }
-    } else {
-      result.columns = {outputs[0].name};
-      for (const auto& item : items) result.rows.push_back({item});
-    }
-    GlobalCounters().tuples_output += result.rows.size();
-    return result;
-  }
-  for (const auto& o : outputs) result.columns.push_back(o.name);
-  result.rows.emplace_back();
-  for (auto& a : aggs) result.rows[0].push_back(a.Final());
-  GlobalCounters().tuples_output += 1;
-  return result;
+  return FinalizeReduce(*plan, aggs);
 }
 
 }  // namespace proteus

@@ -6,12 +6,22 @@
 // virtual getNext() calls and every expression is dispatched dynamically —
 // exactly the interpretation overhead the paper's code generation removes
 // (§5). ExecCounters::virtual_calls tracks those crossings.
+//
+// With an ExecContext::scheduler, eligible plans additionally run
+// morsel-driven parallel: the driver scan is split into ranges via the
+// plug-in Split() API, every worker runs its own pipeline instance over one
+// morsel at a time (join build sides are materialized once up front and
+// shared read-only), and per-morsel partial aggregates are merged in morsel
+// order. Morsel boundaries depend only on the data, so results are
+// identical for every worker count. Outer joins and plans whose shape the
+// morsel driver does not understand fall back to the serial path.
 #pragma once
 
 #include <memory>
 
 #include "src/algebra/algebra.h"
 #include "src/catalog/catalog.h"
+#include "src/common/task_scheduler.h"
 #include "src/engine/cache.h"
 #include "src/engine/result.h"
 #include "src/expr/eval.h"
@@ -19,11 +29,22 @@
 
 namespace proteus {
 
+/// Default target scan rows per morsel — the single home of this constant
+/// (EngineOptions, ExecContext, and the zero-value fallback all use it, so
+/// every path produces the same morsel decomposition).
+constexpr uint64_t kDefaultMorselRows = 4096;
+
 struct ExecContext {
   const Catalog* catalog = nullptr;
   PluginRegistry* plugins = nullptr;
   StatsStore* stats = nullptr;       ///< cold-access stats collection target
   CachingManager* caches = nullptr;  ///< optional adaptive caching
+  TaskScheduler* scheduler = nullptr;  ///< morsel-parallel execution when set
+  /// Target scan rows per morsel. Part of the deterministic morsel
+  /// decomposition: results depend on this value but never on the worker
+  /// count. Small values are used by tests to force multi-morsel merges on
+  /// tiny corpora.
+  uint64_t morsel_rows = kDefaultMorselRows;
 };
 
 /// Pull-based row cursor (getNextTuple() of the Volcano model).
@@ -37,6 +58,12 @@ class Cursor {
 
 class InterpExecutor {
  public:
+  /// How the last Execute() ran (surfaced as QueryTelemetry).
+  struct ExecStats {
+    int threads_used = 1;
+    uint64_t morsels = 0;  ///< 0 = serial Volcano path
+  };
+
   explicit InterpExecutor(ExecContext ctx) : ctx_(ctx) {}
 
   /// Executes a physical plan whose root is Reduce.
@@ -46,11 +73,20 @@ class InterpExecutor {
   /// which drains subtree cursors to populate explicit caches).
   Result<std::unique_ptr<Cursor>> BuildCursor(const OpPtr& op);
 
+  const ExecStats& exec_stats() const { return exec_stats_; }
+
  private:
   ExecContext ctx_;
+  ExecStats exec_stats_;
 };
 
 /// Variables bound by the subtree rooted at `op` (shared helper).
 void CollectBoundVars(const OpPtr& op, std::vector<std::string>* out);
+
+/// True when `plan` (root Reduce) has a shape the morsel-parallel driver
+/// accepts. The QueryEngine consults this before routing: ineligible plans
+/// gain nothing from num_threads > 1, so they keep their normal (e.g. JIT)
+/// path instead of silently landing on the serial interpreter.
+bool PlanIsMorselParallelizable(const OpPtr& plan);
 
 }  // namespace proteus

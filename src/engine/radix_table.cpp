@@ -1,6 +1,9 @@
 #include "src/engine/radix_table.h"
 
+#include <algorithm>
+
 #include "src/common/counters.h"
+#include "src/common/task_scheduler.h"
 
 namespace proteus {
 
@@ -12,27 +15,75 @@ uint32_t NextPow2(uint32_t x) {
   return p;
 }
 
+/// Entries per parallel histogram/scatter chunk. Depends only on the entry
+/// count — never on the worker count — so the clustered layout (and with it
+/// every probe's chain order) is identical across thread counts.
+constexpr size_t kBuildChunk = 1 << 16;
+
 }  // namespace
 
-void RadixTable::Build() {
+void RadixTable::Build(TaskScheduler* scheduler) {
   const uint32_t num_parts = 1u << radix_bits_;
   partition_mask_ = num_parts - 1;
 
-  // Pass 1: histogram.
-  std::vector<uint32_t> counts(num_parts, 0);
-  for (const Entry& e : entries_) counts[e.hash & partition_mask_]++;
+  const size_t n = entries_.size();
+  const size_t num_chunks = n == 0 ? 1 : (n + kBuildChunk - 1) / kBuildChunk;
+  const bool parallel = scheduler != nullptr && scheduler->num_threads() > 1 && n >= kBuildChunk;
 
-  // Prefix sums -> partition start offsets.
+  // Pass 1: per-chunk histograms (chunk-parallel; chunks own disjoint input).
+  std::vector<std::vector<uint32_t>> chunk_counts(num_chunks,
+                                                  std::vector<uint32_t>(num_parts, 0));
+  auto histogram = [&](uint64_t c, int) -> Status {
+    const size_t lo = c * kBuildChunk, hi = std::min(n, lo + kBuildChunk);
+    auto& counts = chunk_counts[c];
+    for (size_t i = lo; i < hi; ++i) counts[entries_[i].hash & partition_mask_]++;
+    return Status::OK();
+  };
+
+  // Partition totals and prefix sums -> partition start offsets.
+  std::vector<uint32_t> counts(num_parts, 0);
   std::vector<uint32_t> offsets(num_parts + 1, 0);
-  for (uint32_t p = 0; p < num_parts; ++p) offsets[p + 1] = offsets[p] + counts[p];
+
+  // Per-(chunk, partition) write cursors: chunk c writes partition p's rows
+  // at offsets[p] + sum of earlier chunks' counts for p. Disjoint slices, so
+  // the scatter needs no synchronization and reproduces the serial order
+  // (chunks are in entry order, entries in order within each chunk).
+  std::vector<std::vector<uint32_t>> chunk_starts(num_chunks,
+                                                  std::vector<uint32_t>(num_parts, 0));
+  auto scatter = [&](uint64_t c, int) -> Status {
+    const size_t lo = c * kBuildChunk, hi = std::min(n, lo + kBuildChunk);
+    auto& cursor = chunk_starts[c];
+    for (size_t i = lo; i < hi; ++i) {
+      clustered_[cursor[entries_[i].hash & partition_mask_]++] = entries_[i];
+    }
+    return Status::OK();
+  };
+
+  if (parallel) {
+    (void)scheduler->ParallelFor(num_chunks, histogram);
+  } else {
+    for (size_t c = 0; c < num_chunks; ++c) (void)histogram(c, 0);
+  }
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    for (size_t c = 0; c < num_chunks; ++c) counts[p] += chunk_counts[c][p];
+    offsets[p + 1] = offsets[p] + counts[p];
+  }
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    uint32_t at = offsets[p];
+    for (size_t c = 0; c < num_chunks; ++c) {
+      chunk_starts[c][p] = at;
+      at += chunk_counts[c][p];
+    }
+  }
 
   // Pass 2: scatter into clustered order (the radix clustering step).
-  clustered_.resize(entries_.size());
-  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (const Entry& e : entries_) {
-    clustered_[cursor[e.hash & partition_mask_]++] = e;
+  clustered_.resize(n);
+  if (parallel) {
+    (void)scheduler->ParallelFor(num_chunks, scatter);
+  } else {
+    for (size_t c = 0; c < num_chunks; ++c) (void)scatter(c, 0);
   }
-  GlobalCounters().bytes_materialized += entries_.size() * sizeof(Entry);
+  GlobalCounters().bytes_materialized += n * sizeof(Entry);
   entries_.clear();
   entries_.shrink_to_fit();
 
@@ -44,14 +95,22 @@ void RadixTable::Build() {
 
   buckets_.assign(static_cast<size_t>(num_parts) * buckets_per_part_, kNil);
   next_.assign(clustered_.size(), kNil);
-  for (uint32_t p = 0; p < num_parts; ++p) {
+  auto chain = [&](uint64_t p, int) -> Status {
     for (uint32_t i = offsets[p]; i < offsets[p + 1]; ++i) {
       uint64_t h = clustered_[i].hash;
-      uint32_t bucket = p * buckets_per_part_ +
+      uint32_t bucket = static_cast<uint32_t>(p) * buckets_per_part_ +
                         static_cast<uint32_t>((h >> radix_bits_) & bucket_mask_);
       next_[i] = buckets_[bucket];
       buckets_[bucket] = i;
     }
+    return Status::OK();
+  };
+  if (parallel) {
+    // Partitions own disjoint bucket and next_ ranges; chain order within a
+    // partition is the sequential scan order, same as the serial build.
+    (void)scheduler->ParallelFor(num_parts, chain);
+  } else {
+    for (uint32_t p = 0; p < num_parts; ++p) (void)chain(p, 0);
   }
 }
 

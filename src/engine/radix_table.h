@@ -15,6 +15,8 @@
 
 namespace proteus {
 
+class TaskScheduler;
+
 class RadixTable {
  public:
   /// `radix_bits` partitions = 2^bits; 8 bits keeps partitions L1-resident
@@ -26,8 +28,13 @@ class RadixTable {
   size_t size() const { return entries_.size(); }
 
   /// Clusters entries by radix and builds per-partition buckets. Must be
-  /// called once, after all inserts and before any probe.
-  void Build();
+  /// called once, after all inserts and before any probe. With a scheduler,
+  /// the histogram and scatter passes run chunk-parallel and the bucket
+  /// chaining partition-parallel; the resulting layout is byte-identical to
+  /// the serial build (chunk boundaries depend only on the entry count, and
+  /// each (chunk, partition) pair owns a disjoint slice of the clustered
+  /// array), so probes see the same chain order either way.
+  void Build(TaskScheduler* scheduler = nullptr);
 
   /// Invokes `cb(row_id)` for every entry whose hash equals `hash`.
   template <typename F>

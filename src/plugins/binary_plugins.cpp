@@ -12,6 +12,22 @@ Status CheckFlatPath(const FieldPath& path, const char* fmt) {
   return Status::OK();
 }
 
+/// Distributes whole `block`-row blocks evenly over the morsels (the final
+/// morsel absorbs the partial tail block), so no two morsels share a
+/// partially-covered block of the fixed-width layout and no morsel is empty
+/// while blocks remain.
+std::vector<ScanRange> BlockAlignedSplit(uint64_t n, uint64_t max_morsels, uint64_t block) {
+  const uint64_t blocks = n == 0 ? 1 : (n + block - 1) / block;
+  // EvenSplit over whole blocks, scaled back to rows (the final morsel's
+  // partial tail block clamps to n) — one home for the split arithmetic.
+  std::vector<ScanRange> out = EvenSplit(blocks, max_morsels);
+  for (auto& r : out) {
+    r.begin = std::min(n, r.begin * block);
+    r.end = std::min(n, r.end * block);
+  }
+  return out;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -109,6 +125,14 @@ Result<Value> BinRowPlugin::ReadValue(uint64_t oid, const FieldPath& path) {
     default:
       return Status::Internal("unexpected binrow type code");
   }
+}
+
+std::vector<ScanRange> BinColPlugin::Split(uint64_t max_morsels) const {
+  return BlockAlignedSplit(NumRecords(), max_morsels, 1024);
+}
+
+std::vector<ScanRange> BinRowPlugin::Split(uint64_t max_morsels) const {
+  return BlockAlignedSplit(NumRecords(), max_morsels, 1024);
 }
 
 }  // namespace proteus

@@ -25,6 +25,9 @@ class BinColPlugin : public InputPlugin {
   Status CollectStats(StatsStore* store) override;
   double CostPerTuple() const override { return 1.0; }
   double CostPerField() const override { return 1.0; }
+  /// Rows are fixed width; morsel boundaries snap to 1024-row blocks so
+  /// workers touch disjoint, prefetch-friendly column segments.
+  std::vector<ScanRange> Split(uint64_t max_morsels) const override;
 
   /// Direct reader access for the JIT scan specialization.
   const BinColReader* reader() const { return reader_ ? &*reader_ : nullptr; }
@@ -45,6 +48,8 @@ class BinRowPlugin : public InputPlugin {
   Result<Value> ReadValue(uint64_t oid, const FieldPath& path) override;
   double CostPerTuple() const override { return 1.2; }  // wider rows pollute cache lines
   double CostPerField() const override { return 1.0; }
+  /// Same block-aligned split as BinColPlugin (fixed-width rows).
+  std::vector<ScanRange> Split(uint64_t max_morsels) const override;
 
   const BinRowReader* reader() const { return reader_ ? &*reader_ : nullptr; }
 

@@ -102,6 +102,11 @@ size_t CsvPlugin::StructuralIndexBytes() const {
          fixed_field_off_.capacity() * sizeof(uint16_t);
 }
 
+std::vector<ScanRange> CsvPlugin::Split(uint64_t max_morsels) const {
+  if (fixed_width_) return InputPlugin::Split(max_morsels);  // rows equal by construction
+  return SplitByByteOffsets(row_offsets_, num_rows_, row_offsets_.back(), max_morsels);
+}
+
 int CsvPlugin::ColumnIndex(const std::string& name) const {
   for (size_t j = 0; j < col_names_.size(); ++j) {
     if (col_names_[j] == name) return static_cast<int>(j);

@@ -32,6 +32,9 @@ class CsvPlugin : public InputPlugin {
   double CostPerTuple() const override { return 4.0; }   // parsing + navigation
   double CostPerField() const override { return 6.0; }   // text-to-binary conversion
   size_t StructuralIndexBytes() const override;
+  /// Morsels balanced by row bytes via the positional index; fixed-width
+  /// files (per-row offsets dropped) use the even record split.
+  std::vector<ScanRange> Split(uint64_t max_morsels) const override;
 
   /// True when the fixed-length fast path replaced the per-row samples.
   bool fixed_width() const { return fixed_width_; }

@@ -393,6 +393,10 @@ size_t JsonPlugin::StructuralIndexBytes() const {
          fixed_slots_.size() * (sizeof(uint64_t) + sizeof(uint32_t) + 16);
 }
 
+std::vector<ScanRange> JsonPlugin::Split(uint64_t max_morsels) const {
+  return SplitByByteOffsets(obj_offsets_, num_objects_, file_.size(), max_morsels);
+}
+
 // ---------------------------------------------------------------------------
 // Lookups
 // ---------------------------------------------------------------------------

@@ -79,6 +79,9 @@ class JsonPlugin : public InputPlugin {
   double CostPerTuple() const override { return 8.0; }   // verbose format navigation
   double CostPerField() const override { return 10.0; }  // conversion from text
   size_t StructuralIndexBytes() const override;
+  /// Morsels balanced by object bytes via the structural index's offsets
+  /// (JSON objects vary widely in width; see SplitByByteOffsets).
+  std::vector<ScanRange> Split(uint64_t max_morsels) const override;
 
   /// True when Level 0 was dropped in favour of deterministic slots.
   bool fixed_schema() const { return fixed_schema_; }

@@ -139,7 +139,49 @@ Status InputPlugin::CollectStats(StatsStore* store) {
   return Status::OK();
 }
 
+std::vector<ScanRange> EvenSplit(uint64_t n, uint64_t max_morsels) {
+  if (max_morsels == 0) max_morsels = 1;
+  const uint64_t morsels = std::min<uint64_t>(max_morsels, n == 0 ? 1 : n);
+  std::vector<ScanRange> out;
+  out.reserve(morsels);
+  uint64_t begin = 0;
+  for (uint64_t m = 0; m < morsels; ++m) {
+    // Even split with the remainder spread over the first ranges.
+    uint64_t end = begin + n / morsels + (m < n % morsels ? 1 : 0);
+    out.push_back({begin, end});
+    begin = end;
+  }
+  return out;
+}
+
+std::vector<ScanRange> InputPlugin::Split(uint64_t max_morsels) const {
+  return EvenSplit(NumRecords(), max_morsels);
+}
+
+std::vector<ScanRange> SplitByByteOffsets(const std::vector<uint64_t>& starts, uint64_t n,
+                                          uint64_t end_byte, uint64_t max_morsels) {
+  std::vector<ScanRange> out;
+  if (n == 0 || max_morsels == 0) {
+    out.push_back({0, n});
+    return out;
+  }
+  const uint64_t total = end_byte - starts[0];
+  const uint64_t target = std::max<uint64_t>(1, total / std::min(max_morsels, n));
+  uint64_t begin = 0;
+  uint64_t cut_bytes = starts[0] + target;
+  for (uint64_t i = 1; i < n; ++i) {
+    if (starts[i] >= cut_bytes && out.size() + 1 < max_morsels) {
+      out.push_back({begin, i});
+      begin = i;
+      cut_bytes = starts[i] + target;
+    }
+  }
+  out.push_back({begin, n});
+  return out;
+}
+
 Result<InputPlugin*> PluginRegistry::GetOrOpen(const DatasetInfo& info, StatsStore* stats) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = open_.find(info.name);
   if (it != open_.end()) return it->second.get();
   PROTEUS_ASSIGN_OR_RETURN(std::unique_ptr<InputPlugin> plugin, CreateInputPlugin(info));
@@ -153,6 +195,9 @@ Result<InputPlugin*> PluginRegistry::GetOrOpen(const DatasetInfo& info, StatsSto
   return raw;
 }
 
-void PluginRegistry::Evict(const std::string& dataset) { open_.erase(dataset); }
+void PluginRegistry::Evict(const std::string& dataset) {
+  std::lock_guard<std::mutex> lk(mu_);
+  open_.erase(dataset);
+}
 
 }  // namespace proteus

@@ -20,7 +20,9 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/catalog/catalog.h"
@@ -42,6 +44,13 @@ class UnnestCursor {
   virtual ~UnnestCursor() = default;
   virtual bool HasNext() = 0;
   virtual Result<Value> GetNext() = 0;
+};
+
+/// A half-open OID range [begin, end) — one morsel of a splittable scan.
+struct ScanRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  uint64_t size() const { return end - begin; }
 };
 
 class InputPlugin {
@@ -87,7 +96,31 @@ class InputPlugin {
 
   /// Bytes of auxiliary structural index memory (0 for binary formats).
   virtual size_t StructuralIndexBytes() const { return 0; }
+
+  /// Splits [0, NumRecords()) into at most `max_morsels` contiguous ranges
+  /// for morsel-driven parallel scans. Raw formats override this to balance
+  /// *bytes* per morsel using their structural index (JSON objects and CSV
+  /// rows vary in width); the default splits record counts evenly. Must be
+  /// deterministic for a given dataset — parallel results are required to be
+  /// identical across thread counts, so morsel boundaries may depend only on
+  /// the data, never on the worker count. Valid after Open().
+  virtual std::vector<ScanRange> Split(uint64_t max_morsels) const;
 };
+
+/// Even record-count split of [0, n) into at most `max_morsels` contiguous
+/// ranges, the remainder spread over the first ranges. The default
+/// InputPlugin::Split and the cache-block split share this so morsel
+/// boundaries stay identical across code paths.
+std::vector<ScanRange> EvenSplit(uint64_t n, uint64_t max_morsels);
+
+/// Byte-balanced morsel split over a structural index: `starts[i]` is the
+/// byte offset of record i (`starts` holds at least `n` entries), `end_byte`
+/// the end of the last record. Returns at most `max_morsels` OID ranges
+/// cut so each covers roughly equal bytes — raw records vary in width, and
+/// balancing bytes instead of record counts is what keeps morsel run times
+/// even. Shared by the JSON and CSV plug-ins.
+std::vector<ScanRange> SplitByByteOffsets(const std::vector<uint64_t>& starts, uint64_t n,
+                                          uint64_t end_byte, uint64_t max_morsels);
 
 /// Creates the plug-in matching `info.format`. Adding a format = adding a
 /// case here plus an InputPlugin subclass (paper: "adding a plug-in suffices
@@ -95,6 +128,10 @@ class InputPlugin {
 Result<std::unique_ptr<InputPlugin>> CreateInputPlugin(const DatasetInfo& info);
 
 /// Keeps plug-ins (and their structural indexes) alive across queries.
+/// GetOrOpen/Evict are mutex-guarded so pool workers can look up plug-ins
+/// concurrently; the parallel executor still pre-opens every scanned dataset
+/// before fanning out, keeping index construction (and its stats pass) on
+/// the submitting thread.
 class PluginRegistry {
  public:
   /// Returns the opened plug-in for `info.name`, creating it on first use
@@ -105,6 +142,7 @@ class PluginRegistry {
   void Evict(const std::string& dataset);
 
  private:
+  std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<InputPlugin>> open_;
 };
 
