@@ -203,6 +203,43 @@ inline double ThreadedMs(int threads, const std::string& query) {
   return e.telemetry().execute_ms;
 }
 
+/// Shard counts exercised by the partitioned scale-out variants.
+inline const std::vector<int>& ShardCounts() {
+  static std::vector<int> s{1, 2, 4};
+  return s;
+}
+
+/// Engine running the shard coordinator at a fixed shard count with one
+/// morsel worker per shard, so the shard dimension is isolated from the
+/// thread dimension (results are identical across counts by construction;
+/// partials cross the serialized PartialResult wire format).
+inline QueryEngine& ShardedEngine(int shards) {
+  static std::map<int, std::unique_ptr<QueryEngine>> engines;
+  auto it = engines.find(shards);
+  if (it == engines.end()) {
+    EngineOptions opts;
+    opts.mode = ExecMode::kInterp;
+    opts.num_threads = 1;
+    opts.num_shards = shards;
+    auto e = std::make_unique<QueryEngine>(opts);
+    RegisterBenchDatasets(e.get());
+    it = engines.emplace(shards, std::move(e)).first;
+  }
+  return *it->second;
+}
+
+/// Runs one query on the `shards`-shard engine, returns execution ms.
+inline double ShardedMs(int shards, const std::string& query) {
+  QueryEngine& e = ShardedEngine(shards);
+  auto r = e.Execute(query);
+  if (!r.ok()) {
+    fprintf(stderr, "proteus[%d shards]: %s\n  %s\n", shards, query.c_str(),
+            r.status().ToString().c_str());
+    std::abort();
+  }
+  return e.telemetry().execute_ms;
+}
+
 /// Runs one Proteus query and returns execution ms (excludes compile).
 inline double ProteusMs(const std::string& query) {
   auto r = Systems::Get().proteus->Execute(query);

@@ -44,6 +44,12 @@ void Register() {
           RegisterMs(tag + "Proteus_parallel/threads=" + std::to_string(threads),
                      [q, threads] { return ThreadedMs(threads, q); });
         }
+        // Partitioned scale-out: the probe scan's morsels deal out to shard
+        // executors; partials merge through the serialized wire format.
+        for (int shards : ShardCounts()) {
+          RegisterMs(tag + "Proteus_sharded/shards=" + std::to_string(shards),
+                     [q, shards] { return ShardedMs(shards, q); });
+        }
       }
 
       BenchQuery bq;

@@ -48,6 +48,12 @@ void Register() {
           RegisterMs(tag + "Proteus_parallel/threads=" + std::to_string(threads),
                      [q, threads] { return ThreadedMs(threads, q); });
         }
+        // Partitioned scale-out: per-shard group tables cross the serialized
+        // wire format and merge in global morsel order.
+        for (int shards : ShardCounts()) {
+          RegisterMs(tag + "Proteus_sharded/shards=" + std::to_string(shards),
+                     [q, shards] { return ShardedMs(shards, q); });
+        }
       }
 
       BenchQuery bq;

@@ -1,0 +1,178 @@
+#include "src/common/wire.h"
+
+#include <cstring>
+
+namespace proteus {
+
+namespace {
+
+// Value type tags (stable across versions of the PartialResult format).
+enum ValueTag : uint8_t {
+  kTagNull = 0,
+  kTagInt = 1,
+  kTagFloat = 2,
+  kTagBool = 3,
+  kTagString = 4,
+  kTagRecord = 5,
+  kTagList = 6,
+};
+
+}  // namespace
+
+void WireWriter::PutU64(uint64_t v) {
+  char raw[sizeof(v)];
+  std::memcpy(raw, &v, sizeof(v));
+  buf_.append(raw, sizeof(v));
+}
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutStr(std::string_view s) {
+  PutU64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+void WireWriter::PutValue(const Value& v) {
+  if (v.is_null()) {
+    PutU8(kTagNull);
+  } else if (v.is_int()) {
+    PutU8(kTagInt);
+    PutI64(v.i());
+  } else if (v.is_float()) {
+    PutU8(kTagFloat);
+    PutF64(v.f());
+  } else if (v.is_bool()) {
+    PutU8(kTagBool);
+    PutBool(v.b());
+  } else if (v.is_string()) {
+    PutU8(kTagString);
+    PutStr(v.s());
+  } else if (v.is_record()) {
+    PutU8(kTagRecord);
+    const RecordValue& r = v.record();
+    PutU64(r.names.size());
+    for (size_t i = 0; i < r.names.size(); ++i) {
+      PutStr(r.names[i]);
+      PutValue(r.values[i]);
+    }
+  } else {
+    PutU8(kTagList);
+    const ValueList& l = v.list();
+    PutU64(l.size());
+    for (const Value& item : l) PutValue(item);
+  }
+}
+
+Status WireReader::Need(size_t n) const {
+  if (bytes_.size() - pos_ < n) {
+    return Status::InvalidArgument("wire: truncated payload (need " + std::to_string(n) +
+                                   " bytes, have " + std::to_string(bytes_.size() - pos_) +
+                                   ")");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> WireReader::U8() {
+  PROTEUS_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+Result<bool> WireReader::Bool() {
+  PROTEUS_ASSIGN_OR_RETURN(uint8_t v, U8());
+  if (v > 1) return Status::InvalidArgument("wire: bad bool byte");
+  return v == 1;
+}
+
+Result<uint64_t> WireReader::U64() {
+  PROTEUS_RETURN_NOT_OK(Need(sizeof(uint64_t)));
+  uint64_t v;
+  std::memcpy(&v, bytes_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+Result<int64_t> WireReader::I64() {
+  PROTEUS_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> WireReader::F64() {
+  PROTEUS_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireReader::Str() {
+  PROTEUS_ASSIGN_OR_RETURN(uint64_t n, U64());
+  PROTEUS_RETURN_NOT_OK(Need(n));
+  std::string s(bytes_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+Result<Value> WireReader::ReadValue() { return ReadValueAtDepth(0); }
+
+Result<Value> WireReader::ReadValueAtDepth(int depth) {
+  if (depth > kMaxValueDepth) {
+    return Status::InvalidArgument("wire: value nesting exceeds depth limit");
+  }
+  PROTEUS_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagInt: {
+      PROTEUS_ASSIGN_OR_RETURN(int64_t v, I64());
+      return Value::Int(v);
+    }
+    case kTagFloat: {
+      PROTEUS_ASSIGN_OR_RETURN(double v, F64());
+      return Value::Float(v);
+    }
+    case kTagBool: {
+      PROTEUS_ASSIGN_OR_RETURN(bool v, Bool());
+      return Value::Boolean(v);
+    }
+    case kTagString: {
+      PROTEUS_ASSIGN_OR_RETURN(std::string v, Str());
+      return Value::Str(std::move(v));
+    }
+    case kTagRecord: {
+      PROTEUS_ASSIGN_OR_RETURN(uint64_t n, U64());
+      // Every field costs ≥ 9 bytes (name length prefix + value tag):
+      // reject counts the remaining payload cannot possibly hold.
+      if (n > remaining() / 9) return Status::InvalidArgument("wire: bad record size");
+      std::vector<std::string> names;
+      std::vector<Value> values;
+      names.reserve(n);
+      values.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        PROTEUS_ASSIGN_OR_RETURN(std::string name, Str());
+        PROTEUS_ASSIGN_OR_RETURN(Value v, ReadValueAtDepth(depth + 1));
+        names.push_back(std::move(name));
+        values.push_back(std::move(v));
+      }
+      return Value::MakeRecord(std::move(names), std::move(values));
+    }
+    case kTagList: {
+      PROTEUS_ASSIGN_OR_RETURN(uint64_t n, U64());
+      if (n > remaining()) return Status::InvalidArgument("wire: bad list size");
+      ValueList items;
+      items.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        PROTEUS_ASSIGN_OR_RETURN(Value v, ReadValueAtDepth(depth + 1));
+        items.push_back(std::move(v));
+      }
+      return Value::MakeList(std::move(items));
+    }
+    default:
+      return Status::InvalidArgument("wire: unknown value tag " + std::to_string(tag));
+  }
+}
+
+}  // namespace proteus

@@ -1,0 +1,74 @@
+// Wire buffer helpers for the shard boundary.
+//
+// Shard partial results cross a real serialization boundary (see src/shard/):
+// everything is encoded into a flat byte string with length-prefixed fields
+// and decoded on the other side — no pointers survive the crossing. The
+// encoding is the simplest thing that is exact and bounds-checked:
+// fixed-width 8-byte integers, bit-pattern doubles (partial float aggregates
+// must round-trip bit-exactly, or shard counts would change query results),
+// and u64-length-prefixed strings. Host byte order: the in-process
+// LoopbackTransport never crosses machines; a socket transport would add a
+// byte-order pass here, not a new format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace proteus {
+
+/// Append-only encoder. Take() hands the buffer off.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// Bit-pattern encoding: the exact double comes back out.
+  void PutF64(double v);
+  void PutStr(std::string_view s);
+  /// Recursive tagged encoding of a boxed Value (null / int / float / bool /
+  /// string / record / list).
+  void PutValue(const Value& v);
+
+  size_t size() const { return buf_.size(); }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder over a borrowed byte range. Every getter returns
+/// InvalidArgument on truncated or malformed input instead of reading past
+/// the end — transport payloads are not trusted to be well-formed.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> U8();
+  Result<bool> Bool();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<double> F64();
+  Result<std::string> Str();
+  Result<Value> ReadValue();
+
+  bool AtEnd() const { return pos_ >= bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// Nesting bound for ReadValue: a crafted payload of nested list/record
+  /// headers must fail with InvalidArgument, not overflow the stack.
+  static constexpr int kMaxValueDepth = 100;
+
+ private:
+  Status Need(size_t n) const;
+  Result<Value> ReadValueAtDepth(int depth);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace proteus

@@ -6,6 +6,8 @@
 #include "src/calculus/calculus.h"
 #include "src/jit/jit_engine.h"
 #include "src/parser/parser.h"
+#include "src/shard/coordinator.h"
+#include "src/shard/transport.h"
 
 namespace proteus {
 
@@ -30,7 +32,12 @@ void CollectRawScans(const OpPtr& op, std::vector<const Operator*>* out) {
 QueryEngine::QueryEngine(EngineOptions opts)
     : opts_(std::move(opts)),
       caches_(opts_.cache_policy),
-      scheduler_(opts_.num_threads) {}
+      scheduler_(opts_.num_threads) {
+  // num_threads = 0 asks for hardware concurrency; the scheduler resolved
+  // it, so reflect the actual worker count back into the options (telemetry
+  // and the shard coordinator's per-shard pools size off this value).
+  opts_.num_threads = scheduler_.num_threads();
+}
 
 Status QueryEngine::RegisterDataset(DatasetInfo info) { return catalog_.Register(std::move(info)); }
 
@@ -127,7 +134,8 @@ Status QueryEngine::PopulateCaches(const OpPtr& physical) {
           plugins_.GetOrOpen(*info, opts_.collect_stats_on_cold_access ? &catalog_.stats()
                                                                        : nullptr));
       PROTEUS_RETURN_NOT_OK(
-          caches_.BuildScanCache(plugin, *info, scan->binding(), fields).status());
+          caches_.BuildScanCache(plugin, *info, scan->binding(), fields, &scheduler_)
+              .status());
       continue;
     }
     PROTEUS_ASSIGN_OR_RETURN(
@@ -135,7 +143,8 @@ Status QueryEngine::PopulateCaches(const OpPtr& physical) {
         plugins_.GetOrOpen(*info, opts_.collect_stats_on_cold_access ? &catalog_.stats()
                                                                      : nullptr));
     PROTEUS_RETURN_NOT_OK(
-        caches_.BuildScanCache(plugin, *info, scan->binding(), scan->scan_fields()).status());
+        caches_.BuildScanCache(plugin, *info, scan->binding(), scan->scan_fields(), &scheduler_)
+            .status());
   }
   return Status::OK();
 }
@@ -150,9 +159,30 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
   ctx.morsel_rows = opts_.morsel_rows;
 
   auto t0 = std::chrono::steady_clock::now();
+  // Sharded routing: num_shards >= 1 is an explicit opt-in, so shardable
+  // plans go through the coordinator ahead of the JIT/interpreter choice.
+  // Non-shardable plans (outer joins, Nest mid-chain) fall through to the
+  // normal paths below.
+  if (opts_.num_shards >= 1 && ShardCoordinator::PlanIsShardable(physical)) {
+    if (opts_.mode == ExecMode::kJIT) {
+      telemetry_.fallback_reason =
+          "num_shards >= 1 and plan is shardable: running the shard "
+          "coordinator over the morsel-parallel interpreter";
+    }
+    ShardCoordinator coordinator(ctx, opts_.num_shards, opts_.num_threads);
+    LoopbackTransport transport;
+    ShardExecStats shard_stats;
+    auto result = coordinator.Run(physical, &transport, &shard_stats);
+    telemetry_.execute_ms = MsSince(t0);
+    telemetry_.shards_used = shard_stats.shards_used;
+    telemetry_.bytes_exchanged = shard_stats.bytes_exchanged;
+    telemetry_.threads_used = shard_stats.threads_per_shard;
+    telemetry_.morsels = shard_stats.morsels;
+    return result;
+  }
   // Parallel routing: only forfeit the JIT when the plan can actually fan
-  // out — morsel-ineligible plans (outer joins, odd shapes) gain nothing
-  // from workers and keep their normal path.
+  // out — morsel-ineligible plans (odd shapes) gain nothing from workers
+  // and keep their normal path.
   const bool parallel_eligible =
       scheduler_.num_threads() > 1 && PlanIsMorselParallelizable(physical);
   if (opts_.mode == ExecMode::kJIT && !parallel_eligible) {

@@ -48,6 +48,15 @@ struct EngineOptions {
   /// Target scan rows per morsel (tuning / testing). Affects the morsel
   /// decomposition — deterministically, per dataset — but never the result.
   uint64_t morsel_rows = kDefaultMorselRows;
+  /// Shard fan-out for partitioned scale-out execution. 0 = sharding off.
+  /// N >= 1 routes shardable plans through the ShardCoordinator: the driver
+  /// scan's global morsel decomposition is dealt to N ShardExecutors (each
+  /// with its own `num_threads`-worker morsel pool — shards × workers
+  /// compose) whose partial results cross a serialized wire format and merge
+  /// in shard order. Results are cell-identical for every value by
+  /// construction. Plans the coordinator declines (outer joins, Nest
+  /// mid-chain) keep their normal path.
+  int num_shards = 0;
 };
 
 /// Telemetry for the last executed query.
@@ -60,6 +69,8 @@ struct QueryTelemetry {
   bool used_cache = false;
   int threads_used = 1;    ///< workers that executed the plan (1 = serial/JIT)
   uint64_t morsels = 0;    ///< morsels driven through parallel pipelines (0 = serial)
+  int shards_used = 0;     ///< shard executors that ran the plan (0 = unsharded)
+  uint64_t bytes_exchanged = 0;  ///< serialized partial-result bytes shard→coordinator
   std::string fallback_reason;  ///< why the interpreter ran, if it did
   std::string plan;             ///< physical plan, printable
 };

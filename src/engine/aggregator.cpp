@@ -115,6 +115,42 @@ void Aggregator::Merge(Aggregator&& other) {
   }
 }
 
+void Aggregator::Serialize(WireWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(monoid_));
+  w->PutI64(count_);
+  w->PutBool(seen_);
+  w->PutBool(all_int_);
+  w->PutI64(int_acc_);
+  w->PutF64(float_acc_);
+  w->PutBool(bool_acc_);
+  w->PutValue(extreme_);
+  w->PutU64(items_.size());
+  for (const Value& v : items_) w->PutValue(v);
+}
+
+Result<Aggregator> Aggregator::Deserialize(WireReader* r) {
+  PROTEUS_ASSIGN_OR_RETURN(uint8_t m, r->U8());
+  if (m > static_cast<uint8_t>(Monoid::kSet)) {
+    return Status::InvalidArgument("wire: unknown monoid " + std::to_string(m));
+  }
+  Aggregator a(static_cast<Monoid>(m));
+  PROTEUS_ASSIGN_OR_RETURN(a.count_, r->I64());
+  PROTEUS_ASSIGN_OR_RETURN(a.seen_, r->Bool());
+  PROTEUS_ASSIGN_OR_RETURN(a.all_int_, r->Bool());
+  PROTEUS_ASSIGN_OR_RETURN(a.int_acc_, r->I64());
+  PROTEUS_ASSIGN_OR_RETURN(a.float_acc_, r->F64());
+  PROTEUS_ASSIGN_OR_RETURN(a.bool_acc_, r->Bool());
+  PROTEUS_ASSIGN_OR_RETURN(a.extreme_, r->ReadValue());
+  PROTEUS_ASSIGN_OR_RETURN(uint64_t n, r->U64());
+  if (n > r->remaining()) return Status::InvalidArgument("wire: bad aggregator item count");
+  a.items_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PROTEUS_ASSIGN_OR_RETURN(Value v, r->ReadValue());
+    a.items_.push_back(std::move(v));
+  }
+  return a;
+}
+
 Value Aggregator::Final() const {
   switch (monoid_) {
     case Monoid::kCount:

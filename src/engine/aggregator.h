@@ -3,6 +3,7 @@
 
 #include "src/algebra/algebra.h"
 #include "src/common/value.h"
+#include "src/common/wire.h"
 
 namespace proteus {
 
@@ -11,6 +12,8 @@ namespace proteus {
 class Aggregator {
  public:
   explicit Aggregator(Monoid m) : monoid_(m) {}
+
+  Monoid monoid() const { return monoid_; }
 
   void Add(const Value& v);
   void AddCount() { count_++; }
@@ -27,6 +30,13 @@ class Aggregator {
 
   /// The folded result; the monoid's zero element if nothing was added.
   Value Final() const;
+
+  /// Encodes the complete accumulator state (monoid included) so a partial
+  /// aggregate can cross the shard wire; Deserialize rebuilds an accumulator
+  /// that is indistinguishable from the original — Merge and Final behave
+  /// bit-identically (doubles travel as bit patterns).
+  void Serialize(WireWriter* w) const;
+  static Result<Aggregator> Deserialize(WireReader* r);
 
  private:
   /// Single home of the set monoid's dedup: appends `v` unless an equal

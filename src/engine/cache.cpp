@@ -107,9 +107,42 @@ OpPtr CachingManager::RewriteWithCaches(OpPtr plan, const Catalog& catalog) cons
   return plan;
 }
 
+namespace {
+
+/// Converts one raw read into its cache-column slot. NotFound (optional JSON
+/// field) stores the monoid zero — the preallocated slot already holds it —
+/// and hybrid readers re-check the raw object when exactness matters.
+Status StoreCacheValue(InputPlugin* plugin, const FieldPath& path, uint64_t oid,
+                       CacheColumn* col) {
+  auto v = plugin->ReadValue(oid, path);
+  if (!v.ok()) {
+    if (v.status().code() == StatusCode::kNotFound) return Status::OK();
+    return v.status();
+  }
+  switch (col->type) {
+    case TypeKind::kInt64:
+      col->ints[oid] = v->is_null() ? 0 : v->i();
+      return Status::OK();
+    case TypeKind::kBool:
+      col->ints[oid] = !v->is_null() && v->b() ? 1 : 0;
+      return Status::OK();
+    case TypeKind::kFloat64:
+      col->floats[oid] = v->is_null() ? 0.0 : v->AsFloat();
+      return Status::OK();
+    case TypeKind::kString:
+      col->strs[oid] = v->is_null() ? "" : v->s();
+      return Status::OK();
+    default:
+      return Status::Internal("unexpected cache column type");
+  }
+}
+
+}  // namespace
+
 Result<uint64_t> CachingManager::BuildScanCache(InputPlugin* plugin, const DatasetInfo& info,
                                                 const std::string& binding,
-                                                const std::vector<FieldPath>& fields) {
+                                                const std::vector<FieldPath>& fields,
+                                                TaskScheduler* scheduler) {
   CacheBlock block;
   block.signature = Operator::Scan(info.name, binding)->Signature();
   block.source_format = info.format;
@@ -125,8 +158,12 @@ Result<uint64_t> CachingManager::BuildScanCache(InputPlugin* plugin, const Datas
   for (uint64_t i = 0; i < n; ++i) oid_col.ints.push_back(static_cast<int64_t>(i));
   block.cols.push_back(std::move(oid_col));
 
+  // Resolve leaf types first; only cacheable leaves get (zero-filled,
+  // full-size) columns. Preallocating lets the parallel drain below write
+  // disjoint OID slices without locks — and the result is byte-identical to
+  // a serial build, whatever the morsel boundaries.
+  std::vector<CacheColumn> cols;
   for (const auto& p : fields) {
-    // Resolve the leaf type; only cacheable leaves are materialized.
     const Type* t = &info.record_type();
     TypePtr leaf;
     bool ok = true;
@@ -148,40 +185,42 @@ Result<uint64_t> CachingManager::BuildScanCache(InputPlugin* plugin, const Datas
     col.var = binding;
     col.path = p;
     col.type = leaf->kind() == TypeKind::kDate ? TypeKind::kInt64 : leaf->kind();
-    for (uint64_t oid = 0; oid < n; ++oid) {
-      auto v = plugin->ReadValue(oid, p);
-      if (!v.ok()) {
-        if (v.status().code() == StatusCode::kNotFound) {
-          // Optional JSON field: store the monoid zero; hybrid readers
-          // re-check the raw object when exactness matters.
-          if (col.type == TypeKind::kFloat64) {
-            col.floats.push_back(0);
-          } else if (col.type == TypeKind::kString) {
-            col.strs.emplace_back();
-          } else {
-            col.ints.push_back(0);
-          }
-          continue;
-        }
-        return v.status();
-      }
-      switch (col.type) {
-        case TypeKind::kInt64:
-          col.ints.push_back(v->is_null() ? 0 : v->i());
-          break;
-        case TypeKind::kBool:
-          col.ints.push_back(!v->is_null() && v->b() ? 1 : 0);
-          break;
-        case TypeKind::kFloat64:
-          col.floats.push_back(v->is_null() ? 0.0 : v->AsFloat());
-          break;
-        case TypeKind::kString:
-          col.strs.push_back(v->is_null() ? "" : v->s());
-          break;
-        default:
-          return Status::Internal("unexpected cache column type");
-      }
+    if (col.type == TypeKind::kFloat64) {
+      col.floats.assign(n, 0.0);
+    } else if (col.type == TypeKind::kString) {
+      col.strs.assign(n, "");
+    } else {
+      col.ints.assign(n, 0);
     }
+    cols.push_back(std::move(col));
+  }
+
+  if (!cols.empty() && n > 0) {
+    // Cold-access drain, morsel-parallel when a scheduler is available
+    // (ROADMAP item "parallel cache population"): the plug-in Split() API
+    // yields the same byte-balanced ranges the scan pipelines use.
+    std::vector<ScanRange> morsels;
+    if (scheduler != nullptr && scheduler->num_threads() > 1) {
+      morsels = plugin->Split(std::max<uint64_t>(
+          1, std::min<uint64_t>(1024, static_cast<uint64_t>(scheduler->num_threads()) * 8)));
+    }
+    if (morsels.empty()) morsels.push_back({0, n});
+    auto fill = [&](uint64_t m, int) -> Status {
+      for (uint64_t oid = morsels[m].begin; oid < morsels[m].end; ++oid) {
+        for (auto& col : cols) {
+          PROTEUS_RETURN_NOT_OK(StoreCacheValue(plugin, col.path, oid, &col));
+        }
+      }
+      return Status::OK();
+    };
+    if (scheduler != nullptr) {
+      PROTEUS_RETURN_NOT_OK(scheduler->ParallelFor(morsels.size(), fill));
+    } else {
+      for (uint64_t m = 0; m < morsels.size(); ++m) PROTEUS_RETURN_NOT_OK(fill(m, 0));
+    }
+  }
+
+  for (auto& col : cols) {
     GlobalCounters().bytes_materialized += col.bytes();
     block.cols.push_back(std::move(col));
   }

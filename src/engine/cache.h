@@ -21,6 +21,7 @@
 
 #include "src/algebra/algebra.h"
 #include "src/common/status.h"
+#include "src/common/task_scheduler.h"
 #include "src/common/value.h"
 #include "src/plugins/plugin.h"
 
@@ -104,10 +105,15 @@ class CachingManager {
   /// Builds a scan-shaped cache for `dataset`: evaluates the numeric leaf
   /// fields in `fields` for every record of `plugin` into binary columns,
   /// always including the OID column. This is the paper's leaf-level caching
-  /// operator ("convert input raw values to a binary format").
+  /// operator ("convert input raw values to a binary format"). With a
+  /// `scheduler`, the cold-access drain runs morsel-parallel: the record
+  /// range is split via the plug-in Split() API and workers fill disjoint
+  /// slices of the preallocated columns — the built block is byte-identical
+  /// to a serial build.
   Result<uint64_t> BuildScanCache(InputPlugin* plugin, const DatasetInfo& info,
                                   const std::string& binding,
-                                  const std::vector<FieldPath>& fields);
+                                  const std::vector<FieldPath>& fields,
+                                  TaskScheduler* scheduler = nullptr);
 
   /// Drops all caches built from dataset `name` (append invalidation).
   void InvalidateDataset(const std::string& name);

@@ -4,6 +4,7 @@
 
 #include "src/common/counters.h"
 #include "src/engine/aggregator.h"
+#include "src/engine/partial_sink.h"
 #include "src/engine/radix_table.h"
 
 namespace proteus {
@@ -466,82 +467,10 @@ class JoinCursorOp : public Cursor {
 };
 
 // ---------------------------------------------------------------------------
-// Nest (hash grouping)
+// Nest (hash grouping) — GroupTable and NestBinding live in partial_sink.h,
+// shared with the shard subsystem, which serializes per-morsel group tables
+// across the shard boundary.
 // ---------------------------------------------------------------------------
-
-/// Hash group table of a Nest operator. The single home of the grouping
-/// semantics: the serial NestCursorOp fills one over its whole input; the
-/// morsel executor fills one per morsel and folds them together in morsel
-/// order (first-appearance group order then matches the serial scan's).
-struct GroupTable {
-  std::vector<Value> keys;
-  std::vector<std::vector<Aggregator>> aggs;
-  std::unordered_map<uint64_t, std::vector<size_t>> index;
-  /// Per-morsel partials set this false and the merged distinct-group total
-  /// is counted once instead, so bytes_materialized for a group-by matches
-  /// the serial path regardless of morsel count.
-  bool count_bytes = true;
-
-  Status AddRow(const Operator& op, const EvalEnv& row) {
-    PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(op.pred(), row));
-    if (!pass) return Status::OK();
-    PROTEUS_ASSIGN_OR_RETURN(Value key, Eval(op.group_by(), row));
-    size_t group = FindOrAdd(op, std::move(key));
-    for (size_t i = 0; i < op.outputs().size(); ++i) {
-      const AggOutput& o = op.outputs()[i];
-      if (o.monoid == Monoid::kCount) {
-        aggs[group][i].Add(Value::Int(1));
-      } else {
-        PROTEUS_ASSIGN_OR_RETURN(Value v, Eval(o.expr, row));
-        aggs[group][i].Add(v);
-      }
-    }
-    return Status::OK();
-  }
-
-  /// Folds `other` into this table, appending unseen groups in `other`'s
-  /// first-appearance order.
-  void MergeFrom(const Operator& op, GroupTable&& other) {
-    for (size_t g = 0; g < other.keys.size(); ++g) {
-      size_t group = FindOrAdd(op, std::move(other.keys[g]));
-      for (size_t i = 0; i < aggs[group].size(); ++i) {
-        aggs[group][i].Merge(std::move(other.aggs[g][i]));
-      }
-    }
-  }
-
-  /// Output record of group `g` ({group_name: key, <output aggregates>...}).
-  Value GroupRecord(const Operator& op, size_t g) const {
-    std::vector<std::string> names{op.group_name()};
-    std::vector<Value> values{keys[g]};
-    for (size_t i = 0; i < op.outputs().size(); ++i) {
-      names.push_back(op.outputs()[i].name);
-      values.push_back(aggs[g][i].Final());
-    }
-    return Value::MakeRecord(std::move(names), std::move(values));
-  }
-
- private:
-  size_t FindOrAdd(const Operator& op, Value key) {
-    uint64_t h = key.Hash();
-    for (size_t g : index[h]) {
-      if (keys[g].Equals(key)) return g;
-    }
-    size_t group = keys.size();
-    keys.push_back(std::move(key));
-    index[h].push_back(group);
-    aggs.emplace_back();
-    for (const auto& o : op.outputs()) aggs.back().emplace_back(o.monoid);
-    if (count_bytes) GlobalCounters().bytes_materialized += 48;
-    return group;
-  }
-};
-
-/// The binding a Nest's grouped record is published under.
-const std::string& NestBinding(const Operator& op) {
-  static const std::string kDefault = "$group";
-  return op.binding().empty() ? kDefault : op.binding();
-}
 
 class NestCursorOp : public Cursor {
  public:
@@ -576,63 +505,20 @@ class NestCursorOp : public Cursor {
 };
 
 // ---------------------------------------------------------------------------
-// Shared Reduce plumbing (serial drain loop and morsel sinks both use these)
-// ---------------------------------------------------------------------------
-
-Status AccumulateReduceRow(const Operator& reduce, const EvalEnv& row,
-                           std::vector<Aggregator>* aggs) {
-  PROTEUS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(reduce.pred(), row));
-  if (!pass) return Status::OK();
-  const auto& outputs = reduce.outputs();
-  for (size_t i = 0; i < outputs.size(); ++i) {
-    if (outputs[i].monoid == Monoid::kCount) {
-      (*aggs)[i].Add(Value::Int(1));
-    } else {
-      PROTEUS_ASSIGN_OR_RETURN(Value v, Eval(outputs[i].expr, row));
-      (*aggs)[i].Add(v);
-    }
-  }
-  return Status::OK();
-}
-
-QueryResult FinalizeReduce(const Operator& reduce, std::vector<Aggregator>& aggs) {
-  const auto& outputs = reduce.outputs();
-  QueryResult result;
-  // A single collection output of records unfolds into a row set.
-  if (outputs.size() == 1 && IsCollectionMonoid(outputs[0].monoid)) {
-    Value collected = aggs[0].Final();
-    const ValueList& items = collected.list();
-    bool records = !items.empty() && items[0].is_record();
-    if (records) {
-      result.columns = items[0].record().names;
-      for (const auto& item : items) {
-        result.rows.push_back(item.record().values);
-      }
-    } else {
-      result.columns = {outputs[0].name};
-      for (const auto& item : items) result.rows.push_back({item});
-    }
-    GlobalCounters().tuples_output += result.rows.size();
-    return result;
-  }
-  for (const auto& o : outputs) result.columns.push_back(o.name);
-  result.rows.emplace_back();
-  for (auto& a : aggs) result.rows[0].push_back(a.Final());
-  GlobalCounters().tuples_output += 1;
-  return result;
-}
-
-// ---------------------------------------------------------------------------
 // Morsel-driven parallel execution (Leis et al., adapted to this engine)
 //
-// Eligible plans are chains of Select / Unnest / non-outer Join ops between
-// the Reduce root (optionally through one Nest directly under it) and a
+// Eligible plans are chains of Select / Unnest / Join ops between the
+// Reduce root (optionally through one Nest directly under it) and a
 // splittable Scan or CacheScan leaf. Join build sides are materialized once
 // up front — themselves morsel-parallel when their shape allows — into
 // SharedJoinBuild structures that worker pipelines probe read-only. The
 // driver leaf is split into morsels via the plug-in Split() API; each morsel
 // runs a private pipeline instance feeding a per-morsel partial sink
 // (Reduce accumulators or Nest group tables), merged in morsel order.
+// Outer joins track per-morsel matched-build bitmaps, OR-merged after the
+// probe morsels; the unmatched build rows then drain — serially, once —
+// through the ops above the join into a trailing partial slot, reproducing
+// the serial cursor's emission order.
 //
 // Determinism: morsel boundaries, radix-build layout, and merge order all
 // depend only on the data — never on the worker count — so a query returns
@@ -642,16 +528,17 @@ QueryResult FinalizeReduce(const Operator& reduce, std::vector<Aggregator>& aggs
 /// Upper bound on morsels per pipeline (merge cost stays negligible).
 constexpr uint64_t kMaxMorsels = 1024;
 
-/// Probe side of a non-outer join over a shared, pre-built build side; the
-/// per-morsel replacement for JoinCursorOp. Match computation and row
-/// emission are the same FindJoinMatches/EmitJoinRow the serial cursor
-/// uses; only outer-join bookkeeping (matched bits, unmatched drain) is
-/// absent — those plans stay serial.
+/// Probe side of a join over a shared, pre-built build side; the per-morsel
+/// replacement for JoinCursorOp. Match computation and row emission are the
+/// same FindJoinMatches/EmitJoinRow the serial cursor uses. For outer joins
+/// the cursor records matched build rows in `matched` (this partial's
+/// private bitmap); the unmatched drain itself runs later, once, after every
+/// probe partial has reported its bitmap.
 class SharedJoinProbeCursor : public Cursor {
  public:
   SharedJoinProbeCursor(std::unique_ptr<Cursor> probe, const SharedJoinBuild* build,
-                        const Operator& op)
-      : probe_(std::move(probe)), build_(build), op_(op) {}
+                        const Operator& op, std::vector<uint8_t>* matched = nullptr)
+      : probe_(std::move(probe)), build_(build), op_(op), matched_(matched) {}
 
   Status Open() override { return probe_->Open(); }
 
@@ -662,6 +549,7 @@ class SharedJoinProbeCursor : public Cursor {
         uint32_t idx = matches_[match_pos_++];
         PROTEUS_ASSIGN_OR_RETURN(bool pass, EmitJoinRow(op_, *build_, idx, probe_row_, row));
         if (!pass) continue;
+        if (matched_ != nullptr) (*matched_)[idx] = 1;
         return true;
       }
       PROTEUS_ASSIGN_OR_RETURN(bool has, probe_->Next(&probe_row_));
@@ -675,9 +563,30 @@ class SharedJoinProbeCursor : public Cursor {
   std::unique_ptr<Cursor> probe_;
   const SharedJoinBuild* build_;
   const Operator& op_;
+  std::vector<uint8_t>* matched_;
   EvalEnv probe_row_;
   std::vector<uint32_t> matches_;
   size_t match_pos_ = 0;
+};
+
+/// Cursor over a materialized row vector — the source feeding an outer
+/// join's unmatched-drain pass through the ops above the join.
+class VectorRowCursor : public Cursor {
+ public:
+  explicit VectorRowCursor(std::vector<EvalEnv> rows) : rows_(std::move(rows)) {}
+
+  Status Open() override { return Status::OK(); }
+
+  Result<bool> Next(EvalEnv* row) override {
+    GlobalCounters().virtual_calls++;
+    if (pos_ >= rows_.size()) return false;
+    *row = std::move(rows_[pos_++]);
+    return true;
+  }
+
+ private:
+  std::vector<EvalEnv> rows_;
+  size_t pos_ = 0;
 };
 
 /// A morsel-parallelizable pipeline: ops from the region root down to the
@@ -701,9 +610,8 @@ bool CollectPipelineDesc(const OpPtr& op, PipelineDesc* out) {
       out->ops.push_back(op.get());
       return CollectPipelineDesc(op->child(0), out);
     case OpKind::kJoin:
-      // Outer joins track unmatched build rows across morsels; they stay on
-      // the serial path for now (ROADMAP: parallel outer-join drain).
-      if (op->outer()) return false;
+      // Outer joins are eligible too: matched-build bits are tracked per
+      // morsel and the unmatched drain runs once after the probe morsels.
       out->ops.push_back(op.get());
       out->joins.push_back(op.get());
       return CollectPipelineDesc(op->child(1), out);
@@ -736,64 +644,84 @@ class MorselRunner {
     PROTEUS_ASSIGN_OR_RETURN(std::vector<ScanRange> morsels, SplitLeaf(*desc.leaf));
     *ran = true;
 
-    QueryResult result;
-    if (nest != nullptr) {
-      std::vector<GroupTable> partials(morsels.size());
-      for (auto& p : partials) p.count_bytes = false;
-      PROTEUS_RETURN_NOT_OK(RunPipelines(desc, morsels, [&](EvalEnv& row, uint64_t m) {
-        return partials[m].AddRow(*nest, row);
-      }));
-      GroupTable merged = std::move(partials[0]);
-      for (size_t m = 1; m < partials.size(); ++m) {
-        merged.MergeFrom(*nest, std::move(partials[m]));
-      }
-      // Serial-parity materialization estimate: 48 bytes per distinct group.
-      GlobalCounters().bytes_materialized += 48 * merged.keys.size();
-      // Stream the merged groups through the Reduce root serially (group
-      // counts are small next to input cardinalities).
-      std::vector<Aggregator> aggs = MakeAggs(*plan);
-      for (size_t g = 0; g < merged.keys.size(); ++g) {
-        EvalEnv row;
-        row[NestBinding(*nest)] = merged.GroupRecord(*nest, g);
-        PROTEUS_RETURN_NOT_OK(AccumulateReduceRow(*plan, row, &aggs));
-      }
-      result = FinalizeReduce(*plan, aggs);
-    } else {
-      std::vector<std::vector<Aggregator>> partials;
-      partials.reserve(morsels.size());
-      for (size_t m = 0; m < morsels.size(); ++m) partials.push_back(MakeAggs(*plan));
-      PROTEUS_RETURN_NOT_OK(RunPipelines(desc, morsels, [&](EvalEnv& row, uint64_t m) {
-        return AccumulateReduceRow(*plan, row, &partials[m]);
-      }));
-      std::vector<Aggregator> aggs = std::move(partials[0]);
-      for (size_t m = 1; m < partials.size(); ++m) {
-        for (size_t i = 0; i < aggs.size(); ++i) aggs[i].Merge(std::move(partials[m][i]));
-      }
-      result = FinalizeReduce(*plan, aggs);
-    }
+    PROTEUS_ASSIGN_OR_RETURN(PlanPartials partials, RunRegion(plan, nest, desc, morsels));
     stats->morsels = morsels_run_;
     stats->threads_used =
         static_cast<int>(std::min<uint64_t>(ctx_.scheduler->num_threads(), max_batch_));
-    return result;
+    return FinalizePlanPartials(*plan, nest, std::move(partials));
+  }
+
+  /// Shard-side variant: runs only morsels [morsel_begin, morsel_end) of the
+  /// global decomposition and returns their per-morsel partial sinks (the
+  /// unit serialized across the shard boundary) instead of a final result.
+  Result<PlanPartials> RunPartial(const OpPtr& plan, uint64_t morsel_begin,
+                                  uint64_t morsel_end) {
+    const OpPtr& top = plan->child(0);
+    const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
+    const OpPtr& pipe_root = nest != nullptr ? top->child(0) : top;
+    PipelineDesc desc;
+    if (!CollectPipelineDesc(pipe_root, &desc)) {
+      return Status::InvalidArgument("plan is not morsel-parallelizable");
+    }
+    for (const Operator* j : desc.joins) {
+      if (j->outer()) {
+        return Status::InvalidArgument(
+            "outer joins cannot shard: the unmatched-build drain is global");
+      }
+    }
+    PROTEUS_RETURN_NOT_OK(PreOpenPlugins(plan));
+    for (const Operator* j : desc.joins) {
+      PROTEUS_RETURN_NOT_OK(MaterializeBuild(*j));
+    }
+    PROTEUS_ASSIGN_OR_RETURN(std::vector<ScanRange> all, SplitLeaf(*desc.leaf));
+    if (morsel_begin > morsel_end || morsel_end > all.size()) {
+      return Status::InvalidArgument("shard morsel range [" + std::to_string(morsel_begin) +
+                                     ", " + std::to_string(morsel_end) + ") out of bounds for " +
+                                     std::to_string(all.size()) + " morsels");
+    }
+    std::vector<ScanRange> mine(all.begin() + morsel_begin, all.begin() + morsel_end);
+    return RunRegion(plan, nest, desc, mine);
+  }
+
+  /// Morsel count of the global decomposition (see
+  /// InterpExecutor::CountPlanMorsels).
+  Result<uint64_t> CountMorsels(const OpPtr& plan) {
+    const OpPtr& top = plan->child(0);
+    const OpPtr& pipe_root = top->kind() == OpKind::kNest ? top->child(0) : top;
+    PipelineDesc desc;
+    if (!CollectPipelineDesc(pipe_root, &desc)) {
+      return Status::InvalidArgument("plan is not morsel-parallelizable");
+    }
+    PROTEUS_ASSIGN_OR_RETURN(std::vector<ScanRange> morsels, SplitLeaf(*desc.leaf));
+    return static_cast<uint64_t>(morsels.size());
   }
 
  private:
-  static std::vector<Aggregator> MakeAggs(const Operator& reduce) {
-    std::vector<Aggregator> aggs;
-    aggs.reserve(reduce.outputs().size());
-    for (const auto& o : reduce.outputs()) aggs.emplace_back(o.monoid);
-    return aggs;
+  /// Runs worker pipelines over `morsels` into fresh per-slot partial sinks
+  /// (one slot per morsel plus one trailing slot per outer-join drain).
+  Result<PlanPartials> RunRegion(const OpPtr& plan, const Operator* nest,
+                                 const PipelineDesc& desc,
+                                 const std::vector<ScanRange>& morsels) {
+    const uint64_t slots = PartialSlots(desc, morsels);
+    PlanPartials partials;
+    partials.nest = nest != nullptr;
+    if (nest != nullptr) {
+      partials.group_morsels.resize(slots);
+      for (auto& p : partials.group_morsels) p.count_bytes = false;
+      PROTEUS_RETURN_NOT_OK(RunPipelines(desc, morsels, [&](EvalEnv& row, uint64_t m) {
+        return partials.group_morsels[m].AddRow(*nest, row);
+      }));
+    } else {
+      partials.agg_morsels.reserve(slots);
+      for (uint64_t m = 0; m < slots; ++m) partials.agg_morsels.push_back(MakeReduceAggs(*plan));
+      PROTEUS_RETURN_NOT_OK(RunPipelines(desc, morsels, [&](EvalEnv& row, uint64_t m) {
+        return AccumulateReduceRow(*plan, row, &partials.agg_morsels[m]);
+      }));
+    }
+    return partials;
   }
 
-  Status PreOpenPlugins(const OpPtr& op) {
-    if (op->kind() == OpKind::kScan ||
-        (op->kind() == OpKind::kCacheScan && !op->dataset().empty())) {
-      PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ctx_.catalog->Get(op->dataset()));
-      PROTEUS_RETURN_NOT_OK(ctx_.plugins->GetOrOpen(*info, ctx_.stats).status());
-    }
-    for (const auto& c : op->children()) PROTEUS_RETURN_NOT_OK(PreOpenPlugins(c));
-    return Status::OK();
-  }
+  Status PreOpenPlugins(const OpPtr& op) { return PreOpenPlanPlugins(ctx_, op); }
 
   Result<std::vector<ScanRange>> SplitLeaf(const Operator& leaf) {
     if (leaf.kind() == OpKind::kScan) {
@@ -829,9 +757,16 @@ class MorselRunner {
       build->table.Reserve(rows.size());
       for (auto& row : rows) {
         PROTEUS_ASSIGN_OR_RETURN(Value k, Eval(join.left_key(), row));
-        // Null keys never match a non-outer equi-join; drop them here like
-        // the serial build phase does.
-        if (k.is_null()) continue;
+        if (k.is_null()) {
+          // Null keys never match; outer joins still keep the row (with no
+          // radix entry) so the unmatched drain can emit it — mirroring the
+          // serial build phase's row order exactly.
+          if (join.outer()) {
+            build->rows.push_back(std::move(row));
+            build->keys.push_back(Value::Null());
+          }
+          continue;
+        }
         build->table.Insert(k.Hash(), static_cast<uint32_t>(build->rows.size()));
         build->rows.push_back(std::move(row));
         build->keys.push_back(std::move(k));
@@ -855,7 +790,7 @@ class MorselRunner {
         PROTEUS_RETURN_NOT_OK(MaterializeBuild(*j));
       }
       PROTEUS_ASSIGN_OR_RETURN(std::vector<ScanRange> morsels, SplitLeaf(*desc.leaf));
-      std::vector<std::vector<EvalEnv>> per_morsel(morsels.size());
+      std::vector<std::vector<EvalEnv>> per_morsel(PartialSlots(desc, morsels));
       PROTEUS_RETURN_NOT_OK(RunPipelines(desc, morsels, [&](EvalEnv& row, uint64_t m) {
         per_morsel[m].push_back(row);
         return Status::OK();
@@ -880,8 +815,48 @@ class MorselRunner {
     return rows;
   }
 
+  /// Matched-build bitmaps of one probe partial (morsel or drain pass),
+  /// keyed by outer-join op. unordered_map nodes are pointer-stable, so
+  /// cursors hold direct pointers into their partial's entry.
+  using MatchedBitmaps = std::unordered_map<const Operator*, std::vector<uint8_t>>;
+
+  /// Partial sink slots a pipeline region feeds: one per morsel plus one
+  /// trailing drain slot per outer join in the chain.
+  static uint64_t PartialSlots(const PipelineDesc& desc, const std::vector<ScanRange>& morsels) {
+    uint64_t outer = 0;
+    for (const Operator* j : desc.joins) outer += j->outer() ? 1 : 0;
+    return morsels.size() + outer;
+  }
+
+  /// Wraps `cursor` in the pipeline op `op` (shared by the per-morsel
+  /// pipelines and the outer-join drain passes). Outer joins register a
+  /// matched bitmap in `bitmaps`.
+  Result<std::unique_ptr<Cursor>> WrapOp(std::unique_ptr<Cursor> cursor, const Operator& op,
+                                         MatchedBitmaps* bitmaps) {
+    switch (op.kind()) {
+      case OpKind::kSelect:
+        return std::unique_ptr<Cursor>(new SelectCursor(std::move(cursor), op));
+      case OpKind::kUnnest:
+        return std::unique_ptr<Cursor>(new UnnestCursorOp(std::move(cursor), op));
+      case OpKind::kJoin: {
+        const SharedJoinBuild* build = builds_.at(&op).get();
+        std::vector<uint8_t>* matched = nullptr;
+        if (op.outer()) {
+          auto& bm = (*bitmaps)[&op];
+          bm.assign(build->rows.size(), 0);
+          matched = &bm;
+        }
+        return std::unique_ptr<Cursor>(
+            new SharedJoinProbeCursor(std::move(cursor), build, op, matched));
+      }
+      default:
+        return Status::Internal("unexpected op in morsel pipeline");
+    }
+  }
+
   /// Builds one private pipeline instance over `range` (leaf up to root).
-  Result<std::unique_ptr<Cursor>> MakePipeline(const PipelineDesc& desc, ScanRange range) {
+  Result<std::unique_ptr<Cursor>> MakePipeline(const PipelineDesc& desc, ScanRange range,
+                                               MatchedBitmaps* bitmaps) {
     std::unique_ptr<Cursor> cursor;
     for (size_t i = desc.ops.size(); i-- > 0;) {
       const Operator& op = *desc.ops[i];
@@ -898,34 +873,97 @@ class MorselRunner {
         case OpKind::kCacheScan:
           cursor.reset(new CacheScanCursor(ctx_, op, range));
           break;
-        case OpKind::kSelect:
-          cursor.reset(new SelectCursor(std::move(cursor), op));
+        default: {
+          PROTEUS_ASSIGN_OR_RETURN(cursor, WrapOp(std::move(cursor), op, bitmaps));
           break;
-        case OpKind::kUnnest:
-          cursor.reset(new UnnestCursorOp(std::move(cursor), op));
-          break;
-        case OpKind::kJoin:
-          cursor.reset(
-              new SharedJoinProbeCursor(std::move(cursor), builds_.at(&op).get(), op));
-          break;
-        default:
-          return Status::Internal("unexpected op in morsel pipeline");
+        }
       }
     }
     return cursor;
   }
 
+  /// Builds the drain pipeline of outer join `join`: its unmatched build
+  /// rows run through only the ops *above* the join (they already carry the
+  /// build side's bindings; the probe side is nulled).
+  Result<std::unique_ptr<Cursor>> MakeDrainPipeline(const PipelineDesc& desc,
+                                                    const Operator* join,
+                                                    std::vector<EvalEnv> rows,
+                                                    MatchedBitmaps* bitmaps) {
+    size_t pos = desc.ops.size();
+    for (size_t i = 0; i < desc.ops.size(); ++i) {
+      if (desc.ops[i] == join) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == desc.ops.size()) return Status::Internal("outer join missing from pipeline");
+    std::unique_ptr<Cursor> cursor(new VectorRowCursor(std::move(rows)));
+    for (size_t i = pos; i-- > 0;) {
+      PROTEUS_ASSIGN_OR_RETURN(cursor, WrapOp(std::move(cursor), *desc.ops[i], bitmaps));
+    }
+    return cursor;
+  }
+
+  /// Outer-join unmatched drains (the lifted ROADMAP serial fallback): OR
+  /// the per-partial matched bitmaps of each outer join and run its
+  /// unmatched build rows — serially, once — through the ops above it into
+  /// trailing partial slot `next_slot`, `next_slot + 1`, ... Deepest joins
+  /// drain first, and each drain pass records the matches it produces on
+  /// outer joins above it (its bitmaps join the pool for later drains), so
+  /// the emitted row order reproduces the serial cursor's exactly: probe
+  /// stream first, then unmatched build rows, bottom-up.
+  Status DrainOuterJoins(const PipelineDesc& desc, std::vector<MatchedBitmaps>* bitmaps,
+                         uint64_t next_slot,
+                         const std::function<Status(EvalEnv&, uint64_t)>& sink) {
+    // desc.joins is collected root-first; iterate deepest-first.
+    for (size_t k = desc.joins.size(); k-- > 0;) {
+      const Operator* j = desc.joins[k];
+      if (!j->outer()) continue;
+      const SharedJoinBuild& build = *builds_.at(j);
+      std::vector<uint8_t> matched(build.rows.size(), 0);
+      for (const MatchedBitmaps& bm : *bitmaps) {
+        auto f = bm.find(j);
+        if (f == bm.end()) continue;
+        for (size_t i = 0; i < matched.size(); ++i) matched[i] |= f->second[i];
+      }
+      std::vector<std::string> right_vars;
+      CollectBoundVars(j->child(1), &right_vars);
+      std::vector<EvalEnv> rows;
+      for (size_t i = 0; i < build.rows.size(); ++i) {
+        if (matched[i] != 0) continue;
+        EvalEnv row = build.rows[i];
+        for (const auto& v : right_vars) row[v] = Value::Null();
+        rows.push_back(std::move(row));
+      }
+      bitmaps->emplace_back();
+      PROTEUS_ASSIGN_OR_RETURN(
+          std::unique_ptr<Cursor> cursor,
+          MakeDrainPipeline(desc, j, std::move(rows), &bitmaps->back()));
+      PROTEUS_RETURN_NOT_OK(cursor->Open());
+      EvalEnv row;
+      while (true) {
+        PROTEUS_ASSIGN_OR_RETURN(bool has, cursor->Next(&row));
+        if (!has) break;
+        PROTEUS_RETURN_NOT_OK(sink(row, next_slot));
+      }
+      ++next_slot;
+    }
+    return Status::OK();
+  }
+
   /// Runs one pipeline instance per morsel, fanning out over the scheduler;
-  /// `sink(row, morsel_idx)` receives every produced row (workers write
-  /// disjoint per-morsel slots, so sinks need no locking).
+  /// `sink(row, slot)` receives every produced row (workers write disjoint
+  /// per-morsel slots, so sinks need no locking). Outer-join drains follow
+  /// serially, feeding the trailing slots.
   Status RunPipelines(const PipelineDesc& desc, const std::vector<ScanRange>& morsels,
                       const std::function<Status(EvalEnv&, uint64_t)>& sink) {
     morsels_run_ += morsels.size();
     max_batch_ = std::max<uint64_t>(max_batch_, morsels.size());
-    return ctx_.scheduler->ParallelFor(
+    std::vector<MatchedBitmaps> bitmaps(morsels.size());
+    PROTEUS_RETURN_NOT_OK(ctx_.scheduler->ParallelFor(
         morsels.size(), [&](uint64_t m, int) -> Status {
           PROTEUS_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> cursor,
-                                   MakePipeline(desc, morsels[m]));
+                                   MakePipeline(desc, morsels[m], &bitmaps[m]));
           PROTEUS_RETURN_NOT_OK(cursor->Open());
           EvalEnv row;
           while (true) {
@@ -934,7 +972,8 @@ class MorselRunner {
             PROTEUS_RETURN_NOT_OK(sink(row, m));
           }
           return Status::OK();
-        });
+        }));
+    return DrainOuterJoins(desc, &bitmaps, morsels.size(), sink);
   }
 
   const ExecContext& ctx_;
@@ -955,6 +994,53 @@ bool PlanIsMorselParallelizable(const OpPtr& plan) {
   const OpPtr& root = top->kind() == OpKind::kNest ? top->child(0) : top;
   PipelineDesc desc;
   return CollectPipelineDesc(root, &desc);
+}
+
+Status PreOpenPlanPlugins(const ExecContext& ctx, const OpPtr& op) {
+  if (op->kind() == OpKind::kScan ||
+      (op->kind() == OpKind::kCacheScan && !op->dataset().empty())) {
+    PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ctx.catalog->Get(op->dataset()));
+    PROTEUS_RETURN_NOT_OK(ctx.plugins->GetOrOpen(*info, ctx.stats).status());
+  }
+  for (const auto& c : op->children()) PROTEUS_RETURN_NOT_OK(PreOpenPlanPlugins(ctx, c));
+  return Status::OK();
+}
+
+bool PlanIsShardable(const OpPtr& plan) {
+  if (plan == nullptr || plan->kind() != OpKind::kReduce) return false;
+  const OpPtr& top = plan->child(0);
+  const OpPtr& root = top->kind() == OpKind::kNest ? top->child(0) : top;
+  PipelineDesc desc;
+  if (!CollectPipelineDesc(root, &desc)) return false;
+  for (const Operator* j : desc.joins) {
+    if (j->outer()) return false;  // the unmatched drain needs a global view
+  }
+  return true;
+}
+
+Result<uint64_t> InterpExecutor::CountPlanMorsels(const OpPtr& plan) {
+  if (plan->kind() != OpKind::kReduce) {
+    return Status::InvalidArgument("physical plan root must be Reduce");
+  }
+  MorselRunner runner(ctx_);
+  return runner.CountMorsels(plan);
+}
+
+Result<PlanPartials> InterpExecutor::ExecutePartials(const OpPtr& plan, uint64_t morsel_begin,
+                                                     uint64_t morsel_end) {
+  if (plan->kind() != OpKind::kReduce) {
+    return Status::InvalidArgument("physical plan root must be Reduce");
+  }
+  if (ctx_.scheduler == nullptr) {
+    return Status::InvalidArgument("ExecutePartials requires a TaskScheduler");
+  }
+  exec_stats_ = ExecStats{};
+  MorselRunner runner(ctx_);
+  PROTEUS_ASSIGN_OR_RETURN(PlanPartials partials,
+                           runner.RunPartial(plan, morsel_begin, morsel_end));
+  exec_stats_.morsels = morsel_end - morsel_begin;
+  exec_stats_.threads_used = ctx_.scheduler->num_threads();
+  return partials;
 }
 
 Result<std::unique_ptr<Cursor>> InterpExecutor::BuildCursor(const OpPtr& op) {
@@ -998,8 +1084,8 @@ Result<QueryResult> InterpExecutor::Execute(const OpPtr& plan) {
   }
   exec_stats_ = ExecStats{};
 
-  // Morsel-driven parallel path; ineligible plan shapes (outer joins, Nest
-  // mid-chain) fall through to the serial Volcano drain below.
+  // Morsel-driven parallel path; ineligible plan shapes (Nest mid-chain,
+  // unknown ops) fall through to the serial Volcano drain below.
   //
   // Deliberately taken even at num_threads == 1: cross-thread-count result
   // identity requires every worker count to use the same per-morsel partial

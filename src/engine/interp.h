@@ -13,8 +13,11 @@
 // morsel at a time (join build sides are materialized once up front and
 // shared read-only), and per-morsel partial aggregates are merged in morsel
 // order. Morsel boundaries depend only on the data, so results are
-// identical for every worker count. Outer joins and plans whose shape the
-// morsel driver does not understand fall back to the serial path.
+// identical for every worker count. Outer joins run morsel-parallel too:
+// per-morsel matched-build bitmaps are OR-merged after the probe morsels and
+// the unmatched build rows drain — once — through the ops above the join.
+// Plans whose shape the morsel driver does not understand fall back to the
+// serial path.
 #pragma once
 
 #include <memory>
@@ -23,6 +26,7 @@
 #include "src/catalog/catalog.h"
 #include "src/common/task_scheduler.h"
 #include "src/engine/cache.h"
+#include "src/engine/partial_sink.h"
 #include "src/engine/result.h"
 #include "src/expr/eval.h"
 #include "src/plugins/plugin.h"
@@ -73,6 +77,21 @@ class InterpExecutor {
   /// which drains subtree cursors to populate explicit caches).
   Result<std::unique_ptr<Cursor>> BuildCursor(const OpPtr& op);
 
+  /// Morsel count of `plan`'s global decomposition (root = Reduce, shardable
+  /// shape). Depends only on the data and morsel_rows — never on worker or
+  /// shard counts — so shards can partition this index space and every shard
+  /// count folds the exact same per-morsel partials. Opens the driver leaf's
+  /// plug-in (cold index/stats on the calling thread).
+  Result<uint64_t> CountPlanMorsels(const OpPtr& plan);
+
+  /// Shard-side execution: runs only morsels [morsel_begin, morsel_end) of
+  /// the global decomposition and returns their per-morsel partial sinks in
+  /// morsel order instead of a final result. Join build sides are
+  /// materialized in full (each shard probes its own copy). Rejects plans
+  /// with outer joins in the probe chain — their unmatched drain is global.
+  Result<PlanPartials> ExecutePartials(const OpPtr& plan, uint64_t morsel_begin,
+                                       uint64_t morsel_end);
+
   const ExecStats& exec_stats() const { return exec_stats_; }
 
  private:
@@ -88,5 +107,18 @@ void CollectBoundVars(const OpPtr& op, std::vector<std::string>* out);
 /// gain nothing from num_threads > 1, so they keep their normal (e.g. JIT)
 /// path instead of silently landing on the serial interpreter.
 bool PlanIsMorselParallelizable(const OpPtr& plan);
+
+/// True when `plan` can additionally be decomposed into independent shards
+/// over disjoint leaf ranges: morsel-parallelizable AND free of outer joins
+/// in the probe chain (their unmatched-build drain needs a global view, so
+/// they stay intra-node). Build subtrees are unrestricted — each shard
+/// materializes the full build side locally.
+bool PlanIsShardable(const OpPtr& plan);
+
+/// Opens every dataset scanned under `op` (building structural indexes and
+/// collecting cold-access stats via ctx.stats) on the calling thread. The
+/// morsel runner and the shard coordinator share this pre-warm so their
+/// worker/shard threads only hit the warm plug-in registry path.
+Status PreOpenPlanPlugins(const ExecContext& ctx, const OpPtr& op);
 
 }  // namespace proteus

@@ -1,0 +1,97 @@
+// Partial sinks of morsel-parallel execution: the per-morsel accumulator
+// state a worker pipeline feeds (Reduce aggregate vectors, Nest group
+// tables), plus the deterministic fold that turns a sequence of per-morsel
+// partials back into a query result.
+//
+// Extracted from the interpreter so two consumers share one definition of
+// the grouping/merge semantics: the in-process morsel executor (interp.cpp)
+// and the shard subsystem (src/shard/), which serializes these partials
+// across the shard boundary and folds them on the coordinator. Results stay
+// identical across worker *and* shard counts precisely because both paths
+// fold the same per-morsel partials in the same (global morsel) order.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/algebra/algebra.h"
+#include "src/common/wire.h"
+#include "src/engine/aggregator.h"
+#include "src/engine/result.h"
+#include "src/expr/eval.h"
+
+namespace proteus {
+
+/// Hash group table of a Nest operator. The single home of the grouping
+/// semantics: the serial nest cursor fills one over its whole input; the
+/// morsel executor fills one per morsel and folds them together in morsel
+/// order (first-appearance group order then matches the serial scan's).
+struct GroupTable {
+  std::vector<Value> keys;
+  std::vector<std::vector<Aggregator>> aggs;
+  std::unordered_map<uint64_t, std::vector<size_t>> index;
+  /// Per-morsel partials set this false and the merged distinct-group total
+  /// is counted once instead, so bytes_materialized for a group-by matches
+  /// the serial path regardless of morsel count.
+  bool count_bytes = true;
+
+  Status AddRow(const Operator& op, const EvalEnv& row);
+
+  /// Folds `other` into this table, appending unseen groups in `other`'s
+  /// first-appearance order.
+  void MergeFrom(const Operator& op, GroupTable&& other);
+
+  /// Output record of group `g` ({group_name: key, <output aggregates>...}).
+  Value GroupRecord(const Operator& op, size_t g) const;
+
+  /// Wire round-trip for the shard boundary. The hash index is rebuilt on
+  /// deserialization; the reconstructed table merges and finalizes
+  /// identically to the original.
+  void Serialize(WireWriter* w) const;
+  static Result<GroupTable> Deserialize(WireReader* r);
+
+ private:
+  size_t FindOrAdd(const Operator& op, Value key);
+};
+
+/// The binding a Nest's grouped record is published under.
+const std::string& NestBinding(const Operator& op);
+
+/// Runs `row` through the Reduce root's predicate and folds it into `aggs`
+/// (one accumulator per output).
+Status AccumulateReduceRow(const Operator& reduce, const EvalEnv& row,
+                           std::vector<Aggregator>* aggs);
+
+/// Zero-valued accumulators matching the Reduce root's outputs.
+std::vector<Aggregator> MakeReduceAggs(const Operator& reduce);
+
+/// Turns the folded accumulators into the final row set (a single collection
+/// output of records unfolds into rows).
+QueryResult FinalizeReduce(const Operator& reduce, std::vector<Aggregator>& aggs);
+
+/// Per-morsel partial sinks of one plan region, in global morsel order.
+/// Exactly one of the two vectors is populated: agg_morsels when the plan's
+/// top is the Reduce root itself, group_morsels when a Nest sits directly
+/// under it.
+struct PlanPartials {
+  bool nest = false;
+  std::vector<std::vector<Aggregator>> agg_morsels;
+  std::vector<GroupTable> group_morsels;
+
+  size_t num_morsels() const { return nest ? group_morsels.size() : agg_morsels.size(); }
+
+  /// Concatenates `other`'s morsel entries after this one's — the shard
+  /// coordinator appends shard partials in shard order, reconstructing the
+  /// global morsel sequence.
+  void Append(PlanPartials&& other);
+};
+
+/// Folds per-morsel partials in morsel order and runs the Reduce root — the
+/// one merge implementation shared by the morsel executor and the shard
+/// coordinator, so neither worker nor shard counts can change the fold
+/// shape. `nest` is the Nest directly under `reduce`, or null. Requires at
+/// least one morsel entry.
+Result<QueryResult> FinalizePlanPartials(const Operator& reduce, const Operator* nest,
+                                         PlanPartials&& partials);
+
+}  // namespace proteus

@@ -1,0 +1,125 @@
+#include "src/shard/coordinator.h"
+
+#include <mutex>
+#include <thread>
+
+#include "src/common/counters.h"
+#include "src/shard/executor.h"
+#include "src/shard/partial_result.h"
+
+namespace proteus {
+
+ShardCoordinator::ShardCoordinator(ExecContext base, int num_shards, int threads_per_shard)
+    : base_(base),
+      num_shards_(std::max(1, num_shards)),
+      threads_per_shard_(threads_per_shard) {}
+
+bool ShardCoordinator::PlanIsShardable(const OpPtr& plan) { return proteus::PlanIsShardable(plan); }
+
+Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* transport,
+                                          ShardExecStats* stats) {
+  if (!PlanIsShardable(plan)) {
+    return Status::InvalidArgument("plan cannot be sharded");
+  }
+  PROTEUS_RETURN_NOT_OK(PreOpenPlanPlugins(base_, plan));
+
+  // The global morsel decomposition is the contract between shard counts:
+  // it depends only on the data and morsel_rows, and shards receive
+  // contiguous index slices of it.
+  InterpExecutor probe(base_);
+  PROTEUS_ASSIGN_OR_RETURN(uint64_t num_morsels, probe.CountPlanMorsels(plan));
+  // EvenSplit returns fewer (never empty) slices when morsels < shards:
+  // the surplus shards simply don't run.
+  std::vector<ScanRange> slices =
+      EvenSplit(num_morsels, static_cast<uint64_t>(num_shards_));
+
+  // Fan out: one executor thread per shard, each with its own morsel pool.
+  // Shard threads write only to the transport and their status slot; their
+  // execution counters fold back into the coordinator thread afterwards,
+  // keeping benchmark accounting aligned with non-sharded runs.
+  std::vector<Status> shard_status(slices.size(), Status::OK());
+  ExecCounters shard_counters;
+  std::mutex counters_mu;
+  int threads_per_shard = 1;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(slices.size());
+    for (size_t i = 0; i < slices.size(); ++i) {
+      threads.emplace_back([&, i] {
+        ExecCounters before = GlobalCounters();
+        ShardExecutor executor(static_cast<int>(i), base_, threads_per_shard_);
+        ShardTask task{plan, slices[i].begin, slices[i].end};
+        shard_status[i] = executor.Run(task, transport);
+        ExecCounters delta = GlobalCounters().Since(before);
+        std::lock_guard<std::mutex> lk(counters_mu);
+        shard_counters += delta;
+        threads_per_shard = executor.num_threads();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  GlobalCounters() += shard_counters;
+  for (const Status& s : shard_status) PROTEUS_RETURN_NOT_OK(s);
+
+  // Collect in shard order — slice order is global morsel order, so
+  // appending shard partials reconstructs the exact fold sequence the
+  // single-node morsel executor uses.
+  const OpPtr& top = plan->child(0);
+  const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
+  PlanPartials all;
+  all.nest = nest != nullptr;
+  for (size_t i = 0; i < slices.size(); ++i) {
+    PROTEUS_ASSIGN_OR_RETURN(std::string bytes, transport->Collect(static_cast<int>(i)));
+    PROTEUS_ASSIGN_OR_RETURN(PartialResult partial, PartialResult::Deserialize(bytes));
+    const PartialResult::Kind expected =
+        nest != nullptr ? PartialResult::Kind::kGroups : PartialResult::Kind::kAggregates;
+    if (partial.kind != expected) {
+      return Status::Internal("shard " + std::to_string(i) + " sent mismatched partial kind");
+    }
+    if (partial.partials.num_morsels() != slices[i].size()) {
+      return Status::Internal("shard " + std::to_string(i) + " sent " +
+                              std::to_string(partial.partials.num_morsels()) +
+                              " morsel partials, expected " + std::to_string(slices[i].size()));
+    }
+    // Validate against the plan before any merge: a wire-valid payload
+    // whose aggregate vectors don't match the plan's outputs would index
+    // out of bounds in the fold (arity) or land in the wrong Final() branch
+    // (monoid). The wire format is the trust boundary — a socket transport
+    // hands us whatever the peer sent.
+    const auto& outputs = nest != nullptr ? nest->outputs() : plan->outputs();
+    auto check_aggs = [&](const std::vector<Aggregator>& aggs) -> Status {
+      if (aggs.size() != outputs.size()) {
+        return Status::Internal("shard " + std::to_string(i) +
+                                " sent an aggregate vector of arity " +
+                                std::to_string(aggs.size()) + ", expected " +
+                                std::to_string(outputs.size()));
+      }
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        if (aggs[a].monoid() != outputs[a].monoid) {
+          return Status::Internal("shard " + std::to_string(i) +
+                                  " sent monoid " + MonoidName(aggs[a].monoid()) +
+                                  " for output " + std::to_string(a) + ", expected " +
+                                  MonoidName(outputs[a].monoid));
+        }
+      }
+      return Status::OK();
+    };
+    for (const auto& aggs : partial.partials.agg_morsels) {
+      PROTEUS_RETURN_NOT_OK(check_aggs(aggs));
+    }
+    for (const auto& table : partial.partials.group_morsels) {
+      for (const auto& aggs : table.aggs) {
+        PROTEUS_RETURN_NOT_OK(check_aggs(aggs));
+      }
+    }
+    all.Append(std::move(partial.partials));
+  }
+
+  stats->shards_used = static_cast<int>(slices.size());
+  stats->bytes_exchanged = transport->bytes_exchanged();
+  stats->threads_per_shard = threads_per_shard;
+  stats->morsels = num_morsels;
+  return FinalizePlanPartials(*plan, nest, std::move(all));
+}
+
+}  // namespace proteus

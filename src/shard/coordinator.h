@@ -1,0 +1,55 @@
+// ShardCoordinator: partitioned scale-out execution over the Split() API.
+//
+// The plug-in Split() range API (PR 1) was designed so scan ranges can live
+// on different machines; the coordinator is the next scaling rung after
+// intra-node morsel parallelism. It decomposes an optimized physical plan's
+// driver scan into the *global* morsel sequence (the same deterministic
+// decomposition the single-node morsel executor uses), deals contiguous
+// morsel slices to N ShardExecutors, and folds the per-morsel partials they
+// ship back — through the serialized PartialResult wire format — in shard
+// order, i.e. in global morsel order. Because every shard count folds the
+// exact same per-morsel partials in the exact same order, query results are
+// cell-identical (float bits included) for every num_shards by construction.
+//
+// Single-node today: shards run as threads against a LoopbackTransport. The
+// boundary is already a real serialization boundary, so a socket transport
+// plus remote executors is a drop-in, not a rewrite.
+#pragma once
+
+#include "src/engine/interp.h"
+#include "src/shard/transport.h"
+
+namespace proteus {
+
+/// How a sharded query ran (surfaced as QueryTelemetry).
+struct ShardExecStats {
+  int shards_used = 0;          ///< executors that received a morsel slice
+  uint64_t bytes_exchanged = 0; ///< serialized partial bytes through the transport
+  int threads_per_shard = 1;    ///< morsel workers inside each shard
+  uint64_t morsels = 0;         ///< global morsel count across all shards
+};
+
+class ShardCoordinator {
+ public:
+  /// `base` supplies catalog/plug-ins/stats/caches (its scheduler is not
+  /// used — each shard owns one). `num_shards` caps the fan-out; fewer run
+  /// when the plan yields fewer morsels. `threads_per_shard` sizes each
+  /// shard's morsel pool (shards × workers compose).
+  ShardCoordinator(ExecContext base, int num_shards, int threads_per_shard);
+
+  /// True when `plan` decomposes into independent shards (delegates to
+  /// PlanIsShardable: morsel-parallelizable, no outer joins in the chain).
+  static bool PlanIsShardable(const OpPtr& plan);
+
+  /// Executes `plan` (root = Reduce) across shards and merges their partial
+  /// results deterministically in shard order.
+  Result<QueryResult> Run(const OpPtr& plan, ShardTransport* transport,
+                          ShardExecStats* stats);
+
+ private:
+  ExecContext base_;
+  int num_shards_;
+  int threads_per_shard_;
+};
+
+}  // namespace proteus

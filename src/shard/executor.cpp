@@ -1,0 +1,22 @@
+#include "src/shard/executor.h"
+
+#include "src/shard/partial_result.h"
+
+namespace proteus {
+
+ShardExecutor::ShardExecutor(int shard_id, const ExecContext& base, int num_threads)
+    : shard_id_(shard_id), scheduler_(num_threads), ctx_(base) {
+  ctx_.scheduler = &scheduler_;
+  ctx_.stats = nullptr;  // cold-access stats were collected by the coordinator
+}
+
+Status ShardExecutor::Run(const ShardTask& task, ShardTransport* transport) {
+  InterpExecutor interp(ctx_);
+  PROTEUS_ASSIGN_OR_RETURN(PlanPartials partials,
+                           interp.ExecutePartials(task.plan, task.morsel_begin,
+                                                  task.morsel_end));
+  morsels_run_ = interp.exec_stats().morsels;
+  return transport->Send(shard_id_, PartialResult::FromPartials(std::move(partials)).Serialize());
+}
+
+}  // namespace proteus

@@ -1,0 +1,52 @@
+// ShardExecutor: one shard's execution engine.
+//
+// A shard owns its own TaskScheduler (shards × morsel workers compose: each
+// shard drives its assigned slice of the global morsel decomposition through
+// its private pool), runs the plan's pipelines over that slice, and ships
+// the per-morsel partial sinks to the coordinator as a serialized
+// PartialResult — never as live objects. On a single node the executor reads
+// the catalog/plug-ins/caches in-process; in a multi-node deployment the
+// same class would run inside the remote worker with its own ExecContext.
+#pragma once
+
+#include "src/common/task_scheduler.h"
+#include "src/engine/interp.h"
+#include "src/shard/transport.h"
+
+namespace proteus {
+
+/// The unit of work the coordinator hands a shard: a physical plan plus the
+/// shard's slice [morsel_begin, morsel_end) of the global morsel index
+/// space. Shards never receive row ranges directly — the morsel
+/// decomposition is the one deterministic frame both sides agree on, which
+/// is what keeps results cell-identical across shard counts.
+struct ShardTask {
+  OpPtr plan;
+  uint64_t morsel_begin = 0;
+  uint64_t morsel_end = 0;
+};
+
+class ShardExecutor {
+ public:
+  /// `base` supplies catalog/plug-ins/caches; the executor swaps in its own
+  /// scheduler and drops the stats sink (the coordinator already collected
+  /// cold-access stats before fanning out).
+  ShardExecutor(int shard_id, const ExecContext& base, int num_threads);
+
+  /// Runs the task's morsel slice and Sends the serialized partials through
+  /// `transport`.
+  Status Run(const ShardTask& task, ShardTransport* transport);
+
+  int shard_id() const { return shard_id_; }
+  int num_threads() const { return scheduler_.num_threads(); }
+  /// Morsels this shard drove (valid after Run).
+  uint64_t morsels_run() const { return morsels_run_; }
+
+ private:
+  int shard_id_;
+  TaskScheduler scheduler_;
+  ExecContext ctx_;
+  uint64_t morsels_run_ = 0;
+};
+
+}  // namespace proteus

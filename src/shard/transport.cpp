@@ -1,0 +1,32 @@
+#include "src/shard/transport.h"
+
+namespace proteus {
+
+Status LoopbackTransport::Send(int shard_id, std::string bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = inbox_.emplace(shard_id, std::move(bytes));
+  if (!inserted) {
+    return Status::AlreadyExists("shard " + std::to_string(shard_id) +
+                                 " already sent its partial result");
+  }
+  bytes_ += it->second.size();
+  return Status::OK();
+}
+
+Result<std::string> LoopbackTransport::Collect(int shard_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = inbox_.find(shard_id);
+  if (it == inbox_.end()) {
+    return Status::NotFound("no partial result from shard " + std::to_string(shard_id));
+  }
+  std::string bytes = std::move(it->second);
+  inbox_.erase(it);
+  return bytes;
+}
+
+uint64_t LoopbackTransport::bytes_exchanged() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
+}
+
+}  // namespace proteus

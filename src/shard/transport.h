@@ -1,0 +1,52 @@
+// ShardTransport: the byte-level channel between shard executors and the
+// coordinator.
+//
+// The interface deals only in opaque byte strings (serialized PartialResult
+// payloads), so shard results never share pointers with the coordinator:
+// everything that crosses is copied through the encoding. LoopbackTransport
+// is the in-process implementation used by single-node sharded execution; a
+// socket transport for multi-node deployments implements the same two calls
+// and drops in (ROADMAP follow-on) — the coordinator and executors are
+// already written against the boundary.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+
+namespace proteus {
+
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// Shard side: submits shard `shard_id`'s serialized PartialResult. Each
+  /// shard reports exactly once per query.
+  virtual Status Send(int shard_id, std::string bytes) = 0;
+
+  /// Coordinator side: takes shard `shard_id`'s payload out of the
+  /// transport (NotFound if the shard has not reported).
+  virtual Result<std::string> Collect(int shard_id) = 0;
+
+  /// Total payload bytes that crossed the boundary (telemetry).
+  virtual uint64_t bytes_exchanged() const = 0;
+};
+
+/// In-process transport: shard worker threads Send concurrently; the
+/// coordinator Collects after joining them.
+class LoopbackTransport final : public ShardTransport {
+ public:
+  Status Send(int shard_id, std::string bytes) override;
+  Result<std::string> Collect(int shard_id) override;
+  uint64_t bytes_exchanged() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<int, std::string> inbox_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace proteus

@@ -10,6 +10,7 @@
 // Split() API.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 
 #include "src/common/task_scheduler.h"
@@ -119,8 +120,8 @@ TEST(ParallelExecution, TelemetryReportsThreadsAndMorsels) {
 
 TEST(ParallelExecution, JitModeRoutesOnlyEligiblePlansToWorkers) {
   // mode=kJIT with workers: morsel-eligible queries go parallel; plans the
-  // morsel driver declines (outer joins) keep their normal JIT-first path
-  // instead of silently landing on the serial interpreter.
+  // morsel driver declines (a Nest mid-chain) keep their normal JIT-first
+  // path instead of silently landing on the serial interpreter.
   EngineOptions opts;
   opts.mode = ExecMode::kJIT;
   opts.num_threads = 8;
@@ -133,16 +134,21 @@ TEST(ParallelExecution, JitModeRoutesOnlyEligiblePlansToWorkers) {
   EXPECT_FALSE(engine.telemetry().used_jit);
   EXPECT_GT(engine.telemetry().morsels, 0u);
 
-  OpPtr scan_o = Operator::Scan("orders_json", "o");
+  // Nest-of-Nest: the inner Nest sits mid-chain under the outer one, which
+  // the morsel driver does not accept.
   OpPtr scan_l = Operator::Scan("lineitem_json", "l");
-  ExprPtr pred = Expr::Bin(BinOp::kEq, Expr::Proj(Expr::Var("o"), "o_orderkey"),
-                           Expr::Proj(Expr::Var("l"), "l_orderkey"));
-  OpPtr join = Operator::Join(scan_o, scan_l, pred, /*outer=*/true);
-  auto outer = engine.ExecutePlan(Operator::Reduce(join, {{Monoid::kCount, nullptr, "n"}}));
-  ASSERT_TRUE(outer.ok()) << outer.status().ToString();
+  OpPtr inner = Operator::Nest(scan_l, Expr::Proj(Expr::Var("l"), "l_linenumber"), "ln",
+                               {{Monoid::kSum, Expr::Proj(Expr::Var("l"), "l_quantity"), "q"}},
+                               nullptr, "g");
+  OpPtr outer_nest =
+      Operator::Nest(inner, Expr::Proj(Expr::Var("g"), "ln"), "ln2",
+                     {{Monoid::kCount, nullptr, "c"}}, nullptr, "h");
+  auto nested =
+      engine.ExecutePlan(Operator::Reduce(outer_nest, {{Monoid::kCount, nullptr, "n"}}));
+  ASSERT_TRUE(nested.ok()) << nested.status().ToString();
   EXPECT_EQ(engine.telemetry().morsels, 0u);
-  // The JIT was at least attempted: any fallback reason is the JIT's own
-  // (outer joins are outside its fast path), not the parallel-routing one.
+  // The JIT was at least attempted: any fallback reason is the JIT's own,
+  // not the parallel-routing one.
   EXPECT_EQ(engine.telemetry().fallback_reason.find("num_threads"), std::string::npos)
       << engine.telemetry().fallback_reason;
 }
@@ -159,25 +165,59 @@ TEST(ParallelExecution, JitPathStaysSingleThreadedAndCorrect) {
   EXPECT_EQ(engine.telemetry().threads_used, 1);
 }
 
-TEST(ParallelExecution, OuterJoinFallsBackToSerialAndMatches) {
-  // Outer joins are outside the morsel driver (the SQL frontend does not
-  // expose them; build the plan directly). The engine must still answer
-  // them — serial path — with results independent of num_threads.
-  auto make_plan = [] {
+TEST(ParallelExecution, OuterJoinRunsMorselParallelAndMatches) {
+  // Outer joins run morsel-parallel (the lifted ROADMAP serial fallback):
+  // per-morsel matched-build bitmaps are OR-merged, then the unmatched
+  // build rows drain once. The SQL frontend does not expose outer joins;
+  // build the plan directly. Results must be identical for every worker
+  // count, including the unmatched rows' position in the output.
+  auto make_plan = [](bool project) {
     OpPtr scan_o = Operator::Scan("orders_json", "o");
     OpPtr scan_l = Operator::Scan("lineitem_json", "l");
     ExprPtr pred = Expr::Bin(BinOp::kEq, Expr::Proj(Expr::Var("o"), "o_orderkey"),
                              Expr::Proj(Expr::Var("l"), "l_orderkey"));
     OpPtr join = Operator::Join(scan_o, scan_l, pred, /*outer=*/true);
+    if (project) {
+      // Bag projection: row order (probe stream, then unmatched drain) is
+      // observable and must not depend on the worker count.
+      ExprPtr rec = Expr::Record({"key", "qty"}, {Expr::Proj(Expr::Var("o"), "o_orderkey"),
+                                                  Expr::Proj(Expr::Var("l"), "l_quantity")});
+      return Operator::Reduce(join, {{Monoid::kBag, rec, "rows"}});
+    }
     return Operator::Reduce(join, {{Monoid::kCount, nullptr, "n"}});
   };
-  auto a = MakeEngine(1)->ExecutePlan(make_plan());
-  auto b8 = MakeEngine(8);
-  auto b = b8->ExecutePlan(make_plan());
-  ASSERT_TRUE(a.ok()) << a.status().ToString();
-  ASSERT_TRUE(b.ok()) << b.status().ToString();
-  ExpectIdentical(*a, *b, "outer join count");
-  EXPECT_EQ(b8->telemetry().morsels, 0u) << "outer joins must take the serial path";
+  for (bool project : {false, true}) {
+    auto a = MakeEngine(1)->ExecutePlan(make_plan(project));
+    auto b8 = MakeEngine(8);
+    auto b = b8->ExecutePlan(make_plan(project));
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectIdentical(*a, *b, project ? "outer join rows" : "outer join count");
+    EXPECT_GT(b8->telemetry().morsels, 0u) << "outer joins run morsel-parallel now";
+  }
+}
+
+TEST(ParallelExecution, HardwareConcurrencyResolvesInTelemetry) {
+  // num_threads = 0 asks for hardware concurrency; the engine must resolve
+  // it at construction and report the actual worker count — not the raw 0 —
+  // in options() and QueryTelemetry::threads_used.
+  EngineOptions opts;
+  opts.mode = ExecMode::kInterp;
+  opts.num_threads = 0;
+  opts.morsel_rows = kTestMorselRows;
+  QueryEngine engine(opts);
+  testutil::RegisterAll(&engine);
+
+  const int resolved = engine.scheduler().num_threads();
+  EXPECT_GE(resolved, 1);
+  EXPECT_EQ(engine.options().num_threads, resolved);
+
+  auto r = engine.Execute("SELECT count(*) FROM lineitem_json WHERE l_orderkey < 1000000");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryTelemetry& t = engine.telemetry();
+  EXPECT_GT(t.morsels, 0u);
+  EXPECT_EQ(t.threads_used,
+            static_cast<int>(std::min<uint64_t>(static_cast<uint64_t>(resolved), t.morsels)));
 }
 
 // ---------------------------------------------------------------------------
