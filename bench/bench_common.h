@@ -203,6 +203,45 @@ inline double ThreadedMs(int threads, const std::string& query) {
   return e.telemetry().execute_ms;
 }
 
+/// Engine running morsel-parallel *generated* pipelines at a fixed worker
+/// count (mode = kJIT: the range-parameterized pipeline functions fan out
+/// over the scheduler). Compare against ThreadedEngine to read the
+/// codegen-vs-interpretation gap at each worker count; results are
+/// cell-identical across counts and engines by construction.
+inline QueryEngine& JitThreadedEngine(int threads) {
+  static std::map<int, std::unique_ptr<QueryEngine>> engines;
+  auto it = engines.find(threads);
+  if (it == engines.end()) {
+    EngineOptions opts;
+    opts.mode = ExecMode::kJIT;
+    opts.num_threads = threads;
+    auto e = std::make_unique<QueryEngine>(opts);
+    RegisterBenchDatasets(e.get());
+    it = engines.emplace(threads, std::move(e)).first;
+  }
+  return *it->second;
+}
+
+/// Runs one query through the parallel JIT engine, returns execution ms
+/// (excludes compile). Aborts if the plan fell back to the interpreter —
+/// a jit-parallel bench variant that silently measured the interpreter
+/// would be the exact reporting bug the telemetry work closed.
+inline double JitThreadedMs(int threads, const std::string& query) {
+  QueryEngine& e = JitThreadedEngine(threads);
+  auto r = e.Execute(query);
+  if (!r.ok()) {
+    fprintf(stderr, "proteus jit[%d threads]: %s\n  %s\n", threads, query.c_str(),
+            r.status().ToString().c_str());
+    std::abort();
+  }
+  if (!e.telemetry().jit_parallel) {
+    fprintf(stderr, "proteus jit[%d threads] fell back to the interpreter: %s\n  %s\n",
+            threads, query.c_str(), e.telemetry().fallback_reason.c_str());
+    std::abort();
+  }
+  return e.telemetry().execute_ms;
+}
+
 /// Shard counts exercised by the partitioned scale-out variants.
 inline const std::vector<int>& ShardCounts() {
   static std::vector<int> s{1, 2, 4};

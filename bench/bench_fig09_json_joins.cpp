@@ -44,6 +44,12 @@ void Register() {
           RegisterMs(tag + "Proteus_parallel/threads=" + std::to_string(threads),
                      [q, threads] { return ThreadedMs(threads, q); });
         }
+        // Parallel JIT pipelines: the same fan-out through generated code
+        // (build once, range-parameterized probe per morsel).
+        for (int threads : ThreadCounts()) {
+          RegisterMs(tag + "Proteus_jit_parallel/threads=" + std::to_string(threads),
+                     [q, threads] { return JitThreadedMs(threads, q); });
+        }
         // Partitioned scale-out: the probe scan's morsels deal out to shard
         // executors; partials merge through the serialized wire format.
         for (int shards : ShardCounts()) {

@@ -48,6 +48,12 @@ void Register() {
           RegisterMs(tag + "Proteus_parallel/threads=" + std::to_string(threads),
                      [q, threads] { return ThreadedMs(threads, q); });
         }
+        // Parallel JIT pipelines: generated per-morsel group partials merged
+        // in global morsel order.
+        for (int threads : ThreadCounts()) {
+          RegisterMs(tag + "Proteus_jit_parallel/threads=" + std::to_string(threads),
+                     [q, threads] { return JitThreadedMs(threads, q); });
+        }
         // Partitioned scale-out: per-shard group tables cross the serialized
         // wire format and merge in global morsel order.
         for (int shards : ShardCounts()) {

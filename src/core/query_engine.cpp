@@ -162,14 +162,13 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
   // Sharded routing: num_shards >= 1 is an explicit opt-in, so shardable
   // plans go through the coordinator ahead of the JIT/interpreter choice.
   // Non-shardable plans (outer joins, Nest mid-chain) fall through to the
-  // normal paths below.
+  // normal paths below. In JIT mode each shard runs the plan's
+  // morsel-parameterized generated pipelines over its slice (interpreter
+  // partials for plans outside the generated fast path — bit-identical
+  // either way).
   if (opts_.num_shards >= 1 && ShardCoordinator::PlanIsShardable(physical)) {
-    if (opts_.mode == ExecMode::kJIT) {
-      telemetry_.fallback_reason =
-          "num_shards >= 1 and plan is shardable: running the shard "
-          "coordinator over the morsel-parallel interpreter";
-    }
-    ShardCoordinator coordinator(ctx, opts_.num_shards, opts_.num_threads);
+    ShardCoordinator coordinator(ctx, opts_.num_shards, opts_.num_threads,
+                                 opts_.mode == ExecMode::kJIT);
     LoopbackTransport transport;
     ShardExecStats shard_stats;
     auto result = coordinator.Run(physical, &transport, &shard_stats);
@@ -178,20 +177,32 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
     telemetry_.bytes_exchanged = shard_stats.bytes_exchanged;
     telemetry_.threads_used = shard_stats.threads_per_shard;
     telemetry_.morsels = shard_stats.morsels;
+    telemetry_.used_jit = shard_stats.jit_shards > 0;
+    telemetry_.jit_parallel = shard_stats.jit_shards > 0;
+    if (opts_.mode == ExecMode::kJIT && shard_stats.jit_shards < shard_stats.shards_used) {
+      telemetry_.fallback_reason =
+          std::to_string(shard_stats.shards_used - shard_stats.jit_shards) +
+          " shard(s) ran the interpreter (plan outside the generated fast path)";
+    }
     return result;
   }
-  // Parallel routing: only forfeit the JIT when the plan can actually fan
-  // out — morsel-ineligible plans (odd shapes) gain nothing from workers
-  // and keep their normal path.
-  const bool parallel_eligible =
-      scheduler_.num_threads() > 1 && PlanIsMorselParallelizable(physical);
-  if (opts_.mode == ExecMode::kJIT && !parallel_eligible) {
-    // The generated engine runs single-threaded (parallel JIT pipelines are
-    // a ROADMAP item); telemetry_.threads_used stays 1 on this path.
+  if (opts_.mode == ExecMode::kJIT) {
     JitExecutor jit(ctx);
-    auto result = jit.Execute(physical);
+    // Parallel JIT pipelines for morsel-drivable plans: the generated code
+    // itself is morsel-driven, for every thread count — num_threads == 1
+    // runs the same morsel frame on one worker, so the thread count can
+    // never change the result. Other shapes keep the legacy whole-relation
+    // generated engine (single-threaded; they gain nothing from workers).
+    const bool parallel = PlanIsMorselParallelizable(physical);
+    InterpExecutor::ExecStats stats;
+    auto result = parallel ? jit.ExecuteParallel(physical, &stats) : jit.Execute(physical);
     if (result.ok()) {
       telemetry_.used_jit = true;
+      telemetry_.jit_parallel = parallel;
+      if (parallel) {
+        telemetry_.threads_used = stats.threads_used;
+        telemetry_.morsels = stats.morsels;
+      }
       telemetry_.compile_ms = jit.last_compile_ms();
       telemetry_.execute_ms = MsSince(t0) - telemetry_.compile_ms;
       last_ir_ = jit.last_ir();
@@ -201,10 +212,6 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
       return result.status();
     }
     telemetry_.fallback_reason = result.status().message();
-  } else if (opts_.mode == ExecMode::kJIT) {
-    telemetry_.fallback_reason =
-        "num_threads > 1 and plan is morsel-parallelizable: JIT pipelines "
-        "are single-threaded, running the morsel-parallel interpreter";
   }
   InterpExecutor interp(ctx);
   auto result = interp.Execute(physical);

@@ -40,10 +40,11 @@ struct EngineOptions {
   /// Workers for morsel-driven parallel execution (scans, join build/probe,
   /// partial aggregation). 1 = no extra threads; 0 = hardware concurrency.
   /// Results are identical for every value — morsel boundaries depend only
-  /// on the data. Generated (JIT) engines are single-threaded for now
-  /// (parallel JIT pipelines are a ROADMAP item), so num_threads > 1 routes
-  /// queries to the morsel-parallel interpreter; num_threads == 1 keeps the
-  /// usual JIT-first behaviour, reporting threads_used = 1.
+  /// on the data. Generated (JIT) engines are morsel-parallel too: eligible
+  /// plans compile to range-parameterized pipeline functions driven by the
+  /// scheduler, so num_threads > 1 keeps codegen speed (telemetry reports
+  /// jit_parallel = true). Plans outside the generated fast path fall back
+  /// to the morsel-parallel interpreter as before.
   int num_threads = 1;
   /// Target scan rows per morsel (tuning / testing). Affects the morsel
   /// decomposition — deterministically, per dataset — but never the result.
@@ -63,11 +64,19 @@ struct EngineOptions {
 struct QueryTelemetry {
   double optimize_ms = 0;
   double compile_ms = 0;   ///< LLVM IR generation + compilation
-  double execute_ms = 0;   ///< plan run time (excludes optimize/compile)
+  /// Plan run time (excludes optimize/compile). Exception: sharded JIT runs
+  /// fold each shard's in-thread pipeline compilation into this number —
+  /// per-shard compile_ms isn't surfaced yet (ROADMAP: compiled-query cache).
+  double execute_ms = 0;
   double cache_build_ms = 0;
   bool used_jit = false;
+  /// Generated pipelines ran morsel-parallel (range-parameterized functions
+  /// over the Split() decomposition). True whenever the parallel JIT path
+  /// executed — including at num_threads == 1, which drives the same morsel
+  /// frame on one worker so results cannot depend on the thread count.
+  bool jit_parallel = false;
   bool used_cache = false;
-  int threads_used = 1;    ///< workers that executed the plan (1 = serial/JIT)
+  int threads_used = 1;    ///< workers that executed the plan (interpreter or parallel JIT)
   uint64_t morsels = 0;    ///< morsels driven through parallel pipelines (0 = serial)
   int shards_used = 0;     ///< shard executors that ran the plan (0 = unsharded)
   uint64_t bytes_exchanged = 0;  ///< serialized partial-result bytes shard→coordinator

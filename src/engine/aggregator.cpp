@@ -44,6 +44,35 @@ void Aggregator::Add(const Value& v) {
   seen_ = true;
 }
 
+void Aggregator::LoadScalar(const Value& v) {
+  switch (monoid_) {
+    case Monoid::kCount:
+      count_ = v.i();
+      break;
+    case Monoid::kSum:
+      if (v.is_int()) {
+        int_acc_ = v.i();
+      } else {
+        all_int_ = false;
+        float_acc_ = v.f();
+      }
+      break;
+    case Monoid::kMax:
+    case Monoid::kMin:
+      extreme_ = v;
+      break;
+    case Monoid::kAnd:
+    case Monoid::kOr:
+      bool_acc_ = v.b();
+      break;
+    case Monoid::kBag:
+    case Monoid::kList:
+    case Monoid::kSet:
+      return;  // collection monoids fold item-wise, never as one scalar
+  }
+  seen_ = true;
+}
+
 bool Aggregator::InsertSetItem(Value v) {
   for (const auto& x : items_) {
     if (x.Equals(v)) return false;

@@ -18,6 +18,17 @@ class Aggregator {
   void Add(const Value& v);
   void AddCount() { count_++; }
 
+  /// Installs the scalar fold state a generated (JIT) per-morsel pipeline
+  /// computed in CPU registers, leaving this accumulator indistinguishable
+  /// from one that Add()ed the same rows: count installs the row count, sum
+  /// the running total (int or float per `v`'s kind — the register fold and
+  /// Add() share init value and operation order, so the bits match), max/min
+  /// the extreme, and/or the folded bool. Callers must skip the call when no
+  /// row contributed (the accumulator then stays in its empty state, exactly
+  /// like an interpreter partial that saw no rows). Collection monoids are
+  /// not scalar-loadable.
+  void LoadScalar(const Value& v);
+
   /// Folds another partial accumulator of the same monoid into this one —
   /// the merge step of morsel-parallel aggregation. Merging partials in
   /// morsel order keeps results deterministic regardless of worker count

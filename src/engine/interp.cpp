@@ -589,35 +589,12 @@ class VectorRowCursor : public Cursor {
   size_t pos_ = 0;
 };
 
-/// A morsel-parallelizable pipeline: ops from the region root down to the
-/// splittable leaf (root first). Probe sides continue the chain; join build
-/// subtrees hang off the collected join nodes.
-struct PipelineDesc {
-  std::vector<const Operator*> ops;
-  const Operator* leaf = nullptr;
-  std::vector<const Operator*> joins;
-};
+/// The pipeline chain type lives in interp.h (MorselPipeline) — the JIT
+/// engine walks the same chain to range-parameterize its generated code.
+using PipelineDesc = MorselPipeline;
 
 bool CollectPipelineDesc(const OpPtr& op, PipelineDesc* out) {
-  switch (op->kind()) {
-    case OpKind::kScan:
-    case OpKind::kCacheScan:
-      out->ops.push_back(op.get());
-      out->leaf = op.get();
-      return true;
-    case OpKind::kSelect:
-    case OpKind::kUnnest:
-      out->ops.push_back(op.get());
-      return CollectPipelineDesc(op->child(0), out);
-    case OpKind::kJoin:
-      // Outer joins are eligible too: matched-build bits are tracked per
-      // morsel and the unmatched drain runs once after the probe morsels.
-      out->ops.push_back(op.get());
-      out->joins.push_back(op.get());
-      return CollectPipelineDesc(op->child(1), out);
-    default:
-      return false;  // Nest mid-chain, Reduce, unknown
-  }
+  return CollectMorselPipeline(op, out);
 }
 
 class MorselRunner {
@@ -724,25 +701,7 @@ class MorselRunner {
   Status PreOpenPlugins(const OpPtr& op) { return PreOpenPlanPlugins(ctx_, op); }
 
   Result<std::vector<ScanRange>> SplitLeaf(const Operator& leaf) {
-    if (leaf.kind() == OpKind::kScan) {
-      PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ctx_.catalog->Get(leaf.dataset()));
-      PROTEUS_ASSIGN_OR_RETURN(InputPlugin * plugin,
-                               ctx_.plugins->GetOrOpen(*info, ctx_.stats));
-      uint64_t n = plugin->NumRecords();
-      std::vector<ScanRange> morsels = plugin->Split(TargetMorsels(n));
-      // The Split contract does not promise non-emptiness; the merge phase
-      // indexes partials[0], so guarantee at least one morsel here.
-      if (morsels.empty()) morsels.push_back({0, n});
-      return morsels;
-    }
-    // CacheScan: evenly split the block's row range.
-    PROTEUS_ASSIGN_OR_RETURN(const CacheBlock* block, ResolveCacheBlock(ctx_, leaf.cache_id()));
-    return EvenSplit(block->num_rows, TargetMorsels(block->num_rows));
-  }
-
-  uint64_t TargetMorsels(uint64_t n) const {
-    const uint64_t per_morsel = ctx_.morsel_rows == 0 ? kDefaultMorselRows : ctx_.morsel_rows;
-    return std::max<uint64_t>(1, std::min(kMaxMorsels, (n + per_morsel - 1) / per_morsel));
+    return SplitLeafMorsels(ctx_, leaf);
   }
 
   /// Materializes the build side of `join` into builds_[join]; the subtree
@@ -983,6 +942,52 @@ class MorselRunner {
 };
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared morsel decomposition (interpreter morsels, JIT pipelines, shards)
+// ---------------------------------------------------------------------------
+
+bool CollectMorselPipeline(const OpPtr& op, MorselPipeline* out) {
+  switch (op->kind()) {
+    case OpKind::kScan:
+    case OpKind::kCacheScan:
+      out->ops.push_back(op.get());
+      out->leaf = op.get();
+      return true;
+    case OpKind::kSelect:
+    case OpKind::kUnnest:
+      out->ops.push_back(op.get());
+      return CollectMorselPipeline(op->child(0), out);
+    case OpKind::kJoin:
+      // Outer joins are eligible too: matched-build bits are tracked per
+      // morsel and the unmatched drain runs once after the probe morsels.
+      out->ops.push_back(op.get());
+      out->joins.push_back(op.get());
+      return CollectMorselPipeline(op->child(1), out);
+    default:
+      return false;  // Nest mid-chain, Reduce, unknown
+  }
+}
+
+Result<std::vector<ScanRange>> SplitLeafMorsels(const ExecContext& ctx, const Operator& leaf) {
+  const uint64_t per_morsel = ctx.morsel_rows == 0 ? kDefaultMorselRows : ctx.morsel_rows;
+  auto target = [&](uint64_t n) {
+    return std::max<uint64_t>(1, std::min(kMaxMorsels, (n + per_morsel - 1) / per_morsel));
+  };
+  if (leaf.kind() == OpKind::kScan) {
+    PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ctx.catalog->Get(leaf.dataset()));
+    PROTEUS_ASSIGN_OR_RETURN(InputPlugin * plugin, ctx.plugins->GetOrOpen(*info, ctx.stats));
+    uint64_t n = plugin->NumRecords();
+    std::vector<ScanRange> morsels = plugin->Split(target(n));
+    // The Split contract does not promise non-emptiness; the merge phase
+    // indexes partials[0], so guarantee at least one morsel here.
+    if (morsels.empty()) morsels.push_back({0, n});
+    return morsels;
+  }
+  // CacheScan: evenly split the block's row range.
+  PROTEUS_ASSIGN_OR_RETURN(const CacheBlock* block, ResolveCacheBlock(ctx, leaf.cache_id()));
+  return EvenSplit(block->num_rows, target(block->num_rows));
+}
 
 // ---------------------------------------------------------------------------
 // Executor

@@ -102,6 +102,31 @@ class InterpExecutor {
 /// Variables bound by the subtree rooted at `op` (shared helper).
 void CollectBoundVars(const OpPtr& op, std::vector<std::string>* out);
 
+/// A morsel-parallelizable pipeline: the chain of ops from the region root
+/// (the op under Reduce, or under a Nest directly under Reduce) down to the
+/// splittable driver leaf, root first. Probe sides continue the chain; join
+/// build subtrees hang off the collected join nodes. Shared between the
+/// interpreter's morsel runner and the JIT engine, which range-parameterizes
+/// exactly this chain (build sides run once, the driver leaf loops over a
+/// morsel range).
+struct MorselPipeline {
+  std::vector<const Operator*> ops;   ///< root-first, leaf included
+  const Operator* leaf = nullptr;     ///< the splittable Scan / CacheScan
+  std::vector<const Operator*> joins; ///< chain joins, root-first
+};
+
+/// Collects the pipeline chain under `pipe_root`. Returns false when the
+/// shape is not morsel-parallelizable (Nest mid-chain, unknown ops).
+bool CollectMorselPipeline(const OpPtr& pipe_root, MorselPipeline* out);
+
+/// The global morsel decomposition of a pipeline's driver leaf: plug-in
+/// Split() for raw scans (byte-balanced where the format supports it), an
+/// even row split for cache blocks. Deterministic — depends only on the data
+/// and ctx.morsel_rows, never on worker or shard counts — and never empty.
+/// The one decomposition every executor (interpreter morsels, JIT pipelines,
+/// shard slices) must agree on for results to stay cell-identical.
+Result<std::vector<ScanRange>> SplitLeafMorsels(const ExecContext& ctx, const Operator& leaf);
+
 /// True when `plan` (root Reduce) has a shape the morsel-parallel driver
 /// accepts. The QueryEngine consults this before routing: ineligible plans
 /// gain nothing from num_threads > 1, so they keep their normal (e.g. JIT)

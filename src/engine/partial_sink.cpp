@@ -177,3 +177,100 @@ Result<QueryResult> FinalizePlanPartials(const Operator& reduce, const Operator*
 }
 
 }  // namespace proteus
+
+// ---------------------------------------------------------------------------
+// C ABI partial-sink entry points (generated code -> JitMorselSink)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+proteus::JitMorselSink* SINK(void* p) { return static_cast<proteus::JitMorselSink*>(p); }
+
+}  // namespace
+
+extern "C" {
+
+void proteus_sink_agg_flush_int(void* sink, uint32_t i, int64_t v, int64_t rows) {
+  if (rows == 0) return;
+  (*SINK(sink)->aggs)[i].LoadScalar(proteus::Value::Int(v));
+}
+
+void proteus_sink_agg_flush_double(void* sink, uint32_t i, double v, int64_t rows) {
+  if (rows == 0) return;
+  (*SINK(sink)->aggs)[i].LoadScalar(proteus::Value::Float(v));
+}
+
+void proteus_sink_agg_flush_bool(void* sink, uint32_t i, int32_t v, int64_t rows) {
+  if (rows == 0) return;
+  (*SINK(sink)->aggs)[i].LoadScalar(proteus::Value::Boolean(v != 0));
+}
+
+void proteus_sink_group_begin_int(void* sink, int64_t key) {
+  proteus::JitMorselSink* s = SINK(sink);
+  s->cur_group = s->groups->UpsertKey(*s->nest, proteus::Value::Int(key));
+}
+
+void proteus_sink_group_begin_bool(void* sink, int32_t key) {
+  proteus::JitMorselSink* s = SINK(sink);
+  s->cur_group = s->groups->UpsertKey(*s->nest, proteus::Value::Boolean(key != 0));
+}
+
+void proteus_sink_group_begin_str(void* sink, const char* p, int64_t len) {
+  proteus::JitMorselSink* s = SINK(sink);
+  s->cur_group = s->groups->UpsertKey(
+      *s->nest, proteus::Value::Str(std::string(p, static_cast<size_t>(len))));
+}
+
+void proteus_sink_group_agg_count(void* sink, uint32_t i) {
+  proteus::JitMorselSink* s = SINK(sink);
+  s->groups->aggs[s->cur_group][i].Add(proteus::Value::Int(1));
+}
+
+void proteus_sink_group_agg_int(void* sink, uint32_t i, int64_t v) {
+  proteus::JitMorselSink* s = SINK(sink);
+  s->groups->aggs[s->cur_group][i].Add(proteus::Value::Int(v));
+}
+
+void proteus_sink_group_agg_double(void* sink, uint32_t i, double v) {
+  proteus::JitMorselSink* s = SINK(sink);
+  s->groups->aggs[s->cur_group][i].Add(proteus::Value::Float(v));
+}
+
+void proteus_sink_group_agg_bool(void* sink, uint32_t i, int32_t v) {
+  proteus::JitMorselSink* s = SINK(sink);
+  s->groups->aggs[s->cur_group][i].Add(proteus::Value::Boolean(v != 0));
+}
+
+void proteus_sink_group_agg_str(void* sink, uint32_t i, const char* p, int64_t len) {
+  proteus::JitMorselSink* s = SINK(sink);
+  s->groups->aggs[s->cur_group][i].Add(
+      proteus::Value::Str(std::string(p, static_cast<size_t>(len))));
+}
+
+void proteus_sink_emit_int(void* sink, int64_t v) {
+  SINK(sink)->staged.push_back(proteus::Value::Int(v));
+}
+
+void proteus_sink_emit_double(void* sink, double v) {
+  SINK(sink)->staged.push_back(proteus::Value::Float(v));
+}
+
+void proteus_sink_emit_bool(void* sink, int32_t v) {
+  SINK(sink)->staged.push_back(proteus::Value::Boolean(v != 0));
+}
+
+void proteus_sink_emit_str(void* sink, const char* p, int64_t len) {
+  SINK(sink)->staged.push_back(proteus::Value::Str(std::string(p, static_cast<size_t>(len))));
+}
+
+void proteus_sink_emit_end(void* sink) {
+  proteus::JitMorselSink* s = SINK(sink);
+  if (s->row_records) {
+    (*s->aggs)[0].Add(proteus::Value::MakeRecord(*s->columns, std::move(s->staged)));
+  } else {
+    (*s->aggs)[0].Add(s->staged[0]);
+  }
+  s->staged.clear();
+}
+
+}  // extern "C"

@@ -37,6 +37,12 @@ struct GroupTable {
 
   Status AddRow(const Operator& op, const EvalEnv& row);
 
+  /// Raw-value row path used by generated (JIT) per-morsel pipelines, which
+  /// hold the already-evaluated key in a register: finds or creates `key`'s
+  /// group and returns its index; the caller then Add()s into aggs[group].
+  /// Same first-appearance group order as AddRow.
+  size_t UpsertKey(const Operator& op, Value key) { return FindOrAdd(op, std::move(key)); }
+
   /// Folds `other` into this table, appending unseen groups in `other`'s
   /// first-appearance order.
   void MergeFrom(const Operator& op, GroupTable&& other);
@@ -94,4 +100,63 @@ struct PlanPartials {
 Result<QueryResult> FinalizePlanPartials(const Operator& reduce, const Operator* nest,
                                          PlanPartials&& partials);
 
+/// One morsel's partial sink as seen by a generated (JIT) pipeline through
+/// the C entry points below. The generated function keeps per-tuple work in
+/// registers and crosses this boundary only at the partial-sink granularity
+/// the interpreter's morsel executor uses too — a scalar flush per morsel,
+/// a group upsert per grouped row, a boxed row per emitted row — so a JIT
+/// morsel partial is bit-indistinguishable from an interpreter one and both
+/// merge through the same FinalizePlanPartials fold.
+struct JitMorselSink {
+  /// Scalar-aggregate or collection root: the morsel's accumulator vector
+  /// (MakeReduceAggs shape).
+  std::vector<Aggregator>* aggs = nullptr;
+  /// Nest directly under the root: the morsel's group table + the Nest op.
+  GroupTable* groups = nullptr;
+  const Operator* nest = nullptr;
+  /// Collection root: result column names; row_records is true when the
+  /// head expression was a record constructor (rows box into records with
+  /// these names, matching what Eval() produces for the interpreter).
+  const std::vector<std::string>* columns = nullptr;
+  bool row_records = false;
+
+  size_t cur_group = 0;       ///< group of the row being aggregated
+  std::vector<Value> staged;  ///< cells of the row being emitted
+};
+
 }  // namespace proteus
+
+// ---------------------------------------------------------------------------
+// C ABI partial-sink entry points callable from generated IR. `sink` is a
+// JitMorselSink*. Registered with the ORC JIT by jit::RuntimeSymbols().
+// ---------------------------------------------------------------------------
+extern "C" {
+
+// Scalar Reduce root: one flush per (morsel, output) after the morsel's
+// loop — `rows` is the number of rows that contributed; 0 leaves the
+// accumulator in its empty state exactly like an interpreter partial that
+// saw no rows.
+void proteus_sink_agg_flush_int(void* sink, uint32_t i, int64_t v, int64_t rows);
+void proteus_sink_agg_flush_double(void* sink, uint32_t i, double v, int64_t rows);
+void proteus_sink_agg_flush_bool(void* sink, uint32_t i, int32_t v, int64_t rows);
+
+// Nest under the root: begin a grouped row (upsert its key), then fold each
+// output's evaluated value.
+void proteus_sink_group_begin_int(void* sink, int64_t key);
+void proteus_sink_group_begin_bool(void* sink, int32_t key);
+void proteus_sink_group_begin_str(void* sink, const char* p, int64_t len);
+void proteus_sink_group_agg_count(void* sink, uint32_t i);
+void proteus_sink_group_agg_int(void* sink, uint32_t i, int64_t v);
+void proteus_sink_group_agg_double(void* sink, uint32_t i, double v);
+void proteus_sink_group_agg_bool(void* sink, uint32_t i, int32_t v);
+void proteus_sink_group_agg_str(void* sink, uint32_t i, const char* p, int64_t len);
+
+// Collection root: stage one row's cells, then box it into the morsel's
+// collection accumulator.
+void proteus_sink_emit_int(void* sink, int64_t v);
+void proteus_sink_emit_double(void* sink, double v);
+void proteus_sink_emit_bool(void* sink, int32_t v);
+void proteus_sink_emit_str(void* sink, const char* p, int64_t len);
+void proteus_sink_emit_end(void* sink);
+
+}  // extern "C"

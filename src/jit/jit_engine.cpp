@@ -13,8 +13,10 @@
 #include <chrono>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/common/hash.h"
+#include "src/engine/partial_sink.h"
 #include "src/plugins/binary_plugins.h"
 #include "src/plugins/csv_plugin.h"
 #include "src/plugins/json_plugin.h"
@@ -24,6 +26,7 @@ namespace proteus {
 
 namespace {
 
+using jit::MorselCtx;
 using jit::QueryRuntime;
 
 void InitLLVMOnce() {
@@ -48,6 +51,15 @@ struct ScanSource {
   const CacheBlock* cache = nullptr;
 };
 
+/// Lists (var, path, kind) of every binding a join's build side provides
+/// that the plan needs above the join: those become the packed payload.
+struct PayloadField {
+  std::string var;
+  FieldPath path;
+  TypeKind kind;
+  uint32_t slot;  // first slot index; strings take two
+};
+
 class Codegen {
  public:
   Codegen(ExecContext ctx, QueryRuntime* rt)
@@ -57,7 +69,22 @@ class Codegen {
         module_(std::make_unique<llvm::Module>("proteus_query", *llctx_)),
         b_(*llctx_) {}
 
+  /// Legacy whole-relation compilation: one proteus_query(ctx) function that
+  /// runs the entire plan in a single call. Kept for plan shapes the morsel
+  /// driver does not understand.
   Status Compile(const OpPtr& plan);
+
+  /// Morsel-parameterized compilation (parallel JIT pipelines): emits
+  ///   proteus_build(ctx)                       — chain join build sides, run once
+  ///   proteus_pipeline(ctx, sink, begin, end)  — the driver chain over one
+  ///                                              morsel's OID range, feeding a
+  ///                                              per-morsel JitMorselSink
+  /// The pipeline function is pure over [begin, end): all cross-call state is
+  /// per-task (MorselCtx) or per-morsel (the sink), so the scheduler can run
+  /// it concurrently, once per morsel, and the partials merge through the
+  /// same FinalizePlanPartials fold the interpreter uses.
+  Status CompileMorsel(const OpPtr& plan, const MorselPipeline& pipe);
+
   std::unique_ptr<llvm::Module> TakeModule() { return std::move(module_); }
   std::unique_ptr<llvm::LLVMContext> TakeContext() { return std::move(llctx_); }
   std::string DumpIR() const {
@@ -67,6 +94,7 @@ class Codegen {
     return s;
   }
   const std::vector<std::string>& result_columns() const { return result_columns_; }
+  bool row_records() const { return row_records_; }
 
  private:
   using Consume = std::function<Status()>;
@@ -83,9 +111,16 @@ class Codegen {
   Status EmitCacheScan(const OpPtr& op, const Consume& consume);
   Status EmitUnnest(const OpPtr& op, const Consume& consume);
   Status EmitJoin(const OpPtr& op, const Consume& consume);
+  Status EmitJoinBuild(const Operator& op);
+  Status EmitJoinProbe(const Operator& op, const Consume& consume);
   Status EmitNest(const OpPtr& op, const Consume& consume);
   Status EmitFilter(const ExprPtr& pred, const Consume& consume);
   Status EmitRoot(const OpPtr& reduce);
+  Status EmitReduceRoot(const OpPtr& reduce, bool to_sink);
+  Status EmitBagReduce(const OpPtr& reduce, bool to_sink);
+  Status EmitScalarReduce(const OpPtr& reduce, bool to_sink);
+  Status EmitMorselRoot(const OpPtr& reduce, const Operator* nest);
+  Status EmitNestMorsel(const Operator& nest);
 
   Result<CgValue> EmitExpr(const ExprPtr& e);
   Result<CgValue> EmitBinary(const ExprPtr& e);
@@ -99,7 +134,10 @@ class Codegen {
   llvm::Value* ConstPtr(const void* p) {
     return b_.CreateIntToPtr(b_.getInt64(reinterpret_cast<uint64_t>(p)), b_.getInt8PtrTy());
   }
-  llvm::Value* RtPtr() { return rt_arg_; }
+  /// The current function's MorselCtx* argument (per-task runtime state).
+  llvm::Value* CtxPtr() { return ctx_arg_; }
+  /// The pipeline function's JitMorselSink* argument (morsel mode only).
+  llvm::Value* SinkPtr() { return sink_arg_; }
   llvm::Value* GlobalString(const std::string& s) {
     auto it = string_globals_.find(s);
     if (it != string_globals_.end()) return it->second;
@@ -114,8 +152,17 @@ class Codegen {
     return path.empty() ? var : var + "." + DottedPath(path);
   }
 
-  /// Emits a canonical counted loop [0, n); `body(i)` runs per iteration.
-  Status EmitCountedLoop(llvm::Value* n, const std::function<Status(llvm::Value*)>& body);
+  /// Emits a canonical loop over [lo, hi); `body(i)` runs per iteration.
+  Status EmitRangeLoop(llvm::Value* lo, llvm::Value* hi,
+                       const std::function<Status(llvm::Value*)>& body);
+  /// Counted loop [0, n).
+  Status EmitCountedLoop(llvm::Value* n, const std::function<Status(llvm::Value*)>& body) {
+    return EmitRangeLoop(b_.getInt64(0), n, body);
+  }
+
+  /// Opens a new void function `name(args...)` of i8*/i64 params and positions
+  /// the builder at its entry block; per-function emission state resets.
+  llvm::Function* OpenFunction(const char* name, uint32_t ptr_args, uint32_t int_args);
 
   ExecContext ectx_;
   QueryRuntime* rt_;
@@ -123,7 +170,17 @@ class Codegen {
   std::unique_ptr<llvm::Module> module_;
   llvm::IRBuilder<> b_;
   llvm::Function* fn_ = nullptr;
-  llvm::Value* rt_arg_ = nullptr;
+  llvm::Value* ctx_arg_ = nullptr;
+  llvm::Value* sink_arg_ = nullptr;   // morsel pipeline only
+  llvm::Value* begin_arg_ = nullptr;  // morsel pipeline only
+  llvm::Value* end_arg_ = nullptr;    // morsel pipeline only
+
+  // Morsel mode: the driver leaf loops over [begin, end) instead of the
+  // whole relation, and chain joins emit only their probe side (builds run
+  // once in proteus_build).
+  bool morsel_mode_ = false;
+  const Operator* driver_leaf_ = nullptr;
+  std::unordered_set<const Operator*> chain_joins_;
 
   std::unordered_map<std::string, CgValue> bindings_;       // virtual buffers
   std::unordered_map<std::string, llvm::Value*> oids_;      // var -> current oid (i64)
@@ -131,10 +188,12 @@ class Codegen {
   std::unordered_map<std::string, TypePtr> var_types_;      // var -> record type
   std::unordered_map<std::string, std::vector<FieldPath>> needed_;  // var -> used paths
   std::unordered_map<const Operator*, uint32_t> join_ids_;
+  std::unordered_map<const Operator*, std::vector<PayloadField>> join_payloads_;
   std::unordered_map<const Operator*, uint32_t> group_ids_;
   std::unordered_map<const Operator*, uint32_t> unnest_ids_;
   std::unordered_map<std::string, llvm::Value*> string_globals_;
   std::vector<std::string> result_columns_;
+  bool row_records_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -443,17 +502,17 @@ Result<CgValue> Codegen::EmitBinary(const ExprPtr& e) {
 // Control-flow scaffolding
 // ---------------------------------------------------------------------------
 
-Status Codegen::EmitCountedLoop(llvm::Value* n,
-                                const std::function<Status(llvm::Value*)>& body) {
+Status Codegen::EmitRangeLoop(llvm::Value* lo, llvm::Value* hi,
+                              const std::function<Status(llvm::Value*)>& body) {
   llvm::Value* idx_ptr = b_.CreateAlloca(b_.getInt64Ty(), nullptr, "idx");
-  b_.CreateStore(b_.getInt64(0), idx_ptr);
+  b_.CreateStore(lo, idx_ptr);
   auto* cond_bb = llvm::BasicBlock::Create(*llctx_, "loop.cond", fn_);
   auto* body_bb = llvm::BasicBlock::Create(*llctx_, "loop.body", fn_);
   auto* exit_bb = llvm::BasicBlock::Create(*llctx_, "loop.exit", fn_);
   b_.CreateBr(cond_bb);
   b_.SetInsertPoint(cond_bb);
   llvm::Value* idx = b_.CreateLoad(b_.getInt64Ty(), idx_ptr);
-  b_.CreateCondBr(b_.CreateICmpULT(idx, n), body_bb, exit_bb);
+  b_.CreateCondBr(b_.CreateICmpULT(idx, hi), body_bb, exit_bb);
   b_.SetInsertPoint(body_bb);
   PROTEUS_RETURN_NOT_OK(body(idx));
   // Whatever block the body ended in continues to the increment.
@@ -492,7 +551,16 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
   }
   uint64_t n = src.plugin->NumRecords();
 
-  return EmitCountedLoop(b_.getInt64(static_cast<int64_t>(n)), [&](llvm::Value* oid) -> Status {
+  // The driver leaf of a morsel pipeline scans only its (begin, end)
+  // arguments' OID range; every other scan (build sides, legacy mode) runs
+  // the whole relation.
+  llvm::Value* lo = b_.getInt64(0);
+  llvm::Value* hi = b_.getInt64(static_cast<int64_t>(n));
+  if (morsel_mode_ && op.get() == driver_leaf_) {
+    lo = begin_arg_;
+    hi = end_arg_;
+  }
+  return EmitRangeLoop(lo, hi, [&](llvm::Value* oid) -> Status {
     oids_[var] = oid;
     for (const auto& p : fields) {
       auto lk = LeafKind(var, p);
@@ -638,8 +706,13 @@ Status Codegen::EmitCacheScan(const OpPtr& op, const Consume& consume) {
   }
   const CacheColumn* oid_col = blk->Find(var, {"$oid"});
 
-  return EmitCountedLoop(
-      b_.getInt64(static_cast<int64_t>(blk->num_rows)), [&](llvm::Value* row) -> Status {
+  llvm::Value* lo = b_.getInt64(0);
+  llvm::Value* hi = b_.getInt64(static_cast<int64_t>(blk->num_rows));
+  if (morsel_mode_ && op.get() == driver_leaf_) {
+    lo = begin_arg_;
+    hi = end_arg_;
+  }
+  return EmitRangeLoop(lo, hi, [&](llvm::Value* row) -> Status {
         if (oid_col != nullptr) {
           // Expose the raw OID: the Unnest operator and hybrid string reads
           // address the original file through it.
@@ -767,7 +840,7 @@ Status Codegen::EmitUnnest(const OpPtr& op, const Consume& consume) {
 
     b_.CreateCall(Helper("proteus_unnest_init", voidty,
                          {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty(), b_.getInt64Ty()}),
-                  {RtPtr(), slot_v, pp, oid, h});
+                  {CtxPtr(), slot_v, pp, oid, h});
 
     auto* cond_bb = llvm::BasicBlock::Create(*llctx_, "unnest.cond", fn_);
     auto* body_bb = llvm::BasicBlock::Create(*llctx_, "unnest.body", fn_);
@@ -776,7 +849,7 @@ Status Codegen::EmitUnnest(const OpPtr& op, const Consume& consume) {
     b_.SetInsertPoint(cond_bb);
     llvm::Value* has =
         b_.CreateCall(Helper("proteus_unnest_has_next", b_.getInt32Ty(), {i8p, b_.getInt32Ty()}),
-                      {RtPtr(), slot_v});
+                      {CtxPtr(), slot_v});
     b_.CreateCondBr(b_.CreateICmpNE(has, b_.getInt32(0)), body_bb, exit_bb);
     b_.SetInsertPoint(body_bb);
 
@@ -807,22 +880,22 @@ Status Codegen::EmitUnnest(const OpPtr& op, const Consume& consume) {
       if (kind == TypeKind::kInt64) {
         cv.v = b_.CreateCall(Helper("proteus_unnest_elem_int", b_.getInt64Ty(),
                                     {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty()}),
-                             {RtPtr(), slot_v, name, name_len});
+                             {CtxPtr(), slot_v, name, name_len});
       } else if (kind == TypeKind::kFloat64) {
         cv.v = b_.CreateCall(Helper("proteus_unnest_elem_double", b_.getDoubleTy(),
                                     {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty()}),
-                             {RtPtr(), slot_v, name, name_len});
+                             {CtxPtr(), slot_v, name, name_len});
       } else if (kind == TypeKind::kBool) {
         llvm::Value* i = b_.CreateCall(Helper("proteus_unnest_elem_int", b_.getInt64Ty(),
                                               {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty()}),
-                                       {RtPtr(), slot_v, name, name_len});
+                                       {CtxPtr(), slot_v, name, name_len});
         cv.v = b_.CreateICmpNE(i, b_.getInt64(0));
       } else {
         llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
         cv.v = b_.CreateCall(Helper("proteus_unnest_elem_str", i8p,
                                     {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty(),
                                      b_.getInt64Ty()->getPointerTo()}),
-                             {RtPtr(), slot_v, name, name_len, len_ptr});
+                             {CtxPtr(), slot_v, name, name_len, len_ptr});
         cv.len = b_.CreateLoad(b_.getInt64Ty(), len_ptr);
       }
       bindings_[Key(elem_var, ep)] = cv;
@@ -831,7 +904,7 @@ Status Codegen::EmitUnnest(const OpPtr& op, const Consume& consume) {
     PROTEUS_RETURN_NOT_OK(EmitFilter(op->pred(), consume));
 
     b_.CreateCall(Helper("proteus_unnest_advance", voidty, {i8p, b_.getInt32Ty()}),
-                  {RtPtr(), slot_v});
+                  {CtxPtr(), slot_v});
     b_.CreateBr(cond_bb);
     b_.SetInsertPoint(exit_bb);
     return Status::OK();
@@ -842,23 +915,15 @@ Status Codegen::EmitUnnest(const OpPtr& op, const Consume& consume) {
 // Join
 // ---------------------------------------------------------------------------
 
-namespace {
-
-/// Lists (var, path, kind) of every binding the build side provides that the
-/// plan needs above the join: those become the packed payload.
-struct PayloadField {
-  std::string var;
-  FieldPath path;
-  TypeKind kind;
-  uint32_t slot;  // first slot index; strings take two
-};
-
-}  // namespace
-
 Status Codegen::EmitJoin(const OpPtr& op, const Consume& consume) {
+  PROTEUS_RETURN_NOT_OK(EmitJoinBuild(*op));
+  return EmitJoinProbe(*op, consume);
+}
+
+Status Codegen::EmitJoinBuild(const Operator& op) {
   // Determine the build-side payload: all needed paths of build-side vars.
   std::vector<std::string> build_vars;
-  CollectBoundVars(op->child(0), &build_vars);
+  CollectBoundVars(op.child(0), &build_vars);
   std::vector<PayloadField> payload;
   uint32_t slots = 0;
   for (const auto& var : build_vars) {
@@ -877,14 +942,15 @@ Status Codegen::EmitJoin(const OpPtr& op, const Consume& consume) {
   }
   if (slots == 0) slots = 1;  // keep payload pointers distinguishable from null
   uint32_t table = rt_->AddJoin(slots);
+  join_ids_[&op] = table;
+  join_payloads_[&op] = payload;
   auto* i8p = b_.getInt8PtrTy();
   auto* i64p = b_.getInt64Ty()->getPointerTo();
   llvm::Value* table_v = b_.getInt32(table);
 
-  // ---- build pipeline ----
   llvm::Value* pay_buf = b_.CreateAlloca(b_.getInt64Ty(), b_.getInt32(slots), "payload");
-  PROTEUS_RETURN_NOT_OK(EmitProduce(op->child(0), [&]() -> Status {
-    PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op->left_key()));
+  PROTEUS_RETURN_NOT_OK(EmitProduce(op.child(0), [&]() -> Status {
+    PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op.left_key()));
     if (key.kind == TypeKind::kFloat64 || key.kind == TypeKind::kString) {
       return Status::Unimplemented("jit: non-integer join key");
     }
@@ -905,19 +971,27 @@ Status Codegen::EmitJoin(const OpPtr& op, const Consume& consume) {
     }
     b_.CreateCall(Helper("proteus_join_insert", b_.getVoidTy(),
                          {i8p, b_.getInt32Ty(), b_.getInt64Ty(), i64p}),
-                  {RtPtr(), table_v, key.v, pay_buf});
+                  {CtxPtr(), table_v, key.v, pay_buf});
     return Status::OK();
   }));
 
   b_.CreateCall(Helper("proteus_join_build", b_.getVoidTy(), {i8p, b_.getInt32Ty()}),
-                {RtPtr(), table_v});
+                {CtxPtr(), table_v});
+  return Status::OK();
+}
 
-  // ---- probe pipeline ----
-  return EmitProduce(op->child(1), [&]() -> Status {
-    PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op->right_key()));
+Status Codegen::EmitJoinProbe(const Operator& op, const Consume& consume) {
+  const std::vector<PayloadField>& payload = join_payloads_.at(&op);
+  uint32_t table = join_ids_.at(&op);
+  auto* i8p = b_.getInt8PtrTy();
+  auto* i64p = b_.getInt64Ty()->getPointerTo();
+  llvm::Value* table_v = b_.getInt32(table);
+
+  return EmitProduce(op.child(1), [&]() -> Status {
+    PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op.right_key()));
     llvm::Value* first = b_.CreateCall(
         Helper("proteus_join_probe_first", i64p, {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
-        {RtPtr(), table_v, key.v});
+        {CtxPtr(), table_v, key.v});
 
     llvm::Value* match_ptr = b_.CreateAlloca(i64p, nullptr, "match");
     b_.CreateStore(first, match_ptr);
@@ -951,11 +1025,11 @@ Status Codegen::EmitJoin(const OpPtr& op, const Consume& consume) {
     }
 
     // Residual predicate (the equi-conjunct re-evaluates to true).
-    PROTEUS_RETURN_NOT_OK(EmitFilter(op->pred(), consume));
+    PROTEUS_RETURN_NOT_OK(EmitFilter(op.pred(), consume));
 
     llvm::Value* next =
         b_.CreateCall(Helper("proteus_join_probe_next", i64p, {i8p, b_.getInt32Ty()}),
-                      {RtPtr(), table_v});
+                      {CtxPtr(), table_v});
     b_.CreateStore(next, match_ptr);
     b_.CreateBr(cond_bb);
     b_.SetInsertPoint(exit_bb);
@@ -1017,14 +1091,14 @@ Status Codegen::EmitNest(const OpPtr& op, const Consume& consume) {
       if (string_keys) {
         slots = b_.CreateCall(Helper("proteus_group_upsert_str", i64p,
                                      {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty()}),
-                              {RtPtr(), table_v, key.v, key.len});
+                              {CtxPtr(), table_v, key.v, key.len});
       } else {
         llvm::Value* k64 = key.kind == TypeKind::kBool
                                ? b_.CreateZExt(key.v, b_.getInt64Ty())
                                : key.v;
         slots = b_.CreateCall(Helper("proteus_group_upsert", i64p,
                                      {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
-                              {RtPtr(), table_v, k64});
+                              {CtxPtr(), table_v, k64});
       }
       for (size_t i = 0; i < op->outputs().size(); ++i) {
         const AggOutput& o = op->outputs()[i];
@@ -1069,7 +1143,7 @@ Status Codegen::EmitNest(const OpPtr& op, const Consume& consume) {
   // ---- group emission pipeline ----
   llvm::Value* count = b_.CreateCall(
       Helper("proteus_group_count", b_.getInt64Ty(), {i8p, b_.getInt32Ty()}),
-      {RtPtr(), table_v});
+      {CtxPtr(), table_v});
   std::string gvar = op->binding().empty() ? "$group" : op->binding();
   return EmitCountedLoop(count, [&](llvm::Value* g) -> Status {
     CgValue keyv;
@@ -1079,20 +1153,20 @@ Status Codegen::EmitNest(const OpPtr& op, const Consume& consume) {
       keyv.v = b_.CreateCall(Helper("proteus_group_key_str", i8p,
                                     {i8p, b_.getInt32Ty(), b_.getInt64Ty(),
                                      b_.getInt64Ty()->getPointerTo()}),
-                             {RtPtr(), table_v, g, len_ptr});
+                             {CtxPtr(), table_v, g, len_ptr});
       keyv.len = b_.CreateLoad(b_.getInt64Ty(), len_ptr);
     } else {
       keyv.kind = key_kind == TypeKind::kBool ? TypeKind::kBool : TypeKind::kInt64;
       llvm::Value* raw = b_.CreateCall(Helper("proteus_group_key", b_.getInt64Ty(),
                                               {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
-                                       {RtPtr(), table_v, g});
+                                       {CtxPtr(), table_v, g});
       keyv.v = key_kind == TypeKind::kBool ? b_.CreateICmpNE(raw, b_.getInt64(0)) : raw;
     }
     bindings_[Key(gvar, {op->group_name()})] = keyv;
 
     llvm::Value* slots = b_.CreateCall(
         Helper("proteus_group_slots", i64p, {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
-        {RtPtr(), table_v, g});
+        {CtxPtr(), table_v, g});
     for (size_t i = 0; i < op->outputs().size(); ++i) {
       const AggOutput& o = op->outputs()[i];
       llvm::Value* raw = b_.CreateLoad(
@@ -1126,6 +1200,11 @@ Status Codegen::EmitProduce(const OpPtr& op, const Consume& consume) {
     case OpKind::kUnnest:
       return EmitUnnest(op, consume);
     case OpKind::kJoin:
+      // Chain joins of a morsel pipeline built their tables once in
+      // proteus_build; the pipeline function only probes them.
+      if (morsel_mode_ && chain_joins_.count(op.get()) != 0) {
+        return EmitJoinProbe(*op, consume);
+      }
       return EmitJoin(op, consume);
     case OpKind::kNest:
       return EmitNest(op, consume);
@@ -1136,52 +1215,76 @@ Status Codegen::EmitProduce(const OpPtr& op, const Consume& consume) {
 }
 
 Status Codegen::EmitRoot(const OpPtr& reduce) {
-  const auto& outputs = reduce->outputs();
-  auto* i8p = b_.getInt8PtrTy();
+  return EmitReduceRoot(reduce, /*to_sink=*/false);
+}
 
+/// Dispatches the Reduce root to its bag or scalar emitter — the one home of
+/// the collection-root eligibility rule, shared by both codegen modes.
+Status Codegen::EmitReduceRoot(const OpPtr& reduce, bool to_sink) {
+  const auto& outputs = reduce->outputs();
   bool is_bag = outputs.size() == 1 && IsCollectionMonoid(outputs[0].monoid);
   if (is_bag && outputs[0].monoid == Monoid::kSet) {
-    // Set semantics require deduplication of boxed rows: interpreter path.
+    // Set semantics require deduplication of boxed rows (global across
+    // morsels in morsel mode): interpreter path.
     return Status::Unimplemented("jit: set monoid output");
   }
-  if (is_bag) {
-    const ExprPtr& head = outputs[0].expr;
-    std::vector<ExprPtr> cols;
-    if (head->kind() == ExprKind::kRecordCons) {
-      result_columns_ = head->record_names();
-      cols = head->children();
-    } else {
-      result_columns_ = {outputs[0].name};
-      cols = {head};
-    }
-    auto emit_row = [&]() -> Status {
-      for (const auto& c : cols) {
-        PROTEUS_ASSIGN_OR_RETURN(CgValue v, EmitExpr(c));
-        if (v.kind == TypeKind::kInt64) {
-          b_.CreateCall(Helper("proteus_result_emit_int", b_.getVoidTy(), {i8p, b_.getInt64Ty()}),
-                        {RtPtr(), v.v});
-        } else if (v.kind == TypeKind::kFloat64) {
-          b_.CreateCall(
-              Helper("proteus_result_emit_double", b_.getVoidTy(), {i8p, b_.getDoubleTy()}),
-              {RtPtr(), v.v});
-        } else if (v.kind == TypeKind::kBool) {
-          b_.CreateCall(
-              Helper("proteus_result_emit_bool", b_.getVoidTy(), {i8p, b_.getInt32Ty()}),
-              {RtPtr(), b_.CreateZExt(v.v, b_.getInt32Ty())});
-        } else {
-          b_.CreateCall(Helper("proteus_result_emit_str", b_.getVoidTy(),
-                               {i8p, i8p, b_.getInt64Ty()}),
-                        {RtPtr(), v.v, v.len});
-        }
-      }
-      b_.CreateCall(Helper("proteus_result_end_row", b_.getVoidTy(), {i8p}), {RtPtr()});
-      return Status::OK();
-    };
-    return EmitProduce(reduce->child(0),
-                       [&]() { return EmitFilter(reduce->pred(), emit_row); });
-  }
+  if (is_bag) return EmitBagReduce(reduce, to_sink);
+  return EmitScalarReduce(reduce, to_sink);
+}
 
-  // Scalar aggregates: accumulators live in allocas (promoted to registers).
+/// Collection-monoid root. `to_sink` picks the destination of emitted rows:
+/// the per-morsel JitMorselSink (morsel pipelines) or the runtime's result
+/// builder (legacy single call) — same cell values either way.
+Status Codegen::EmitBagReduce(const OpPtr& reduce, bool to_sink) {
+  const auto& outputs = reduce->outputs();
+  auto* i8p = b_.getInt8PtrTy();
+  const ExprPtr& head = outputs[0].expr;
+  std::vector<ExprPtr> cols;
+  if (head->kind() == ExprKind::kRecordCons) {
+    result_columns_ = head->record_names();
+    row_records_ = true;
+    cols = head->children();
+  } else {
+    result_columns_ = {outputs[0].name};
+    cols = {head};
+  }
+  llvm::Value* dst = to_sink ? SinkPtr() : CtxPtr();
+  const char* f_int = to_sink ? "proteus_sink_emit_int" : "proteus_result_emit_int";
+  const char* f_double = to_sink ? "proteus_sink_emit_double" : "proteus_result_emit_double";
+  const char* f_bool = to_sink ? "proteus_sink_emit_bool" : "proteus_result_emit_bool";
+  const char* f_str = to_sink ? "proteus_sink_emit_str" : "proteus_result_emit_str";
+  const char* f_end = to_sink ? "proteus_sink_emit_end" : "proteus_result_end_row";
+  auto emit_row = [&]() -> Status {
+    for (const auto& c : cols) {
+      PROTEUS_ASSIGN_OR_RETURN(CgValue v, EmitExpr(c));
+      if (v.kind == TypeKind::kInt64) {
+        b_.CreateCall(Helper(f_int, b_.getVoidTy(), {i8p, b_.getInt64Ty()}), {dst, v.v});
+      } else if (v.kind == TypeKind::kFloat64) {
+        b_.CreateCall(Helper(f_double, b_.getVoidTy(), {i8p, b_.getDoubleTy()}), {dst, v.v});
+      } else if (v.kind == TypeKind::kBool) {
+        b_.CreateCall(Helper(f_bool, b_.getVoidTy(), {i8p, b_.getInt32Ty()}),
+                      {dst, b_.CreateZExt(v.v, b_.getInt32Ty())});
+      } else {
+        b_.CreateCall(Helper(f_str, b_.getVoidTy(), {i8p, i8p, b_.getInt64Ty()}),
+                      {dst, v.v, v.len});
+      }
+    }
+    b_.CreateCall(Helper(f_end, b_.getVoidTy(), {i8p}), {dst});
+    return Status::OK();
+  };
+  return EmitProduce(reduce->child(0),
+                     [&]() { return EmitFilter(reduce->pred(), emit_row); });
+}
+
+/// Scalar-aggregate root. Accumulators live in allocas (promoted to
+/// registers); the per-tuple fold is identical in both modes. `to_sink`
+/// changes only what happens after the loop: the legacy path emits the one
+/// result row, the morsel path flushes each register into this morsel's
+/// Aggregator partial (with the contributing row count, so empty morsels
+/// leave their partial in the same empty state an interpreter partial has).
+Status Codegen::EmitScalarReduce(const OpPtr& reduce, bool to_sink) {
+  const auto& outputs = reduce->outputs();
+  auto* i8p = b_.getInt8PtrTy();
   struct Acc {
     llvm::Value* ptr;
     TypeKind kind;
@@ -1224,8 +1327,20 @@ Status Codegen::EmitRoot(const OpPtr& reduce) {
     accs.push_back({ptr, k, o.monoid});
     result_columns_.push_back(o.name);
   }
+  // Contributing-row counter: the flush must leave an empty morsel's
+  // Aggregator partial untouched (its empty state, not a zero value, is what
+  // merges as the identity — exactly like an interpreter partial).
+  llvm::Value* rows_ptr = nullptr;
+  if (to_sink) {
+    rows_ptr = b_.CreateAlloca(b_.getInt64Ty(), nullptr, "rows");
+    b_.CreateStore(b_.getInt64(0), rows_ptr);
+  }
 
   auto update = [&]() -> Status {
+    if (rows_ptr != nullptr) {
+      b_.CreateStore(b_.CreateAdd(b_.CreateLoad(b_.getInt64Ty(), rows_ptr), b_.getInt64(1)),
+                     rows_ptr);
+    }
     for (size_t i = 0; i < outputs.size(); ++i) {
       const AggOutput& o = outputs[i];
       const Acc& a = accs[i];
@@ -1267,24 +1382,146 @@ Status Codegen::EmitRoot(const OpPtr& reduce) {
   PROTEUS_RETURN_NOT_OK(EmitProduce(reduce->child(0),
                                     [&]() { return EmitFilter(reduce->pred(), update); }));
 
+  if (to_sink) {
+    // Flush each register accumulator into this morsel's Aggregator partial.
+    llvm::Value* rows = b_.CreateLoad(b_.getInt64Ty(), rows_ptr);
+    for (size_t i = 0; i < accs.size(); ++i) {
+      const Acc& a = accs[i];
+      llvm::Value* idx = b_.getInt32(static_cast<uint32_t>(i));
+      if (a.kind == TypeKind::kFloat64) {
+        llvm::Value* v = b_.CreateLoad(b_.getDoubleTy(), a.ptr);
+        b_.CreateCall(Helper("proteus_sink_agg_flush_double", b_.getVoidTy(),
+                             {i8p, b_.getInt32Ty(), b_.getDoubleTy(), b_.getInt64Ty()}),
+                      {SinkPtr(), idx, v, rows});
+      } else if (a.kind == TypeKind::kBool) {
+        llvm::Value* v = b_.CreateLoad(b_.getInt1Ty(), a.ptr);
+        b_.CreateCall(Helper("proteus_sink_agg_flush_bool", b_.getVoidTy(),
+                             {i8p, b_.getInt32Ty(), b_.getInt32Ty(), b_.getInt64Ty()}),
+                      {SinkPtr(), idx, b_.CreateZExt(v, b_.getInt32Ty()), rows});
+      } else {
+        llvm::Value* v = b_.CreateLoad(b_.getInt64Ty(), a.ptr);
+        b_.CreateCall(Helper("proteus_sink_agg_flush_int", b_.getVoidTy(),
+                             {i8p, b_.getInt32Ty(), b_.getInt64Ty(), b_.getInt64Ty()}),
+                      {SinkPtr(), idx, v, rows});
+      }
+    }
+    return Status::OK();
+  }
+
   // Emit the single result row.
   for (const Acc& a : accs) {
     if (a.kind == TypeKind::kFloat64) {
       llvm::Value* v = b_.CreateLoad(b_.getDoubleTy(), a.ptr);
       b_.CreateCall(Helper("proteus_result_emit_double", b_.getVoidTy(), {i8p, b_.getDoubleTy()}),
-                    {RtPtr(), v});
+                    {CtxPtr(), v});
     } else if (a.kind == TypeKind::kBool) {
       llvm::Value* v = b_.CreateLoad(b_.getInt1Ty(), a.ptr);
       b_.CreateCall(Helper("proteus_result_emit_bool", b_.getVoidTy(), {i8p, b_.getInt32Ty()}),
-                    {RtPtr(), b_.CreateZExt(v, b_.getInt32Ty())});
+                    {CtxPtr(), b_.CreateZExt(v, b_.getInt32Ty())});
     } else {
       llvm::Value* v = b_.CreateLoad(b_.getInt64Ty(), a.ptr);
       b_.CreateCall(Helper("proteus_result_emit_int", b_.getVoidTy(), {i8p, b_.getInt64Ty()}),
-                    {RtPtr(), v});
+                    {CtxPtr(), v});
     }
   }
-  b_.CreateCall(Helper("proteus_result_end_row", b_.getVoidTy(), {i8p}), {RtPtr()});
+  b_.CreateCall(Helper("proteus_result_end_row", b_.getVoidTy(), {i8p}), {CtxPtr()});
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-mode roots
+// ---------------------------------------------------------------------------
+
+Status Codegen::EmitMorselRoot(const OpPtr& reduce, const Operator* nest) {
+  if (nest != nullptr) return EmitNestMorsel(*nest);
+  return EmitReduceRoot(reduce, /*to_sink=*/true);
+}
+
+/// Nest directly under the root: per-row group upsert into this morsel's
+/// GroupTable partial through the sink entry points. The merged groups
+/// stream through the Reduce root in FinalizePlanPartials — the same code
+/// the interpreter's parallel path runs — so group order and aggregate bits
+/// match it exactly.
+Status Codegen::EmitNestMorsel(const Operator& op) {
+  auto* i8p = b_.getInt8PtrTy();
+  if (!op.group_by()->type()) return Status::Internal("jit: un-typechecked group key");
+  TypeKind key_kind = op.group_by()->type()->kind();
+  if (key_kind == TypeKind::kFloat64) {
+    return Status::Unimplemented("jit: float group keys");
+  }
+  for (const auto& o : op.outputs()) {
+    if (o.monoid != Monoid::kCount && !o.expr->type()) {
+      return Status::Internal("jit: un-typechecked nest output");
+    }
+  }
+
+  Consume update = [&]() -> Status {
+    PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op.group_by()));
+    if (key.kind == TypeKind::kString) {
+      b_.CreateCall(Helper("proteus_sink_group_begin_str", b_.getVoidTy(),
+                           {i8p, i8p, b_.getInt64Ty()}),
+                    {SinkPtr(), key.v, key.len});
+    } else if (key.kind == TypeKind::kBool) {
+      b_.CreateCall(Helper("proteus_sink_group_begin_bool", b_.getVoidTy(),
+                           {i8p, b_.getInt32Ty()}),
+                    {SinkPtr(), b_.CreateZExt(key.v, b_.getInt32Ty())});
+    } else {
+      b_.CreateCall(Helper("proteus_sink_group_begin_int", b_.getVoidTy(),
+                           {i8p, b_.getInt64Ty()}),
+                    {SinkPtr(), key.v});
+    }
+    for (size_t i = 0; i < op.outputs().size(); ++i) {
+      const AggOutput& o = op.outputs()[i];
+      llvm::Value* idx = b_.getInt32(static_cast<uint32_t>(i));
+      if (o.monoid == Monoid::kCount) {
+        b_.CreateCall(Helper("proteus_sink_group_agg_count", b_.getVoidTy(),
+                             {i8p, b_.getInt32Ty()}),
+                      {SinkPtr(), idx});
+        continue;
+      }
+      PROTEUS_ASSIGN_OR_RETURN(CgValue v, EmitExpr(o.expr));
+      // Dispatch on the emitted kind so the boxed value the sink Add()s has
+      // the same Value kind the interpreter's Eval() would produce.
+      if (v.kind == TypeKind::kFloat64) {
+        b_.CreateCall(Helper("proteus_sink_group_agg_double", b_.getVoidTy(),
+                             {i8p, b_.getInt32Ty(), b_.getDoubleTy()}),
+                      {SinkPtr(), idx, v.v});
+      } else if (v.kind == TypeKind::kBool) {
+        b_.CreateCall(Helper("proteus_sink_group_agg_bool", b_.getVoidTy(),
+                             {i8p, b_.getInt32Ty(), b_.getInt32Ty()}),
+                      {SinkPtr(), idx, b_.CreateZExt(v.v, b_.getInt32Ty())});
+      } else if (v.kind == TypeKind::kString) {
+        b_.CreateCall(Helper("proteus_sink_group_agg_str", b_.getVoidTy(),
+                             {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty()}),
+                      {SinkPtr(), idx, v.v, v.len});
+      } else {
+        b_.CreateCall(Helper("proteus_sink_group_agg_int", b_.getVoidTy(),
+                             {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
+                      {SinkPtr(), idx, v.v});
+      }
+    }
+    return Status::OK();
+  };
+  return EmitProduce(op.child(0), [&]() { return EmitFilter(op.pred(), update); });
+}
+
+// ---------------------------------------------------------------------------
+// Compilation entry points
+// ---------------------------------------------------------------------------
+
+llvm::Function* Codegen::OpenFunction(const char* name, uint32_t ptr_args, uint32_t int_args) {
+  std::vector<llvm::Type*> params;
+  for (uint32_t i = 0; i < ptr_args; ++i) params.push_back(b_.getInt8PtrTy());
+  for (uint32_t i = 0; i < int_args; ++i) params.push_back(b_.getInt64Ty());
+  auto* fty = llvm::FunctionType::get(b_.getVoidTy(), params, false);
+  fn_ = llvm::Function::Create(fty, llvm::Function::ExternalLinkage, name, module_.get());
+  ctx_arg_ = fn_->getArg(0);
+  auto* entry = llvm::BasicBlock::Create(*llctx_, "entry", fn_);
+  b_.SetInsertPoint(entry);
+  // Per-function emission state: virtual buffers never cross functions.
+  bindings_.clear();
+  oids_.clear();
+  return fn_;
 }
 
 Status Codegen::Compile(const OpPtr& plan) {
@@ -1294,13 +1531,7 @@ Status Codegen::Compile(const OpPtr& plan) {
   PROTEUS_RETURN_NOT_OK(CheckSupported(plan));
   PROTEUS_RETURN_NOT_OK(Prepare(plan));
 
-  auto* fty = llvm::FunctionType::get(b_.getVoidTy(), {b_.getInt8PtrTy()}, false);
-  fn_ = llvm::Function::Create(fty, llvm::Function::ExternalLinkage, "proteus_query",
-                               module_.get());
-  rt_arg_ = fn_->getArg(0);
-  auto* entry = llvm::BasicBlock::Create(*llctx_, "entry", fn_);
-  b_.SetInsertPoint(entry);
-
+  OpenFunction("proteus_query", /*ptr_args=*/1, /*int_args=*/0);
   PROTEUS_RETURN_NOT_OK(EmitRoot(plan));
   b_.CreateRetVoid();
 
@@ -1313,21 +1544,74 @@ Status Codegen::Compile(const OpPtr& plan) {
   return Status::OK();
 }
 
-}  // namespace
+Status Codegen::CompileMorsel(const OpPtr& plan, const MorselPipeline& pipe) {
+  if (plan->kind() != OpKind::kReduce) {
+    return Status::InvalidArgument("jit: plan root must be Reduce");
+  }
+  PROTEUS_RETURN_NOT_OK(CheckSupported(plan));
+  morsel_mode_ = true;
+  driver_leaf_ = pipe.leaf;
+  chain_joins_.insert(pipe.joins.begin(), pipe.joins.end());
+  PROTEUS_RETURN_NOT_OK(Prepare(plan));
 
-// ---------------------------------------------------------------------------
-// JitExecutor
-// ---------------------------------------------------------------------------
+  const OpPtr& top = plan->child(0);
+  const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
 
-Result<QueryResult> JitExecutor::Execute(const OpPtr& plan) {
+  // proteus_build(ctx): chain join build sides, each a whole-relation
+  // pipeline run exactly once before the morsel fan-out. Build subtrees may
+  // themselves contain joins or nests — they emit fully in here.
+  OpenFunction("proteus_build", /*ptr_args=*/1, /*int_args=*/0);
+  for (const Operator* j : pipe.joins) {
+    PROTEUS_RETURN_NOT_OK(EmitJoinBuild(*j));
+  }
+  b_.CreateRetVoid();
+
+  // proteus_pipeline(ctx, sink, begin, end): the driver chain over one
+  // morsel's range, feeding the morsel's partial sink.
+  OpenFunction("proteus_pipeline", /*ptr_args=*/2, /*int_args=*/2);
+  sink_arg_ = fn_->getArg(1);
+  begin_arg_ = fn_->getArg(2);
+  end_arg_ = fn_->getArg(3);
+  PROTEUS_RETURN_NOT_OK(EmitMorselRoot(plan, nest));
+  b_.CreateRetVoid();
+
+  std::string err;
+  llvm::raw_string_ostream os(err);
+  if (llvm::verifyModule(*module_, &os)) {
+    return Status::Internal("jit: invalid IR generated: " + os.str() +
+                            (std::getenv("PROTEUS_DUMP_BAD_IR") ? "\n" + DumpIR() : ""));
+  }
+  return Status::OK();
+}
+
+/// A compiled-and-linked query: the LLJIT instance owning the machine code
+/// plus the resolved entry points and codegen metadata.
+struct CompiledQuery {
+  std::unique_ptr<llvm::orc::LLJIT> jit;
+  std::vector<std::string> columns;
+  bool row_records = false;
+  std::string ir;
+  void (*query_fn)(void*) = nullptr;                              // legacy mode
+  void (*build_fn)(void*) = nullptr;                              // morsel mode
+  void (*pipeline_fn)(void*, void*, uint64_t, uint64_t) = nullptr;  // morsel mode
+};
+
+/// Generates, optimizes, and links `plan`. With `pipe`, compiles in morsel
+/// mode (proteus_build + proteus_pipeline); without, legacy whole-relation
+/// mode (proteus_query).
+Result<CompiledQuery> CompileAndLink(const ExecContext& ctx, QueryRuntime* rt,
+                                     const OpPtr& plan, const MorselPipeline* pipe) {
   InitLLVMOnce();
-  auto t0 = std::chrono::steady_clock::now();
-
-  QueryRuntime rt;
-  Codegen cg(ctx_, &rt);
-  PROTEUS_RETURN_NOT_OK(cg.Compile(plan));
-  last_ir_ = cg.DumpIR();
-  std::vector<std::string> columns = cg.result_columns();
+  Codegen cg(ctx, rt);
+  if (pipe != nullptr) {
+    PROTEUS_RETURN_NOT_OK(cg.CompileMorsel(plan, *pipe));
+  } else {
+    PROTEUS_RETURN_NOT_OK(cg.Compile(plan));
+  }
+  CompiledQuery out;
+  out.ir = cg.DumpIR();
+  out.columns = cg.result_columns();
+  out.row_records = cg.row_records();
 
   auto module = cg.TakeModule();
   auto llctx = cg.TakeContext();
@@ -1354,36 +1638,169 @@ Result<QueryResult> JitExecutor::Execute(const OpPtr& plan) {
     return Status::Internal("jit: LLJIT creation failed: " +
                             llvm::toString(jit_or.takeError()));
   }
-  auto jit = std::move(*jit_or);
+  out.jit = std::move(*jit_or);
 
   llvm::orc::SymbolMap symbols;
   for (const auto& [name, addr] : jit::RuntimeSymbols()) {
-    symbols[jit->mangleAndIntern(name)] = llvm::JITEvaluatedSymbol(
+    symbols[out.jit->mangleAndIntern(name)] = llvm::JITEvaluatedSymbol(
         llvm::pointerToJITTargetAddress(addr),
         llvm::JITSymbolFlags::Exported | llvm::JITSymbolFlags::Callable);
   }
-  if (auto err = jit->getMainJITDylib().define(llvm::orc::absoluteSymbols(symbols))) {
+  if (auto err = out.jit->getMainJITDylib().define(llvm::orc::absoluteSymbols(symbols))) {
     return Status::Internal("jit: symbol registration failed: " +
                             llvm::toString(std::move(err)));
   }
-  if (auto err = jit->addIRModule(
+  if (auto err = out.jit->addIRModule(
           llvm::orc::ThreadSafeModule(std::move(module), std::move(llctx)))) {
     return Status::Internal("jit: addIRModule failed: " + llvm::toString(std::move(err)));
   }
-  auto sym = jit->lookup("proteus_query");
-  if (!sym) {
-    return Status::Internal("jit: lookup failed: " + llvm::toString(sym.takeError()));
+  auto lookup = [&](const char* name) -> Result<void*> {
+    auto sym = out.jit->lookup(name);
+    if (!sym) {
+      return Status::Internal("jit: lookup failed: " + llvm::toString(sym.takeError()));
+    }
+    return reinterpret_cast<void*>(sym->getAddress());
+  };
+  if (pipe != nullptr) {
+    PROTEUS_ASSIGN_OR_RETURN(void* b, lookup("proteus_build"));
+    PROTEUS_ASSIGN_OR_RETURN(void* p, lookup("proteus_pipeline"));
+    out.build_fn = reinterpret_cast<void (*)(void*)>(b);
+    out.pipeline_fn = reinterpret_cast<void (*)(void*, void*, uint64_t, uint64_t)>(p);
+  } else {
+    PROTEUS_ASSIGN_OR_RETURN(void* q, lookup("proteus_query"));
+    out.query_fn = reinterpret_cast<void (*)(void*)>(q);
   }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JitExecutor
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> JitExecutor::Execute(const OpPtr& plan) {
+  auto t0 = std::chrono::steady_clock::now();
+
+  jit::QueryRuntime rt;
+  rt.scheduler = ctx_.scheduler;
+  PROTEUS_ASSIGN_OR_RETURN(CompiledQuery cq, CompileAndLink(ctx_, &rt, plan, nullptr));
+  last_ir_ = cq.ir;
   last_compile_ms_ = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
 
-  auto* entry = reinterpret_cast<void (*)(void*)>(sym->getAddress());
-  entry(&rt);
+  jit::MorselCtx mc(&rt);
+  cq.query_fn(&mc);
   if (rt.failed) return Status::Internal("jit runtime: " + rt.error);
 
-  rt.result.columns = std::move(columns);
+  rt.result.columns = std::move(cq.columns);
   return std::move(rt.result);
+}
+
+Result<PlanPartials> JitExecutor::RunMorselPipelines(
+    const OpPtr& plan, uint64_t morsel_begin, uint64_t morsel_end, bool whole_plan,
+    InterpExecutor::ExecStats* stats) {
+  if (plan->kind() != OpKind::kReduce) {
+    return Status::InvalidArgument("jit: plan root must be Reduce");
+  }
+  const OpPtr& top = plan->child(0);
+  const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
+  const OpPtr& pipe_root = nest != nullptr ? top->child(0) : top;
+  MorselPipeline pipe;
+  if (!CollectMorselPipeline(pipe_root, &pipe)) {
+    return Status::Unimplemented("jit: plan is not morsel-parallelizable");
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  jit::QueryRuntime rt;
+  rt.scheduler = ctx_.scheduler;
+  PROTEUS_ASSIGN_OR_RETURN(CompiledQuery cq, CompileAndLink(ctx_, &rt, plan, &pipe));
+  last_ir_ = cq.ir;
+  last_compile_ms_ = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+  // Shared join builds run once (their radix tables build through the
+  // parallel RadixTable::Build path via rt.scheduler), then freeze.
+  jit::MorselCtx build_ctx(&rt);
+  cq.build_fn(&build_ctx);
+  if (rt.failed) return Status::Internal("jit runtime: " + rt.error);
+
+  // The global morsel decomposition — the exact frame the interpreter and
+  // the shard coordinator use, so every engine agrees on partial boundaries.
+  PROTEUS_ASSIGN_OR_RETURN(std::vector<ScanRange> all, SplitLeafMorsels(ctx_, *pipe.leaf));
+  if (whole_plan) {
+    morsel_begin = 0;
+    morsel_end = all.size();
+  } else if (morsel_begin > morsel_end || morsel_end > all.size()) {
+    return Status::InvalidArgument("jit morsel range [" + std::to_string(morsel_begin) +
+                                   ", " + std::to_string(morsel_end) + ") out of bounds for " +
+                                   std::to_string(all.size()) + " morsels");
+  }
+  const std::vector<ScanRange> morsels(all.begin() + morsel_begin, all.begin() + morsel_end);
+  const size_t n = morsels.size();
+
+  // One partial sink per morsel; workers write disjoint slots, so the fan-out
+  // needs no locking and the merge below is deterministic in morsel order.
+  PlanPartials partials;
+  partials.nest = nest != nullptr;
+  std::vector<JitMorselSink> sinks(n);
+  if (nest != nullptr) {
+    partials.group_morsels.resize(n);
+    for (size_t m = 0; m < n; ++m) {
+      partials.group_morsels[m].count_bytes = false;
+      sinks[m].groups = &partials.group_morsels[m];
+      sinks[m].nest = nest;
+    }
+  } else {
+    partials.agg_morsels.reserve(n);
+    for (size_t m = 0; m < n; ++m) partials.agg_morsels.push_back(MakeReduceAggs(*plan));
+    for (size_t m = 0; m < n; ++m) {
+      sinks[m].aggs = &partials.agg_morsels[m];
+      sinks[m].columns = &cq.columns;
+      sinks[m].row_records = cq.row_records;
+    }
+  }
+
+  // One reusable ctx per worker, not per morsel: unnest cursors and probe
+  // iterators are (re)initialized by the generated code before every use,
+  // so reuse is race-free and skips 2 vector allocations per morsel.
+  const int workers = ctx_.scheduler != nullptr ? ctx_.scheduler->num_threads() : 1;
+  std::vector<jit::MorselCtx> ctxs(static_cast<size_t>(workers), jit::MorselCtx(&rt));
+  auto run_one = [&](uint64_t m, int worker) {
+    cq.pipeline_fn(&ctxs[worker], &sinks[m], morsels[m].begin, morsels[m].end);
+  };
+  if (ctx_.scheduler != nullptr) {
+    PROTEUS_RETURN_NOT_OK(ctx_.scheduler->ParallelFor(n, [&](uint64_t m, int worker) -> Status {
+      run_one(m, worker);
+      return Status::OK();
+    }));
+  } else {
+    for (uint64_t m = 0; m < n; ++m) run_one(m, 0);
+  }
+  if (rt.failed) return Status::Internal("jit runtime: " + rt.error);
+
+  if (stats != nullptr) {
+    stats->morsels = n;
+    stats->threads_used = static_cast<int>(std::min<uint64_t>(
+        ctx_.scheduler != nullptr ? ctx_.scheduler->num_threads() : 1, std::max<size_t>(n, 1)));
+  }
+  return partials;
+}
+
+Result<QueryResult> JitExecutor::ExecuteParallel(const OpPtr& plan,
+                                                 InterpExecutor::ExecStats* stats) {
+  PROTEUS_ASSIGN_OR_RETURN(PlanPartials partials,
+                           RunMorselPipelines(plan, 0, 0, /*whole_plan=*/true, stats));
+  const OpPtr& top = plan->child(0);
+  const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
+  return FinalizePlanPartials(*plan, nest, std::move(partials));
+}
+
+Result<PlanPartials> JitExecutor::ExecutePartials(const OpPtr& plan, uint64_t morsel_begin,
+                                                  uint64_t morsel_end) {
+  return RunMorselPipelines(plan, morsel_begin, morsel_end, /*whole_plan=*/false, nullptr);
 }
 
 }  // namespace proteus

@@ -1,18 +1,29 @@
 // The on-demand query engine (paper §5.1 "An Engine per Query").
 //
-// The JitExecutor traverses a physical plan once, post-order, and emits one
-// LLVM IR function for the whole query — scans become loops, selections
-// become branches, pipelined operators fuse into their parent's loop body,
-// and blocking operators (radix-join build, nest) split the function into
-// consecutive pipelines. Field values live in virtual buffers (allocas) that
-// LLVM's mem2reg promotes to CPU registers. The IR is optimized and compiled
-// to machine code by ORC LLJIT within milliseconds, then run.
+// The JitExecutor traverses a physical plan once, post-order, and emits
+// LLVM IR — scans become loops, selections become branches, pipelined
+// operators fuse into their parent's loop body, and blocking operators
+// (radix-join build, nest) split the emission into consecutive pipelines.
+// Field values live in virtual buffers (allocas) that LLVM's mem2reg
+// promotes to CPU registers. The IR is optimized and compiled to machine
+// code by ORC LLJIT within milliseconds, then run.
+//
+// Morsel-parallelizable plans compile to *range-parameterized* pipelines:
+// proteus_build(ctx) runs shared join builds once, then the scheduler
+// drives proteus_pipeline(ctx, sink, morsel_begin, morsel_end) — one call
+// per morsel of the plug-in Split() decomposition, each feeding a private
+// partial sink (partial_sink.h) — and the partials merge in global morsel
+// order through the same fold the interpreter uses. Results are therefore
+// cell-identical for every thread count and across engines; num_threads is
+// purely a performance knob even with codegen on. Other shapes keep the
+// legacy whole-relation proteus_query(ctx) function.
 //
 // Plans using features outside the generated fast path (outer joins,
 // non-equi joins, collection monoids inside Nest, deep paths inside array
 // elements) return Unimplemented, and the QueryEngine facade transparently
-// falls back to the interpreter. The property suite asserts JIT ≡
-// interpreter on everything the JIT accepts.
+// falls back to the (morsel-parallel) interpreter. tests/test_jit_equiv.cpp
+// is the differential harness asserting JIT ≡ interpreter, cell for cell,
+// on everything the JIT accepts.
 #pragma once
 
 #include <memory>
@@ -28,8 +39,30 @@ class JitExecutor {
  public:
   explicit JitExecutor(ExecContext ctx) : ctx_(ctx) {}
 
-  /// Compiles and runs `plan` (root must be Reduce).
+  /// Compiles and runs `plan` (root must be Reduce) as one whole-relation
+  /// generated function — the legacy single-threaded path, kept for plan
+  /// shapes the morsel driver does not understand.
   Result<QueryResult> Execute(const OpPtr& plan);
+
+  /// Morsel-parallel execution: compiles the plan's pipelines with a
+  /// (morsel_begin, morsel_end) range parameter, runs shared join builds
+  /// once, drives the pipeline function over the plug-in Split() morsel
+  /// decomposition via ctx.scheduler (per-morsel partial sinks), and merges
+  /// the partials in global morsel order through FinalizePlanPartials — the
+  /// same decomposition and fold the interpreter uses, so results are
+  /// cell-identical (float bits included) for every thread count, to the
+  /// interpreter, and across engines. Used for all thread counts (1
+  /// included): one morsel frame means the thread count can never change the
+  /// fold shape. Returns Unimplemented for plans (or features) outside the
+  /// generated fast path; callers fall back to the interpreter.
+  Result<QueryResult> ExecuteParallel(const OpPtr& plan, InterpExecutor::ExecStats* stats);
+
+  /// Shard-side execution: runs only morsels [morsel_begin, morsel_end) of
+  /// the global decomposition and returns their per-morsel partial sinks —
+  /// the JIT counterpart of InterpExecutor::ExecutePartials, producing
+  /// bit-identical partials, so shards can mix engines freely.
+  Result<PlanPartials> ExecutePartials(const OpPtr& plan, uint64_t morsel_begin,
+                                       uint64_t morsel_end);
 
   /// Milliseconds spent generating + compiling IR for the last query.
   double last_compile_ms() const { return last_compile_ms_; }
@@ -37,6 +70,10 @@ class JitExecutor {
   const std::string& last_ir() const { return last_ir_; }
 
  private:
+  Result<PlanPartials> RunMorselPipelines(const OpPtr& plan, uint64_t morsel_begin,
+                                          uint64_t morsel_end, bool whole_plan,
+                                          InterpExecutor::ExecStats* stats);
+
   ExecContext ctx_;
   double last_compile_ms_ = 0;
   std::string last_ir_;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/hash.h"
+#include "src/engine/partial_sink.h"
 
 namespace proteus {
 namespace jit {
@@ -40,6 +41,29 @@ std::vector<std::pair<std::string, void*>> RuntimeSymbols() {
       {"proteus_result_end_row", reinterpret_cast<void*>(&proteus_result_end_row)},
       {"proteus_str_eq", reinterpret_cast<void*>(&proteus_str_eq)},
       {"proteus_str_lt", reinterpret_cast<void*>(&proteus_str_lt)},
+      // Per-morsel partial sinks (partial_sink.h).
+      {"proteus_sink_agg_flush_int", reinterpret_cast<void*>(&proteus_sink_agg_flush_int)},
+      {"proteus_sink_agg_flush_double",
+       reinterpret_cast<void*>(&proteus_sink_agg_flush_double)},
+      {"proteus_sink_agg_flush_bool", reinterpret_cast<void*>(&proteus_sink_agg_flush_bool)},
+      {"proteus_sink_group_begin_int",
+       reinterpret_cast<void*>(&proteus_sink_group_begin_int)},
+      {"proteus_sink_group_begin_bool",
+       reinterpret_cast<void*>(&proteus_sink_group_begin_bool)},
+      {"proteus_sink_group_begin_str",
+       reinterpret_cast<void*>(&proteus_sink_group_begin_str)},
+      {"proteus_sink_group_agg_count",
+       reinterpret_cast<void*>(&proteus_sink_group_agg_count)},
+      {"proteus_sink_group_agg_int", reinterpret_cast<void*>(&proteus_sink_group_agg_int)},
+      {"proteus_sink_group_agg_double",
+       reinterpret_cast<void*>(&proteus_sink_group_agg_double)},
+      {"proteus_sink_group_agg_bool", reinterpret_cast<void*>(&proteus_sink_group_agg_bool)},
+      {"proteus_sink_group_agg_str", reinterpret_cast<void*>(&proteus_sink_group_agg_str)},
+      {"proteus_sink_emit_int", reinterpret_cast<void*>(&proteus_sink_emit_int)},
+      {"proteus_sink_emit_double", reinterpret_cast<void*>(&proteus_sink_emit_double)},
+      {"proteus_sink_emit_bool", reinterpret_cast<void*>(&proteus_sink_emit_bool)},
+      {"proteus_sink_emit_str", reinterpret_cast<void*>(&proteus_sink_emit_str)},
+      {"proteus_sink_emit_end", reinterpret_cast<void*>(&proteus_sink_emit_end)},
   };
 }
 
@@ -58,10 +82,12 @@ using proteus::JsonToken;
 using proteus::JsonTokenType;
 using proteus::jit::GroupTableRt;
 using proteus::jit::JoinTableRt;
+using proteus::jit::MorselCtx;
 using proteus::jit::QueryRuntime;
 using proteus::jit::UnnestStateRt;
 
-QueryRuntime* RT(void* p) { return static_cast<QueryRuntime*>(p); }
+MorselCtx* CTX(void* p) { return static_cast<MorselCtx*>(p); }
+QueryRuntime* RT(void* p) { return CTX(p)->rt; }
 
 int64_t ParseIntSpan(const char* s, const char* e) {
   int64_t v = 0;
@@ -241,9 +267,9 @@ const char* proteus_json_str(const void* plugin, uint64_t oid, uint64_t path_has
   return b + t->start + 1;
 }
 
-void proteus_unnest_init(void* rt, uint32_t slot, const void* plugin, uint64_t oid,
+void proteus_unnest_init(void* ctx, uint32_t slot, const void* plugin, uint64_t oid,
                          uint64_t path_hash) {
-  UnnestStateRt& u = RT(rt)->unnests[slot];
+  UnnestStateRt& u = CTX(ctx)->unnests[slot];
   const auto* jp = static_cast<const JsonPlugin*>(plugin);
   u.plugin = jp;
   u.obj_base = jp->ObjectBase(oid);
@@ -259,36 +285,36 @@ void proteus_unnest_init(void* rt, uint32_t slot, const void* plugin, uint64_t o
   u.end = info->elem_begin + info->elem_count;
 }
 
-int32_t proteus_unnest_has_next(void* rt, uint32_t slot) {
-  UnnestStateRt& u = RT(rt)->unnests[slot];
+int32_t proteus_unnest_has_next(void* ctx, uint32_t slot) {
+  UnnestStateRt& u = CTX(ctx)->unnests[slot];
   if (u.pos >= u.end) return 0;
   u.elem_start = u.obj_base + u.elems[u.pos].start;
   u.elem_end = u.obj_base + u.elems[u.pos].end;
   return 1;
 }
 
-void proteus_unnest_advance(void* rt, uint32_t slot) { RT(rt)->unnests[slot].pos++; }
+void proteus_unnest_advance(void* ctx, uint32_t slot) { CTX(ctx)->unnests[slot].pos++; }
 
-int64_t proteus_unnest_elem_int(void* rt, uint32_t slot, const char* name, int64_t name_len) {
-  UnnestStateRt& u = RT(rt)->unnests[slot];
+int64_t proteus_unnest_elem_int(void* ctx, uint32_t slot, const char* name, int64_t name_len) {
+  UnnestStateRt& u = CTX(ctx)->unnests[slot];
   if (name_len == 0) return ParseIntSpan(u.elem_start, u.elem_end);
   const char *vs, *ve;
   if (!FindElemField(u.elem_start, u.elem_end, name, name_len, &vs, &ve)) return 0;
   return ParseIntSpan(vs, ve);
 }
 
-double proteus_unnest_elem_double(void* rt, uint32_t slot, const char* name,
+double proteus_unnest_elem_double(void* ctx, uint32_t slot, const char* name,
                                   int64_t name_len) {
-  UnnestStateRt& u = RT(rt)->unnests[slot];
+  UnnestStateRt& u = CTX(ctx)->unnests[slot];
   if (name_len == 0) return ParseDoubleSpan(u.elem_start, u.elem_end);
   const char *vs, *ve;
   if (!FindElemField(u.elem_start, u.elem_end, name, name_len, &vs, &ve)) return 0;
   return ParseDoubleSpan(vs, ve);
 }
 
-const char* proteus_unnest_elem_str(void* rt, uint32_t slot, const char* name,
+const char* proteus_unnest_elem_str(void* ctx, uint32_t slot, const char* name,
                                     int64_t name_len, int64_t* len) {
-  UnnestStateRt& u = RT(rt)->unnests[slot];
+  UnnestStateRt& u = CTX(ctx)->unnests[slot];
   const char *vs = u.elem_start, *ve = u.elem_end;
   if (name_len > 0 && !FindElemField(u.elem_start, u.elem_end, name, name_len, &vs, &ve)) {
     *len = 0;
@@ -302,81 +328,87 @@ const char* proteus_unnest_elem_str(void* rt, uint32_t slot, const char* name,
   return vs;
 }
 
-void proteus_join_insert(void* rt, uint32_t table, int64_t key, const int64_t* payload) {
-  JoinTableRt& t = *RT(rt)->joins[table];
+void proteus_join_insert(void* ctx, uint32_t table, int64_t key, const int64_t* payload) {
+  JoinTableRt& t = *RT(ctx)->joins[table];
   uint32_t row = static_cast<uint32_t>(t.keys.size());
   t.keys.push_back(key);
   t.payload.insert(t.payload.end(), payload, payload + t.slots_per_row);
   t.table.Insert(proteus::HashMix64(static_cast<uint64_t>(key)), row);
 }
 
-void proteus_join_build(void* rt, uint32_t table) { RT(rt)->joins[table]->table.Build(); }
-
-const int64_t* proteus_join_probe_first(void* rt, uint32_t table, int64_t key) {
-  JoinTableRt& t = *RT(rt)->joins[table];
-  t.matches.clear();
-  t.pos = 0;
-  t.table.Probe(proteus::HashMix64(static_cast<uint64_t>(key)), [&](uint32_t row) {
-    if (t.keys[row] == key) t.matches.push_back(row);
-  });
-  return proteus_join_probe_next(rt, table);
+void proteus_join_build(void* ctx, uint32_t table) {
+  // Parallel radix build when a scheduler is attached — byte-identical
+  // layout to the serial build, so probes see the same chain order.
+  RT(ctx)->joins[table]->table.Build(RT(ctx)->scheduler);
 }
 
-const int64_t* proteus_join_probe_next(void* rt, uint32_t table) {
-  JoinTableRt& t = *RT(rt)->joins[table];
-  if (t.pos >= t.matches.size()) return nullptr;
-  uint32_t row = t.matches[t.pos++];
+const int64_t* proteus_join_probe_first(void* ctx, uint32_t table, int64_t key) {
+  const JoinTableRt& t = *RT(ctx)->joins[table];
+  MorselCtx::ProbeState& ps = CTX(ctx)->probes[table];
+  ps.matches.clear();
+  ps.pos = 0;
+  t.table.Probe(proteus::HashMix64(static_cast<uint64_t>(key)), [&](uint32_t row) {
+    if (t.keys[row] == key) ps.matches.push_back(row);
+  });
+  return proteus_join_probe_next(ctx, table);
+}
+
+const int64_t* proteus_join_probe_next(void* ctx, uint32_t table) {
+  const JoinTableRt& t = *RT(ctx)->joins[table];
+  MorselCtx::ProbeState& ps = CTX(ctx)->probes[table];
+  if (ps.pos >= ps.matches.size()) return nullptr;
+  uint32_t row = ps.matches[ps.pos++];
   // slots_per_row == 0 would alias end-of-data with "no match"; the builder
   // always reserves at least one slot.
   return t.payload.data() + static_cast<size_t>(row) * t.slots_per_row;
 }
 
-int64_t* proteus_group_upsert(void* rt, uint32_t table, int64_t key) {
-  GroupTableRt& g = *RT(rt)->groups[table];
+int64_t* proteus_group_upsert(void* ctx, uint32_t table, int64_t key) {
+  GroupTableRt& g = *RT(ctx)->groups[table];
   uint32_t idx = GroupFind(g, proteus::HashMix64(static_cast<uint64_t>(key)), key, nullptr, 0);
   return g.slots.data() + static_cast<size_t>(idx) * g.slots_per_group;
 }
 
-int64_t* proteus_group_upsert_str(void* rt, uint32_t table, const char* key, int64_t len) {
-  GroupTableRt& g = *RT(rt)->groups[table];
+int64_t* proteus_group_upsert_str(void* ctx, uint32_t table, const char* key, int64_t len) {
+  GroupTableRt& g = *RT(ctx)->groups[table];
   uint32_t idx = GroupFind(g, proteus::HashBytes(key, static_cast<size_t>(len)), 0, key, len);
   return g.slots.data() + static_cast<size_t>(idx) * g.slots_per_group;
 }
 
-uint64_t proteus_group_count(void* rt, uint32_t table) {
-  GroupTableRt& g = *RT(rt)->groups[table];
+uint64_t proteus_group_count(void* ctx, uint32_t table) {
+  GroupTableRt& g = *RT(ctx)->groups[table];
   return g.string_keys ? g.skeys.size() : g.ikeys.size();
 }
 
-int64_t proteus_group_key(void* rt, uint32_t table, uint64_t idx) {
-  return RT(rt)->groups[table]->ikeys[idx];
+int64_t proteus_group_key(void* ctx, uint32_t table, uint64_t idx) {
+  return RT(ctx)->groups[table]->ikeys[idx];
 }
 
-const char* proteus_group_key_str(void* rt, uint32_t table, uint64_t idx, int64_t* len) {
-  const std::string& s = RT(rt)->groups[table]->skeys[idx];
+const char* proteus_group_key_str(void* ctx, uint32_t table, uint64_t idx, int64_t* len) {
+  const std::string& s = RT(ctx)->groups[table]->skeys[idx];
   *len = static_cast<int64_t>(s.size());
   return s.data();
 }
 
-int64_t* proteus_group_slots(void* rt, uint32_t table, uint64_t idx) {
-  GroupTableRt& g = *RT(rt)->groups[table];
+int64_t* proteus_group_slots(void* ctx, uint32_t table, uint64_t idx) {
+  GroupTableRt& g = *RT(ctx)->groups[table];
   return g.slots.data() + idx * g.slots_per_group;
 }
 
-void proteus_result_emit_int(void* rt, int64_t v) {
-  RT(rt)->cur_row.push_back(proteus::Value::Int(v));
+void proteus_result_emit_int(void* ctx, int64_t v) {
+  RT(ctx)->cur_row.push_back(proteus::Value::Int(v));
 }
-void proteus_result_emit_double(void* rt, double v) {
-  RT(rt)->cur_row.push_back(proteus::Value::Float(v));
+void proteus_result_emit_double(void* ctx, double v) {
+  RT(ctx)->cur_row.push_back(proteus::Value::Float(v));
 }
-void proteus_result_emit_bool(void* rt, int32_t v) {
-  RT(rt)->cur_row.push_back(proteus::Value::Boolean(v != 0));
+void proteus_result_emit_bool(void* ctx, int32_t v) {
+  RT(ctx)->cur_row.push_back(proteus::Value::Boolean(v != 0));
 }
-void proteus_result_emit_str(void* rt, const char* p, int64_t len) {
-  RT(rt)->cur_row.push_back(proteus::Value::Str(std::string(p, static_cast<size_t>(len))));
+void proteus_result_emit_str(void* ctx, const char* p, int64_t len) {
+  RT(ctx)->cur_row.push_back(proteus::Value::Str(std::string(p, static_cast<size_t>(len))));
 }
-void proteus_result_end_row(void* rt) {
-  QueryRuntime* q = RT(rt);
+void proteus_result_end_row(void* ctx) {
+  QueryRuntime* q = RT(ctx);
   q->result.rows.push_back(std::move(q->cur_row));
   q->cur_row.clear();
 }

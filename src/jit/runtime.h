@@ -24,15 +24,15 @@
 namespace proteus {
 namespace jit {
 
-/// Radix join state: build-side keys + packed 8-byte payload slots.
+/// Radix join state: build-side keys + packed 8-byte payload slots. Filled
+/// once by the build pipeline, then read-only — probe iteration state lives
+/// in the per-task MorselCtx so concurrent morsel pipelines can probe the
+/// same table.
 struct JoinTableRt {
   RadixTable table;
   std::vector<int64_t> keys;
   std::vector<int64_t> payload;  ///< row-major, slots_per_row per entry
   uint32_t slots_per_row = 0;
-  // probe iteration state (one active probe per table)
-  std::vector<uint32_t> matches;
-  size_t pos = 0;
 };
 
 /// Hash grouping state: int64 or string keys, packed 8-byte agg slots.
@@ -60,11 +60,20 @@ struct UnnestStateRt {
   const char* elem_end = nullptr;
 };
 
+/// Query-lifetime state shared by every pipeline invocation. During the
+/// morsel-parallel phase everything here is read-only: join tables are
+/// frozen after proteus_build runs, and group tables are only touched by
+/// single-call code — the legacy whole-relation path, or a mid-chain Nest
+/// inside a join build subtree (which runs once, inside proteus_build).
+/// Per-task mutable state lives in MorselCtx.
 struct QueryRuntime {
   std::vector<std::unique_ptr<JoinTableRt>> joins;
   std::vector<std::unique_ptr<GroupTableRt>> groups;
-  std::vector<UnnestStateRt> unnests;
-  QueryResult result;
+  uint32_t num_unnests = 0;
+  /// Parallel radix build for join tables (byte-identical layout to the
+  /// serial build); null builds serially.
+  TaskScheduler* scheduler = nullptr;
+  QueryResult result;       // legacy whole-relation path only
   std::vector<Value> cur_row;
   bool failed = false;
   std::string error;
@@ -83,10 +92,25 @@ struct QueryRuntime {
     groups.push_back(std::move(t));
     return static_cast<uint32_t>(groups.size() - 1);
   }
-  uint32_t AddUnnest() {
-    unnests.emplace_back();
-    return static_cast<uint32_t>(unnests.size() - 1);
-  }
+  uint32_t AddUnnest() { return num_unnests++; }
+};
+
+/// Per-invocation mutable state of one generated pipeline call: every
+/// runtime helper takes a MorselCtx* so concurrent morsel tasks never write
+/// shared state. Unnest cursors and join probe iterators are per-task; the
+/// legacy whole-relation path simply runs with a single ctx.
+struct MorselCtx {
+  explicit MorselCtx(QueryRuntime* runtime)
+      : rt(runtime), unnests(runtime->num_unnests), probes(runtime->joins.size()) {}
+
+  struct ProbeState {
+    std::vector<uint32_t> matches;
+    size_t pos = 0;
+  };
+
+  QueryRuntime* rt;
+  std::vector<UnnestStateRt> unnests;
+  std::vector<ProbeState> probes;  ///< one per join table
 };
 
 /// Registers every helper below in `names` -> address pairs so the ORC JIT
@@ -97,7 +121,9 @@ std::vector<std::pair<std::string, void*>> RuntimeSymbols();
 }  // namespace proteus
 
 // ---------------------------------------------------------------------------
-// C ABI helpers callable from generated IR
+// C ABI helpers callable from generated IR. `ctx` is a jit::MorselCtx* —
+// per-task state, so every helper below is safe to call from concurrent
+// morsel pipelines over the same QueryRuntime.
 // ---------------------------------------------------------------------------
 extern "C" {
 
@@ -113,36 +139,42 @@ int64_t proteus_json_bool(const void* plugin, uint64_t oid, uint64_t path_hash);
 const char* proteus_json_str(const void* plugin, uint64_t oid, uint64_t path_hash,
                              int64_t* len);
 
-// JSON array unnest (unnestInit / unnestHasNext / unnestGetNext).
-void proteus_unnest_init(void* rt, uint32_t slot, const void* plugin, uint64_t oid,
+// JSON array unnest (unnestInit / unnestHasNext / unnestGetNext). Cursor
+// state lives in ctx->unnests[slot].
+void proteus_unnest_init(void* ctx, uint32_t slot, const void* plugin, uint64_t oid,
                          uint64_t path_hash);
-int32_t proteus_unnest_has_next(void* rt, uint32_t slot);
-void proteus_unnest_advance(void* rt, uint32_t slot);
-int64_t proteus_unnest_elem_int(void* rt, uint32_t slot, const char* name, int64_t name_len);
-double proteus_unnest_elem_double(void* rt, uint32_t slot, const char* name, int64_t name_len);
-const char* proteus_unnest_elem_str(void* rt, uint32_t slot, const char* name,
+int32_t proteus_unnest_has_next(void* ctx, uint32_t slot);
+void proteus_unnest_advance(void* ctx, uint32_t slot);
+int64_t proteus_unnest_elem_int(void* ctx, uint32_t slot, const char* name, int64_t name_len);
+double proteus_unnest_elem_double(void* ctx, uint32_t slot, const char* name, int64_t name_len);
+const char* proteus_unnest_elem_str(void* ctx, uint32_t slot, const char* name,
                                     int64_t name_len, int64_t* len);
 
-// Radix hash join.
-void proteus_join_insert(void* rt, uint32_t table, int64_t key, const int64_t* payload);
-void proteus_join_build(void* rt, uint32_t table);
-const int64_t* proteus_join_probe_first(void* rt, uint32_t table, int64_t key);
-const int64_t* proteus_join_probe_next(void* rt, uint32_t table);
+// Radix hash join. Insert/build run in the single-call build pipeline; probe
+// iteration state lives in ctx->probes[table] so concurrent morsels can
+// probe the same frozen table.
+void proteus_join_insert(void* ctx, uint32_t table, int64_t key, const int64_t* payload);
+void proteus_join_build(void* ctx, uint32_t table);
+const int64_t* proteus_join_probe_first(void* ctx, uint32_t table, int64_t key);
+const int64_t* proteus_join_probe_next(void* ctx, uint32_t table);
 
-// Hash grouping (Nest).
-int64_t* proteus_group_upsert(void* rt, uint32_t table, int64_t key);
-int64_t* proteus_group_upsert_str(void* rt, uint32_t table, const char* key, int64_t len);
-uint64_t proteus_group_count(void* rt, uint32_t table);
-int64_t proteus_group_key(void* rt, uint32_t table, uint64_t idx);
-const char* proteus_group_key_str(void* rt, uint32_t table, uint64_t idx, int64_t* len);
-int64_t* proteus_group_slots(void* rt, uint32_t table, uint64_t idx);
+// Hash grouping (Nest) — legacy single-call path and mid-chain nests inside
+// build pipelines; morsel-parallel group-bys go through the partial-sink
+// entry points (partial_sink.h) instead.
+int64_t* proteus_group_upsert(void* ctx, uint32_t table, int64_t key);
+int64_t* proteus_group_upsert_str(void* ctx, uint32_t table, const char* key, int64_t len);
+uint64_t proteus_group_count(void* ctx, uint32_t table);
+int64_t proteus_group_key(void* ctx, uint32_t table, uint64_t idx);
+const char* proteus_group_key_str(void* ctx, uint32_t table, uint64_t idx, int64_t* len);
+int64_t* proteus_group_slots(void* ctx, uint32_t table, uint64_t idx);
 
-// Result building.
-void proteus_result_emit_int(void* rt, int64_t v);
-void proteus_result_emit_double(void* rt, double v);
-void proteus_result_emit_bool(void* rt, int32_t v);
-void proteus_result_emit_str(void* rt, const char* p, int64_t len);
-void proteus_result_end_row(void* rt);
+// Result building (legacy single-call path; morsel pipelines emit rows into
+// their JitMorselSink instead).
+void proteus_result_emit_int(void* ctx, int64_t v);
+void proteus_result_emit_double(void* ctx, double v);
+void proteus_result_emit_bool(void* ctx, int32_t v);
+void proteus_result_emit_str(void* ctx, const char* p, int64_t len);
+void proteus_result_end_row(void* ctx);
 
 // Strings.
 int32_t proteus_str_eq(const char* a, int64_t alen, const char* b, int64_t blen);

@@ -9,10 +9,12 @@
 
 namespace proteus {
 
-ShardCoordinator::ShardCoordinator(ExecContext base, int num_shards, int threads_per_shard)
+ShardCoordinator::ShardCoordinator(ExecContext base, int num_shards, int threads_per_shard,
+                                   bool use_jit)
     : base_(base),
       num_shards_(std::max(1, num_shards)),
-      threads_per_shard_(threads_per_shard) {}
+      threads_per_shard_(threads_per_shard),
+      use_jit_(use_jit) {}
 
 bool ShardCoordinator::PlanIsShardable(const OpPtr& plan) { return proteus::PlanIsShardable(plan); }
 
@@ -38,6 +40,7 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
   // execution counters fold back into the coordinator thread afterwards,
   // keeping benchmark accounting aligned with non-sharded runs.
   std::vector<Status> shard_status(slices.size(), Status::OK());
+  std::vector<char> shard_jit(slices.size(), 0);
   ExecCounters shard_counters;
   std::mutex counters_mu;
   int threads_per_shard = 1;
@@ -47,9 +50,10 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
     for (size_t i = 0; i < slices.size(); ++i) {
       threads.emplace_back([&, i] {
         ExecCounters before = GlobalCounters();
-        ShardExecutor executor(static_cast<int>(i), base_, threads_per_shard_);
+        ShardExecutor executor(static_cast<int>(i), base_, threads_per_shard_, use_jit_);
         ShardTask task{plan, slices[i].begin, slices[i].end};
         shard_status[i] = executor.Run(task, transport);
+        shard_jit[i] = executor.jit_ran() ? 1 : 0;
         ExecCounters delta = GlobalCounters().Since(before);
         std::lock_guard<std::mutex> lk(counters_mu);
         shard_counters += delta;
@@ -119,6 +123,8 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
   stats->bytes_exchanged = transport->bytes_exchanged();
   stats->threads_per_shard = threads_per_shard;
   stats->morsels = num_morsels;
+  stats->jit_shards = 0;
+  for (char j : shard_jit) stats->jit_shards += j;
   return FinalizePlanPartials(*plan, nest, std::move(all));
 }
 

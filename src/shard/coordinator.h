@@ -27,6 +27,7 @@ struct ShardExecStats {
   uint64_t bytes_exchanged = 0; ///< serialized partial bytes through the transport
   int threads_per_shard = 1;    ///< morsel workers inside each shard
   uint64_t morsels = 0;         ///< global morsel count across all shards
+  int jit_shards = 0;           ///< shards that ran generated (JIT) pipelines
 };
 
 class ShardCoordinator {
@@ -34,8 +35,12 @@ class ShardCoordinator {
   /// `base` supplies catalog/plug-ins/stats/caches (its scheduler is not
   /// used — each shard owns one). `num_shards` caps the fan-out; fewer run
   /// when the plan yields fewer morsels. `threads_per_shard` sizes each
-  /// shard's morsel pool (shards × workers compose).
-  ShardCoordinator(ExecContext base, int num_shards, int threads_per_shard);
+  /// shard's morsel pool (shards × workers compose). With `use_jit`, shards
+  /// run morsel-parameterized JIT pipelines where the plan supports them
+  /// (stats->jit_shards reports how many did) — partials are bit-identical
+  /// either way.
+  ShardCoordinator(ExecContext base, int num_shards, int threads_per_shard,
+                   bool use_jit = false);
 
   /// True when `plan` decomposes into independent shards (delegates to
   /// PlanIsShardable: morsel-parallelizable, no outer joins in the chain).
@@ -50,6 +55,7 @@ class ShardCoordinator {
   ExecContext base_;
   int num_shards_;
   int threads_per_shard_;
+  bool use_jit_;
 };
 
 }  // namespace proteus

@@ -1,21 +1,39 @@
 #include "src/shard/executor.h"
 
+#include "src/jit/jit_engine.h"
 #include "src/shard/partial_result.h"
 
 namespace proteus {
 
-ShardExecutor::ShardExecutor(int shard_id, const ExecContext& base, int num_threads)
-    : shard_id_(shard_id), scheduler_(num_threads), ctx_(base) {
+ShardExecutor::ShardExecutor(int shard_id, const ExecContext& base, int num_threads,
+                             bool use_jit)
+    : shard_id_(shard_id), scheduler_(num_threads), ctx_(base), use_jit_(use_jit) {
   ctx_.scheduler = &scheduler_;
   ctx_.stats = nullptr;  // cold-access stats were collected by the coordinator
 }
 
 Status ShardExecutor::Run(const ShardTask& task, ShardTransport* transport) {
-  InterpExecutor interp(ctx_);
-  PROTEUS_ASSIGN_OR_RETURN(PlanPartials partials,
-                           interp.ExecutePartials(task.plan, task.morsel_begin,
-                                                  task.morsel_end));
-  morsels_run_ = interp.exec_stats().morsels;
+  PlanPartials partials;
+  jit_ran_ = false;
+  if (use_jit_) {
+    JitExecutor jit(ctx_);
+    auto r = jit.ExecutePartials(task.plan, task.morsel_begin, task.morsel_end);
+    if (r.ok()) {
+      partials = std::move(*r);
+      jit_ran_ = true;
+      morsels_run_ = task.morsel_end - task.morsel_begin;
+    } else if (r.status().code() != StatusCode::kUnimplemented) {
+      return r.status();
+    }
+    // Unimplemented: the plan uses features outside the generated fast path;
+    // the interpreter produces bit-identical partials below.
+  }
+  if (!jit_ran_) {
+    InterpExecutor interp(ctx_);
+    PROTEUS_ASSIGN_OR_RETURN(
+        partials, interp.ExecutePartials(task.plan, task.morsel_begin, task.morsel_end));
+    morsels_run_ = interp.exec_stats().morsels;
+  }
   return transport->Send(shard_id_, PartialResult::FromPartials(std::move(partials)).Serialize());
 }
 

@@ -30,8 +30,13 @@ class ShardExecutor {
  public:
   /// `base` supplies catalog/plug-ins/caches; the executor swaps in its own
   /// scheduler and drops the stats sink (the coordinator already collected
-  /// cold-access stats before fanning out).
-  ShardExecutor(int shard_id, const ExecContext& base, int num_threads);
+  /// cold-access stats before fanning out). With `use_jit`, the shard
+  /// compiles the plan's morsel-parameterized JIT pipelines and runs its
+  /// slice through them (JitExecutor::ExecutePartials); plans outside the
+  /// generated fast path fall back to the interpreter's partials. Both
+  /// engines produce bit-identical per-morsel partials, so the choice never
+  /// affects the merged result.
+  ShardExecutor(int shard_id, const ExecContext& base, int num_threads, bool use_jit = false);
 
   /// Runs the task's morsel slice and Sends the serialized partials through
   /// `transport`.
@@ -41,11 +46,15 @@ class ShardExecutor {
   int num_threads() const { return scheduler_.num_threads(); }
   /// Morsels this shard drove (valid after Run).
   uint64_t morsels_run() const { return morsels_run_; }
+  /// Whether generated pipelines (not the interpreter) ran the slice.
+  bool jit_ran() const { return jit_ran_; }
 
  private:
   int shard_id_;
   TaskScheduler scheduler_;
   ExecContext ctx_;
+  bool use_jit_ = false;
+  bool jit_ran_ = false;
   uint64_t morsels_run_ = 0;
 };
 

@@ -1,14 +1,31 @@
-// Property suite: the generated engine must agree with the Volcano
+// Differential harness: the generated engine must agree with the Volcano
 // interpreter on every query the JIT accepts — across formats, query shapes,
-// and selectivities (parameterized sweep), plus randomized predicates.
+// and selectivities (parameterized sweep), plus randomized predicates and a
+// fixed-seed randomized-plan property sweep.
+//
+// Since the parallel-JIT-pipelines PR the agreement contract is *cell
+// identity*, not multiset tolerance: generated pipelines are emitted with a
+// (morsel_begin, morsel_end) range parameter and driven over the same
+// Split() morsel decomposition the interpreter uses, per-morsel partials
+// merging through the same fold. So for every covered plan shape, JIT
+// results must be cell-for-cell identical — float bits and row order
+// included — across num_threads ∈ {1, 2, 4}, to the interpreter, and
+// composed with num_shards. The matrix below drives scans, selections,
+// joins, outer joins, group-bys, and unnest through all four plug-ins.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <random>
+#include <sstream>
 
 #include "tests/engine_test_util.h"
 
 namespace proteus {
 namespace {
+
+// Small morsels so the ~240-row corpus splits into many ranges and the
+// merge order is actually exercised.
+constexpr uint64_t kDiffMorselRows = 16;
 
 struct EquivCase {
   std::string name;
@@ -26,6 +43,59 @@ QueryResult RunMode(const std::string& q, ExecMode mode, bool* used_jit) {
   EXPECT_TRUE(r.ok()) << q << "\n" << r.status().ToString();
   if (used_jit != nullptr) *used_jit = engine.telemetry().used_jit;
   return r.ok() ? *r : QueryResult{};
+}
+
+/// One engine run with full telemetry, at a given thread/shard fan-out.
+struct RunInfo {
+  QueryResult result;
+  QueryTelemetry telemetry;
+  Status status = Status::OK();
+};
+
+RunInfo RunConfig(const std::string& q, ExecMode mode, int threads, int shards = 0) {
+  EngineOptions opts;
+  opts.mode = mode;
+  opts.num_threads = threads;
+  opts.num_shards = shards;
+  opts.morsel_rows = kDiffMorselRows;
+  QueryEngine engine(opts);
+  testutil::RegisterAll(&engine);
+  auto r = engine.Execute(q);
+  RunInfo info;
+  info.status = r.status();
+  if (r.ok()) info.result = std::move(*r);
+  info.telemetry = engine.telemetry();
+  return info;
+}
+
+RunInfo RunPlanConfig(const std::function<OpPtr()>& make_plan, ExecMode mode, int threads) {
+  EngineOptions opts;
+  opts.mode = mode;
+  opts.num_threads = threads;
+  opts.morsel_rows = kDiffMorselRows;
+  QueryEngine engine(opts);
+  testutil::RegisterAll(&engine);
+  auto r = engine.ExecutePlan(make_plan());
+  RunInfo info;
+  info.status = r.status();
+  if (r.ok()) info.result = std::move(*r);
+  info.telemetry = engine.telemetry();
+  return info;
+}
+
+/// Cell-for-cell equality: same columns, same row order, exact values
+/// (float bits included — Value::Equals compares doubles exactly).
+void ExpectIdentical(const QueryResult& a, const QueryResult& b, const std::string& ctx) {
+  ASSERT_EQ(a.columns, b.columns) << ctx;
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << ctx;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    ASSERT_EQ(a.rows[r].size(), b.rows[r].size()) << ctx << " row " << r;
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      EXPECT_TRUE(a.rows[r][c].Equals(b.rows[r][c]))
+          << ctx << " row " << r << " col " << c << ": " << a.rows[r][c].ToString()
+          << " vs " << b.rows[r][c].ToString();
+    }
+  }
 }
 
 TEST_P(JitEquivTest, JitMatchesInterpreter) {
@@ -148,6 +218,261 @@ TEST(JitEquivRandom, CachedRunsMatchUncached) {
   QueryResult oracle = RunMode(q, ExecMode::kInterp, nullptr);
   EXPECT_TRUE(first->EqualsUnordered(oracle, 1e-6));
   EXPECT_TRUE(second->EqualsUnordered(oracle, 1e-6));
+}
+
+// ---------------------------------------------------------------------------
+// Differential matrix: parallel JIT ≡ serial JIT ≡ interpreter, cell for
+// cell, across num_threads ∈ {1, 2, 4} × all four plug-ins × plan shapes.
+// ---------------------------------------------------------------------------
+
+struct DiffCase {
+  std::string name;
+  std::string query;
+};
+
+class JitDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(JitDifferentialTest, CellIdenticalAcrossThreadsAndEngines) {
+  const DiffCase& c = GetParam();
+  // Interpreter oracle at one thread — itself morsel-driven over the same
+  // decomposition, which is exactly why cell identity is achievable.
+  RunInfo oracle = RunConfig(c.query, ExecMode::kInterp, 1);
+  ASSERT_TRUE(oracle.status.ok()) << c.query << "\n" << oracle.status.ToString();
+  for (int threads : {1, 2, 4}) {
+    RunInfo jit = RunConfig(c.query, ExecMode::kJIT, threads);
+    ASSERT_TRUE(jit.status.ok()) << c.query << "\n" << jit.status.ToString();
+    ExpectIdentical(oracle.result, jit.result,
+                    c.query + " @ jit threads=" + std::to_string(threads));
+    EXPECT_TRUE(jit.telemetry.used_jit)
+        << c.query << " unexpectedly fell back: " << jit.telemetry.fallback_reason;
+    EXPECT_TRUE(jit.telemetry.jit_parallel) << c.query;
+    EXPECT_GT(jit.telemetry.morsels, 0u) << c.query;
+    EXPECT_LE(jit.telemetry.threads_used, threads) << c.query;
+  }
+}
+
+std::vector<DiffCase> DiffCases() {
+  std::vector<DiffCase> cases;
+  const char* lineitems[] = {"lineitem_bincol", "lineitem_binrow", "lineitem_csv",
+                             "lineitem_json"};
+  for (const char* ds : lineitems) {
+    std::string d(ds);
+    // Scans: bag projections make row order observable.
+    cases.push_back({d + "_scan_rows",
+                     "SELECT l_orderkey, l_quantity, l_extendedprice FROM " + d +
+                         " WHERE l_orderkey < 1000000"});
+    // Selections + the full scalar-aggregate set (count/sum/max/min).
+    cases.push_back({d + "_select_aggs",
+                     "SELECT count(*), sum(l_tax), max(l_quantity), min(l_discount) FROM " +
+                         d + " WHERE l_orderkey < 30 and l_quantity < 40.0"});
+    // Float-heavy arithmetic: per-morsel partial sums must fold identically.
+    cases.push_back({d + "_float_sum",
+                     "SELECT sum(l_extendedprice * (1.0 - l_discount) * (1.0 + l_tax)) FROM " +
+                         d + " WHERE l_orderkey < 45"});
+    // Group-bys: int keys and string keys, multiple monoids.
+    cases.push_back({d + "_group_int",
+                     "SELECT l_linenumber, count(*), sum(l_extendedprice), max(l_quantity) "
+                     "FROM " + d + " WHERE l_orderkey < 40 GROUP BY l_linenumber"});
+    cases.push_back({d + "_group_str",
+                     "SELECT l_shipmode, count(*), min(l_extendedprice) FROM " + d +
+                         " GROUP BY l_shipmode"});
+    // Joins: shared radix build once, probes fan out per morsel.
+    cases.push_back({d + "_join",
+                     "SELECT count(*), max(o.o_totalprice) FROM orders_bincol o JOIN " + d +
+                         " l ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < 40"});
+  }
+  // Join over raw-format build sides and three-way chains.
+  cases.push_back({"join_json_build",
+                   "SELECT count(*), max(o.o_totalprice) FROM orders_json o JOIN "
+                   "lineitem_csv l ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < 35"});
+  cases.push_back({"three_way_join",
+                   "SELECT count(*) FROM lineitem_bincol l JOIN orders_bincol o ON "
+                   "l.l_orderkey = o.o_orderkey JOIN orders_json oj ON "
+                   "o.o_orderkey = oj.o_orderkey WHERE l.l_orderkey < 21"});
+  // Join feeding a group-by (build once + per-morsel group partials).
+  cases.push_back({"join_group",
+                   "SELECT l.l_linenumber, count(*), sum(o.o_totalprice) FROM orders_json o "
+                   "JOIN lineitem_json l ON o.o_orderkey = l.l_orderkey "
+                   "GROUP BY l.l_linenumber"});
+  // Unnest over nested JSON collections, alone and under aggregation.
+  cases.push_back({"unnest_count",
+                   "SELECT count(*) FROM orders_denorm o, UNNEST(o.lineitems) l WHERE "
+                   "l.l_orderkey < 30"});
+  cases.push_back({"unnest_aggs",
+                   "SELECT count(*), max(l.l_quantity) FROM orders_denorm o, "
+                   "UNNEST(o.lineitems) l WHERE l.l_quantity > 10.0"});
+  cases.push_back({"unnest_comp",
+                   "for { s <- spam, k <- s.classes, k.label > 10 } yield (count, max k.label)"});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, JitDifferentialTest, ::testing::ValuesIn(DiffCases()),
+                         [](const auto& info) { return info.param.name; });
+
+// Outer joins are outside the generated fast path: the engine must fall back
+// to the (morsel-parallel) interpreter, report that honestly, and still be
+// cell-identical for every thread count — unmatched-drain row order
+// included. The differential matrix covers the shape even though no
+// generated code runs it.
+TEST(JitDifferential, OuterJoinFallsBackAndStaysIdentical) {
+  auto make_plan = [] {
+    OpPtr scan_o = Operator::Scan("orders_json", "o");
+    OpPtr scan_l = Operator::Scan("lineitem_json", "l");
+    ExprPtr pred = Expr::Bin(BinOp::kEq, Expr::Proj(Expr::Var("o"), "o_orderkey"),
+                             Expr::Proj(Expr::Var("l"), "l_orderkey"));
+    OpPtr join = Operator::Join(scan_o, scan_l, pred, /*outer=*/true);
+    ExprPtr rec = Expr::Record({"key", "qty"}, {Expr::Proj(Expr::Var("o"), "o_orderkey"),
+                                                Expr::Proj(Expr::Var("l"), "l_quantity")});
+    return Operator::Reduce(join, {{Monoid::kBag, rec, "rows"}});
+  };
+  RunInfo oracle = RunPlanConfig(make_plan, ExecMode::kInterp, 1);
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status.ToString();
+  for (int threads : {1, 2, 4}) {
+    RunInfo jit = RunPlanConfig(make_plan, ExecMode::kJIT, threads);
+    ASSERT_TRUE(jit.status.ok()) << jit.status.ToString();
+    ExpectIdentical(oracle.result, jit.result,
+                    "outer join @ threads=" + std::to_string(threads));
+    EXPECT_FALSE(jit.telemetry.used_jit);
+    EXPECT_FALSE(jit.telemetry.jit_parallel);
+    EXPECT_FALSE(jit.telemetry.fallback_reason.empty());
+    EXPECT_GT(jit.telemetry.morsels, 0u) << "interpreter fallback should stay morsel-parallel";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-seed randomized-plan property sweep: serial JIT vs parallel JIT vs
+// interpreter. Plans are generated from a small grammar (dataset × agg set ×
+// predicate conjunction × optional join × optional group-by × projection
+// form) with a fixed seed — no wall-clock or fresh entropy anywhere, so a
+// failure reproduces exactly.
+// ---------------------------------------------------------------------------
+
+std::string RandomQuery(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> pick(0, 1 << 20);
+  std::uniform_real_distribution<double> qty(1, 50), disc(0, 0.1), tax(0, 0.08);
+  const char* datasets[] = {"lineitem_bincol", "lineitem_binrow", "lineitem_csv",
+                            "lineitem_json"};
+  std::string ds = datasets[pick(rng) % 4];
+  bool join = pick(rng) % 4 == 0;       // join with orders on orderkey
+  bool group = pick(rng) % 3 == 0;      // group by linenumber/shipmode
+  bool project = !group && pick(rng) % 4 == 0;  // bag projection rows
+
+  std::ostringstream q;
+  q.precision(6);
+  q << "SELECT ";
+  std::string lp = join ? "l." : "";
+  std::string group_key;
+  if (group) group_key = lp + (pick(rng) % 2 == 0 ? "l_linenumber" : "l_shipmode");
+  if (project) {
+    q << lp << "l_orderkey, " << lp << "l_quantity, " << lp << "l_extendedprice";
+  } else {
+    if (group) q << group_key << ", ";
+    std::vector<std::string> aggs = {"count(*)"};
+    if (pick(rng) % 2 == 0) aggs.push_back("sum(" + lp + "l_quantity)");
+    if (pick(rng) % 2 == 0) aggs.push_back("max(" + lp + "l_extendedprice)");
+    if (pick(rng) % 2 == 0) aggs.push_back("min(" + lp + "l_discount)");
+    if (pick(rng) % 3 == 0) {
+      aggs.push_back("sum(" + lp + "l_extendedprice * (1.0 - " + lp + "l_discount))");
+    }
+    if (join && pick(rng) % 2 == 0) aggs.push_back("max(o.o_totalprice)");
+    for (size_t i = 0; i < aggs.size(); ++i) q << (i > 0 ? ", " : "") << aggs[i];
+  }
+  q << " FROM ";
+  if (join) {
+    q << "orders_" << (pick(rng) % 2 == 0 ? "bincol" : "json") << " o JOIN " << ds
+      << " l ON o.o_orderkey = l.l_orderkey";
+  } else {
+    q << ds;
+  }
+  q << " WHERE " << lp << "l_orderkey < " << pick(rng) % 70;
+  if (pick(rng) % 2 == 0) q << " and " << lp << "l_quantity < " << qty(rng);
+  if (pick(rng) % 3 == 0) q << " and " << lp << "l_discount < " << disc(rng);
+  if (pick(rng) % 4 == 0) q << " and " << lp << "l_tax >= " << tax(rng);
+  if (group) q << " GROUP BY " << group_key;
+  return q.str();
+}
+
+TEST(JitDifferentialProperty, RandomPlansAgreeAcrossEngines) {
+  std::mt19937_64 rng(20160815);  // fixed seed: the paper's VLDB year+month
+  int jit_runs = 0;
+  for (int trial = 0; trial < 24; ++trial) {
+    std::string q = RandomQuery(rng);
+    RunInfo oracle = RunConfig(q, ExecMode::kInterp, 1);
+    ASSERT_TRUE(oracle.status.ok()) << q << "\n" << oracle.status.ToString();
+    RunInfo serial_jit = RunConfig(q, ExecMode::kJIT, 1);
+    ASSERT_TRUE(serial_jit.status.ok()) << q << "\n" << serial_jit.status.ToString();
+    ExpectIdentical(oracle.result, serial_jit.result, q + " @ serial jit");
+    if (serial_jit.telemetry.used_jit) ++jit_runs;
+    for (int threads : {2, 4}) {
+      RunInfo parallel_jit = RunConfig(q, ExecMode::kJIT, threads);
+      ASSERT_TRUE(parallel_jit.status.ok()) << q << "\n" << parallel_jit.status.ToString();
+      ExpectIdentical(serial_jit.result, parallel_jit.result,
+                      q + " @ jit threads=" + std::to_string(threads));
+      EXPECT_EQ(serial_jit.telemetry.used_jit, parallel_jit.telemetry.used_jit) << q;
+    }
+  }
+  // The generator must mostly produce JIT-able plans or the sweep is hollow.
+  EXPECT_GT(jit_runs, 18) << "random plan generator fell back too often";
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry regression: num_threads > 1 + JIT must report the engine that
+// actually ran — never the silent interpreter fallback this PR removed.
+// ---------------------------------------------------------------------------
+
+TEST(JitParallelTelemetry, ParallelJitReportsItself) {
+  const std::string q =
+      "SELECT count(*), sum(l_extendedprice) FROM lineitem_json WHERE l_orderkey < 1000000";
+  for (int threads : {2, 4}) {
+    RunInfo jit = RunConfig(q, ExecMode::kJIT, threads);
+    ASSERT_TRUE(jit.status.ok()) << jit.status.ToString();
+    EXPECT_TRUE(jit.telemetry.used_jit)
+        << "num_threads=" << threads
+        << " + JIT reported interpreter execution: " << jit.telemetry.fallback_reason;
+    EXPECT_TRUE(jit.telemetry.jit_parallel);
+    EXPECT_TRUE(jit.telemetry.fallback_reason.empty()) << jit.telemetry.fallback_reason;
+    EXPECT_GT(jit.telemetry.morsels, 1u);
+    EXPECT_GE(jit.telemetry.threads_used, 1);
+    EXPECT_LE(jit.telemetry.threads_used, threads);
+  }
+  // num_threads == 1 drives the same morsel frame through generated code.
+  RunInfo one = RunConfig(q, ExecMode::kJIT, 1);
+  ASSERT_TRUE(one.status.ok());
+  EXPECT_TRUE(one.telemetry.used_jit);
+  EXPECT_TRUE(one.telemetry.jit_parallel);
+  EXPECT_EQ(one.telemetry.threads_used, 1);
+  EXPECT_GT(one.telemetry.morsels, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Composition with sharding: shards run the same generated pipelines over
+// their morsel slices; results stay cell-identical to the unsharded JIT run
+// and telemetry reports the JIT actually ran on the shards.
+// ---------------------------------------------------------------------------
+
+TEST(JitParallelSharded, JitPipelinesComposeWithShards) {
+  const std::vector<std::string> queries = {
+      "SELECT l_orderkey, l_quantity FROM lineitem_csv WHERE l_orderkey < 1000000",
+      "SELECT count(*), sum(l_tax), max(l_quantity) FROM lineitem_json WHERE l_orderkey < 40",
+      "SELECT l_linenumber, count(*), sum(l_extendedprice) FROM lineitem_bincol "
+      "GROUP BY l_linenumber",
+      "SELECT count(*), max(o.o_totalprice) FROM orders_json o JOIN lineitem_json l "
+      "ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < 35",
+  };
+  for (const auto& q : queries) {
+    RunInfo unsharded = RunConfig(q, ExecMode::kJIT, 2, /*shards=*/0);
+    ASSERT_TRUE(unsharded.status.ok()) << q << "\n" << unsharded.status.ToString();
+    for (int shards : {1, 2, 4}) {
+      RunInfo sharded = RunConfig(q, ExecMode::kJIT, 2, shards);
+      ASSERT_TRUE(sharded.status.ok()) << q << "\n" << sharded.status.ToString();
+      ExpectIdentical(unsharded.result, sharded.result,
+                      q + " @ shards=" + std::to_string(shards));
+      EXPECT_GT(sharded.telemetry.shards_used, 0) << q;
+      EXPECT_TRUE(sharded.telemetry.used_jit)
+          << q << " shards fell back: " << sharded.telemetry.fallback_reason;
+      EXPECT_TRUE(sharded.telemetry.jit_parallel) << q;
+    }
+  }
 }
 
 }  // namespace

@@ -119,9 +119,10 @@ TEST(ParallelExecution, TelemetryReportsThreadsAndMorsels) {
 }
 
 TEST(ParallelExecution, JitModeRoutesOnlyEligiblePlansToWorkers) {
-  // mode=kJIT with workers: morsel-eligible queries go parallel; plans the
-  // morsel driver declines (a Nest mid-chain) keep their normal JIT-first
-  // path instead of silently landing on the serial interpreter.
+  // mode=kJIT with workers: morsel-eligible queries run the *parallel JIT*
+  // pipelines (no more silent interpreter fallback); plans the morsel driver
+  // declines (a Nest mid-chain) keep their normal JIT-first path instead of
+  // silently landing on the serial interpreter.
   EngineOptions opts;
   opts.mode = ExecMode::kJIT;
   opts.num_threads = 8;
@@ -131,7 +132,8 @@ TEST(ParallelExecution, JitModeRoutesOnlyEligiblePlansToWorkers) {
 
   auto r = engine.Execute("SELECT count(*) FROM lineitem_json WHERE l_orderkey < 30");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_FALSE(engine.telemetry().used_jit);
+  EXPECT_TRUE(engine.telemetry().used_jit);
+  EXPECT_TRUE(engine.telemetry().jit_parallel);
   EXPECT_GT(engine.telemetry().morsels, 0u);
 
   // Nest-of-Nest: the inner Nest sits mid-chain under the outer one, which
@@ -154,8 +156,8 @@ TEST(ParallelExecution, JitModeRoutesOnlyEligiblePlansToWorkers) {
 }
 
 TEST(ParallelExecution, JitPathStaysSingleThreadedAndCorrect) {
-  // num_threads > 1 routes to the parallel interpreter; explicitly
-  // JIT-moded engines stay single-threaded and correct.
+  // At num_threads == 1 the parallel JIT drives its morsel frame on the one
+  // calling thread: correct, and telemetry reports a single worker.
   EngineOptions opts;
   opts.mode = ExecMode::kJIT;
   QueryEngine engine(opts);
