@@ -279,6 +279,59 @@ inline double ShardedMs(int shards, const std::string& query) {
   return e.telemetry().execute_ms;
 }
 
+/// Cold-vs-warm compiled-query-cache measurement: executes `query` twice on
+/// a fresh JIT engine and reports the compile cost of each run. The cold run
+/// compiles (jit_compile_ms > 0, cache miss); the warm run must be served by
+/// the compiled-query cache (jit_cache_hit, jit_compile_ms ~ 0) — the bench
+/// aborts if it is not, so a cache regression fails loudly instead of
+/// silently re-paying compile cost. `warm_runs` extra executions let callers
+/// amortize noise; the hit is asserted on every one.
+struct ColdWarmCompile {
+  double cold_compile_ms = 0;  ///< first execution: IR gen + LLVM compile
+  double warm_compile_ms = 0;  ///< cached re-execution (should be ~0)
+  uint64_t hits = 0;           ///< cache hits observed (== warm_runs)
+  uint64_t compiles = 0;       ///< compiles observed (== 1)
+};
+
+inline ColdWarmCompile CacheColdWarm(const std::string& query, int warm_runs = 1) {
+  QueryEngine engine;  // fresh: its compiled-query cache starts empty
+  RegisterBenchDatasets(&engine);
+  auto run = [&]() -> const QueryTelemetry& {
+    auto r = engine.Execute(query);
+    if (!r.ok()) {
+      fprintf(stderr, "proteus cache bench: %s\n  %s\n", query.c_str(),
+              r.status().ToString().c_str());
+      std::abort();
+    }
+    return engine.telemetry();
+  };
+  ColdWarmCompile out;
+  const QueryTelemetry& cold = run();
+  if (!cold.used_jit || cold.jit_cache_hit) {
+    fprintf(stderr, "cache bench: cold run expected a JIT compile: %s\n", query.c_str());
+    std::abort();
+  }
+  out.cold_compile_ms = cold.jit_compile_ms;
+  for (int i = 0; i < warm_runs; ++i) {
+    const QueryTelemetry& warm = run();
+    if (!warm.jit_cache_hit) {
+      fprintf(stderr, "cache bench: warm run missed the compiled-query cache: %s\n",
+              query.c_str());
+      std::abort();
+    }
+    out.warm_compile_ms += warm.jit_compile_ms;
+  }
+  out.warm_compile_ms /= warm_runs;
+  const auto stats = engine.jit_cache()->stats();
+  out.hits = stats.hits;
+  out.compiles = stats.compiles;
+  if (out.hits == 0) {
+    fprintf(stderr, "cache bench: zero cache hits recorded: %s\n", query.c_str());
+    std::abort();
+  }
+  return out;
+}
+
 /// Runs one Proteus query and returns execution ms (excludes compile).
 inline double ProteusMs(const std::string& query) {
   auto r = Systems::Get().proteus->Execute(query);

@@ -26,6 +26,7 @@ Status Catalog::Register(DatasetInfo info) {
     return Status::AlreadyExists("dataset '" + info.name + "' already registered");
   }
   datasets_.emplace(info.name, std::move(info));
+  BumpEpoch();
   return Status::OK();
 }
 

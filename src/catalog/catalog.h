@@ -87,9 +87,18 @@ class Catalog {
   StatsStore& stats() { return stats_; }
   const StatsStore& stats() const { return stats_; }
 
+  /// Monotonic catalog version, part of the compiled-query cache key:
+  /// codegen bakes schema-derived constants (column indices, row widths,
+  /// JSON path hashes) into generated code, so any registration or dataset
+  /// invalidation must retire previously compiled modules. Bumped by
+  /// Register() and by QueryEngine::InvalidateDataset via BumpEpoch().
+  uint64_t epoch() const { return epoch_; }
+  void BumpEpoch() { ++epoch_; }
+
  private:
   std::unordered_map<std::string, DatasetInfo> datasets_;
   StatsStore stats_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace proteus

@@ -23,6 +23,7 @@
 #include "src/engine/cache.h"
 #include "src/engine/interp.h"
 #include "src/engine/result.h"
+#include "src/jit/query_cache.h"
 #include "src/optimizer/optimizer.h"
 
 namespace proteus {
@@ -58,15 +59,32 @@ struct EngineOptions {
   /// construction. Plans the coordinator declines (outer joins, Nest
   /// mid-chain) keep their normal path.
   int num_shards = 0;
+  /// Entry capacity of the compiled-query cache (signature-keyed reuse of
+  /// JIT-compiled modules across executions — and across shards, which all
+  /// share the engine's one instance, so N shards of one plan compile it
+  /// exactly once). 0 disables the cache: every execution recompiles, the
+  /// pre-cache behavior. Results are identical either way — only compile
+  /// time (QueryTelemetry::jit_compile_ms) changes.
+  size_t jit_cache_capacity = 32;
 };
 
 /// Telemetry for the last executed query.
 struct QueryTelemetry {
   double optimize_ms = 0;
-  double compile_ms = 0;   ///< LLVM IR generation + compilation
-  /// Plan run time (excludes optimize/compile). Exception: sharded JIT runs
-  /// fold each shard's in-thread pipeline compilation into this number —
-  /// per-shard compile_ms isn't surfaced yet (ROADMAP: compiled-query cache).
+  double compile_ms = 0;   ///< LLVM IR generation + compilation (0 on a cache hit)
+  /// Per-execution JIT compile cost: equals compile_ms on a miss, ~0 on a
+  /// compiled-query-cache hit (no IR is generated at all). Sharded runs
+  /// report the summed compile time their shards actually spent — with the
+  /// shared cache that is one compile for all shards, or 0 when warm.
+  double jit_compile_ms = 0;
+  /// The last JIT execution was served by the compiled-query cache without
+  /// compiling. Sharded runs report true when every shard was served warm;
+  /// always false when the cache is disabled (jit_cache_capacity = 0).
+  bool jit_cache_hit = false;
+  /// Plan run time (excludes optimize/compile). Exception: a sharded JIT
+  /// run with the cache *disabled* folds each shard's in-thread compile
+  /// into this number — per-shard compile time is only observable through
+  /// the shared cache's counters.
   double execute_ms = 0;
   double cache_build_ms = 0;
   bool used_jit = false;
@@ -111,6 +129,10 @@ class QueryEngine {
   CachingManager& caches() { return caches_; }
   PluginRegistry& plugins() { return plugins_; }
   TaskScheduler& scheduler() { return scheduler_; }
+  /// The engine's compiled-query cache (null when jit_cache_capacity == 0).
+  /// Shared by every execution path — including all ShardExecutors of a
+  /// sharded run — so hit/miss/compile stats are engine-global.
+  jit::CompiledQueryCache* jit_cache() { return jit_cache_.get(); }
   const EngineOptions& options() const { return opts_; }
   void set_mode(ExecMode m) { opts_.mode = m; }
 
@@ -123,6 +145,7 @@ class QueryEngine {
   PluginRegistry plugins_;
   CachingManager caches_;
   TaskScheduler scheduler_;
+  std::unique_ptr<jit::CompiledQueryCache> jit_cache_;
   QueryTelemetry telemetry_;
   std::string last_ir_;
 };

@@ -17,6 +17,7 @@ uint64_t CacheBlockFormatRank(DataFormat f) {
 }
 
 uint64_t CachingManager::Install(CacheBlock block) {
+  ++epoch_;
   block.id = next_id_++;
   block.last_used_tick = ++tick_;
   // Replace an older block for the same subtree if this one covers at least
@@ -228,6 +229,7 @@ Result<uint64_t> CachingManager::BuildScanCache(InputPlugin* plugin, const Datas
 }
 
 void CachingManager::InvalidateDataset(const std::string& name) {
+  ++epoch_;
   // Dataset scans embed the dataset name in their signature.
   std::string needle = "scan(" + name + " ";
   for (auto it = blocks_.begin(); it != blocks_.end();) {

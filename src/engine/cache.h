@@ -86,7 +86,18 @@ class CachingManager {
   explicit CachingManager(CachePolicy policy = {}) : policy_(policy) {}
 
   const CachePolicy& policy() const { return policy_; }
-  void set_policy(CachePolicy p) { policy_ = p; }
+  void set_policy(CachePolicy p) {
+    policy_ = std::move(p);
+    ++epoch_;
+  }
+
+  /// Monotonic cache-state version, part of the compiled-query cache key:
+  /// generated cache scans bind block column pointers per execution, but a
+  /// block appearing, being replaced, or being evicted changes which plans
+  /// the rewriter produces and which blocks exist, so compiled modules from
+  /// before the mutation must be retired. Bumped by Install() (which also
+  /// covers its internal evictions), InvalidateDataset(), and set_policy().
+  uint64_t epoch() const { return epoch_; }
 
   /// Registers a freshly built block; evicts LRU (format-biased) blocks if
   /// over budget. Returns the assigned cache id.
@@ -128,6 +139,7 @@ class CachingManager {
   CachePolicy policy_;
   uint64_t next_id_ = 1;
   uint64_t tick_ = 0;
+  uint64_t epoch_ = 0;
   std::map<uint64_t, CacheBlock> blocks_;
 };
 

@@ -33,6 +33,10 @@
 
 namespace proteus {
 
+namespace jit {
+class CompiledQueryCache;
+}  // namespace jit
+
 /// Default target scan rows per morsel — the single home of this constant
 /// (EngineOptions, ExecContext, and the zero-value fallback all use it, so
 /// every path produces the same morsel decomposition).
@@ -44,6 +48,11 @@ struct ExecContext {
   StatsStore* stats = nullptr;       ///< cold-access stats collection target
   CachingManager* caches = nullptr;  ///< optional adaptive caching
   TaskScheduler* scheduler = nullptr;  ///< morsel-parallel execution when set
+  /// Shared compiled-query cache (src/jit/query_cache.h). Optional: null
+  /// compiles every execution. The ShardCoordinator hands one ExecContext to
+  /// every ShardExecutor, so N shards of one engine share this instance and
+  /// compile a plan exactly once (concurrent lookups single-flight).
+  jit::CompiledQueryCache* jit_cache = nullptr;
   /// Target scan rows per morsel. Part of the deterministic morsel
   /// decomposition: results depend on this value but never on the worker
   /// count. Small values are used by tests to force multi-morsel merges on

@@ -20,6 +20,7 @@
 #include "src/plugins/binary_plugins.h"
 #include "src/plugins/csv_plugin.h"
 #include "src/plugins/json_plugin.h"
+#include "src/jit/query_cache.h"
 #include "src/jit/runtime.h"
 
 namespace proteus {
@@ -49,7 +50,28 @@ struct ScanSource {
   DataFormat format;
   InputPlugin* plugin = nullptr;
   const CacheBlock* cache = nullptr;
+  std::string dataset;    ///< catalog name (raw formats; hybrid cache reads)
+  uint64_t cache_id = 0;  ///< kCacheBlock sources
 };
+
+/// ParamDesc builders for the two descriptor families (raw-format data
+/// constants vs cache-block constants).
+jit::ParamDesc DataParam(jit::ParamKind kind, std::string dataset, uint32_t column = 0) {
+  jit::ParamDesc d;
+  d.kind = kind;
+  d.dataset = std::move(dataset);
+  d.column = column;
+  return d;
+}
+jit::ParamDesc CacheParam(jit::ParamKind kind, uint64_t cache_id, std::string var = {},
+                          FieldPath path = {}) {
+  jit::ParamDesc d;
+  d.kind = kind;
+  d.cache_id = cache_id;
+  d.var = std::move(var);
+  d.path = std::move(path);
+  return d;
+}
 
 /// Lists (var, path, kind) of every binding a join's build side provides
 /// that the plan needs above the join: those become the packed payload.
@@ -62,9 +84,14 @@ struct PayloadField {
 
 class Codegen {
  public:
-  Codegen(ExecContext ctx, QueryRuntime* rt)
+  /// Generated code is position-independent: per-execution constants land in
+  /// `params` (bound per run) and runtime-table shapes in `layout` (a fresh
+  /// QueryRuntime is built from it per run), so one compiled module can be
+  /// cached and reused across executions, threads, and shards.
+  Codegen(ExecContext ctx, jit::RuntimeLayout* layout, jit::ParamTable* params)
       : ectx_(ctx),
-        rt_(rt),
+        layout_(layout),
+        params_(params),
         llctx_(std::make_unique<llvm::LLVMContext>()),
         module_(std::make_unique<llvm::Module>("proteus_query", *llctx_)),
         b_(*llctx_) {}
@@ -131,9 +158,19 @@ class Codegen {
   // ---- small helpers -------------------------------------------------------
   llvm::Function* Helper(const char* name, llvm::Type* ret,
                          std::vector<llvm::Type*> args);
-  llvm::Value* ConstPtr(const void* p) {
-    return b_.CreateIntToPtr(b_.getInt64(reinterpret_cast<uint64_t>(p)), b_.getInt8PtrTy());
+  /// The i64 parameter-table entry for `desc`: registered in the shared
+  /// ParamTable (deduplicated) and loaded once per function, in the entry
+  /// block — the replacement for every constant the old codegen baked into
+  /// the instruction stream.
+  llvm::Value* ParamI64(jit::ParamDesc desc);
+  llvm::Value* ParamPtr(jit::ParamDesc desc) {
+    return b_.CreateIntToPtr(ParamI64(std::move(desc)), b_.getInt8PtrTy());
   }
+  /// Alloca hoisted into the function entry block: SROA only promotes
+  /// entry-block allocas to registers, and hoisting keeps loop-body
+  /// temporaries from re-allocating per iteration.
+  llvm::Value* EntryAlloca(llvm::Type* ty, llvm::Value* array_size = nullptr,
+                           const char* name = "");
   /// The current function's MorselCtx* argument (per-task runtime state).
   llvm::Value* CtxPtr() { return ctx_arg_; }
   /// The pipeline function's JitMorselSink* argument (morsel mode only).
@@ -165,12 +202,17 @@ class Codegen {
   llvm::Function* OpenFunction(const char* name, uint32_t ptr_args, uint32_t int_args);
 
   ExecContext ectx_;
-  QueryRuntime* rt_;
+  jit::RuntimeLayout* layout_;
+  jit::ParamTable* params_;
   std::unique_ptr<llvm::LLVMContext> llctx_;
   std::unique_ptr<llvm::Module> module_;
   llvm::IRBuilder<> b_;
   llvm::Function* fn_ = nullptr;
   llvm::Value* ctx_arg_ = nullptr;
+  llvm::Value* params_arg_ = nullptr;  // i64* view of the parameter table
+  /// entry -> body branch; EntryAlloca and ParamI64 insert before it.
+  llvm::Instruction* entry_term_ = nullptr;
+  std::unordered_map<uint32_t, llvm::Value*> param_values_;  // slot -> entry load
   llvm::Value* sink_arg_ = nullptr;   // morsel pipeline only
   llvm::Value* begin_arg_ = nullptr;  // morsel pipeline only
   llvm::Value* end_arg_ = nullptr;    // morsel pipeline only
@@ -275,7 +317,7 @@ Status Codegen::Prepare(const OpPtr& op) {
       PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ectx_.catalog->Get(op->dataset()));
       PROTEUS_ASSIGN_OR_RETURN(InputPlugin * plugin,
                                ectx_.plugins->GetOrOpen(*info, ectx_.stats));
-      sources_[op->binding()] = {info->format, plugin, nullptr};
+      sources_[op->binding()] = {info->format, plugin, nullptr, op->dataset(), 0};
       var_types_[op->binding()] = info->type->elem();
       break;
     }
@@ -283,7 +325,7 @@ Status Codegen::Prepare(const OpPtr& op) {
       if (ectx_.caches == nullptr) return Status::Internal("jit: cache scan w/o manager");
       const CacheBlock* blk = ectx_.caches->FindById(op->cache_id());
       if (blk == nullptr) return Status::NotFound("jit: cache block evicted");
-      ScanSource src{DataFormat::kCacheBlock, nullptr, blk};
+      ScanSource src{DataFormat::kCacheBlock, nullptr, blk, op->dataset(), op->cache_id()};
       if (!op->dataset().empty()) {
         PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ectx_.catalog->Get(op->dataset()));
         PROTEUS_ASSIGN_OR_RETURN(src.plugin, ectx_.plugins->GetOrOpen(*info, ectx_.stats));
@@ -304,7 +346,7 @@ Status Codegen::Prepare(const OpPtr& op) {
         return Status::TypeError("jit: unnest path is not a collection");
       }
       var_types_[op->binding()] = t->elem();
-      unnest_ids_[op.get()] = rt_->AddUnnest();
+      unnest_ids_[op.get()] = layout_->AddUnnest();
       return Status::OK();
     }
     case OpKind::kJoin: {
@@ -504,7 +546,7 @@ Result<CgValue> Codegen::EmitBinary(const ExprPtr& e) {
 
 Status Codegen::EmitRangeLoop(llvm::Value* lo, llvm::Value* hi,
                               const std::function<Status(llvm::Value*)>& body) {
-  llvm::Value* idx_ptr = b_.CreateAlloca(b_.getInt64Ty(), nullptr, "idx");
+  llvm::Value* idx_ptr = EntryAlloca(b_.getInt64Ty(), nullptr, "idx");
   b_.CreateStore(lo, idx_ptr);
   auto* cond_bb = llvm::BasicBlock::Create(*llctx_, "loop.cond", fn_);
   auto* body_bb = llvm::BasicBlock::Create(*llctx_, "loop.body", fn_);
@@ -549,16 +591,18 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
       if (f.type->is_primitive()) fields.push_back({f.name});
     }
   }
-  uint64_t n = src.plugin->NumRecords();
-
   // The driver leaf of a morsel pipeline scans only its (begin, end)
   // arguments' OID range; every other scan (build sides, legacy mode) runs
-  // the whole relation.
-  llvm::Value* lo = b_.getInt64(0);
-  llvm::Value* hi = b_.getInt64(static_cast<int64_t>(n));
+  // the whole relation, whose record count is a bound parameter — never an
+  // immediate — so cached modules survive data growth between executions.
+  llvm::Value* lo;
+  llvm::Value* hi;
   if (morsel_mode_ && op.get() == driver_leaf_) {
     lo = begin_arg_;
     hi = end_arg_;
+  } else {
+    lo = b_.getInt64(0);
+    hi = ParamI64(DataParam(jit::ParamKind::kNumRecords, src.dataset));
   }
   return EmitRangeLoop(lo, hi, [&](llvm::Value* oid) -> Status {
     oids_[var] = oid;
@@ -576,21 +620,25 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
           if (ci < 0) return Status::Internal("jit: missing bincol column " + p[0]);
           auto col = static_cast<uint32_t>(ci);
           if (kind == TypeKind::kInt64) {
-            llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(r->IntColumn(col)));
+            llvm::Value* base =
+                ParamI64(DataParam(jit::ParamKind::kBinColIntBase, src.dataset, col));
             cv.v = LoadAt(b_.getInt64Ty(),
                           b_.CreateAdd(base, b_.CreateMul(oid, b_.getInt64(8))));
           } else if (kind == TypeKind::kFloat64) {
-            llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(r->FloatColumn(col)));
+            llvm::Value* base =
+                ParamI64(DataParam(jit::ParamKind::kBinColFloatBase, src.dataset, col));
             cv.v = LoadAt(b_.getDoubleTy(),
                           b_.CreateAdd(base, b_.CreateMul(oid, b_.getInt64(8))));
           } else if (kind == TypeKind::kBool) {
-            llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(r->BoolColumn(col)));
+            llvm::Value* base =
+                ParamI64(DataParam(jit::ParamKind::kBinColBoolBase, src.dataset, col));
             llvm::Value* byte = LoadAt(b_.getInt8Ty(), b_.CreateAdd(base, oid));
             cv.v = b_.CreateICmpNE(byte, b_.getInt8(0));
           } else {  // string: offsets + data
             llvm::Value* offs =
-                b_.getInt64(reinterpret_cast<uint64_t>(r->StringOffsets(col)));
-            llvm::Value* data = b_.getInt64(reinterpret_cast<uint64_t>(r->StringData(col)));
+                ParamI64(DataParam(jit::ParamKind::kBinColStrOffsets, src.dataset, col));
+            llvm::Value* data =
+                ParamI64(DataParam(jit::ParamKind::kBinColStrData, src.dataset, col));
             llvm::Value* o1 = LoadAt(b_.getInt64Ty(),
                                      b_.CreateAdd(offs, b_.CreateMul(oid, b_.getInt64(8))));
             llvm::Value* o2 = LoadAt(
@@ -607,7 +655,7 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
           const BinRowReader* r = plugin->reader();
           int ci = r->ColumnIndex(p[0]);
           if (ci < 0) return Status::Internal("jit: missing binrow column " + p[0]);
-          llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(r->rows_base()));
+          llvm::Value* base = ParamI64(DataParam(jit::ParamKind::kBinRowRowsBase, src.dataset));
           llvm::Value* addr = b_.CreateAdd(
               base, b_.CreateAdd(b_.CreateMul(oid, b_.getInt64(r->row_width())),
                                  b_.getInt64(8 * static_cast<uint64_t>(ci))));
@@ -621,7 +669,8 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
             llvm::Value* off = b_.CreateZExt(LoadAt(b_.getInt32Ty(), addr), b_.getInt64Ty());
             llvm::Value* len = b_.CreateZExt(
                 LoadAt(b_.getInt32Ty(), b_.CreateAdd(addr, b_.getInt64(4))), b_.getInt64Ty());
-            llvm::Value* heap = b_.getInt64(reinterpret_cast<uint64_t>(r->heap_base()));
+            llvm::Value* heap =
+                ParamI64(DataParam(jit::ParamKind::kBinRowHeapBase, src.dataset));
             cv.v = b_.CreateIntToPtr(b_.CreateAdd(heap, off), b_.getInt8PtrTy());
             cv.len = len;
           }
@@ -631,7 +680,7 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
           auto* plugin = static_cast<CsvPlugin*>(src.plugin);
           int ci = plugin->ColumnIndex(p[0]);
           if (ci < 0) return Status::Internal("jit: missing csv column " + p[0]);
-          llvm::Value* pp = ConstPtr(plugin);
+          llvm::Value* pp = ParamPtr(DataParam(jit::ParamKind::kPluginPtr, src.dataset));
           llvm::Value* col = b_.getInt32(static_cast<uint32_t>(ci));
           auto* i8p = b_.getInt8PtrTy();
           if (kind == TypeKind::kInt64) {
@@ -648,7 +697,7 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
                                            {pp, oid, col});
             cv.v = b_.CreateICmpNE(i, b_.getInt64(0));
           } else {
-            llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+            llvm::Value* len_ptr = EntryAlloca(b_.getInt64Ty());
             cv.v = b_.CreateCall(
                 Helper("proteus_csv_str", i8p,
                        {i8p, b_.getInt64Ty(), b_.getInt32Ty(), b_.getInt64Ty()->getPointerTo()}),
@@ -658,7 +707,7 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
           break;
         }
         case DataFormat::kJSON: {
-          llvm::Value* pp = ConstPtr(src.plugin);
+          llvm::Value* pp = ParamPtr(DataParam(jit::ParamKind::kPluginPtr, src.dataset));
           llvm::Value* h = b_.getInt64(HashString(DottedPath(p)));
           auto* i8p = b_.getInt8PtrTy();
           if (kind == TypeKind::kInt64) {
@@ -675,7 +724,7 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
                                            {pp, oid, h});
             cv.v = b_.CreateICmpNE(i, b_.getInt64(0));
           } else {
-            llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+            llvm::Value* len_ptr = EntryAlloca(b_.getInt64Ty());
             cv.v = b_.CreateCall(
                 Helper("proteus_json_str", i8p,
                        {i8p, b_.getInt64Ty(), b_.getInt64Ty(), b_.getInt64Ty()->getPointerTo()}),
@@ -706,18 +755,21 @@ Status Codegen::EmitCacheScan(const OpPtr& op, const Consume& consume) {
   }
   const CacheColumn* oid_col = blk->Find(var, {"$oid"});
 
-  llvm::Value* lo = b_.getInt64(0);
-  llvm::Value* hi = b_.getInt64(static_cast<int64_t>(blk->num_rows));
+  llvm::Value* lo;
+  llvm::Value* hi;
   if (morsel_mode_ && op.get() == driver_leaf_) {
     lo = begin_arg_;
     hi = end_arg_;
+  } else {
+    lo = b_.getInt64(0);
+    hi = ParamI64(CacheParam(jit::ParamKind::kCacheNumRows, src.cache_id));
   }
   return EmitRangeLoop(lo, hi, [&](llvm::Value* row) -> Status {
         if (oid_col != nullptr) {
           // Expose the raw OID: the Unnest operator and hybrid string reads
           // address the original file through it.
-          llvm::Value* oid_base =
-              b_.getInt64(reinterpret_cast<uint64_t>(oid_col->ints.data()));
+          llvm::Value* oid_base = ParamI64(
+              CacheParam(jit::ParamKind::kCacheColIntBase, src.cache_id, var, {"$oid"}));
           oids_[var] = LoadAt(b_.getInt64Ty(),
                               b_.CreateAdd(oid_base, b_.CreateMul(row, b_.getInt64(8))));
         }
@@ -726,12 +778,14 @@ Status Codegen::EmitCacheScan(const OpPtr& op, const Consume& consume) {
           CgValue cv;
           if (c != nullptr && c->type != TypeKind::kString) {
             if (c->type == TypeKind::kFloat64) {
-              llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(c->floats.data()));
+              llvm::Value* base = ParamI64(
+                  CacheParam(jit::ParamKind::kCacheColFloatBase, src.cache_id, var, p));
               cv.kind = TypeKind::kFloat64;
               cv.v = LoadAt(b_.getDoubleTy(),
                             b_.CreateAdd(base, b_.CreateMul(row, b_.getInt64(8))));
             } else {
-              llvm::Value* base = b_.getInt64(reinterpret_cast<uint64_t>(c->ints.data()));
+              llvm::Value* base = ParamI64(
+                  CacheParam(jit::ParamKind::kCacheColIntBase, src.cache_id, var, p));
               llvm::Value* raw = LoadAt(b_.getInt64Ty(),
                                         b_.CreateAdd(base, b_.CreateMul(row, b_.getInt64(8))));
               if (c->type == TypeKind::kBool) {
@@ -747,16 +801,17 @@ Status Codegen::EmitCacheScan(const OpPtr& op, const Consume& consume) {
             auto lk = LeafKind(var, p);
             if (!lk.ok()) continue;  // collection field: unnest reads it lazily
             TypeKind kind = *lk;
-            llvm::Value* oid_base = b_.getInt64(reinterpret_cast<uint64_t>(oid_col->ints.data()));
+            llvm::Value* oid_base = ParamI64(
+                CacheParam(jit::ParamKind::kCacheColIntBase, src.cache_id, var, {"$oid"}));
             llvm::Value* oid = LoadAt(b_.getInt64Ty(),
                                       b_.CreateAdd(oid_base, b_.CreateMul(row, b_.getInt64(8))));
-            llvm::Value* pp = ConstPtr(src.plugin);
+            llvm::Value* pp = ParamPtr(DataParam(jit::ParamKind::kPluginPtr, src.dataset));
             auto* i8p = b_.getInt8PtrTy();
             const DatasetInfo& info = src.plugin->info();
             if (info.format == DataFormat::kJSON) {
               llvm::Value* h = b_.getInt64(HashString(DottedPath(p)));
               if (kind == TypeKind::kString) {
-                llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+                llvm::Value* len_ptr = EntryAlloca(b_.getInt64Ty());
                 cv.kind = TypeKind::kString;
                 cv.v = b_.CreateCall(Helper("proteus_json_str", i8p,
                                             {i8p, b_.getInt64Ty(), b_.getInt64Ty(),
@@ -780,7 +835,7 @@ Status Codegen::EmitCacheScan(const OpPtr& op, const Consume& consume) {
               if (ci < 0) return Status::Internal("jit: missing csv column " + p[0]);
               llvm::Value* col = b_.getInt32(static_cast<uint32_t>(ci));
               if (kind == TypeKind::kString) {
-                llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+                llvm::Value* len_ptr = EntryAlloca(b_.getInt64Ty());
                 cv.kind = TypeKind::kString;
                 cv.v = b_.CreateCall(Helper("proteus_csv_str", i8p,
                                             {i8p, b_.getInt64Ty(), b_.getInt32Ty(),
@@ -830,7 +885,7 @@ Status Codegen::EmitUnnest(const OpPtr& op, const Consume& consume) {
     }
     auto oid_it = oids_.find(src_var);
     if (oid_it == oids_.end()) return Status::Unimplemented("jit: unnest without OID");
-    llvm::Value* pp = ConstPtr(src_it->second.plugin);
+    llvm::Value* pp = ParamPtr(DataParam(jit::ParamKind::kPluginPtr, src_it->second.dataset));
     llvm::Value* oid = oid_it->second;
     FieldPath rel(p.begin() + 1, p.end());
     llvm::Value* h = b_.getInt64(HashString(DottedPath(rel)));
@@ -891,7 +946,7 @@ Status Codegen::EmitUnnest(const OpPtr& op, const Consume& consume) {
                                        {CtxPtr(), slot_v, name, name_len});
         cv.v = b_.CreateICmpNE(i, b_.getInt64(0));
       } else {
-        llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+        llvm::Value* len_ptr = EntryAlloca(b_.getInt64Ty());
         cv.v = b_.CreateCall(Helper("proteus_unnest_elem_str", i8p,
                                     {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty(),
                                      b_.getInt64Ty()->getPointerTo()}),
@@ -941,14 +996,14 @@ Status Codegen::EmitJoinBuild(const Operator& op) {
     }
   }
   if (slots == 0) slots = 1;  // keep payload pointers distinguishable from null
-  uint32_t table = rt_->AddJoin(slots);
+  uint32_t table = layout_->AddJoin(slots);
   join_ids_[&op] = table;
   join_payloads_[&op] = payload;
   auto* i8p = b_.getInt8PtrTy();
   auto* i64p = b_.getInt64Ty()->getPointerTo();
   llvm::Value* table_v = b_.getInt32(table);
 
-  llvm::Value* pay_buf = b_.CreateAlloca(b_.getInt64Ty(), b_.getInt32(slots), "payload");
+  llvm::Value* pay_buf = EntryAlloca(b_.getInt64Ty(), b_.getInt32(slots), "payload");
   PROTEUS_RETURN_NOT_OK(EmitProduce(op.child(0), [&]() -> Status {
     PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op.left_key()));
     if (key.kind == TypeKind::kFloat64 || key.kind == TypeKind::kString) {
@@ -993,7 +1048,7 @@ Status Codegen::EmitJoinProbe(const Operator& op, const Consume& consume) {
         Helper("proteus_join_probe_first", i64p, {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
         {CtxPtr(), table_v, key.v});
 
-    llvm::Value* match_ptr = b_.CreateAlloca(i64p, nullptr, "match");
+    llvm::Value* match_ptr = EntryAlloca(i64p, nullptr, "match");
     b_.CreateStore(first, match_ptr);
     auto* cond_bb = llvm::BasicBlock::Create(*llctx_, "probe.cond", fn_);
     auto* body_bb = llvm::BasicBlock::Create(*llctx_, "probe.body", fn_);
@@ -1078,7 +1133,7 @@ Status Codegen::EmitNest(const OpPtr& op, const Consume& consume) {
   if (key_kind == TypeKind::kFloat64) {
     return Status::Unimplemented("jit: float group keys");
   }
-  uint32_t table = rt_->AddGroup(string_keys, init);
+  uint32_t table = layout_->AddGroup(string_keys, init);
   auto* i8p = b_.getInt8PtrTy();
   auto* i64p = b_.getInt64Ty()->getPointerTo();
   llvm::Value* table_v = b_.getInt32(table);
@@ -1148,7 +1203,7 @@ Status Codegen::EmitNest(const OpPtr& op, const Consume& consume) {
   return EmitCountedLoop(count, [&](llvm::Value* g) -> Status {
     CgValue keyv;
     if (string_keys) {
-      llvm::Value* len_ptr = b_.CreateAlloca(b_.getInt64Ty());
+      llvm::Value* len_ptr = EntryAlloca(b_.getInt64Ty());
       keyv.kind = TypeKind::kString;
       keyv.v = b_.CreateCall(Helper("proteus_group_key_str", i8p,
                                     {i8p, b_.getInt32Ty(), b_.getInt64Ty(),
@@ -1308,7 +1363,7 @@ Status Codegen::EmitScalarReduce(const OpPtr& reduce, bool to_sink) {
     llvm::Type* ty = k == TypeKind::kFloat64 ? (llvm::Type*)b_.getDoubleTy()
                      : k == TypeKind::kBool  ? (llvm::Type*)b_.getInt1Ty()
                                              : (llvm::Type*)b_.getInt64Ty();
-    llvm::Value* ptr = b_.CreateAlloca(ty, nullptr, "acc");
+    llvm::Value* ptr = EntryAlloca(ty, nullptr, "acc");
     llvm::Value* zero;
     if (k == TypeKind::kFloat64) {
       double d = 0;
@@ -1332,7 +1387,7 @@ Status Codegen::EmitScalarReduce(const OpPtr& reduce, bool to_sink) {
   // merges as the identity — exactly like an interpreter partial).
   llvm::Value* rows_ptr = nullptr;
   if (to_sink) {
-    rows_ptr = b_.CreateAlloca(b_.getInt64Ty(), nullptr, "rows");
+    rows_ptr = EntryAlloca(b_.getInt64Ty(), nullptr, "rows");
     b_.CreateStore(b_.getInt64(0), rows_ptr);
   }
 
@@ -1516,12 +1571,44 @@ llvm::Function* Codegen::OpenFunction(const char* name, uint32_t ptr_args, uint3
   auto* fty = llvm::FunctionType::get(b_.getVoidTy(), params, false);
   fn_ = llvm::Function::Create(fty, llvm::Function::ExternalLinkage, name, module_.get());
   ctx_arg_ = fn_->getArg(0);
+  // Every generated function takes the parameter table as its last pointer
+  // argument. The entry block holds its i64* view plus the lazily inserted
+  // param loads and allocas (before entry_term_, so they dominate the body).
   auto* entry = llvm::BasicBlock::Create(*llctx_, "entry", fn_);
+  auto* body = llvm::BasicBlock::Create(*llctx_, "body", fn_);
   b_.SetInsertPoint(entry);
+  params_arg_ = b_.CreateBitCast(fn_->getArg(ptr_args - 1),
+                                 b_.getInt64Ty()->getPointerTo(), "params");
+  entry_term_ = b_.CreateBr(body);
+  b_.SetInsertPoint(body);
   // Per-function emission state: virtual buffers never cross functions.
   bindings_.clear();
   oids_.clear();
+  param_values_.clear();
   return fn_;
+}
+
+llvm::Value* Codegen::ParamI64(jit::ParamDesc desc) {
+  uint32_t slot = params_->Slot(std::move(desc));
+  auto it = param_values_.find(slot);
+  if (it != param_values_.end()) return it->second;
+  auto* saved_bb = b_.GetInsertBlock();
+  auto saved_pt = b_.GetInsertPoint();
+  b_.SetInsertPoint(entry_term_);
+  llvm::Value* addr = b_.CreateConstInBoundsGEP1_64(b_.getInt64Ty(), params_arg_, slot);
+  llvm::Value* v = b_.CreateLoad(b_.getInt64Ty(), addr);
+  b_.SetInsertPoint(saved_bb, saved_pt);
+  param_values_[slot] = v;
+  return v;
+}
+
+llvm::Value* Codegen::EntryAlloca(llvm::Type* ty, llvm::Value* array_size, const char* name) {
+  auto* saved_bb = b_.GetInsertBlock();
+  auto saved_pt = b_.GetInsertPoint();
+  b_.SetInsertPoint(entry_term_);
+  llvm::Value* a = b_.CreateAlloca(ty, array_size, name);
+  b_.SetInsertPoint(saved_bb, saved_pt);
+  return a;
 }
 
 Status Codegen::Compile(const OpPtr& plan) {
@@ -1531,7 +1618,7 @@ Status Codegen::Compile(const OpPtr& plan) {
   PROTEUS_RETURN_NOT_OK(CheckSupported(plan));
   PROTEUS_RETURN_NOT_OK(Prepare(plan));
 
-  OpenFunction("proteus_query", /*ptr_args=*/1, /*int_args=*/0);
+  OpenFunction("proteus_query", /*ptr_args=*/2, /*int_args=*/0);  // (ctx, params)
   PROTEUS_RETURN_NOT_OK(EmitRoot(plan));
   b_.CreateRetVoid();
 
@@ -1557,21 +1644,22 @@ Status Codegen::CompileMorsel(const OpPtr& plan, const MorselPipeline& pipe) {
   const OpPtr& top = plan->child(0);
   const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
 
-  // proteus_build(ctx): chain join build sides, each a whole-relation
-  // pipeline run exactly once before the morsel fan-out. Build subtrees may
-  // themselves contain joins or nests — they emit fully in here.
-  OpenFunction("proteus_build", /*ptr_args=*/1, /*int_args=*/0);
+  // proteus_build(ctx, params): chain join build sides, each a
+  // whole-relation pipeline run exactly once before the morsel fan-out.
+  // Build subtrees may themselves contain joins or nests — they emit fully
+  // in here.
+  OpenFunction("proteus_build", /*ptr_args=*/2, /*int_args=*/0);
   for (const Operator* j : pipe.joins) {
     PROTEUS_RETURN_NOT_OK(EmitJoinBuild(*j));
   }
   b_.CreateRetVoid();
 
-  // proteus_pipeline(ctx, sink, begin, end): the driver chain over one
-  // morsel's range, feeding the morsel's partial sink.
-  OpenFunction("proteus_pipeline", /*ptr_args=*/2, /*int_args=*/2);
+  // proteus_pipeline(ctx, sink, params, begin, end): the driver chain over
+  // one morsel's range, feeding the morsel's partial sink.
+  OpenFunction("proteus_pipeline", /*ptr_args=*/3, /*int_args=*/2);
   sink_arg_ = fn_->getArg(1);
-  begin_arg_ = fn_->getArg(2);
-  end_arg_ = fn_->getArg(3);
+  begin_arg_ = fn_->getArg(3);
+  end_arg_ = fn_->getArg(4);
   PROTEUS_RETURN_NOT_OK(EmitMorselRoot(plan, nest));
   b_.CreateRetVoid();
 
@@ -1584,34 +1672,27 @@ Status Codegen::CompileMorsel(const OpPtr& plan, const MorselPipeline& pipe) {
   return Status::OK();
 }
 
-/// A compiled-and-linked query: the LLJIT instance owning the machine code
-/// plus the resolved entry points and codegen metadata.
-struct CompiledQuery {
-  std::unique_ptr<llvm::orc::LLJIT> jit;
-  std::vector<std::string> columns;
-  bool row_records = false;
-  std::string ir;
-  void (*query_fn)(void*) = nullptr;                              // legacy mode
-  void (*build_fn)(void*) = nullptr;                              // morsel mode
-  void (*pipeline_fn)(void*, void*, uint64_t, uint64_t) = nullptr;  // morsel mode
-};
-
-/// Generates, optimizes, and links `plan`. With `pipe`, compiles in morsel
-/// mode (proteus_build + proteus_pipeline); without, legacy whole-relation
-/// mode (proteus_query).
-Result<CompiledQuery> CompileAndLink(const ExecContext& ctx, QueryRuntime* rt,
-                                     const OpPtr& plan, const MorselPipeline* pipe) {
+/// Generates, optimizes, and links `plan` into a position-independent
+/// jit::CompiledModule (parameter table + runtime layout instead of baked
+/// constants) that the CompiledQueryCache can reuse across executions,
+/// threads, and shards. With `pipe`, compiles in morsel mode (proteus_build
+/// + proteus_pipeline); without, legacy whole-relation mode (proteus_query).
+Result<std::shared_ptr<const jit::CompiledModule>> CompileAndLink(const ExecContext& ctx,
+                                                                  const OpPtr& plan,
+                                                                  const MorselPipeline* pipe) {
   InitLLVMOnce();
-  Codegen cg(ctx, rt);
+  auto out = std::make_shared<jit::CompiledModule>();
+  jit::ParamTable param_table;
+  Codegen cg(ctx, &out->layout, &param_table);
   if (pipe != nullptr) {
     PROTEUS_RETURN_NOT_OK(cg.CompileMorsel(plan, *pipe));
   } else {
     PROTEUS_RETURN_NOT_OK(cg.Compile(plan));
   }
-  CompiledQuery out;
-  out.ir = cg.DumpIR();
-  out.columns = cg.result_columns();
-  out.row_records = cg.row_records();
+  out->ir = cg.DumpIR();
+  out->columns = cg.result_columns();
+  out->row_records = cg.row_records();
+  out->params = param_table.Take();
 
   auto module = cg.TakeModule();
   auto llctx = cg.TakeContext();
@@ -1638,24 +1719,24 @@ Result<CompiledQuery> CompileAndLink(const ExecContext& ctx, QueryRuntime* rt,
     return Status::Internal("jit: LLJIT creation failed: " +
                             llvm::toString(jit_or.takeError()));
   }
-  out.jit = std::move(*jit_or);
+  out->jit = std::move(*jit_or);
 
   llvm::orc::SymbolMap symbols;
   for (const auto& [name, addr] : jit::RuntimeSymbols()) {
-    symbols[out.jit->mangleAndIntern(name)] = llvm::JITEvaluatedSymbol(
+    symbols[out->jit->mangleAndIntern(name)] = llvm::JITEvaluatedSymbol(
         llvm::pointerToJITTargetAddress(addr),
         llvm::JITSymbolFlags::Exported | llvm::JITSymbolFlags::Callable);
   }
-  if (auto err = out.jit->getMainJITDylib().define(llvm::orc::absoluteSymbols(symbols))) {
+  if (auto err = out->jit->getMainJITDylib().define(llvm::orc::absoluteSymbols(symbols))) {
     return Status::Internal("jit: symbol registration failed: " +
                             llvm::toString(std::move(err)));
   }
-  if (auto err = out.jit->addIRModule(
+  if (auto err = out->jit->addIRModule(
           llvm::orc::ThreadSafeModule(std::move(module), std::move(llctx)))) {
     return Status::Internal("jit: addIRModule failed: " + llvm::toString(std::move(err)));
   }
   auto lookup = [&](const char* name) -> Result<void*> {
-    auto sym = out.jit->lookup(name);
+    auto sym = out->jit->lookup(name);
     if (!sym) {
       return Status::Internal("jit: lookup failed: " + llvm::toString(sym.takeError()));
     }
@@ -1664,13 +1745,13 @@ Result<CompiledQuery> CompileAndLink(const ExecContext& ctx, QueryRuntime* rt,
   if (pipe != nullptr) {
     PROTEUS_ASSIGN_OR_RETURN(void* b, lookup("proteus_build"));
     PROTEUS_ASSIGN_OR_RETURN(void* p, lookup("proteus_pipeline"));
-    out.build_fn = reinterpret_cast<void (*)(void*)>(b);
-    out.pipeline_fn = reinterpret_cast<void (*)(void*, void*, uint64_t, uint64_t)>(p);
+    out->build_fn = reinterpret_cast<jit::CompiledModule::BuildFn>(b);
+    out->pipeline_fn = reinterpret_cast<jit::CompiledModule::PipelineFn>(p);
   } else {
     PROTEUS_ASSIGN_OR_RETURN(void* q, lookup("proteus_query"));
-    out.query_fn = reinterpret_cast<void (*)(void*)>(q);
+    out->query_fn = reinterpret_cast<jit::CompiledModule::QueryFn>(q);
   }
-  return out;
+  return std::shared_ptr<const jit::CompiledModule>(std::move(out));
 }
 
 }  // namespace
@@ -1679,22 +1760,53 @@ Result<CompiledQuery> CompileAndLink(const ExecContext& ctx, QueryRuntime* rt,
 // JitExecutor
 // ---------------------------------------------------------------------------
 
-Result<QueryResult> JitExecutor::Execute(const OpPtr& plan) {
-  auto t0 = std::chrono::steady_clock::now();
+Result<std::shared_ptr<const jit::CompiledModule>> JitExecutor::GetOrCompileModule(
+    const OpPtr& plan, const MorselPipeline* pipe) {
+  last_cache_hit_ = false;
+  last_compile_ms_ = 0;
+  auto compile = [&]() -> Result<std::shared_ptr<const jit::CompiledModule>> {
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = CompileAndLink(ctx_, plan, pipe);
+    if (r.ok()) {
+      last_compile_ms_ = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    }
+    return r;
+  };
+  if (ctx_.jit_cache == nullptr || ctx_.catalog == nullptr) return compile();
+  jit::QueryCacheKey key;
+  key.signature = plan->Signature();
+  key.mode = pipe != nullptr ? jit::CodegenMode::kMorsel : jit::CodegenMode::kWholeRelation;
+  key.catalog_epoch = ctx_.catalog->epoch();
+  key.cache_epoch = ctx_.caches != nullptr ? ctx_.caches->epoch() : 0;
+  // On a hit (or a single-flight wait on another thread's compile)
+  // last_compile_ms_ stays 0: this execution generated no IR at all.
+  return ctx_.jit_cache->GetOrCompile(key, compile, &last_cache_hit_);
+}
 
+const std::string& JitExecutor::last_ir() const {
+  static const std::string kEmpty;
+  return last_module_ != nullptr ? last_module_->ir : kEmpty;
+}
+
+Result<QueryResult> JitExecutor::Execute(const OpPtr& plan) {
+  PROTEUS_ASSIGN_OR_RETURN(std::shared_ptr<const jit::CompiledModule> mod,
+                           GetOrCompileModule(plan, nullptr));
+  last_module_ = mod;
+
+  // Fresh per-execution state: runtime tables from the recorded layout, data
+  // constants re-bound from the live catalog/plug-ins/caches.
   jit::QueryRuntime rt;
+  jit::InitRuntimeFromLayout(mod->layout, &rt);
   rt.scheduler = ctx_.scheduler;
-  PROTEUS_ASSIGN_OR_RETURN(CompiledQuery cq, CompileAndLink(ctx_, &rt, plan, nullptr));
-  last_ir_ = cq.ir;
-  last_compile_ms_ = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
+  PROTEUS_ASSIGN_OR_RETURN(std::vector<int64_t> params, jit::BindParams(ctx_, mod->params));
 
   jit::MorselCtx mc(&rt);
-  cq.query_fn(&mc);
+  mod->query_fn(&mc, params.data());
   if (rt.failed) return Status::Internal("jit runtime: " + rt.error);
 
-  rt.result.columns = std::move(cq.columns);
+  rt.result.columns = mod->columns;  // copy: the module is shared
   return std::move(rt.result);
 }
 
@@ -1712,19 +1824,23 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
     return Status::Unimplemented("jit: plan is not morsel-parallelizable");
   }
 
-  auto t0 = std::chrono::steady_clock::now();
+  PROTEUS_ASSIGN_OR_RETURN(std::shared_ptr<const jit::CompiledModule> cq,
+                           GetOrCompileModule(plan, &pipe));
+  last_module_ = cq;
+
+  // Fresh per-execution state: runtime tables from the recorded layout, data
+  // constants re-bound from the live catalog/plug-ins/caches. The machine
+  // code itself is shared — possibly concurrently with other shard threads
+  // executing the same cached module.
   jit::QueryRuntime rt;
+  jit::InitRuntimeFromLayout(cq->layout, &rt);
   rt.scheduler = ctx_.scheduler;
-  PROTEUS_ASSIGN_OR_RETURN(CompiledQuery cq, CompileAndLink(ctx_, &rt, plan, &pipe));
-  last_ir_ = cq.ir;
-  last_compile_ms_ = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
+  PROTEUS_ASSIGN_OR_RETURN(std::vector<int64_t> params, jit::BindParams(ctx_, cq->params));
 
   // Shared join builds run once (their radix tables build through the
   // parallel RadixTable::Build path via rt.scheduler), then freeze.
   jit::MorselCtx build_ctx(&rt);
-  cq.build_fn(&build_ctx);
+  cq->build_fn(&build_ctx, params.data());
   if (rt.failed) return Status::Internal("jit runtime: " + rt.error);
 
   // The global morsel decomposition — the exact frame the interpreter and
@@ -1758,8 +1874,8 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
     for (size_t m = 0; m < n; ++m) partials.agg_morsels.push_back(MakeReduceAggs(*plan));
     for (size_t m = 0; m < n; ++m) {
       sinks[m].aggs = &partials.agg_morsels[m];
-      sinks[m].columns = &cq.columns;
-      sinks[m].row_records = cq.row_records;
+      sinks[m].columns = &cq->columns;  // module outlives the run (shared_ptr held)
+      sinks[m].row_records = cq->row_records;
     }
   }
 
@@ -1769,7 +1885,8 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
   const int workers = ctx_.scheduler != nullptr ? ctx_.scheduler->num_threads() : 1;
   std::vector<jit::MorselCtx> ctxs(static_cast<size_t>(workers), jit::MorselCtx(&rt));
   auto run_one = [&](uint64_t m, int worker) {
-    cq.pipeline_fn(&ctxs[worker], &sinks[m], morsels[m].begin, morsels[m].end);
+    cq->pipeline_fn(&ctxs[worker], &sinks[m], params.data(), morsels[m].begin,
+                    morsels[m].end);
   };
   if (ctx_.scheduler != nullptr) {
     PROTEUS_RETURN_NOT_OK(ctx_.scheduler->ParallelFor(n, [&](uint64_t m, int worker) -> Status {

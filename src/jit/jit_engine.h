@@ -18,6 +18,15 @@
 // purely a performance knob even with codegen on. Other shapes keep the
 // legacy whole-relation proteus_query(ctx) function.
 //
+// Compiled code is position-independent (src/jit/query_cache.h): data
+// pointers, relation sizes, and plug-in addresses live in a per-execution
+// parameter table, not the instruction stream, so a module compiled once can
+// be cached by plan signature and re-run — across executions, threads, and
+// shards — after a cheap re-bind. When ExecContext::jit_cache is set, the
+// executor looks modules up there before compiling (concurrent lookups of
+// one signature single-flight), and last_cache_hit()/last_compile_ms()
+// report how the plan was served.
+//
 // Plans using features outside the generated fast path (outer joins,
 // non-equi joins, collection monoids inside Nest, deep paths inside array
 // elements) return Unimplemented, and the QueryEngine facade transparently
@@ -34,6 +43,10 @@
 #include "src/engine/result.h"
 
 namespace proteus {
+
+namespace jit {
+struct CompiledModule;
+}  // namespace jit
 
 class JitExecutor {
  public:
@@ -64,19 +77,34 @@ class JitExecutor {
   Result<PlanPartials> ExecutePartials(const OpPtr& plan, uint64_t morsel_begin,
                                        uint64_t morsel_end);
 
-  /// Milliseconds spent generating + compiling IR for the last query.
+  /// Milliseconds spent generating + compiling IR for the last query. 0 when
+  /// the compiled-query cache (ExecContext::jit_cache) served the plan — a
+  /// cache hit performs no IR generation or compilation at all, only
+  /// parameter binding.
   double last_compile_ms() const { return last_compile_ms_; }
+  /// Whether the last query was served by the compiled-query cache.
+  bool last_cache_hit() const { return last_cache_hit_; }
   /// The LLVM IR of the last query (before optimization), for inspection.
-  const std::string& last_ir() const { return last_ir_; }
+  /// A reference into the retained module — no per-execution copy, so warm
+  /// runs (and shard executors) don't pay O(IR size) per query.
+  const std::string& last_ir() const;
 
  private:
+  /// Resolves the plan to a ready CompiledModule: through the shared
+  /// signature-keyed cache when ExecContext::jit_cache is set (concurrent
+  /// misses single-flight — one thread compiles, the rest wait and share),
+  /// else by compiling directly.
+  Result<std::shared_ptr<const jit::CompiledModule>> GetOrCompileModule(
+      const OpPtr& plan, const MorselPipeline* pipe);
   Result<PlanPartials> RunMorselPipelines(const OpPtr& plan, uint64_t morsel_begin,
                                           uint64_t morsel_end, bool whole_plan,
                                           InterpExecutor::ExecStats* stats);
 
   ExecContext ctx_;
   double last_compile_ms_ = 0;
-  std::string last_ir_;
+  bool last_cache_hit_ = false;
+  /// The last module run, kept alive so last_ir() can reference its IR.
+  std::shared_ptr<const jit::CompiledModule> last_module_;
 };
 
 }  // namespace proteus

@@ -1,0 +1,285 @@
+#include "src/jit/query_cache.h"
+
+#include <llvm/ExecutionEngine/Orc/LLJIT.h>
+
+#include <chrono>
+#include <sstream>
+
+#include "src/common/hash.h"
+#include "src/engine/interp.h"
+#include "src/jit/runtime.h"
+#include "src/plugins/binary_plugins.h"
+
+namespace proteus {
+namespace jit {
+
+namespace {
+
+const char* ParamKindName(ParamKind k) {
+  switch (k) {
+    case ParamKind::kPluginPtr: return "plugin";
+    case ParamKind::kNumRecords: return "num_records";
+    case ParamKind::kBinColIntBase: return "bincol_int";
+    case ParamKind::kBinColFloatBase: return "bincol_float";
+    case ParamKind::kBinColBoolBase: return "bincol_bool";
+    case ParamKind::kBinColStrOffsets: return "bincol_stroff";
+    case ParamKind::kBinColStrData: return "bincol_strdata";
+    case ParamKind::kBinRowRowsBase: return "binrow_rows";
+    case ParamKind::kBinRowHeapBase: return "binrow_heap";
+    case ParamKind::kCacheNumRows: return "cache_rows";
+    case ParamKind::kCacheColIntBase: return "cache_int";
+    case ParamKind::kCacheColFloatBase: return "cache_float";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ParamDesc::ToString() const {
+  std::ostringstream os;
+  os << ParamKindName(kind) << "(" << dataset << "#" << cache_id << "." << var;
+  if (!path.empty()) os << "." << DottedPath(path);
+  os << "@" << column << ")";
+  return os.str();
+}
+
+uint32_t ParamTable::Slot(ParamDesc desc) {
+  std::string key = desc.ToString();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  uint32_t slot = static_cast<uint32_t>(descs_.size());
+  descs_.push_back(std::move(desc));
+  index_.emplace(std::move(key), slot);
+  return slot;
+}
+
+Result<std::vector<int64_t>> BindParams(const ExecContext& ctx,
+                                        const std::vector<ParamDesc>& descs) {
+  std::vector<int64_t> out;
+  out.reserve(descs.size());
+  auto as_i64 = [](const void* p) { return static_cast<int64_t>(reinterpret_cast<uintptr_t>(p)); };
+  for (const ParamDesc& d : descs) {
+    switch (d.kind) {
+      case ParamKind::kCacheNumRows:
+      case ParamKind::kCacheColIntBase:
+      case ParamKind::kCacheColFloatBase: {
+        if (ctx.caches == nullptr) {
+          return Status::Internal("jit bind: cache param without a CachingManager");
+        }
+        const CacheBlock* blk = ctx.caches->FindById(d.cache_id);
+        if (blk == nullptr) {
+          return Status::NotFound("jit bind: cache block #" + std::to_string(d.cache_id) +
+                                  " evicted");
+        }
+        if (d.kind == ParamKind::kCacheNumRows) {
+          out.push_back(static_cast<int64_t>(blk->num_rows));
+          break;
+        }
+        const CacheColumn* col = blk->Find(d.var, d.path);
+        if (col == nullptr) {
+          return Status::NotFound("jit bind: cache column " + d.var + "." +
+                                  DottedPath(d.path) + " missing from block #" +
+                                  std::to_string(d.cache_id));
+        }
+        if (d.kind == ParamKind::kCacheColFloatBase) {
+          if (col->type != TypeKind::kFloat64) {
+            return Status::Internal("jit bind: cache column type changed under a module");
+          }
+          out.push_back(as_i64(col->floats.data()));
+        } else {
+          if (col->type == TypeKind::kFloat64 || col->type == TypeKind::kString) {
+            return Status::Internal("jit bind: cache column type changed under a module");
+          }
+          out.push_back(as_i64(col->ints.data()));
+        }
+        break;
+      }
+      default: {
+        if (ctx.catalog == nullptr || ctx.plugins == nullptr) {
+          return Status::Internal("jit bind: no catalog/plugin registry");
+        }
+        PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ctx.catalog->Get(d.dataset));
+        PROTEUS_ASSIGN_OR_RETURN(InputPlugin * plugin,
+                                 ctx.plugins->GetOrOpen(*info, ctx.stats));
+        switch (d.kind) {
+          case ParamKind::kPluginPtr:
+            out.push_back(as_i64(plugin));
+            break;
+          case ParamKind::kNumRecords:
+            out.push_back(static_cast<int64_t>(plugin->NumRecords()));
+            break;
+          case ParamKind::kBinColIntBase:
+          case ParamKind::kBinColFloatBase:
+          case ParamKind::kBinColBoolBase:
+          case ParamKind::kBinColStrOffsets:
+          case ParamKind::kBinColStrData: {
+            if (info->format != DataFormat::kBinaryColumn) {
+              return Status::Internal("jit bind: dataset " + d.dataset +
+                                      " is no longer binary-columnar");
+            }
+            const BinColReader* r = static_cast<BinColPlugin*>(plugin)->reader();
+            if (r == nullptr || d.column >= r->num_cols()) {
+              return Status::Internal("jit bind: bincol column " + std::to_string(d.column) +
+                                      " out of range for " + d.dataset);
+            }
+            const void* p = nullptr;
+            switch (d.kind) {
+              case ParamKind::kBinColIntBase: p = r->IntColumn(d.column); break;
+              case ParamKind::kBinColFloatBase: p = r->FloatColumn(d.column); break;
+              case ParamKind::kBinColBoolBase: p = r->BoolColumn(d.column); break;
+              case ParamKind::kBinColStrOffsets: p = r->StringOffsets(d.column); break;
+              default: p = r->StringData(d.column); break;
+            }
+            out.push_back(as_i64(p));
+            break;
+          }
+          case ParamKind::kBinRowRowsBase:
+          case ParamKind::kBinRowHeapBase: {
+            if (info->format != DataFormat::kBinaryRow) {
+              return Status::Internal("jit bind: dataset " + d.dataset +
+                                      " is no longer binary-row");
+            }
+            const BinRowReader* r = static_cast<BinRowPlugin*>(plugin)->reader();
+            if (r == nullptr) {
+              return Status::Internal("jit bind: binrow reader missing for " + d.dataset);
+            }
+            out.push_back(as_i64(d.kind == ParamKind::kBinRowRowsBase ? r->rows_base()
+                                                                      : r->heap_base()));
+            break;
+          }
+          default:
+            return Status::Internal("jit bind: unreachable param kind");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void InitRuntimeFromLayout(const RuntimeLayout& layout, QueryRuntime* rt) {
+  for (uint32_t slots : layout.join_slots) rt->AddJoin(slots);
+  for (const auto& g : layout.groups) rt->AddGroup(g.string_keys, g.init);
+  rt->num_unnests = layout.num_unnests;
+}
+
+CompiledModule::CompiledModule() = default;
+CompiledModule::~CompiledModule() = default;
+CompiledModule::CompiledModule(CompiledModule&&) noexcept = default;
+CompiledModule& CompiledModule::operator=(CompiledModule&&) noexcept = default;
+
+size_t QueryCacheKeyHash::operator()(const QueryCacheKey& k) const {
+  uint64_t h = HashString(k.signature);
+  h = HashCombine(h, static_cast<uint64_t>(k.mode));
+  h = HashCombine(h, k.catalog_epoch);
+  h = HashCombine(h, k.cache_epoch);
+  return static_cast<size_t>(h);
+}
+
+CompiledQueryCache::CompiledQueryCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Result<std::shared_ptr<const CompiledModule>> CompiledQueryCache::GetOrCompile(
+    const QueryCacheKey& key, const CompileFn& compile, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  std::unique_lock<std::mutex> lk(mu_);
+  bool waited = false;
+  for (;;) {
+    auto it = map_.find(key);
+    if (it == map_.end()) break;  // miss: this thread compiles
+    if (it->second.state == Entry::State::kReady) {
+      stats_.hits++;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second.module;
+    }
+    // Another thread is compiling this key: single-flight — wait for it to
+    // publish (or fail and erase), then re-check.
+    if (!waited) {
+      waited = true;
+      stats_.single_flight_waits++;
+    }
+    cv_.wait(lk);
+  }
+
+  stats_.misses++;
+  map_.emplace(key, Entry{});  // state = kCompiling
+  lk.unlock();
+
+  auto t0 = std::chrono::steady_clock::now();
+  Result<std::shared_ptr<const CompiledModule>> compiled = compile();
+  double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+
+  lk.lock();
+  stats_.compile_ms_total += ms;
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.state != Entry::State::kCompiling) {
+    // The in-flight entry is gone or was replaced (cannot happen today:
+    // Erase/Clear/eviction all skip compiling entries) — hand the module to
+    // the caller without publishing rather than corrupt the LRU.
+    cv_.notify_all();
+    if (compiled.ok() && *compiled != nullptr) stats_.compiles++;
+    return compiled;
+  }
+  if (!compiled.ok() || *compiled == nullptr) {
+    // Failures are not cached: erase the in-flight entry so waiters (and
+    // later lookups) retry — a plan outside the generated fast path keeps
+    // today's fall-back behavior instead of pinning a dead LRU slot.
+    map_.erase(it);
+    cv_.notify_all();
+    return compiled.ok() ? Status::Internal("jit cache: compile returned null module")
+                         : compiled.status();
+  }
+  stats_.compiles++;
+  it->second.state = Entry::State::kReady;
+  it->second.module = *compiled;
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  EvictOverCapacityLocked();
+  cv_.notify_all();
+  return *compiled;
+}
+
+void CompiledQueryCache::EvictOverCapacityLocked() {
+  // Only ready entries live on the LRU list, so in-flight compiles are never
+  // evicted from under their waiters.
+  while (lru_.size() > capacity_) {
+    const QueryCacheKey& victim = lru_.back();
+    map_.erase(victim);
+    lru_.pop_back();
+    stats_.evictions++;
+  }
+}
+
+void CompiledQueryCache::Erase(const QueryCacheKey& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.state != Entry::State::kReady) return;
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+void CompiledQueryCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->second.state == Entry::State::kReady) {
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t CompiledQueryCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lru_.size();
+}
+
+CompiledQueryCache::Stats CompiledQueryCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace jit
+}  // namespace proteus

@@ -1,0 +1,243 @@
+// Compiled-query cache: signature-keyed reuse of JIT-generated engines
+// across executions, threads, and shards.
+//
+// The paper's per-query engine customization (§5.1) pays an IR-generation +
+// LLVM-compilation cost per execution; this module amortizes it for repeated
+// plans, the regime a production engine serving heavy repeated traffic lives
+// in. A `CompiledModule` is position-independent: every per-execution
+// constant the old codegen baked into the instruction stream (data pointers,
+// relation sizes, cache-block column bases, plug-in addresses) is hoisted
+// into a *parameter table* — an int64 array described by `ParamDesc` entries,
+// re-bound from the live catalog/plug-ins/caches before every run and passed
+// to the generated functions as an extra argument. Runtime table shapes
+// (join payload widths, group-table layouts, unnest slot count) are recorded
+// in a `RuntimeLayout` so each execution rebuilds a fresh jit::QueryRuntime
+// without touching the codegen.
+//
+// Keying: canonical plan signature (Operator::Signature()) + codegen mode
+// (whole-relation vs morsel-parameterized) + catalog/caching epochs. The
+// epochs make invalidation trivial: any catalog registration / dataset
+// invalidation / cache install or eviction bumps an epoch, old keys stop
+// matching, and stale entries age out of the LRU.
+//
+// Concurrency: lookups single-flight — when N shard executors (or any N
+// threads) ask for the same key at once, exactly one compiles while the
+// rest block on the entry and then share the module. Modules are handed out
+// as shared_ptr<const CompiledModule>, so LRU eviction never invalidates a
+// module mid-execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/plugins/plugin.h"
+
+namespace llvm {
+namespace orc {
+class LLJIT;
+}  // namespace orc
+}  // namespace llvm
+
+namespace proteus {
+
+struct ExecContext;
+
+namespace jit {
+
+struct QueryRuntime;
+
+/// Which entry points a module was generated with. Whole-relation and
+/// morsel-parameterized code for the same plan are distinct machine code, so
+/// the mode is part of the cache key.
+enum class CodegenMode : uint8_t { kWholeRelation, kMorsel };
+
+/// One hoisted per-execution constant of the generated code: what it is and
+/// where to re-resolve it at bind time. Everything the generated code loads
+/// from the parameter table instead of carrying as an immediate.
+enum class ParamKind : uint8_t {
+  kPluginPtr,        ///< InputPlugin* for dataset (CSV/JSON helper calls)
+  kNumRecords,       ///< plugin->NumRecords() (non-driver scan loop bound)
+  kBinColIntBase,    ///< BinColReader::IntColumn(column)
+  kBinColFloatBase,  ///< BinColReader::FloatColumn(column)
+  kBinColBoolBase,   ///< BinColReader::BoolColumn(column)
+  kBinColStrOffsets, ///< BinColReader::StringOffsets(column)
+  kBinColStrData,    ///< BinColReader::StringData(column)
+  kBinRowRowsBase,   ///< BinRowReader::rows_base()
+  kBinRowHeapBase,   ///< BinRowReader::heap_base()
+  kCacheNumRows,     ///< CacheBlock::num_rows (cache-scan loop bound)
+  kCacheColIntBase,  ///< CacheColumn::ints.data() (ints / bools / $oid)
+  kCacheColFloatBase,///< CacheColumn::floats.data()
+};
+
+struct ParamDesc {
+  ParamKind kind;
+  std::string dataset;    ///< catalog name (raw-format and hybrid params)
+  uint32_t column = 0;    ///< binary reader column index
+  uint64_t cache_id = 0;  ///< cache-block params
+  std::string var;        ///< cache column lookup: binding variable
+  FieldPath path;         ///< cache column lookup: field path
+
+  /// Canonical text form — the ParamTable dedup key.
+  std::string ToString() const;
+};
+
+/// Grows the parameter-table layout during codegen, deduplicating repeated
+/// constants (e.g. a column base referenced by several pipeline functions).
+class ParamTable {
+ public:
+  uint32_t Slot(ParamDesc desc);
+  const std::vector<ParamDesc>& descs() const { return descs_; }
+  std::vector<ParamDesc> Take() { return std::move(descs_); }
+
+ private:
+  std::vector<ParamDesc> descs_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+/// Resolves every descriptor against the live catalog / plug-in registry /
+/// caching manager into the int64 parameter vector the generated functions
+/// read. Validates formats and column bounds so a stale module (one that
+/// escaped epoch invalidation) fails loudly instead of reading through a
+/// dangling base pointer. Thread-safe: only touches the mutex-guarded
+/// PluginRegistry and read-only catalog/cache lookups, so N shard threads
+/// can bind the same module concurrently.
+Result<std::vector<int64_t>> BindParams(const ExecContext& ctx,
+                                        const std::vector<ParamDesc>& descs);
+
+/// Shapes of the runtime tables the generated code indexes by slot: enough
+/// to rebuild a fresh QueryRuntime for every execution of a cached module.
+struct RuntimeLayout {
+  std::vector<uint32_t> join_slots;  ///< payload slots_per_row per join table
+  struct GroupSpec {
+    bool string_keys = false;
+    std::vector<int64_t> init;  ///< per-slot init bit patterns
+  };
+  std::vector<GroupSpec> groups;
+  uint32_t num_unnests = 0;
+
+  uint32_t AddJoin(uint32_t payload_slots) {
+    join_slots.push_back(payload_slots);
+    return static_cast<uint32_t>(join_slots.size() - 1);
+  }
+  uint32_t AddGroup(bool string_keys, std::vector<int64_t> init) {
+    groups.push_back({string_keys, std::move(init)});
+    return static_cast<uint32_t>(groups.size() - 1);
+  }
+  uint32_t AddUnnest() { return num_unnests++; }
+};
+
+/// Registers the layout's join/group/unnest tables on a fresh QueryRuntime
+/// (scheduler/result state untouched).
+void InitRuntimeFromLayout(const RuntimeLayout& layout, QueryRuntime* rt);
+
+/// A compiled-and-linked query engine: the LLJIT instance owning the machine
+/// code, the resolved entry points, codegen metadata, and everything needed
+/// to re-bind it to fresh data (layout + parameter descriptors). Immutable
+/// after compilation — all mutable execution state lives in the per-run
+/// QueryRuntime / MorselCtx / parameter vector, which is what makes one
+/// module shareable across executions, threads, and shards.
+struct CompiledModule {
+  CompiledModule();
+  ~CompiledModule();
+  CompiledModule(CompiledModule&&) noexcept;
+  CompiledModule& operator=(CompiledModule&&) noexcept;
+
+  using QueryFn = void (*)(void*, const int64_t*);
+  using BuildFn = void (*)(void*, const int64_t*);
+  using PipelineFn = void (*)(void*, void*, const int64_t*, uint64_t, uint64_t);
+
+  std::unique_ptr<llvm::orc::LLJIT> jit;  ///< owns the machine code
+  std::vector<std::string> columns;
+  bool row_records = false;
+  std::string ir;                    ///< unoptimized IR, for inspection
+  QueryFn query_fn = nullptr;        ///< whole-relation mode
+  BuildFn build_fn = nullptr;        ///< morsel mode
+  PipelineFn pipeline_fn = nullptr;  ///< morsel mode
+  RuntimeLayout layout;
+  std::vector<ParamDesc> params;
+};
+
+/// Cache key: plan signature + codegen mode + engine-state epochs.
+struct QueryCacheKey {
+  std::string signature;
+  CodegenMode mode = CodegenMode::kMorsel;
+  uint64_t catalog_epoch = 0;
+  uint64_t cache_epoch = 0;
+
+  bool operator==(const QueryCacheKey& o) const {
+    return mode == o.mode && catalog_epoch == o.catalog_epoch &&
+           cache_epoch == o.cache_epoch && signature == o.signature;
+  }
+};
+
+struct QueryCacheKeyHash {
+  size_t operator()(const QueryCacheKey& k) const;
+};
+
+/// Thread-safe LRU cache of ready-to-run compiled query modules.
+class CompiledQueryCache {
+ public:
+  /// `capacity` is the entry cap (>= 1); LRU entries are evicted past it.
+  explicit CompiledQueryCache(size_t capacity = kDefaultCapacity);
+
+  static constexpr size_t kDefaultCapacity = 32;
+
+  struct Stats {
+    uint64_t hits = 0;        ///< lookups served by a ready module (incl. waits)
+    uint64_t misses = 0;      ///< lookups that had to compile
+    uint64_t compiles = 0;    ///< successful compilations
+    uint64_t evictions = 0;   ///< entries dropped by the LRU
+    uint64_t single_flight_waits = 0;  ///< lookups that blocked on another
+                                       ///< thread's in-progress compile
+    double compile_ms_total = 0;       ///< wall ms spent inside compile fns
+  };
+
+  using CompileFn = std::function<Result<std::shared_ptr<const CompiledModule>>()>;
+
+  /// Returns the module for `key`, compiling it via `compile` on a miss.
+  /// Concurrent misses of the same key single-flight: one caller runs
+  /// `compile` (unlocked), the rest block and share its module. Failed
+  /// compilations are not cached — the error is returned to the compiling
+  /// caller and to every waiter of that flight. `*cache_hit` reports whether
+  /// this call was served without compiling (waiters count as hits).
+  Result<std::shared_ptr<const CompiledModule>> GetOrCompile(const QueryCacheKey& key,
+                                                             const CompileFn& compile,
+                                                             bool* cache_hit);
+
+  /// Drops one entry / every entry (in-flight compiles are left to finish
+  /// and publish; Clear only removes ready entries).
+  void Erase(const QueryCacheKey& key);
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    enum class State { kCompiling, kReady };
+    State state = State::kCompiling;
+    std::shared_ptr<const CompiledModule> module;
+    std::list<QueryCacheKey>::iterator lru_it;  ///< valid when kReady
+  };
+
+  void EvictOverCapacityLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<QueryCacheKey> lru_;  ///< front = most recently used (ready entries only)
+  std::unordered_map<QueryCacheKey, Entry, QueryCacheKeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace jit
+}  // namespace proteus

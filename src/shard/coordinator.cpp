@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "src/common/counters.h"
+#include "src/jit/query_cache.h"
 #include "src/shard/executor.h"
 #include "src/shard/partial_result.h"
 
@@ -34,6 +35,11 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
   // the surplus shards simply don't run.
   std::vector<ScanRange> slices =
       EvenSplit(num_morsels, static_cast<uint64_t>(num_shards_));
+
+  // Snapshot the shared compiled-query cache so the stats can report this
+  // run's compile/hit deltas — the proof that N shards triggered one compile.
+  jit::CompiledQueryCache::Stats cache_before;
+  if (base_.jit_cache != nullptr) cache_before = base_.jit_cache->stats();
 
   // Fan out: one executor thread per shard, each with its own morsel pool.
   // Shard threads write only to the transport and their status slot; their
@@ -125,6 +131,12 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
   stats->morsels = num_morsels;
   stats->jit_shards = 0;
   for (char j : shard_jit) stats->jit_shards += j;
+  if (base_.jit_cache != nullptr) {
+    jit::CompiledQueryCache::Stats after = base_.jit_cache->stats();
+    stats->jit_compiles = after.compiles - cache_before.compiles;
+    stats->jit_cache_hits = after.hits - cache_before.hits;
+    stats->jit_compile_ms = after.compile_ms_total - cache_before.compile_ms_total;
+  }
   return FinalizePlanPartials(*plan, nest, std::move(all));
 }
 

@@ -28,6 +28,15 @@ struct ShardExecStats {
   int threads_per_shard = 1;    ///< morsel workers inside each shard
   uint64_t morsels = 0;         ///< global morsel count across all shards
   int jit_shards = 0;           ///< shards that ran generated (JIT) pipelines
+  /// Compiled-query cache activity of this run (deltas of the shared
+  /// cache's counters across the shard fan-out). Every ShardExecutor gets
+  /// the coordinator's ExecContext — one cache for all shards — so for a
+  /// cacheable plan jit_compiles is exactly 1 on a cold run (the other
+  /// shards single-flight onto that compile: jit_cache_hits == shards - 1)
+  /// and 0 on a warm one (jit_cache_hits == shards).
+  uint64_t jit_compiles = 0;
+  uint64_t jit_cache_hits = 0;
+  double jit_compile_ms = 0;  ///< wall ms shards spent compiling this run
 };
 
 class ShardCoordinator {

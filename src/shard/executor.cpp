@@ -10,6 +10,9 @@ ShardExecutor::ShardExecutor(int shard_id, const ExecContext& base, int num_thre
     : shard_id_(shard_id), scheduler_(num_threads), ctx_(base), use_jit_(use_jit) {
   ctx_.scheduler = &scheduler_;
   ctx_.stats = nullptr;  // cold-access stats were collected by the coordinator
+  // ctx_.jit_cache is inherited from `base`: every shard shares the
+  // coordinator's compiled-query cache, so one plan compiles once per
+  // engine, not once per shard.
 }
 
 Status ShardExecutor::Run(const ShardTask& task, ShardTransport* transport) {

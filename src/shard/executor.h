@@ -28,14 +28,17 @@ struct ShardTask {
 
 class ShardExecutor {
  public:
-  /// `base` supplies catalog/plug-ins/caches; the executor swaps in its own
-  /// scheduler and drops the stats sink (the coordinator already collected
-  /// cold-access stats before fanning out). With `use_jit`, the shard
-  /// compiles the plan's morsel-parameterized JIT pipelines and runs its
-  /// slice through them (JitExecutor::ExecutePartials); plans outside the
-  /// generated fast path fall back to the interpreter's partials. Both
-  /// engines produce bit-identical per-morsel partials, so the choice never
-  /// affects the merged result.
+  /// `base` supplies catalog/plug-ins/caches *and the coordinator's shared
+  /// compiled-query cache* (ExecContext::jit_cache); the executor swaps in
+  /// its own scheduler and drops the stats sink (the coordinator already
+  /// collected cold-access stats before fanning out). With `use_jit`, the
+  /// shard resolves the plan through the shared cache and runs its slice
+  /// through the morsel-parameterized pipelines (JitExecutor::
+  /// ExecutePartials) — N shards of one plan trigger exactly one compile,
+  /// because concurrent lookups of the same signature single-flight; plans
+  /// outside the generated fast path fall back to the interpreter's
+  /// partials. Both engines produce bit-identical per-morsel partials, so
+  /// the choice never affects the merged result.
   ShardExecutor(int shard_id, const ExecContext& base, int num_threads, bool use_jit = false);
 
   /// Runs the task's morsel slice and Sends the serialized partials through

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -32,7 +33,10 @@ struct Corpus {
  private:
   static Corpus Build() {
     Corpus c;
-    c.dir = ::testing::TempDir() + "/proteus_corpus";
+    // Per-process directory: test binaries run concurrently under `ctest -j`,
+    // and a shared corpus dir would be rewritten by one binary while another
+    // reads it mid-write.
+    c.dir = ::testing::TempDir() + "/proteus_corpus_" + std::to_string(::getpid());
     std::filesystem::create_directories(c.dir);
     c.lineitem = datagen::GenLineitem(c.num_orders, 101);
     c.orders = datagen::GenOrders(c.num_orders, 102);
