@@ -91,6 +91,42 @@ void Register() {
     RegisterMs(tag + "RowStore_jsonb", [bq] { return BaselineMs(Systems::Get().row, bq); });
     RegisterMs(tag + "DocStore_native", [bq] { return BaselineMs(Systems::Get().doc, bq); });
   }
+  // Q5: outer join through the parallel generated engine (matched-build
+  // bitmaps + generated unmatched-drain pass). Built directly on the algebra
+  // — the SQL frontend does not expose outer joins. Aborts if telemetry
+  // shows the interpreter silently served it: a jit_parallel variant that
+  // measured the interpreter would be exactly the reporting bug the
+  // telemetry work closed (same guard as JitThreadedMs).
+  for (int threads : ThreadCounts()) {
+    std::string tag =
+        "fig09/Q5_outerjoin/sel=100/Proteus_jit_parallel/threads=" + std::to_string(threads);
+    RegisterMs(tag, [threads] {
+      QueryEngine& e = JitThreadedEngine(threads);
+      OpPtr scan_o = Operator::Scan("orders_json", "o");
+      OpPtr scan_l = Operator::Scan("lineitem_json", "l");
+      ExprPtr pred = Expr::Bin(BinOp::kEq, Expr::Proj(Expr::Var("o"), "o_orderkey"),
+                               Expr::Proj(Expr::Var("l"), "l_orderkey"));
+      OpPtr join = Operator::Join(std::move(scan_o), std::move(scan_l), std::move(pred),
+                                  /*outer=*/true);
+      OpPtr plan = Operator::Reduce(
+          std::move(join),
+          {{Monoid::kCount, nullptr, "n"},
+           {Monoid::kMax, Expr::Proj(Expr::Var("o"), "o_totalprice"), "maxp"}});
+      auto r = e.ExecutePlan(std::move(plan));
+      if (!r.ok()) {
+        fprintf(stderr, "proteus jit[%d threads] outer join failed: %s\n", threads,
+                r.status().ToString().c_str());
+        std::abort();
+      }
+      if (!e.telemetry().used_jit || !e.telemetry().jit_parallel) {
+        fprintf(stderr,
+                "proteus jit[%d threads] outer join fell back to the interpreter: %s\n",
+                threads, e.telemetry().fallback_reason.c_str());
+        std::abort();
+      }
+      return e.telemetry().execute_ms;
+    });
+  }
 }
 
 }  // namespace

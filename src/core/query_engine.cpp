@@ -233,10 +233,15 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
       return result.status();
     }
     telemetry_.fallback_reason = result.status().message();
+    // The aborted codegen attempt still cost compile time; record it the
+    // way the success path does so fallback runs stop folding it into
+    // execute_ms with compile_ms stuck at 0.
+    telemetry_.compile_ms = jit.last_compile_ms();
+    telemetry_.jit_compile_ms = jit.last_compile_ms();
   }
   InterpExecutor interp(ctx);
   auto result = interp.Execute(physical);
-  telemetry_.execute_ms = MsSince(t0);
+  telemetry_.execute_ms = MsSince(t0) - telemetry_.compile_ms;
   telemetry_.threads_used = interp.exec_stats().threads_used;
   telemetry_.morsels = interp.exec_stats().morsels;
   return result;

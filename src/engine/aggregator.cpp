@@ -74,9 +74,12 @@ void Aggregator::LoadScalar(const Value& v) {
 }
 
 bool Aggregator::InsertSetItem(Value v) {
-  for (const auto& x : items_) {
-    if (x.Equals(v)) return false;
+  if (set_index_ == nullptr) set_index_ = std::make_unique<SetIndex>();
+  auto& bucket = (*set_index_)[v.Hash()];
+  for (uint32_t i : bucket) {
+    if (items_[i].Equals(v)) return false;
   }
+  bucket.push_back(static_cast<uint32_t>(items_.size()));
   items_.push_back(std::move(v));
   return true;
 }
@@ -176,6 +179,14 @@ Result<Aggregator> Aggregator::Deserialize(WireReader* r) {
   for (uint64_t i = 0; i < n; ++i) {
     PROTEUS_ASSIGN_OR_RETURN(Value v, r->ReadValue());
     a.items_.push_back(std::move(v));
+  }
+  if (a.monoid_ == Monoid::kSet && !a.items_.empty()) {
+    // Items on the wire are already unique; rebuild the dedup index so
+    // post-deserialization merges keep deduplicating.
+    a.set_index_ = std::make_unique<SetIndex>();
+    for (uint32_t i = 0; i < a.items_.size(); ++i) {
+      (*a.set_index_)[a.items_[i].Hash()].push_back(i);
+    }
   }
   return a;
 }

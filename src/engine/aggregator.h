@@ -1,6 +1,9 @@
 // Monoid accumulators shared by the Reduce and Nest interpreters.
 #pragma once
 
+#include <memory>
+#include <unordered_map>
+
 #include "src/algebra/algebra.h"
 #include "src/common/value.h"
 #include "src/common/wire.h"
@@ -12,6 +15,24 @@ namespace proteus {
 class Aggregator {
  public:
   explicit Aggregator(Monoid m) : monoid_(m) {}
+  Aggregator(Aggregator&&) = default;
+  Aggregator& operator=(Aggregator&&) = default;
+  // The set-dedup index is lazily allocated; copies deep-copy it.
+  Aggregator(const Aggregator& o)
+      : monoid_(o.monoid_),
+        count_(o.count_),
+        seen_(o.seen_),
+        all_int_(o.all_int_),
+        int_acc_(o.int_acc_),
+        float_acc_(o.float_acc_),
+        bool_acc_(o.bool_acc_),
+        extreme_(o.extreme_),
+        items_(o.items_),
+        set_index_(o.set_index_ ? std::make_unique<SetIndex>(*o.set_index_) : nullptr) {}
+  Aggregator& operator=(const Aggregator& o) {
+    if (this != &o) *this = Aggregator(o);
+    return *this;
+  }
 
   Monoid monoid() const { return monoid_; }
 
@@ -42,6 +63,15 @@ class Aggregator {
   /// The folded result; the monoid's zero element if nothing was added.
   Value Final() const;
 
+  /// kSet only: adds `v` unless an equal item exists; returns whether it was
+  /// added. Exposed so the JIT's legacy whole-relation set sink shares the
+  /// one dedup implementation instead of growing its own.
+  bool InsertDistinct(Value v) {
+    if (!InsertSetItem(std::move(v))) return false;
+    seen_ = true;
+    return true;
+  }
+
   /// Encodes the complete accumulator state (monoid included) so a partial
   /// aggregate can cross the shard wire; Deserialize rebuilds an accumulator
   /// that is indistinguishable from the original — Merge and Final behave
@@ -51,7 +81,10 @@ class Aggregator {
 
  private:
   /// Single home of the set monoid's dedup: appends `v` unless an equal
-  /// element exists. Returns whether it was added.
+  /// element exists. Returns whether it was added. Hash-indexed (boxed-item
+  /// hash -> candidate indices, equality-checked), so per-morsel dedup and
+  /// the morsel-order merge stay O(1) amortized per item instead of O(n) —
+  /// the dedup behind JIT set-output sinks as well as the interpreter's.
   bool InsertSetItem(Value v);
 
   Monoid monoid_;
@@ -63,6 +96,12 @@ class Aggregator {
   bool bool_acc_ = false;
   Value extreme_;     // max/min
   ValueList items_;   // bag/list/set
+  /// kSet only: item hash -> indices into items_ (rebuilt on deserialize).
+  /// Lazily allocated so the overwhelmingly more common non-set
+  /// accumulators — e.g. every group × output cell of a group-by partial —
+  /// don't carry an empty hash map.
+  using SetIndex = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+  std::unique_ptr<SetIndex> set_index_;
 };
 
 }  // namespace proteus

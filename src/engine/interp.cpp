@@ -779,12 +779,10 @@ class MorselRunner {
   /// cursors hold direct pointers into their partial's entry.
   using MatchedBitmaps = std::unordered_map<const Operator*, std::vector<uint8_t>>;
 
-  /// Partial sink slots a pipeline region feeds: one per morsel plus one
-  /// trailing drain slot per outer join in the chain.
+  /// Partial sink slots a pipeline region feeds (shared accounting with the
+  /// JIT executor — see PlanPartialSlots in interp.h).
   static uint64_t PartialSlots(const PipelineDesc& desc, const std::vector<ScanRange>& morsels) {
-    uint64_t outer = 0;
-    for (const Operator* j : desc.joins) outer += j->outer() ? 1 : 0;
-    return morsels.size() + outer;
+    return PlanPartialSlots(desc, morsels.size());
   }
 
   /// Wraps `cursor` in the pipeline op `op` (shared by the per-morsel
@@ -874,10 +872,7 @@ class MorselRunner {
   Status DrainOuterJoins(const PipelineDesc& desc, std::vector<MatchedBitmaps>* bitmaps,
                          uint64_t next_slot,
                          const std::function<Status(EvalEnv&, uint64_t)>& sink) {
-    // desc.joins is collected root-first; iterate deepest-first.
-    for (size_t k = desc.joins.size(); k-- > 0;) {
-      const Operator* j = desc.joins[k];
-      if (!j->outer()) continue;
+    for (const Operator* j : OuterChainJoins(desc)) {
       const SharedJoinBuild& build = *builds_.at(j);
       std::vector<uint8_t> matched(build.rows.size(), 0);
       for (const MatchedBitmaps& bm : *bitmaps) {
@@ -967,6 +962,21 @@ bool CollectMorselPipeline(const OpPtr& op, MorselPipeline* out) {
     default:
       return false;  // Nest mid-chain, Reduce, unknown
   }
+}
+
+std::vector<const Operator*> OuterChainJoins(const MorselPipeline& pipe) {
+  // pipe.joins is collected root-first; drains run deepest-first.
+  std::vector<const Operator*> outer;
+  for (size_t k = pipe.joins.size(); k-- > 0;) {
+    if (pipe.joins[k]->outer()) outer.push_back(pipe.joins[k]);
+  }
+  return outer;
+}
+
+uint64_t PlanPartialSlots(const MorselPipeline& pipe, uint64_t num_morsels) {
+  uint64_t outer = 0;
+  for (const Operator* j : pipe.joins) outer += j->outer() ? 1 : 0;
+  return num_morsels + outer;
 }
 
 Result<std::vector<ScanRange>> SplitLeafMorsels(const ExecContext& ctx, const Operator& leaf) {

@@ -128,6 +128,19 @@ struct MorselPipeline {
 /// shape is not morsel-parallelizable (Nest mid-chain, unknown ops).
 bool CollectMorselPipeline(const OpPtr& pipe_root, MorselPipeline* out);
 
+/// Outer joins of the chain in drain order (deepest-first): the order both
+/// engines run unmatched-build drains — each drain's matches on the outer
+/// joins above it join the bitmap pool of later drains — and the order the
+/// trailing partial slots are filled in.
+std::vector<const Operator*> OuterChainJoins(const MorselPipeline& pipe);
+
+/// Partial-sink slot count of a pipeline region: one slot per morsel plus
+/// one trailing slot per outer chain join's drain pass. The single home of
+/// this accounting, shared by the interpreter's morsel runner and the JIT
+/// executor so their partial frames (and thus merged results) line up
+/// slot for slot.
+uint64_t PlanPartialSlots(const MorselPipeline& pipe, uint64_t num_morsels);
+
 /// The global morsel decomposition of a pipeline's driver leaf: plug-in
 /// Split() for raw scans (byte-balanced where the format supports it), an
 /// even row split for cache blocks. Deterministic — depends only on the data

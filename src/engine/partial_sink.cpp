@@ -221,6 +221,11 @@ void proteus_sink_group_begin_str(void* sink, const char* p, int64_t len) {
       *s->nest, proteus::Value::Str(std::string(p, static_cast<size_t>(len))));
 }
 
+void proteus_sink_group_begin_null(void* sink) {
+  proteus::JitMorselSink* s = SINK(sink);
+  s->cur_group = s->groups->UpsertKey(*s->nest, proteus::Value::Null());
+}
+
 void proteus_sink_group_agg_count(void* sink, uint32_t i) {
   proteus::JitMorselSink* s = SINK(sink);
   s->groups->aggs[s->cur_group][i].Add(proteus::Value::Int(1));
@@ -261,6 +266,14 @@ void proteus_sink_emit_bool(void* sink, int32_t v) {
 
 void proteus_sink_emit_str(void* sink, const char* p, int64_t len) {
   SINK(sink)->staged.push_back(proteus::Value::Str(std::string(p, static_cast<size_t>(len))));
+}
+
+void proteus_sink_emit_null(void* sink) {
+  SINK(sink)->staged.push_back(proteus::Value::Null());
+}
+
+void proteus_sink_join_matched(void* sink, uint32_t table, int64_t row) {
+  (*SINK(sink)->matched)[table][static_cast<size_t>(row)] = 1;
 }
 
 void proteus_sink_emit_end(void* sink) {

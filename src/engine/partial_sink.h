@@ -120,6 +120,16 @@ struct JitMorselSink {
   const std::vector<std::string>* columns = nullptr;
   bool row_records = false;
 
+  /// Outer-join matched-build bitmaps this sink's marks land in, indexed by
+  /// join table id (entries stay empty for non-outer tables). The generated
+  /// probe body sets one byte per matched build row — the JIT counterpart
+  /// of the interpreter's MatchedBitmaps. Morsel sinks share one bitmap set
+  /// per *worker* (marking is an idempotent 0→1 write, so sharing across a
+  /// worker's morsels cannot change the OR); drain sinks get their own. The
+  /// host ORs all sets before running each generated unmatched-drain pass.
+  /// Null when the plan has no outer chain joins.
+  std::vector<std::vector<uint8_t>>* matched = nullptr;
+
   size_t cur_group = 0;       ///< group of the row being aggregated
   std::vector<Value> staged;  ///< cells of the row being emitted
 };
@@ -141,10 +151,12 @@ void proteus_sink_agg_flush_double(void* sink, uint32_t i, double v, int64_t row
 void proteus_sink_agg_flush_bool(void* sink, uint32_t i, int32_t v, int64_t rows);
 
 // Nest under the root: begin a grouped row (upsert its key), then fold each
-// output's evaluated value.
+// output's evaluated value. The null variant covers SQL-null group keys
+// (e.g. rows drained from an outer join grouping on a probe-side field).
 void proteus_sink_group_begin_int(void* sink, int64_t key);
 void proteus_sink_group_begin_bool(void* sink, int32_t key);
 void proteus_sink_group_begin_str(void* sink, const char* p, int64_t len);
+void proteus_sink_group_begin_null(void* sink);
 void proteus_sink_group_agg_count(void* sink, uint32_t i);
 void proteus_sink_group_agg_int(void* sink, uint32_t i, int64_t v);
 void proteus_sink_group_agg_double(void* sink, uint32_t i, double v);
@@ -152,11 +164,19 @@ void proteus_sink_group_agg_bool(void* sink, uint32_t i, int32_t v);
 void proteus_sink_group_agg_str(void* sink, uint32_t i, const char* p, int64_t len);
 
 // Collection root: stage one row's cells, then box it into the morsel's
-// collection accumulator.
+// collection accumulator. emit_null stages a SQL-null cell (outer-join
+// drain rows, outer-unnest rows). A set-monoid accumulator deduplicates on
+// Add, so emit_end needs no set-specific variant here.
 void proteus_sink_emit_int(void* sink, int64_t v);
 void proteus_sink_emit_double(void* sink, double v);
 void proteus_sink_emit_bool(void* sink, int32_t v);
 void proteus_sink_emit_str(void* sink, const char* p, int64_t len);
+void proteus_sink_emit_null(void* sink);
 void proteus_sink_emit_end(void* sink);
+
+// Outer joins: mark build row `row` of join table `table` as matched in
+// this partial's bitmap (called after the join's residual predicate passes,
+// mirroring the interpreter's matched_[idx] = true).
+void proteus_sink_join_matched(void* sink, uint32_t table, int64_t row);
 
 }  // extern "C"

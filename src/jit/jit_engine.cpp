@@ -44,6 +44,15 @@ struct CgValue {
   TypeKind kind = TypeKind::kInt64;
   llvm::Value* v = nullptr;    // i64 / double / i1; strings: i8* data
   llvm::Value* len = nullptr;  // strings only: i64
+  /// SQL-null flag (i1), or nullptr when the value is provably non-null.
+  /// Set for outer-join/outer-unnest null bindings (constant true) and for
+  /// join-key JSON field reads (a proteus_json_has check), and propagated
+  /// through expressions with the interpreter's Eval() semantics: arithmetic
+  /// and comparisons yield null if an operand is null, and/or fold null
+  /// operands to false, predicates treat null as false, aggregates skip null
+  /// inputs. Other field reads stay unflagged — absent JSON fields read 0/""
+  /// there, the engine's long-standing generated-code semantics.
+  llvm::Value* null = nullptr;
 };
 
 struct ScanSource {
@@ -79,7 +88,8 @@ struct PayloadField {
   std::string var;
   FieldPath path;
   TypeKind kind;
-  uint32_t slot;  // first slot index; strings take two
+  uint32_t slot;      // first slot index; strings take two
+  int null_bit = -1;  // bit in the payload's null mask, -1 = never null
 };
 
 class Codegen {
@@ -122,6 +132,9 @@ class Codegen {
   }
   const std::vector<std::string>& result_columns() const { return result_columns_; }
   bool row_records() const { return row_records_; }
+  /// Join-table ids of the outer chain joins, deepest-first — aligned with
+  /// the generated proteus_drain<k> functions.
+  const std::vector<uint32_t>& outer_join_tables() const { return outer_join_tables_; }
 
  private:
   using Consume = std::function<Status()>;
@@ -140,6 +153,15 @@ class Codegen {
   Status EmitJoin(const OpPtr& op, const Consume& consume);
   Status EmitJoinBuild(const Operator& op);
   Status EmitJoinProbe(const Operator& op, const Consume& consume);
+  /// Body of a generated unmatched-drain pass (drain_join_ set): loops the
+  /// outer join's build rows, skips rows marked in the merged matched
+  /// bitmap, and runs the surviving rows — probe side bound to SQL null —
+  /// through the ops above the join into the drain's trailing sink slot.
+  Status EmitJoinDrain(const Operator& op, const Consume& consume);
+  /// Rebinds `op`'s build-side virtual buffers from a payload row pointer,
+  /// restoring nullable fields' null flags from the trailing mask slot
+  /// (shared by the probe loop and the unmatched drain).
+  void RebindPayload(const Operator& op, llvm::Value* row_ptr);
   Status EmitNest(const OpPtr& op, const Consume& consume);
   Status EmitFilter(const ExprPtr& pred, const Consume& consume);
   Status EmitRoot(const OpPtr& reduce);
@@ -152,7 +174,39 @@ class Codegen {
   Result<CgValue> EmitExpr(const ExprPtr& e);
   Result<CgValue> EmitBinary(const ExprPtr& e);
   llvm::Value* ToDouble(const CgValue& v) {
-    return v.kind == TypeKind::kFloat64 ? v.v : b_.CreateSIToFP(v.v, b_.getDoubleTy());
+    if (v.kind == TypeKind::kFloat64) return v.v;
+    if (v.kind == TypeKind::kBool) return b_.CreateUIToFP(v.v, b_.getDoubleTy());
+    return b_.CreateSIToFP(v.v, b_.getDoubleTy());
+  }
+  /// Combines two optional null flags (nullptr = non-null).
+  llvm::Value* OrNull(llvm::Value* a, llvm::Value* b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    return b_.CreateOr(a, b);
+  }
+  /// Boolean truth value with SQL-null folded to false — what EvalPredicate
+  /// (and the null-as-false rule of and/or and if-conditions) computes.
+  llvm::Value* Truthy(const CgValue& c) {
+    return c.null == nullptr ? c.v : b_.CreateAnd(c.v, b_.CreateNot(c.null));
+  }
+  /// A statically-null value of `kind` (outer-join drain / outer-unnest
+  /// bindings): zero payload, constant-true null flag. Downstream emission
+  /// folds the constant, so null rows cost nothing at runtime.
+  CgValue NullValue(TypeKind kind) {
+    CgValue cv;
+    cv.kind = kind;
+    cv.null = b_.getInt1(true);
+    if (kind == TypeKind::kFloat64) {
+      cv.v = llvm::ConstantFP::get(b_.getDoubleTy(), 0.0);
+    } else if (kind == TypeKind::kBool) {
+      cv.v = b_.getInt1(false);
+    } else if (kind == TypeKind::kString) {
+      cv.v = GlobalString("");
+      cv.len = b_.getInt64(0);
+    } else {
+      cv.v = b_.getInt64(0);
+    }
+    return cv;
   }
 
   // ---- small helpers -------------------------------------------------------
@@ -223,6 +277,16 @@ class Codegen {
   bool morsel_mode_ = false;
   const Operator* driver_leaf_ = nullptr;
   std::unordered_set<const Operator*> chain_joins_;
+  // Set while emitting an unmatched-drain function: the outer join whose
+  // build rows the function iterates (EmitJoinProbe dispatches to
+  // EmitJoinDrain there), and the function's merged-bitmap argument.
+  const Operator* drain_join_ = nullptr;
+  llvm::Value* drain_matched_arg_ = nullptr;
+  std::vector<uint32_t> outer_join_tables_;
+  // Keys (var.path) read by any join key expression: JSON reads of these
+  // carry a proteus_json_has null check so null-key build/probe semantics
+  // match the interpreter's (null keys never match).
+  std::unordered_set<std::string> key_paths_;
 
   std::unordered_map<std::string, CgValue> bindings_;       // virtual buffers
   std::unordered_map<std::string, llvm::Value*> oids_;      // var -> current oid (i64)
@@ -231,6 +295,9 @@ class Codegen {
   std::unordered_map<std::string, std::vector<FieldPath>> needed_;  // var -> used paths
   std::unordered_map<const Operator*, uint32_t> join_ids_;
   std::unordered_map<const Operator*, std::vector<PayloadField>> join_payloads_;
+  /// Payload slot holding the row's null-bit mask, or -1 when no payload
+  /// field of that join can be null.
+  std::unordered_map<const Operator*, int> join_null_slots_;
   std::unordered_map<const Operator*, uint32_t> group_ids_;
   std::unordered_map<const Operator*, uint32_t> unnest_ids_;
   std::unordered_map<std::string, llvm::Value*> string_globals_;
@@ -264,15 +331,38 @@ void CollectExprPaths(const ExprPtr& e,
   for (const auto& c : e->children()) CollectExprPaths(c, out);
 }
 
+/// Collects the (var, path) keys every join key expression in the plan
+/// reads. JSON scans of those fields emit a presence check alongside the
+/// value read — the null-key join semantics the interpreter gets for free
+/// from boxed Values.
+void CollectJoinKeyPaths(const OpPtr& op, std::unordered_set<std::string>* out) {
+  if (op->kind() == OpKind::kJoin) {
+    std::unordered_map<std::string, std::vector<FieldPath>> paths;
+    CollectExprPaths(op->left_key(), &paths);
+    CollectExprPaths(op->right_key(), &paths);
+    for (const auto& [var, ps] : paths) {
+      for (const auto& p : ps) {
+        out->insert(p.empty() ? var : var + "." + DottedPath(p));
+      }
+    }
+  }
+  for (const auto& c : op->children()) CollectJoinKeyPaths(c, out);
+}
+
 Status Codegen::CheckSupported(const OpPtr& op) const {
   switch (op->kind()) {
     case OpKind::kJoin:
-      if (op->outer()) return Status::Unimplemented("jit: outer join");
       if (!op->left_key()) return Status::Unimplemented("jit: non-equi join");
+      // Outer joins generate per-morsel matched-build bitmaps plus a
+      // one-shot drain function — infrastructure only the morsel pipeline
+      // chain has. Outer joins inside build subtrees (or legacy
+      // whole-relation mode) still fall back.
+      if (op->outer() && (!morsel_mode_ || chain_joins_.count(op.get()) == 0)) {
+        return Status::Unimplemented("jit: outer join outside the morsel pipeline chain");
+      }
       break;
     case OpKind::kUnnest:
-      if (op->outer()) return Status::Unimplemented("jit: outer unnest");
-      break;
+      break;  // outer unnest generates a null-element emission branch
     case OpKind::kNest:
       for (const auto& o : op->outputs()) {
         if (IsCollectionMonoid(o.monoid) || o.monoid == Monoid::kAnd ||
@@ -413,34 +503,58 @@ Result<CgValue> Codegen::EmitExpr(const ExprPtr& e) {
       return EmitBinary(e);
     case ExprKind::kUnary: {
       PROTEUS_ASSIGN_OR_RETURN(CgValue c, EmitExpr(e->child(0)));
-      if (e->un_op() == UnOp::kNot) return CgValue{TypeKind::kBool, b_.CreateNot(c.v)};
-      if (c.kind == TypeKind::kFloat64) return CgValue{c.kind, b_.CreateFNeg(c.v)};
-      return CgValue{c.kind, b_.CreateNeg(c.v)};
+      CgValue out;
+      out.null = c.null;  // Eval: unary ops propagate null
+      if (e->un_op() == UnOp::kNot) {
+        out.kind = TypeKind::kBool;
+        out.v = b_.CreateNot(c.v);
+      } else if (c.kind == TypeKind::kFloat64) {
+        out.kind = c.kind;
+        out.v = b_.CreateFNeg(c.v);
+      } else {
+        out.kind = c.kind;
+        out.v = b_.CreateNeg(c.v);
+      }
+      return out;
     }
     case ExprKind::kIf: {
       PROTEUS_ASSIGN_OR_RETURN(CgValue c, EmitExpr(e->child(0)));
       PROTEUS_ASSIGN_OR_RETURN(CgValue t, EmitExpr(e->child(1)));
       PROTEUS_ASSIGN_OR_RETURN(CgValue f, EmitExpr(e->child(2)));
       if (t.kind != f.kind) {
-        if (t.kind == TypeKind::kInt64 && f.kind == TypeKind::kFloat64) {
-          t = CgValue{TypeKind::kFloat64, ToDouble(t)};
-        } else if (t.kind == TypeKind::kFloat64 && f.kind == TypeKind::kInt64) {
-          f = CgValue{TypeKind::kFloat64, ToDouble(f)};
-        } else {
+        // Widen int/float branch mismatches to double the way the
+        // arithmetic path does. Other mixes (bool vs numeric, string vs
+        // anything) are rejected by the type checker before either engine
+        // runs, so bailing here keeps the JIT exactly as reachable as the
+        // interpreter — widening them would diverge from Eval(), which
+        // returns the raw branch cell.
+        auto numeric = [](TypeKind k) {
+          return k == TypeKind::kInt64 || k == TypeKind::kFloat64;
+        };
+        if (!numeric(t.kind) || !numeric(f.kind)) {
           return Status::Unimplemented("jit: if branches of mixed kinds");
         }
+        t = CgValue{TypeKind::kFloat64, ToDouble(t), nullptr, t.null};
+        f = CgValue{TypeKind::kFloat64, ToDouble(f), nullptr, f.null};
       }
-      CgValue out{t.kind, b_.CreateSelect(c.v, t.v, f.v)};
-      if (t.kind == TypeKind::kString) out.len = b_.CreateSelect(c.v, t.len, f.len);
+      llvm::Value* cond = Truthy(c);  // Eval: a null condition picks else
+      CgValue out{t.kind, b_.CreateSelect(cond, t.v, f.v)};
+      if (t.kind == TypeKind::kString) out.len = b_.CreateSelect(cond, t.len, f.len);
+      if (t.null != nullptr || f.null != nullptr) {
+        llvm::Value* tn = t.null != nullptr ? t.null : b_.getInt1(false);
+        llvm::Value* fn = f.null != nullptr ? f.null : b_.getInt1(false);
+        out.null = b_.CreateSelect(cond, tn, fn);
+      }
       return out;
     }
     case ExprKind::kCast: {
       PROTEUS_ASSIGN_OR_RETURN(CgValue c, EmitExpr(e->child(0)));
       if (e->cast_to()->kind() == TypeKind::kFloat64) {
-        return CgValue{TypeKind::kFloat64, ToDouble(c)};
+        return CgValue{TypeKind::kFloat64, ToDouble(c), nullptr, c.null};
       }
       if (c.kind == TypeKind::kFloat64) {
-        return CgValue{TypeKind::kInt64, b_.CreateFPToSI(c.v, b_.getInt64Ty())};
+        return CgValue{TypeKind::kInt64, b_.CreateFPToSI(c.v, b_.getInt64Ty()), nullptr,
+                       c.null};
       }
       return c;
     }
@@ -454,9 +568,12 @@ Result<CgValue> Codegen::EmitBinary(const ExprPtr& e) {
   BinOp op = e->bin_op();
   PROTEUS_ASSIGN_OR_RETURN(CgValue l, EmitExpr(e->child(0)));
   PROTEUS_ASSIGN_OR_RETURN(CgValue r, EmitExpr(e->child(1)));
+  // Eval(): arithmetic / comparison with a null operand is null; and/or fold
+  // null operands to false and always yield a non-null bool.
+  llvm::Value* nul = OrNull(l.null, r.null);
 
-  if (op == BinOp::kAnd) return CgValue{TypeKind::kBool, b_.CreateAnd(l.v, r.v)};
-  if (op == BinOp::kOr) return CgValue{TypeKind::kBool, b_.CreateOr(l.v, r.v)};
+  if (op == BinOp::kAnd) return CgValue{TypeKind::kBool, b_.CreateAnd(Truthy(l), Truthy(r))};
+  if (op == BinOp::kOr) return CgValue{TypeKind::kBool, b_.CreateOr(Truthy(l), Truthy(r))};
 
   // String comparisons via runtime helpers.
   if (l.kind == TypeKind::kString || r.kind == TypeKind::kString) {
@@ -471,16 +588,21 @@ Result<CgValue> Codegen::EmitBinary(const ExprPtr& e) {
       return b_.CreateICmpNE(b_.CreateCall(f, {a, alen, c, clen}), b_.getInt32(0));
     };
     switch (op) {
-      case BinOp::kEq: return CgValue{TypeKind::kBool, call(eqf, l.v, l.len, r.v, r.len)};
+      case BinOp::kEq:
+        return CgValue{TypeKind::kBool, call(eqf, l.v, l.len, r.v, r.len), nullptr, nul};
       case BinOp::kNe:
-        return CgValue{TypeKind::kBool,
-                       b_.CreateNot(call(eqf, l.v, l.len, r.v, r.len))};
-      case BinOp::kLt: return CgValue{TypeKind::kBool, call(ltf, l.v, l.len, r.v, r.len)};
-      case BinOp::kGt: return CgValue{TypeKind::kBool, call(ltf, r.v, r.len, l.v, l.len)};
+        return CgValue{TypeKind::kBool, b_.CreateNot(call(eqf, l.v, l.len, r.v, r.len)),
+                       nullptr, nul};
+      case BinOp::kLt:
+        return CgValue{TypeKind::kBool, call(ltf, l.v, l.len, r.v, r.len), nullptr, nul};
+      case BinOp::kGt:
+        return CgValue{TypeKind::kBool, call(ltf, r.v, r.len, l.v, l.len), nullptr, nul};
       case BinOp::kLe:
-        return CgValue{TypeKind::kBool, b_.CreateNot(call(ltf, r.v, r.len, l.v, l.len))};
+        return CgValue{TypeKind::kBool, b_.CreateNot(call(ltf, r.v, r.len, l.v, l.len)),
+                       nullptr, nul};
       case BinOp::kGe:
-        return CgValue{TypeKind::kBool, b_.CreateNot(call(ltf, l.v, l.len, r.v, r.len))};
+        return CgValue{TypeKind::kBool, b_.CreateNot(call(ltf, l.v, l.len, r.v, r.len)),
+                       nullptr, nul};
       default:
         return Status::TypeError("jit: arithmetic on strings");
     }
@@ -498,17 +620,23 @@ Result<CgValue> Codegen::EmitBinary(const ExprPtr& e) {
         llvm::Value* v = op == BinOp::kAdd   ? b_.CreateFAdd(a, c)
                          : op == BinOp::kSub ? b_.CreateFSub(a, c)
                                              : b_.CreateFMul(a, c);
-        return CgValue{TypeKind::kFloat64, v};
+        return CgValue{TypeKind::kFloat64, v, nullptr, nul};
       }
       llvm::Value* v = op == BinOp::kAdd   ? b_.CreateAdd(l.v, r.v)
                        : op == BinOp::kSub ? b_.CreateSub(l.v, r.v)
                                            : b_.CreateMul(l.v, r.v);
-      return CgValue{TypeKind::kInt64, v};
+      return CgValue{TypeKind::kInt64, v, nullptr, nul};
     }
     case BinOp::kDiv:
-      return CgValue{TypeKind::kFloat64, b_.CreateFDiv(ToDouble(l), ToDouble(r))};
-    case BinOp::kMod:
-      return CgValue{TypeKind::kInt64, b_.CreateSRem(l.v, r.v)};
+      return CgValue{TypeKind::kFloat64, b_.CreateFDiv(ToDouble(l), ToDouble(r)), nullptr,
+                     nul};
+    case BinOp::kMod: {
+      // A null denominator's placeholder payload is 0; srem by 0 traps, so
+      // divide by 1 there — the result is discarded behind the null flag.
+      llvm::Value* den = r.v;
+      if (r.null != nullptr) den = b_.CreateSelect(r.null, b_.getInt64(1), r.v);
+      return CgValue{TypeKind::kInt64, b_.CreateSRem(l.v, den), nullptr, nul};
+    }
     default:
       break;
   }
@@ -537,7 +665,7 @@ Result<CgValue> Codegen::EmitBinary(const ExprPtr& e) {
       default: cmp = b_.CreateICmpNE(l.v, r.v); break;
     }
   }
-  return CgValue{TypeKind::kBool, cmp};
+  return CgValue{TypeKind::kBool, cmp, nullptr, nul};
 }
 
 // ---------------------------------------------------------------------------
@@ -570,7 +698,7 @@ Status Codegen::EmitFilter(const ExprPtr& pred, const Consume& consume) {
   PROTEUS_ASSIGN_OR_RETURN(CgValue c, EmitExpr(pred));
   auto* pass_bb = llvm::BasicBlock::Create(*llctx_, "sel.pass", fn_);
   auto* merge_bb = llvm::BasicBlock::Create(*llctx_, "sel.merge", fn_);
-  b_.CreateCondBr(c.v, pass_bb, merge_bb);
+  b_.CreateCondBr(Truthy(c), pass_bb, merge_bb);
   b_.SetInsertPoint(pass_bb);
   PROTEUS_RETURN_NOT_OK(consume());
   b_.CreateBr(merge_bb);
@@ -710,7 +838,19 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
           llvm::Value* pp = ParamPtr(DataParam(jit::ParamKind::kPluginPtr, src.dataset));
           llvm::Value* h = b_.getInt64(HashString(DottedPath(p)));
           auto* i8p = b_.getInt8PtrTy();
-          if (kind == TypeKind::kInt64) {
+          const bool keyed = key_paths_.count(Key(var, p)) != 0;
+          if (kind == TypeKind::kInt64 && keyed) {
+            // Join-key int fields fuse presence + read into one structural
+            // index lookup (absent = SQL null; null keys never match).
+            llvm::Value* out_ptr = EntryAlloca(b_.getInt64Ty());
+            llvm::Value* has = b_.CreateCall(
+                Helper("proteus_json_int_opt", b_.getInt32Ty(),
+                       {i8p, b_.getInt64Ty(), b_.getInt64Ty(),
+                        b_.getInt64Ty()->getPointerTo()}),
+                {pp, oid, h, out_ptr});
+            cv.v = b_.CreateLoad(b_.getInt64Ty(), out_ptr);
+            cv.null = b_.CreateICmpEQ(has, b_.getInt32(0));
+          } else if (kind == TypeKind::kInt64) {
             cv.v = b_.CreateCall(Helper("proteus_json_int", b_.getInt64Ty(),
                                         {i8p, b_.getInt64Ty(), b_.getInt64Ty()}),
                                  {pp, oid, h});
@@ -730,6 +870,16 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
                        {i8p, b_.getInt64Ty(), b_.getInt64Ty(), b_.getInt64Ty()->getPointerTo()}),
                 {pp, oid, h, len_ptr});
             cv.len = b_.CreateLoad(b_.getInt64Ty(), len_ptr);
+          }
+          if (keyed && cv.null == nullptr) {
+            // Non-int join-key fields: absent JSON fields must behave as
+            // SQL null (null keys never match), not as the reader's 0/""
+            // default.
+            cv.null = b_.CreateICmpEQ(
+                b_.CreateCall(Helper("proteus_json_has", b_.getInt32Ty(),
+                                     {i8p, b_.getInt64Ty(), b_.getInt64Ty()}),
+                              {pp, oid, h}),
+                b_.getInt32(0));
           }
           break;
         }
@@ -897,9 +1047,50 @@ Status Codegen::EmitUnnest(const OpPtr& op, const Consume& consume) {
                          {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty(), b_.getInt64Ty()}),
                   {CtxPtr(), slot_v, pp, oid, h});
 
+    // Element paths read above this op, with their primitive kinds (shared
+    // by the loop body and the outer null-element branch).
+    TypePtr elem_t = var_types_.at(elem_var);
+    auto needed_it = needed_.find(elem_var);
+    std::vector<FieldPath> paths =
+        needed_it == needed_.end() ? std::vector<FieldPath>{} : needed_it->second;
+    std::vector<TypeKind> path_kinds;
+    for (const auto& ep : paths) {
+      if (ep.size() > 1) return Status::Unimplemented("jit: deep path inside array element");
+      if (ep.empty()) {
+        if (!elem_t->is_primitive()) {
+          return Status::Unimplemented("jit: whole-record element use");
+        }
+        path_kinds.push_back(elem_t->kind() == TypeKind::kDate ? TypeKind::kInt64
+                                                               : elem_t->kind());
+      } else {
+        PROTEUS_ASSIGN_OR_RETURN(TypeKind k, LeafKind(elem_var, ep));
+        path_kinds.push_back(k);
+      }
+    }
+
     auto* cond_bb = llvm::BasicBlock::Create(*llctx_, "unnest.cond", fn_);
     auto* body_bb = llvm::BasicBlock::Create(*llctx_, "unnest.body", fn_);
     auto* exit_bb = llvm::BasicBlock::Create(*llctx_, "unnest.exit", fn_);
+
+    if (op->outer()) {
+      // Empty (or absent) collection: emit the outer row once with a null
+      // element, bypassing the unnest predicate — the interpreter's
+      // pending-outer-emit rule.
+      auto* none_bb = llvm::BasicBlock::Create(*llctx_, "unnest.none", fn_);
+      auto* enter_bb = llvm::BasicBlock::Create(*llctx_, "unnest.enter", fn_);
+      llvm::Value* has0 = b_.CreateCall(
+          Helper("proteus_unnest_has_next", b_.getInt32Ty(), {i8p, b_.getInt32Ty()}),
+          {CtxPtr(), slot_v});
+      b_.CreateCondBr(b_.CreateICmpNE(has0, b_.getInt32(0)), enter_bb, none_bb);
+      b_.SetInsertPoint(none_bb);
+      for (size_t i = 0; i < paths.size(); ++i) {
+        bindings_[Key(elem_var, paths[i])] = NullValue(path_kinds[i]);
+      }
+      PROTEUS_RETURN_NOT_OK(consume());
+      b_.CreateBr(exit_bb);
+      b_.SetInsertPoint(enter_bb);
+    }
+
     b_.CreateBr(cond_bb);
     b_.SetInsertPoint(cond_bb);
     llvm::Value* has =
@@ -909,25 +1100,16 @@ Status Codegen::EmitUnnest(const OpPtr& op, const Consume& consume) {
     b_.SetInsertPoint(body_bb);
 
     // Bind the element fields used above.
-    TypePtr elem_t = var_types_.at(elem_var);
-    auto needed_it = needed_.find(elem_var);
-    std::vector<FieldPath> paths =
-        needed_it == needed_.end() ? std::vector<FieldPath>{} : needed_it->second;
-    for (const auto& ep : paths) {
-      if (ep.size() > 1) return Status::Unimplemented("jit: deep path inside array element");
+    for (size_t pi = 0; pi < paths.size(); ++pi) {
+      const FieldPath& ep = paths[pi];
       CgValue cv;
-      TypeKind kind;
+      TypeKind kind = path_kinds[pi];
       llvm::Value* name;
       llvm::Value* name_len;
       if (ep.empty()) {
-        if (!elem_t->is_primitive()) {
-          return Status::Unimplemented("jit: whole-record element use");
-        }
-        kind = elem_t->kind() == TypeKind::kDate ? TypeKind::kInt64 : elem_t->kind();
         name = GlobalString("");
         name_len = b_.getInt64(0);
       } else {
-        PROTEUS_ASSIGN_OR_RETURN(kind, LeafKind(elem_var, ep));
         name = GlobalString(ep[0]);
         name_len = b_.getInt64(static_cast<int64_t>(ep[0].size()));
       }
@@ -979,8 +1161,27 @@ Status Codegen::EmitJoinBuild(const Operator& op) {
   // Determine the build-side payload: all needed paths of build-side vars.
   std::vector<std::string> build_vars;
   CollectBoundVars(op.child(0), &build_vars);
+  // Vars whose bindings can carry a SQL-null flag at build time: outer
+  // unnest elements, and JSON join-key reads (has-checked). The predicate is
+  // static per (var, path), so nested joins inside the build subtree predict
+  // their rebinds' nullability consistently.
+  std::unordered_set<std::string> outer_unnest_vars;
+  {
+    std::function<void(const OpPtr&)> walk = [&](const OpPtr& o) {
+      if (o->kind() == OpKind::kUnnest && o->outer()) outer_unnest_vars.insert(o->binding());
+      for (const auto& c : o->children()) walk(c);
+    };
+    walk(op.child(0));
+  }
+  auto field_nullable = [&](const std::string& var, const FieldPath& path) {
+    if (outer_unnest_vars.count(var) != 0) return true;
+    auto it = sources_.find(var);
+    return it != sources_.end() && it->second.format == DataFormat::kJSON &&
+           key_paths_.count(Key(var, path)) != 0;
+  };
   std::vector<PayloadField> payload;
   uint32_t slots = 0;
+  int null_bits = 0;
   for (const auto& var : build_vars) {
     auto it = needed_.find(var);
     if (it == needed_.end()) continue;
@@ -992,13 +1193,21 @@ Status Codegen::EmitJoinBuild(const Operator& op) {
       if (path.empty()) return Status::Unimplemented("jit: whole-record join payload");
       PROTEUS_ASSIGN_OR_RETURN(TypeKind kind, LeafKind(var, path));
       payload.push_back({var, path, kind, slots});
+      if (field_nullable(var, path)) payload.back().null_bit = null_bits++;
       slots += (kind == TypeKind::kString) ? 2 : 1;
     }
   }
+  if (null_bits > 64) return Status::Unimplemented("jit: > 64 nullable join payload fields");
+  // Nullable fields round-trip their null flag through one extra mask slot,
+  // so a drained (or probed) row rebinds SQL nulls exactly where the
+  // interpreter's boxed row holds them.
+  int null_slot = -1;
+  if (null_bits > 0) null_slot = static_cast<int>(slots++);
   if (slots == 0) slots = 1;  // keep payload pointers distinguishable from null
   uint32_t table = layout_->AddJoin(slots);
   join_ids_[&op] = table;
   join_payloads_[&op] = payload;
+  join_null_slots_[&op] = null_slot;
   auto* i8p = b_.getInt8PtrTy();
   auto* i64p = b_.getInt64Ty()->getPointerTo();
   llvm::Value* table_v = b_.getInt32(table);
@@ -1009,8 +1218,20 @@ Status Codegen::EmitJoinBuild(const Operator& op) {
     if (key.kind == TypeKind::kFloat64 || key.kind == TypeKind::kString) {
       return Status::Unimplemented("jit: non-integer join key");
     }
+    // Payload slots hold the raw 8-byte values; nullable fields fold their
+    // null flag into the trailing mask slot so rebinds restore it.
+    llvm::Value* mask = null_slot >= 0 ? b_.getInt64(0) : nullptr;
     for (const auto& f : payload) {
       const CgValue& cv = bindings_.at(Key(f.var, f.path));
+      if (cv.null != nullptr && f.null_bit < 0) {
+        return Status::Internal("jit: unpredicted nullable join payload field " +
+                                Key(f.var, f.path));
+      }
+      if (f.null_bit >= 0 && cv.null != nullptr) {
+        mask = b_.CreateOr(
+            mask, b_.CreateShl(b_.CreateZExt(cv.null, b_.getInt64Ty()),
+                               b_.getInt64(static_cast<uint64_t>(f.null_bit))));
+      }
       llvm::Value* slot_ptr = b_.CreateGEP(b_.getInt64Ty(), pay_buf, b_.getInt32(f.slot));
       if (f.kind == TypeKind::kFloat64) {
         b_.CreateStore(b_.CreateBitCast(cv.v, b_.getInt64Ty()), slot_ptr);
@@ -1024,9 +1245,36 @@ Status Codegen::EmitJoinBuild(const Operator& op) {
         b_.CreateStore(cv.v, slot_ptr);
       }
     }
-    b_.CreateCall(Helper("proteus_join_insert", b_.getVoidTy(),
-                         {i8p, b_.getInt32Ty(), b_.getInt64Ty(), i64p}),
-                  {CtxPtr(), table_v, key.v, pay_buf});
+    if (null_slot >= 0) {
+      b_.CreateStore(mask, b_.CreateGEP(b_.getInt64Ty(), pay_buf, b_.getInt32(null_slot)));
+    }
+    auto insert = [&]() {
+      b_.CreateCall(Helper("proteus_join_insert", b_.getVoidTy(),
+                           {i8p, b_.getInt32Ty(), b_.getInt64Ty(), i64p}),
+                    {CtxPtr(), table_v, key.v, pay_buf});
+    };
+    if (key.null == nullptr) {
+      insert();
+      return Status::OK();
+    }
+    // Null build keys never enter the radix table (they can't match). An
+    // outer join still keeps the row so the unmatched drain emits it — the
+    // interpreter's exact rule at its build phase.
+    auto* ins_bb = llvm::BasicBlock::Create(*llctx_, "build.ins", fn_);
+    auto* nullk_bb = llvm::BasicBlock::Create(*llctx_, "build.nullkey", fn_);
+    auto* merge_bb = llvm::BasicBlock::Create(*llctx_, "build.merge", fn_);
+    b_.CreateCondBr(key.null, nullk_bb, ins_bb);
+    b_.SetInsertPoint(ins_bb);
+    insert();
+    b_.CreateBr(merge_bb);
+    b_.SetInsertPoint(nullk_bb);
+    if (op.outer()) {
+      b_.CreateCall(Helper("proteus_join_insert_null", b_.getVoidTy(),
+                           {i8p, b_.getInt32Ty(), i64p}),
+                    {CtxPtr(), table_v, pay_buf});
+    }
+    b_.CreateBr(merge_bb);
+    b_.SetInsertPoint(merge_bb);
     return Status::OK();
   }));
 
@@ -1035,8 +1283,43 @@ Status Codegen::EmitJoinBuild(const Operator& op) {
   return Status::OK();
 }
 
-Status Codegen::EmitJoinProbe(const Operator& op, const Consume& consume) {
+void Codegen::RebindPayload(const Operator& op, llvm::Value* row_ptr) {
   const std::vector<PayloadField>& payload = join_payloads_.at(&op);
+  const int null_slot = join_null_slots_.at(&op);
+  auto* i8p = b_.getInt8PtrTy();
+  llvm::Value* mask = nullptr;
+  if (null_slot >= 0) {
+    mask = b_.CreateLoad(b_.getInt64Ty(),
+                         b_.CreateGEP(b_.getInt64Ty(), row_ptr, b_.getInt32(null_slot)));
+  }
+  for (const auto& f : payload) {
+    CgValue cv;
+    cv.kind = f.kind;
+    llvm::Value* slot_ptr = b_.CreateGEP(b_.getInt64Ty(), row_ptr, b_.getInt32(f.slot));
+    llvm::Value* raw = b_.CreateLoad(b_.getInt64Ty(), slot_ptr);
+    if (f.kind == TypeKind::kFloat64) {
+      cv.v = b_.CreateBitCast(raw, b_.getDoubleTy());
+    } else if (f.kind == TypeKind::kString) {
+      cv.v = b_.CreateIntToPtr(raw, i8p);
+      llvm::Value* slot2 = b_.CreateGEP(b_.getInt64Ty(), row_ptr, b_.getInt32(f.slot + 1));
+      cv.len = b_.CreateLoad(b_.getInt64Ty(), slot2);
+    } else if (f.kind == TypeKind::kBool) {
+      cv.v = b_.CreateICmpNE(raw, b_.getInt64(0));
+    } else {
+      cv.v = raw;
+    }
+    if (f.null_bit >= 0) {
+      cv.null = b_.CreateICmpNE(
+          b_.CreateAnd(b_.CreateLShr(mask, b_.getInt64(static_cast<uint64_t>(f.null_bit))),
+                       b_.getInt64(1)),
+          b_.getInt64(0));
+    }
+    bindings_[Key(f.var, f.path)] = cv;
+  }
+}
+
+Status Codegen::EmitJoinProbe(const Operator& op, const Consume& consume) {
+  if (&op == drain_join_) return EmitJoinDrain(op, consume);
   uint32_t table = join_ids_.at(&op);
   auto* i8p = b_.getInt8PtrTy();
   auto* i64p = b_.getInt64Ty()->getPointerTo();
@@ -1044,12 +1327,26 @@ Status Codegen::EmitJoinProbe(const Operator& op, const Consume& consume) {
 
   return EmitProduce(op.child(1), [&]() -> Status {
     PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op.right_key()));
-    llvm::Value* first = b_.CreateCall(
-        Helper("proteus_join_probe_first", i64p, {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
-        {CtxPtr(), table_v, key.v});
-
     llvm::Value* match_ptr = EntryAlloca(i64p, nullptr, "match");
-    b_.CreateStore(first, match_ptr);
+    auto probe_first = [&]() {
+      return b_.CreateCall(
+          Helper("proteus_join_probe_first", i64p, {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
+          {CtxPtr(), table_v, key.v});
+    };
+    if (key.null == nullptr) {
+      b_.CreateStore(probe_first(), match_ptr);
+    } else {
+      // Null probe keys match nothing (interpreter: FindJoinMatches returns
+      // the empty set) — skip the probe call entirely.
+      b_.CreateStore(llvm::ConstantPointerNull::get(i64p), match_ptr);
+      auto* probe_bb = llvm::BasicBlock::Create(*llctx_, "probe.key", fn_);
+      auto* start_bb = llvm::BasicBlock::Create(*llctx_, "probe.start", fn_);
+      b_.CreateCondBr(key.null, start_bb, probe_bb);
+      b_.SetInsertPoint(probe_bb);
+      b_.CreateStore(probe_first(), match_ptr);
+      b_.CreateBr(start_bb);
+      b_.SetInsertPoint(start_bb);
+    }
     auto* cond_bb = llvm::BasicBlock::Create(*llctx_, "probe.cond", fn_);
     auto* body_bb = llvm::BasicBlock::Create(*llctx_, "probe.body", fn_);
     auto* exit_bb = llvm::BasicBlock::Create(*llctx_, "probe.exit", fn_);
@@ -1059,28 +1356,22 @@ Status Codegen::EmitJoinProbe(const Operator& op, const Consume& consume) {
     b_.CreateCondBr(b_.CreateIsNotNull(cur), body_bb, exit_bb);
     b_.SetInsertPoint(body_bb);
 
-    // Rebind build-side virtual buffers from the payload row.
-    for (const auto& f : payload) {
-      CgValue cv;
-      cv.kind = f.kind;
-      llvm::Value* slot_ptr = b_.CreateGEP(b_.getInt64Ty(), cur, b_.getInt32(f.slot));
-      llvm::Value* raw = b_.CreateLoad(b_.getInt64Ty(), slot_ptr);
-      if (f.kind == TypeKind::kFloat64) {
-        cv.v = b_.CreateBitCast(raw, b_.getDoubleTy());
-      } else if (f.kind == TypeKind::kString) {
-        cv.v = b_.CreateIntToPtr(raw, i8p);
-        llvm::Value* slot2 = b_.CreateGEP(b_.getInt64Ty(), cur, b_.getInt32(f.slot + 1));
-        cv.len = b_.CreateLoad(b_.getInt64Ty(), slot2);
-      } else if (f.kind == TypeKind::kBool) {
-        cv.v = b_.CreateICmpNE(raw, b_.getInt64(0));
-      } else {
-        cv.v = raw;
-      }
-      bindings_[Key(f.var, f.path)] = cv;
-    }
+    RebindPayload(op, cur);
 
-    // Residual predicate (the equi-conjunct re-evaluates to true).
-    PROTEUS_RETURN_NOT_OK(EmitFilter(op.pred(), consume));
+    // Residual predicate (the equi-conjunct re-evaluates to true); outer
+    // joins then record the matched build row in this partial's bitmap —
+    // after the predicate, before downstream ops, like the interpreter.
+    PROTEUS_RETURN_NOT_OK(EmitFilter(op.pred(), [&]() -> Status {
+      if (op.outer()) {
+        llvm::Value* row = b_.CreateCall(
+            Helper("proteus_join_probe_row", b_.getInt64Ty(), {i8p, b_.getInt32Ty()}),
+            {CtxPtr(), table_v});
+        b_.CreateCall(Helper("proteus_sink_join_matched", b_.getVoidTy(),
+                             {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
+                      {SinkPtr(), table_v, row});
+      }
+      return consume();
+    }));
 
     llvm::Value* next =
         b_.CreateCall(Helper("proteus_join_probe_next", i64p, {i8p, b_.getInt32Ty()}),
@@ -1088,6 +1379,51 @@ Status Codegen::EmitJoinProbe(const Operator& op, const Consume& consume) {
     b_.CreateStore(next, match_ptr);
     b_.CreateBr(cond_bb);
     b_.SetInsertPoint(exit_bb);
+    return Status::OK();
+  });
+}
+
+Status Codegen::EmitJoinDrain(const Operator& op, const Consume& consume) {
+  uint32_t table = join_ids_.at(&op);
+  auto* i8p = b_.getInt8PtrTy();
+  auto* i64p = b_.getInt64Ty()->getPointerTo();
+  llvm::Value* table_v = b_.getInt32(table);
+
+  llvm::Value* n = b_.CreateCall(
+      Helper("proteus_join_rows", b_.getInt64Ty(), {i8p, b_.getInt32Ty()}),
+      {CtxPtr(), table_v});
+  return EmitCountedLoop(n, [&](llvm::Value* row) -> Status {
+    llvm::Value* byte = b_.CreateLoad(
+        b_.getInt8Ty(), b_.CreateGEP(b_.getInt8Ty(), drain_matched_arg_, row));
+    auto* unmatched_bb = llvm::BasicBlock::Create(*llctx_, "drain.row", fn_);
+    auto* merge_bb = llvm::BasicBlock::Create(*llctx_, "drain.merge", fn_);
+    b_.CreateCondBr(b_.CreateICmpEQ(byte, b_.getInt8(0)), unmatched_bb, merge_bb);
+    b_.SetInsertPoint(unmatched_bb);
+
+    llvm::Value* row_ptr = b_.CreateCall(
+        Helper("proteus_join_payload_at", i64p, {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
+        {CtxPtr(), table_v, row});
+    RebindPayload(op, row_ptr);
+
+    // The probe side is absent: bind every field the plan reads from it to
+    // SQL null (the interpreter nulls the probe-side vars of drained rows).
+    std::vector<std::string> right_vars;
+    CollectBoundVars(op.child(1), &right_vars);
+    for (const auto& var : right_vars) {
+      auto it = needed_.find(var);
+      if (it == needed_.end()) continue;
+      for (const auto& path : it->second) {
+        auto lk = LeafKind(var, path);
+        if (!lk.ok()) continue;  // collection paths: ops needing them bail elsewhere
+        bindings_[Key(var, path)] = NullValue(*lk);
+      }
+    }
+
+    // Drained rows bypass the join predicate (they matched nothing), but
+    // every op above the join still applies — `consume` is that chain.
+    PROTEUS_RETURN_NOT_OK(consume());
+    b_.CreateBr(merge_bb);
+    b_.SetInsertPoint(merge_bb);
     return Status::OK();
   });
 }
@@ -1142,6 +1478,11 @@ Status Codegen::EmitNest(const OpPtr& op, const Consume& consume) {
   PROTEUS_RETURN_NOT_OK(EmitProduce(op->child(0), [&]() -> Status {
     Consume update = [&]() -> Status {
       PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op->group_by()));
+      if (key.null != nullptr) {
+        // The packed int64/string group table cannot represent a null key;
+        // only morsel-mode nests (boxed-Value group tables) can.
+        return Status::Unimplemented("jit: nullable group key outside morsel pipelines");
+      }
       llvm::Value* slots;
       if (string_keys) {
         slots = b_.CreateCall(Helper("proteus_group_upsert_str", i64p,
@@ -1186,6 +1527,10 @@ Status Codegen::EmitNest(const OpPtr& op, const Consume& consume) {
             } else {
               updated = b_.CreateSelect(b_.CreateICmpSLT(x, raw), x, raw);
             }
+          }
+          if (v.null != nullptr) {
+            // Null inputs do not contribute to aggregates (Eval semantics).
+            updated = b_.CreateSelect(v.null, raw, updated);
           }
         }
         b_.CreateStore(updated, slot_ptr);
@@ -1278,11 +1623,12 @@ Status Codegen::EmitRoot(const OpPtr& reduce) {
 Status Codegen::EmitReduceRoot(const OpPtr& reduce, bool to_sink) {
   const auto& outputs = reduce->outputs();
   bool is_bag = outputs.size() == 1 && IsCollectionMonoid(outputs[0].monoid);
-  if (is_bag && outputs[0].monoid == Monoid::kSet) {
-    // Set semantics require deduplication of boxed rows (global across
-    // morsels in morsel mode): interpreter path.
-    return Status::Unimplemented("jit: set monoid output");
-  }
+  // Set roots ride the collection emitter: per-morsel sinks feed a kSet
+  // Aggregator whose hash-indexed InsertSetItem dedups within the morsel,
+  // and FinalizePlanPartials merges the partials in global morsel order —
+  // the interpreter's exact fold, so first-appearance row order matches it
+  // cell for cell. Legacy whole-relation mode dedups through
+  // proteus_result_end_row_set instead.
   if (is_bag) return EmitBagReduce(reduce, to_sink);
   return EmitScalarReduce(reduce, to_sink);
 }
@@ -1304,14 +1650,33 @@ Status Codegen::EmitBagReduce(const OpPtr& reduce, bool to_sink) {
     cols = {head};
   }
   llvm::Value* dst = to_sink ? SinkPtr() : CtxPtr();
+  const bool set_root = outputs[0].monoid == Monoid::kSet;
   const char* f_int = to_sink ? "proteus_sink_emit_int" : "proteus_result_emit_int";
   const char* f_double = to_sink ? "proteus_sink_emit_double" : "proteus_result_emit_double";
   const char* f_bool = to_sink ? "proteus_sink_emit_bool" : "proteus_result_emit_bool";
   const char* f_str = to_sink ? "proteus_sink_emit_str" : "proteus_result_emit_str";
-  const char* f_end = to_sink ? "proteus_sink_emit_end" : "proteus_result_end_row";
+  const char* f_null = to_sink ? "proteus_sink_emit_null" : "proteus_result_emit_null";
+  // Sink mode needs no set-specific end: the morsel's kSet Aggregator dedups
+  // on Add. The legacy path dedups the boxed row at end-of-row instead.
+  const char* f_end = to_sink ? "proteus_sink_emit_end"
+                     : set_root ? "proteus_result_end_row_set"
+                                : "proteus_result_end_row";
   auto emit_row = [&]() -> Status {
     for (const auto& c : cols) {
       PROTEUS_ASSIGN_OR_RETURN(CgValue v, EmitExpr(c));
+      llvm::BasicBlock* merge_bb = nullptr;
+      if (v.null != nullptr) {
+        // Null cells (outer-join drain / outer-unnest rows) box as
+        // Value::Null, the cell the interpreter emits for them.
+        auto* typed_bb = llvm::BasicBlock::Create(*llctx_, "emit.typed", fn_);
+        auto* null_bb = llvm::BasicBlock::Create(*llctx_, "emit.null", fn_);
+        merge_bb = llvm::BasicBlock::Create(*llctx_, "emit.merge", fn_);
+        b_.CreateCondBr(v.null, null_bb, typed_bb);
+        b_.SetInsertPoint(null_bb);
+        b_.CreateCall(Helper(f_null, b_.getVoidTy(), {i8p}), {dst});
+        b_.CreateBr(merge_bb);
+        b_.SetInsertPoint(typed_bb);
+      }
       if (v.kind == TypeKind::kInt64) {
         b_.CreateCall(Helper(f_int, b_.getVoidTy(), {i8p, b_.getInt64Ty()}), {dst, v.v});
       } else if (v.kind == TypeKind::kFloat64) {
@@ -1322,6 +1687,10 @@ Status Codegen::EmitBagReduce(const OpPtr& reduce, bool to_sink) {
       } else {
         b_.CreateCall(Helper(f_str, b_.getVoidTy(), {i8p, i8p, b_.getInt64Ty()}),
                       {dst, v.v, v.len});
+      }
+      if (merge_bb != nullptr) {
+        b_.CreateBr(merge_bb);
+        b_.SetInsertPoint(merge_bb);
       }
     }
     b_.CreateCall(Helper(f_end, b_.getVoidTy(), {i8p}), {dst});
@@ -1382,20 +1751,21 @@ Status Codegen::EmitScalarReduce(const OpPtr& reduce, bool to_sink) {
     accs.push_back({ptr, k, o.monoid});
     result_columns_.push_back(o.name);
   }
-  // Contributing-row counter: the flush must leave an empty morsel's
-  // Aggregator partial untouched (its empty state, not a zero value, is what
-  // merges as the identity — exactly like an interpreter partial).
-  llvm::Value* rows_ptr = nullptr;
+  // Per-accumulator contributing-row counters: the flush must leave an
+  // accumulator that saw no (non-null) input in its empty state — the empty
+  // state, not a zero value, is what merges as the identity, exactly like an
+  // interpreter partial whose Add() calls were all skipped. Null inputs
+  // (outer-join drain rows, outer-unnest rows) contribute to count but not
+  // to value monoids, so the counters are per output, not per row.
+  std::vector<llvm::Value*> rows_ptrs;
   if (to_sink) {
-    rows_ptr = EntryAlloca(b_.getInt64Ty(), nullptr, "rows");
-    b_.CreateStore(b_.getInt64(0), rows_ptr);
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      rows_ptrs.push_back(EntryAlloca(b_.getInt64Ty(), nullptr, "rows"));
+      b_.CreateStore(b_.getInt64(0), rows_ptrs.back());
+    }
   }
 
   auto update = [&]() -> Status {
-    if (rows_ptr != nullptr) {
-      b_.CreateStore(b_.CreateAdd(b_.CreateLoad(b_.getInt64Ty(), rows_ptr), b_.getInt64(1)),
-                     rows_ptr);
-    }
     for (size_t i = 0; i < outputs.size(); ++i) {
       const AggOutput& o = outputs[i];
       const Acc& a = accs[i];
@@ -1404,6 +1774,7 @@ Status Codegen::EmitScalarReduce(const OpPtr& reduce, bool to_sink) {
                                                     : (llvm::Type*)b_.getInt64Ty();
       llvm::Value* cur = b_.CreateLoad(ty, a.ptr);
       llvm::Value* updated;
+      llvm::Value* contrib = b_.getInt64(1);
       if (o.monoid == Monoid::kCount) {
         updated = b_.CreateAdd(cur, b_.getInt64(1));
       } else {
@@ -1428,8 +1799,18 @@ Status Codegen::EmitScalarReduce(const OpPtr& reduce, bool to_sink) {
             updated = b_.CreateSelect(b_.CreateICmpSLT(v.v, cur), v.v, cur);
           }
         }
+        if (v.null != nullptr) {
+          // Null inputs do not contribute (Aggregator::Add(null) is a no-op).
+          updated = b_.CreateSelect(v.null, cur, updated);
+          contrib = b_.CreateZExt(b_.CreateNot(v.null), b_.getInt64Ty());
+        }
       }
       b_.CreateStore(updated, a.ptr);
+      if (to_sink) {
+        b_.CreateStore(
+            b_.CreateAdd(b_.CreateLoad(b_.getInt64Ty(), rows_ptrs[i]), contrib),
+            rows_ptrs[i]);
+      }
     }
     return Status::OK();
   };
@@ -1439,10 +1820,10 @@ Status Codegen::EmitScalarReduce(const OpPtr& reduce, bool to_sink) {
 
   if (to_sink) {
     // Flush each register accumulator into this morsel's Aggregator partial.
-    llvm::Value* rows = b_.CreateLoad(b_.getInt64Ty(), rows_ptr);
     for (size_t i = 0; i < accs.size(); ++i) {
       const Acc& a = accs[i];
       llvm::Value* idx = b_.getInt32(static_cast<uint32_t>(i));
+      llvm::Value* rows = b_.CreateLoad(b_.getInt64Ty(), rows_ptrs[i]);
       if (a.kind == TypeKind::kFloat64) {
         llvm::Value* v = b_.CreateLoad(b_.getDoubleTy(), a.ptr);
         b_.CreateCall(Helper("proteus_sink_agg_flush_double", b_.getVoidTy(),
@@ -1512,18 +1893,38 @@ Status Codegen::EmitNestMorsel(const Operator& op) {
 
   Consume update = [&]() -> Status {
     PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op.group_by()));
-    if (key.kind == TypeKind::kString) {
-      b_.CreateCall(Helper("proteus_sink_group_begin_str", b_.getVoidTy(),
-                           {i8p, i8p, b_.getInt64Ty()}),
-                    {SinkPtr(), key.v, key.len});
-    } else if (key.kind == TypeKind::kBool) {
-      b_.CreateCall(Helper("proteus_sink_group_begin_bool", b_.getVoidTy(),
-                           {i8p, b_.getInt32Ty()}),
-                    {SinkPtr(), b_.CreateZExt(key.v, b_.getInt32Ty())});
+    auto begin_typed = [&]() {
+      if (key.kind == TypeKind::kString) {
+        b_.CreateCall(Helper("proteus_sink_group_begin_str", b_.getVoidTy(),
+                             {i8p, i8p, b_.getInt64Ty()}),
+                      {SinkPtr(), key.v, key.len});
+      } else if (key.kind == TypeKind::kBool) {
+        b_.CreateCall(Helper("proteus_sink_group_begin_bool", b_.getVoidTy(),
+                             {i8p, b_.getInt32Ty()}),
+                      {SinkPtr(), b_.CreateZExt(key.v, b_.getInt32Ty())});
+      } else {
+        b_.CreateCall(Helper("proteus_sink_group_begin_int", b_.getVoidTy(),
+                             {i8p, b_.getInt64Ty()}),
+                      {SinkPtr(), key.v});
+      }
+    };
+    if (key.null == nullptr) {
+      begin_typed();
     } else {
-      b_.CreateCall(Helper("proteus_sink_group_begin_int", b_.getVoidTy(),
-                           {i8p, b_.getInt64Ty()}),
-                    {SinkPtr(), key.v});
+      // The boxed group table holds Value::Null keys the same way the
+      // interpreter's does (drain rows grouping on a probe-side field).
+      auto* typed_bb = llvm::BasicBlock::Create(*llctx_, "group.key", fn_);
+      auto* null_bb = llvm::BasicBlock::Create(*llctx_, "group.nullkey", fn_);
+      auto* merge_bb = llvm::BasicBlock::Create(*llctx_, "group.merge", fn_);
+      b_.CreateCondBr(key.null, null_bb, typed_bb);
+      b_.SetInsertPoint(typed_bb);
+      begin_typed();
+      b_.CreateBr(merge_bb);
+      b_.SetInsertPoint(null_bb);
+      b_.CreateCall(Helper("proteus_sink_group_begin_null", b_.getVoidTy(), {i8p}),
+                    {SinkPtr()});
+      b_.CreateBr(merge_bb);
+      b_.SetInsertPoint(merge_bb);
     }
     for (size_t i = 0; i < op.outputs().size(); ++i) {
       const AggOutput& o = op.outputs()[i];
@@ -1536,7 +1937,15 @@ Status Codegen::EmitNestMorsel(const Operator& op) {
       }
       PROTEUS_ASSIGN_OR_RETURN(CgValue v, EmitExpr(o.expr));
       // Dispatch on the emitted kind so the boxed value the sink Add()s has
-      // the same Value kind the interpreter's Eval() would produce.
+      // the same Value kind the interpreter's Eval() would produce. Null
+      // inputs skip the call — Aggregator::Add(null) is a no-op anyway.
+      llvm::BasicBlock* agg_merge = nullptr;
+      if (v.null != nullptr) {
+        auto* agg_bb = llvm::BasicBlock::Create(*llctx_, "group.agg", fn_);
+        agg_merge = llvm::BasicBlock::Create(*llctx_, "group.agg.merge", fn_);
+        b_.CreateCondBr(v.null, agg_merge, agg_bb);
+        b_.SetInsertPoint(agg_bb);
+      }
       if (v.kind == TypeKind::kFloat64) {
         b_.CreateCall(Helper("proteus_sink_group_agg_double", b_.getVoidTy(),
                              {i8p, b_.getInt32Ty(), b_.getDoubleTy()}),
@@ -1553,6 +1962,10 @@ Status Codegen::EmitNestMorsel(const Operator& op) {
         b_.CreateCall(Helper("proteus_sink_group_agg_int", b_.getVoidTy(),
                              {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
                       {SinkPtr(), idx, v.v});
+      }
+      if (agg_merge != nullptr) {
+        b_.CreateBr(agg_merge);
+        b_.SetInsertPoint(agg_merge);
       }
     }
     return Status::OK();
@@ -1581,10 +1994,15 @@ llvm::Function* Codegen::OpenFunction(const char* name, uint32_t ptr_args, uint3
                                  b_.getInt64Ty()->getPointerTo(), "params");
   entry_term_ = b_.CreateBr(body);
   b_.SetInsertPoint(body);
-  // Per-function emission state: virtual buffers never cross functions.
+  // Per-function emission state: virtual buffers never cross functions, and
+  // function-specific arguments must be re-set by the caller.
   bindings_.clear();
   oids_.clear();
   param_values_.clear();
+  sink_arg_ = nullptr;
+  begin_arg_ = nullptr;
+  end_arg_ = nullptr;
+  drain_matched_arg_ = nullptr;
   return fn_;
 }
 
@@ -1616,6 +2034,7 @@ Status Codegen::Compile(const OpPtr& plan) {
     return Status::InvalidArgument("jit: plan root must be Reduce");
   }
   PROTEUS_RETURN_NOT_OK(CheckSupported(plan));
+  CollectJoinKeyPaths(plan, &key_paths_);
   PROTEUS_RETURN_NOT_OK(Prepare(plan));
 
   OpenFunction("proteus_query", /*ptr_args=*/2, /*int_args=*/0);  // (ctx, params)
@@ -1635,10 +2054,13 @@ Status Codegen::CompileMorsel(const OpPtr& plan, const MorselPipeline& pipe) {
   if (plan->kind() != OpKind::kReduce) {
     return Status::InvalidArgument("jit: plan root must be Reduce");
   }
-  PROTEUS_RETURN_NOT_OK(CheckSupported(plan));
+  // Chain context first: CheckSupported accepts outer joins only on the
+  // morsel pipeline chain (their bitmaps + drain functions live there).
   morsel_mode_ = true;
   driver_leaf_ = pipe.leaf;
   chain_joins_.insert(pipe.joins.begin(), pipe.joins.end());
+  PROTEUS_RETURN_NOT_OK(CheckSupported(plan));
+  CollectJoinKeyPaths(plan, &key_paths_);
   PROTEUS_RETURN_NOT_OK(Prepare(plan));
 
   const OpPtr& top = plan->child(0);
@@ -1662,6 +2084,26 @@ Status Codegen::CompileMorsel(const OpPtr& plan, const MorselPipeline& pipe) {
   end_arg_ = fn_->getArg(4);
   PROTEUS_RETURN_NOT_OK(EmitMorselRoot(plan, nest));
   b_.CreateRetVoid();
+
+  // proteus_drain<k>(ctx, sink, matched, params): one one-shot unmatched
+  // drain per outer chain join, deepest-first — run after all probe morsels
+  // reported their matched-build bitmaps, with `matched` their host-side OR.
+  // Each iterates its join's build rows (EmitJoinProbe dispatches to
+  // EmitJoinDrain at drain_join_) and runs the unmatched ones through the
+  // ops above the join into a trailing partial slot — the same slot frame
+  // the interpreter's DrainOuterJoins fills.
+  const std::vector<const Operator*> outer = OuterChainJoins(pipe);
+  for (size_t k = 0; k < outer.size(); ++k) {
+    std::string name = "proteus_drain" + std::to_string(k);
+    OpenFunction(name.c_str(), /*ptr_args=*/4, /*int_args=*/0);
+    sink_arg_ = fn_->getArg(1);
+    drain_matched_arg_ = fn_->getArg(2);
+    drain_join_ = outer[k];
+    PROTEUS_RETURN_NOT_OK(EmitMorselRoot(plan, nest));
+    b_.CreateRetVoid();
+    outer_join_tables_.push_back(join_ids_.at(outer[k]));
+  }
+  drain_join_ = nullptr;
 
   std::string err;
   llvm::raw_string_ostream os(err);
@@ -1747,6 +2189,11 @@ Result<std::shared_ptr<const jit::CompiledModule>> CompileAndLink(const ExecCont
     PROTEUS_ASSIGN_OR_RETURN(void* p, lookup("proteus_pipeline"));
     out->build_fn = reinterpret_cast<jit::CompiledModule::BuildFn>(b);
     out->pipeline_fn = reinterpret_cast<jit::CompiledModule::PipelineFn>(p);
+    out->outer_join_tables = cg.outer_join_tables();
+    for (size_t k = 0; k < out->outer_join_tables.size(); ++k) {
+      PROTEUS_ASSIGN_OR_RETURN(void* d, lookup(("proteus_drain" + std::to_string(k)).c_str()));
+      out->drain_fns.push_back(reinterpret_cast<jit::CompiledModule::DrainFn>(d));
+    }
   } else {
     PROTEUS_ASSIGN_OR_RETURN(void* q, lookup("proteus_query"));
     out->query_fn = reinterpret_cast<jit::CompiledModule::QueryFn>(q);
@@ -1767,11 +2214,12 @@ Result<std::shared_ptr<const jit::CompiledModule>> JitExecutor::GetOrCompileModu
   auto compile = [&]() -> Result<std::shared_ptr<const jit::CompiledModule>> {
     auto t0 = std::chrono::steady_clock::now();
     auto r = CompileAndLink(ctx_, plan, pipe);
-    if (r.ok()) {
-      last_compile_ms_ = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - t0)
-                             .count();
-    }
+    // Recorded on failure too: an aborted codegen attempt (e.g. an
+    // Unimplemented feature discovered mid-emission) costs real wall time
+    // that fallback telemetry must attribute to compile_ms, not execute_ms.
+    last_compile_ms_ = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
     return r;
   };
   if (ctx_.jit_cache == nullptr || ctx_.catalog == nullptr) return compile();
@@ -1823,6 +2271,14 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
   if (!CollectMorselPipeline(pipe_root, &pipe)) {
     return Status::Unimplemented("jit: plan is not morsel-parallelizable");
   }
+  const std::vector<const Operator*> outer = OuterChainJoins(pipe);
+  if (!whole_plan && !outer.empty()) {
+    // Mirror of InterpExecutor::ExecutePartials: a shard sees only its
+    // morsel slice, but the unmatched-build drain needs every probe morsel's
+    // bitmap — a global view.
+    return Status::InvalidArgument(
+        "outer joins cannot shard: the unmatched-build drain is global");
+  }
 
   PROTEUS_ASSIGN_OR_RETURN(std::shared_ptr<const jit::CompiledModule> cq,
                            GetOrCompileModule(plan, &pipe));
@@ -1857,22 +2313,25 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
   const std::vector<ScanRange> morsels(all.begin() + morsel_begin, all.begin() + morsel_end);
   const size_t n = morsels.size();
 
-  // One partial sink per morsel; workers write disjoint slots, so the fan-out
-  // needs no locking and the merge below is deterministic in morsel order.
+  // One partial sink per morsel plus one trailing slot per outer-join drain
+  // (the shared PlanPartialSlots frame); workers write disjoint slots, so
+  // the fan-out needs no locking and the merge below is deterministic in
+  // morsel order.
+  const size_t slots = whole_plan ? PlanPartialSlots(pipe, n) : n;
   PlanPartials partials;
   partials.nest = nest != nullptr;
-  std::vector<JitMorselSink> sinks(n);
+  std::vector<JitMorselSink> sinks(slots);
   if (nest != nullptr) {
-    partials.group_morsels.resize(n);
-    for (size_t m = 0; m < n; ++m) {
+    partials.group_morsels.resize(slots);
+    for (size_t m = 0; m < slots; ++m) {
       partials.group_morsels[m].count_bytes = false;
       sinks[m].groups = &partials.group_morsels[m];
       sinks[m].nest = nest;
     }
   } else {
-    partials.agg_morsels.reserve(n);
-    for (size_t m = 0; m < n; ++m) partials.agg_morsels.push_back(MakeReduceAggs(*plan));
-    for (size_t m = 0; m < n; ++m) {
+    partials.agg_morsels.reserve(slots);
+    for (size_t m = 0; m < slots; ++m) partials.agg_morsels.push_back(MakeReduceAggs(*plan));
+    for (size_t m = 0; m < slots; ++m) {
       sinks[m].aggs = &partials.agg_morsels[m];
       sinks[m].columns = &cq->columns;  // module outlives the run (shared_ptr held)
       sinks[m].row_records = cq->row_records;
@@ -1884,7 +2343,30 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
   // so reuse is race-free and skips 2 vector allocations per morsel.
   const int workers = ctx_.scheduler != nullptr ? ctx_.scheduler->num_threads() : 1;
   std::vector<jit::MorselCtx> ctxs(static_cast<size_t>(workers), jit::MorselCtx(&rt));
+
+  // Matched-build bitmaps for the outer chain joins, one set per *worker*
+  // (marking is an idempotent 0→1 write and the merge below ORs, so which
+  // worker marked a row cannot matter) plus one per drain pass — a drain's
+  // rows can match outer joins above its own, and later drains OR those in,
+  // exactly the interpreter's bitmap pool. Memory and merge cost are thus
+  // bounded by thread count, not morsel count. Build rows are frozen
+  // (proteus_build already ran), so the sizes are final.
+  std::vector<std::vector<std::vector<uint8_t>>> matched;
+  if (!outer.empty()) {
+    matched.resize(static_cast<size_t>(workers) + outer.size());
+    for (auto& per_table : matched) {
+      per_table.resize(rt.joins.size());
+      for (uint32_t table : cq->outer_join_tables) {
+        per_table[table].assign(rt.joins[table]->keys.size(), 0);
+      }
+    }
+    for (size_t k = 0; k < outer.size(); ++k) {
+      sinks[n + k].matched = &matched[static_cast<size_t>(workers) + k];
+    }
+  }
+
   auto run_one = [&](uint64_t m, int worker) {
+    if (!matched.empty()) sinks[m].matched = &matched[worker];
     cq->pipeline_fn(&ctxs[worker], &sinks[m], params.data(), morsels[m].begin,
                     morsels[m].end);
   };
@@ -1897,6 +2379,26 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
     for (uint64_t m = 0; m < n; ++m) run_one(m, 0);
   }
   if (rt.failed) return Status::Internal("jit runtime: " + rt.error);
+
+  // Outer-join unmatched drains: serially, deepest join first, once all
+  // probe morsels reported. Each drain k ORs every earlier bitmap (all
+  // worker bitmaps + drains 0..k-1) and feeds trailing slot n + k — the
+  // slot order FinalizePlanPartials folds, so the emitted row order
+  // reproduces the interpreter's exactly.
+  if (!outer.empty()) {
+    jit::MorselCtx drain_ctx(&rt);
+    for (size_t k = 0; k < cq->drain_fns.size(); ++k) {
+      const uint32_t table = cq->outer_join_tables[k];
+      const size_t rows = rt.joins[table]->keys.size();
+      std::vector<uint8_t> merged(std::max<size_t>(rows, 1), 0);
+      for (size_t s = 0; s < static_cast<size_t>(workers) + k; ++s) {
+        const std::vector<uint8_t>& bm = matched[s][table];
+        for (size_t i = 0; i < rows; ++i) merged[i] |= bm[i];
+      }
+      cq->drain_fns[k](&drain_ctx, &sinks[n + k], merged.data(), params.data());
+    }
+    if (rt.failed) return Status::Internal("jit runtime: " + rt.error);
+  }
 
   if (stats != nullptr) {
     stats->morsels = n;

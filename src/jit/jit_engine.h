@@ -27,12 +27,26 @@
 // one signature single-flight), and last_cache_hit()/last_compile_ms()
 // report how the plan was served.
 //
-// Plans using features outside the generated fast path (outer joins,
-// non-equi joins, collection monoids inside Nest, deep paths inside array
-// elements) return Unimplemented, and the QueryEngine facade transparently
-// falls back to the (morsel-parallel) interpreter. tests/test_jit_equiv.cpp
-// is the differential harness asserting JIT ≡ interpreter, cell for cell,
-// on everything the JIT accepts.
+// Outer joins compile too (morsel mode): probe pipelines set per-morsel
+// matched-build bitmaps through their partial sink, and one generated
+// proteus_drain<k> function per outer chain join runs once after all probe
+// morsels report, emitting the unmatched build rows (probe side bound to
+// SQL null) through the ops above the join into trailing partial slots —
+// the interpreter's exact drain frame. Outer unnests emit a null-element
+// branch, and set-monoid roots emit through the collection sink whose kSet
+// Aggregator deduplicates per morsel before the morsel-order merge. Join
+// keys read from JSON carry a generated presence check so null keys never
+// match, mirroring the interpreter's null-key rule on both build and probe
+// sides.
+//
+// Plans using features still outside the generated fast path (non-equi
+// joins, outer joins off the pipeline chain, collection or boolean monoids
+// inside Nest, float group keys, deep paths inside array elements) return
+// Unimplemented, and the QueryEngine facade transparently falls back to the
+// (morsel-parallel) interpreter — recording the failed attempt's compile
+// time honestly. tests/test_jit_equiv.cpp is the differential harness
+// asserting JIT ≡ interpreter, cell for cell, on everything the JIT
+// accepts.
 #pragma once
 
 #include <memory>

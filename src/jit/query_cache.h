@@ -153,6 +153,12 @@ struct CompiledModule {
   using QueryFn = void (*)(void*, const int64_t*);
   using BuildFn = void (*)(void*, const int64_t*);
   using PipelineFn = void (*)(void*, void*, const int64_t*, uint64_t, uint64_t);
+  /// Outer-join unmatched-drain pass: (ctx, sink, merged_matched_bitmap,
+  /// params). Run once per outer chain join — deepest first — after every
+  /// probe morsel reported its matched-build bitmap. The bitmap is per-run
+  /// state (host-side OR of the per-morsel sink bitmaps), never part of the
+  /// instruction stream, so cached modules stay position-independent.
+  using DrainFn = void (*)(void*, void*, const uint8_t*, const int64_t*);
 
   std::unique_ptr<llvm::orc::LLJIT> jit;  ///< owns the machine code
   std::vector<std::string> columns;
@@ -161,6 +167,10 @@ struct CompiledModule {
   QueryFn query_fn = nullptr;        ///< whole-relation mode
   BuildFn build_fn = nullptr;        ///< morsel mode
   PipelineFn pipeline_fn = nullptr;  ///< morsel mode
+  /// Morsel mode: one drain function per outer chain join, deepest-first,
+  /// with the matching join-table ids (bitmap sizing + OR source).
+  std::vector<DrainFn> drain_fns;
+  std::vector<uint32_t> outer_join_tables;
   RuntimeLayout layout;
   std::vector<ParamDesc> params;
 };

@@ -14,6 +14,8 @@ std::vector<std::pair<std::string, void*>> RuntimeSymbols() {
       {"proteus_csv_int", reinterpret_cast<void*>(&proteus_csv_int)},
       {"proteus_csv_double", reinterpret_cast<void*>(&proteus_csv_double)},
       {"proteus_csv_str", reinterpret_cast<void*>(&proteus_csv_str)},
+      {"proteus_json_has", reinterpret_cast<void*>(&proteus_json_has)},
+      {"proteus_json_int_opt", reinterpret_cast<void*>(&proteus_json_int_opt)},
       {"proteus_json_int", reinterpret_cast<void*>(&proteus_json_int)},
       {"proteus_json_double", reinterpret_cast<void*>(&proteus_json_double)},
       {"proteus_json_bool", reinterpret_cast<void*>(&proteus_json_bool)},
@@ -25,9 +27,13 @@ std::vector<std::pair<std::string, void*>> RuntimeSymbols() {
       {"proteus_unnest_elem_double", reinterpret_cast<void*>(&proteus_unnest_elem_double)},
       {"proteus_unnest_elem_str", reinterpret_cast<void*>(&proteus_unnest_elem_str)},
       {"proteus_join_insert", reinterpret_cast<void*>(&proteus_join_insert)},
+      {"proteus_join_insert_null", reinterpret_cast<void*>(&proteus_join_insert_null)},
       {"proteus_join_build", reinterpret_cast<void*>(&proteus_join_build)},
       {"proteus_join_probe_first", reinterpret_cast<void*>(&proteus_join_probe_first)},
       {"proteus_join_probe_next", reinterpret_cast<void*>(&proteus_join_probe_next)},
+      {"proteus_join_probe_row", reinterpret_cast<void*>(&proteus_join_probe_row)},
+      {"proteus_join_rows", reinterpret_cast<void*>(&proteus_join_rows)},
+      {"proteus_join_payload_at", reinterpret_cast<void*>(&proteus_join_payload_at)},
       {"proteus_group_upsert", reinterpret_cast<void*>(&proteus_group_upsert)},
       {"proteus_group_upsert_str", reinterpret_cast<void*>(&proteus_group_upsert_str)},
       {"proteus_group_count", reinterpret_cast<void*>(&proteus_group_count)},
@@ -38,7 +44,9 @@ std::vector<std::pair<std::string, void*>> RuntimeSymbols() {
       {"proteus_result_emit_double", reinterpret_cast<void*>(&proteus_result_emit_double)},
       {"proteus_result_emit_bool", reinterpret_cast<void*>(&proteus_result_emit_bool)},
       {"proteus_result_emit_str", reinterpret_cast<void*>(&proteus_result_emit_str)},
+      {"proteus_result_emit_null", reinterpret_cast<void*>(&proteus_result_emit_null)},
       {"proteus_result_end_row", reinterpret_cast<void*>(&proteus_result_end_row)},
+      {"proteus_result_end_row_set", reinterpret_cast<void*>(&proteus_result_end_row_set)},
       {"proteus_str_eq", reinterpret_cast<void*>(&proteus_str_eq)},
       {"proteus_str_lt", reinterpret_cast<void*>(&proteus_str_lt)},
       // Per-morsel partial sinks (partial_sink.h).
@@ -64,6 +72,10 @@ std::vector<std::pair<std::string, void*>> RuntimeSymbols() {
       {"proteus_sink_emit_bool", reinterpret_cast<void*>(&proteus_sink_emit_bool)},
       {"proteus_sink_emit_str", reinterpret_cast<void*>(&proteus_sink_emit_str)},
       {"proteus_sink_emit_end", reinterpret_cast<void*>(&proteus_sink_emit_end)},
+      {"proteus_sink_emit_null", reinterpret_cast<void*>(&proteus_sink_emit_null)},
+      {"proteus_sink_join_matched", reinterpret_cast<void*>(&proteus_sink_join_matched)},
+      {"proteus_sink_group_begin_null",
+       reinterpret_cast<void*>(&proteus_sink_group_begin_null)},
   };
 }
 
@@ -234,6 +246,22 @@ const char* proteus_csv_str(const void* plugin, uint64_t oid, uint32_t col, int6
   return t.data();
 }
 
+int32_t proteus_json_has(const void* plugin, uint64_t oid, uint64_t path_hash) {
+  return JsonTok(plugin, oid, path_hash) != nullptr ? 1 : 0;
+}
+
+int32_t proteus_json_int_opt(const void* plugin, uint64_t oid, uint64_t path_hash,
+                             int64_t* out) {
+  const JsonToken* t = JsonTok(plugin, oid, path_hash);
+  if (t == nullptr) {
+    *out = 0;
+    return 0;
+  }
+  const char* b = static_cast<const JsonPlugin*>(plugin)->ObjectBase(oid);
+  *out = ParseIntSpan(b + t->start, b + t->end);
+  return 1;
+}
+
 int64_t proteus_json_int(const void* plugin, uint64_t oid, uint64_t path_hash) {
   const JsonToken* t = JsonTok(plugin, oid, path_hash);
   if (t == nullptr) return 0;
@@ -336,6 +364,14 @@ void proteus_join_insert(void* ctx, uint32_t table, int64_t key, const int64_t* 
   t.table.Insert(proteus::HashMix64(static_cast<uint64_t>(key)), row);
 }
 
+void proteus_join_insert_null(void* ctx, uint32_t table, const int64_t* payload) {
+  JoinTableRt& t = *RT(ctx)->joins[table];
+  // Row slot without a radix entry: unreachable from probes (the sentinel
+  // key is never compared), visible to the unmatched drain.
+  t.keys.push_back(0);
+  t.payload.insert(t.payload.end(), payload, payload + t.slots_per_row);
+}
+
 void proteus_join_build(void* ctx, uint32_t table) {
   // Parallel radix build when a scheduler is attached — byte-identical
   // layout to the serial build, so probes see the same chain order.
@@ -358,8 +394,22 @@ const int64_t* proteus_join_probe_next(void* ctx, uint32_t table) {
   MorselCtx::ProbeState& ps = CTX(ctx)->probes[table];
   if (ps.pos >= ps.matches.size()) return nullptr;
   uint32_t row = ps.matches[ps.pos++];
+  ps.cur_row = row;
   // slots_per_row == 0 would alias end-of-data with "no match"; the builder
   // always reserves at least one slot.
+  return t.payload.data() + static_cast<size_t>(row) * t.slots_per_row;
+}
+
+int64_t proteus_join_probe_row(void* ctx, uint32_t table) {
+  return static_cast<int64_t>(CTX(ctx)->probes[table].cur_row);
+}
+
+int64_t proteus_join_rows(void* ctx, uint32_t table) {
+  return static_cast<int64_t>(RT(ctx)->joins[table]->keys.size());
+}
+
+const int64_t* proteus_join_payload_at(void* ctx, uint32_t table, int64_t row) {
+  const JoinTableRt& t = *RT(ctx)->joins[table];
   return t.payload.data() + static_cast<size_t>(row) * t.slots_per_row;
 }
 
@@ -407,9 +457,21 @@ void proteus_result_emit_bool(void* ctx, int32_t v) {
 void proteus_result_emit_str(void* ctx, const char* p, int64_t len) {
   RT(ctx)->cur_row.push_back(proteus::Value::Str(std::string(p, static_cast<size_t>(len))));
 }
+void proteus_result_emit_null(void* ctx) {
+  RT(ctx)->cur_row.push_back(proteus::Value::Null());
+}
 void proteus_result_end_row(void* ctx) {
   QueryRuntime* q = RT(ctx);
   q->result.rows.push_back(std::move(q->cur_row));
+  q->cur_row.clear();
+}
+void proteus_result_end_row_set(void* ctx) {
+  QueryRuntime* q = RT(ctx);
+  // Box the row and dedup through the one set-monoid implementation (hash
+  // index + Equals, first appearance wins); keep it only if new.
+  if (q->result_set.InsertDistinct(proteus::Value::MakeList(q->cur_row))) {
+    q->result.rows.push_back(std::move(q->cur_row));
+  }
   q->cur_row.clear();
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/aggregator.h"
 #include "src/engine/radix_table.h"
 #include "src/engine/result.h"
 #include "src/plugins/csv_plugin.h"
@@ -27,7 +28,10 @@ namespace jit {
 /// Radix join state: build-side keys + packed 8-byte payload slots. Filled
 /// once by the build pipeline, then read-only — probe iteration state lives
 /// in the per-task MorselCtx so concurrent morsel pipelines can probe the
-/// same table.
+/// same table. Null-keyed build rows (proteus_join_insert_null) occupy a row
+/// slot without a radix entry: probes never reach them, but an outer join's
+/// unmatched drain still iterates them — exactly the interpreter's
+/// "null keys never match; outer joins still keep the row" rule.
 struct JoinTableRt {
   RadixTable table;
   std::vector<int64_t> keys;
@@ -75,6 +79,10 @@ struct QueryRuntime {
   TaskScheduler* scheduler = nullptr;
   QueryResult result;       // legacy whole-relation path only
   std::vector<Value> cur_row;
+  /// Legacy whole-relation set-monoid roots: proteus_result_end_row_set
+  /// boxes each finished row and keeps it only if this set accumulator —
+  /// the same dedup the interpreter applies — hasn't seen an equal row.
+  Aggregator result_set{Monoid::kSet};
   bool failed = false;
   std::string error;
 
@@ -106,6 +114,8 @@ struct MorselCtx {
   struct ProbeState {
     std::vector<uint32_t> matches;
     size_t pos = 0;
+    uint32_t cur_row = 0;  ///< build row of the last yielded match (outer-join
+                           ///< bitmap marking reads it via proteus_join_probe_row)
   };
 
   QueryRuntime* rt;
@@ -132,7 +142,15 @@ int64_t proteus_csv_int(const void* plugin, uint64_t oid, uint32_t col);
 double proteus_csv_double(const void* plugin, uint64_t oid, uint32_t col);
 const char* proteus_csv_str(const void* plugin, uint64_t oid, uint32_t col, int64_t* len);
 
-// JSON field access through the structural index.
+// JSON field access through the structural index. proteus_json_has reports
+// whether the field is present at all — the generated null check behind the
+// interpreter's "null keys never match" join semantics (absent JSON fields
+// bind SQL null there; the typed readers below return 0/"" instead).
+// proteus_json_int_opt fuses presence + int read into one index lookup for
+// the hot join-key path (returns presence, writes the value or 0).
+int32_t proteus_json_has(const void* plugin, uint64_t oid, uint64_t path_hash);
+int32_t proteus_json_int_opt(const void* plugin, uint64_t oid, uint64_t path_hash,
+                             int64_t* out);
 int64_t proteus_json_int(const void* plugin, uint64_t oid, uint64_t path_hash);
 double proteus_json_double(const void* plugin, uint64_t oid, uint64_t path_hash);
 int64_t proteus_json_bool(const void* plugin, uint64_t oid, uint64_t path_hash);
@@ -154,9 +172,18 @@ const char* proteus_unnest_elem_str(void* ctx, uint32_t slot, const char* name,
 // iteration state lives in ctx->probes[table] so concurrent morsels can
 // probe the same frozen table.
 void proteus_join_insert(void* ctx, uint32_t table, int64_t key, const int64_t* payload);
+// Null-keyed build row of an outer join: keeps the payload (the unmatched
+// drain iterates it) without a radix entry (probes can never match it).
+void proteus_join_insert_null(void* ctx, uint32_t table, const int64_t* payload);
 void proteus_join_build(void* ctx, uint32_t table);
 const int64_t* proteus_join_probe_first(void* ctx, uint32_t table, int64_t key);
 const int64_t* proteus_join_probe_next(void* ctx, uint32_t table);
+// Build row index of the match probe_next last yielded (per-task state).
+int64_t proteus_join_probe_row(void* ctx, uint32_t table);
+// Unmatched-drain iteration over a frozen build side: total row count and
+// direct payload access by row index.
+int64_t proteus_join_rows(void* ctx, uint32_t table);
+const int64_t* proteus_join_payload_at(void* ctx, uint32_t table, int64_t row);
 
 // Hash grouping (Nest) — legacy single-call path and mid-chain nests inside
 // build pipelines; morsel-parallel group-bys go through the partial-sink
@@ -174,7 +201,11 @@ void proteus_result_emit_int(void* ctx, int64_t v);
 void proteus_result_emit_double(void* ctx, double v);
 void proteus_result_emit_bool(void* ctx, int32_t v);
 void proteus_result_emit_str(void* ctx, const char* p, int64_t len);
+void proteus_result_emit_null(void* ctx);
 void proteus_result_end_row(void* ctx);
+// Set-monoid root (legacy whole-relation mode): ends the staged row only if
+// no equal row was emitted before (hash of the boxed row + cell equality).
+void proteus_result_end_row_set(void* ctx);
 
 // Strings.
 int32_t proteus_str_eq(const char* a, int64_t alen, const char* b, int64_t blen);

@@ -139,12 +139,17 @@ PushResult PushDown(OpPtr op, std::vector<ExprPtr> pending) {
       return {Operator::Reduce(in, op->outputs(), op->pred()), {}};
     }
     case OpKind::kNest: {
-      PushResult c = PushDown(op->child(0), std::move(pending));
+      // Nothing sinks through a Nest: conjuncts arriving from above can only
+      // reference the nest's own binding (child vars are out of scope up
+      // there), and filtering before aggregation would change the groups.
+      // They stay pending above; anchoring them below left them referencing
+      // an unbound variable.
+      PushResult c = PushDown(op->child(0), {});
       OpPtr in = c.op;
       if (!c.leftover.empty()) in = Operator::Select(in, CombineConjuncts(c.leftover));
       return {Operator::Nest(in, op->group_by(), op->group_name(), op->outputs(), op->pred(),
                              op->binding()),
-              {}};
+              std::move(pending)};
     }
   }
   return {op, std::move(pending)};

@@ -126,9 +126,15 @@ Status InputPlugin::CollectStats(StatsStore* store) {
     cs.valid = false;
     bool first = true;
     for (uint64_t oid = 0; oid < NumRecords(); ++oid) {
-      PROTEUS_ASSIGN_OR_RETURN(Value v, ReadValue(oid, p));
-      if (v.is_null()) continue;
-      double d = v.AsFloat();
+      auto v = ReadValue(oid, p);
+      if (!v.ok()) {
+        // Optional JSON fields: an absent leaf is a null, not an error —
+        // the same leniency the scan cursors apply.
+        if (v.status().code() == StatusCode::kNotFound) continue;
+        return v.status();
+      }
+      if (v->is_null()) continue;
+      double d = v->AsFloat();
       if (first || d < cs.min) cs.min = d;
       if (first || d > cs.max) cs.max = d;
       first = false;

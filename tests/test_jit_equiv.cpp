@@ -14,6 +14,7 @@
 // joins, outer joins, group-bys, and unnest through all four plug-ins.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <functional>
 #include <random>
 #include <sstream>
@@ -303,40 +304,398 @@ std::vector<DiffCase> DiffCases() {
                    "UNNEST(o.lineitems) l WHERE l.l_quantity > 10.0"});
   cases.push_back({"unnest_comp",
                    "for { s <- spam, k <- s.classes, k.label > 10 } yield (count, max k.label)"});
+  // Set-monoid roots: per-morsel dedup sinks merged in morsel order keep
+  // first-appearance row order identical to the interpreter — across all
+  // four plug-ins, with duplicates guaranteed by the narrow key domains.
+  for (const char* ds : {"lineitem_bincol", "lineitem_binrow", "lineitem_csv",
+                         "lineitem_json"}) {
+    std::string d(ds);
+    cases.push_back({d + "_set_int",
+                     "for { l <- " + d + " } yield set l.l_linenumber"});
+    cases.push_back({d + "_set_record",
+                     "for { l <- " + d + ", l.l_orderkey < 40 } "
+                     "yield set <key: l.l_orderkey, n: l.l_linenumber>"});
+  }
+  cases.push_back({"set_str", "for { l <- lineitem_csv } yield set l.l_shipmode"});
+  // Mixed-kind if-branches (int vs float) widen like the arithmetic path
+  // instead of bailing — pinned against the interpreter in scalar, bag, and
+  // extreme positions.
+  cases.push_back({"if_mixed_sum",
+                   "SELECT sum(if l_quantity > 25.0 then l_extendedprice else 0), count(*) "
+                   "FROM lineitem_bincol WHERE l_orderkey < 40"});
+  cases.push_back({"if_mixed_rows",
+                   "SELECT l_orderkey, if l_quantity > 25.0 then l_extendedprice else 0 "
+                   "FROM lineitem_json WHERE l_orderkey < 15"});
+  cases.push_back({"if_mixed_minmax",
+                   "SELECT min(if l_quantity > 25.0 then l_extendedprice else 1), "
+                   "max(if l_discount < 0.05 then 0 else l_tax) FROM lineitem_csv"});
   return cases;
 }
 
 INSTANTIATE_TEST_SUITE_P(Matrix, JitDifferentialTest, ::testing::ValuesIn(DiffCases()),
                          [](const auto& info) { return info.param.name; });
 
-// Outer joins are outside the generated fast path: the engine must fall back
-// to the (morsel-parallel) interpreter, report that honestly, and still be
-// cell-identical for every thread count — unmatched-drain row order
-// included. The differential matrix covers the shape even though no
-// generated code runs it.
-TEST(JitDifferential, OuterJoinFallsBackAndStaysIdentical) {
+// ---------------------------------------------------------------------------
+// Outer joins, outer unnest, and set outputs now run through generated code:
+// per-morsel matched-build bitmaps + one-shot generated drain passes, a
+// null-element emission branch, and set-dedup collection sinks. Every case
+// pins used_jit = true / jit_parallel = true with an empty fallback_reason
+// and results cell-identical (float bits + row order) to the interpreter
+// across num_threads ∈ {1, 2, 4}, cold and warm cache.
+// ---------------------------------------------------------------------------
+
+/// Writes the outer-shape corpora once per process: orders whose keys have
+/// no lineitems ("widows"), JSON rows with the join key absent (the
+/// interpreter binds SQL null there), and denormalized orders with empty
+/// lineitem arrays (outer-unnest rows).
+const std::string& OuterCorpusDir() {
+  static const std::string dir = [] {
+    const testutil::Corpus& c = testutil::Corpus::Get();
+    {
+      std::ofstream f(c.dir + "/widow_orders.json");
+      f << R"({"o_orderkey":1,"o_custkey":1,"o_totalprice":100.5,"o_shippriority":1,"o_comment":"real"})"
+        << "\n";
+      for (int i = 0; i < 7; ++i) {
+        f << "{\"o_orderkey\":" << 1000 + i << ",\"o_custkey\":" << i % 3
+          << ",\"o_totalprice\":" << 50.25 + i
+          << ",\"o_shippriority\":0,\"o_comment\":\"widow\"}\n";
+      }
+      f << R"({"o_orderkey":2,"o_custkey":2,"o_totalprice":200.25,"o_shippriority":2,"o_comment":"real"})"
+        << "\n";
+    }
+    {
+      // Every third row lacks l_orderkey entirely: a SQL-null probe (or
+      // build) key that must match nothing in either engine.
+      std::ofstream f(c.dir + "/nullkey_lineitem.json");
+      for (int i = 0; i < 36; ++i) {
+        if (i % 3 == 0) {
+          f << "{\"l_linenumber\":" << i % 7 << ",\"l_quantity\":" << 5.5 + i
+            << ",\"l_extendedprice\":" << 100.25 + i
+            << ",\"l_discount\":0.01,\"l_tax\":0.02,\"l_shipmode\":\"RAIL\","
+               "\"l_comment\":\"nokey\"}\n";
+        } else {
+          f << "{\"l_orderkey\":" << i % 5 + 1 << ",\"l_linenumber\":" << i % 7
+            << ",\"l_quantity\":" << 5.5 + i << ",\"l_extendedprice\":" << 100.25 + i
+            << ",\"l_discount\":0.01,\"l_tax\":0.02,\"l_shipmode\":\"AIR\","
+               "\"l_comment\":\"keyed\"}\n";
+        }
+      }
+    }
+    {
+      // Orders 3, 6, 9, ... have empty lineitems arrays.
+      std::ofstream f(c.dir + "/holey_denorm.json");
+      for (int i = 1; i <= 21; ++i) {
+        f << "{\"o_orderkey\":" << i << ",\"o_custkey\":" << i % 4
+          << ",\"o_totalprice\":" << 10.5 * i << ",\"lineitems\":[";
+        if (i % 3 != 0) {
+          f << "{\"l_orderkey\":" << i << ",\"l_linenumber\":1,\"l_quantity\":" << 2.5 + i
+            << ",\"l_extendedprice\":30.75,\"l_discount\":0.02,\"l_tax\":0.01,"
+               "\"l_shipmode\":\"MAIL\",\"l_comment\":\"one\"}";
+          if (i % 2 == 0) {
+            f << ",{\"l_orderkey\":" << i << ",\"l_linenumber\":2,\"l_quantity\":" << 7.5 + i
+              << ",\"l_extendedprice\":41.5,\"l_discount\":0.03,\"l_tax\":0.02,"
+                 "\"l_shipmode\":\"SHIP\",\"l_comment\":\"two\"}";
+          }
+        }
+        f << "]}\n";
+      }
+    }
+    return c.dir;
+  }();
+  return dir;
+}
+
+void RegisterOuterCorpus(QueryEngine* engine) {
+  const std::string& dir = OuterCorpusDir();
+  auto reg = [&](const std::string& name, const std::string& file, TypePtr type) {
+    DatasetInfo info;
+    info.name = name;
+    info.format = DataFormat::kJSON;
+    info.path = dir + "/" + file;
+    info.type = std::move(type);
+    ASSERT_TRUE(engine->RegisterDataset(info).ok()) << name;
+  };
+  reg("widow_orders", "widow_orders.json", datagen::OrdersSchema());
+  reg("nullkey_lineitem", "nullkey_lineitem.json", datagen::LineitemSchema());
+  reg("holey_denorm", "holey_denorm.json", datagen::OrdersDenormSchema());
+}
+
+RunInfo RunOuterPlan(const std::function<OpPtr()>& make_plan, ExecMode mode, int threads) {
+  EngineOptions opts;
+  opts.mode = mode;
+  opts.num_threads = threads;
+  opts.morsel_rows = kDiffMorselRows;
+  QueryEngine engine(opts);
+  testutil::RegisterAll(&engine);
+  RegisterOuterCorpus(&engine);
+  auto r = engine.ExecutePlan(make_plan());
+  RunInfo info;
+  info.status = r.status();
+  if (r.ok()) info.result = std::move(*r);
+  info.telemetry = engine.telemetry();
+  return info;
+}
+
+/// Oracle vs generated code across thread counts, with the generated engine
+/// required to actually run (and to say so).
+void ExpectJitMatchesInterp(const std::function<OpPtr()>& make_plan, const std::string& what) {
+  RunInfo oracle = RunOuterPlan(make_plan, ExecMode::kInterp, 1);
+  ASSERT_TRUE(oracle.status.ok()) << what << "\n" << oracle.status.ToString();
+  for (int threads : {1, 2, 4}) {
+    RunInfo jit = RunOuterPlan(make_plan, ExecMode::kJIT, threads);
+    ASSERT_TRUE(jit.status.ok()) << what << "\n" << jit.status.ToString();
+    ExpectIdentical(oracle.result, jit.result, what + " @ threads=" + std::to_string(threads));
+    EXPECT_TRUE(jit.telemetry.used_jit)
+        << what << " fell back: " << jit.telemetry.fallback_reason;
+    EXPECT_TRUE(jit.telemetry.jit_parallel) << what;
+    EXPECT_TRUE(jit.telemetry.fallback_reason.empty()) << jit.telemetry.fallback_reason;
+    EXPECT_GT(jit.telemetry.morsels, 0u) << what;
+  }
+}
+
+ExprPtr Proj(const char* var, const char* field) { return Expr::Proj(Expr::Var(var), field); }
+
+OpPtr WidowOuterJoin(const char* probe_ds) {
+  OpPtr scan_o = Operator::Scan("widow_orders", "o");
+  OpPtr scan_l = Operator::Scan(probe_ds, "l");
+  ExprPtr pred =
+      Expr::Bin(BinOp::kEq, Proj("o", "o_orderkey"), Proj("l", "l_orderkey"));
+  return Operator::Join(scan_o, scan_l, pred, /*outer=*/true);
+}
+
+TEST(JitOuterJoin, BagOutputWithNullProbeCellsCellIdentical) {
   auto make_plan = [] {
+    ExprPtr rec = Expr::Record({"key", "price", "qty"},
+                               {Proj("o", "o_orderkey"), Proj("o", "o_totalprice"),
+                                Proj("l", "l_quantity")});
+    return Operator::Reduce(WidowOuterJoin("lineitem_json"), {{Monoid::kBag, rec, "rows"}});
+  };
+  ExpectJitMatchesInterp(make_plan, "outer join bag");
+  // Sanity: the widows actually exercise the drain — their probe cells are
+  // SQL null in the merged result.
+  RunInfo jit = RunOuterPlan(make_plan, ExecMode::kJIT, 2);
+  ASSERT_TRUE(jit.status.ok());
+  size_t null_cells = 0;
+  for (const auto& row : jit.result.rows) null_cells += row[2].is_null() ? 1 : 0;
+  EXPECT_EQ(null_cells, 7u) << "one drained row per widow order";
+}
+
+TEST(JitOuterJoin, ScalarAggsSkipNullDrainInputs) {
+  // count sees every drained row; max/sum over the probe side must ignore
+  // them (null inputs never contribute to value monoids).
+  auto make_plan = [] {
+    return Operator::Reduce(WidowOuterJoin("lineitem_json"),
+                            {{Monoid::kCount, nullptr, "n"},
+                             {Monoid::kMax, Proj("l", "l_quantity"), "maxq"},
+                             {Monoid::kSum, Proj("l", "l_extendedprice"), "sump"}});
+  };
+  ExpectJitMatchesInterp(make_plan, "outer join scalar aggs");
+}
+
+TEST(JitOuterJoin, GroupByAboveDrainCellIdentical) {
+  // Group on a build-side key: drained widows form their own groups whose
+  // probe-side aggregates stay empty (null result cells).
+  auto make_plan = [] {
+    OpPtr nest = Operator::Nest(WidowOuterJoin("lineitem_json"), Proj("o", "o_orderkey"),
+                                "key", {{Monoid::kCount, nullptr, "n"},
+                                        {Monoid::kMax, Proj("l", "l_quantity"), "maxq"}},
+                                nullptr, "g");
+    ExprPtr rec = Expr::Record(
+        {"key", "n", "maxq"}, {Proj("g", "key"), Proj("g", "n"), Proj("g", "maxq")});
+    return Operator::Reduce(nest, {{Monoid::kBag, rec, "rows"}});
+  };
+  ExpectJitMatchesInterp(make_plan, "outer join group-by");
+}
+
+TEST(JitOuterJoin, NullGroupKeyFromDrainedRows) {
+  // Group on a *probe-side* field: every drained widow lands in the SQL-null
+  // key group, exactly like the interpreter's boxed Null key.
+  auto make_plan = [] {
+    OpPtr nest = Operator::Nest(WidowOuterJoin("lineitem_json"), Proj("l", "l_linenumber"),
+                                "ln", {{Monoid::kCount, nullptr, "n"}}, nullptr, "g");
+    ExprPtr rec = Expr::Record({"ln", "n"}, {Proj("g", "ln"), Proj("g", "n")});
+    return Operator::Reduce(nest, {{Monoid::kBag, rec, "rows"}});
+  };
+  ExpectJitMatchesInterp(make_plan, "outer join null group key");
+}
+
+TEST(JitOuterJoin, NullKeyProbeRowsMatchNothing) {
+  // Probe rows whose JSON key field is absent are SQL-null keys: they match
+  // nothing (inner and outer alike) in both engines.
+  for (bool outer : {false, true}) {
+    auto make_plan = [outer] {
+      OpPtr scan_o = Operator::Scan("widow_orders", "o");
+      OpPtr scan_l = Operator::Scan("nullkey_lineitem", "l");
+      ExprPtr pred =
+          Expr::Bin(BinOp::kEq, Proj("o", "o_orderkey"), Proj("l", "l_orderkey"));
+      OpPtr join = Operator::Join(scan_o, scan_l, pred, outer);
+      return Operator::Reduce(join, {{Monoid::kCount, nullptr, "n"},
+                                     {Monoid::kSum, Proj("l", "l_quantity"), "sumq"}});
+    };
+    ExpectJitMatchesInterp(make_plan, outer ? "null-key probe (outer)"
+                                            : "null-key probe (inner)");
+  }
+}
+
+TEST(JitOuterJoin, NullKeyBuildRowsDrainWithNullKeyCells) {
+  // Build rows with an absent key never match but an outer join still keeps
+  // them for the drain — emitting the key column itself as SQL null (the
+  // null flag round-trips through the payload mask).
+  auto make_plan = [] {
+    OpPtr scan_l = Operator::Scan("nullkey_lineitem", "l");
     OpPtr scan_o = Operator::Scan("orders_json", "o");
-    OpPtr scan_l = Operator::Scan("lineitem_json", "l");
-    ExprPtr pred = Expr::Bin(BinOp::kEq, Expr::Proj(Expr::Var("o"), "o_orderkey"),
-                             Expr::Proj(Expr::Var("l"), "l_orderkey"));
-    OpPtr join = Operator::Join(scan_o, scan_l, pred, /*outer=*/true);
-    ExprPtr rec = Expr::Record({"key", "qty"}, {Expr::Proj(Expr::Var("o"), "o_orderkey"),
-                                                Expr::Proj(Expr::Var("l"), "l_quantity")});
+    ExprPtr pred =
+        Expr::Bin(BinOp::kEq, Proj("l", "l_orderkey"), Proj("o", "o_orderkey"));
+    OpPtr join = Operator::Join(scan_l, scan_o, pred, /*outer=*/true);
+    ExprPtr rec = Expr::Record({"lkey", "qty", "oprice"},
+                               {Proj("l", "l_orderkey"), Proj("l", "l_quantity"),
+                                Proj("o", "o_totalprice")});
     return Operator::Reduce(join, {{Monoid::kBag, rec, "rows"}});
+  };
+  ExpectJitMatchesInterp(make_plan, "null-key build rows");
+  RunInfo jit = RunOuterPlan(make_plan, ExecMode::kJIT, 2);
+  ASSERT_TRUE(jit.status.ok());
+  size_t null_keys = 0;
+  for (const auto& row : jit.result.rows) null_keys += row[0].is_null() ? 1 : 0;
+  EXPECT_EQ(null_keys, 12u) << "every third of 36 rows lacks the key";
+}
+
+TEST(JitOuterUnnest, EmptyCollectionsEmitNullElementRows) {
+  // Outer unnest over arrays where every third is empty: the outer row is
+  // emitted once with a null element in both engines.
+  auto make_plan = [] {
+    OpPtr scan = Operator::Scan("holey_denorm", "o");
+    OpPtr unnest =
+        Operator::Unnest(scan, {"o", "lineitems"}, "l", nullptr, /*outer=*/true);
+    ExprPtr rec = Expr::Record({"okey", "qty"},
+                               {Proj("o", "o_orderkey"), Proj("l", "l_quantity")});
+    return Operator::Reduce(unnest, {{Monoid::kBag, rec, "rows"}});
+  };
+  ExpectJitMatchesInterp(make_plan, "outer unnest bag");
+  RunInfo jit = RunOuterPlan(make_plan, ExecMode::kJIT, 2);
+  ASSERT_TRUE(jit.status.ok());
+  size_t null_elems = 0;
+  for (const auto& row : jit.result.rows) null_elems += row[1].is_null() ? 1 : 0;
+  EXPECT_EQ(null_elems, 7u) << "orders 3,6,9,12,15,18,21 have empty arrays";
+}
+
+TEST(JitOuterUnnest, AggregatesOverNullElements) {
+  auto make_plan = [] {
+    OpPtr scan = Operator::Scan("holey_denorm", "o");
+    OpPtr unnest =
+        Operator::Unnest(scan, {"o", "lineitems"}, "l", nullptr, /*outer=*/true);
+    return Operator::Reduce(unnest, {{Monoid::kCount, nullptr, "n"},
+                                     {Monoid::kMin, Proj("l", "l_quantity"), "minq"},
+                                     {Monoid::kSum, Proj("o", "o_totalprice"), "sump"}});
+  };
+  ExpectJitMatchesInterp(make_plan, "outer unnest aggs");
+}
+
+TEST(JitOuterJoin, WarmCacheStaysCellIdentical) {
+  // Bitmaps, drain state, and set/dedup state are per-run, never baked into
+  // the instruction stream: a warm (cache-hit) rerun of an outer join is
+  // cell-identical with compile_ms == 0.
+  EngineOptions opts;
+  opts.mode = ExecMode::kJIT;
+  opts.num_threads = 2;
+  opts.morsel_rows = kDiffMorselRows;
+  QueryEngine engine(opts);
+  testutil::RegisterAll(&engine);
+  RegisterOuterCorpus(&engine);
+  auto make_plan = [] {
+    ExprPtr rec = Expr::Record({"key", "qty"},
+                               {Proj("o", "o_orderkey"), Proj("l", "l_quantity")});
+    return Operator::Reduce(WidowOuterJoin("lineitem_json"), {{Monoid::kBag, rec, "rows"}});
+  };
+  auto cold = engine.ExecutePlan(make_plan());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_TRUE(engine.telemetry().used_jit) << engine.telemetry().fallback_reason;
+  EXPECT_FALSE(engine.telemetry().jit_cache_hit);
+  auto warm = engine.ExecutePlan(make_plan());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(engine.telemetry().used_jit);
+  EXPECT_TRUE(engine.telemetry().jit_cache_hit);
+  EXPECT_EQ(engine.telemetry().jit_compile_ms, 0.0);
+  ExpectIdentical(*cold, *warm, "outer join cold vs warm cache");
+}
+
+TEST(JitOuterJoin, ShardedEnginesDeclineButStillRunJit) {
+  // Outer joins stay unshardable (the drain needs a global bitmap view);
+  // the coordinator declines and the plan takes the normal parallel-JIT
+  // path instead of the interpreter.
+  EngineOptions opts;
+  opts.mode = ExecMode::kJIT;
+  opts.num_threads = 2;
+  opts.num_shards = 2;
+  opts.morsel_rows = kDiffMorselRows;
+  QueryEngine engine(opts);
+  testutil::RegisterAll(&engine);
+  RegisterOuterCorpus(&engine);
+  OpPtr plan = Operator::Reduce(WidowOuterJoin("lineitem_json"),
+                                {{Monoid::kCount, nullptr, "n"}});
+  auto r = engine.ExecutePlan(std::move(plan));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(engine.telemetry().shards_used, 0);
+  EXPECT_TRUE(engine.telemetry().used_jit) << engine.telemetry().fallback_reason;
+  EXPECT_TRUE(engine.telemetry().jit_parallel);
+}
+
+TEST(JitSetOutput, LegacyWholeRelationModeDeduplicates) {
+  // A Select above a Nest is not morsel-parallelizable, so the set root
+  // compiles through the legacy whole-relation engine — whose row emission
+  // dedups via the hashed result_row_set, first appearance winning, exactly
+  // like the interpreter's set Aggregator.
+  auto make_plan = [] {
+    OpPtr scan = Operator::Scan("lineitem_bincol", "l");
+    OpPtr nest = Operator::Nest(scan, Proj("l", "l_linenumber"), "ln",
+                                {{Monoid::kCount, nullptr, "n"}}, nullptr, "g");
+    OpPtr sel = Operator::Select(
+        std::move(nest), Expr::Bin(BinOp::kGt, Proj("g", "n"), Expr::Int(0)));
+    return Operator::Reduce(std::move(sel),
+                            {{Monoid::kSet, Expr::Bin(BinOp::kMod, Proj("g", "ln"),
+                                                      Expr::Int(3)),
+                              "lns"}});
   };
   RunInfo oracle = RunPlanConfig(make_plan, ExecMode::kInterp, 1);
   ASSERT_TRUE(oracle.status.ok()) << oracle.status.ToString();
-  for (int threads : {1, 2, 4}) {
-    RunInfo jit = RunPlanConfig(make_plan, ExecMode::kJIT, threads);
-    ASSERT_TRUE(jit.status.ok()) << jit.status.ToString();
-    ExpectIdentical(oracle.result, jit.result,
-                    "outer join @ threads=" + std::to_string(threads));
-    EXPECT_FALSE(jit.telemetry.used_jit);
-    EXPECT_FALSE(jit.telemetry.jit_parallel);
-    EXPECT_FALSE(jit.telemetry.fallback_reason.empty());
-    EXPECT_GT(jit.telemetry.morsels, 0u) << "interpreter fallback should stay morsel-parallel";
-  }
+  RunInfo jit = RunPlanConfig(make_plan, ExecMode::kJIT, 1);
+  ASSERT_TRUE(jit.status.ok()) << jit.status.ToString();
+  ExpectIdentical(oracle.result, jit.result, "legacy set output");
+  EXPECT_TRUE(jit.telemetry.used_jit) << jit.telemetry.fallback_reason;
+  EXPECT_FALSE(jit.telemetry.jit_parallel) << "Nest mid-chain takes the legacy engine";
+  EXPECT_LE(jit.result.rows.size(), 3u) << "mod-3 keys must deduplicate";
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry (headline bugfix): a JIT→interpreter fallback must record the
+// failed codegen attempt's cost in compile_ms / jit_compile_ms and keep it
+// out of execute_ms — previously the attempt was silently folded into
+// execute_ms with compile_ms stuck at 0.
+// ---------------------------------------------------------------------------
+
+TEST(JitFallbackTelemetry, FailedCompileAttemptIsRecorded) {
+  // A non-equi join has no generated fast path: codegen aborts and the
+  // morsel-parallel interpreter serves the plan.
+  auto make_plan = [] {
+    OpPtr scan_o = Operator::Scan("orders_json", "o");
+    OpPtr scan_l = Operator::Scan("lineitem_json", "l");
+    ExprPtr pred =
+        Expr::Bin(BinOp::kLt, Proj("o", "o_orderkey"), Proj("l", "l_orderkey"));
+    OpPtr join = Operator::Join(scan_o, scan_l, pred, /*outer=*/false);
+    return Operator::Reduce(join, {{Monoid::kCount, nullptr, "n"}});
+  };
+  RunInfo jit = RunPlanConfig(make_plan, ExecMode::kJIT, 2);
+  ASSERT_TRUE(jit.status.ok()) << jit.status.ToString();
+  EXPECT_FALSE(jit.telemetry.used_jit);
+  EXPECT_FALSE(jit.telemetry.fallback_reason.empty());
+  EXPECT_GT(jit.telemetry.compile_ms, 0.0)
+      << "the aborted codegen attempt cost real time that must be attributed";
+  EXPECT_EQ(jit.telemetry.jit_compile_ms, jit.telemetry.compile_ms);
+  EXPECT_GE(jit.telemetry.execute_ms, 0.0);
+  // Against the same plan in interpreter mode the fallback stays correct.
+  RunInfo interp = RunPlanConfig(make_plan, ExecMode::kInterp, 2);
+  ASSERT_TRUE(interp.status.ok());
+  ExpectIdentical(interp.result, jit.result, "non-equi fallback");
 }
 
 // ---------------------------------------------------------------------------
