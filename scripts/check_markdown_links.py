@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo markdown links.
+
+Scans every tracked *.md file for inline links/images ``[text](target)``,
+resolves relative targets against the linking file's directory, and exits
+non-zero listing every target that does not exist. External links
+(http/https/mailto) are not fetched. Fragments are checked against the
+target file's headings using GitHub's slug rules (lowercase, spaces to
+hyphens, punctuation dropped).
+
+Usage: scripts/check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+SKIP_DIRS = {".git", "build", "third_party", "node_modules"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE_RE.sub("", f.read())
+    return {slugify(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    for md in md_files(root):
+        rel_md = os.path.relpath(md, root)
+        with open(md, encoding="utf-8") as f:
+            text = CODE_FENCE_RE.sub("", f.read())
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            target, _, fragment = target.partition("#")
+            if not target:  # same-file fragment
+                dest = md
+            else:
+                dest = os.path.normpath(os.path.join(os.path.dirname(md), target))
+            if not os.path.exists(dest):
+                errors.append(f"{rel_md}: dead link -> {m.group(1)}")
+                continue
+            if fragment and dest.endswith(".md") and slugify(fragment) not in anchors_of(dest):
+                errors.append(f"{rel_md}: missing anchor -> {m.group(1)}")
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} dead markdown link(s)", file=sys.stderr)
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,9 @@ QueryEngine::QueryEngine(EngineOptions opts)
   if (opts_.jit_cache_capacity > 0) {
     jit_cache_ = std::make_unique<jit::CompiledQueryCache>(opts_.jit_cache_capacity);
   }
+  if (opts_.tiered) {
+    tiered_compiler_ = std::make_unique<jit::TieredCompiler>();
+  }
 }
 
 Status QueryEngine::RegisterDataset(DatasetInfo info) { return catalog_.Register(std::move(info)); }
@@ -164,6 +167,10 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
   ctx.scheduler = &scheduler_;
   ctx.jit_cache = jit_cache_.get();
   ctx.morsel_rows = opts_.morsel_rows;
+  if (opts_.mode == ExecMode::kJIT && tiered_compiler_ != nullptr) {
+    ctx.tiered = tiered_compiler_.get();
+    ctx.tiered_opts = &opts_.tiered_opts;
+  }
 
   auto t0 = std::chrono::steady_clock::now();
   // Sharded routing: num_shards >= 1 is an explicit opt-in, so shardable
@@ -185,6 +192,11 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
     telemetry_.morsels = shard_stats.morsels;
     telemetry_.used_jit = shard_stats.jit_shards > 0;
     telemetry_.jit_parallel = shard_stats.jit_shards > 0;
+    telemetry_.compile_tier = shard_stats.compile_tier;
+    telemetry_.morsels_interpreted = shard_stats.morsels_interpreted;
+    telemetry_.morsels_jit = shard_stats.morsels_jit;
+    telemetry_.swap_ms = shard_stats.swap_ms;
+    telemetry_.first_morsel_ms = shard_stats.first_morsel_ms;
     // Shards share the engine's compiled-query cache: N shards of one plan
     // compile it exactly once (cold) or zero times (warm). With the cache
     // disabled (jit_cache_capacity = 0) no per-shard compile cost is
@@ -205,6 +217,49 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
     }
     return result;
   }
+  // Tiered routing (opt-in): the cold query starts on the interpreter
+  // immediately while its module compiles on the background thread, and
+  // hot-swaps to generated code at a morsel boundary; warm queries run as
+  // pure generated code from morsel 0. Plans the controller declines (outer
+  // joins in the chain, shapes outside the morsel driver) fall through to
+  // the normal routes below.
+  if (ctx.tiered != nullptr) {
+    jit::TieredRunStats ts;
+    auto partials = jit::RunTiered(ctx, physical, 0, 0, /*whole_plan=*/true, &ts);
+    if (partials.ok()) {
+      const OpPtr& top = physical->child(0);
+      const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
+      auto result = FinalizePlanPartials(*physical, nest, std::move(*partials));
+      telemetry_.used_jit = ts.morsels_jit > 0;
+      telemetry_.jit_parallel = ts.morsels_jit > 0;
+      telemetry_.compile_tier = ts.compile_tier;
+      telemetry_.morsels_interpreted = ts.morsels_interpreted;
+      telemetry_.morsels_jit = ts.morsels_jit;
+      telemetry_.swap_ms = ts.swap_ms;
+      telemetry_.first_morsel_ms = ts.first_morsel_ms;
+      telemetry_.jit_cache_hit = ts.cache_hit;
+      // The background compile overlapped execution, so execute_ms keeps
+      // the full wall time — there is no foreground compile to subtract.
+      // compile_ms reports the background compile this run observed
+      // (0 when warm, or when the compile outlived the query).
+      telemetry_.compile_ms = ts.compile_ms;
+      telemetry_.jit_compile_ms = ts.compile_ms;
+      telemetry_.execute_ms = MsSince(t0);
+      telemetry_.morsels = ts.morsels_interpreted + ts.morsels_jit;
+      telemetry_.threads_used = opts_.num_threads;
+      if (ts.morsels_jit == 0) {
+        telemetry_.fallback_reason =
+            ts.compile_ms > 0
+                ? "tiered: background compile failed; interpreter completed the query"
+                : "tiered: compile did not land before the query finished";
+      }
+      return result;
+    }
+    if (partials.status().code() != StatusCode::kUnimplemented) {
+      return partials.status();
+    }
+    // Not chunk-decomposable: keep the normal JIT/interpreter routing.
+  }
   if (opts_.mode == ExecMode::kJIT) {
     JitExecutor jit(ctx);
     // Parallel JIT pipelines for morsel-drivable plans: the generated code
@@ -218,6 +273,10 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
     if (result.ok()) {
       telemetry_.used_jit = true;
       telemetry_.jit_parallel = parallel;
+      // The served module's tier — 1 normally, 2 when a background
+      // promotion already swapped the aggressive module behind this key.
+      telemetry_.compile_tier =
+          jit.last_module() != nullptr ? jit.last_module()->tier : 1;
       if (parallel) {
         telemetry_.threads_used = stats.threads_used;
         telemetry_.morsels = stats.morsels;

@@ -24,6 +24,7 @@
 #include "src/engine/interp.h"
 #include "src/engine/result.h"
 #include "src/jit/query_cache.h"
+#include "src/jit/tiered_compiler.h"
 #include "src/optimizer/optimizer.h"
 
 namespace proteus {
@@ -66,6 +67,19 @@ struct EngineOptions {
   /// pre-cache behavior. Results are identical either way — only compile
   /// time (QueryTelemetry::jit_compile_ms) changes.
   size_t jit_cache_capacity = 32;
+  /// Tiered execution (opt-in): cold queries start on the morsel-parallel
+  /// interpreter immediately while their module compiles on a background
+  /// thread, then hot-swap to the generated pipelines at a morsel boundary;
+  /// hot signatures earn an aggressive tier-2 recompile behind the same
+  /// cache key. Results are cell-identical to both pure-interpreter and
+  /// pure-JIT runs — partials merge in global morsel order regardless of
+  /// where the swap lands. Applies in kJIT mode to chunk-decomposable plans
+  /// (the shardable shape); others keep their normal path. Telemetry:
+  /// compile_tier, morsels_interpreted, morsels_jit, swap_ms,
+  /// first_morsel_ms.
+  bool tiered = false;
+  /// Knobs and deterministic test hooks for tiered execution.
+  jit::TieredOptions tiered_opts;
 };
 
 /// Telemetry for the last executed query.
@@ -98,6 +112,22 @@ struct QueryTelemetry {
   uint64_t morsels = 0;    ///< morsels driven through parallel pipelines (0 = serial)
   int shards_used = 0;     ///< shard executors that ran the plan (0 = unsharded)
   uint64_t bytes_exchanged = 0;  ///< serialized partial-result bytes shard→coordinator
+  /// Optimization tier of the generated code that ran morsels this query:
+  /// 0 = none (interpreter only — including a tiered run whose compile never
+  /// landed), 1 = the default pipeline, 2 = the aggressive background
+  /// recompile. Non-tiered JIT runs report 1. Sharded tiered runs report the
+  /// highest tier any shard ran.
+  int compile_tier = 0;
+  /// Tiered runs: morsels the interpreter executed before the hot-swap and
+  /// morsels the generated code executed after it (summed across shards).
+  /// Both zero on non-tiered paths.
+  uint64_t morsels_interpreted = 0;
+  uint64_t morsels_jit = 0;
+  /// Tiered runs: ms from execution start to the hot-swap (0 = never
+  /// swapped; max across shards), and ms to the first completed morsel
+  /// chunk — the cold-start latency the tiered path exists to shrink.
+  double swap_ms = 0;
+  double first_morsel_ms = 0;
   std::string fallback_reason;  ///< why the interpreter ran, if it did
   std::string plan;             ///< physical plan, printable
 };
@@ -133,6 +163,8 @@ class QueryEngine {
   /// Shared by every execution path — including all ShardExecutors of a
   /// sharded run — so hit/miss/compile stats are engine-global.
   jit::CompiledQueryCache* jit_cache() { return jit_cache_.get(); }
+  /// The background tiered compiler (null unless options().tiered).
+  jit::TieredCompiler* tiered_compiler() { return tiered_compiler_.get(); }
   const EngineOptions& options() const { return opts_; }
   void set_mode(ExecMode m) { opts_.mode = m; }
 
@@ -146,6 +178,10 @@ class QueryEngine {
   CachingManager caches_;
   TaskScheduler scheduler_;
   std::unique_ptr<jit::CompiledQueryCache> jit_cache_;
+  /// Declared after every subsystem its background jobs borrow (catalog,
+  /// plug-ins, caches, jit cache): destruction runs in reverse order, so the
+  /// compile thread joins before anything it references dies.
+  std::unique_ptr<jit::TieredCompiler> tiered_compiler_;
   QueryTelemetry telemetry_;
   std::string last_ir_;
 };

@@ -660,6 +660,21 @@ class MorselRunner {
     return RunRegion(plan, nest, desc, mine);
   }
 
+  /// Tiered-session entry points (InterpPartialSession): materialize the
+  /// chain's build sides once, then run arbitrary morsel subsets against the
+  /// retained builds — the per-chunk work drops to pipeline execution only.
+  Status MaterializeChainBuilds(const PipelineDesc& desc) {
+    for (const Operator* j : desc.joins) {
+      PROTEUS_RETURN_NOT_OK(MaterializeBuild(*j));
+    }
+    return Status::OK();
+  }
+  Result<PlanPartials> RunChunkRegion(const OpPtr& plan, const Operator* nest,
+                                      const PipelineDesc& desc,
+                                      const std::vector<ScanRange>& morsels) {
+    return RunRegion(plan, nest, desc, morsels);
+  }
+
   /// Morsel count of the global decomposition (see
   /// InterpExecutor::CountPlanMorsels).
   Result<uint64_t> CountMorsels(const OpPtr& plan) {
@@ -936,7 +951,74 @@ class MorselRunner {
   uint64_t max_batch_ = 0;
 };
 
+/// InterpPartialSession implementation: one MorselRunner whose join builds
+/// persist across chunks. The context is held by value (the session may
+/// outlive the caller's frame) and must be declared before the runner,
+/// which borrows it by reference.
+class PartialSessionImpl final : public InterpPartialSession {
+ public:
+  PartialSessionImpl(const ExecContext& ctx, OpPtr plan)
+      : ctx_(ctx), plan_(std::move(plan)), runner_(ctx_) {}
+
+  Status Prepare() {
+    const OpPtr& top = plan_->child(0);
+    nest_ = top->kind() == OpKind::kNest ? top.get() : nullptr;
+    const OpPtr& pipe_root = nest_ != nullptr ? top->child(0) : top;
+    if (!CollectPipelineDesc(pipe_root, &desc_)) {
+      return Status::InvalidArgument("plan is not morsel-parallelizable");
+    }
+    for (const Operator* j : desc_.joins) {
+      if (j->outer()) {
+        return Status::InvalidArgument(
+            "outer joins cannot run chunked: the unmatched-build drain is global");
+      }
+    }
+    PROTEUS_RETURN_NOT_OK(PreOpenPlanPlugins(ctx_, plan_));
+    PROTEUS_RETURN_NOT_OK(runner_.MaterializeChainBuilds(desc_));
+    PROTEUS_ASSIGN_OR_RETURN(morsels_, SplitLeafMorsels(ctx_, *desc_.leaf));
+    return Status::OK();
+  }
+
+  uint64_t num_morsels() const override { return morsels_.size(); }
+
+  Status RunChunk(uint64_t morsel_begin, uint64_t morsel_end, PlanPartials* out) override {
+    if (morsel_begin > morsel_end || morsel_end > morsels_.size()) {
+      return Status::InvalidArgument(
+          "chunk morsel range [" + std::to_string(morsel_begin) + ", " +
+          std::to_string(morsel_end) + ") out of bounds for " +
+          std::to_string(morsels_.size()) + " morsels");
+    }
+    std::vector<ScanRange> mine(morsels_.begin() + morsel_begin, morsels_.begin() + morsel_end);
+    PROTEUS_ASSIGN_OR_RETURN(PlanPartials chunk,
+                             runner_.RunChunkRegion(plan_, nest_, desc_, mine));
+    out->nest = chunk.nest;
+    out->Append(std::move(chunk));
+    return Status::OK();
+  }
+
+ private:
+  ExecContext ctx_;
+  OpPtr plan_;
+  MorselRunner runner_;
+  PipelineDesc desc_;
+  const Operator* nest_ = nullptr;
+  std::vector<ScanRange> morsels_;
+};
+
 }  // namespace
+
+Result<std::unique_ptr<InterpPartialSession>> MakeInterpPartialSession(const ExecContext& ctx,
+                                                                       const OpPtr& plan) {
+  if (plan == nullptr || plan->kind() != OpKind::kReduce) {
+    return Status::InvalidArgument("plan root must be Reduce");
+  }
+  if (ctx.scheduler == nullptr) {
+    return Status::InvalidArgument("interp session requires a scheduler");
+  }
+  auto session = std::make_unique<PartialSessionImpl>(ctx, plan);
+  PROTEUS_RETURN_NOT_OK(session->Prepare());
+  return std::unique_ptr<InterpPartialSession>(std::move(session));
+}
 
 // ---------------------------------------------------------------------------
 // Shared morsel decomposition (interpreter morsels, JIT pipelines, shards)

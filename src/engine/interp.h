@@ -35,6 +35,8 @@ namespace proteus {
 
 namespace jit {
 class CompiledQueryCache;
+class TieredCompiler;
+struct TieredOptions;
 }  // namespace jit
 
 /// Default target scan rows per morsel — the single home of this constant
@@ -58,6 +60,13 @@ struct ExecContext {
   /// count. Small values are used by tests to force multi-morsel merges on
   /// tiny corpora.
   uint64_t morsel_rows = kDefaultMorselRows;
+  /// Tiered execution (src/jit/tiered_compiler.h), when the engine opted in:
+  /// the background compile thread plus its knobs. Null = tiered routing
+  /// off. Shard executors inherit both from the coordinator's context, so
+  /// each shard runs its own hot-swapping controller against the one shared
+  /// compile thread.
+  jit::TieredCompiler* tiered = nullptr;
+  const jit::TieredOptions* tiered_opts = nullptr;
 };
 
 /// Pull-based row cursor (getNextTuple() of the Volcano model).
@@ -107,6 +116,33 @@ class InterpExecutor {
   ExecContext ctx_;
   ExecStats exec_stats_;
 };
+
+/// A resumable shard-style interpreter execution: preparation (plug-ins
+/// opened, join build sides materialized, global morsel decomposition
+/// computed) happens once at construction, then arbitrary chunks of the
+/// global morsel index space run against the retained builds. Chunk
+/// boundaries never change results — each chunk produces the same
+/// per-morsel partials a whole run would, appended in morsel order — which
+/// is what lets the tiered controller interleave interpreter chunks with a
+/// generated-code tail and still merge through one FinalizePlanPartials
+/// fold. Rejects plans with outer joins in the probe chain (their unmatched
+/// drain needs a global view), the same restriction sharding has.
+class InterpPartialSession {
+ public:
+  virtual ~InterpPartialSession() = default;
+  /// Morsel count of the global decomposition (chunk indices address it).
+  virtual uint64_t num_morsels() const = 0;
+  /// Runs global morsels [morsel_begin, morsel_end), appending their
+  /// per-morsel partials to `out` in morsel order.
+  virtual Status RunChunk(uint64_t morsel_begin, uint64_t morsel_end, PlanPartials* out) = 0;
+};
+
+/// Prepares a chunked interpreter session for `plan` (root = Reduce).
+/// Requires ctx.scheduler. The session captures `ctx` by value and `plan` by
+/// shared_ptr, so it stays valid for as long as the engine subsystems the
+/// context points at do.
+Result<std::unique_ptr<InterpPartialSession>> MakeInterpPartialSession(const ExecContext& ctx,
+                                                                       const OpPtr& plan);
 
 /// Variables bound by the subtree rooted at `op` (shared helper).
 void CollectBoundVars(const OpPtr& op, std::vector<std::string>* out);

@@ -1,6 +1,9 @@
 #include "src/jit/jit_engine.h"
 #include <cstdlib>
 
+#include <llvm/ExecutionEngine/Orc/CompileUtils.h>
+#include <llvm/ExecutionEngine/Orc/IRTransformLayer.h>
+#include <llvm/ExecutionEngine/Orc/JITTargetMachineBuilder.h>
 #include <llvm/ExecutionEngine/Orc/LLJIT.h>
 #include <llvm/IR/IRBuilder.h>
 #include <llvm/IR/LLVMContext.h>
@@ -2114,16 +2117,44 @@ Status Codegen::CompileMorsel(const OpPtr& plan, const MorselPipeline& pipe) {
   return Status::OK();
 }
 
+/// Runs the standard pass pipeline at `level` over `m` (mem2reg/SROA
+/// promotes the virtual buffers to registers, the rest fuses the pipeline
+/// into tight loops).
+void RunPassPipeline(llvm::Module& m, llvm::OptimizationLevel level) {
+  llvm::PassBuilder pb;
+  llvm::LoopAnalysisManager lam;
+  llvm::FunctionAnalysisManager fam;
+  llvm::CGSCCAnalysisManager cam;
+  llvm::ModuleAnalysisManager mam;
+  pb.registerModuleAnalyses(mam);
+  pb.registerCGSCCAnalyses(cam);
+  pb.registerFunctionAnalyses(fam);
+  pb.registerLoopAnalyses(lam);
+  pb.crossRegisterProxies(lam, fam, cam, mam);
+  auto mpm = pb.buildPerModuleDefaultPipeline(level);
+  mpm.run(m, mam);
+}
+
 /// Generates, optimizes, and links `plan` into a position-independent
 /// jit::CompiledModule (parameter table + runtime layout instead of baked
 /// constants) that the CompiledQueryCache can reuse across executions,
 /// threads, and shards. With `pipe`, compiles in morsel mode (proteus_build
 /// + proteus_pipeline); without, legacy whole-relation mode (proteus_query).
+///
+/// `tier` selects the compile pipeline. Tier 1 — every foreground path —
+/// optimizes inline at O2 and links through a default LLJIT. Tier 2 — the
+/// background recompile of a proven-hot signature — builds its LLJIT around
+/// an ORC ConcurrentIRCompiler whose target machine codegens at
+/// CodeGenOpt::Aggressive, and defers IR optimization to an O3
+/// IRTransformLayer transform on the materialization path. Entry points and
+/// results are identical across tiers; only the machine code differs.
 Result<std::shared_ptr<const jit::CompiledModule>> CompileAndLink(const ExecContext& ctx,
                                                                   const OpPtr& plan,
-                                                                  const MorselPipeline* pipe) {
+                                                                  const MorselPipeline* pipe,
+                                                                  int tier = 1) {
   InitLLVMOnce();
   auto out = std::make_shared<jit::CompiledModule>();
+  out->tier = tier;
   jit::ParamTable param_table;
   Codegen cg(ctx, &out->layout, &param_table);
   if (pipe != nullptr) {
@@ -2139,29 +2170,32 @@ Result<std::shared_ptr<const jit::CompiledModule>> CompileAndLink(const ExecCont
   auto module = cg.TakeModule();
   auto llctx = cg.TakeContext();
 
-  // Optimize: mem2reg + the standard O2 pipeline (promotes virtual buffers
-  // to registers, fuses the pipeline into tight loops).
-  {
-    llvm::PassBuilder pb;
-    llvm::LoopAnalysisManager lam;
-    llvm::FunctionAnalysisManager fam;
-    llvm::CGSCCAnalysisManager cam;
-    llvm::ModuleAnalysisManager mam;
-    pb.registerModuleAnalyses(mam);
-    pb.registerCGSCCAnalyses(cam);
-    pb.registerFunctionAnalyses(fam);
-    pb.registerLoopAnalyses(lam);
-    pb.crossRegisterProxies(lam, fam, cam, mam);
-    auto mpm = pb.buildPerModuleDefaultPipeline(llvm::OptimizationLevel::O2);
-    mpm.run(*module, mam);
-  }
+  if (tier < 2) RunPassPipeline(*module, llvm::OptimizationLevel::O2);
 
-  auto jit_or = llvm::orc::LLJITBuilder().create();
+  llvm::orc::LLJITBuilder builder;
+  if (tier >= 2) {
+    builder.setCompileFunctionCreator(
+        [](llvm::orc::JITTargetMachineBuilder jtmb)
+            -> llvm::Expected<std::unique_ptr<llvm::orc::IRCompileLayer::IRCompiler>> {
+          jtmb.setCodeGenOptLevel(llvm::CodeGenOpt::Aggressive);
+          return std::make_unique<llvm::orc::ConcurrentIRCompiler>(std::move(jtmb));
+        });
+  }
+  auto jit_or = builder.create();
   if (!jit_or) {
     return Status::Internal("jit: LLJIT creation failed: " +
                             llvm::toString(jit_or.takeError()));
   }
   out->jit = std::move(*jit_or);
+  if (tier >= 2) {
+    out->jit->getIRTransformLayer().setTransform(
+        [](llvm::orc::ThreadSafeModule tsm, const llvm::orc::MaterializationResponsibility&)
+            -> llvm::Expected<llvm::orc::ThreadSafeModule> {
+          tsm.withModuleDo(
+              [](llvm::Module& m) { RunPassPipeline(m, llvm::OptimizationLevel::O3); });
+          return std::move(tsm);
+        });
+  }
 
   llvm::orc::SymbolMap symbols;
   for (const auto& [name, addr] : jit::RuntimeSymbols()) {
@@ -2204,6 +2238,42 @@ Result<std::shared_ptr<const jit::CompiledModule>> CompileAndLink(const ExecCont
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// Public compile entry points (tiered controller)
+// ---------------------------------------------------------------------------
+
+namespace jit {
+
+QueryCacheKey MakeQueryCacheKey(const ExecContext& ctx, const OpPtr& plan, CodegenMode mode) {
+  QueryCacheKey key;
+  key.signature = plan->Signature();
+  key.mode = mode;
+  key.catalog_epoch = ctx.catalog != nullptr ? ctx.catalog->epoch() : 0;
+  key.cache_epoch = ctx.caches != nullptr ? ctx.caches->epoch() : 0;
+  return key;
+}
+
+Result<std::shared_ptr<const CompiledModule>> CompilePlan(const ExecContext& ctx,
+                                                          const OpPtr& plan, CodegenMode mode,
+                                                          int tier) {
+  if (plan == nullptr || plan->kind() != OpKind::kReduce) {
+    return Status::InvalidArgument("jit: plan root must be Reduce");
+  }
+  if (mode == CodegenMode::kWholeRelation) {
+    return CompileAndLink(ctx, plan, nullptr, tier);
+  }
+  const OpPtr& top = plan->child(0);
+  const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
+  const OpPtr& pipe_root = nest != nullptr ? top->child(0) : top;
+  MorselPipeline pipe;
+  if (!CollectMorselPipeline(pipe_root, &pipe)) {
+    return Status::Unimplemented("jit: plan is not morsel-parallelizable");
+  }
+  return CompileAndLink(ctx, plan, &pipe, tier);
+}
+
+}  // namespace jit
+
+// ---------------------------------------------------------------------------
 // JitExecutor
 // ---------------------------------------------------------------------------
 
@@ -2223,11 +2293,9 @@ Result<std::shared_ptr<const jit::CompiledModule>> JitExecutor::GetOrCompileModu
     return r;
   };
   if (ctx_.jit_cache == nullptr || ctx_.catalog == nullptr) return compile();
-  jit::QueryCacheKey key;
-  key.signature = plan->Signature();
-  key.mode = pipe != nullptr ? jit::CodegenMode::kMorsel : jit::CodegenMode::kWholeRelation;
-  key.catalog_epoch = ctx_.catalog->epoch();
-  key.cache_epoch = ctx_.caches != nullptr ? ctx_.caches->epoch() : 0;
+  const jit::QueryCacheKey key = jit::MakeQueryCacheKey(
+      ctx_, plan,
+      pipe != nullptr ? jit::CodegenMode::kMorsel : jit::CodegenMode::kWholeRelation);
   // On a hit (or a single-flight wait on another thread's compile)
   // last_compile_ms_ stays 0: this execution generated no IR at all.
   return ctx_.jit_cache->GetOrCompile(key, compile, &last_cache_hit_);
@@ -2260,7 +2328,7 @@ Result<QueryResult> JitExecutor::Execute(const OpPtr& plan) {
 
 Result<PlanPartials> JitExecutor::RunMorselPipelines(
     const OpPtr& plan, uint64_t morsel_begin, uint64_t morsel_end, bool whole_plan,
-    InterpExecutor::ExecStats* stats) {
+    InterpExecutor::ExecStats* stats, std::shared_ptr<const jit::CompiledModule> premodule) {
   if (plan->kind() != OpKind::kReduce) {
     return Status::InvalidArgument("jit: plan root must be Reduce");
   }
@@ -2280,8 +2348,16 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
         "outer joins cannot shard: the unmatched-build drain is global");
   }
 
-  PROTEUS_ASSIGN_OR_RETURN(std::shared_ptr<const jit::CompiledModule> cq,
-                           GetOrCompileModule(plan, &pipe));
+  std::shared_ptr<const jit::CompiledModule> cq;
+  if (premodule != nullptr) {
+    // Tiered swap path: the background thread compiled (and cached) the
+    // module already — this thread only binds parameters and runs.
+    last_cache_hit_ = false;
+    last_compile_ms_ = 0;
+    cq = std::move(premodule);
+  } else {
+    PROTEUS_ASSIGN_OR_RETURN(cq, GetOrCompileModule(plan, &pipe));
+  }
   last_module_ = cq;
 
   // Fresh per-execution state: runtime tables from the recorded layout, data
@@ -2411,7 +2487,7 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
 Result<QueryResult> JitExecutor::ExecuteParallel(const OpPtr& plan,
                                                  InterpExecutor::ExecStats* stats) {
   PROTEUS_ASSIGN_OR_RETURN(PlanPartials partials,
-                           RunMorselPipelines(plan, 0, 0, /*whole_plan=*/true, stats));
+                           RunMorselPipelines(plan, 0, 0, /*whole_plan=*/true, stats, nullptr));
   const OpPtr& top = plan->child(0);
   const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
   return FinalizePlanPartials(*plan, nest, std::move(partials));
@@ -2419,7 +2495,18 @@ Result<QueryResult> JitExecutor::ExecuteParallel(const OpPtr& plan,
 
 Result<PlanPartials> JitExecutor::ExecutePartials(const OpPtr& plan, uint64_t morsel_begin,
                                                   uint64_t morsel_end) {
-  return RunMorselPipelines(plan, morsel_begin, morsel_end, /*whole_plan=*/false, nullptr);
+  return RunMorselPipelines(plan, morsel_begin, morsel_end, /*whole_plan=*/false, nullptr,
+                            nullptr);
+}
+
+Result<PlanPartials> JitExecutor::ExecutePartialsPrecompiled(
+    const OpPtr& plan, std::shared_ptr<const jit::CompiledModule> module,
+    uint64_t morsel_begin, uint64_t morsel_end) {
+  if (module == nullptr) {
+    return Status::InvalidArgument("jit: precompiled module is null");
+  }
+  return RunMorselPipelines(plan, morsel_begin, morsel_end, /*whole_plan=*/false, nullptr,
+                            std::move(module));
 }
 
 }  // namespace proteus

@@ -55,11 +55,30 @@
 #include "src/algebra/algebra.h"
 #include "src/engine/interp.h"
 #include "src/engine/result.h"
+#include "src/jit/query_cache.h"
 
 namespace proteus {
 
 namespace jit {
-struct CompiledModule;
+
+/// Cache key of `plan` under the engine state in `ctx` — exactly the key
+/// JitExecutor uses for its compiled-query-cache lookups, exposed so the
+/// tiered controller can probe (TryGet), read hit counts, and Promote behind
+/// the same key.
+QueryCacheKey MakeQueryCacheKey(const ExecContext& ctx, const OpPtr& plan, CodegenMode mode);
+
+/// Compiles `plan` to a ready CompiledModule without consulting any cache.
+/// `tier` selects the optimization pipeline: 1 = the default O2 compile
+/// (what every foreground path uses), 2 = the aggressive background
+/// recompile — CodeGenOpt::Aggressive codegen on an ORC ConcurrentIRCompiler
+/// plus an O3 IRTransformLayer pass — that the tiered controller requests
+/// once a signature proves hot. kMorsel mode collects the plan's pipeline
+/// chain itself; returns Unimplemented for plans outside the generated fast
+/// path.
+Result<std::shared_ptr<const CompiledModule>> CompilePlan(const ExecContext& ctx,
+                                                          const OpPtr& plan, CodegenMode mode,
+                                                          int tier);
+
 }  // namespace jit
 
 class JitExecutor {
@@ -91,6 +110,15 @@ class JitExecutor {
   Result<PlanPartials> ExecutePartials(const OpPtr& plan, uint64_t morsel_begin,
                                        uint64_t morsel_end);
 
+  /// Tiered hot-swap entry: like ExecutePartials, but runs a module the
+  /// background compiler already produced — no cache lookup and no compile
+  /// on this thread, which is what makes the swap a morsel-boundary O(bind)
+  /// operation. The module must have been compiled in morsel mode for an
+  /// identical plan signature.
+  Result<PlanPartials> ExecutePartialsPrecompiled(
+      const OpPtr& plan, std::shared_ptr<const jit::CompiledModule> module,
+      uint64_t morsel_begin, uint64_t morsel_end);
+
   /// Milliseconds spent generating + compiling IR for the last query. 0 when
   /// the compiled-query cache (ExecContext::jit_cache) served the plan — a
   /// cache hit performs no IR generation or compilation at all, only
@@ -102,6 +130,9 @@ class JitExecutor {
   /// A reference into the retained module — no per-execution copy, so warm
   /// runs (and shard executors) don't pay O(IR size) per query.
   const std::string& last_ir() const;
+  /// The module the last execution ran (null before any run). Surfaces the
+  /// served tier to telemetry.
+  std::shared_ptr<const jit::CompiledModule> last_module() const { return last_module_; }
 
  private:
   /// Resolves the plan to a ready CompiledModule: through the shared
@@ -110,9 +141,12 @@ class JitExecutor {
   /// else by compiling directly.
   Result<std::shared_ptr<const jit::CompiledModule>> GetOrCompileModule(
       const OpPtr& plan, const MorselPipeline* pipe);
+  /// `premodule`, when set, skips module resolution entirely (the tiered
+  /// swap path: the background thread compiled it already).
   Result<PlanPartials> RunMorselPipelines(const OpPtr& plan, uint64_t morsel_begin,
                                           uint64_t morsel_end, bool whole_plan,
-                                          InterpExecutor::ExecStats* stats);
+                                          InterpExecutor::ExecStats* stats,
+                                          std::shared_ptr<const jit::CompiledModule> premodule);
 
   ExecContext ctx_;
   double last_compile_ms_ = 0;

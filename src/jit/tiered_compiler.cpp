@@ -1,0 +1,259 @@
+#include "src/jit/tiered_compiler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/jit/jit_engine.h"
+
+namespace proteus {
+namespace jit {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Text form of a cache key — the coalescing map key. Mirrors the fields of
+/// QueryCacheKey::operator== exactly.
+std::string KeyString(const QueryCacheKey& key) {
+  return key.signature + "|" + std::to_string(static_cast<int>(key.mode)) + "|" +
+         std::to_string(key.catalog_epoch) + "|" + std::to_string(key.cache_epoch);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TieredCompiler
+// ---------------------------------------------------------------------------
+
+TieredCompiler::TieredCompiler() : worker_([this] { WorkerLoop(); }) {}
+
+TieredCompiler::~TieredCompiler() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void TieredCompiler::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    // Drain the queue even on shutdown: queued tickets have waiters (or
+    // future cache consumers) that must see a fulfilled result.
+    if (queue_.empty()) return;
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lk.unlock();
+    job();
+    lk.lock();
+    busy_ = false;
+    ++jobs_run_;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+std::shared_ptr<CompileTicket> TieredCompiler::EnqueueCompile(const ExecContext& ctx,
+                                                              OpPtr plan, int delay_ms) {
+  const QueryCacheKey key = MakeQueryCacheKey(ctx, plan, CodegenMode::kMorsel);
+  const std::string ks = KeyString(key);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto f = inflight_.find(ks);
+  if (f != inflight_.end()) return f->second;
+  auto ticket = std::make_shared<CompileTicket>();
+  inflight_.emplace(ks, ticket);
+  // The job captures ctx by value (borrowed engine subsystems — the engine
+  // destroys this compiler first) and the plan by shared_ptr (keeps every
+  // Operator* in the collected pipeline alive for the background walk).
+  queue_.push_back([this, ctx, plan = std::move(plan), key, ks, ticket, delay_ms] {
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<std::shared_ptr<const CompiledModule>> r = [&] {
+      if (ctx.jit_cache != nullptr) {
+        bool hit = false;
+        return ctx.jit_cache->GetOrCompile(
+            key, [&] { return CompilePlan(ctx, plan, key.mode, /*tier=*/1); }, &hit);
+      }
+      return CompilePlan(ctx, plan, key.mode, /*tier=*/1);
+    }();
+    const double ms = MsSince(t0);
+    {
+      std::lock_guard<std::mutex> lk2(mu_);
+      inflight_.erase(ks);
+    }
+    if (r.ok()) {
+      ticket->Fulfill(Status::OK(), std::move(*r), ms);
+    } else {
+      ticket->Fulfill(r.status(), nullptr, ms);
+    }
+  });
+  cv_.notify_one();
+  return ticket;
+}
+
+void TieredCompiler::EnqueuePromotion(const ExecContext& ctx, OpPtr plan) {
+  if (ctx.jit_cache == nullptr) return;
+  const QueryCacheKey key = MakeQueryCacheKey(ctx, plan, CodegenMode::kMorsel);
+  const std::string ks = KeyString(key);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!tier2_inflight_.insert(ks).second) return;
+  queue_.push_back([this, ctx, plan = std::move(plan), key, ks] {
+    auto r = CompilePlan(ctx, plan, key.mode, /*tier=*/2);
+    // A failed aggressive recompile is silent: the tier-1 module keeps
+    // serving, exactly as before the promotion attempt.
+    if (r.ok()) ctx.jit_cache->Promote(key, std::move(*r));
+    std::lock_guard<std::mutex> lk2(mu_);
+    tier2_inflight_.erase(ks);
+  });
+  cv_.notify_one();
+}
+
+void TieredCompiler::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && !busy_; });
+}
+
+uint64_t TieredCompiler::jobs_run() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return jobs_run_;
+}
+
+// ---------------------------------------------------------------------------
+// RunTiered: the hot-swap controller
+// ---------------------------------------------------------------------------
+
+Result<PlanPartials> RunTiered(const ExecContext& ctx, const OpPtr& plan,
+                               uint64_t morsel_begin, uint64_t morsel_end, bool whole_plan,
+                               TieredRunStats* stats) {
+  static const TieredOptions kDefaults;
+  const TieredOptions& opts = ctx.tiered_opts != nullptr ? *ctx.tiered_opts : kDefaults;
+  if (ctx.tiered == nullptr || ctx.scheduler == nullptr) {
+    return Status::Unimplemented("tiered: no background compiler");
+  }
+  if (!PlanIsShardable(plan)) {
+    // Outer joins in the probe chain need the global unmatched drain; other
+    // shapes are outside the morsel driver. Both keep their normal path.
+    return Status::Unimplemented("tiered: plan is not chunk-decomposable");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const QueryCacheKey key = MakeQueryCacheKey(ctx, plan, CodegenMode::kMorsel);
+
+  // Warm probe (non-blocking): a cached module means generated code serves
+  // from morsel 0 and the interpreter never enters.
+  std::shared_ptr<const CompiledModule> module =
+      ctx.jit_cache != nullptr ? ctx.jit_cache->TryGet(key) : nullptr;
+
+  std::shared_ptr<CompileTicket> ticket;
+  std::unique_ptr<InterpPartialSession> session;
+  uint64_t total_morsels = 0;
+  if (module == nullptr) {
+    // Cold: kick the background compile *before* the interpreter's own
+    // preparation (plug-in opens, join builds) — they overlap.
+    ticket = ctx.tiered->EnqueueCompile(ctx, plan, opts.compile_delay_ms);
+    PROTEUS_ASSIGN_OR_RETURN(session, MakeInterpPartialSession(ctx, plan));
+    total_morsels = session->num_morsels();
+  } else {
+    stats->cache_hit = true;
+    InterpExecutor probe(ctx);
+    PROTEUS_ASSIGN_OR_RETURN(total_morsels, probe.CountPlanMorsels(plan));
+  }
+  if (whole_plan) {
+    morsel_begin = 0;
+    morsel_end = total_morsels;
+  } else if (morsel_begin > morsel_end || morsel_end > total_morsels) {
+    return Status::InvalidArgument(
+        "tiered morsel range [" + std::to_string(morsel_begin) + ", " +
+        std::to_string(morsel_end) + ") out of bounds for " +
+        std::to_string(total_morsels) + " morsels");
+  }
+
+  PlanPartials out;
+  out.nest = plan->child(0)->kind() == OpKind::kNest;
+
+  // Interpreter chunks until the compile lands. Chunk size = one scheduler
+  // fan-out (num_threads morsels) — big enough to keep every worker busy,
+  // small enough that the swap is never more than one fan-out away.
+  const uint64_t workers = static_cast<uint64_t>(std::max(1, ctx.scheduler->num_threads()));
+  const bool forced = opts.force_swap_after_morsels != TieredOptions::kNeverSwap;
+  uint64_t next = morsel_begin;
+  bool poll = ticket != nullptr;  // cleared once the ticket is consumed
+  bool first_done = false;
+
+  auto take_ticket = [&] {
+    poll = false;
+    stats->compile_ms = ticket->compile_ms();
+    // A failed compile is silent: the interpreter finishes the query, and
+    // the recorded compile_ms is the only trace (honest fallback
+    // accounting — the background thread did spend that time).
+    if (ticket->status().ok()) module = ticket->module();
+  };
+
+  while (module == nullptr && next < morsel_end) {
+    if (poll && !forced && ticket->Ready()) {
+      take_ticket();
+      continue;
+    }
+    uint64_t chunk = std::min(workers, morsel_end - next);
+    if (poll && forced) {
+      const uint64_t budget =
+          opts.force_swap_after_morsels > stats->morsels_interpreted
+              ? opts.force_swap_after_morsels - stats->morsels_interpreted
+              : 0;
+      if (budget == 0) {
+        // Interpreted exactly the forced count: block on the compile and
+        // swap (the one place the controller waits — a test hook, never the
+        // natural path).
+        ticket->Wait();
+        take_ticket();
+        continue;
+      }
+      chunk = std::min(chunk, budget);
+    }
+    PROTEUS_RETURN_NOT_OK(session->RunChunk(next, next + chunk, &out));
+    next += chunk;
+    stats->morsels_interpreted += chunk;
+    if (!first_done) {
+      first_done = true;
+      stats->first_morsel_ms = MsSince(t0);
+    }
+  }
+
+  // Hot-swap: the remaining range runs as generated code off the
+  // already-compiled module. Its partials append after the interpreter's —
+  // global morsel order — so the fold cannot tell where the swap landed.
+  if (module != nullptr && next < morsel_end) {
+    stats->swap_ms = MsSince(t0);
+    JitExecutor jit(ctx);
+    PROTEUS_ASSIGN_OR_RETURN(PlanPartials tail,
+                             jit.ExecutePartialsPrecompiled(plan, module, next, morsel_end));
+    stats->morsels_jit = morsel_end - next;
+    out.nest = tail.nest;
+    out.Append(std::move(tail));
+    if (!first_done) {
+      first_done = true;
+      stats->first_morsel_ms = MsSince(t0);
+    }
+  }
+  if (stats->morsels_jit > 0 && module != nullptr) {
+    stats->compile_tier = module->tier;
+  }
+
+  // Hot-signature promotion: a tier-1 module that keeps earning cache hits
+  // gets the aggressive recompile queued behind the same key.
+  if (module != nullptr && module->tier == 1 && ctx.jit_cache != nullptr &&
+      opts.tier2_hit_threshold > 0 &&
+      ctx.jit_cache->HitCount(key) >= opts.tier2_hit_threshold) {
+    ctx.tiered->EnqueuePromotion(ctx, plan);
+  }
+  return out;
+}
+
+}  // namespace jit
+}  // namespace proteus

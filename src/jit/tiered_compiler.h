@@ -1,0 +1,208 @@
+// Tiered asynchronous compilation: interpreter-first cold starts with a
+// morsel-boundary hot-swap to generated code.
+//
+// The paper's premise is to adapt the engine to the query, not to make the
+// query wait for the engine — yet a cold query on the JIT path pays its full
+// IR-generation + LLVM-compilation cost before the first tuple moves. The
+// tiered controller deletes that stall: a cold query starts executing
+// morsels 0..k on the Volcano interpreter *immediately* while the module
+// compiles on a dedicated background thread, and at a morsel boundary the
+// controller hot-swaps to the compiled proteus_pipeline for morsels k+1..n.
+// Because both engines produce bit-identical per-morsel partials over the
+// one deterministic morsel decomposition, and partials merge in global
+// morsel order through FinalizePlanPartials, the result is cell-identical
+// (float bits + row order) no matter where the swap lands — including
+// "never" (the compile outlives the query, or fails: the interpreter simply
+// finishes, and the only trace is the recorded compile time).
+//
+// Tiers: the background compile produces the default tier-1 module (the O2
+// pipeline every foreground path uses). Once the compiled-query cache's hit
+// count proves a signature hot, the controller enqueues a tier-2 recompile —
+// CodeGenOpt::Aggressive codegen on an ORC ConcurrentIRCompiler plus an O3
+// IRTransformLayer pass — and Promote()s it behind the same cache key with
+// single-flight semantics; in-flight executions finish safely on the module
+// they hold.
+//
+// Concurrency: one worker thread per TieredCompiler (one per engine), a
+// mutex/cv job queue, and per-key coalescing — N shard controllers that ask
+// for one plan share a single CompileTicket, and the compile itself goes
+// through CompiledQueryCache::GetOrCompile, so it also single-flights
+// against any foreground compile and publishes the module for every later
+// run. Jobs borrow engine-owned subsystems (catalog, plug-ins, caches)
+// through a by-value ExecContext and keep the plan alive via its shared_ptr,
+// so the compiler must be destroyed before those subsystems — QueryEngine
+// declares it last for exactly that reason.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/algebra/algebra.h"
+#include "src/common/status.h"
+#include "src/engine/interp.h"
+#include "src/engine/partial_sink.h"
+#include "src/jit/query_cache.h"
+
+namespace proteus {
+namespace jit {
+
+/// Knobs (and deterministic test hooks) of tiered execution.
+struct TieredOptions {
+  static constexpr uint64_t kNeverSwap = ~0ull;
+
+  /// Lifetime cache-hit count at which a tier-1 signature earns the
+  /// background aggressive (tier-2) recompile. 0 disables promotion.
+  uint64_t tier2_hit_threshold = 3;
+
+  /// Test hook: artificial delay (ms) inside the background compile job —
+  /// forces a deterministically slow compile so tests can pin the swap
+  /// mid-query (or past the query's end).
+  int compile_delay_ms = 0;
+
+  /// Test hook: interpret exactly this many morsels, then *block* on the
+  /// background compile and swap — pinning the swap boundary regardless of
+  /// compile speed. 0 blocks before any interpreter work (pure-JIT tiered
+  /// run); a value >= the morsel count means the interpreter finishes the
+  /// whole query and the compile result is never consumed. kNeverSwap (the
+  /// default) restores natural non-blocking polling at morsel boundaries.
+  uint64_t force_swap_after_morsels = kNeverSwap;
+};
+
+/// How one tiered run went (surfaced as QueryTelemetry / ShardExecStats).
+struct TieredRunStats {
+  int compile_tier = 0;            ///< tier of the module that ran morsels (0 = interpreter only)
+  uint64_t morsels_interpreted = 0;///< morsels executed before the swap
+  uint64_t morsels_jit = 0;        ///< morsels executed by generated code
+  double swap_ms = 0;              ///< ms from run start to the hot-swap (0 = never swapped)
+  double first_morsel_ms = 0;      ///< ms from run start to the first completed chunk
+  double compile_ms = 0;           ///< background compile ms this run observed (0 if unconsumed)
+  bool cache_hit = false;          ///< a cached module served the run from morsel 0
+};
+
+/// One background compile's rendezvous. The query thread polls Ready() at
+/// morsel boundaries and never blocks (the force-swap test hook and Drain
+/// are the only waiters).
+class CompileTicket {
+ public:
+  bool Ready() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return done_;
+  }
+  void Wait() const {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return done_; });
+  }
+  /// Valid once Ready(): the compile outcome and its wall time. A failed
+  /// compile leaves module() null and status() the error.
+  Status status() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return status_;
+  }
+  std::shared_ptr<const CompiledModule> module() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return module_;
+  }
+  double compile_ms() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return compile_ms_;
+  }
+
+ private:
+  friend class TieredCompiler;
+  void Fulfill(Status status, std::shared_ptr<const CompiledModule> module, double ms) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      status_ = std::move(status);
+      module_ = std::move(module);
+      compile_ms_ = ms;
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  Status status_ = Status::OK();
+  std::shared_ptr<const CompiledModule> module_;
+  double compile_ms_ = 0;
+};
+
+/// The engine-wide background compile thread. See the file comment.
+class TieredCompiler {
+ public:
+  TieredCompiler();
+  /// Runs every queued job to completion, then joins the worker.
+  ~TieredCompiler();
+
+  TieredCompiler(const TieredCompiler&) = delete;
+  TieredCompiler& operator=(const TieredCompiler&) = delete;
+
+  /// Enqueues a tier-1 morsel-mode compile of `plan`. Requests for a key
+  /// already in flight return the existing ticket (N shards, one compile);
+  /// with ctx.jit_cache set the compile runs through GetOrCompile, so it
+  /// single-flights against foreground compiles too and publishes the module
+  /// for every later run. `delay_ms` is the TieredOptions::compile_delay_ms
+  /// test hook.
+  std::shared_ptr<CompileTicket> EnqueueCompile(const ExecContext& ctx, OpPtr plan,
+                                                int delay_ms);
+
+  /// Enqueues a tier-2 (aggressive) recompile of `plan`, swapping the result
+  /// behind its cache key via Promote(). Single-flight per key; a no-op
+  /// without a cache (there would be nothing to promote into).
+  void EnqueuePromotion(const ExecContext& ctx, OpPtr plan);
+
+  /// Blocks until every queued job has run (tests and benches only — the
+  /// query path never waits here).
+  void Drain();
+
+  uint64_t jobs_run() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       ///< worker wake
+  std::condition_variable idle_cv_;  ///< Drain wake
+  std::deque<std::function<void()>> queue_;
+  /// Key → shared ticket of the in-flight tier-1 compile (coalescing).
+  std::unordered_map<std::string, std::shared_ptr<CompileTicket>> inflight_;
+  /// Keys with a tier-2 recompile queued or running (single-flight).
+  std::unordered_set<std::string> tier2_inflight_;
+  bool stop_ = false;
+  bool busy_ = false;
+  uint64_t jobs_run_ = 0;
+  std::thread worker_;  ///< last member: joined before the queue state dies
+};
+
+/// The tiered execution controller. Runs morsels [morsel_begin, morsel_end)
+/// of `plan`'s global decomposition (the whole plan when `whole_plan`):
+/// warm — a cached module (TryGet, non-blocking) runs everything as
+/// generated code; cold — interpreter chunks (one scheduler fan-out of up to
+/// num_threads morsels each) execute immediately while the module compiles
+/// in the background, and the first morsel boundary that finds the ticket
+/// ready hot-swaps the remaining range to JitExecutor::
+/// ExecutePartialsPrecompiled. Partials append in morsel order either way,
+/// so the caller folds one FinalizePlanPartials frame and results are
+/// cell-identical to pure-interpreter and pure-JIT runs. Also enqueues the
+/// tier-2 promotion once the cache's hit count crosses
+/// TieredOptions::tier2_hit_threshold.
+///
+/// Requires ctx.tiered (the compiler) and ctx.scheduler; reads knobs from
+/// ctx.tiered_opts (defaults when null). Returns Unimplemented for plans the
+/// controller declines (not shardable: outer joins in the probe chain, or
+/// shapes outside the morsel driver) — callers keep their normal path.
+Result<PlanPartials> RunTiered(const ExecContext& ctx, const OpPtr& plan,
+                               uint64_t morsel_begin, uint64_t morsel_end, bool whole_plan,
+                               TieredRunStats* stats);
+
+}  // namespace jit
+}  // namespace proteus

@@ -1,5 +1,6 @@
 #include "src/shard/coordinator.h"
 
+#include <algorithm>
 #include <mutex>
 #include <thread>
 
@@ -47,6 +48,9 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
   // keeping benchmark accounting aligned with non-sharded runs.
   std::vector<Status> shard_status(slices.size(), Status::OK());
   std::vector<char> shard_jit(slices.size(), 0);
+  std::vector<char> shard_tiered(slices.size(), 0);
+  std::vector<int> shard_tier(slices.size(), 0);
+  std::vector<jit::TieredRunStats> shard_tiered_stats(slices.size());
   ExecCounters shard_counters;
   std::mutex counters_mu;
   int threads_per_shard = 1;
@@ -60,6 +64,9 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
         ShardTask task{plan, slices[i].begin, slices[i].end};
         shard_status[i] = executor.Run(task, transport);
         shard_jit[i] = executor.jit_ran() ? 1 : 0;
+        shard_tiered[i] = executor.tiered_ran() ? 1 : 0;
+        shard_tier[i] = executor.served_tier();
+        if (executor.tiered_ran()) shard_tiered_stats[i] = executor.tiered_stats();
         ExecCounters delta = GlobalCounters().Since(before);
         std::lock_guard<std::mutex> lk(counters_mu);
         shard_counters += delta;
@@ -131,6 +138,16 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
   stats->morsels = num_morsels;
   stats->jit_shards = 0;
   for (char j : shard_jit) stats->jit_shards += j;
+  for (size_t i = 0; i < slices.size(); ++i) {
+    stats->compile_tier = std::max(stats->compile_tier, shard_tier[i]);
+    if (shard_tiered[i] == 0) continue;
+    const jit::TieredRunStats& ts = shard_tiered_stats[i];
+    stats->tiered_shards++;
+    stats->morsels_interpreted += ts.morsels_interpreted;
+    stats->morsels_jit += ts.morsels_jit;
+    stats->swap_ms = std::max(stats->swap_ms, ts.swap_ms);
+    stats->first_morsel_ms = std::max(stats->first_morsel_ms, ts.first_morsel_ms);
+  }
   if (base_.jit_cache != nullptr) {
     jit::CompiledQueryCache::Stats after = base_.jit_cache->stats();
     stats->jit_compiles = after.compiles - cache_before.compiles;

@@ -37,6 +37,17 @@ struct ShardExecStats {
   uint64_t jit_compiles = 0;
   uint64_t jit_cache_hits = 0;
   double jit_compile_ms = 0;  ///< wall ms shards spent compiling this run
+  /// Tiered execution across the fan-out (zeros when tiered is off): shards
+  /// that ran the tiered controller, summed interpreter/generated morsel
+  /// counts, the highest tier any shard ran, and the slowest shard's swap /
+  /// first-chunk latencies. Shards swap independently, so mixed states
+  /// (one shard swapped, another finished on the interpreter) are normal.
+  int tiered_shards = 0;
+  uint64_t morsels_interpreted = 0;
+  uint64_t morsels_jit = 0;
+  int compile_tier = 0;
+  double swap_ms = 0;
+  double first_morsel_ms = 0;
 };
 
 class ShardCoordinator {

@@ -18,12 +18,35 @@ ShardExecutor::ShardExecutor(int shard_id, const ExecContext& base, int num_thre
 Status ShardExecutor::Run(const ShardTask& task, ShardTransport* transport) {
   PlanPartials partials;
   jit_ran_ = false;
-  if (use_jit_) {
+  tiered_ran_ = false;
+  served_tier_ = 0;
+  if (use_jit_ && ctx_.tiered != nullptr) {
+    // Tiered shard: this slice starts on the interpreter while the (shared,
+    // single-flight) background compile runs, and hot-swaps at its own
+    // morsel boundary. Partials are bit-identical either way, so a mid-query
+    // swap in one shard composes freely with any state of the others.
+    jit::TieredRunStats ts;
+    auto r = jit::RunTiered(ctx_, task.plan, task.morsel_begin, task.morsel_end,
+                            /*whole_plan=*/false, &ts);
+    if (r.ok()) {
+      partials = std::move(*r);
+      tiered_ran_ = true;
+      tiered_stats_ = ts;
+      jit_ran_ = ts.morsels_jit > 0;
+      served_tier_ = ts.compile_tier;
+      morsels_run_ = task.morsel_end - task.morsel_begin;
+    } else if (r.status().code() != StatusCode::kUnimplemented) {
+      return r.status();
+    }
+    // Unimplemented: fall through to the plain JIT/interpreter paths.
+  }
+  if (!tiered_ran_ && use_jit_) {
     JitExecutor jit(ctx_);
     auto r = jit.ExecutePartials(task.plan, task.morsel_begin, task.morsel_end);
     if (r.ok()) {
       partials = std::move(*r);
       jit_ran_ = true;
+      served_tier_ = jit.last_module() != nullptr ? jit.last_module()->tier : 1;
       morsels_run_ = task.morsel_end - task.morsel_begin;
     } else if (r.status().code() != StatusCode::kUnimplemented) {
       return r.status();
@@ -31,7 +54,7 @@ Status ShardExecutor::Run(const ShardTask& task, ShardTransport* transport) {
     // Unimplemented: the plan uses features outside the generated fast path;
     // the interpreter produces bit-identical partials below.
   }
-  if (!jit_ran_) {
+  if (!tiered_ran_ && !jit_ran_) {
     InterpExecutor interp(ctx_);
     PROTEUS_ASSIGN_OR_RETURN(
         partials, interp.ExecutePartials(task.plan, task.morsel_begin, task.morsel_end));

@@ -11,6 +11,7 @@
 
 #include "src/common/task_scheduler.h"
 #include "src/engine/interp.h"
+#include "src/jit/tiered_compiler.h"
 #include "src/shard/transport.h"
 
 namespace proteus {
@@ -49,8 +50,18 @@ class ShardExecutor {
   int num_threads() const { return scheduler_.num_threads(); }
   /// Morsels this shard drove (valid after Run).
   uint64_t morsels_run() const { return morsels_run_; }
-  /// Whether generated pipelines (not the interpreter) ran the slice.
+  /// Whether generated pipelines (not the interpreter) ran any of the slice.
   bool jit_ran() const { return jit_ran_; }
+  /// Whether the tiered controller ran the slice (ExecContext::tiered set
+  /// and the plan accepted); tiered_stats() is valid when true. Each shard
+  /// swaps independently — its controller polls the one shared background
+  /// compile at its own morsel boundaries.
+  bool tiered_ran() const { return tiered_ran_; }
+  const jit::TieredRunStats& tiered_stats() const { return tiered_stats_; }
+  /// Optimization tier of the generated code that ran (part of) the slice:
+  /// 0 when the interpreter ran it all, 1 or 2 otherwise (a background
+  /// promotion can serve tier 2 to a plain warm shard run too).
+  int served_tier() const { return served_tier_; }
 
  private:
   int shard_id_;
@@ -58,7 +69,10 @@ class ShardExecutor {
   ExecContext ctx_;
   bool use_jit_ = false;
   bool jit_ran_ = false;
+  bool tiered_ran_ = false;
+  int served_tier_ = 0;
   uint64_t morsels_run_ = 0;
+  jit::TieredRunStats tiered_stats_;
 };
 
 }  // namespace proteus

@@ -834,5 +834,241 @@ TEST(JitParallelSharded, JitPipelinesComposeWithShards) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Tiered asynchronous compilation: a cold query starts on the interpreter
+// while its module compiles in the background, then hot-swaps to generated
+// code at a morsel boundary. The contract under test: the swap point is
+// *invisible* — results are cell-identical to pure-interpreter and pure-JIT
+// runs wherever it lands (morsel 0, 1, mid-query, past the end, or never
+// because the compile failed), at every thread and shard count, and the
+// telemetry honestly reports which engine ran how many morsels.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<QueryEngine> MakeTieredEngine(const jit::TieredOptions& topts, int threads,
+                                              int shards = 0) {
+  EngineOptions opts;
+  opts.mode = ExecMode::kJIT;
+  opts.num_threads = threads;
+  opts.num_shards = shards;
+  opts.morsel_rows = kDiffMorselRows;
+  opts.tiered = true;
+  opts.tiered_opts = topts;
+  auto engine = std::make_unique<QueryEngine>(opts);
+  testutil::RegisterAll(engine.get());
+  return engine;
+}
+
+/// One Execute() on a caller-owned engine (tiered tests rerun the same
+/// engine to exercise the shared cache and the background compiler).
+RunInfo RunOn(QueryEngine* engine, const std::string& q) {
+  auto r = engine->Execute(q);
+  RunInfo info;
+  info.status = r.status();
+  if (r.ok()) info.result = std::move(*r);
+  info.telemetry = engine->telemetry();
+  return info;
+}
+
+TEST(TieredSwap, ForcedSwapBoundaryIsInvisible) {
+  const std::string q =
+      "SELECT l_linenumber, count(*), sum(l_extendedprice), min(l_discount) "
+      "FROM lineitem_json WHERE l_orderkey < 45 GROUP BY l_linenumber";
+  RunInfo oracle = RunConfig(q, ExecMode::kInterp, 1);
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status.ToString();
+  RunInfo pure_jit = RunConfig(q, ExecMode::kJIT, 2);
+  ASSERT_TRUE(pure_jit.status.ok()) << pure_jit.status.ToString();
+  const uint64_t n = pure_jit.telemetry.morsels;
+  ASSERT_GT(n, 8u) << "corpus too small to place a mid-query swap";
+
+  // k = 0 (swap before any interpreter work), k = 1, k = mid-query. Each
+  // run interprets exactly k morsels, then blocks on the background compile
+  // and hot-swaps — the result must not betray the boundary.
+  for (uint64_t k : {uint64_t{0}, uint64_t{1}, n / 2}) {
+    jit::TieredOptions topts;
+    topts.force_swap_after_morsels = k;
+    auto engine = MakeTieredEngine(topts, /*threads=*/2);
+    RunInfo tiered = RunOn(engine.get(), q);
+    ASSERT_TRUE(tiered.status.ok()) << "k=" << k << ": " << tiered.status.ToString();
+    ExpectIdentical(oracle.result, tiered.result, "tiered swap @ k=" + std::to_string(k));
+    ExpectIdentical(pure_jit.result, tiered.result,
+                    "tiered vs pure jit @ k=" + std::to_string(k));
+    EXPECT_EQ(tiered.telemetry.morsels_interpreted, k);
+    EXPECT_EQ(tiered.telemetry.morsels_jit, n - k);
+    EXPECT_EQ(tiered.telemetry.morsels, n);
+    EXPECT_EQ(tiered.telemetry.compile_tier, 1) << "k=" << k;
+    EXPECT_TRUE(tiered.telemetry.used_jit);
+    EXPECT_TRUE(tiered.telemetry.jit_parallel);
+    EXPECT_TRUE(tiered.telemetry.fallback_reason.empty())
+        << tiered.telemetry.fallback_reason;
+    EXPECT_GT(tiered.telemetry.swap_ms, 0.0) << "swap happened, swap_ms must say when";
+    EXPECT_GT(tiered.telemetry.compile_ms, 0.0)
+        << "the consumed background compile cost real time";
+    EXPECT_EQ(tiered.telemetry.jit_compile_ms, tiered.telemetry.compile_ms);
+    if (k > 0) {
+      // The acceptance shape: a genuinely mixed run — both engines ran.
+      EXPECT_GT(tiered.telemetry.morsels_interpreted, 0u);
+      EXPECT_GT(tiered.telemetry.morsels_jit, 0u);
+    }
+  }
+}
+
+TEST(TieredSwap, SwapIsInvisibleAcrossThreadsAndShards) {
+  const std::vector<std::string> queries = {
+      "SELECT count(*), sum(l_tax), max(l_quantity) FROM lineitem_json WHERE l_orderkey < 40",
+      "SELECT l_orderkey, l_quantity FROM lineitem_csv WHERE l_orderkey < 1000000",
+      "SELECT count(*), max(o.o_totalprice) FROM orders_json o JOIN lineitem_bincol l "
+      "ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < 35",
+  };
+  for (const auto& q : queries) {
+    RunInfo oracle = RunConfig(q, ExecMode::kInterp, 1);
+    ASSERT_TRUE(oracle.status.ok()) << q << "\n" << oracle.status.ToString();
+    // Probe-side morsel count: decides whether a shard's slice is big
+    // enough for its forced swap to actually land (slice > k morsels).
+    RunInfo pure_jit = RunConfig(q, ExecMode::kJIT, 2);
+    ASSERT_TRUE(pure_jit.status.ok()) << q;
+    const uint64_t n = pure_jit.telemetry.morsels;
+    jit::TieredOptions topts;
+    topts.force_swap_after_morsels = 3;  // every controller interprets 3, then swaps
+    for (int threads : {1, 2, 4}) {
+      auto engine = MakeTieredEngine(topts, threads);
+      RunInfo tiered = RunOn(engine.get(), q);
+      ASSERT_TRUE(tiered.status.ok()) << q << "\n" << tiered.status.ToString();
+      ExpectIdentical(oracle.result, tiered.result,
+                      q + " @ tiered threads=" + std::to_string(threads));
+      EXPECT_GT(tiered.telemetry.morsels_interpreted, 0u) << q;
+      EXPECT_GT(tiered.telemetry.morsels_jit, 0u) << q;
+    }
+    // Each shard runs its own tiered controller over its slice and swaps
+    // independently (after 1 interpreted morsel here — shard slices are
+    // small); the merged result still cannot depend on any of it.
+    topts.force_swap_after_morsels = 1;
+    for (int shards : {1, 2, 4}) {
+      auto engine = MakeTieredEngine(topts, /*threads=*/2, shards);
+      RunInfo tiered = RunOn(engine.get(), q);
+      ASSERT_TRUE(tiered.status.ok()) << q << "\n" << tiered.status.ToString();
+      ExpectIdentical(oracle.result, tiered.result,
+                      q + " @ tiered shards=" + std::to_string(shards));
+      EXPECT_GT(tiered.telemetry.shards_used, 0) << q;
+      EXPECT_GT(tiered.telemetry.morsels_interpreted, 0u) << q;
+      if (n / static_cast<uint64_t>(shards) > 1) {
+        // Every slice holds > 1 morsel, so every shard swaps mid-slice.
+        EXPECT_GT(tiered.telemetry.morsels_jit, 0u)
+            << q << " shards=" << shards << " n=" << n;
+        EXPECT_GT(tiered.telemetry.compile_tier, 0) << q << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(TieredSwap, CompileOutlivingTheQueryIsHarmlessAndWarmsTheCache) {
+  const std::string q =
+      "SELECT count(*), sum(l_extendedprice) FROM lineitem_json WHERE l_orderkey < 50";
+  RunInfo oracle = RunConfig(q, ExecMode::kInterp, 1);
+  ASSERT_TRUE(oracle.status.ok());
+
+  // A 300 ms artificial compile delay dwarfs the ~240-row interpretation:
+  // the query finishes before the module exists, and nothing blocks on it.
+  jit::TieredOptions topts;
+  topts.compile_delay_ms = 300;
+  auto engine = MakeTieredEngine(topts, /*threads=*/2);
+  RunInfo cold = RunOn(engine.get(), q);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  ExpectIdentical(oracle.result, cold.result, "tiered, compile outlives query");
+  EXPECT_EQ(cold.telemetry.morsels_jit, 0u);
+  EXPECT_GT(cold.telemetry.morsels_interpreted, 0u);
+  EXPECT_EQ(cold.telemetry.compile_tier, 0);
+  EXPECT_FALSE(cold.telemetry.used_jit);
+  EXPECT_EQ(cold.telemetry.compile_ms, 0.0) << "unconsumed compile must not be billed";
+  EXPECT_EQ(cold.telemetry.swap_ms, 0.0);
+  EXPECT_NE(cold.telemetry.fallback_reason.find("did not land"), std::string::npos)
+      << cold.telemetry.fallback_reason;
+
+  // The orphaned compile still publishes into the shared cache: after the
+  // background thread drains, the same engine serves the query warm — pure
+  // generated code from morsel 0, no interpreter at all.
+  ASSERT_NE(engine->tiered_compiler(), nullptr);
+  engine->tiered_compiler()->Drain();
+  RunInfo warm = RunOn(engine.get(), q);
+  ASSERT_TRUE(warm.status.ok()) << warm.status.ToString();
+  ExpectIdentical(oracle.result, warm.result, "tiered warm rerun");
+  EXPECT_TRUE(warm.telemetry.jit_cache_hit);
+  EXPECT_EQ(warm.telemetry.morsels_interpreted, 0u);
+  EXPECT_GT(warm.telemetry.morsels_jit, 0u);
+  EXPECT_EQ(warm.telemetry.compile_tier, 1);
+  EXPECT_TRUE(warm.telemetry.used_jit);
+}
+
+TEST(TieredSwap, FailedCompileInterpreterCompletesSilently) {
+  // The non-equi join is chunk-decomposable (the tiered controller accepts
+  // it) but has no generated fast path: the background compile fails, and
+  // the interpreter must simply finish the query — the recorded compile_ms
+  // being the only trace of the attempt.
+  auto make_plan = [] {
+    OpPtr scan_o = Operator::Scan("orders_json", "o");
+    OpPtr scan_l = Operator::Scan("lineitem_json", "l");
+    ExprPtr pred =
+        Expr::Bin(BinOp::kLt, Proj("o", "o_orderkey"), Proj("l", "l_orderkey"));
+    OpPtr join = Operator::Join(scan_o, scan_l, pred, /*outer=*/false);
+    return Operator::Reduce(join, {{Monoid::kCount, nullptr, "n"}});
+  };
+  RunInfo oracle = RunPlanConfig(make_plan, ExecMode::kInterp, 2);
+  ASSERT_TRUE(oracle.status.ok());
+
+  jit::TieredOptions topts;
+  // Force the controller to consume the (failed) ticket after one morsel so
+  // the failure is observed mid-query, not raced past.
+  topts.force_swap_after_morsels = 1;
+  auto engine = MakeTieredEngine(topts, /*threads=*/2);
+  auto r = engine->ExecutePlan(make_plan());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectIdentical(oracle.result, *r, "tiered, failed compile");
+  const QueryTelemetry& t = engine->telemetry();
+  EXPECT_EQ(t.morsels_jit, 0u);
+  EXPECT_GT(t.morsels_interpreted, 0u);
+  EXPECT_EQ(t.compile_tier, 0);
+  EXPECT_FALSE(t.used_jit);
+  EXPECT_GT(t.compile_ms, 0.0)
+      << "the failed background compile cost real time that must be attributed";
+  EXPECT_NE(t.fallback_reason.find("compile failed"), std::string::npos)
+      << t.fallback_reason;
+}
+
+TEST(TieredSwap, HotSignatureEarnsTierTwo) {
+  const std::string q =
+      "SELECT count(*), max(l_quantity), sum(l_tax) FROM lineitem_bincol WHERE l_orderkey < 30";
+  jit::TieredOptions topts;
+  topts.tier2_hit_threshold = 2;
+  auto engine = MakeTieredEngine(topts, /*threads=*/2);
+  ASSERT_NE(engine->tiered_compiler(), nullptr);
+
+  // Cold run compiles tier 1 in the background and publishes it.
+  RunInfo cold = RunOn(engine.get(), q);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  engine->tiered_compiler()->Drain();
+
+  // Warm runs accumulate cache hits; crossing the threshold enqueues the
+  // aggressive recompile behind the same key.
+  RunInfo warm1 = RunOn(engine.get(), q);
+  ASSERT_TRUE(warm1.status.ok());
+  EXPECT_TRUE(warm1.telemetry.jit_cache_hit);
+  EXPECT_EQ(warm1.telemetry.compile_tier, 1);
+  RunInfo warm2 = RunOn(engine.get(), q);
+  ASSERT_TRUE(warm2.status.ok());
+  EXPECT_EQ(warm2.telemetry.compile_tier, 1);
+  engine->tiered_compiler()->Drain();
+
+  ASSERT_NE(engine->jit_cache(), nullptr);
+  EXPECT_GE(engine->jit_cache()->stats().promotions, 1u)
+      << "crossing tier2_hit_threshold must promote the signature";
+  RunInfo promoted = RunOn(engine.get(), q);
+  ASSERT_TRUE(promoted.status.ok());
+  EXPECT_TRUE(promoted.telemetry.jit_cache_hit);
+  EXPECT_EQ(promoted.telemetry.compile_tier, 2)
+      << "the promoted module must serve behind the same cache key";
+  EXPECT_TRUE(promoted.telemetry.used_jit);
+  EXPECT_EQ(promoted.telemetry.morsels_interpreted, 0u);
+  ExpectIdentical(cold.result, promoted.result, "tier-1 vs tier-2 module");
+}
+
 }  // namespace
 }  // namespace proteus
