@@ -93,7 +93,7 @@ void RegisterCsvStride() {
 
 void RegisterCachePolicy() {
   auto run = [](bool cache_strings) {
-    EngineOptions opts;
+    EngineOptions opts = BenchEngineOptions();
     opts.cache_policy.enabled = true;
     opts.cache_policy.cache_strings = cache_strings;
     auto engine = std::make_shared<QueryEngine>(opts);
@@ -136,5 +136,5 @@ int main(int argc, char** argv) {
   proteus::bench::RegisterCsvStride();
   proteus::bench::RegisterCachePolicy();
   ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return proteus::bench::WriteBenchReport("ablation");
 }

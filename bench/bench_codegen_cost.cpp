@@ -20,7 +20,7 @@ namespace {
 /// the shared Systems engine would serve iteration 2+ from its cache.
 QueryEngine& CompileEngine() {
   static QueryEngine* engine = [] {
-    EngineOptions opts;
+    EngineOptions opts = BenchEngineOptions();
     opts.jit_cache_capacity = 0;
     auto* e = new QueryEngine(opts);
     RegisterBenchDatasets(e);
@@ -59,7 +59,7 @@ TieredColdRunResult TieredColdRun(const std::string& q) {
   // attempt) still does.
   constexpr int kAttempts = 3;
   for (int attempt = 1;; ++attempt) {
-    EngineOptions opts;
+    EngineOptions opts = BenchEngineOptions();
     opts.tiered = true;
     opts.num_threads = 2;
     // Fine morsels: the controller polls the compile at chunk boundaries, so
@@ -155,5 +155,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   proteus::bench::Register();
   ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return proteus::bench::WriteBenchReport("codegen_cost");
 }

@@ -20,12 +20,17 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/baselines/baselines.h"
 #include "src/core/query_engine.h"
 #include "src/datagen/spam.h"
 #include "src/datagen/tpch.h"
+#include "src/obs/metrics.h"
 #include "src/storage/bincol_format.h"
 #include "src/storage/binrow_format.h"
 #include "src/storage/text_writers.h"
@@ -49,6 +54,143 @@ inline double WallMs(const std::function<void()>& f) {
   f();
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Engine options every bench engine is built with: default execution knobs
+/// plus the process-wide metrics registry, so each measured execution also
+/// feeds the proteus_* counters/histograms that land in BENCH_<fig>.json.
+inline EngineOptions BenchEngineOptions() {
+  EngineOptions opts;
+  opts.metrics = &obs::MetricsRegistry::Global();
+  return opts;
+}
+
+/// Collects every measured sample of every variant and writes the
+/// BENCH_<fig>.json trajectory file at process exit (see WriteBenchReport).
+///
+/// Flow: RegisterMs() records each iteration's milliseconds under the
+/// variant's benchmark name; the Proteus helpers (ProteusMs & co.) attach
+/// the engine's QueryTelemetry to a pending slot that the *next* Record()
+/// call consumes — the helper runs inside the timed fn(), so attach always
+/// happens before its own Record. Baseline variants never attach, so their
+/// telemetry is null in the JSON: same reporter, same schema, one file.
+class BenchReport {
+ public:
+  static BenchReport& Get() {
+    static BenchReport r;
+    return r;
+  }
+
+  void AttachTelemetry(const QueryTelemetry& t) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_ = t;
+  }
+
+  void Record(const std::string& name, double ms) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Variant& v = variants_[name];
+    if (v.samples.empty()) order_.push_back(name);
+    v.samples.push_back(ms);
+    if (pending_.has_value()) {
+      v.telemetry = std::move(pending_);
+      pending_.reset();
+    }
+  }
+
+  /// True when no variant recorded a sample (e.g. --benchmark_list_tests).
+  bool empty() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return order_.empty();
+  }
+
+  /// Writes BENCH_<fig>.json (schema_version 1) into $PROTEUS_BENCH_JSON_DIR
+  /// (default: cwd). Returns false on I/O failure or when nothing was
+  /// recorded (e.g. --benchmark_list_tests runs).
+  bool WriteJson(const std::string& fig) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (order_.empty()) return false;
+    const char* env = std::getenv("PROTEUS_BENCH_JSON_DIR");
+    std::string path = (env != nullptr ? std::string(env) : std::string(".")) +
+                       "/BENCH_" + fig + ".json";
+    std::ostringstream o;
+    o << "{\"schema_version\":1,\"fig\":\"" << fig << "\",";
+    o << "\"scale\":{\"orders\":" << BenchOrders() << ",\"mails\":" << BenchMails()
+      << "},";
+    o << "\"variants\":[";
+    for (size_t i = 0; i < order_.size(); ++i) {
+      const Variant& v = variants_[order_[i]];
+      if (i != 0) o << ",";
+      o << "{\"name\":\"" << order_[i] << "\",\"samples\":[";
+      double sum = 0;
+      for (size_t s = 0; s < v.samples.size(); ++s) {
+        if (s != 0) o << ",";
+        o << Num(v.samples[s]);
+        sum += v.samples[s];
+      }
+      o << "],\"ms\":" << Num(sum / v.samples.size()) << ",\"telemetry\":";
+      if (v.telemetry.has_value()) {
+        WriteTelemetry(o, *v.telemetry);
+      } else {
+        o << "null";
+      }
+      o << "}";
+    }
+    o << "],\"metrics\":";
+    obs::MetricsRegistry::Global().WriteJson(o);
+    o << "}\n";
+    std::ofstream f(path);
+    f << o.str();
+    if (!f.good()) {
+      fprintf(stderr, "bench report: cannot write %s\n", path.c_str());
+      return false;
+    }
+    fprintf(stderr, "bench report: wrote %s (%zu variants)\n", path.c_str(),
+            order_.size());
+    return true;
+  }
+
+ private:
+  struct Variant {
+    std::vector<double> samples;
+    std::optional<QueryTelemetry> telemetry;  ///< last measured run's telemetry
+  };
+
+  static std::string Num(double v) {
+    if (!(v == v) || v > 1e300 || v < -1e300) return "0";
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  static void WriteTelemetry(std::ostream& o, const QueryTelemetry& t) {
+    auto b = [](bool v) { return v ? "true" : "false"; };
+    o << "{\"execute_ms\":" << Num(t.execute_ms)
+      << ",\"optimize_ms\":" << Num(t.optimize_ms)
+      << ",\"jit_compile_ms\":" << Num(t.jit_compile_ms)
+      << ",\"used_jit\":" << b(t.used_jit) << ",\"jit_parallel\":" << b(t.jit_parallel)
+      << ",\"jit_cache_hit\":" << b(t.jit_cache_hit)
+      << ",\"threads_used\":" << t.threads_used << ",\"morsels\":" << t.morsels
+      << ",\"shards_used\":" << t.shards_used
+      << ",\"bytes_exchanged\":" << t.bytes_exchanged
+      << ",\"compile_tier\":" << t.compile_tier
+      << ",\"morsels_interpreted\":" << t.morsels_interpreted
+      << ",\"morsels_jit\":" << t.morsels_jit << ",\"tasks_dealt\":" << t.tasks_dealt
+      << ",\"steals\":" << t.steals << "}";
+  }
+
+  std::mutex mu_;
+  std::map<std::string, Variant> variants_;
+  std::vector<std::string> order_;  ///< registration order, for stable output
+  std::optional<QueryTelemetry> pending_;
+};
+
+/// Tail call for every bench main(): writes BENCH_<fig>.json and returns the
+/// process exit code (0 on success; also 0 when nothing ran, so list/filter
+/// invocations stay clean — only an actual write failure is fatal).
+inline int WriteBenchReport(const std::string& fig) {
+  BenchReport& r = BenchReport::Get();
+  if (r.empty()) return 0;
+  return r.WriteJson(fig) ? 0 : 1;
 }
 
 /// On-disk corpus shared by all bench binaries (rebuilt when scale changes).
@@ -143,7 +285,7 @@ struct Systems {
  private:
   Systems() {
     const BenchCorpus& c = BenchCorpus::Get();
-    proteus = std::make_unique<QueryEngine>();
+    proteus = std::make_unique<QueryEngine>(BenchEngineOptions());
     RegisterBenchDatasets(proteus.get());
     auto die = [](const Result<double>& r) {
       if (!r.ok()) {
@@ -181,7 +323,7 @@ inline QueryEngine& ThreadedEngine(int threads) {
   static std::map<int, std::unique_ptr<QueryEngine>> engines;
   auto it = engines.find(threads);
   if (it == engines.end()) {
-    EngineOptions opts;
+    EngineOptions opts = BenchEngineOptions();
     opts.mode = ExecMode::kInterp;
     opts.num_threads = threads;
     auto e = std::make_unique<QueryEngine>(opts);
@@ -200,6 +342,7 @@ inline double ThreadedMs(int threads, const std::string& query) {
             r.status().ToString().c_str());
     std::abort();
   }
+  BenchReport::Get().AttachTelemetry(e.telemetry());
   return e.telemetry().execute_ms;
 }
 
@@ -212,7 +355,7 @@ inline QueryEngine& JitThreadedEngine(int threads) {
   static std::map<int, std::unique_ptr<QueryEngine>> engines;
   auto it = engines.find(threads);
   if (it == engines.end()) {
-    EngineOptions opts;
+    EngineOptions opts = BenchEngineOptions();
     opts.mode = ExecMode::kJIT;
     opts.num_threads = threads;
     auto e = std::make_unique<QueryEngine>(opts);
@@ -239,6 +382,7 @@ inline double JitThreadedMs(int threads, const std::string& query) {
             threads, query.c_str(), e.telemetry().fallback_reason.c_str());
     std::abort();
   }
+  BenchReport::Get().AttachTelemetry(e.telemetry());
   return e.telemetry().execute_ms;
 }
 
@@ -256,7 +400,7 @@ inline QueryEngine& ShardedEngine(int shards) {
   static std::map<int, std::unique_ptr<QueryEngine>> engines;
   auto it = engines.find(shards);
   if (it == engines.end()) {
-    EngineOptions opts;
+    EngineOptions opts = BenchEngineOptions();
     opts.mode = ExecMode::kInterp;
     opts.num_threads = 1;
     opts.num_shards = shards;
@@ -276,6 +420,7 @@ inline double ShardedMs(int shards, const std::string& query) {
             r.status().ToString().c_str());
     std::abort();
   }
+  BenchReport::Get().AttachTelemetry(e.telemetry());
   return e.telemetry().execute_ms;
 }
 
@@ -294,7 +439,7 @@ struct ColdWarmCompile {
 };
 
 inline ColdWarmCompile CacheColdWarm(const std::string& query, int warm_runs = 1) {
-  QueryEngine engine;  // fresh: its compiled-query cache starts empty
+  QueryEngine engine(BenchEngineOptions());  // fresh: its query cache starts empty
   RegisterBenchDatasets(&engine);
   auto run = [&]() -> const QueryTelemetry& {
     auto r = engine.Execute(query);
@@ -339,6 +484,7 @@ inline double ProteusMs(const std::string& query) {
     fprintf(stderr, "proteus: %s\n  %s\n", query.c_str(), r.status().ToString().c_str());
     std::abort();
   }
+  BenchReport::Get().AttachTelemetry(Systems::Get().proteus->telemetry());
   return Systems::Get().proteus->telemetry().execute_ms;
 }
 
@@ -356,10 +502,15 @@ double BaselineMs(Engine& engine, const baselines::BenchQuery& q) {
 }
 
 /// Registers a manual-timed benchmark that reports `fn()` milliseconds.
+/// Every iteration's measurement also lands in the BenchReport under the
+/// benchmark's name — Proteus and baseline variants alike — so the
+/// BENCH_<fig>.json trajectory file sees exactly what the console does.
 inline void RegisterMs(const std::string& name, std::function<double()> fn) {
-  benchmark::RegisterBenchmark(name.c_str(), [fn](benchmark::State& state) {
+  benchmark::RegisterBenchmark(name.c_str(), [name, fn](benchmark::State& state) {
     for (auto _ : state) {
-      state.SetIterationTime(fn() / 1000.0);
+      double ms = fn();
+      BenchReport::Get().Record(name, ms);
+      state.SetIterationTime(ms / 1000.0);
     }
   })->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(2);
 }

@@ -54,5 +54,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   proteus::bench::Register();
   ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return proteus::bench::WriteBenchReport("fig08");
 }

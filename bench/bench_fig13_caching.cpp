@@ -14,7 +14,7 @@ namespace {
 
 QueryEngine& CachedEngine() {
   static QueryEngine* engine = [] {
-    EngineOptions opts;
+    EngineOptions opts = BenchEngineOptions();
     opts.cache_policy.enabled = true;
     auto* e = new QueryEngine(opts);
     RegisterBenchDatasets(e);
@@ -97,5 +97,5 @@ int main(int argc, char** argv) {
     printf("sel=%3d%%  projection speedup %5.2fx   selection speedup %5.2fx\n", sel,
            pb / pc, sb / sc);
   }
-  return 0;
+  return WriteBenchReport("fig13");
 }

@@ -170,7 +170,7 @@ struct Workload {
     (void)*pg.LoadTable("bin", c.spam_bin);
     (void)*dbms_c.LoadTable("bin", c.spam_bin,
                             baselines::ColumnarOptions{.sort_key = "mail_id"});
-    EngineOptions opts;
+    EngineOptions opts = BenchEngineOptions();
     opts.cache_policy.enabled = true;
     proteus = std::make_unique<QueryEngine>(opts);
     RegisterBenchDatasets(proteus.get());
@@ -600,9 +600,17 @@ int main(int argc, char** argv) {
   double pg_total = 0, fed_total = 0, pro_total = 0;
   double pg_q39 = 0, fed_q39 = 0, pro_q39 = 0;
   for (auto& q : queries) {
+    // fig14 drives its workload directly (no RegisterMs), so it feeds the
+    // BENCH_fig14.json reporter by hand — one variant per query × system,
+    // with the Proteus engine's telemetry attached to the Proteus row.
+    std::string base = "fig14/Q" + std::to_string(q.id) + "_" + q.group + "/";
     double pg = q.postgres();
+    BenchReport::Get().Record(base + "PostgreSQL", pg);
     double fed = q.federated();
+    BenchReport::Get().Record(base + "Federated", fed);
     double pro = q.proteus();
+    BenchReport::Get().AttachTelemetry(w.proteus->telemetry());
+    BenchReport::Get().Record(base + "Proteus", pro);
     pg_total += pg;
     fed_total += fed;
     pro_total += pro;
@@ -634,5 +642,5 @@ int main(int argc, char** argv) {
          pg_total / pro_total, fed_total / pro_total);
   printf("Proteus cache footprint: %zu bytes in %zu blocks\n",
          w.proteus->caches().total_bytes(), w.proteus->caches().num_blocks());
-  return 0;
+  return WriteBenchReport("fig14");
 }

@@ -72,5 +72,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   proteus::bench::Report();
   ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return proteus::bench::WriteBenchReport("structural_index");
 }

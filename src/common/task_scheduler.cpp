@@ -132,6 +132,7 @@ void TaskScheduler::RunBatch(Batch* batch, int worker_id) {
 Status TaskScheduler::ParallelFor(uint64_t num_tasks,
                                   const std::function<Status(uint64_t, int)>& body) {
   if (num_tasks == 0) return Status::OK();
+  total_dealt_.fetch_add(num_tasks, std::memory_order_relaxed);
   if (t_in_batch || num_threads_ == 1) {
     // Inline path: nested call from inside a task, or a single-worker pool.
     for (uint64_t t = 0; t < num_tasks; ++t) {

@@ -57,6 +57,12 @@ class TaskScheduler {
   /// read from any thread).
   uint64_t total_steals() const { return total_steals_.load(std::memory_order_relaxed); }
 
+  /// Tasks dispatched through ParallelFor across all batches so far,
+  /// including inline (nested / single-worker) runs. With total_steals()
+  /// this gives the steal *rate*, the number that actually says whether the
+  /// deal was balanced.
+  uint64_t total_dealt() const { return total_dealt_.load(std::memory_order_relaxed); }
+
  private:
   struct Batch;
 
@@ -75,6 +81,7 @@ class TaskScheduler {
 
   std::mutex submit_mu_;  // serializes concurrent ParallelFor callers
   std::atomic<uint64_t> total_steals_{0};
+  std::atomic<uint64_t> total_dealt_{0};
 };
 
 }  // namespace proteus

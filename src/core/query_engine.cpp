@@ -37,6 +37,9 @@ QueryEngine::QueryEngine(EngineOptions opts)
   // it, so reflect the actual worker count back into the options (telemetry
   // and the shard coordinator's per-shard pools size off this value).
   opts_.num_threads = scheduler_.num_threads();
+  if (opts_.trace) {
+    trace_recorder_ = std::make_unique<obs::TraceRecorder>();
+  }
   if (opts_.jit_cache_capacity > 0) {
     jit_cache_ = std::make_unique<jit::CompiledQueryCache>(opts_.jit_cache_capacity);
   }
@@ -57,23 +60,46 @@ void QueryEngine::InvalidateDataset(const std::string& dataset) {
 }
 
 Result<QueryResult> QueryEngine::Execute(const std::string& query) {
-  PROTEUS_ASSIGN_OR_RETURN(Comprehension comp, ParseQuery(query, catalog_));
-  Normalize(&comp);
-  PROTEUS_ASSIGN_OR_RETURN(OpPtr plan, ToAlgebra(comp, catalog_));
-  return ExecutePlan(std::move(plan));
+  auto plan = [&]() -> Result<OpPtr> {
+    PROTEUS_ASSIGN_OR_RETURN(Comprehension comp, ParseQuery(query, catalog_));
+    Normalize(&comp);
+    return ToAlgebra(comp, catalog_);
+  }();
+  if (!plan.ok()) {
+    // Queries that never produce a plan still count: a fleet dashboard that
+    // missed parse/bind failures would under-report the error rate.
+    if (opts_.metrics != nullptr) RecordMetrics(false);
+    return plan.status();
+  }
+  return ExecutePlan(std::move(*plan));
 }
 
 Result<QueryResult> QueryEngine::ExecutePlan(OpPtr logical_plan) {
+  auto result = ExecutePlanInner(std::move(logical_plan));
+  if (opts_.metrics != nullptr) RecordMetrics(result.ok());
+  return result;
+}
+
+Result<QueryResult> QueryEngine::ExecutePlanInner(OpPtr logical_plan) {
   telemetry_ = QueryTelemetry{};
   last_ir_.clear();
+  // Per-query trace reset: a straggler background compile that published
+  // after this point intentionally lands in this query's snapshot — it
+  // shows the compile landing.
+  if (trace_recorder_ != nullptr) trace_recorder_->Clear();
 
   auto t0 = std::chrono::steady_clock::now();
   Optimizer optimizer(catalog_, opts_.optimizer);
-  PROTEUS_ASSIGN_OR_RETURN(OpPtr physical, optimizer.Optimize(std::move(logical_plan)));
+  OpPtr physical;
+  {
+    OBS_SPAN(trace_recorder_.get(), "optimize");
+    PROTEUS_ASSIGN_OR_RETURN(physical, optimizer.Optimize(std::move(logical_plan)));
+  }
   telemetry_.optimize_ms = MsSince(t0);
 
   if (caches_.policy().enabled) {
     auto tc = std::chrono::steady_clock::now();
+    OBS_SPAN(trace_recorder_.get(), "cache_populate");
     PROTEUS_RETURN_NOT_OK(PopulateCaches(physical));
     physical = caches_.RewriteWithCaches(std::move(physical), catalog_);
     telemetry_.cache_build_ms = MsSince(tc);
@@ -167,11 +193,55 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
   ctx.scheduler = &scheduler_;
   ctx.jit_cache = jit_cache_.get();
   ctx.morsel_rows = opts_.morsel_rows;
+  ctx.trace = trace_recorder_.get();
   if (opts_.mode == ExecMode::kJIT && tiered_compiler_ != nullptr) {
     ctx.tiered = tiered_compiler_.get();
     ctx.tiered_opts = &opts_.tiered_opts;
   }
 
+  // Steal telemetry by delta: the engine scheduler is long-lived, so the
+  // counters accumulated by *this* query are what the lifetime totals grew
+  // by. Sharded runs use per-shard pools instead (summed by the
+  // coordinator), so RunInner overwrites these with the shard totals.
+  const uint64_t steals0 = scheduler_.total_steals();
+  const uint64_t dealt0 = scheduler_.total_dealt();
+  Result<QueryResult> result = [&] {
+    OBS_SPAN(ctx.trace, "execute");
+    return RunInner(ctx, std::move(physical));
+  }();
+  if (telemetry_.shards_used == 0) {
+    telemetry_.steals = scheduler_.total_steals() - steals0;
+    telemetry_.tasks_dealt = scheduler_.total_dealt() - dealt0;
+  }
+  return result;
+}
+
+void QueryEngine::RecordMetrics(bool ok) const {
+  obs::MetricsRegistry* m = opts_.metrics;
+  m->GetCounter("proteus_queries_total")->Increment();
+  if (!ok) {
+    m->GetCounter("proteus_query_errors_total")->Increment();
+    return;
+  }
+  m->GetHistogram("proteus_query_latency_ms")->Observe(telemetry_.execute_ms);
+  if (telemetry_.jit_compile_ms > 0) {
+    m->GetHistogram("proteus_compile_ms")->Observe(telemetry_.jit_compile_ms);
+  }
+  if (telemetry_.used_jit) {
+    m->GetCounter(telemetry_.jit_cache_hit ? "proteus_jit_cache_hits_total"
+                                           : "proteus_jit_cache_misses_total")
+        ->Increment();
+  }
+  m->GetCounter("proteus_morsels_total")->Add(telemetry_.morsels);
+  m->GetCounter("proteus_tasks_dealt_total")->Add(telemetry_.tasks_dealt);
+  m->GetCounter("proteus_steals_total")->Add(telemetry_.steals);
+  m->GetCounter("proteus_bytes_exchanged_total")->Add(telemetry_.bytes_exchanged);
+  if (jit_cache_ != nullptr) {
+    m->GetGauge("proteus_jit_cache_entries")->Set(static_cast<int64_t>(jit_cache_->size()));
+  }
+}
+
+Result<QueryResult> QueryEngine::RunInner(ExecContext& ctx, OpPtr physical) {
   auto t0 = std::chrono::steady_clock::now();
   // Sharded routing: num_shards >= 1 is an explicit opt-in, so shardable
   // plans go through the coordinator ahead of the JIT/interpreter choice.
@@ -190,6 +260,8 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
     telemetry_.bytes_exchanged = shard_stats.bytes_exchanged;
     telemetry_.threads_used = shard_stats.threads_per_shard;
     telemetry_.morsels = shard_stats.morsels;
+    telemetry_.tasks_dealt = shard_stats.tasks_dealt;
+    telemetry_.steals = shard_stats.steals;
     telemetry_.used_jit = shard_stats.jit_shards > 0;
     telemetry_.jit_parallel = shard_stats.jit_shards > 0;
     telemetry_.compile_tier = shard_stats.compile_tier;
@@ -229,7 +301,7 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
     if (partials.ok()) {
       const OpPtr& top = physical->child(0);
       const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
-      auto result = FinalizePlanPartials(*physical, nest, std::move(*partials));
+      auto result = FinalizePlanPartials(*physical, nest, std::move(*partials), ctx.trace);
       telemetry_.used_jit = ts.morsels_jit > 0;
       telemetry_.jit_parallel = ts.morsels_jit > 0;
       telemetry_.compile_tier = ts.compile_tier;

@@ -25,6 +25,8 @@
 #include "src/engine/result.h"
 #include "src/jit/query_cache.h"
 #include "src/jit/tiered_compiler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/optimizer/optimizer.h"
 
 namespace proteus {
@@ -80,6 +82,17 @@ struct EngineOptions {
   bool tiered = false;
   /// Knobs and deterministic test hooks for tiered execution.
   jit::TieredOptions tiered_opts;
+  /// Query tracing (opt-in): record per-thread spans across every execution
+  /// layer — optimizer, cache probes, compiles, join builds, per-morsel
+  /// pipelines, shard slices/exchange, tiered swap — and export them as
+  /// Chrome trace-event / Perfetto JSON via QueryEngine::trace(). Off by
+  /// default; the disabled path is a single null-pointer test per site.
+  bool trace = false;
+  /// Process-wide metrics sink (opt-in): when set, every execution feeds
+  /// query latency, compile cost, cache hit/miss, morsel/steal counts, and
+  /// exchange bytes into this registry (e.g. obs::MetricsRegistry::Global()).
+  /// Null = no metrics recorded.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Telemetry for the last executed query.
@@ -128,6 +141,12 @@ struct QueryTelemetry {
   /// chunk — the cold-start latency the tiered path exists to shrink.
   double swap_ms = 0;
   double first_morsel_ms = 0;
+  /// Work-stealing balance of the morsel pools this query: tasks dispatched
+  /// through ParallelFor and how many of them were executed by a worker
+  /// other than the one they were dealt to. Unsharded runs read the engine
+  /// scheduler's delta; sharded runs sum every ShardExecutor's pool.
+  uint64_t tasks_dealt = 0;
+  uint64_t steals = 0;
   std::string fallback_reason;  ///< why the interpreter ran, if it did
   std::string plan;             ///< physical plan, printable
 };
@@ -165,18 +184,29 @@ class QueryEngine {
   jit::CompiledQueryCache* jit_cache() { return jit_cache_.get(); }
   /// The background tiered compiler (null unless options().tiered).
   jit::TieredCompiler* tiered_compiler() { return tiered_compiler_.get(); }
+  /// The query trace recorder (null unless options().trace). Each execution
+  /// clears it, so a Snapshot() taken after Execute() is that query's trace
+  /// — plus any background compile that outlived the previous query.
+  obs::TraceRecorder* trace() { return trace_recorder_.get(); }
   const EngineOptions& options() const { return opts_; }
   void set_mode(ExecMode m) { opts_.mode = m; }
 
  private:
+  Result<QueryResult> ExecutePlanInner(OpPtr logical_plan);
   Result<QueryResult> Run(OpPtr physical);
+  Result<QueryResult> RunInner(ExecContext& ctx, OpPtr physical);
   Status PopulateCaches(const OpPtr& physical);
+  void RecordMetrics(bool ok) const;
 
   EngineOptions opts_;
   Catalog catalog_;
   PluginRegistry plugins_;
   CachingManager caches_;
   TaskScheduler scheduler_;
+  /// Declared before the subsystems whose background jobs may still emit
+  /// spans (the tiered compiler's worker): reverse destruction order joins
+  /// those threads before the recorder dies.
+  std::unique_ptr<obs::TraceRecorder> trace_recorder_;
   std::unique_ptr<jit::CompiledQueryCache> jit_cache_;
   /// Declared after every subsystem its background jobs borrow (catalog,
   /// plug-ins, caches, jit cache): destruction runs in reverse order, so the

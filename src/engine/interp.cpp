@@ -6,6 +6,7 @@
 #include "src/engine/aggregator.h"
 #include "src/engine/partial_sink.h"
 #include "src/engine/radix_table.h"
+#include "src/obs/trace.h"
 
 namespace proteus {
 
@@ -625,7 +626,7 @@ class MorselRunner {
     stats->morsels = morsels_run_;
     stats->threads_used =
         static_cast<int>(std::min<uint64_t>(ctx_.scheduler->num_threads(), max_batch_));
-    return FinalizePlanPartials(*plan, nest, std::move(partials));
+    return FinalizePlanPartials(*plan, nest, std::move(partials), ctx_.trace);
   }
 
   /// Shard-side variant: runs only morsels [morsel_begin, morsel_end) of the
@@ -722,7 +723,9 @@ class MorselRunner {
   /// Materializes the build side of `join` into builds_[join]; the subtree
   /// runs morsel-parallel itself when its shape allows.
   Status MaterializeBuild(const Operator& join) {
+    obs::TraceSpan span(ctx_.trace, "join_build");
     PROTEUS_ASSIGN_OR_RETURN(std::vector<EvalEnv> rows, MaterializeRows(join.child(0)));
+    span.set_arg0("rows", static_cast<int64_t>(rows.size()));
     auto build = std::make_shared<SharedJoinBuild>();
     if (join.left_key()) {
       build->has_key = true;
@@ -888,6 +891,7 @@ class MorselRunner {
                          uint64_t next_slot,
                          const std::function<Status(EvalEnv&, uint64_t)>& sink) {
     for (const Operator* j : OuterChainJoins(desc)) {
+      OBS_SPAN(ctx_.trace, "outer_drain");
       const SharedJoinBuild& build = *builds_.at(j);
       std::vector<uint8_t> matched(build.rows.size(), 0);
       for (const MatchedBitmaps& bm : *bitmaps) {
@@ -931,6 +935,7 @@ class MorselRunner {
     std::vector<MatchedBitmaps> bitmaps(morsels.size());
     PROTEUS_RETURN_NOT_OK(ctx_.scheduler->ParallelFor(
         morsels.size(), [&](uint64_t m, int) -> Status {
+          OBS_SPAN(ctx_.trace, "interp_morsel", "morsel", static_cast<int64_t>(m));
           PROTEUS_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> cursor,
                                    MakePipeline(desc, morsels[m], &bitmaps[m]));
           PROTEUS_RETURN_NOT_OK(cursor->Open());

@@ -39,6 +39,10 @@ class TieredCompiler;
 struct TieredOptions;
 }  // namespace jit
 
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
 /// Default target scan rows per morsel — the single home of this constant
 /// (EngineOptions, ExecContext, and the zero-value fallback all use it, so
 /// every path produces the same morsel decomposition).
@@ -67,6 +71,11 @@ struct ExecContext {
   /// compile thread.
   jit::TieredCompiler* tiered = nullptr;
   const jit::TieredOptions* tiered_opts = nullptr;
+  /// Query tracing (src/obs/trace.h), when the engine opted in. Null = off;
+  /// every instrumentation site tests this one pointer and does nothing
+  /// else. Shard executors and the tiered background compile inherit it, so
+  /// one recorder collects the whole distributed timeline.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Pull-based row cursor (getNextTuple() of the Volcano model).

@@ -1,6 +1,7 @@
 #include "src/engine/partial_sink.h"
 
 #include "src/common/counters.h"
+#include "src/obs/trace.h"
 
 namespace proteus {
 
@@ -148,7 +149,10 @@ void PlanPartials::Append(PlanPartials&& other) {
 }
 
 Result<QueryResult> FinalizePlanPartials(const Operator& reduce, const Operator* nest,
-                                         PlanPartials&& partials) {
+                                         PlanPartials&& partials,
+                                         obs::TraceRecorder* trace) {
+  OBS_SPAN(trace, "partial_merge", "morsels",
+           static_cast<int64_t>(partials.num_morsels()));
   if (partials.num_morsels() == 0) {
     return Status::Internal("FinalizePlanPartials requires at least one morsel partial");
   }

@@ -22,6 +22,10 @@
 
 namespace proteus {
 
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
 /// Hash group table of a Nest operator. The single home of the grouping
 /// semantics: the serial nest cursor fills one over its whole input; the
 /// morsel executor fills one per morsel and folds them together in morsel
@@ -96,9 +100,11 @@ struct PlanPartials {
 /// one merge implementation shared by the morsel executor and the shard
 /// coordinator, so neither worker nor shard counts can change the fold
 /// shape. `nest` is the Nest directly under `reduce`, or null. Requires at
-/// least one morsel entry.
+/// least one morsel entry. `trace` (nullable) records the merge as a
+/// "partial_merge" span with the folded morsel count.
 Result<QueryResult> FinalizePlanPartials(const Operator& reduce, const Operator* nest,
-                                         PlanPartials&& partials);
+                                         PlanPartials&& partials,
+                                         obs::TraceRecorder* trace = nullptr);
 
 /// One morsel's partial sink as seen by a generated (JIT) pipeline through
 /// the C entry points below. The generated function keeps per-tuple work in

@@ -25,6 +25,7 @@
 #include "src/plugins/json_plugin.h"
 #include "src/jit/query_cache.h"
 #include "src/jit/runtime.h"
+#include "src/obs/trace.h"
 
 namespace proteus {
 
@@ -2153,14 +2154,18 @@ Result<std::shared_ptr<const jit::CompiledModule>> CompileAndLink(const ExecCont
                                                                   const MorselPipeline* pipe,
                                                                   int tier = 1) {
   InitLLVMOnce();
+  OBS_SPAN(ctx.trace, "jit_compile", "tier", tier);
   auto out = std::make_shared<jit::CompiledModule>();
   out->tier = tier;
   jit::ParamTable param_table;
   Codegen cg(ctx, &out->layout, &param_table);
-  if (pipe != nullptr) {
-    PROTEUS_RETURN_NOT_OK(cg.CompileMorsel(plan, *pipe));
-  } else {
-    PROTEUS_RETURN_NOT_OK(cg.Compile(plan));
+  {
+    OBS_SPAN(ctx.trace, "ir_gen");
+    if (pipe != nullptr) {
+      PROTEUS_RETURN_NOT_OK(cg.CompileMorsel(plan, *pipe));
+    } else {
+      PROTEUS_RETURN_NOT_OK(cg.Compile(plan));
+    }
   }
   out->ir = cg.DumpIR();
   out->columns = cg.result_columns();
@@ -2298,7 +2303,12 @@ Result<std::shared_ptr<const jit::CompiledModule>> JitExecutor::GetOrCompileModu
       pipe != nullptr ? jit::CodegenMode::kMorsel : jit::CodegenMode::kWholeRelation);
   // On a hit (or a single-flight wait on another thread's compile)
   // last_compile_ms_ stays 0: this execution generated no IR at all.
-  return ctx_.jit_cache->GetOrCompile(key, compile, &last_cache_hit_);
+  // The probe span covers the whole lookup — a miss nests the jit_compile
+  // span inside it, so the probe-only cost is the difference.
+  obs::TraceSpan probe(ctx_.trace, "cache_probe");
+  auto r = ctx_.jit_cache->GetOrCompile(key, compile, &last_cache_hit_, ctx_.trace);
+  probe.set_arg0("hit", last_cache_hit_ ? 1 : 0);
+  return r;
 }
 
 const std::string& JitExecutor::last_ir() const {
@@ -2371,8 +2381,11 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
 
   // Shared join builds run once (their radix tables build through the
   // parallel RadixTable::Build path via rt.scheduler), then freeze.
-  jit::MorselCtx build_ctx(&rt);
-  cq->build_fn(&build_ctx, params.data());
+  {
+    OBS_SPAN(ctx_.trace, "join_build");
+    jit::MorselCtx build_ctx(&rt);
+    cq->build_fn(&build_ctx, params.data());
+  }
   if (rt.failed) return Status::Internal("jit runtime: " + rt.error);
 
   // The global morsel decomposition — the exact frame the interpreter and
@@ -2442,6 +2455,10 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
   }
 
   auto run_one = [&](uint64_t m, int worker) {
+    // Trace the dispatch boundary with the *global* morsel index, so a
+    // sharded or tiered trace reads in the one decomposition every engine
+    // shares.
+    OBS_SPAN(ctx_.trace, "jit_morsel", "morsel", static_cast<int64_t>(morsel_begin + m));
     if (!matched.empty()) sinks[m].matched = &matched[worker];
     cq->pipeline_fn(&ctxs[worker], &sinks[m], params.data(), morsels[m].begin,
                     morsels[m].end);
@@ -2462,6 +2479,7 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
   // slot order FinalizePlanPartials folds, so the emitted row order
   // reproduces the interpreter's exactly.
   if (!outer.empty()) {
+    OBS_SPAN(ctx_.trace, "outer_drain");
     jit::MorselCtx drain_ctx(&rt);
     for (size_t k = 0; k < cq->drain_fns.size(); ++k) {
       const uint32_t table = cq->outer_join_tables[k];
@@ -2490,7 +2508,7 @@ Result<QueryResult> JitExecutor::ExecuteParallel(const OpPtr& plan,
                            RunMorselPipelines(plan, 0, 0, /*whole_plan=*/true, stats, nullptr));
   const OpPtr& top = plan->child(0);
   const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
-  return FinalizePlanPartials(*plan, nest, std::move(partials));
+  return FinalizePlanPartials(*plan, nest, std::move(partials), ctx_.trace);
 }
 
 Result<PlanPartials> JitExecutor::ExecutePartials(const OpPtr& plan, uint64_t morsel_begin,

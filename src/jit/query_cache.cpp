@@ -8,6 +8,7 @@
 #include "src/common/hash.h"
 #include "src/engine/interp.h"
 #include "src/jit/runtime.h"
+#include "src/obs/trace.h"
 #include "src/plugins/binary_plugins.h"
 
 namespace proteus {
@@ -179,10 +180,12 @@ CompiledQueryCache::CompiledQueryCache(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 Result<std::shared_ptr<const CompiledModule>> CompiledQueryCache::GetOrCompile(
-    const QueryCacheKey& key, const CompileFn& compile, bool* cache_hit) {
+    const QueryCacheKey& key, const CompileFn& compile, bool* cache_hit,
+    obs::TraceRecorder* trace) {
   if (cache_hit != nullptr) *cache_hit = false;
   std::unique_lock<std::mutex> lk(mu_);
   bool waited = false;
+  const double wait_start_us = trace != nullptr ? trace->NowUs() : 0;
   for (;;) {
     auto it = map_.find(key);
     if (it == map_.end()) break;  // miss: this thread compiles
@@ -191,6 +194,9 @@ Result<std::shared_ptr<const CompiledModule>> CompiledQueryCache::GetOrCompile(
       it->second.hits++;
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       if (cache_hit != nullptr) *cache_hit = true;
+      if (waited && trace != nullptr) {
+        trace->Emit("single_flight_wait", wait_start_us, trace->NowUs() - wait_start_us);
+      }
       return it->second.module;
     }
     // Another thread is compiling this key: single-flight — wait for it to
@@ -200,6 +206,11 @@ Result<std::shared_ptr<const CompiledModule>> CompiledQueryCache::GetOrCompile(
       stats_.single_flight_waits++;
     }
     cv_.wait(lk);
+  }
+  if (waited && trace != nullptr) {
+    // The waited-on compile failed and this thread fell through to its own
+    // compile; the wait still happened, so it still gets its span.
+    trace->Emit("single_flight_wait", wait_start_us, trace->NowUs() - wait_start_us);
   }
 
   stats_.misses++;

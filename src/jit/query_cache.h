@@ -50,6 +50,10 @@ namespace proteus {
 
 struct ExecContext;
 
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
 namespace jit {
 
 struct QueryRuntime;
@@ -225,9 +229,11 @@ class CompiledQueryCache {
   /// compilations are not cached — the error is returned to the compiling
   /// caller and to every waiter of that flight. `*cache_hit` reports whether
   /// this call was served without compiling (waiters count as hits).
-  Result<std::shared_ptr<const CompiledModule>> GetOrCompile(const QueryCacheKey& key,
-                                                             const CompileFn& compile,
-                                                             bool* cache_hit);
+  /// `trace` (nullable) records any single-flight block as a
+  /// "single_flight_wait" span.
+  Result<std::shared_ptr<const CompiledModule>> GetOrCompile(
+      const QueryCacheKey& key, const CompileFn& compile, bool* cache_hit,
+      obs::TraceRecorder* trace = nullptr);
 
   /// Non-blocking probe: returns `key`'s module when a ready entry exists
   /// (counted as a hit, LRU-touched), nullptr when the key is absent *or*

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/jit/jit_engine.h"
+#include "src/obs/trace.h"
 
 namespace proteus {
 namespace jit {
@@ -74,12 +75,19 @@ std::shared_ptr<CompileTicket> TieredCompiler::EnqueueCompile(const ExecContext&
     if (delay_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
     }
+    if (ctx.trace != nullptr) ctx.trace->LabelThisThread("background-compiler");
     const auto t0 = std::chrono::steady_clock::now();
     Result<std::shared_ptr<const CompiledModule>> r = [&] {
+      // The span must close before Fulfill below: waiters proceed the moment
+      // the ticket is fulfilled, and the query can snapshot its trace before
+      // this thread is scheduled again — a still-open span would be missing
+      // from the export.
+      OBS_SPAN(ctx.trace, "background_compile");
       if (ctx.jit_cache != nullptr) {
         bool hit = false;
         return ctx.jit_cache->GetOrCompile(
-            key, [&] { return CompilePlan(ctx, plan, key.mode, /*tier=*/1); }, &hit);
+            key, [&] { return CompilePlan(ctx, plan, key.mode, /*tier=*/1); }, &hit,
+            ctx.trace);
       }
       return CompilePlan(ctx, plan, key.mode, /*tier=*/1);
     }();
@@ -105,7 +113,13 @@ void TieredCompiler::EnqueuePromotion(const ExecContext& ctx, OpPtr plan) {
   std::lock_guard<std::mutex> lk(mu_);
   if (!tier2_inflight_.insert(ks).second) return;
   queue_.push_back([this, ctx, plan = std::move(plan), key, ks] {
-    auto r = CompilePlan(ctx, plan, key.mode, /*tier=*/2);
+    if (ctx.trace != nullptr) ctx.trace->LabelThisThread("background-compiler");
+    auto r = [&] {
+      // Same publish-before-visibility rule as the tier-1 job: the span
+      // closes before Promote makes the tier-2 module observable.
+      OBS_SPAN(ctx.trace, "background_promotion");
+      return CompilePlan(ctx, plan, key.mode, /*tier=*/2);
+    }();
     // A failed aggressive recompile is silent: the tier-1 module keeps
     // serving, exactly as before the promotion attempt.
     if (r.ok()) ctx.jit_cache->Promote(key, std::move(*r));
@@ -146,9 +160,14 @@ Result<PlanPartials> RunTiered(const ExecContext& ctx, const OpPtr& plan,
   const QueryCacheKey key = MakeQueryCacheKey(ctx, plan, CodegenMode::kMorsel);
 
   // Warm probe (non-blocking): a cached module means generated code serves
-  // from morsel 0 and the interpreter never enters.
-  std::shared_ptr<const CompiledModule> module =
-      ctx.jit_cache != nullptr ? ctx.jit_cache->TryGet(key) : nullptr;
+  // from morsel 0 and the interpreter never enters. (This path bypasses
+  // GetOrCompileModule, so it emits its own probe span.)
+  std::shared_ptr<const CompiledModule> module;
+  {
+    obs::TraceSpan probe(ctx.trace, "cache_probe");
+    module = ctx.jit_cache != nullptr ? ctx.jit_cache->TryGet(key) : nullptr;
+    probe.set_arg0("hit", module != nullptr ? 1 : 0);
+  }
 
   std::shared_ptr<CompileTicket> ticket;
   std::unique_ptr<InterpPartialSession> session;
@@ -216,7 +235,11 @@ Result<PlanPartials> RunTiered(const ExecContext& ctx, const OpPtr& plan,
       }
       chunk = std::min(chunk, budget);
     }
-    PROTEUS_RETURN_NOT_OK(session->RunChunk(next, next + chunk, &out));
+    {
+      OBS_SPAN(ctx.trace, "interp_chunk", "begin", static_cast<int64_t>(next), "morsels",
+               static_cast<int64_t>(chunk));
+      PROTEUS_RETURN_NOT_OK(session->RunChunk(next, next + chunk, &out));
+    }
     next += chunk;
     stats->morsels_interpreted += chunk;
     if (!first_done) {
@@ -230,6 +253,12 @@ Result<PlanPartials> RunTiered(const ExecContext& ctx, const OpPtr& plan,
   // global morsel order — so the fold cannot tell where the swap landed.
   if (module != nullptr && next < morsel_end) {
     stats->swap_ms = MsSince(t0);
+    // The hot-swap is a point in time, not a duration: generated code takes
+    // over at this morsel boundary.
+    if (ctx.trace != nullptr && stats->morsels_interpreted > 0) {
+      ctx.trace->Instant("hot_swap", "morsel", static_cast<int64_t>(next));
+    }
+    OBS_SPAN(ctx.trace, "jit_tail", "begin", static_cast<int64_t>(next));
     JitExecutor jit(ctx);
     PROTEUS_ASSIGN_OR_RETURN(PlanPartials tail,
                              jit.ExecutePartialsPrecompiled(plan, module, next, morsel_end));

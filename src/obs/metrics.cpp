@@ -1,0 +1,215 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace proteus {
+namespace obs {
+
+namespace {
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+void AtomicAddDouble(std::atomic<uint64_t>* cell, double delta) {
+  uint64_t old_bits = cell->load(std::memory_order_relaxed);
+  while (!cell->compare_exchange_weak(old_bits, DoubleToBits(BitsToDouble(old_bits) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+template <typename Better>
+void AtomicExtremum(std::atomic<uint64_t>* cell, double value, Better better) {
+  uint64_t old_bits = cell->load(std::memory_order_relaxed);
+  while (better(value, BitsToDouble(old_bits)) &&
+         !cell->compare_exchange_weak(old_bits, DoubleToBits(value),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void JsonEscape(std::ostream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default: out << c;
+    }
+  }
+}
+
+/// JSON has no inf/nan; empty-histogram extrema export as 0.
+double Finite(double d) { return std::isfinite(d) ? d : 0.0; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)),
+      buckets_(new std::atomic<uint64_t>[boundaries_.size() + 1]),
+      sum_bits_(DoubleToBits(0.0)),
+      min_bits_(DoubleToBits(std::numeric_limits<double>::infinity())),
+      max_bits_(DoubleToBits(-std::numeric_limits<double>::infinity())) {
+  for (size_t i = 0; i <= boundaries_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), value) - boundaries_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_bits_, value);
+  AtomicExtremum(&min_bits_, value, [](double a, double b) { return a < b; });
+  AtomicExtremum(&max_bits_, value, [](double a, double b) { return a > b; });
+}
+
+double Histogram::sum() const {
+  return BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::min() const {
+  return BitsToDouble(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  return BitsToDouble(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Percentile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based), then walk the cumulative
+  // counts to its bucket.
+  const double rank = q * static_cast<double>(n);
+  uint64_t cumulative = 0;
+  const size_t num_buckets = boundaries_.size() + 1;
+  for (size_t i = 0; i < num_buckets; ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The observed min/max bound the true range tighter than the fixed
+    // boundaries: the first populated bucket cannot start below min, the
+    // last cannot extend past max.
+    double lo = i == 0 ? min() : boundaries_[i - 1];
+    double hi = i == boundaries_.size() ? max() : boundaries_[i];
+    lo = std::max(lo, min());
+    hi = std::min(hi, max());
+    if (hi < lo) return lo;
+    const double frac =
+        (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return max();
+}
+
+const std::vector<double>& Histogram::LatencyBoundariesMs() {
+  static const std::vector<double> kBoundaries = {
+      0.05, 0.1, 0.25, 0.5, 1,   2.5,  5,    10,    25,   50,
+      100,  250, 500,  1000, 2500, 5000, 10000, 30000};
+  return kBoundaries;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& boundaries) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(boundaries);
+  return slot.get();
+}
+
+void MetricsRegistry::WriteText(std::ostream& out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) {
+    out << "# TYPE " << name << " counter\n" << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "# TYPE " << name << " gauge\n" << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "# TYPE " << name << " summary\n";
+    for (double q : {0.5, 0.95, 0.99}) {
+      out << name << "{quantile=\"" << q << "\"} " << h->Percentile(q) << "\n";
+    }
+    out << name << "_sum " << Finite(h->sum()) << "\n";
+    out << name << "_count " << h->count() << "\n";
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    JsonEscape(out, name);
+    out << "\":" << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    JsonEscape(out, name);
+    out << "\":" << g->value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    JsonEscape(out, name);
+    out << "\":{\"count\":" << h->count() << ",\"sum\":" << Finite(h->sum())
+        << ",\"min\":" << Finite(h->min()) << ",\"max\":" << Finite(h->max())
+        << ",\"p50\":" << h->Percentile(0.5) << ",\"p95\":" << h->Percentile(0.95)
+        << ",\"p99\":" << h->Percentile(0.99) << "}";
+  }
+  out << "}}";
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();  // intentionally leaked
+  return *g;
+}
+
+}  // namespace obs
+}  // namespace proteus

@@ -1,0 +1,129 @@
+// Process-wide engine metrics: counters, gauges, and fixed-boundary
+// histograms with percentile estimation, behind a registry handle.
+//
+// Where a trace (trace.h) answers "where did *this* query's time go", the
+// metrics registry answers the fleet question the ROADMAP's next items
+// (multi-query serving, scale-out) depend on: query latency p50/p95/p99,
+// compile cost, cache hit rates, morsel/steal counts, bytes exchanged —
+// accumulated across every execution of the process. `QueryEngine` feeds it
+// after each query when `EngineOptions::metrics` is set; the bench harness
+// snapshots it per variant into the BENCH_*.json trajectory.
+//
+// Concurrency: every instrument is a fixed set of atomics once created, so
+// recording is lock-free and wait-free; the registry mutex is only taken to
+// create/look up instruments (once per call site, cached by pointer) and to
+// enumerate for exposition. Disabled path: call sites hold a nullable
+// `MetricsRegistry*` and skip on null — same single-branch contract as
+// tracing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace proteus {
+namespace obs {
+
+/// Monotonically increasing count (queries executed, cache hits, ...).
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written point-in-time value (entries resident in the JIT cache, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-boundary histogram. Bucket i counts observations <= boundaries[i];
+/// one implicit overflow bucket counts the rest. Percentiles are estimated
+/// by linear interpolation inside the containing bucket, sharpened at the
+/// edges by the exact observed min/max — good enough to separate a 1 ms warm
+/// hit from a 50 ms cold compile, which is what the paper's cost story needs.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> boundaries);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double min() const;  ///< +inf when empty
+  double max() const;  ///< -inf when empty
+
+  /// Estimated value at quantile q in [0, 1]; 0 when empty.
+  double Percentile(double q) const;
+
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  /// Cumulative observation count through bucket i (tests).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Default latency boundaries (ms): 50us .. ~30s, roughly 2.5x steps.
+  static const std::vector<double>& LatencyBoundariesMs();
+
+ private:
+  const std::vector<double> boundaries_;
+  /// One atomic per boundary plus the overflow bucket.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_;  ///< double, CAS-accumulated
+  std::atomic<uint64_t> min_bits_;  ///< double, CAS-min
+  std::atomic<uint64_t> max_bits_;  ///< double, CAS-max
+};
+
+/// Named instrument registry. Instruments are created on first use and live
+/// for the registry's lifetime — returned pointers are stable and safe to
+/// cache at call sites. Names follow the prometheus convention
+/// (`proteus_queries_total`, `proteus_query_latency_ms`, ...).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// First creation fixes the boundaries; later calls with the same name
+  /// return the existing histogram regardless of `boundaries`.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& boundaries =
+                              Histogram::LatencyBoundariesMs());
+
+  /// Prometheus-style text exposition: `# TYPE` lines, one sample per
+  /// counter/gauge, quantile/sum/count lines per histogram.
+  void WriteText(std::ostream& out) const;
+  /// One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum, min, max, p50, p95, p99}}}. The bench reporter's
+  /// snapshot format.
+  void WriteJson(std::ostream& out) const;
+
+  /// The process-wide instance benches and long-lived engines share.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace proteus

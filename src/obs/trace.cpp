@@ -1,0 +1,277 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace proteus {
+namespace obs {
+
+namespace {
+
+/// Thread-local recorder→buffer cache. Validated by recorder id (process-
+/// unique, monotonically assigned), so a recorder reallocated at the same
+/// address can never revive a stale pointer.
+struct TlsSlot {
+  uint64_t rec_id = 0;
+  void* buf = nullptr;
+};
+thread_local TlsSlot t_slot;
+
+std::atomic<uint64_t>& RecorderIds() {
+  static std::atomic<uint64_t> ids{1};
+  return ids;
+}
+
+void JsonEscape(std::ostream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(*s) < 0x20) {
+          char hex[8];
+          snprintf(hex, sizeof(hex), "\\u%04x", *s);
+          out << hex;
+        } else {
+          out << *s;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Storage
+// ---------------------------------------------------------------------------
+
+struct TraceRecorder::Chunk {
+  static constexpr size_t kEvents = 512;
+  TraceEvent events[kEvents];
+};
+
+struct TraceRecorder::ThreadBuffer {
+  /// Hard cap per thread: a runaway span site degrades to counted drops
+  /// instead of unbounded memory growth.
+  static constexpr uint64_t kMaxEvents = 1 << 20;
+
+  uint32_t tid = 0;
+  std::thread::id owner;
+  std::string label;  ///< guarded by the recorder's mu_
+
+  /// Events [0, published) are fully written; the release store in Append
+  /// is what makes the slot contents visible to an acquiring reader.
+  std::atomic<uint64_t> published{0};
+  std::atomic<uint64_t> dropped{0};
+  uint64_t floor = 0;  ///< snapshot floor set by Clear(); guarded by mu_
+
+  mutable std::mutex chunks_mu;  ///< guards the chunk-pointer vector only
+  std::vector<std::unique_ptr<Chunk>> chunks;
+  Chunk* current = nullptr;  ///< owner-thread cache of chunks.back()
+
+  void Append(const TraceEvent& ev) {
+    const uint64_t i = published.load(std::memory_order_relaxed);
+    if (i >= kMaxEvents) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const size_t slot = static_cast<size_t>(i % Chunk::kEvents);
+    if (slot == 0) {
+      // Chunk boundary: grow under the lock so concurrent readers can walk
+      // the vector. Amortized to once per kEvents appends.
+      std::lock_guard<std::mutex> lk(chunks_mu);
+      chunks.push_back(std::make_unique<Chunk>());
+      current = chunks.back().get();
+    }
+    current->events[slot] = ev;
+    published.store(i + 1, std::memory_order_release);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder()
+    : id_(RecorderIds().fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  if (t_slot.rec_id == id_) return static_cast<ThreadBuffer*>(t_slot.buf);
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& b : buffers_) {
+    if (b->owner == self) {
+      t_slot = {id_, b.get()};
+      return b.get();
+    }
+  }
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buf = buffers_.back().get();
+  buf->tid = static_cast<uint32_t>(buffers_.size());
+  buf->owner = self;
+  t_slot = {id_, buf};
+  return buf;
+}
+
+void TraceRecorder::Emit(const char* name, double ts_us, double dur_us,
+                         const char* arg0_name, int64_t arg0, const char* arg1_name,
+                         int64_t arg1) {
+  ThreadBuffer* buf = BufferForThisThread();
+  TraceEvent ev;
+  ev.name = name;
+  ev.tid = buf->tid;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.arg0_name = arg0_name;
+  ev.arg0 = arg0;
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  buf->Append(ev);
+}
+
+void TraceRecorder::Instant(const char* name, const char* arg0_name, int64_t arg0,
+                            const char* arg1_name, int64_t arg1) {
+  Emit(name, NowUs(), /*dur_us=*/-1.0, arg0_name, arg0, arg1_name, arg1);
+}
+
+void TraceRecorder::LabelThisThread(const std::string& label) {
+  ThreadBuffer* buf = BufferForThisThread();
+  std::lock_guard<std::mutex> lk(mu_);
+  buf->label = label;
+}
+
+QueryTrace TraceRecorder::Snapshot() const {
+  QueryTrace out;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& b : buffers_) {
+    const uint64_t n = b->published.load(std::memory_order_acquire);
+    out.dropped += b->dropped.load(std::memory_order_relaxed);
+    if (!b->label.empty()) out.thread_names[b->tid] = b->label;
+    std::lock_guard<std::mutex> clk(b->chunks_mu);
+    for (uint64_t i = b->floor; i < n; ++i) {
+      out.events.push_back(
+          b->chunks[static_cast<size_t>(i / Chunk::kEvents)]
+              ->events[static_cast<size_t>(i % Chunk::kEvents)]);
+    }
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& b : buffers_) {
+    b->floor = b->published.load(std::memory_order_acquire);
+  }
+}
+
+uint64_t TraceRecorder::TotalEvents() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& b : buffers_) {
+    total += b->published.load(std::memory_order_acquire) - b->floor;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// QueryTrace
+// ---------------------------------------------------------------------------
+
+size_t QueryTrace::CountSpans(const std::string& name) const {
+  size_t n = 0;
+  for (const TraceEvent& ev : events) {
+    if (name == ev.name) ++n;
+  }
+  return n;
+}
+
+bool QueryTrace::HasSpan(const std::string& name) const { return CountSpans(name) > 0; }
+
+double QueryTrace::SumDurationMs(const std::string& name) const {
+  double us = 0;
+  for (const TraceEvent& ev : events) {
+    if (!ev.instant() && name == ev.name) us += ev.dur_us;
+  }
+  return us / 1000.0;
+}
+
+bool QueryTrace::TimeBounds(const std::string& name, double* min_ts_us,
+                            double* max_end_us) const {
+  bool found = false;
+  for (const TraceEvent& ev : events) {
+    if (name != ev.name) continue;
+    const double end = ev.instant() ? ev.ts_us : ev.ts_us + ev.dur_us;
+    if (!found) {
+      *min_ts_us = ev.ts_us;
+      *max_end_us = end;
+      found = true;
+    } else {
+      *min_ts_us = std::min(*min_ts_us, ev.ts_us);
+      *max_end_us = std::max(*max_end_us, end);
+    }
+  }
+  return found;
+}
+
+void QueryTrace::WriteJson(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  for (const auto& [tid, label] : thread_names) {
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"";
+    JsonEscape(out, label.c_str());
+    out << "\"}}";
+  }
+  for (const TraceEvent& ev : events) {
+    comma();
+    out << "{\"name\":\"";
+    JsonEscape(out, ev.name);
+    out << "\",\"ph\":\"" << (ev.instant() ? "i" : "X") << "\",\"pid\":1,\"tid\":" << ev.tid
+        << ",\"ts\":" << ev.ts_us;
+    if (ev.instant()) {
+      out << ",\"s\":\"t\"";
+    } else {
+      out << ",\"dur\":" << ev.dur_us;
+    }
+    if (ev.arg0_name != nullptr || ev.arg1_name != nullptr) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      auto arg = [&](const char* name, int64_t value) {
+        if (name == nullptr) return;
+        if (!first_arg) out << ",";
+        first_arg = false;
+        out << "\"";
+        JsonEscape(out, name);
+        out << "\":" << value;
+      };
+      arg(ev.arg0_name, ev.arg0);
+      arg(ev.arg1_name, ev.arg1);
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+}
+
+Status QueryTrace::WriteJsonFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IOError("trace: cannot open " + path + " for writing");
+  WriteJson(f);
+  f.flush();
+  if (!f) return Status::IOError("trace: write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace proteus

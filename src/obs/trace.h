@@ -1,0 +1,203 @@
+// Query tracing: per-thread span buffers with a Chrome-trace / Perfetto
+// JSON export.
+//
+// The paper's whole argument is a cost story — codegen (≤~50 ms) vs
+// execution, interpreter vs generated code, cold vs warm — and a flat
+// per-query telemetry struct cannot show *where inside* a query the time
+// went. The TraceRecorder can: every layer that has a timing story (the
+// optimizer, IR generation, compiled-query-cache probes, join builds,
+// per-morsel pipeline execution in both engines, the tiered background
+// compile and its hot-swap, shard slices and partial exchange) opens a
+// cheap RAII TraceSpan, and QueryTrace::WriteJson emits one file that
+// chrome://tracing or https://ui.perfetto.dev renders per thread: the
+// interpreter morsels, the overlapping background compile, and the swap
+// landing, per shard.
+//
+// Design constraints, in order:
+//   1. *Zero* cost when disabled. Every instrumentation site holds a
+//      TraceRecorder* that is null when EngineOptions::trace is off; the
+//      disabled path is a single pointer test (OBS_SPAN compiles to two
+//      branches around a steady_clock read — nothing else).
+//   2. Race-free under the engine's real concurrency (scheduler workers,
+//      shard threads, the tiered background compile thread — all exercised
+//      under TSan). Each thread appends to a buffer it owns, lock-free:
+//      events are written into chunked storage and *published* with a
+//      release store of the count; snapshotting threads acquire the count
+//      and read only published slots. Chunks are allocated (rarely) under a
+//      per-buffer mutex so readers can walk the chunk list safely while the
+//      owner keeps appending — which is exactly the situation when a
+//      background compile outlives the query being exported.
+//   3. No allocation per span on the hot path: names and argument keys are
+//      compile-time string literals; argument values are two int64 slots.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace proteus {
+namespace obs {
+
+/// One completed span or instant event. `name`, `arg0_name`, `arg1_name`
+/// must be string literals (static storage duration) — the buffer stores
+/// the pointers, never copies.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint32_t tid = 0;            ///< recorder-assigned stable thread id
+  double ts_us = 0;            ///< start, microseconds since recorder epoch
+  double dur_us = 0;           ///< span duration; < 0 marks an instant event
+  const char* arg0_name = nullptr;
+  int64_t arg0 = 0;
+  const char* arg1_name = nullptr;
+  int64_t arg1 = 0;
+
+  bool instant() const { return dur_us < 0; }
+};
+
+/// An exported snapshot of recorded events, safe to inspect and serialize
+/// long after the recorder moved on. WriteJson produces the Chrome
+/// trace-event array format (`{"traceEvents": [...]}`) that
+/// chrome://tracing and Perfetto load directly.
+struct QueryTrace {
+  std::vector<TraceEvent> events;
+  std::unordered_map<uint32_t, std::string> thread_names;
+  uint64_t dropped = 0;  ///< events lost to the per-thread buffer cap
+
+  /// Structural helpers (tests and smoke checks).
+  size_t CountSpans(const std::string& name) const;
+  bool HasSpan(const std::string& name) const;
+  /// Sum of span durations (ms) across every event named `name`.
+  double SumDurationMs(const std::string& name) const;
+  /// Earliest start / latest end (us since epoch) among events named
+  /// `name`; returns false when none exist.
+  bool TimeBounds(const std::string& name, double* min_ts_us, double* max_end_us) const;
+
+  void WriteJson(std::ostream& out) const;
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+/// The recorder. One per QueryEngine (created when EngineOptions::trace is
+/// set); instrumentation sites receive it as a nullable pointer through
+/// ExecContext. Thread buffers register lazily on first use and live for
+/// the recorder's lifetime, so scheduler pool threads pay the registration
+/// mutex once, not per query.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since the recorder's construction (the trace epoch).
+  double NowUs() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                     epoch_)
+        .count();
+  }
+
+  /// Records a completed span. Lock-free on the owning thread's buffer
+  /// (the rare chunk growth takes a per-buffer mutex).
+  void Emit(const char* name, double ts_us, double dur_us, const char* arg0_name = nullptr,
+            int64_t arg0 = 0, const char* arg1_name = nullptr, int64_t arg1 = 0);
+
+  /// Records an instant event (a point in time — e.g. the tiered hot-swap).
+  void Instant(const char* name, const char* arg0_name = nullptr, int64_t arg0 = 0,
+               const char* arg1_name = nullptr, int64_t arg1 = 0);
+
+  /// Names the calling thread's track in the exported trace (e.g.
+  /// "shard-1", "background-compiler"). Rare-path: takes the registry lock.
+  void LabelThisThread(const std::string& label);
+
+  /// Copies every event published since the last Clear(). Safe to call
+  /// while other threads (e.g. an outlived background compile) are still
+  /// appending: only slots published with release semantics are read.
+  QueryTrace Snapshot() const;
+
+  /// Logically discards everything recorded so far (per-query reset). The
+  /// storage is retained and writers are never blocked: the current
+  /// published counts simply become the new snapshot floor. An event
+  /// published *after* Clear by a straggler thread (a compile outliving its
+  /// query) lands in the next snapshot — intentionally: it shows the
+  /// compile landing.
+  void Clear();
+
+  /// Published (undiscarded) events across all threads — cheap, for tests.
+  uint64_t TotalEvents() const;
+
+ private:
+  struct Chunk;
+  struct ThreadBuffer;
+
+  ThreadBuffer* BufferForThisThread();
+
+  const uint64_t id_;  ///< process-unique, validates thread-local caches
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  ///< guards buffers_ registration, labels, snapshot floors
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: records [construction, destruction) on the recorder, or does
+/// nothing at all when `rec` is null — the single-branch disabled path.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* rec, const char* name, const char* arg0_name = nullptr,
+            int64_t arg0 = 0, const char* arg1_name = nullptr, int64_t arg1 = 0)
+      : rec_(rec),
+        name_(name),
+        arg0_name_(arg0_name),
+        arg0_(arg0),
+        arg1_name_(arg1_name),
+        arg1_(arg1) {
+    if (rec_ != nullptr) start_us_ = rec_->NowUs();
+  }
+
+  ~TraceSpan() {
+    if (rec_ != nullptr) {
+      rec_->Emit(name_, start_us_, rec_->NowUs() - start_us_, arg0_name_, arg0_,
+                 arg1_name_, arg1_);
+    }
+  }
+
+  /// Updates an argument before the span closes (e.g. a cache probe's
+  /// hit/miss outcome, known only at the end).
+  void set_arg0(const char* name, int64_t value) {
+    arg0_name_ = name;
+    arg0_ = value;
+  }
+  void set_arg1(const char* name, int64_t value) {
+    arg1_name_ = name;
+    arg1_ = value;
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* rec_;
+  const char* name_;
+  double start_us_ = 0;
+  const char* arg0_name_;
+  int64_t arg0_;
+  const char* arg1_name_;
+  int64_t arg1_;
+};
+
+#define PROTEUS_OBS_CONCAT_INNER(a, b) a##b
+#define PROTEUS_OBS_CONCAT(a, b) PROTEUS_OBS_CONCAT_INNER(a, b)
+/// Opens a scoped span on `rec` (nullable): OBS_SPAN(rec, "join_build",
+/// "rows", n). Name and argument keys must be string literals.
+#define OBS_SPAN(rec, ...) \
+  ::proteus::obs::TraceSpan PROTEUS_OBS_CONCAT(_obs_span_, __LINE__)(rec, __VA_ARGS__)
+
+}  // namespace obs
+}  // namespace proteus

@@ -6,6 +6,7 @@
 
 #include "src/common/counters.h"
 #include "src/jit/query_cache.h"
+#include "src/obs/trace.h"
 #include "src/shard/executor.h"
 #include "src/shard/partial_result.h"
 
@@ -51,6 +52,8 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
   std::vector<char> shard_tiered(slices.size(), 0);
   std::vector<int> shard_tier(slices.size(), 0);
   std::vector<jit::TieredRunStats> shard_tiered_stats(slices.size());
+  std::vector<uint64_t> shard_steals(slices.size(), 0);
+  std::vector<uint64_t> shard_dealt(slices.size(), 0);
   ExecCounters shard_counters;
   std::mutex counters_mu;
   int threads_per_shard = 1;
@@ -66,6 +69,8 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
         shard_jit[i] = executor.jit_ran() ? 1 : 0;
         shard_tiered[i] = executor.tiered_ran() ? 1 : 0;
         shard_tier[i] = executor.served_tier();
+        shard_steals[i] = executor.steals();
+        shard_dealt[i] = executor.tasks_dealt();
         if (executor.tiered_ran()) shard_tiered_stats[i] = executor.tiered_stats();
         ExecCounters delta = GlobalCounters().Since(before);
         std::lock_guard<std::mutex> lk(counters_mu);
@@ -85,6 +90,7 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
   const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
   PlanPartials all;
   all.nest = nest != nullptr;
+  const double collect_start_us = base_.trace != nullptr ? base_.trace->NowUs() : 0;
   for (size_t i = 0; i < slices.size(); ++i) {
     PROTEUS_ASSIGN_OR_RETURN(std::string bytes, transport->Collect(static_cast<int>(i)));
     PROTEUS_ASSIGN_OR_RETURN(PartialResult partial, PartialResult::Deserialize(bytes));
@@ -131,6 +137,11 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
     }
     all.Append(std::move(partial.partials));
   }
+  if (base_.trace != nullptr) {
+    base_.trace->Emit("exchange_collect", collect_start_us,
+                      base_.trace->NowUs() - collect_start_us, "shards",
+                      static_cast<int64_t>(slices.size()));
+  }
 
   stats->shards_used = static_cast<int>(slices.size());
   stats->bytes_exchanged = transport->bytes_exchanged();
@@ -139,6 +150,8 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
   stats->jit_shards = 0;
   for (char j : shard_jit) stats->jit_shards += j;
   for (size_t i = 0; i < slices.size(); ++i) {
+    stats->steals += shard_steals[i];
+    stats->tasks_dealt += shard_dealt[i];
     stats->compile_tier = std::max(stats->compile_tier, shard_tier[i]);
     if (shard_tiered[i] == 0) continue;
     const jit::TieredRunStats& ts = shard_tiered_stats[i];
@@ -154,7 +167,7 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
     stats->jit_cache_hits = after.hits - cache_before.hits;
     stats->jit_compile_ms = after.compile_ms_total - cache_before.compile_ms_total;
   }
-  return FinalizePlanPartials(*plan, nest, std::move(all));
+  return FinalizePlanPartials(*plan, nest, std::move(all), base_.trace);
 }
 
 }  // namespace proteus

@@ -48,6 +48,10 @@ struct ShardExecStats {
   int compile_tier = 0;
   double swap_ms = 0;
   double first_morsel_ms = 0;
+  /// Work-stealing counters summed over every shard's private morsel pool
+  /// (each ShardExecutor owns its scheduler, so these are per-run numbers).
+  uint64_t tasks_dealt = 0;
+  uint64_t steals = 0;
 };
 
 class ShardCoordinator {

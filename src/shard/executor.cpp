@@ -1,6 +1,7 @@
 #include "src/shard/executor.h"
 
 #include "src/jit/jit_engine.h"
+#include "src/obs/trace.h"
 #include "src/shard/partial_result.h"
 
 namespace proteus {
@@ -16,6 +17,13 @@ ShardExecutor::ShardExecutor(int shard_id, const ExecContext& base, int num_thre
 }
 
 Status ShardExecutor::Run(const ShardTask& task, ShardTransport* transport) {
+  // The coordinator runs each executor on its own thread, so the label
+  // becomes the shard's track in the exported trace.
+  if (ctx_.trace != nullptr) {
+    ctx_.trace->LabelThisThread("shard-" + std::to_string(shard_id_));
+  }
+  OBS_SPAN(ctx_.trace, "shard_slice", "shard", shard_id_, "morsels",
+           static_cast<int64_t>(task.morsel_end - task.morsel_begin));
   PlanPartials partials;
   jit_ran_ = false;
   tiered_ran_ = false;
@@ -60,7 +68,10 @@ Status ShardExecutor::Run(const ShardTask& task, ShardTransport* transport) {
         partials, interp.ExecutePartials(task.plan, task.morsel_begin, task.morsel_end));
     morsels_run_ = interp.exec_stats().morsels;
   }
-  return transport->Send(shard_id_, PartialResult::FromPartials(std::move(partials)).Serialize());
+  std::string bytes = PartialResult::FromPartials(std::move(partials)).Serialize();
+  OBS_SPAN(ctx_.trace, "exchange_send", "shard", shard_id_, "bytes",
+           static_cast<int64_t>(bytes.size()));
+  return transport->Send(shard_id_, std::move(bytes));
 }
 
 }  // namespace proteus

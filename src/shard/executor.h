@@ -62,6 +62,10 @@ class ShardExecutor {
   /// 0 when the interpreter ran it all, 1 or 2 otherwise (a background
   /// promotion can serve tier 2 to a plain warm shard run too).
   int served_tier() const { return served_tier_; }
+  /// Work-stealing counters of this shard's private morsel pool (lifetime of
+  /// the executor — which is one Run, so they are per-slice numbers).
+  uint64_t steals() const { return scheduler_.total_steals(); }
+  uint64_t tasks_dealt() const { return scheduler_.total_dealt(); }
 
  private:
   int shard_id_;
