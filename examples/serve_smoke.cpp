@@ -1,0 +1,158 @@
+// Server smoke test: one QueryServer over one shared engine, N concurrent
+// clients each running the same query mix over TCP. Exits non-zero if any
+// client sees an error, any result diverges from the single-threaded
+// baseline, or the metrics registry disagrees with what the clients did
+// (proteus_queries_total < N * kQueriesPerClient, or a non-zero error
+// count). CI runs this as the Release serving gate.
+#include <atomic>
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/query_engine.h"
+#include "src/datagen/tpch.h"
+#include "src/obs/metrics.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/storage/bincol_format.h"
+
+using namespace proteus;
+
+namespace {
+
+constexpr int kClients = 8;
+
+const char* kQueries[] = {
+    "SELECT count(*) FROM lineitem WHERE l_quantity < 25.0",
+    "SELECT sum(l_extendedprice) FROM lineitem WHERE l_discount < 0.05",
+    "SELECT l_shipmode, count(*) AS c, sum(l_quantity) AS q FROM lineitem "
+    "GROUP BY l_shipmode",
+    "SELECT max(l_extendedprice) FROM lineitem WHERE l_tax > 0.02",
+};
+constexpr int kQueriesPerClient = static_cast<int>(std::size(kQueries));
+
+bool Identical(const QueryResult& a, const QueryResult& b) {
+  if (a.columns != b.columns || a.rows.size() != b.rows.size()) return false;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      if (!a.rows[r][c].Equals(b.rows[r][c])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  RowTable lineitem = datagen::GenLineitem(5000);
+  Status s = WriteBinaryColumnDir("/tmp/serve_smoke_lineitem.bincol", lineitem);
+  if (!s.ok()) {
+    fprintf(stderr, "datagen: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  DatasetInfo decl{.name = "lineitem",
+                   .format = DataFormat::kBinaryColumn,
+                   .path = "/tmp/serve_smoke_lineitem.bincol",
+                   .type = datagen::LineitemSchema()};
+
+  // Single-threaded baseline engine: the ground truth for every cell.
+  EngineOptions baseline_opts;
+  baseline_opts.num_threads = 1;
+  QueryEngine baseline(baseline_opts);
+  if (!(s = baseline.RegisterDataset(decl)).ok()) {
+    fprintf(stderr, "baseline register: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::vector<QueryResult> expect;
+  for (const char* q : kQueries) {
+    auto r = baseline.Execute(q);
+    if (!r.ok()) {
+      fprintf(stderr, "baseline %s: %s\n", q, r.status().ToString().c_str());
+      return 1;
+    }
+    expect.push_back(*std::move(r));
+  }
+
+  obs::MetricsRegistry metrics;
+  EngineOptions opts;
+  opts.metrics = &metrics;
+  QueryEngine engine(opts);
+  if (!(s = engine.RegisterDataset(decl)).ok()) {
+    fprintf(stderr, "register: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  serve::ServerOptions sopts;
+  sopts.admission.max_inflight = 4;
+  sopts.admission.queue_depth = 2 * kClients * kQueriesPerClient;
+  serve::QueryServer server(&engine, sopts);
+  if (!(s = server.Start()).ok()) {
+    fprintf(stderr, "server start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = serve::ServeClient::Connect(server.port());
+      if (!client.ok()) {
+        fprintf(stderr, "client %d connect: %s\n", c,
+                client.status().ToString().c_str());
+        failures.fetch_add(1);
+        return;
+      }
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        auto resp = client->Execute(kQueries[q]);
+        if (!resp.ok() || resp->type != serve::FrameType::kResult) {
+          fprintf(stderr, "client %d query %d: %s\n", c, q,
+                  resp.ok() ? resp->error.ToString().c_str()
+                            : resp.status().ToString().c_str());
+          failures.fetch_add(1);
+          return;
+        }
+        if (!Identical(resp->result, expect[q])) {
+          fprintf(stderr, "client %d query %d: result diverges from baseline\n",
+                  c, q);
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Stop();
+
+  const int64_t total =
+      static_cast<int64_t>(metrics.GetCounter("proteus_queries_total")->value());
+  const int64_t errors = static_cast<int64_t>(
+      metrics.GetCounter("proteus_query_errors_total")->value());
+  const int64_t inflight = metrics.GetGauge("proteus_queries_inflight")->value();
+  printf("serve smoke: %d clients x %d queries, queries_total=%lld errors=%lld "
+         "inflight=%lld admitted=%llu rejected=%llu\n",
+         kClients, kQueriesPerClient, static_cast<long long>(total),
+         static_cast<long long>(errors), static_cast<long long>(inflight),
+         static_cast<unsigned long long>(server.admission().admitted()),
+         static_cast<unsigned long long>(server.admission().rejected()));
+  if (failures.load() != 0) return 1;
+  if (total < kClients * kQueriesPerClient) {
+    fprintf(stderr, "queries_total %lld < expected %d\n",
+            static_cast<long long>(total), kClients * kQueriesPerClient);
+    return 1;
+  }
+  if (errors != 0) {
+    fprintf(stderr, "expected zero errors, saw %lld\n",
+            static_cast<long long>(errors));
+    return 1;
+  }
+  if (inflight != 0) {
+    fprintf(stderr, "inflight gauge should settle at 0, saw %lld\n",
+            static_cast<long long>(inflight));
+    return 1;
+  }
+  printf("serve smoke: OK\n");
+  return 0;
+}

@@ -22,22 +22,28 @@ Status Catalog::Register(DatasetInfo info) {
     return Status::InvalidArgument("dataset '" + info.name +
                                    "' type must be a collection of records");
   }
-  if (datasets_.count(info.name)) {
-    return Status::AlreadyExists("dataset '" + info.name + "' already registered");
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (datasets_.count(info.name)) {
+      return Status::AlreadyExists("dataset '" + info.name + "' already registered");
+    }
+    datasets_.emplace(info.name, std::move(info));
   }
-  datasets_.emplace(info.name, std::move(info));
   BumpEpoch();
   return Status::OK();
 }
 
 Result<const DatasetInfo*> Catalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) return Status::NotFound("unknown dataset '" + name + "'");
+  // Map nodes are never erased, so the pointer outlives the lock.
   return &it->second;
 }
 
 std::vector<std::string> Catalog::ListDatasets() const {
   std::vector<std::string> names;
+  std::lock_guard<std::mutex> lk(mu_);
   names.reserve(datasets_.size());
   for (const auto& [k, v] : datasets_) names.push_back(k);
   std::sort(names.begin(), names.end());

@@ -6,8 +6,10 @@
 // paper §5.2 "Enabling Cost-based Optimizations").
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,26 +64,52 @@ struct DatasetStats {
   std::map<std::string, ColumnStats> columns;  ///< keyed by dotted field path
 };
 
-/// Metadata store: statistics per data source (paper §5.2). Thread-compatible
-/// (the evaluation is single-threaded, as in the paper).
+/// Metadata store: statistics per data source (paper §5.2). Thread-safe:
+/// with concurrent queries on one engine, one query's optimizer can read a
+/// dataset's stats while another query's cold scan is publishing them.
+/// Writers build a complete DatasetStats locally and Publish() it in one
+/// step; readers get an immutable shared snapshot that stays valid even if
+/// the entry is invalidated or republished underneath them.
 class StatsStore {
  public:
-  DatasetStats& GetOrCreate(const std::string& dataset) { return stats_[dataset]; }
-  const DatasetStats* Find(const std::string& dataset) const {
-    auto it = stats_.find(dataset);
-    return it == stats_.end() ? nullptr : &it->second;
+  /// Atomically installs a fully-built statistics object for `dataset`,
+  /// replacing any previous one.
+  void Publish(const std::string& dataset, DatasetStats stats) {
+    auto sp = std::make_shared<const DatasetStats>(std::move(stats));
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_[dataset] = std::move(sp);
   }
-  void Invalidate(const std::string& dataset) { stats_.erase(dataset); }
+
+  /// Immutable snapshot (null when absent).
+  std::shared_ptr<const DatasetStats> Find(const std::string& dataset) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = stats_.find(dataset);
+    return it == stats_.end() ? nullptr : it->second;
+  }
+
+  void Invalidate(const std::string& dataset) {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.erase(dataset);
+  }
 
  private:
-  std::unordered_map<std::string, DatasetStats> stats_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const DatasetStats>> stats_;
 };
 
+/// Dataset registry. Thread-safe for the serving workload: registrations
+/// are expected at setup time, but lookups may race a late registration.
+/// Entries are never erased (InvalidateDataset drops plug-ins/stats/caches,
+/// not the registration), so the DatasetInfo pointers Get() hands out stay
+/// valid for the catalog's lifetime.
 class Catalog {
  public:
   Status Register(DatasetInfo info);
   Result<const DatasetInfo*> Get(const std::string& name) const;
-  bool Contains(const std::string& name) const { return datasets_.count(name) > 0; }
+  bool Contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return datasets_.count(name) > 0;
+  }
   std::vector<std::string> ListDatasets() const;
 
   StatsStore& stats() { return stats_; }
@@ -92,13 +120,14 @@ class Catalog {
   /// JSON path hashes) into generated code, so any registration or dataset
   /// invalidation must retire previously compiled modules. Bumped by
   /// Register() and by QueryEngine::InvalidateDataset via BumpEpoch().
-  uint64_t epoch() const { return epoch_; }
-  void BumpEpoch() { ++epoch_; }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
  private:
+  mutable std::mutex mu_;  ///< guards datasets_
   std::unordered_map<std::string, DatasetInfo> datasets_;
   StatsStore stats_;
-  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace proteus

@@ -23,6 +23,7 @@ enum class StatusCode {
   kIOError,
   kParseError,
   kTypeError,
+  kCancelled,
 };
 
 /// A success-or-error outcome carrying a code and a human-readable message.
@@ -41,6 +42,7 @@ class Status {
   static Status IOError(std::string m) { return {StatusCode::kIOError, std::move(m)}; }
   static Status ParseError(std::string m) { return {StatusCode::kParseError, std::move(m)}; }
   static Status TypeError(std::string m) { return {StatusCode::kTypeError, std::move(m)}; }
+  static Status Cancelled(std::string m) { return {StatusCode::kCancelled, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -63,6 +65,7 @@ class Status {
       case StatusCode::kIOError: return "IOError";
       case StatusCode::kParseError: return "ParseError";
       case StatusCode::kTypeError: return "TypeError";
+      case StatusCode::kCancelled: return "Cancelled";
     }
     return "Unknown";
   }

@@ -6,10 +6,22 @@
 namespace proteus {
 
 namespace {
-/// True while the current thread is executing tasks of some batch; nested
-/// ParallelFor calls detect this and run inline instead of deadlocking.
-thread_local bool t_in_batch = false;
+/// Attribution target installed by StatsScope (null = unattributed).
+thread_local TaskScheduler::BatchStats* t_batch_stats = nullptr;
 }  // namespace
+
+/// The batch whose task the current thread is executing (null = none).
+/// Nested ParallelFor calls detect this and run inline instead of
+/// deadlocking — and credit their dealt count to this batch, so per-query
+/// attribution stays exact even when a task body fans out again on a pool
+/// worker thread (where the submitting query's StatsScope is not installed).
+thread_local TaskScheduler::Batch* t_cur_batch = nullptr;
+
+TaskScheduler::StatsScope::StatsScope(BatchStats* stats) : prev_(t_batch_stats) {
+  t_batch_stats = stats;
+}
+
+TaskScheduler::StatsScope::~StatsScope() { t_batch_stats = prev_; }
 
 struct TaskScheduler::Batch {
   explicit Batch(int workers) : queues(workers), queue_mus(workers) {}
@@ -21,14 +33,21 @@ struct TaskScheduler::Batch {
   std::atomic<uint64_t> unfinished{0};  ///< tasks not yet completed
   std::atomic<bool> cancelled{false};
   std::atomic<uint64_t> steals{0};
+  /// Tasks dealt by nested ParallelFor calls made from inside this batch's
+  /// task bodies on pool worker threads. Folded into the submitter's
+  /// StatsScope when the batch completes.
+  std::atomic<uint64_t> nested_dealt{0};
 
+  /// Guards error/error_task and pool_counters. Pool workers fold their
+  /// per-task counter delta here BEFORE decrementing `unfinished`, so the
+  /// caller's acquire-load of unfinished == 0 plus taking this mutex sees
+  /// every fold.
   std::mutex err_mu;
   Status error = Status::OK();
   uint64_t error_task = UINT64_MAX;  // lowest failing index wins
 
   std::mutex done_mu;
   std::condition_variable done_cv;
-  std::atomic<int> active_workers{0};  ///< pool workers still inside RunBatch
 
   ExecCounters pool_counters;  ///< folded from pool workers (under err_mu)
 };
@@ -54,94 +73,118 @@ TaskScheduler::~TaskScheduler() {
 }
 
 void TaskScheduler::WorkerLoop(int worker_id) {
-  uint64_t seen_seq = 0;
+  uint64_t seen_epoch = 0;
+  size_t rr = 0;  // rotates which active batch this worker visits first
   while (true) {
-    std::shared_ptr<Batch> batch;
+    std::vector<std::shared_ptr<Batch>> batches;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] { return stop_ || (batch_ != nullptr && batch_seq_ != seen_seq); });
+      work_cv_.wait(lk, [&] { return stop_ || work_epoch_ != seen_epoch; });
       if (stop_) return;
-      batch = batch_;
-      seen_seq = batch_seq_;
+      seen_epoch = work_epoch_;
+      batches = active_;
     }
-    batch->active_workers.fetch_add(1, std::memory_order_relaxed);
-    // Pool workers account their counters into the batch; the caller folds
-    // them into its own thread-local counters when the batch completes.
-    ExecCounters& local = GlobalCounters();
-    ExecCounters before = local;
-    t_in_batch = true;
-    RunBatch(batch.get(), worker_id);
-    t_in_batch = false;
-    ExecCounters delta = local.Since(before);
-    {
-      std::lock_guard<std::mutex> lk(batch->err_mu);
-      batch->pool_counters += delta;
-    }
-    if (batch->active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
-        batch->unfinished.load(std::memory_order_acquire) == 0) {
-      std::lock_guard<std::mutex> lk(batch->done_mu);  // pairs with the waiter
-      batch->done_cv.notify_one();
+    // Sweep all active batches, claiming ONE task per batch per visit —
+    // morsels of concurrent queries interleave instead of running one
+    // query's whole batch to completion first.
+    bool any = true;
+    while (any && !batches.empty()) {
+      any = false;
+      for (size_t k = 0; k < batches.size(); ++k) {
+        Batch* b = batches[(rr + k) % batches.size()].get();
+        if (TryRunOne(b, worker_id, /*fold_counters=*/true)) any = true;
+      }
+      ++rr;
+      {
+        // Refresh so batches submitted mid-sweep join it and completed ones
+        // drop out; also re-arm the epoch so the outer wait doesn't miss a
+        // submission that raced with this refresh.
+        std::lock_guard<std::mutex> lk(mu_);
+        seen_epoch = work_epoch_;
+        batches = active_;
+        if (stop_) return;
+      }
     }
   }
 }
 
-void TaskScheduler::RunBatch(Batch* batch, int worker_id) {
+bool TaskScheduler::TryRunOne(Batch* batch, int worker_id, bool fold_counters) {
+  if (batch->unfinished.load(std::memory_order_acquire) == 0) return false;
   const int n = static_cast<int>(batch->queues.size());
-  while (batch->unfinished.load(std::memory_order_acquire) > 0) {
-    uint64_t task = UINT64_MAX;
-    bool stolen = false;
-    {
-      std::lock_guard<std::mutex> lk(batch->queue_mus[worker_id]);
-      if (!batch->queues[worker_id].empty()) {
-        task = batch->queues[worker_id].front();
-        batch->queues[worker_id].pop_front();
-      }
-    }
-    if (task == UINT64_MAX) {
-      // Steal from the back of the first non-empty victim deque.
-      for (int k = 1; k < n && task == UINT64_MAX; ++k) {
-        int victim = (worker_id + k) % n;
-        std::lock_guard<std::mutex> lk(batch->queue_mus[victim]);
-        if (!batch->queues[victim].empty()) {
-          task = batch->queues[victim].back();
-          batch->queues[victim].pop_back();
-          stolen = true;
-        }
-      }
-    }
-    if (task == UINT64_MAX) return;  // fully drained (some tasks may still run elsewhere)
-    if (stolen) batch->steals.fetch_add(1, std::memory_order_relaxed);
-    if (!batch->cancelled.load(std::memory_order_acquire)) {
-      Status s = (*batch->body)(task, worker_id);
-      if (!s.ok()) {
-        batch->cancelled.store(true, std::memory_order_release);
-        std::lock_guard<std::mutex> lk(batch->err_mu);
-        if (task < batch->error_task) {
-          batch->error_task = task;
-          batch->error = s;
-        }
-      }
-    }
-    if (batch->unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lk(batch->done_mu);  // pairs with the waiter
-      batch->done_cv.notify_one();
+  uint64_t task = UINT64_MAX;
+  bool stolen = false;
+  {
+    std::lock_guard<std::mutex> lk(batch->queue_mus[worker_id]);
+    if (!batch->queues[worker_id].empty()) {
+      task = batch->queues[worker_id].front();
+      batch->queues[worker_id].pop_front();
     }
   }
+  if (task == UINT64_MAX) {
+    // Steal from the back of the first non-empty victim deque.
+    for (int k = 1; k < n && task == UINT64_MAX; ++k) {
+      int victim = (worker_id + k) % n;
+      std::lock_guard<std::mutex> lk(batch->queue_mus[victim]);
+      if (!batch->queues[victim].empty()) {
+        task = batch->queues[victim].back();
+        batch->queues[victim].pop_back();
+        stolen = true;
+      }
+    }
+  }
+  if (task == UINT64_MAX) return false;
+  if (stolen) batch->steals.fetch_add(1, std::memory_order_relaxed);
+
+  ExecCounters& local = GlobalCounters();
+  ExecCounters before = local;
+  if (!batch->cancelled.load(std::memory_order_acquire)) {
+    Batch* const was_batch = t_cur_batch;
+    t_cur_batch = batch;
+    Status s = (*batch->body)(task, worker_id);
+    t_cur_batch = was_batch;
+    if (!s.ok()) {
+      batch->cancelled.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lk(batch->err_mu);
+      if (task < batch->error_task) {
+        batch->error_task = task;
+        batch->error = s;
+      }
+    }
+  }
+  if (fold_counters) {
+    ExecCounters delta = local.Since(before);
+    std::lock_guard<std::mutex> lk(batch->err_mu);
+    batch->pool_counters += delta;
+  }
+  if (batch->unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(batch->done_mu);  // pairs with the waiter
+    batch->done_cv.notify_all();
+  }
+  return true;
 }
 
 Status TaskScheduler::ParallelFor(uint64_t num_tasks,
                                   const std::function<Status(uint64_t, int)>& body) {
   if (num_tasks == 0) return Status::OK();
   total_dealt_.fetch_add(num_tasks, std::memory_order_relaxed);
-  if (t_in_batch || num_threads_ == 1) {
+  if (t_cur_batch != nullptr || num_threads_ == 1) {
     // Inline path: nested call from inside a task, or a single-worker pool.
+    // Nothing can be stolen here, so only `dealt` is attributed — to this
+    // thread's scope when one is installed (the submitting caller), else to
+    // the enclosing batch, whose submitter folds it in on completion (a pool
+    // worker fanning out inside another query's task body).
+    if (t_batch_stats != nullptr) {
+      t_batch_stats->dealt += num_tasks;
+    } else if (t_cur_batch != nullptr) {
+      t_cur_batch->nested_dealt.fetch_add(num_tasks, std::memory_order_relaxed);
+    }
     for (uint64_t t = 0; t < num_tasks; ++t) {
       PROTEUS_RETURN_NOT_OK(body(t, 0));
     }
     return Status::OK();
   }
+  if (t_batch_stats != nullptr) t_batch_stats->dealt += num_tasks;
 
-  std::lock_guard<std::mutex> submit_lk(submit_mu_);
   auto batch = std::make_shared<Batch>(num_threads_);
   batch->body = &body;
   batch->unfinished.store(num_tasks, std::memory_order_relaxed);
@@ -152,35 +195,45 @@ Status TaskScheduler::ParallelFor(uint64_t num_tasks,
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
-    batch_ = batch;
-    ++batch_seq_;
+    active_.push_back(batch);
+    ++work_epoch_;
   }
   work_cv_.notify_all();
 
-  // The caller participates as worker 0.
-  t_in_batch = true;
-  RunBatch(batch.get(), 0);
-  t_in_batch = false;
+  // The caller participates as worker 0 — of ITS OWN batch only. It never
+  // takes tasks of a concurrent caller's batch, so one query's latency is
+  // not inflated by executing another query's morsels on its thread.
+  while (TryRunOne(batch.get(), 0, /*fold_counters=*/false)) {
+  }
 
   {
     std::unique_lock<std::mutex> lk(batch->done_mu);
-    batch->done_cv.wait(lk, [&] {
-      return batch->unfinished.load(std::memory_order_acquire) == 0 &&
-             batch->active_workers.load(std::memory_order_acquire) == 0;
-    });
+    batch->done_cv.wait(
+        lk, [&] { return batch->unfinished.load(std::memory_order_acquire) == 0; });
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
-    batch_ = nullptr;
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+      if (it->get() == batch.get()) {
+        active_.erase(it);
+        break;
+      }
+    }
   }
   {
-    // err_mu also guards pool_counters; a late-waking worker may still fold
-    // in its (necessarily empty) delta after the done-wait released us.
+    // err_mu also guards pool_counters; every fold happened before the
+    // unfinished count hit zero, so this read sees all of them.
     std::lock_guard<std::mutex> lk(batch->err_mu);
     GlobalCounters() += batch->pool_counters;
   }
-  total_steals_.fetch_add(batch->steals.load(std::memory_order_relaxed),
-                          std::memory_order_relaxed);
+  const uint64_t batch_steals = batch->steals.load(std::memory_order_relaxed);
+  total_steals_.fetch_add(batch_steals, std::memory_order_relaxed);
+  if (t_batch_stats != nullptr) {
+    t_batch_stats->steals += batch_steals;
+    // Claim the fan-outs this batch's task bodies made on pool workers: they
+    // belong to this query but ran where its scope was not installed.
+    t_batch_stats->dealt += batch->nested_dealt.load(std::memory_order_relaxed);
+  }
   return batch->error;
 }
 

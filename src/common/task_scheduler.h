@@ -2,15 +2,24 @@
 // (Leis et al., "Morsel-Driven Parallelism", adapted to this engine).
 //
 // A fixed pool of worker threads executes batches of index-addressed tasks
-// ("morsels"). Each worker owns a deque; a batch deals task indices
-// round-robin across the deques, workers pop from the front of their own
-// deque and steal from the back of a victim's when theirs runs dry. The
-// calling thread participates as worker 0, so `num_threads == 1` degenerates
-// to inline serial execution with no cross-thread traffic at all.
+// ("morsels"). Each batch deals task indices round-robin across per-worker
+// deques; workers pop from the front of their home deque and steal from the
+// back of a victim's when theirs runs dry. The calling thread participates
+// as worker 0 of its own batch, so `num_threads == 1` degenerates to inline
+// serial execution with no cross-thread traffic at all.
 //
-// ExecCounters are thread-local (see counters.h); the scheduler folds the
-// counters accumulated by pool workers during a batch back into the calling
-// thread's counters, so callers observe the same totals as a serial run.
+// Concurrent batches: multiple threads may call ParallelFor at once (the
+// serving layer runs N queries against one process-wide scheduler). Each
+// caller drains only its own batch; pool workers sweep every active batch
+// round-robin, claiming ONE task per batch per visit, so morsels of
+// concurrent queries interleave at task granularity — a long-running query
+// cannot starve a short one of the shared pool.
+//
+// ExecCounters are thread-local (see counters.h); pool workers fold the
+// counters accumulated per task back into that task's batch, and the batch's
+// caller folds the batch total into its own thread-local counters — so every
+// caller observes the same totals as a serial run, even when its tasks were
+// interleaved with another query's.
 #pragma once
 
 #include <atomic>
@@ -29,6 +38,35 @@ namespace proteus {
 
 class TaskScheduler {
  public:
+  /// Opaque in-flight batch (defined in the .cpp; public only so the
+  /// implementation's thread-local current-batch pointer can name it).
+  struct Batch;
+
+  /// Work-dispatch telemetry attributed to one logical caller (one query):
+  /// tasks dispatched through ParallelFor on this thread while a StatsScope
+  /// was installed, and how many of them another worker stole. Filled by the
+  /// scheduler; read by the owner after its scope ends.
+  struct BatchStats {
+    uint64_t dealt = 0;
+    uint64_t steals = 0;
+  };
+
+  /// RAII: attribute every ParallelFor issued from the current thread to
+  /// `stats` until the scope ends. Scopes nest (the previous target is
+  /// restored on destruction). The engine installs one per query, which is
+  /// how concurrent queries sharing one scheduler each see their own
+  /// tasks_dealt / steals instead of a racy read-then-reset global delta.
+  class StatsScope {
+   public:
+    explicit StatsScope(BatchStats* stats);
+    ~StatsScope();
+    StatsScope(const StatsScope&) = delete;
+    StatsScope& operator=(const StatsScope&) = delete;
+
+   private:
+    BatchStats* prev_;
+  };
+
   /// `num_threads` total workers including the caller; 0 picks the hardware
   /// concurrency. The pool spawns `num_threads - 1` threads.
   explicit TaskScheduler(int num_threads);
@@ -47,9 +85,12 @@ class TaskScheduler {
   /// on scheduling, so with several failing tasks the reported one can vary
   /// between runs — only success/failure itself is deterministic.
   ///
-  /// Not reentrant from inside a task: a nested call runs inline on the
-  /// calling worker (morsel pipelines materialize join build sides before
-  /// the probe batch, so nesting only arises in degenerate plans).
+  /// Safe to call from any number of threads concurrently; each caller's
+  /// batch completes independently and pool workers interleave across all
+  /// active batches. Not reentrant from inside a task: a nested call runs
+  /// inline on the calling worker (morsel pipelines materialize join build
+  /// sides before the probe batch, so nesting only arises in degenerate
+  /// plans).
   Status ParallelFor(uint64_t num_tasks, const std::function<Status(uint64_t, int)>& body);
 
   /// Tasks executed by a worker other than the one whose deque they were
@@ -64,22 +105,23 @@ class TaskScheduler {
   uint64_t total_dealt() const { return total_dealt_.load(std::memory_order_relaxed); }
 
  private:
-  struct Batch;
-
   void WorkerLoop(int worker_id);
-  /// Drains `batch` from `worker_id`'s deque, stealing when empty.
-  void RunBatch(Batch* batch, int worker_id);
+  /// Claims and runs at most one task of `batch` from `worker_id`'s deque
+  /// (stealing when empty). Pool workers fold their per-task ExecCounters
+  /// delta into the batch; the submitting caller (fold_counters = false)
+  /// accumulates into its own thread-local counters directly. Returns true
+  /// if a task was claimed.
+  bool TryRunOne(Batch* batch, int worker_id, bool fold_counters);
 
   int num_threads_;
   std::vector<std::thread> threads_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;
-  std::shared_ptr<Batch> batch_;  // current batch; null when idle
-  uint64_t batch_seq_ = 0;
+  std::vector<std::shared_ptr<Batch>> active_;  // in-flight batches
+  uint64_t work_epoch_ = 0;                     // bumped per submission
   bool stop_ = false;
 
-  std::mutex submit_mu_;  // serializes concurrent ParallelFor callers
   std::atomic<uint64_t> total_steals_{0};
   std::atomic<uint64_t> total_dealt_{0};
 };

@@ -59,7 +59,7 @@ void QueryEngine::InvalidateDataset(const std::string& dataset) {
   catalog_.BumpEpoch();
 }
 
-Result<QueryResult> QueryEngine::Execute(const std::string& query) {
+Result<QueryResult> QueryEngine::Execute(const std::string& query, const CallOptions& call) {
   auto plan = [&]() -> Result<OpPtr> {
     PROTEUS_ASSIGN_OR_RETURN(Comprehension comp, ParseQuery(query, catalog_));
     Normalize(&comp);
@@ -68,25 +68,57 @@ Result<QueryResult> QueryEngine::Execute(const std::string& query) {
   if (!plan.ok()) {
     // Queries that never produce a plan still count: a fleet dashboard that
     // missed parse/bind failures would under-report the error rate.
-    if (opts_.metrics != nullptr) RecordMetrics(false);
+    if (opts_.metrics != nullptr) RecordMetrics(QueryTelemetry{}, false);
     return plan.status();
   }
-  return ExecutePlan(std::move(*plan));
+  return ExecutePlan(std::move(*plan), call);
 }
 
-Result<QueryResult> QueryEngine::ExecutePlan(OpPtr logical_plan) {
-  auto result = ExecutePlanInner(std::move(logical_plan));
-  if (opts_.metrics != nullptr) RecordMetrics(result.ok());
+Result<QueryResult> QueryEngine::ExecutePlan(OpPtr logical_plan, const CallOptions& call) {
+  // Per-query state lives on this call's stack (or in the caller's
+  // out-params) — nothing here touches engine members without a lock, which
+  // is what makes N concurrent ExecutePlan calls on one engine safe.
+  QueryTelemetry local_tel;
+  QueryTelemetry& tel = call.telemetry != nullptr ? *call.telemetry : local_tel;
+  tel = QueryTelemetry{};
+  std::string local_ir;
+  std::string& ir = call.ir != nullptr ? *call.ir : local_ir;
+  ir.clear();
+
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (opts_.metrics != nullptr) opts_.metrics->GetGauge("proteus_queries_inflight")->Add(1);
+
+  auto result = ExecutePlanInner(std::move(logical_plan), call, tel, ir);
+  if (!result.ok() && result.status().code() == StatusCode::kCancelled) {
+    tel.cancelled = true;
+  }
+
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->GetGauge("proteus_queries_inflight")->Add(-1);
+    RecordMetrics(tel, result.ok());
+  }
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+
+  // Refresh the legacy single-caller mirrors (telemetry() / last_ir()).
+  {
+    std::lock_guard<std::mutex> lk(legacy_mu_);
+    telemetry_ = tel;
+    last_ir_ = ir;
+  }
   return result;
 }
 
-Result<QueryResult> QueryEngine::ExecutePlanInner(OpPtr logical_plan) {
-  telemetry_ = QueryTelemetry{};
-  last_ir_.clear();
-  // Per-query trace reset: a straggler background compile that published
-  // after this point intentionally lands in this query's snapshot — it
-  // shows the compile landing.
-  if (trace_recorder_ != nullptr) trace_recorder_->Clear();
+Result<QueryResult> QueryEngine::ExecutePlanInner(OpPtr logical_plan, const CallOptions& call,
+                                                  QueryTelemetry& tel, std::string& ir) {
+  // Per-query trace reset — but only when this query runs alone. A straggler
+  // background compile that published after this point intentionally lands
+  // in this query's snapshot (it shows the compile landing); with other
+  // queries in flight, clearing would amputate *their* timelines, so
+  // concurrent executions share one uncleared timeline and callers that
+  // need scoped windows use TraceRecorder captures instead.
+  if (trace_recorder_ != nullptr && inflight_.load(std::memory_order_acquire) == 1) {
+    trace_recorder_->Clear();
+  }
 
   auto t0 = std::chrono::steady_clock::now();
   Optimizer optimizer(catalog_, opts_.optimizer);
@@ -95,14 +127,14 @@ Result<QueryResult> QueryEngine::ExecutePlanInner(OpPtr logical_plan) {
     OBS_SPAN(trace_recorder_.get(), "optimize");
     PROTEUS_ASSIGN_OR_RETURN(physical, optimizer.Optimize(std::move(logical_plan)));
   }
-  telemetry_.optimize_ms = MsSince(t0);
+  tel.optimize_ms = MsSince(t0);
 
   if (caches_.policy().enabled) {
     auto tc = std::chrono::steady_clock::now();
     OBS_SPAN(trace_recorder_.get(), "cache_populate");
     PROTEUS_RETURN_NOT_OK(PopulateCaches(physical));
     physical = caches_.RewriteWithCaches(std::move(physical), catalog_);
-    telemetry_.cache_build_ms = MsSince(tc);
+    tel.cache_build_ms = MsSince(tc);
     std::function<bool(const Operator&)> has_cache_scan = [&](const Operator& op) {
       if (op.kind() == OpKind::kCacheScan) return true;
       for (const auto& c : op.children()) {
@@ -110,10 +142,10 @@ Result<QueryResult> QueryEngine::ExecutePlanInner(OpPtr logical_plan) {
       }
       return false;
     };
-    telemetry_.used_cache = has_cache_scan(*physical);
+    tel.used_cache = has_cache_scan(*physical);
   }
-  telemetry_.plan = physical->ToString();
-  return Run(std::move(physical));
+  tel.plan = physical->ToString();
+  return Run(std::move(physical), call, tel, ir);
 }
 
 Status QueryEngine::PopulateCaches(const OpPtr& physical) {
@@ -133,7 +165,7 @@ Status QueryEngine::PopulateCaches(const OpPtr& physical) {
     // fields? If the existing block is too narrow, build a wider one
     // (Install() replaces covered same-signature blocks).
     OpPtr probe = Operator::Scan(scan->dataset(), scan->binding());
-    const CacheBlock* existing = caches_.FindMatch(*probe);
+    const auto existing = caches_.FindMatch(*probe);
     if (existing != nullptr) {
       bool covered = true;
       for (const auto& p : scan->scan_fields()) {
@@ -184,7 +216,8 @@ Status QueryEngine::PopulateCaches(const OpPtr& physical) {
   return Status::OK();
 }
 
-Result<QueryResult> QueryEngine::Run(OpPtr physical) {
+Result<QueryResult> QueryEngine::Run(OpPtr physical, const CallOptions& call, QueryTelemetry& tel,
+                                     std::string& ir) {
   ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.plugins = &plugins_;
@@ -194,54 +227,66 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical) {
   ctx.jit_cache = jit_cache_.get();
   ctx.morsel_rows = opts_.morsel_rows;
   ctx.trace = trace_recorder_.get();
+  ctx.cancel = call.cancel;
+  if (opts_.morsel_boundary_hook) ctx.morsel_hook = &opts_.morsel_boundary_hook;
   if (opts_.mode == ExecMode::kJIT && tiered_compiler_ != nullptr) {
     ctx.tiered = tiered_compiler_.get();
     ctx.tiered_opts = &opts_.tiered_opts;
   }
 
-  // Steal telemetry by delta: the engine scheduler is long-lived, so the
-  // counters accumulated by *this* query are what the lifetime totals grew
-  // by. Sharded runs use per-shard pools instead (summed by the
+  // Per-query steal telemetry by attribution, not by delta: a StatsScope on
+  // this thread tags every ParallelFor this query submits, so the scheduler
+  // credits its dealt/stolen tasks to this query alone — exact even with N
+  // concurrent queries interleaving on the shared pool (the old
+  // read-lifetime-totals-twice delta charged one query with its neighbors'
+  // work). Sharded runs use per-shard pools instead (summed by the
   // coordinator), so RunInner overwrites these with the shard totals.
-  const uint64_t steals0 = scheduler_.total_steals();
-  const uint64_t dealt0 = scheduler_.total_dealt();
+  TaskScheduler::BatchStats query_stats;
   Result<QueryResult> result = [&] {
+    TaskScheduler::StatsScope stats_scope(&query_stats);
     OBS_SPAN(ctx.trace, "execute");
-    return RunInner(ctx, std::move(physical));
+    return RunInner(ctx, std::move(physical), tel, ir);
   }();
-  if (telemetry_.shards_used == 0) {
-    telemetry_.steals = scheduler_.total_steals() - steals0;
-    telemetry_.tasks_dealt = scheduler_.total_dealt() - dealt0;
+  if (tel.shards_used == 0) {
+    tel.steals = query_stats.steals;
+    tel.tasks_dealt = query_stats.dealt;
   }
   return result;
 }
 
-void QueryEngine::RecordMetrics(bool ok) const {
+void QueryEngine::RecordMetrics(const QueryTelemetry& tel, bool ok) const {
   obs::MetricsRegistry* m = opts_.metrics;
   m->GetCounter("proteus_queries_total")->Increment();
+  if (tel.cancelled) {
+    // A cancellation the caller asked for is not an engine failure: count it
+    // under its own counter so error-rate dashboards stay honest.
+    m->GetCounter("proteus_queries_cancelled_total")->Increment();
+    return;
+  }
   if (!ok) {
     m->GetCounter("proteus_query_errors_total")->Increment();
     return;
   }
-  m->GetHistogram("proteus_query_latency_ms")->Observe(telemetry_.execute_ms);
-  if (telemetry_.jit_compile_ms > 0) {
-    m->GetHistogram("proteus_compile_ms")->Observe(telemetry_.jit_compile_ms);
+  m->GetHistogram("proteus_query_latency_ms")->Observe(tel.execute_ms);
+  if (tel.jit_compile_ms > 0) {
+    m->GetHistogram("proteus_compile_ms")->Observe(tel.jit_compile_ms);
   }
-  if (telemetry_.used_jit) {
-    m->GetCounter(telemetry_.jit_cache_hit ? "proteus_jit_cache_hits_total"
-                                           : "proteus_jit_cache_misses_total")
+  if (tel.used_jit) {
+    m->GetCounter(tel.jit_cache_hit ? "proteus_jit_cache_hits_total"
+                                    : "proteus_jit_cache_misses_total")
         ->Increment();
   }
-  m->GetCounter("proteus_morsels_total")->Add(telemetry_.morsels);
-  m->GetCounter("proteus_tasks_dealt_total")->Add(telemetry_.tasks_dealt);
-  m->GetCounter("proteus_steals_total")->Add(telemetry_.steals);
-  m->GetCounter("proteus_bytes_exchanged_total")->Add(telemetry_.bytes_exchanged);
+  m->GetCounter("proteus_morsels_total")->Add(tel.morsels);
+  m->GetCounter("proteus_tasks_dealt_total")->Add(tel.tasks_dealt);
+  m->GetCounter("proteus_steals_total")->Add(tel.steals);
+  m->GetCounter("proteus_bytes_exchanged_total")->Add(tel.bytes_exchanged);
   if (jit_cache_ != nullptr) {
     m->GetGauge("proteus_jit_cache_entries")->Set(static_cast<int64_t>(jit_cache_->size()));
   }
 }
 
-Result<QueryResult> QueryEngine::RunInner(ExecContext& ctx, OpPtr physical) {
+Result<QueryResult> QueryEngine::RunInner(ExecContext& ctx, OpPtr physical, QueryTelemetry& tel,
+                                          std::string& ir) {
   auto t0 = std::chrono::steady_clock::now();
   // Sharded routing: num_shards >= 1 is an explicit opt-in, so shardable
   // plans go through the coordinator ahead of the JIT/interpreter choice.
@@ -256,34 +301,34 @@ Result<QueryResult> QueryEngine::RunInner(ExecContext& ctx, OpPtr physical) {
     LoopbackTransport transport;
     ShardExecStats shard_stats;
     auto result = coordinator.Run(physical, &transport, &shard_stats);
-    telemetry_.shards_used = shard_stats.shards_used;
-    telemetry_.bytes_exchanged = shard_stats.bytes_exchanged;
-    telemetry_.threads_used = shard_stats.threads_per_shard;
-    telemetry_.morsels = shard_stats.morsels;
-    telemetry_.tasks_dealt = shard_stats.tasks_dealt;
-    telemetry_.steals = shard_stats.steals;
-    telemetry_.used_jit = shard_stats.jit_shards > 0;
-    telemetry_.jit_parallel = shard_stats.jit_shards > 0;
-    telemetry_.compile_tier = shard_stats.compile_tier;
-    telemetry_.morsels_interpreted = shard_stats.morsels_interpreted;
-    telemetry_.morsels_jit = shard_stats.morsels_jit;
-    telemetry_.swap_ms = shard_stats.swap_ms;
-    telemetry_.first_morsel_ms = shard_stats.first_morsel_ms;
+    tel.shards_used = shard_stats.shards_used;
+    tel.bytes_exchanged = shard_stats.bytes_exchanged;
+    tel.threads_used = shard_stats.threads_per_shard;
+    tel.morsels = shard_stats.morsels;
+    tel.tasks_dealt = shard_stats.tasks_dealt;
+    tel.steals = shard_stats.steals;
+    tel.used_jit = shard_stats.jit_shards > 0;
+    tel.jit_parallel = shard_stats.jit_shards > 0;
+    tel.compile_tier = shard_stats.compile_tier;
+    tel.morsels_interpreted = shard_stats.morsels_interpreted;
+    tel.morsels_jit = shard_stats.morsels_jit;
+    tel.swap_ms = shard_stats.swap_ms;
+    tel.first_morsel_ms = shard_stats.first_morsel_ms;
     // Shards share the engine's compiled-query cache: N shards of one plan
     // compile it exactly once (cold) or zero times (warm). With the cache
     // disabled (jit_cache_capacity = 0) no per-shard compile cost is
     // observable, so compile telemetry honestly stays at its zeros and
     // jit_cache_hit stays false — there is no cache to hit.
-    telemetry_.jit_compile_ms = shard_stats.jit_compile_ms;
-    telemetry_.compile_ms = shard_stats.jit_compile_ms;
-    telemetry_.jit_cache_hit = ctx.jit_cache != nullptr && shard_stats.jit_shards > 0 &&
+    tel.jit_compile_ms = shard_stats.jit_compile_ms;
+    tel.compile_ms = shard_stats.jit_compile_ms;
+    tel.jit_cache_hit = ctx.jit_cache != nullptr && shard_stats.jit_shards > 0 &&
                                shard_stats.jit_compiles == 0 && shard_stats.jit_cache_hits > 0;
     // Compiles run inside the fan-out (single-flight: at most one per plan),
     // so subtracting the measured compile time keeps execute_ms ≈ plan run
     // time, matching the unsharded JIT branch below.
-    telemetry_.execute_ms = MsSince(t0) - telemetry_.compile_ms;
+    tel.execute_ms = MsSince(t0) - tel.compile_ms;
     if (opts_.mode == ExecMode::kJIT && shard_stats.jit_shards < shard_stats.shards_used) {
-      telemetry_.fallback_reason =
+      tel.fallback_reason =
           std::to_string(shard_stats.shards_used - shard_stats.jit_shards) +
           " shard(s) ran the interpreter (plan outside the generated fast path)";
     }
@@ -302,25 +347,25 @@ Result<QueryResult> QueryEngine::RunInner(ExecContext& ctx, OpPtr physical) {
       const OpPtr& top = physical->child(0);
       const Operator* nest = top->kind() == OpKind::kNest ? top.get() : nullptr;
       auto result = FinalizePlanPartials(*physical, nest, std::move(*partials), ctx.trace);
-      telemetry_.used_jit = ts.morsels_jit > 0;
-      telemetry_.jit_parallel = ts.morsels_jit > 0;
-      telemetry_.compile_tier = ts.compile_tier;
-      telemetry_.morsels_interpreted = ts.morsels_interpreted;
-      telemetry_.morsels_jit = ts.morsels_jit;
-      telemetry_.swap_ms = ts.swap_ms;
-      telemetry_.first_morsel_ms = ts.first_morsel_ms;
-      telemetry_.jit_cache_hit = ts.cache_hit;
+      tel.used_jit = ts.morsels_jit > 0;
+      tel.jit_parallel = ts.morsels_jit > 0;
+      tel.compile_tier = ts.compile_tier;
+      tel.morsels_interpreted = ts.morsels_interpreted;
+      tel.morsels_jit = ts.morsels_jit;
+      tel.swap_ms = ts.swap_ms;
+      tel.first_morsel_ms = ts.first_morsel_ms;
+      tel.jit_cache_hit = ts.cache_hit;
       // The background compile overlapped execution, so execute_ms keeps
       // the full wall time — there is no foreground compile to subtract.
       // compile_ms reports the background compile this run observed
       // (0 when warm, or when the compile outlived the query).
-      telemetry_.compile_ms = ts.compile_ms;
-      telemetry_.jit_compile_ms = ts.compile_ms;
-      telemetry_.execute_ms = MsSince(t0);
-      telemetry_.morsels = ts.morsels_interpreted + ts.morsels_jit;
-      telemetry_.threads_used = opts_.num_threads;
+      tel.compile_ms = ts.compile_ms;
+      tel.jit_compile_ms = ts.compile_ms;
+      tel.execute_ms = MsSince(t0);
+      tel.morsels = ts.morsels_interpreted + ts.morsels_jit;
+      tel.threads_used = opts_.num_threads;
       if (ts.morsels_jit == 0) {
-        telemetry_.fallback_reason =
+        tel.fallback_reason =
             ts.compile_ms > 0
                 ? "tiered: background compile failed; interpreter completed the query"
                 : "tiered: compile did not land before the query finished";
@@ -343,38 +388,38 @@ Result<QueryResult> QueryEngine::RunInner(ExecContext& ctx, OpPtr physical) {
     InterpExecutor::ExecStats stats;
     auto result = parallel ? jit.ExecuteParallel(physical, &stats) : jit.Execute(physical);
     if (result.ok()) {
-      telemetry_.used_jit = true;
-      telemetry_.jit_parallel = parallel;
+      tel.used_jit = true;
+      tel.jit_parallel = parallel;
       // The served module's tier — 1 normally, 2 when a background
       // promotion already swapped the aggressive module behind this key.
-      telemetry_.compile_tier =
+      tel.compile_tier =
           jit.last_module() != nullptr ? jit.last_module()->tier : 1;
       if (parallel) {
-        telemetry_.threads_used = stats.threads_used;
-        telemetry_.morsels = stats.morsels;
+        tel.threads_used = stats.threads_used;
+        tel.morsels = stats.morsels;
       }
-      telemetry_.compile_ms = jit.last_compile_ms();
-      telemetry_.jit_compile_ms = jit.last_compile_ms();
-      telemetry_.jit_cache_hit = jit.last_cache_hit();
-      telemetry_.execute_ms = MsSince(t0) - telemetry_.compile_ms;
-      last_ir_ = jit.last_ir();
+      tel.compile_ms = jit.last_compile_ms();
+      tel.jit_compile_ms = jit.last_compile_ms();
+      tel.jit_cache_hit = jit.last_cache_hit();
+      tel.execute_ms = MsSince(t0) - tel.compile_ms;
+      ir = jit.last_ir();
       return result;
     }
     if (result.status().code() != StatusCode::kUnimplemented) {
       return result.status();
     }
-    telemetry_.fallback_reason = result.status().message();
+    tel.fallback_reason = result.status().message();
     // The aborted codegen attempt still cost compile time; record it the
     // way the success path does so fallback runs stop folding it into
     // execute_ms with compile_ms stuck at 0.
-    telemetry_.compile_ms = jit.last_compile_ms();
-    telemetry_.jit_compile_ms = jit.last_compile_ms();
+    tel.compile_ms = jit.last_compile_ms();
+    tel.jit_compile_ms = jit.last_compile_ms();
   }
   InterpExecutor interp(ctx);
   auto result = interp.Execute(physical);
-  telemetry_.execute_ms = MsSince(t0) - telemetry_.compile_ms;
-  telemetry_.threads_used = interp.exec_stats().threads_used;
-  telemetry_.morsels = interp.exec_stats().morsels;
+  tel.execute_ms = MsSince(t0) - tel.compile_ms;
+  tel.threads_used = interp.exec_stats().threads_used;
+  tel.morsels = interp.exec_stats().morsels;
   return result;
 }
 

@@ -15,7 +15,10 @@
 // back to the Volcano interpreter transparently.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/catalog/catalog.h"
@@ -93,6 +96,13 @@ struct EngineOptions {
   /// exchange bytes into this registry (e.g. obs::MetricsRegistry::Global()).
   /// Null = no metrics recorded.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Deterministic test hook: called with the global morsel index at the top
+  /// of every morsel any driver (interpreter or JIT) of this engine is about
+  /// to run, after the cancel check. Tests block in it to hold a query at a
+  /// morsel boundary — e.g. to land a cancellation at a known execution
+  /// point. Shared by every concurrent query of the engine; leave unset in
+  /// production.
+  std::function<void(uint64_t)> morsel_boundary_hook;
 };
 
 /// Telemetry for the last executed query.
@@ -147,8 +157,35 @@ struct QueryTelemetry {
   /// scheduler's delta; sharded runs sum every ShardExecutor's pool.
   uint64_t tasks_dealt = 0;
   uint64_t steals = 0;
+  /// The query observed its CallOptions::cancel flag and stopped at a morsel
+  /// boundary. The Result carries StatusCode::kCancelled; metrics count the
+  /// query under proteus_queries_cancelled_total, not the error counter —
+  /// a cancellation the caller asked for is not a failure of the engine.
+  bool cancelled = false;
   std::string fallback_reason;  ///< why the interpreter ran, if it did
   std::string plan;             ///< physical plan, printable
+};
+
+/// Per-call knobs for Execute() / ExecutePlan(). All optional; the
+/// parameterless overloads pass the defaults. Concurrent callers sharing one
+/// engine should pass their own `telemetry` (and `ir` if they want it): the
+/// legacy engine-level telemetry()/last_ir() accessors are last-writer-wins
+/// under concurrency and only meaningful for single-caller use.
+struct CallOptions {
+  /// Receives this query's telemetry (reset at entry). Per-query scheduler
+  /// attribution (tasks_dealt / steals) is exact even with N concurrent
+  /// queries on the shared TaskScheduler: counters are attributed to the
+  /// query whose morsel fan-out created the tasks, not read as racy deltas
+  /// of the engine-lifetime totals.
+  QueryTelemetry* telemetry = nullptr;
+  /// Cooperative cancellation flag owned by the caller. Set it (from any
+  /// thread) to stop the query at its next morsel boundary; the call then
+  /// returns StatusCode::kCancelled with telemetry.cancelled = true. Must
+  /// outlive the call. Null = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Receives the LLVM IR of the query if it JIT-compiled (cleared at
+  /// entry; empty when the interpreter ran or the module came from cache).
+  std::string* ir = nullptr;
 };
 
 class QueryEngine {
@@ -164,15 +201,40 @@ class QueryEngine {
   void InvalidateDataset(const std::string& dataset);
 
   /// Parses, optimizes, and runs a query in either syntax.
-  Result<QueryResult> Execute(const std::string& query);
+  Result<QueryResult> Execute(const std::string& query) { return Execute(query, CallOptions{}); }
+  Result<QueryResult> Execute(const std::string& query, const CallOptions& call);
 
   /// Runs an already-built logical plan (used by benchmarks that construct
-  /// plans directly).
-  Result<QueryResult> ExecutePlan(OpPtr logical_plan);
+  /// plans directly). Fully reentrant: N threads may call concurrently on
+  /// one engine — they share the catalog, plug-ins, scan caches, compiled-
+  /// query cache, tiered compiler, and the one process-wide TaskScheduler
+  /// (so concurrent queries interleave at morsel granularity instead of
+  /// queueing whole-query). Pass CallOptions::telemetry to get this query's
+  /// numbers without racing on the engine-level accessor.
+  Result<QueryResult> ExecutePlan(OpPtr logical_plan) {
+    return ExecutePlan(std::move(logical_plan), CallOptions{});
+  }
+  Result<QueryResult> ExecutePlan(OpPtr logical_plan, const CallOptions& call);
 
-  const QueryTelemetry& telemetry() const { return telemetry_; }
+  /// Telemetry of the most recently completed query (last-writer-wins).
+  /// Single-caller convenience: concurrent callers must pass
+  /// CallOptions::telemetry instead — this snapshot may belong to any of
+  /// them. Do not call while another thread is mid-ExecutePlan if the torn
+  /// read matters; the engine keeps it coherent (mutex-copied), but which
+  /// query it describes is unspecified.
+  QueryTelemetry telemetry() const {
+    std::lock_guard<std::mutex> lk(legacy_mu_);
+    return telemetry_;
+  }
   /// LLVM IR of the last JIT-compiled query (empty if interpreter ran).
-  const std::string& last_ir() const { return last_ir_; }
+  /// Same last-writer-wins caveat as telemetry().
+  std::string last_ir() const {
+    std::lock_guard<std::mutex> lk(legacy_mu_);
+    return last_ir_;
+  }
+  /// Queries currently inside ExecutePlan (also exported as the
+  /// proteus_queries_inflight gauge when options().metrics is set).
+  int inflight() const { return inflight_.load(std::memory_order_acquire); }
 
   Catalog& catalog() { return catalog_; }
   CachingManager& caches() { return caches_; }
@@ -184,19 +246,26 @@ class QueryEngine {
   jit::CompiledQueryCache* jit_cache() { return jit_cache_.get(); }
   /// The background tiered compiler (null unless options().tiered).
   jit::TieredCompiler* tiered_compiler() { return tiered_compiler_.get(); }
-  /// The query trace recorder (null unless options().trace). Each execution
-  /// clears it, so a Snapshot() taken after Execute() is that query's trace
+  /// The query trace recorder (null unless options().trace). A query that
+  /// runs alone (no other query in flight) clears it at entry, so a
+  /// Snapshot() taken after a single-caller Execute() is that query's trace
   /// — plus any background compile that outlived the previous query.
+  /// Concurrent queries share the recorder without clearing (their spans
+  /// interleave in one timeline); use TraceRecorder::BeginCapture() /
+  /// Snapshot(capture) to scope a window independently of resets.
   obs::TraceRecorder* trace() { return trace_recorder_.get(); }
   const EngineOptions& options() const { return opts_; }
   void set_mode(ExecMode m) { opts_.mode = m; }
 
  private:
-  Result<QueryResult> ExecutePlanInner(OpPtr logical_plan);
-  Result<QueryResult> Run(OpPtr physical);
-  Result<QueryResult> RunInner(ExecContext& ctx, OpPtr physical);
+  Result<QueryResult> ExecutePlanInner(OpPtr logical_plan, const CallOptions& call,
+                                       QueryTelemetry& tel, std::string& ir);
+  Result<QueryResult> Run(OpPtr physical, const CallOptions& call, QueryTelemetry& tel,
+                          std::string& ir);
+  Result<QueryResult> RunInner(ExecContext& ctx, OpPtr physical, QueryTelemetry& tel,
+                               std::string& ir);
   Status PopulateCaches(const OpPtr& physical);
-  void RecordMetrics(bool ok) const;
+  void RecordMetrics(const QueryTelemetry& tel, bool ok) const;
 
   EngineOptions opts_;
   Catalog catalog_;
@@ -212,6 +281,14 @@ class QueryEngine {
   /// plug-ins, caches, jit cache): destruction runs in reverse order, so the
   /// compile thread joins before anything it references dies.
   std::unique_ptr<jit::TieredCompiler> tiered_compiler_;
+  /// Queries currently inside ExecutePlan. Gates the per-query trace
+  /// auto-Clear (only a sole caller resets the recorder) and feeds the
+  /// proteus_queries_inflight gauge.
+  std::atomic<int> inflight_{0};
+  /// Guards the legacy single-caller mirrors below. Every query copies its
+  /// telemetry/IR here on completion (last writer wins); per-query truth is
+  /// whatever the caller received through CallOptions.
+  mutable std::mutex legacy_mu_;
   QueryTelemetry telemetry_;
   std::string last_ir_;
 };

@@ -17,27 +17,29 @@ uint64_t CacheBlockFormatRank(DataFormat f) {
 }
 
 uint64_t CachingManager::Install(CacheBlock block) {
-  ++epoch_;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lk(mu_);
   block.id = next_id_++;
   block.last_used_tick = ++tick_;
   // Replace an older block for the same subtree if this one covers at least
-  // as many columns.
+  // as many columns. Erasing only drops the map's reference — an in-flight
+  // query holding the shared_ptr keeps reading the old block safely.
   for (auto it = blocks_.begin(); it != blocks_.end();) {
-    if (it->second.signature == block.signature &&
-        it->second.cols.size() <= block.cols.size()) {
+    if (it->second->signature == block.signature &&
+        it->second->cols.size() <= block.cols.size()) {
       it = blocks_.erase(it);
     } else {
       ++it;
     }
   }
   uint64_t id = block.id;
-  blocks_.emplace(id, std::move(block));
-  MaybeEvict();
+  blocks_.emplace(id, std::make_shared<CacheBlock>(std::move(block)));
+  MaybeEvictLocked();
   return id;
 }
 
-void CachingManager::MaybeEvict() {
-  while (total_bytes() > policy_.memory_budget_bytes && blocks_.size() > 1) {
+void CachingManager::MaybeEvictLocked() {
+  while (TotalBytesLocked() > policy_.memory_budget_bytes && blocks_.size() > 1) {
     // Format-biased LRU: evict the lowest (format rank, last_used) block.
     auto victim = blocks_.end();
     for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
@@ -45,9 +47,9 @@ void CachingManager::MaybeEvict() {
         victim = it;
         continue;
       }
-      uint64_t a = CacheBlockFormatRank(it->second.source_format);
-      uint64_t b = CacheBlockFormatRank(victim->second.source_format);
-      if (a < b || (a == b && it->second.last_used_tick < victim->second.last_used_tick)) {
+      uint64_t a = CacheBlockFormatRank(it->second->source_format);
+      uint64_t b = CacheBlockFormatRank(victim->second->source_format);
+      if (a < b || (a == b && it->second->last_used_tick < victim->second->last_used_tick)) {
         victim = it;
       }
     }
@@ -55,25 +57,27 @@ void CachingManager::MaybeEvict() {
   }
 }
 
-const CacheBlock* CachingManager::FindMatch(const Operator& op) const {
+std::shared_ptr<const CacheBlock> CachingManager::FindMatch(const Operator& op) const {
   std::string sig = op.Signature();
+  std::lock_guard<std::mutex> lk(mu_);
   for (const auto& [id, b] : blocks_) {
-    if (b.signature == sig) {
-      const_cast<CacheBlock&>(b).last_used_tick = ++const_cast<CachingManager*>(this)->tick_;
-      return &b;
+    if (b->signature == sig) {
+      b->last_used_tick = ++const_cast<CachingManager*>(this)->tick_;
+      return b;
     }
   }
   return nullptr;
 }
 
-const CacheBlock* CachingManager::FindById(uint64_t id) const {
+std::shared_ptr<const CacheBlock> CachingManager::FindById(uint64_t id) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = blocks_.find(id);
-  return it == blocks_.end() ? nullptr : &it->second;
+  return it == blocks_.end() ? nullptr : it->second;
 }
 
 OpPtr CachingManager::RewriteWithCaches(OpPtr plan, const Catalog& catalog) const {
   if (plan->kind() == OpKind::kScan) {
-    const CacheBlock* b = FindMatch(*plan);
+    const auto b = FindMatch(*plan);
     if (b == nullptr) return plan;
     // Check coverage: every numeric scan field must be a cache column;
     // strings may fall back to hybrid raw reads through the OID column.
@@ -229,11 +233,12 @@ Result<uint64_t> CachingManager::BuildScanCache(InputPlugin* plugin, const Datas
 }
 
 void CachingManager::InvalidateDataset(const std::string& name) {
-  ++epoch_;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lk(mu_);
   // Dataset scans embed the dataset name in their signature.
   std::string needle = "scan(" + name + " ";
   for (auto it = blocks_.begin(); it != blocks_.end();) {
-    if (it->second.signature.find(needle) != std::string::npos) {
+    if (it->second->signature.find(needle) != std::string::npos) {
       it = blocks_.erase(it);
     } else {
       ++it;
@@ -241,16 +246,22 @@ void CachingManager::InvalidateDataset(const std::string& name) {
   }
 }
 
-size_t CachingManager::total_bytes() const {
+size_t CachingManager::TotalBytesLocked() const {
   size_t b = 0;
-  for (const auto& [id, block] : blocks_) b += block.bytes();
+  for (const auto& [id, block] : blocks_) b += block->bytes();
   return b;
 }
 
-std::vector<const CacheBlock*> CachingManager::blocks() const {
-  std::vector<const CacheBlock*> out;
+size_t CachingManager::total_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return TotalBytesLocked();
+}
+
+std::vector<std::shared_ptr<const CacheBlock>> CachingManager::blocks() const {
+  std::vector<std::shared_ptr<const CacheBlock>> out;
+  std::lock_guard<std::mutex> lk(mu_);
   out.reserve(blocks_.size());
-  for (const auto& [id, b] : blocks_) out.push_back(&b);
+  for (const auto& [id, b] : blocks_) out.push_back(b);
   return out;
 }
 

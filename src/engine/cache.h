@@ -13,8 +13,10 @@
 // first — paper: "favoring data from inputs that are more costly to access").
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,6 +83,11 @@ struct CachePolicy {
   size_t memory_budget_bytes = 256ull << 20;
 };
 
+/// Thread-safe for concurrent queries sharing one engine: block metadata
+/// mutates under an internal mutex, and lookups hand out shared ownership of
+/// immutable blocks — an Install/eviction/invalidation by one query cannot
+/// free column storage another in-flight query is still reading. Policy is
+/// setup-time state: set_policy() must not race live executions.
 class CachingManager {
  public:
   explicit CachingManager(CachePolicy policy = {}) : policy_(policy) {}
@@ -88,7 +95,7 @@ class CachingManager {
   const CachePolicy& policy() const { return policy_; }
   void set_policy(CachePolicy p) {
     policy_ = std::move(p);
-    ++epoch_;
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
 
   /// Monotonic cache-state version, part of the compiled-query cache key:
@@ -97,15 +104,17 @@ class CachingManager {
   /// the rewriter produces and which blocks exist, so compiled modules from
   /// before the mutation must be retired. Bumped by Install() (which also
   /// covers its internal evictions), InvalidateDataset(), and set_policy().
-  uint64_t epoch() const { return epoch_; }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// Registers a freshly built block; evicts LRU (format-biased) blocks if
   /// over budget. Returns the assigned cache id.
   uint64_t Install(CacheBlock block);
 
   /// Looks up a cache whose signature matches the subtree rooted at `op`.
-  const CacheBlock* FindMatch(const Operator& op) const;
-  const CacheBlock* FindById(uint64_t id) const;
+  /// The returned block is shared: it stays readable even if replaced or
+  /// evicted while the caller executes against it.
+  std::shared_ptr<const CacheBlock> FindMatch(const Operator& op) const;
+  std::shared_ptr<const CacheBlock> FindById(uint64_t id) const;
 
   /// Rewrites `plan`, replacing every cached subtree with a CacheScan leaf
   /// (full sub-tree matching, bottom-up — paper §6 "Cache Matching"). A scan
@@ -130,17 +139,23 @@ class CachingManager {
   void InvalidateDataset(const std::string& name);
 
   size_t total_bytes() const;
-  size_t num_blocks() const { return blocks_.size(); }
-  std::vector<const CacheBlock*> blocks() const;
+  size_t num_blocks() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return blocks_.size();
+  }
+  /// Shared snapshots of every live block (observability / tests).
+  std::vector<std::shared_ptr<const CacheBlock>> blocks() const;
 
  private:
-  void MaybeEvict();
+  void MaybeEvictLocked();
+  size_t TotalBytesLocked() const;
 
   CachePolicy policy_;
+  mutable std::mutex mu_;  ///< guards blocks_, next_id_, tick_
   uint64_t next_id_ = 1;
   uint64_t tick_ = 0;
-  uint64_t epoch_ = 0;
-  std::map<uint64_t, CacheBlock> blocks_;
+  std::atomic<uint64_t> epoch_{0};
+  std::map<uint64_t, std::shared_ptr<CacheBlock>> blocks_;
 };
 
 }  // namespace proteus

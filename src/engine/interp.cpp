@@ -133,9 +133,10 @@ class LenientScanCursor : public ScanCursor {
 
 /// Cache-block lookup shared by the serial cursor and the morsel splitter,
 /// so both resolve (and report) blocks identically.
-Result<const CacheBlock*> ResolveCacheBlock(const ExecContext& ctx, uint64_t cache_id) {
+Result<std::shared_ptr<const CacheBlock>> ResolveCacheBlock(const ExecContext& ctx,
+                                                            uint64_t cache_id) {
   if (ctx.caches == nullptr) return Status::Internal("cache scan without CachingManager");
-  const CacheBlock* block = ctx.caches->FindById(cache_id);
+  std::shared_ptr<const CacheBlock> block = ctx.caches->FindById(cache_id);
   if (block == nullptr) {
     return Status::NotFound("cache block #" + std::to_string(cache_id) + " evicted");
   }
@@ -242,7 +243,7 @@ class CacheScanCursor : public Cursor {
   const ExecContext& ctx_;
   const Operator& op_;
   ScanRange range_{0, UINT64_MAX};
-  const CacheBlock* block_ = nullptr;
+  std::shared_ptr<const CacheBlock> block_;  ///< shared: survives eviction mid-query
   std::vector<FieldPath> fields_;
   InputPlugin* plugin_ = nullptr;
   const CacheColumn* oid_col_ = nullptr;
@@ -935,6 +936,8 @@ class MorselRunner {
     std::vector<MatchedBitmaps> bitmaps(morsels.size());
     PROTEUS_RETURN_NOT_OK(ctx_.scheduler->ParallelFor(
         morsels.size(), [&](uint64_t m, int) -> Status {
+          PROTEUS_RETURN_NOT_OK(CheckCancelled(ctx_));
+          if (ctx_.morsel_hook != nullptr) (*ctx_.morsel_hook)(m);
           OBS_SPAN(ctx_.trace, "interp_morsel", "morsel", static_cast<int64_t>(m));
           PROTEUS_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> cursor,
                                    MakePipeline(desc, morsels[m], &bitmaps[m]));
@@ -1082,7 +1085,7 @@ Result<std::vector<ScanRange>> SplitLeafMorsels(const ExecContext& ctx, const Op
     return morsels;
   }
   // CacheScan: evenly split the block's row range.
-  PROTEUS_ASSIGN_OR_RETURN(const CacheBlock* block, ResolveCacheBlock(ctx, leaf.cache_id()));
+  PROTEUS_ASSIGN_OR_RETURN(const auto block, ResolveCacheBlock(ctx, leaf.cache_id()));
   return EvenSplit(block->num_rows, target(block->num_rows));
 }
 
@@ -1210,7 +1213,12 @@ Result<QueryResult> InterpExecutor::Execute(const OpPtr& plan) {
   for (const auto& o : plan->outputs()) aggs.emplace_back(o.monoid);
 
   EvalEnv row;
+  uint64_t rows = 0;
   while (true) {
+    // The serial drain has no morsel boundaries; re-check the cancel flag
+    // every kDefaultMorselRows rows so it honours the same promptness
+    // contract as the morsel paths.
+    if ((rows++ % kDefaultMorselRows) == 0) PROTEUS_RETURN_NOT_OK(CheckCancelled(ctx_));
     PROTEUS_ASSIGN_OR_RETURN(bool has, cursor->Next(&row));
     if (!has) break;
     PROTEUS_RETURN_NOT_OK(AccumulateReduceRow(*plan, row, &aggs));

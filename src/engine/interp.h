@@ -76,7 +76,29 @@ struct ExecContext {
   /// else. Shard executors and the tiered background compile inherit it, so
   /// one recorder collects the whole distributed timeline.
   obs::TraceRecorder* trace = nullptr;
+  /// Cooperative cancellation flag (null = not cancellable). Checked at
+  /// every morsel boundary — the interpreter's morsel/chunk loops, the JIT
+  /// morsel driver, and the serial Volcano drain (every few thousand rows) —
+  /// so a cancelled query stops within one morsel of the store. Execution
+  /// paths return StatusCode::kCancelled when they observe it set. Shard
+  /// executors and tiered chunks inherit the pointer with the context.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Deterministic test hook: when set, called with the global morsel index
+  /// at the top of every morsel a driver (interpreter or JIT) is about to
+  /// run — after the cancel check. Tests block in it to hold a query at a
+  /// morsel boundary (e.g. to land a cancel or an admission probe at a known
+  /// execution point). Null in production.
+  const std::function<void(uint64_t)>* morsel_hook = nullptr;
 };
+
+/// Shared cancel test: Status::Cancelled when ctx.cancel is set. The single
+/// home of the message every morsel-boundary check returns.
+inline Status CheckCancelled(const ExecContext& ctx) {
+  if (ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_acquire)) {
+    return Status::Cancelled("query cancelled at morsel boundary");
+  }
+  return Status::OK();
+}
 
 /// Pull-based row cursor (getNextTuple() of the Volcano model).
 class Cursor {

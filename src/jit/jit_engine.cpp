@@ -62,7 +62,7 @@ struct CgValue {
 struct ScanSource {
   DataFormat format;
   InputPlugin* plugin = nullptr;
-  const CacheBlock* cache = nullptr;
+  std::shared_ptr<const CacheBlock> cache;  ///< shared: survives eviction
   std::string dataset;    ///< catalog name (raw formats; hybrid cache reads)
   uint64_t cache_id = 0;  ///< kCacheBlock sources
 };
@@ -417,9 +417,10 @@ Status Codegen::Prepare(const OpPtr& op) {
     }
     case OpKind::kCacheScan: {
       if (ectx_.caches == nullptr) return Status::Internal("jit: cache scan w/o manager");
-      const CacheBlock* blk = ectx_.caches->FindById(op->cache_id());
+      auto blk = ectx_.caches->FindById(op->cache_id());
       if (blk == nullptr) return Status::NotFound("jit: cache block evicted");
-      ScanSource src{DataFormat::kCacheBlock, nullptr, blk, op->dataset(), op->cache_id()};
+      ScanSource src{DataFormat::kCacheBlock, nullptr, std::move(blk), op->dataset(),
+                     op->cache_id()};
       if (!op->dataset().empty()) {
         PROTEUS_ASSIGN_OR_RETURN(const DatasetInfo* info, ectx_.catalog->Get(op->dataset()));
         PROTEUS_ASSIGN_OR_RETURN(src.plugin, ectx_.plugins->GetOrOpen(*info, ectx_.stats));
@@ -899,7 +900,7 @@ Status Codegen::EmitScan(const OpPtr& op, const Consume& consume) {
 Status Codegen::EmitCacheScan(const OpPtr& op, const Consume& consume) {
   const std::string& var = op->binding();
   const ScanSource& src = sources_.at(var);
-  const CacheBlock* blk = src.cache;
+  const CacheBlock* blk = src.cache.get();
 
   std::vector<FieldPath> fields = op->scan_fields();
   if (fields.empty()) {
@@ -2326,7 +2327,9 @@ Result<QueryResult> JitExecutor::Execute(const OpPtr& plan) {
   jit::QueryRuntime rt;
   jit::InitRuntimeFromLayout(mod->layout, &rt);
   rt.scheduler = ctx_.scheduler;
-  PROTEUS_ASSIGN_OR_RETURN(std::vector<int64_t> params, jit::BindParams(ctx_, mod->params));
+  std::vector<std::shared_ptr<const CacheBlock>> pinned_blocks;
+  PROTEUS_ASSIGN_OR_RETURN(std::vector<int64_t> params,
+                           jit::BindParams(ctx_, mod->params, &pinned_blocks));
 
   jit::MorselCtx mc(&rt);
   mod->query_fn(&mc, params.data());
@@ -2377,7 +2380,9 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
   jit::QueryRuntime rt;
   jit::InitRuntimeFromLayout(cq->layout, &rt);
   rt.scheduler = ctx_.scheduler;
-  PROTEUS_ASSIGN_OR_RETURN(std::vector<int64_t> params, jit::BindParams(ctx_, cq->params));
+  std::vector<std::shared_ptr<const CacheBlock>> pinned_blocks;
+  PROTEUS_ASSIGN_OR_RETURN(std::vector<int64_t> params,
+                           jit::BindParams(ctx_, cq->params, &pinned_blocks));
 
   // Shared join builds run once (their radix tables build through the
   // parallel RadixTable::Build path via rt.scheduler), then freeze.
@@ -2454,7 +2459,11 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
     }
   }
 
-  auto run_one = [&](uint64_t m, int worker) {
+  auto run_one = [&](uint64_t m, int worker) -> Status {
+    // Morsel boundary: the cooperative cancellation point of the generated
+    // engine — generated code never checks mid-morsel.
+    PROTEUS_RETURN_NOT_OK(CheckCancelled(ctx_));
+    if (ctx_.morsel_hook != nullptr) (*ctx_.morsel_hook)(morsel_begin + m);
     // Trace the dispatch boundary with the *global* morsel index, so a
     // sharded or tiered trace reads in the one decomposition every engine
     // shares.
@@ -2462,14 +2471,12 @@ Result<PlanPartials> JitExecutor::RunMorselPipelines(
     if (!matched.empty()) sinks[m].matched = &matched[worker];
     cq->pipeline_fn(&ctxs[worker], &sinks[m], params.data(), morsels[m].begin,
                     morsels[m].end);
+    return Status::OK();
   };
   if (ctx_.scheduler != nullptr) {
-    PROTEUS_RETURN_NOT_OK(ctx_.scheduler->ParallelFor(n, [&](uint64_t m, int worker) -> Status {
-      run_one(m, worker);
-      return Status::OK();
-    }));
+    PROTEUS_RETURN_NOT_OK(ctx_.scheduler->ParallelFor(n, run_one));
   } else {
-    for (uint64_t m = 0; m < n; ++m) run_one(m, 0);
+    for (uint64_t m = 0; m < n; ++m) PROTEUS_RETURN_NOT_OK(run_one(m, 0));
   }
   if (rt.failed) return Status::Internal("jit runtime: " + rt.error);
 

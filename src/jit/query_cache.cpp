@@ -54,8 +54,9 @@ uint32_t ParamTable::Slot(ParamDesc desc) {
   return slot;
 }
 
-Result<std::vector<int64_t>> BindParams(const ExecContext& ctx,
-                                        const std::vector<ParamDesc>& descs) {
+Result<std::vector<int64_t>> BindParams(
+    const ExecContext& ctx, const std::vector<ParamDesc>& descs,
+    std::vector<std::shared_ptr<const CacheBlock>>* pinned) {
   std::vector<int64_t> out;
   out.reserve(descs.size());
   auto as_i64 = [](const void* p) { return static_cast<int64_t>(reinterpret_cast<uintptr_t>(p)); };
@@ -67,11 +68,12 @@ Result<std::vector<int64_t>> BindParams(const ExecContext& ctx,
         if (ctx.caches == nullptr) {
           return Status::Internal("jit bind: cache param without a CachingManager");
         }
-        const CacheBlock* blk = ctx.caches->FindById(d.cache_id);
+        const auto blk = ctx.caches->FindById(d.cache_id);
         if (blk == nullptr) {
           return Status::NotFound("jit bind: cache block #" + std::to_string(d.cache_id) +
                                   " evicted");
         }
+        if (pinned != nullptr) pinned->push_back(blk);
         if (d.kind == ParamKind::kCacheNumRows) {
           out.push_back(static_cast<int64_t>(blk->num_rows));
           break;

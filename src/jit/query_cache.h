@@ -48,6 +48,7 @@ class LLJIT;
 
 namespace proteus {
 
+struct CacheBlock;
 struct ExecContext;
 
 namespace obs {
@@ -112,9 +113,14 @@ class ParamTable {
 /// escaped epoch invalidation) fails loudly instead of reading through a
 /// dangling base pointer. Thread-safe: only touches the mutex-guarded
 /// PluginRegistry and read-only catalog/cache lookups, so N shard threads
-/// can bind the same module concurrently.
-Result<std::vector<int64_t>> BindParams(const ExecContext& ctx,
-                                        const std::vector<ParamDesc>& descs);
+/// can bind the same module concurrently. `pinned` (optional) receives
+/// shared ownership of every cache block whose column base pointers were
+/// baked into the parameter vector — the caller must keep it alive for as
+/// long as the generated code may run, so a concurrent eviction cannot free
+/// storage mid-execution.
+Result<std::vector<int64_t>> BindParams(
+    const ExecContext& ctx, const std::vector<ParamDesc>& descs,
+    std::vector<std::shared_ptr<const CacheBlock>>* pinned = nullptr);
 
 /// Shapes of the runtime tables the generated code indexes by slot: enough
 /// to rebuild a fresh QueryRuntime for every execution of a cached module.

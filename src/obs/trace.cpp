@@ -146,6 +146,36 @@ void TraceRecorder::LabelThisThread(const std::string& label) {
   buf->label = label;
 }
 
+TraceRecorder::Capture TraceRecorder::BeginCapture() const {
+  Capture cap;
+  std::lock_guard<std::mutex> lk(mu_);
+  cap.floors.reserve(buffers_.size());
+  for (const auto& b : buffers_) {
+    // tids are assigned 1..N in registration order, so tid - 1 indexes.
+    cap.floors.push_back(b->published.load(std::memory_order_acquire));
+  }
+  return cap;
+}
+
+QueryTrace TraceRecorder::Snapshot(const Capture& capture) const {
+  QueryTrace out;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& b : buffers_) {
+    const uint64_t n = b->published.load(std::memory_order_acquire);
+    out.dropped += b->dropped.load(std::memory_order_relaxed);
+    if (!b->label.empty()) out.thread_names[b->tid] = b->label;
+    const size_t idx = b->tid - 1;
+    const uint64_t floor = idx < capture.floors.size() ? capture.floors[idx] : 0;
+    std::lock_guard<std::mutex> clk(b->chunks_mu);
+    for (uint64_t i = floor; i < n; ++i) {
+      out.events.push_back(
+          b->chunks[static_cast<size_t>(i / Chunk::kEvents)]
+              ->events[static_cast<size_t>(i % Chunk::kEvents)]);
+    }
+  }
+  return out;
+}
+
 QueryTrace TraceRecorder::Snapshot() const {
   QueryTrace out;
   std::lock_guard<std::mutex> lk(mu_);

@@ -118,6 +118,28 @@ class TraceRecorder {
   /// "shard-1", "background-compiler"). Rare-path: takes the registry lock.
   void LabelThisThread(const std::string& label);
 
+  /// A per-observer snapshot floor: BeginCapture() records how many events
+  /// each thread had published at that instant, and Snapshot(capture)
+  /// returns only events published after it. Unlike Clear(), whose floor is
+  /// process-global state, a Capture is owned by one observer — concurrent
+  /// queries sharing a recorder each take their own capture, and one
+  /// session calling Clear() can no longer drop spans another in-flight
+  /// capture still expects (chunk storage is retained, never freed).
+  struct Capture {
+    /// Published counts indexed by tid - 1 at capture time; buffers
+    /// registered later fall off the end and are captured from zero.
+    std::vector<uint64_t> floors;
+  };
+
+  /// Starts a capture scoped to the caller (rare path: takes the registry
+  /// lock once).
+  Capture BeginCapture() const;
+
+  /// Copies every event published since `capture` began. Independent of
+  /// Clear(): a global Clear between BeginCapture and this call does not
+  /// hide events from the capture.
+  QueryTrace Snapshot(const Capture& capture) const;
+
   /// Copies every event published since the last Clear(). Safe to call
   /// while other threads (e.g. an outlived background compile) are still
   /// appending: only slots published with release semantics are read.

@@ -241,7 +241,7 @@ double Optimizer::EstimateSelectivity(const ExprPtr& pred, const OpPtr& op) cons
           };
           const Operator* scan = find_scan(op.get());
           if (scan != nullptr) {
-            const DatasetStats* ds = catalog_.stats().Find(scan->dataset());
+            const auto ds = catalog_.stats().Find(scan->dataset());
             if (ds != nullptr) {
               auto it = ds->columns.find(DottedPath(path));
               if (it != ds->columns.end() && it->second.valid &&
@@ -280,7 +280,7 @@ double Optimizer::EstimateSelectivity(const ExprPtr& pred, const OpPtr& op) cons
 double Optimizer::EstimateCardinality(const OpPtr& op) const {
   switch (op->kind()) {
     case OpKind::kScan: {
-      const DatasetStats* ds = catalog_.stats().Find(op->dataset());
+      const auto ds = catalog_.stats().Find(op->dataset());
       return ds != nullptr && ds->valid ? static_cast<double>(ds->cardinality) : 1000.0;
     }
     case OpKind::kCacheScan:

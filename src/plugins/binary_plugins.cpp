@@ -63,7 +63,7 @@ Result<Value> BinColPlugin::ReadValue(uint64_t oid, const FieldPath& path) {
 
 Status BinColPlugin::CollectStats(StatsStore* store) {
   PROTEUS_RETURN_NOT_OK(Open());
-  DatasetStats& ds = store->GetOrCreate(info_.name);
+  DatasetStats ds;
   ds.cardinality = reader_->num_rows();
   for (uint32_t j = 0; j < reader_->num_cols(); ++j) {
     TypeKind k = reader_->col_type(j);
@@ -93,6 +93,7 @@ Status BinColPlugin::CollectStats(StatsStore* store) {
     cs.valid = true;
   }
   ds.valid = true;
+  store->Publish(info_.name, std::move(ds));
   return Status::OK();
 }
 

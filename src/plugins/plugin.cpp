@@ -116,7 +116,9 @@ void NumericLeafPaths(const Type& rec, FieldPath* prefix, std::vector<FieldPath>
 
 Status InputPlugin::CollectStats(StatsStore* store) {
   PROTEUS_RETURN_NOT_OK(Open());
-  DatasetStats& ds = store->GetOrCreate(info().name);
+  // Build locally, publish atomically: a concurrent query's optimizer must
+  // never observe a half-filled DatasetStats.
+  DatasetStats ds;
   ds.cardinality = NumRecords();
   std::vector<FieldPath> paths;
   FieldPath prefix;
@@ -142,6 +144,7 @@ Status InputPlugin::CollectStats(StatsStore* store) {
     cs.valid = !first;
   }
   ds.valid = true;
+  store->Publish(info().name, std::move(ds));
   return Status::OK();
 }
 

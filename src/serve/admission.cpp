@@ -1,0 +1,66 @@
+#include "src/serve/admission.h"
+
+namespace proteus::serve {
+
+AdmissionGate::AdmissionGate(Options opts) : opts_(opts) {}
+
+AdmissionGate::Outcome AdmissionGate::Enter() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (closed_) return Outcome::kClosed;
+  if (inflight_ < opts_.max_inflight) {
+    ++inflight_;
+    ++admitted_;
+    return Outcome::kAdmitted;
+  }
+  if (waiting_ >= opts_.queue_depth) {
+    // Overload is signalled, not absorbed: the caller gets an immediate
+    // rejection it can surface as a kRejected frame.
+    ++rejected_;
+    return Outcome::kRejected;
+  }
+  ++waiting_;
+  cv_.wait(lk, [&] { return closed_ || inflight_ < opts_.max_inflight; });
+  --waiting_;
+  if (closed_) return Outcome::kClosed;
+  ++inflight_;
+  ++admitted_;
+  return Outcome::kAdmitted;
+}
+
+void AdmissionGate::Exit() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --inflight_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionGate::Close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+int AdmissionGate::inflight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return inflight_;
+}
+
+int AdmissionGate::waiting() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return waiting_;
+}
+
+uint64_t AdmissionGate::admitted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionGate::rejected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_;
+}
+
+}  // namespace proteus::serve

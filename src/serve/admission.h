@@ -1,0 +1,60 @@
+// Admission control for the query server: a bounded gate in front of the
+// engine.
+//
+// The engine itself is reentrant — N concurrent ExecutePlan calls interleave
+// at morsel granularity on the shared scheduler — but an unbounded N turns
+// overload into collapse (every query slower, memory for every plan's builds
+// live at once). The gate keeps at most `max_inflight` queries executing and
+// at most `queue_depth` callers parked waiting for a slot; anything beyond
+// that is rejected *immediately*, so an overloaded server degrades into
+// explicit kRejected frames instead of unbounded queueing or hangs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace proteus::serve {
+
+class AdmissionGate {
+ public:
+  struct Options {
+    int max_inflight = 4;  ///< queries executing concurrently
+    int queue_depth = 16;  ///< callers parked waiting for a slot
+  };
+
+  enum class Outcome {
+    kAdmitted,  ///< slot acquired; caller must Exit() when done
+    kRejected,  ///< gate and queue both full — overload, try later
+    kClosed,    ///< server shutting down
+  };
+
+  explicit AdmissionGate(Options opts);
+
+  /// Acquires an execution slot, parking in the bounded queue if the gate is
+  /// full. Returns immediately with kRejected when the queue is full too.
+  Outcome Enter();
+
+  /// Releases a slot acquired by a successful Enter().
+  void Exit();
+
+  /// Wakes every parked caller with kClosed and rejects all future Enter()s.
+  void Close();
+
+  int inflight() const;
+  int waiting() const;
+  uint64_t admitted() const;
+  uint64_t rejected() const;
+
+ private:
+  const Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int inflight_ = 0;
+  int waiting_ = 0;
+  bool closed_ = false;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace proteus::serve

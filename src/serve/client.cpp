@@ -1,0 +1,110 @@
+#include "src/serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace proteus::serve {
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), next_id_(other.next_id_) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+Result<ServeClient> ServeClient::Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("serve connect: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s = Status::IOError(std::string("serve connect: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return ServeClient(fd);
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<uint64_t> ServeClient::Submit(std::string_view query) {
+  if (fd_ < 0) return Status::IOError("serve client: not connected");
+  const uint64_t id = next_id_++;
+  Frame f;
+  f.type = FrameType::kQuery;
+  f.query_id = id;
+  f.body = EncodeQueryBody(query);
+  PROTEUS_RETURN_NOT_OK(WriteFrame(fd_, f));
+  return id;
+}
+
+Status ServeClient::Cancel(uint64_t query_id) {
+  if (fd_ < 0) return Status::IOError("serve client: not connected");
+  Frame f;
+  f.type = FrameType::kCancel;
+  f.query_id = query_id;
+  return WriteFrame(fd_, f);
+}
+
+Result<ServeClient::Response> ServeClient::Await() {
+  if (fd_ < 0) return Status::IOError("serve client: not connected");
+  PROTEUS_ASSIGN_OR_RETURN(Frame f, ReadFrame(fd_));
+  Response resp;
+  resp.type = f.type;
+  resp.query_id = f.query_id;
+  switch (f.type) {
+    case FrameType::kResult: {
+      PROTEUS_ASSIGN_OR_RETURN(ResultBody body, DecodeResultBody(f.body));
+      resp.result = std::move(body.result);
+      resp.telemetry = std::move(body.telemetry);
+      return resp;
+    }
+    case FrameType::kCancelled: {
+      PROTEUS_ASSIGN_OR_RETURN(resp.telemetry, DecodeCancelledBody(f.body));
+      return resp;
+    }
+    case FrameType::kError: {
+      PROTEUS_RETURN_NOT_OK(DecodeErrorBody(f.body, &resp.error));
+      return resp;
+    }
+    case FrameType::kRejected: {
+      PROTEUS_ASSIGN_OR_RETURN(resp.reject_reason, DecodeRejectedBody(f.body));
+      return resp;
+    }
+    default:
+      return Status::InvalidArgument("serve client: request-type frame from server");
+  }
+}
+
+Result<ServeClient::Response> ServeClient::Execute(std::string_view query) {
+  PROTEUS_ASSIGN_OR_RETURN(const uint64_t id, Submit(query));
+  PROTEUS_ASSIGN_OR_RETURN(Response resp, Await());
+  if (resp.query_id != id) {
+    return Status::Internal("serve client: response for query " +
+                            std::to_string(resp.query_id) + ", expected " +
+                            std::to_string(id) +
+                            " (use Submit/Await for pipelined queries)");
+  }
+  return resp;
+}
+
+}  // namespace proteus::serve

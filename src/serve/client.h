@@ -1,0 +1,72 @@
+// Client for the Proteus query server (src/serve/server.h).
+//
+// A thin blocking wrapper over the frame protocol: Submit() assigns a
+// query_id and sends kQuery; Await() reads the next response frame (any
+// query of this connection — responses are keyed by query_id and may arrive
+// out of submission order); Cancel() sends kCancel. Execute() is the
+// one-shot convenience: submit, await that id, return.
+//
+// One ServeClient = one connection = one thread's toy. It is not internally
+// synchronized; concurrent clients each open their own connection (which is
+// also what exercises the server's concurrency).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/core/query_engine.h"
+#include "src/engine/result.h"
+#include "src/serve/protocol.h"
+
+namespace proteus::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient() { Close(); }
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects to a server on 127.0.0.1:port.
+  static Result<ServeClient> Connect(uint16_t port);
+
+  /// One decoded response frame.
+  struct Response {
+    FrameType type = FrameType::kError;
+    uint64_t query_id = 0;
+    QueryResult result;        ///< kResult
+    QueryTelemetry telemetry;  ///< kResult and kCancelled
+    Status error;              ///< kError: the engine/server status
+    std::string reject_reason; ///< kRejected
+  };
+
+  /// Sends a query; returns its id for matching the response / cancelling.
+  Result<uint64_t> Submit(std::string_view query);
+
+  /// Requests cooperative cancellation of an in-flight query. The response
+  /// still arrives (kCancelled — or kResult if the query won the race).
+  Status Cancel(uint64_t query_id);
+
+  /// Blocks for the next response frame on this connection.
+  Result<Response> Await();
+
+  /// Submit + Await: runs one query to completion. With no other queries
+  /// outstanding on this connection, the next response is necessarily ours.
+  Result<Response> Execute(std::string_view query);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace proteus::serve

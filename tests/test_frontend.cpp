@@ -268,10 +268,11 @@ TEST_F(FrontendTest, TypeCheckRejectsBadPlans) {
 }
 
 TEST_F(FrontendTest, SelectivityUsesStats) {
-  DatasetStats& ds = catalog_.stats().GetOrCreate("lineitem");
+  DatasetStats ds;
   ds.valid = true;
   ds.cardinality = 1000;
   ds.columns["l_orderkey"] = {.valid = true, .min = 0, .max = 100, .ndv = 100};
+  catalog_.stats().Publish("lineitem", std::move(ds));
   Optimizer opt(catalog_);
   OpPtr scan = Operator::Scan("lineitem", "l");
   auto pred = Expr::Bin(BinOp::kLt, Expr::Proj(Expr::Var("l"), "l_orderkey"), Expr::Int(20));
@@ -281,12 +282,14 @@ TEST_F(FrontendTest, SelectivityUsesStats) {
 }
 
 TEST_F(FrontendTest, JoinReorderPutsSmallSideFirst) {
-  DatasetStats& lo = catalog_.stats().GetOrCreate("lineitem");
+  DatasetStats lo;
   lo.valid = true;
   lo.cardinality = 400000;
-  DatasetStats& od = catalog_.stats().GetOrCreate("orders");
+  catalog_.stats().Publish("lineitem", std::move(lo));
+  DatasetStats od;
   od.valid = true;
   od.cardinality = 100000;
+  catalog_.stats().Publish("orders", std::move(od));
   OpPtr plan = MustOptimize(
       "SELECT count(*) FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey");
   // The left (build) side of the top join should be the smaller orders scan.

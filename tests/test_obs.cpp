@@ -97,6 +97,42 @@ TEST(TraceRecorder, ClearIsASnapshotFloorNotATruncation) {
 }
 
 // Writers on many threads, a reader snapshotting concurrently — the exact
+// Capture handles: per-observer snapshot floors, independent of the
+// process-global Clear(). This is the regression test for the bug where
+// Clear() — which any query could issue — silently moved the floor under a
+// concurrent observer and amputated its window.
+TEST(TraceRecorder, CapturesArePerObserverAndSurviveClear) {
+  obs::TraceRecorder rec;
+  rec.Instant("a");
+  obs::TraceRecorder::Capture cap1 = rec.BeginCapture();
+  rec.Instant("b");
+  obs::TraceRecorder::Capture cap2 = rec.BeginCapture();
+  rec.Instant("c");
+
+  // Each capture sees exactly the events after its own floor; the legacy
+  // snapshot still sees everything since the last Clear.
+  EXPECT_EQ(rec.Snapshot(cap1).events.size(), 2u);  // b, c
+  EXPECT_EQ(rec.Snapshot(cap2).events.size(), 1u);  // c
+  EXPECT_EQ(rec.Snapshot().events.size(), 3u);      // a, b, c
+
+  // A global Clear moves the legacy floor but must NOT hide events from the
+  // still-open captures.
+  rec.Clear();
+  rec.Instant("d");
+  EXPECT_EQ(rec.Snapshot().events.size(), 1u);      // d
+  obs::QueryTrace t1 = rec.Snapshot(cap1);
+  ASSERT_EQ(t1.events.size(), 3u);                  // b, c, d — Clear changed nothing
+  EXPECT_STREQ(t1.events[0].name, "b");
+  EXPECT_STREQ(t1.events[2].name, "d");
+  EXPECT_EQ(rec.Snapshot(cap2).events.size(), 2u);  // c, d
+
+  // A thread that starts publishing only after the capture began falls off
+  // the end of the floor vector and is captured from zero.
+  std::thread late([&] { rec.Instant("late"); });
+  late.join();
+  EXPECT_EQ(rec.Snapshot(cap1).events.size(), 4u);
+}
+
 // interleaving the TSan job must see racing-free. Each thread owns its
 // buffer; the snapshot reads only release-published slots.
 TEST(TraceRecorder, ConcurrentWritersAndSnapshots) {

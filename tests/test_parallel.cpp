@@ -407,6 +407,92 @@ TEST_F(SplitTest, JsonSplitBalancesBytes) {
   EXPECT_LE(max_size, 2 * min_size + 16);
 }
 
+// The reentrancy contract: 8 threads hammer ONE engine with mixed plans and
+// every caller gets (a) exactly the rows a serial run produces and (b)
+// telemetry attributed to its own query. The attribution check is a
+// conservation law: per-query tasks_dealt / steals from CallOptions, summed
+// over every query, must equal the shared scheduler's lifetime totals —
+// which the old read-then-reset delta could never satisfy (concurrent
+// queries double- and cross-counted each other's work). Run under TSan in
+// CI, this is also the data-race regression test for the shared engine.
+TEST(ConcurrentEngine, EightCallersShareOneEngineWithExactAttribution) {
+  auto baseline_engine = MakeEngine(1);
+  std::vector<QueryResult> baselines;
+  for (const auto& q : Workload()) {
+    auto r = baseline_engine->Execute(q);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    baselines.push_back(std::move(*r));
+  }
+
+  auto engine = MakeEngine(4);
+  constexpr int kCallers = 8;
+  constexpr int kRounds = 2;
+  std::atomic<uint64_t> sum_dealt{0};
+  std::atomic<uint64_t> sum_steals{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = 0; q < Workload().size(); ++q) {
+          const size_t idx = (q + c) % Workload().size();
+          QueryTelemetry tel;
+          CallOptions call;
+          call.telemetry = &tel;
+          auto r = engine->Execute(Workload()[idx], call);
+          ASSERT_TRUE(r.ok()) << Workload()[idx] << ": " << r.status().ToString();
+          ExpectIdentical(baselines[idx], *r,
+                          "caller " + std::to_string(c) + " query " +
+                              std::to_string(idx));
+          sum_dealt.fetch_add(tel.tasks_dealt, std::memory_order_relaxed);
+          sum_steals.fetch_add(tel.steals, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+
+  // Conservation: every dealt task and every steal of the engine's lifetime
+  // belongs to exactly one query.
+  EXPECT_EQ(sum_dealt.load(), engine->scheduler().total_dealt());
+  EXPECT_EQ(sum_steals.load(), engine->scheduler().total_steals());
+}
+
+// Concurrent ParallelFor callers on one scheduler: every batch completes,
+// every caller sees only its own error, and pool workers interleave across
+// batches without dropping or double-running tasks.
+TEST(TaskScheduler, ConcurrentBatchesRunEveryTaskExactlyOnce) {
+  TaskScheduler sched(4);
+  constexpr int kCallers = 6;
+  constexpr uint64_t kTasks = 200;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& v : hits) {
+    std::vector<std::atomic<int>> init(kTasks);
+    v.swap(init);
+  }
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      TaskScheduler::BatchStats stats;
+      Status s;
+      {
+        TaskScheduler::StatsScope scope(&stats);
+        s = sched.ParallelFor(kTasks, [&](uint64_t t, int) {
+          hits[c][t].fetch_add(1, std::memory_order_relaxed);
+          return Status::OK();
+        });
+      }
+      ASSERT_TRUE(s.ok());
+      EXPECT_EQ(stats.dealt, kTasks);
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (uint64_t t = 0; t < kTasks; ++t) {
+      ASSERT_EQ(hits[c][t].load(), 1) << "caller " << c << " task " << t;
+    }
+  }
+}
+
 TEST_F(SplitTest, SplitIsDeterministic) {
   InputPlugin* p = MustOpen("lineitem_json");
   ASSERT_NE(p, nullptr);

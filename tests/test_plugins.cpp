@@ -62,7 +62,7 @@ TEST(BinColPlugin, StatsMinMax) {
   BinColPlugin p(FlatInfo(DataFormat::kBinaryColumn, dir));
   StatsStore store;
   ASSERT_TRUE(p.CollectStats(&store).ok());
-  const DatasetStats* ds = store.Find(p.info().name);
+  const auto ds = store.Find(p.info().name);
   ASSERT_NE(ds, nullptr);
   EXPECT_EQ(ds->cardinality, 3u);
   EXPECT_DOUBLE_EQ(ds->columns.at("k").min, 10.0);

@@ -384,6 +384,67 @@ TEST(PartialResultWire, RejectsMalformedPayloads) {
   EXPECT_FALSE(PartialResult::Deserialize(bytes + "x").ok());
 }
 
+// The full malformed-payload matrix across every PartialResult kind:
+// EVERY proper prefix is a truncation and must fail cleanly, and trailing
+// garbage after a complete payload is rejected (decode must consume the
+// envelope exactly — the strict !AtEnd() rule). Length prefixes live at the
+// front of each section, so no proper prefix can parse as a complete
+// payload of its own.
+TEST(PartialResultWire, MalformedMatrixAcrossAllKinds) {
+  std::vector<std::pair<std::string, std::string>> payloads;
+
+  {
+    PlanPartials p;
+    p.nest = false;
+    for (int m = 0; m < 2; ++m) {
+      std::vector<Aggregator> aggs;
+      aggs.emplace_back(Monoid::kSum);
+      aggs.emplace_back(Monoid::kCount);
+      aggs[0].Add(Value::Float(1.5 * (m + 1)));
+      aggs[1].Add(Value::Int(m));
+      p.agg_morsels.push_back(std::move(aggs));
+    }
+    payloads.emplace_back("kAggregates",
+                          PartialResult::FromPartials(std::move(p)).Serialize());
+  }
+  {
+    OpPtr scan = Operator::Scan("d", "x");
+    ExprPtr by = Expr::Proj(Expr::Var("x"), "k");
+    OpPtr nest = Operator::Nest(
+        scan, by, "k",
+        {{Monoid::kCount, nullptr, "c"}, {Monoid::kSum, Expr::Proj(Expr::Var("x"), "v"), "s"}});
+    GroupTable t;
+    t.count_bytes = false;
+    for (int i = 0; i < 12; ++i) {
+      EvalEnv env;
+      env["x"] = Value::MakeRecord({"k", "v"}, {Value::Int(i % 3), Value::Float(0.25 * i)});
+      ASSERT_TRUE(t.AddRow(*nest, env).ok());
+    }
+    PlanPartials p;
+    p.nest = true;
+    p.group_morsels.push_back(std::move(t));
+    payloads.emplace_back("kGroups",
+                          PartialResult::FromPartials(std::move(p)).Serialize());
+  }
+  {
+    QueryResult rows;
+    rows.columns = {"a", "b"};
+    rows.rows.push_back({Value::Int(7), Value::Str("hello")});
+    rows.rows.push_back({Value::Null(), Value::MakeList({Value::Float(2.5)})});
+    payloads.emplace_back("kRows", PartialResult::FromRows(rows).Serialize());
+  }
+
+  for (const auto& [kind, bytes] : payloads) {
+    ASSERT_TRUE(PartialResult::Deserialize(bytes).ok()) << kind;
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      EXPECT_FALSE(PartialResult::Deserialize(std::string_view(bytes).substr(0, cut)).ok())
+          << kind << " truncated at " << cut;
+    }
+    EXPECT_FALSE(PartialResult::Deserialize(bytes + '\0').ok()) << kind;
+    EXPECT_FALSE(PartialResult::Deserialize(bytes + "garbage").ok()) << kind;
+  }
+}
+
 TEST(PartialResultWire, RejectsDeeplyNestedValues) {
   // A crafted chain of single-element list headers passes every length
   // check; the reader must bail with InvalidArgument at its depth bound
