@@ -175,7 +175,8 @@ class BenchReport {
       << ",\"compile_tier\":" << t.compile_tier
       << ",\"morsels_interpreted\":" << t.morsels_interpreted
       << ",\"morsels_jit\":" << t.morsels_jit << ",\"tasks_dealt\":" << t.tasks_dealt
-      << ",\"steals\":" << t.steals << "}";
+      << ",\"steals\":" << t.steals << ",\"join_strategy\":\"" << t.join_strategy
+      << "\"}";
   }
 
   std::mutex mu_;

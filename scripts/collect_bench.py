@@ -45,6 +45,7 @@ TELEMETRY_FIELDS = {
     "morsels_jit": int,
     "tasks_dealt": int,
     "steals": int,
+    "join_strategy": str,
 }
 
 

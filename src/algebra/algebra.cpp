@@ -23,6 +23,14 @@ bool IsCollectionMonoid(Monoid m) {
   return m == Monoid::kBag || m == Monoid::kList || m == Monoid::kSet;
 }
 
+const char* JoinStrategyName(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kShared: return "shared";
+    case JoinStrategy::kPartitioned: return "partitioned";
+  }
+  return "?";
+}
+
 OpPtr Operator::Scan(std::string dataset, std::string binding) {
   auto op = OpPtr(new Operator(OpKind::kScan));
   op->dataset_ = std::move(dataset);

@@ -37,6 +37,22 @@ enum class OpKind {
 
 enum class Monoid { kSum, kCount, kMax, kMin, kAnd, kOr, kBag, kList, kSet };
 
+/// Physical probe layout of a hash join's build table, chosen per join by
+/// the optimizer (skew/cardinality heuristic over dataset statistics):
+///   kShared      — one clustered array + uniform bucket directory; best for
+///                  small, uniform build sides.
+///   kPartitioned — per-radix-partition sub-tables with partition-local
+///                  memory and bucket sizing; best for large or skewed
+///                  build sides.
+/// Results are cell-identical across strategies by construction; only the
+/// table's memory layout differs. Deliberately NOT part of the plan
+/// Signature() (the logical plan is the same) — but it IS part of the
+/// compiled-query cache key, because generated modules bake the layout
+/// choice into their runtime layout.
+enum class JoinStrategy : uint8_t { kShared, kPartitioned };
+
+const char* JoinStrategyName(JoinStrategy s);
+
 const char* MonoidName(Monoid m);
 /// True for collection monoids (bag/list/set); false for aggregates.
 bool IsCollectionMonoid(Monoid m);
@@ -97,6 +113,11 @@ class Operator {
     right_key_ = std::move(r);
   }
 
+  /// Probe layout of this join's build table (kJoin only; set by the
+  /// optimizer's strategy pass, defaults to the shared table).
+  JoinStrategy join_strategy() const { return join_strategy_; }
+  void set_join_strategy(JoinStrategy s) { join_strategy_ = s; }
+
   /// Cache-scan payload (kCacheScan only): id of the cache block to read.
   /// `dataset` names the raw source so that fields absent from the cache
   /// (e.g. strings, which policy excludes) are read hybridly through the
@@ -133,6 +154,7 @@ class Operator {
   std::string group_name_;          // kNest
   std::vector<FieldPath> scan_fields_;
   ExprPtr left_key_, right_key_;    // kJoin (optimizer)
+  JoinStrategy join_strategy_ = JoinStrategy::kShared;  // kJoin (optimizer)
   uint64_t cache_id_ = 0;           // kCacheScan
   std::string cache_signature_;     // kCacheScan: signature of replaced subtree
 };

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <atomic>
+#include <bitset>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,6 +58,26 @@ struct ColumnStats {
   double max = 0.0;
   /// Crude distinct-count estimate (linear counting on a small bitmap).
   uint64_t ndv = 0;
+};
+
+/// The linear-counting estimator behind ColumnStats::ndv: one bit per value
+/// hash, ndv ≈ -m·ln(zeros/m). Near-exact far below m distinct values —
+/// plenty for the optimizer's duplication-ratio test (build rows / ndv),
+/// which only needs order-of-magnitude fidelity.
+class NdvSketch {
+ public:
+  void Add(uint64_t hash) { bits_.set((hash ^ (hash >> 23)) % kBits); }
+  uint64_t Estimate() const {
+    const uint64_t zeros = kBits - bits_.count();
+    if (zeros == 0) return kBits;
+    const double est = -static_cast<double>(kBits) *
+                       std::log(static_cast<double>(zeros) / static_cast<double>(kBits));
+    return static_cast<uint64_t>(est + 0.5);
+  }
+
+ private:
+  static constexpr uint64_t kBits = 1 << 14;
+  std::bitset<kBits> bits_;
 };
 
 struct DatasetStats {

@@ -27,6 +27,16 @@ void CollectRawScans(const OpPtr& op, std::vector<const Operator*>* out) {
   for (const auto& c : op->children()) CollectRawScans(c, out);
 }
 
+/// Comma-joined probe strategies of the plan's equi joins, in plan order
+/// (pre-order) — the QueryTelemetry::join_strategy value.
+void AppendJoinStrategies(const Operator& op, std::string* out) {
+  if (op.kind() == OpKind::kJoin && op.left_key() != nullptr) {
+    if (!out->empty()) out->append(",");
+    out->append(JoinStrategyName(op.join_strategy()));
+  }
+  for (const auto& c : op.children()) AppendJoinStrategies(*c, out);
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(EngineOptions opts)
@@ -145,6 +155,7 @@ Result<QueryResult> QueryEngine::ExecutePlanInner(OpPtr logical_plan, const Call
     tel.used_cache = has_cache_scan(*physical);
   }
   tel.plan = physical->ToString();
+  AppendJoinStrategies(*physical, &tel.join_strategy);
   return Run(std::move(physical), call, tel, ir);
 }
 

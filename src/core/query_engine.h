@@ -162,7 +162,15 @@ struct QueryTelemetry {
   /// query under proteus_queries_cancelled_total, not the error counter —
   /// a cancellation the caller asked for is not a failure of the engine.
   bool cancelled = false;
-  std::string fallback_reason;  ///< why the interpreter ran, if it did
+  /// Probe layout the optimizer chose for each equi join of the physical
+  /// plan, comma-joined in plan order ("shared" / "partitioned"); empty when
+  /// the plan has no equi joins. The same annotation drives the interpreter,
+  /// the generated engines, and every shard — strategy never varies by
+  /// execution path within one query.
+  std::string join_strategy;
+  /// Why the interpreter ran, if it did. A plan rejected for several
+  /// features reports every reason, semicolon-joined.
+  std::string fallback_reason;
   std::string plan;             ///< physical plan, printable
 };
 

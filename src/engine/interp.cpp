@@ -395,6 +395,7 @@ class JoinCursorOp : public Cursor {
     PROTEUS_RETURN_NOT_OK(right_->Open());
     // Build phase: materialize the left (build) side.
     build_.has_key = op_.left_key() != nullptr;
+    build_.table.set_partitioned(op_.join_strategy() == JoinStrategy::kPartitioned);
     EvalEnv row;
     while (true) {
       PROTEUS_ASSIGN_OR_RETURN(bool has, left_->Next(&row));
@@ -730,6 +731,7 @@ class MorselRunner {
     auto build = std::make_shared<SharedJoinBuild>();
     if (join.left_key()) {
       build->has_key = true;
+      build->table.set_partitioned(join.join_strategy() == JoinStrategy::kPartitioned);
       build->rows.reserve(rows.size());
       build->keys.reserve(rows.size());
       build->table.Reserve(rows.size());

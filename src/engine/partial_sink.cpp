@@ -214,6 +214,14 @@ void proteus_sink_group_begin_int(void* sink, int64_t key) {
   s->cur_group = s->groups->UpsertKey(*s->nest, proteus::Value::Int(key));
 }
 
+void proteus_sink_group_begin_double(void* sink, double key) {
+  proteus::JitMorselSink* s = SINK(sink);
+  // Boxed through the same Value path the interpreter's Nest uses, so float
+  // group keys hash and compare by the exact same rules (bit pattern via
+  // Value::Hash / Equals) in both engines.
+  s->cur_group = s->groups->UpsertKey(*s->nest, proteus::Value::Float(key));
+}
+
 void proteus_sink_group_begin_bool(void* sink, int32_t key) {
   proteus::JitMorselSink* s = SINK(sink);
   s->cur_group = s->groups->UpsertKey(*s->nest, proteus::Value::Boolean(key != 0));

@@ -160,6 +160,7 @@ void proteus_sink_agg_flush_bool(void* sink, uint32_t i, int32_t v, int64_t rows
 // output's evaluated value. The null variant covers SQL-null group keys
 // (e.g. rows drained from an outer join grouping on a probe-side field).
 void proteus_sink_group_begin_int(void* sink, int64_t key);
+void proteus_sink_group_begin_double(void* sink, double key);
 void proteus_sink_group_begin_bool(void* sink, int32_t key);
 void proteus_sink_group_begin_str(void* sink, const char* p, int64_t len);
 void proteus_sink_group_begin_null(void* sink);

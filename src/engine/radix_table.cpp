@@ -45,16 +45,26 @@ void RadixTable::Build(TaskScheduler* scheduler) {
   std::vector<uint32_t> offsets(num_parts + 1, 0);
 
   // Per-(chunk, partition) write cursors: chunk c writes partition p's rows
-  // at offsets[p] + sum of earlier chunks' counts for p. Disjoint slices, so
-  // the scatter needs no synchronization and reproduces the serial order
-  // (chunks are in entry order, entries in order within each chunk).
+  // at the partition start + sum of earlier chunks' counts for p. Disjoint
+  // slices, so the scatter needs no synchronization and reproduces the
+  // serial order (chunks are in entry order, entries in order within each
+  // chunk). In the partitioned layout the cursor is partition-local (starts
+  // at 0 per partition) — the relative row order within a partition is the
+  // same either way, which is what keeps probe chain order layout-invariant.
   std::vector<std::vector<uint32_t>> chunk_starts(num_chunks,
                                                   std::vector<uint32_t>(num_parts, 0));
   auto scatter = [&](uint64_t c, int) -> Status {
     const size_t lo = c * kBuildChunk, hi = std::min(n, lo + kBuildChunk);
     auto& cursor = chunk_starts[c];
-    for (size_t i = lo; i < hi; ++i) {
-      clustered_[cursor[entries_[i].hash & partition_mask_]++] = entries_[i];
+    if (partitioned_) {
+      for (size_t i = lo; i < hi; ++i) {
+        uint64_t p = entries_[i].hash & partition_mask_;
+        parts_[p].rows[cursor[p]++] = entries_[i];
+      }
+    } else {
+      for (size_t i = lo; i < hi; ++i) {
+        clustered_[cursor[entries_[i].hash & partition_mask_]++] = entries_[i];
+      }
     }
     return Status::OK();
   };
@@ -69,7 +79,7 @@ void RadixTable::Build(TaskScheduler* scheduler) {
     offsets[p + 1] = offsets[p] + counts[p];
   }
   for (uint32_t p = 0; p < num_parts; ++p) {
-    uint32_t at = offsets[p];
+    uint32_t at = partitioned_ ? 0 : offsets[p];
     for (size_t c = 0; c < num_chunks; ++c) {
       chunk_starts[c][p] = at;
       at += chunk_counts[c][p];
@@ -77,7 +87,12 @@ void RadixTable::Build(TaskScheduler* scheduler) {
   }
 
   // Pass 2: scatter into clustered order (the radix clustering step).
-  clustered_.resize(n);
+  if (partitioned_) {
+    parts_.assign(num_parts, Partition{});
+    for (uint32_t p = 0; p < num_parts; ++p) parts_[p].rows.resize(counts[p]);
+  } else {
+    clustered_.resize(n);
+  }
   if (parallel) {
     (void)scheduler->ParallelFor(num_chunks, scatter);
   } else {
@@ -86,6 +101,37 @@ void RadixTable::Build(TaskScheduler* scheduler) {
   GlobalCounters().bytes_materialized += n * sizeof(Entry);
   entries_.clear();
   entries_.shrink_to_fit();
+
+  if (partitioned_) {
+    // Partition-local chained buckets: each partition's directory is sized
+    // to its own row count, so a heavy-hitter partition never inflates the
+    // memory of its siblings — the point of this layout on skewed keys.
+    auto chain_local = [&](uint64_t p, int) -> Status {
+      Partition& pt = parts_[p];
+      const uint32_t rows = static_cast<uint32_t>(pt.rows.size());
+      if (rows == 0) return Status::OK();
+      uint32_t nb = NextPow2(rows);
+      pt.bucket_mask = nb - 1;
+      pt.buckets.assign(nb, kNil);
+      pt.next.assign(rows, kNil);
+      for (uint32_t i = 0; i < rows; ++i) {
+        uint32_t bucket =
+            static_cast<uint32_t>((pt.rows[i].hash >> radix_bits_) & pt.bucket_mask);
+        pt.next[i] = pt.buckets[bucket];
+        pt.buckets[bucket] = i;
+      }
+      return Status::OK();
+    };
+    if (parallel) {
+      // Each partition owns all of its memory, so this pass is trivially
+      // race-free; chain order within a partition is the sequential scan
+      // order, same as the serial build and the shared layout.
+      (void)scheduler->ParallelFor(num_parts, chain_local);
+    } else {
+      for (uint32_t p = 0; p < num_parts; ++p) (void)chain_local(p, 0);
+    }
+    return;
+  }
 
   // Per-partition chained buckets, uniform bucket count for O(1) addressing.
   uint32_t max_part = 0;

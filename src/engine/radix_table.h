@@ -7,6 +7,19 @@
 // partitions (the "clustering the materialized entries" function the paper
 // wraps in C++) and lays per-partition chained buckets over them. Probes
 // touch exactly one partition.
+//
+// Two physical layouts share that logical structure:
+//   - shared (default): one clustered array + one uniform bucket directory
+//     sized by the *largest* partition — compact directory addressing, but
+//     a heavy-hitter partition inflates every partition's bucket range.
+//   - partitioned (set_partitioned(true) before Build): each partition owns
+//     its rows/buckets/next storage with its own power-of-two bucket count
+//     sized to *its* row count. Skewed builds stop paying the max-partition
+//     tax, partitions build without touching each other's memory, and a
+//     probe's working set is exactly one partition's arrays.
+// Probe chain order is identical across layouts (and across thread counts):
+// rows cluster in entry order and chains push-front over the same per-
+// partition scan, so differential tests stay cell-identical by construction.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +40,16 @@ class RadixTable {
   void Insert(uint64_t hash, uint32_t row_id) { entries_.push_back({hash, row_id}); }
   size_t size() const { return entries_.size(); }
 
+  /// Selects the partitioned layout (per-partition rows/buckets/next with
+  /// partition-local bucket sizing). Must be set before Build(); the
+  /// optimizer's join-strategy pass drives it per query.
+  void set_partitioned(bool on) { partitioned_ = on; }
+  bool partitioned() const { return partitioned_; }
+
+  /// Partition introspection (partitioned layout; 0/empty before Build).
+  size_t num_partitions() const { return parts_.size(); }
+  size_t partition_size(size_t p) const { return parts_[p].rows.size(); }
+
   /// Clusters entries by radix and builds per-partition buckets. Must be
   /// called once, after all inserts and before any probe. With a scheduler,
   /// the histogram and scatter passes run chunk-parallel and the bucket
@@ -39,6 +62,16 @@ class RadixTable {
   /// Invokes `cb(row_id)` for every entry whose hash equals `hash`.
   template <typename F>
   void Probe(uint64_t hash, F&& cb) const {
+    if (partitioned_) {
+      if (parts_.empty()) return;
+      const Partition& pt = parts_[hash & partition_mask_];
+      if (pt.buckets.empty()) return;
+      uint32_t bucket = static_cast<uint32_t>((hash >> radix_bits_) & pt.bucket_mask);
+      for (uint32_t i = pt.buckets[bucket]; i != kNil; i = pt.next[i]) {
+        if (pt.rows[i].hash == hash) cb(pt.rows[i].row_id);
+      }
+      return;
+    }
     if (bucket_mask_ == 0 && buckets_.empty()) return;
     uint32_t part = static_cast<uint32_t>(hash & partition_mask_);
     uint32_t bucket = part * buckets_per_part_ +
@@ -50,8 +83,13 @@ class RadixTable {
 
   /// Bytes held (reported as materialization cost by benchmarks).
   size_t bytes() const {
-    return (entries_.capacity() + clustered_.capacity()) * sizeof(Entry) +
-           buckets_.capacity() * sizeof(uint32_t) + next_.capacity() * sizeof(uint32_t);
+    size_t b = (entries_.capacity() + clustered_.capacity()) * sizeof(Entry) +
+               buckets_.capacity() * sizeof(uint32_t) + next_.capacity() * sizeof(uint32_t);
+    for (const Partition& pt : parts_) {
+      b += pt.rows.capacity() * sizeof(Entry) +
+           (pt.buckets.capacity() + pt.next.capacity()) * sizeof(uint32_t);
+    }
+    return b;
   }
 
  private:
@@ -59,9 +97,17 @@ class RadixTable {
     uint64_t hash;
     uint32_t row_id;
   };
+  /// Partitioned layout: one self-contained sub-table per radix partition.
+  struct Partition {
+    std::vector<Entry> rows;        ///< clustered entries, entry order
+    std::vector<uint32_t> buckets;  ///< NextPow2(rows.size()) chain heads
+    std::vector<uint32_t> next;
+    uint32_t bucket_mask = 0;
+  };
   static constexpr uint32_t kNil = 0xFFFFFFFFu;
 
   int radix_bits_;
+  bool partitioned_ = false;
   uint64_t partition_mask_ = 0;
   uint64_t bucket_mask_ = 0;
   uint32_t buckets_per_part_ = 0;
@@ -69,6 +115,7 @@ class RadixTable {
   std::vector<Entry> clustered_;
   std::vector<uint32_t> buckets_;
   std::vector<uint32_t> next_;
+  std::vector<Partition> parts_;
 };
 
 }  // namespace proteus

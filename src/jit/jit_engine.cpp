@@ -354,32 +354,59 @@ void CollectJoinKeyPaths(const OpPtr& op, std::unordered_set<std::string>* out) 
 }
 
 Status Codegen::CheckSupported(const OpPtr& op) const {
-  switch (op->kind()) {
-    case OpKind::kJoin:
-      if (!op->left_key()) return Status::Unimplemented("jit: non-equi join");
-      // Outer joins generate per-morsel matched-build bitmaps plus a
-      // one-shot drain function — infrastructure only the morsel pipeline
-      // chain has. Outer joins inside build subtrees (or legacy
-      // whole-relation mode) still fall back.
-      if (op->outer() && (!morsel_mode_ || chain_joins_.count(op.get()) == 0)) {
-        return Status::Unimplemented("jit: outer join outside the morsel pipeline chain");
-      }
-      break;
-    case OpKind::kUnnest:
-      break;  // outer unnest generates a null-element emission branch
-    case OpKind::kNest:
-      for (const auto& o : op->outputs()) {
-        if (IsCollectionMonoid(o.monoid) || o.monoid == Monoid::kAnd ||
-            o.monoid == Monoid::kOr) {
-          return Status::Unimplemented("jit: nest with collection/boolean monoid");
+  // Walk the whole plan and collect *every* unsupported construct, not just
+  // the first: fallback telemetry reports the semicolon-joined list, so a
+  // plan with several blockers shows its complete burn-down list at once.
+  std::vector<std::string> reasons;
+  auto add = [&](std::string r) {
+    if (std::find(reasons.begin(), reasons.end(), r) == reasons.end()) {
+      reasons.push_back(std::move(r));
+    }
+  };
+  std::function<void(const OpPtr&)> walk = [&](const OpPtr& o) {
+    switch (o->kind()) {
+      case OpKind::kJoin:
+        // Non-equi joins generate a nested loop over the frozen build rows
+        // (EmitJoinProbe); equi joins with non-integer keys stay on the
+        // interpreter — the packed radix table holds int64 keys only.
+        if (o->left_key() != nullptr && o->left_key()->type() != nullptr) {
+          TypeKind k = o->left_key()->type()->kind();
+          if (k == TypeKind::kFloat64 || k == TypeKind::kString) {
+            add("jit: non-integer join key");
+          }
         }
-      }
-      break;
-    default:
-      break;
+        // Outer joins generate per-morsel matched-build bitmaps plus a
+        // one-shot drain function — infrastructure only the morsel pipeline
+        // chain has. Outer joins inside build subtrees (or legacy
+        // whole-relation mode) still fall back.
+        if (o->outer() && (!morsel_mode_ || chain_joins_.count(o.get()) == 0)) {
+          add("jit: outer join outside the morsel pipeline chain");
+        }
+        break;
+      case OpKind::kUnnest:
+        break;  // outer unnest generates a null-element emission branch
+      case OpKind::kNest:
+        for (const auto& out : o->outputs()) {
+          if (IsCollectionMonoid(out.monoid) || out.monoid == Monoid::kAnd ||
+              out.monoid == Monoid::kOr) {
+            add("jit: nest with collection/boolean monoid");
+            break;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    for (const auto& c : o->children()) walk(c);
+  };
+  walk(op);
+  if (reasons.empty()) return Status::OK();
+  std::string joined;
+  for (const auto& r : reasons) {
+    if (!joined.empty()) joined += "; ";
+    joined += r;
   }
-  for (const auto& c : op->children()) PROTEUS_RETURN_NOT_OK(CheckSupported(c));
-  return Status::OK();
+  return Status::Unimplemented(joined);
 }
 
 Result<TypePtr> Codegen::VarType(const std::string& var) const {
@@ -1209,7 +1236,11 @@ Status Codegen::EmitJoinBuild(const Operator& op) {
   int null_slot = -1;
   if (null_bits > 0) null_slot = static_cast<int>(slots++);
   if (slots == 0) slots = 1;  // keep payload pointers distinguishable from null
-  uint32_t table = layout_->AddJoin(slots);
+  // The optimizer's strategy annotation picks the table's bucket layout
+  // (shared vs radix-partitioned); the flag is baked into the module's
+  // RuntimeLayout, which is why the strategy is part of the cache key.
+  uint32_t table =
+      layout_->AddJoin(slots, op.join_strategy() == JoinStrategy::kPartitioned);
   join_ids_[&op] = table;
   join_payloads_[&op] = payload;
   join_null_slots_[&op] = null_slot;
@@ -1219,9 +1250,12 @@ Status Codegen::EmitJoinBuild(const Operator& op) {
 
   llvm::Value* pay_buf = EntryAlloca(b_.getInt64Ty(), b_.getInt32(slots), "payload");
   PROTEUS_RETURN_NOT_OK(EmitProduce(op.child(0), [&]() -> Status {
-    PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op.left_key()));
-    if (key.kind == TypeKind::kFloat64 || key.kind == TypeKind::kString) {
-      return Status::Unimplemented("jit: non-integer join key");
+    CgValue key;
+    if (op.left_key() != nullptr) {
+      PROTEUS_ASSIGN_OR_RETURN(key, EmitExpr(op.left_key()));
+      if (key.kind == TypeKind::kFloat64 || key.kind == TypeKind::kString) {
+        return Status::Unimplemented("jit: non-integer join key");
+      }
     }
     // Payload slots hold the raw 8-byte values; nullable fields fold their
     // null flag into the trailing mask slot so rebinds restore it.
@@ -1253,6 +1287,16 @@ Status Codegen::EmitJoinBuild(const Operator& op) {
     if (null_slot >= 0) {
       b_.CreateStore(mask, b_.CreateGEP(b_.getInt64Ty(), pay_buf, b_.getInt32(null_slot)));
     }
+    if (op.left_key() == nullptr) {
+      // Non-equi join: no key, no radix entries. Every build row lands in
+      // the frozen payload vector (the insert_null path keeps payload
+      // without a hash entry); the probe side enumerates all of them — the
+      // interpreter's nested loop — applying op.pred() per pair.
+      b_.CreateCall(Helper("proteus_join_insert_null", b_.getVoidTy(),
+                           {i8p, b_.getInt32Ty(), i64p}),
+                    {CtxPtr(), table_v, pay_buf});
+      return Status::OK();
+    }
     auto insert = [&]() {
       b_.CreateCall(Helper("proteus_join_insert", b_.getVoidTy(),
                            {i8p, b_.getInt32Ty(), b_.getInt64Ty(), i64p}),
@@ -1283,8 +1327,10 @@ Status Codegen::EmitJoinBuild(const Operator& op) {
     return Status::OK();
   }));
 
-  b_.CreateCall(Helper("proteus_join_build", b_.getVoidTy(), {i8p, b_.getInt32Ty()}),
-                {CtxPtr(), table_v});
+  if (op.left_key() != nullptr) {
+    b_.CreateCall(Helper("proteus_join_build", b_.getVoidTy(), {i8p, b_.getInt32Ty()}),
+                  {CtxPtr(), table_v});
+  }
   return Status::OK();
 }
 
@@ -1331,6 +1377,28 @@ Status Codegen::EmitJoinProbe(const Operator& op, const Consume& consume) {
   llvm::Value* table_v = b_.getInt32(table);
 
   return EmitProduce(op.child(1), [&]() -> Status {
+    if (op.left_key() == nullptr) {
+      // Non-equi join: nested loop over the frozen build rows, in build
+      // order — exactly the interpreter's FindJoinMatches without a key
+      // (matches = 0..n-1), with the full join predicate as the filter.
+      llvm::Value* n = b_.CreateCall(
+          Helper("proteus_join_rows", b_.getInt64Ty(), {i8p, b_.getInt32Ty()}),
+          {CtxPtr(), table_v});
+      return EmitCountedLoop(n, [&](llvm::Value* row) -> Status {
+        llvm::Value* row_ptr = b_.CreateCall(
+            Helper("proteus_join_payload_at", i64p, {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
+            {CtxPtr(), table_v, row});
+        RebindPayload(op, row_ptr);
+        return EmitFilter(op.pred(), [&]() -> Status {
+          if (op.outer()) {
+            b_.CreateCall(Helper("proteus_sink_join_matched", b_.getVoidTy(),
+                                 {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
+                          {SinkPtr(), table_v, row});
+          }
+          return consume();
+        });
+      });
+    }
     PROTEUS_ASSIGN_OR_RETURN(CgValue key, EmitExpr(op.right_key()));
     llvm::Value* match_ptr = EntryAlloca(i64p, nullptr, "match");
     auto probe_first = [&]() {
@@ -1471,9 +1539,10 @@ Status Codegen::EmitNest(const OpPtr& op, const Consume& consume) {
   if (!op->group_by()->type()) return Status::Internal("jit: un-typechecked group key");
   TypeKind key_kind = op->group_by()->type()->kind();
   bool string_keys = key_kind == TypeKind::kString;
-  if (key_kind == TypeKind::kFloat64) {
-    return Status::Unimplemented("jit: float group keys");
-  }
+  // Float keys round-trip through the int64 key slot as their raw bit
+  // pattern — grouping on bit equality, which the emission loop bitcasts
+  // back to a double binding.
+  bool float_keys = key_kind == TypeKind::kFloat64;
   uint32_t table = layout_->AddGroup(string_keys, init);
   auto* i8p = b_.getInt8PtrTy();
   auto* i64p = b_.getInt64Ty()->getPointerTo();
@@ -1494,9 +1563,14 @@ Status Codegen::EmitNest(const OpPtr& op, const Consume& consume) {
                                      {i8p, b_.getInt32Ty(), i8p, b_.getInt64Ty()}),
                               {CtxPtr(), table_v, key.v, key.len});
       } else {
-        llvm::Value* k64 = key.kind == TypeKind::kBool
-                               ? b_.CreateZExt(key.v, b_.getInt64Ty())
-                               : key.v;
+        llvm::Value* k64;
+        if (key.kind == TypeKind::kBool) {
+          k64 = b_.CreateZExt(key.v, b_.getInt64Ty());
+        } else if (key.kind == TypeKind::kFloat64) {
+          k64 = b_.CreateBitCast(key.v, b_.getInt64Ty());
+        } else {
+          k64 = key.v;
+        }
         slots = b_.CreateCall(Helper("proteus_group_upsert", i64p,
                                      {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
                               {CtxPtr(), table_v, k64});
@@ -1561,11 +1635,19 @@ Status Codegen::EmitNest(const OpPtr& op, const Consume& consume) {
                              {CtxPtr(), table_v, g, len_ptr});
       keyv.len = b_.CreateLoad(b_.getInt64Ty(), len_ptr);
     } else {
-      keyv.kind = key_kind == TypeKind::kBool ? TypeKind::kBool : TypeKind::kInt64;
       llvm::Value* raw = b_.CreateCall(Helper("proteus_group_key", b_.getInt64Ty(),
                                               {i8p, b_.getInt32Ty(), b_.getInt64Ty()}),
                                        {CtxPtr(), table_v, g});
-      keyv.v = key_kind == TypeKind::kBool ? b_.CreateICmpNE(raw, b_.getInt64(0)) : raw;
+      if (key_kind == TypeKind::kBool) {
+        keyv.kind = TypeKind::kBool;
+        keyv.v = b_.CreateICmpNE(raw, b_.getInt64(0));
+      } else if (float_keys) {
+        keyv.kind = TypeKind::kFloat64;
+        keyv.v = b_.CreateBitCast(raw, b_.getDoubleTy());
+      } else {
+        keyv.kind = TypeKind::kInt64;
+        keyv.v = raw;
+      }
     }
     bindings_[Key(gvar, {op->group_name()})] = keyv;
 
@@ -1886,10 +1968,6 @@ Status Codegen::EmitMorselRoot(const OpPtr& reduce, const Operator* nest) {
 Status Codegen::EmitNestMorsel(const Operator& op) {
   auto* i8p = b_.getInt8PtrTy();
   if (!op.group_by()->type()) return Status::Internal("jit: un-typechecked group key");
-  TypeKind key_kind = op.group_by()->type()->kind();
-  if (key_kind == TypeKind::kFloat64) {
-    return Status::Unimplemented("jit: float group keys");
-  }
   for (const auto& o : op.outputs()) {
     if (o.monoid != Monoid::kCount && !o.expr->type()) {
       return Status::Internal("jit: un-typechecked nest output");
@@ -1907,6 +1985,12 @@ Status Codegen::EmitNestMorsel(const Operator& op) {
         b_.CreateCall(Helper("proteus_sink_group_begin_bool", b_.getVoidTy(),
                              {i8p, b_.getInt32Ty()}),
                       {SinkPtr(), b_.CreateZExt(key.v, b_.getInt32Ty())});
+      } else if (key.kind == TypeKind::kFloat64) {
+        // Float keys box through Value::Float — the interpreter's exact
+        // group key, so hashing/equality/order cannot diverge from it.
+        b_.CreateCall(Helper("proteus_sink_group_begin_double", b_.getVoidTy(),
+                             {i8p, b_.getDoubleTy()}),
+                      {SinkPtr(), key.v});
       } else {
         b_.CreateCall(Helper("proteus_sink_group_begin_int", b_.getVoidTy(),
                              {i8p, b_.getInt64Ty()}),
@@ -2253,6 +2337,18 @@ QueryCacheKey MakeQueryCacheKey(const ExecContext& ctx, const OpPtr& plan, Codeg
   QueryCacheKey key;
   key.signature = plan->Signature();
   key.mode = mode;
+  // Join strategies are not part of Signature() (the logical plan is the
+  // same either way) but the compiled module bakes each table's bucket
+  // layout into its RuntimeLayout — two strategy assignments must never
+  // share a cache entry.
+  std::function<void(const Operator&)> walk = [&](const Operator& op) {
+    if (op.kind() == OpKind::kJoin && op.left_key() != nullptr) {
+      if (!key.join_strategies.empty()) key.join_strategies.push_back(',');
+      key.join_strategies.append(JoinStrategyName(op.join_strategy()));
+    }
+    for (const auto& c : op.children()) walk(*c);
+  };
+  walk(*plan);
   key.catalog_epoch = ctx.catalog != nullptr ? ctx.catalog->epoch() : 0;
   key.cache_epoch = ctx.caches != nullptr ? ctx.caches->epoch() : 0;
   return key;

@@ -39,10 +39,21 @@
 // match, mirroring the interpreter's null-key rule on both build and probe
 // sides.
 //
-// Plans using features still outside the generated fast path (non-equi
-// joins, outer joins off the pipeline chain, collection or boolean monoids
-// inside Nest, float group keys, deep paths inside array elements) return
-// Unimplemented, and the QueryEngine facade transparently falls back to the
+// Join tables come in two bucket layouts — shared (one clustered array) and
+// radix-partitioned (per-partition sub-tables with partition-local
+// directories) — selected per join by the optimizer's skew-aware strategy
+// pass (see docs/JOINS.md). Both produce identical probe chain orders, so
+// the choice is invisible to results; it is baked into the compiled module
+// and therefore part of the query-cache key. Non-equi joins compile to a
+// nested loop over the frozen build rows (the interpreter's exact match
+// enumeration), and float group keys box through the same Value-keyed group
+// table the interpreter uses.
+//
+// Plans using features still outside the generated fast path (non-integer
+// equi-join keys, outer joins off the pipeline chain, collection or boolean
+// monoids inside Nest, deep paths inside array elements) return
+// Unimplemented — every violation in the plan is reported, semicolon-joined
+// — and the QueryEngine facade transparently falls back to the
 // (morsel-parallel) interpreter — recording the failed attempt's compile
 // time honestly. tests/test_jit_equiv.cpp is the differential harness
 // asserting JIT ≡ interpreter, cell for cell, on everything the JIT

@@ -160,7 +160,7 @@ Result<std::vector<int64_t>> BindParams(
 }
 
 void InitRuntimeFromLayout(const RuntimeLayout& layout, QueryRuntime* rt) {
-  for (uint32_t slots : layout.join_slots) rt->AddJoin(slots);
+  for (const auto& j : layout.joins) rt->AddJoin(j.payload_slots, j.partitioned);
   for (const auto& g : layout.groups) rt->AddGroup(g.string_keys, g.init);
   rt->num_unnests = layout.num_unnests;
 }
@@ -173,6 +173,7 @@ CompiledModule& CompiledModule::operator=(CompiledModule&&) noexcept = default;
 size_t QueryCacheKeyHash::operator()(const QueryCacheKey& k) const {
   uint64_t h = HashString(k.signature);
   h = HashCombine(h, static_cast<uint64_t>(k.mode));
+  h = HashCombine(h, HashString(k.join_strategies));
   h = HashCombine(h, k.catalog_epoch);
   h = HashCombine(h, k.cache_epoch);
   return static_cast<size_t>(h);

@@ -125,7 +125,11 @@ Result<std::vector<int64_t>> BindParams(
 /// Shapes of the runtime tables the generated code indexes by slot: enough
 /// to rebuild a fresh QueryRuntime for every execution of a cached module.
 struct RuntimeLayout {
-  std::vector<uint32_t> join_slots;  ///< payload slots_per_row per join table
+  struct JoinSpec {
+    uint32_t payload_slots = 0;  ///< slots_per_row of the packed payload
+    bool partitioned = false;    ///< probe layout of the build RadixTable
+  };
+  std::vector<JoinSpec> joins;
   struct GroupSpec {
     bool string_keys = false;
     std::vector<int64_t> init;  ///< per-slot init bit patterns
@@ -133,9 +137,9 @@ struct RuntimeLayout {
   std::vector<GroupSpec> groups;
   uint32_t num_unnests = 0;
 
-  uint32_t AddJoin(uint32_t payload_slots) {
-    join_slots.push_back(payload_slots);
-    return static_cast<uint32_t>(join_slots.size() - 1);
+  uint32_t AddJoin(uint32_t payload_slots, bool partitioned = false) {
+    joins.push_back({payload_slots, partitioned});
+    return static_cast<uint32_t>(joins.size() - 1);
   }
   uint32_t AddGroup(bool string_keys, std::vector<int64_t> init) {
     groups.push_back({string_keys, std::move(init)});
@@ -191,16 +195,22 @@ struct CompiledModule {
   std::vector<ParamDesc> params;
 };
 
-/// Cache key: plan signature + codegen mode + engine-state epochs.
+/// Cache key: plan signature + codegen mode + join strategies + engine-state
+/// epochs. The join strategies are part of the key (not of the signature —
+/// the logical plan is unchanged) because a module's RuntimeLayout bakes
+/// each build table's probe layout: the same plan optimized to a different
+/// strategy mix must compile its own module.
 struct QueryCacheKey {
   std::string signature;
   CodegenMode mode = CodegenMode::kMorsel;
+  std::string join_strategies;  ///< comma-joined per-join strategy, plan order
   uint64_t catalog_epoch = 0;
   uint64_t cache_epoch = 0;
 
   bool operator==(const QueryCacheKey& o) const {
     return mode == o.mode && catalog_epoch == o.catalog_epoch &&
-           cache_epoch == o.cache_epoch && signature == o.signature;
+           cache_epoch == o.cache_epoch && join_strategies == o.join_strategies &&
+           signature == o.signature;
   }
 };
 

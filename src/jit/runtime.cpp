@@ -56,6 +56,8 @@ std::vector<std::pair<std::string, void*>> RuntimeSymbols() {
       {"proteus_sink_agg_flush_bool", reinterpret_cast<void*>(&proteus_sink_agg_flush_bool)},
       {"proteus_sink_group_begin_int",
        reinterpret_cast<void*>(&proteus_sink_group_begin_int)},
+      {"proteus_sink_group_begin_double",
+       reinterpret_cast<void*>(&proteus_sink_group_begin_double)},
       {"proteus_sink_group_begin_bool",
        reinterpret_cast<void*>(&proteus_sink_group_begin_bool)},
       {"proteus_sink_group_begin_str",

@@ -86,9 +86,10 @@ struct QueryRuntime {
   bool failed = false;
   std::string error;
 
-  uint32_t AddJoin(uint32_t payload_slots) {
+  uint32_t AddJoin(uint32_t payload_slots, bool partitioned = false) {
     auto t = std::make_unique<JoinTableRt>();
     t->slots_per_row = payload_slots;
+    t->table.set_partitioned(partitioned);
     joins.push_back(std::move(t));
     return static_cast<uint32_t>(joins.size() - 1);
   }

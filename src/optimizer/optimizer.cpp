@@ -196,6 +196,66 @@ Result<OpPtr> Optimizer::ExtractJoinKeys(OpPtr plan) {
 }
 
 // ---------------------------------------------------------------------------
+// Join strategy selection (shared vs partitioned probe layout)
+// ---------------------------------------------------------------------------
+
+Result<OpPtr> Optimizer::SelectJoinStrategies(OpPtr plan) {
+  for (size_t i = 0; i < plan->children().size(); ++i) {
+    PROTEUS_ASSIGN_OR_RETURN(*plan->mutable_child(i), SelectJoinStrategies(plan->child(i)));
+  }
+  // Non-equi joins probe by full nested loop over the frozen build vectors;
+  // their radix directory is never consulted, so the layout choice is moot.
+  if (plan->kind() != OpKind::kJoin || !plan->left_key()) return plan;
+  if (opts_.join_strategy == JoinStrategyOverride::kForceShared) {
+    plan->set_join_strategy(JoinStrategy::kShared);
+    return plan;
+  }
+  if (opts_.join_strategy == JoinStrategyOverride::kForcePartitioned) {
+    plan->set_join_strategy(JoinStrategy::kPartitioned);
+    return plan;
+  }
+  const double rows = EstimateCardinality(plan->child(0));
+  bool partitioned = rows >= opts_.partitioned_build_rows;
+  if (!partitioned && rows >= opts_.skew_min_rows) {
+    // Heavy-hitter detector over the per-dataset column stats: a distinct
+    // count far below the build row count means some keys repeat heavily —
+    // exactly where the shared layout's max-partition bucket sizing makes
+    // every partition pay for the hottest one.
+    FieldPath path;
+    const Expr* e = plan->left_key().get();
+    while (e->kind() == ExprKind::kProj) {
+      path.insert(path.begin(), e->field());
+      e = e->child(0).get();
+    }
+    if (e->kind() == ExprKind::kVarRef) {
+      std::string var = e->var_name();
+      std::function<const Operator*(const Operator*)> find_scan =
+          [&](const Operator* o) -> const Operator* {
+        if (o->kind() == OpKind::kScan && o->binding() == var) return o;
+        for (const auto& ch : o->children()) {
+          const Operator* f = find_scan(ch.get());
+          if (f != nullptr) return f;
+        }
+        return nullptr;
+      };
+      const Operator* scan = find_scan(plan->child(0).get());
+      if (scan != nullptr) {
+        const auto ds = catalog_.stats().Find(scan->dataset());
+        if (ds != nullptr && ds->valid) {
+          auto it = ds->columns.find(DottedPath(path));
+          if (it != ds->columns.end() && it->second.valid && it->second.ndv > 0) {
+            partitioned =
+                rows / static_cast<double>(it->second.ndv) >= opts_.skew_dup_ratio;
+          }
+        }
+      }
+    }
+  }
+  plan->set_join_strategy(partitioned ? JoinStrategy::kPartitioned : JoinStrategy::kShared);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
 // Cardinality / selectivity estimation
 // ---------------------------------------------------------------------------
 
@@ -564,6 +624,7 @@ Result<OpPtr> Optimizer::Optimize(OpPtr plan) {
     PROTEUS_ASSIGN_OR_RETURN(plan, PushdownSelections(std::move(plan)));
     PROTEUS_ASSIGN_OR_RETURN(plan, ExtractJoinKeys(std::move(plan)));
   }
+  PROTEUS_ASSIGN_OR_RETURN(plan, SelectJoinStrategies(std::move(plan)));
   PROTEUS_ASSIGN_OR_RETURN(plan, PushdownProjections(std::move(plan)));
   PROTEUS_RETURN_NOT_OK(TypeCheckPlan(plan));
   return plan;

@@ -21,11 +21,28 @@
 
 namespace proteus {
 
+/// Override for the join-strategy pass (benchmarks / ablations / tests):
+/// kAuto lets the cardinality+skew heuristic decide per join; the force
+/// values pin every equi join to one probe layout. Results are identical
+/// either way — only the build table's memory layout changes.
+enum class JoinStrategyOverride : uint8_t { kAuto, kForceShared, kForcePartitioned };
+
 struct OptimizerOptions {
   bool reorder_joins = true;
   /// Fallback predicate selectivity when statistics cannot answer
   /// (the paper's plug-in skeleton default: 10%).
   double default_selectivity = 0.1;
+  /// Join probe-layout selection (see SelectJoinStrategies).
+  JoinStrategyOverride join_strategy = JoinStrategyOverride::kAuto;
+  /// Build sides at or above this estimated row count always take the
+  /// partitioned layout — partition-local build memory pays off regardless
+  /// of skew once the table outgrows cache.
+  double partitioned_build_rows = 4096;
+  /// Skew trigger for smaller builds: partitioned when the build key's
+  /// duplication ratio (rows / distinct values) reaches skew_dup_ratio and
+  /// the build side has at least skew_min_rows rows.
+  double skew_dup_ratio = 4.0;
+  double skew_min_rows = 256;
 };
 
 class Optimizer {
@@ -40,6 +57,13 @@ class Optimizer {
   Result<OpPtr> PushdownSelections(OpPtr plan);
   Result<OpPtr> ExtractJoinKeys(OpPtr plan);
   Result<OpPtr> ReorderJoins(OpPtr plan);
+  /// Picks the probe layout (shared vs partitioned) for every equi join:
+  /// the build-time skew detector over per-dataset statistics. Large builds
+  /// partition outright; mid-size builds partition when the key column's
+  /// heavy-hitter signal (rows/ndv) crosses the skew ratio; everything else
+  /// — including every join of a cold dataset whose stats have not been
+  /// gathered yet — keeps the shared table.
+  Result<OpPtr> SelectJoinStrategies(OpPtr plan);
   Result<OpPtr> PushdownProjections(OpPtr plan);
   Status TypeCheckPlan(const OpPtr& plan);
 

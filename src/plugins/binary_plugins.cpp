@@ -72,24 +72,30 @@ Status BinColPlugin::CollectStats(StatsStore* store) {
     uint64_t n = reader_->num_rows();
     if (n == 0) continue;
     double mn = 0, mx = 0;
+    NdvSketch sketch;
     if (k == TypeKind::kFloat64) {
       const double* col = reader_->FloatColumn(j);
       mn = mx = col[0];
+      sketch.Add(Value::Float(col[0]).Hash());
       for (uint64_t i = 1; i < n; ++i) {
         if (col[i] < mn) mn = col[i];
         if (col[i] > mx) mx = col[i];
+        sketch.Add(Value::Float(col[i]).Hash());
       }
     } else {
       const int64_t* col = reader_->IntColumn(j);
       mn = mx = static_cast<double>(col[0]);
+      sketch.Add(Value::Int(col[0]).Hash());
       for (uint64_t i = 1; i < n; ++i) {
         double d = static_cast<double>(col[i]);
         if (d < mn) mn = d;
         if (d > mx) mx = d;
+        sketch.Add(Value::Int(col[i]).Hash());
       }
     }
     cs.min = mn;
     cs.max = mx;
+    cs.ndv = sketch.Estimate();
     cs.valid = true;
   }
   ds.valid = true;

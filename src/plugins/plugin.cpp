@@ -127,6 +127,7 @@ Status InputPlugin::CollectStats(StatsStore* store) {
     ColumnStats& cs = ds.columns[DottedPath(p)];
     cs.valid = false;
     bool first = true;
+    NdvSketch sketch;
     for (uint64_t oid = 0; oid < NumRecords(); ++oid) {
       auto v = ReadValue(oid, p);
       if (!v.ok()) {
@@ -140,8 +141,10 @@ Status InputPlugin::CollectStats(StatsStore* store) {
       if (first || d < cs.min) cs.min = d;
       if (first || d > cs.max) cs.max = d;
       first = false;
+      sketch.Add(v->Hash());
     }
     cs.valid = !first;
+    cs.ndv = sketch.Estimate();
   }
   ds.valid = true;
   store->Publish(info().name, std::move(ds));

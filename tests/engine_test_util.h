@@ -6,6 +6,8 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
+#include <random>
 
 #include "src/core/query_engine.h"
 #include "src/datagen/spam.h"
@@ -92,6 +94,96 @@ inline void RegisterAll(QueryEngine* engine) {
   reg("orders_denorm", DataFormat::kJSON, c.dir + "/denorm.json",
       datagen::OrdersDenormSchema());
   reg("spam", DataFormat::kJSON, c.dir + "/spam.json", datagen::SpamJSONSchema());
+}
+
+/// Skewed join-key corpora for the partitioned-join tests, written once per
+/// process alongside the main corpus:
+///   zipf_orders     — 512 rows, o_orderkey Zipf(1.0) over [1, 64]: heavy
+///                     duplication (rows/ndv ≈ 8) that trips the optimizer's
+///                     skew test once stats are warm.
+///   heavy_orders    — 512 rows, 448 of them o_orderkey = 7 and the rest
+///                     distinct: the single-heavy-hitter shape.
+///   nullkey_orders  — 64 rows with o_orderkey absent entirely: an all-null
+///                     build side (only outer joins keep its rows).
+///   skew_lineitem   — 384 probe rows, l_orderkey uniform over [1, 80] (some
+///                     keys miss the build domain).
+/// All use the TPC-H-like orders/lineitem schemas, deterministic seeds.
+struct SkewCorpus {
+  std::string dir;
+
+  static const SkewCorpus& Get() {
+    static SkewCorpus c = Build();
+    return c;
+  }
+
+ private:
+  static SkewCorpus Build() {
+    SkewCorpus c;
+    c.dir = Corpus::Get().dir;
+    std::mt19937_64 rng(7);
+    auto order_row = [](std::ofstream& f, int64_t key, int64_t i, double price) {
+      f << "{\"o_orderkey\":" << key << ",\"o_custkey\":" << i % 13
+        << ",\"o_totalprice\":" << price << ",\"o_shippriority\":" << i % 3
+        << ",\"o_comment\":\"skew\"}\n";
+    };
+    {
+      // Zipf over [1, 64]: P(k) ∝ 1/k, sampled by inverse CDF.
+      std::vector<double> cdf(64);
+      double sum = 0;
+      for (int k = 0; k < 64; ++k) cdf[k] = (sum += 1.0 / (k + 1));
+      std::uniform_real_distribution<double> u(0.0, sum);
+      std::ofstream f(c.dir + "/zipf_orders.json");
+      for (int64_t i = 0; i < 512; ++i) {
+        double x = u(rng);
+        int64_t key = 1;
+        while (key < 64 && cdf[key - 1] < x) ++key;
+        order_row(f, key, i, 100.25 + static_cast<double>(i % 97));
+      }
+    }
+    {
+      std::ofstream f(c.dir + "/heavy_orders.json");
+      for (int64_t i = 0; i < 512; ++i) {
+        int64_t key = i % 8 != 0 ? 7 : 100 + i;
+        order_row(f, key, i, 50.5 + static_cast<double>(i % 31));
+      }
+    }
+    {
+      std::ofstream f(c.dir + "/nullkey_orders.json");
+      for (int64_t i = 0; i < 64; ++i) {
+        f << "{\"o_custkey\":" << i % 13 << ",\"o_totalprice\":" << 10.5 + i
+          << ",\"o_shippriority\":" << i % 3 << ",\"o_comment\":\"nokey\"}\n";
+      }
+    }
+    {
+      std::uniform_int_distribution<int64_t> key(1, 80);
+      std::ofstream f(c.dir + "/skew_lineitem.json");
+      for (int64_t i = 0; i < 384; ++i) {
+        f << "{\"l_orderkey\":" << key(rng) << ",\"l_linenumber\":" << i % 7
+          << ",\"l_quantity\":" << 1.5 + i % 49 << ",\"l_extendedprice\":"
+          << 900.75 + i << ",\"l_discount\":0.04,\"l_tax\":0.03,"
+             "\"l_shipmode\":\"TRUCK\",\"l_comment\":\"probe\"}\n";
+      }
+    }
+    return c;
+  }
+};
+
+/// Registers the skewed corpora (JSON) under zipf_orders / heavy_orders /
+/// nullkey_orders / skew_lineitem.
+inline void RegisterSkewCorpus(QueryEngine* engine) {
+  const SkewCorpus& c = SkewCorpus::Get();
+  auto reg = [&](const std::string& name, const std::string& file, TypePtr type) {
+    DatasetInfo info;
+    info.name = name;
+    info.format = DataFormat::kJSON;
+    info.path = c.dir + "/" + file;
+    info.type = std::move(type);
+    ASSERT_TRUE(engine->RegisterDataset(info).ok()) << name;
+  };
+  reg("zipf_orders", "zipf_orders.json", datagen::OrdersSchema());
+  reg("heavy_orders", "heavy_orders.json", datagen::OrdersSchema());
+  reg("nullkey_orders", "nullkey_orders.json", datagen::OrdersSchema());
+  reg("skew_lineitem", "skew_lineitem.json", datagen::LineitemSchema());
 }
 
 }  // namespace testutil

@@ -674,13 +674,14 @@ TEST(JitSetOutput, LegacyWholeRelationModeDeduplicates) {
 // ---------------------------------------------------------------------------
 
 TEST(JitFallbackTelemetry, FailedCompileAttemptIsRecorded) {
-  // A non-equi join has no generated fast path: codegen aborts and the
-  // morsel-parallel interpreter serves the plan.
+  // A string-keyed equi join has no generated fast path (the packed radix
+  // table holds int64 keys only): codegen aborts and the morsel-parallel
+  // interpreter serves the plan.
   auto make_plan = [] {
     OpPtr scan_o = Operator::Scan("orders_json", "o");
     OpPtr scan_l = Operator::Scan("lineitem_json", "l");
     ExprPtr pred =
-        Expr::Bin(BinOp::kLt, Proj("o", "o_orderkey"), Proj("l", "l_orderkey"));
+        Expr::Bin(BinOp::kEq, Proj("o", "o_comment"), Proj("l", "l_comment"));
     OpPtr join = Operator::Join(scan_o, scan_l, pred, /*outer=*/false);
     return Operator::Reduce(join, {{Monoid::kCount, nullptr, "n"}});
   };
@@ -695,7 +696,7 @@ TEST(JitFallbackTelemetry, FailedCompileAttemptIsRecorded) {
   // Against the same plan in interpreter mode the fallback stays correct.
   RunInfo interp = RunPlanConfig(make_plan, ExecMode::kInterp, 2);
   ASSERT_TRUE(interp.status.ok());
-  ExpectIdentical(interp.result, jit.result, "non-equi fallback");
+  ExpectIdentical(interp.result, jit.result, "string-key fallback");
 }
 
 // ---------------------------------------------------------------------------
@@ -999,15 +1000,15 @@ TEST(TieredSwap, CompileOutlivingTheQueryIsHarmlessAndWarmsTheCache) {
 }
 
 TEST(TieredSwap, FailedCompileInterpreterCompletesSilently) {
-  // The non-equi join is chunk-decomposable (the tiered controller accepts
-  // it) but has no generated fast path: the background compile fails, and
-  // the interpreter must simply finish the query — the recorded compile_ms
-  // being the only trace of the attempt.
+  // The string-keyed equi join is chunk-decomposable (the tiered controller
+  // accepts it) but has no generated fast path: the background compile
+  // fails, and the interpreter must simply finish the query — the recorded
+  // compile_ms being the only trace of the attempt.
   auto make_plan = [] {
     OpPtr scan_o = Operator::Scan("orders_json", "o");
     OpPtr scan_l = Operator::Scan("lineitem_json", "l");
     ExprPtr pred =
-        Expr::Bin(BinOp::kLt, Proj("o", "o_orderkey"), Proj("l", "l_orderkey"));
+        Expr::Bin(BinOp::kEq, Proj("o", "o_comment"), Proj("l", "l_comment"));
     OpPtr join = Operator::Join(scan_o, scan_l, pred, /*outer=*/false);
     return Operator::Reduce(join, {{Monoid::kCount, nullptr, "n"}});
   };
@@ -1068,6 +1069,198 @@ TEST(TieredSwap, HotSignatureEarnsTierTwo) {
   EXPECT_TRUE(promoted.telemetry.used_jit);
   EXPECT_EQ(promoted.telemetry.morsels_interpreted, 0u);
   ExpectIdentical(cold.result, promoted.result, "tier-1 vs tier-2 module");
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned parallel joins: the optimizer's skew-aware strategy pass must
+// pick the partitioned layout on skewed build sides (once stats are warm),
+// and both layouts must stay cell-identical — to each other, to the
+// interpreter, across num_threads ∈ {1, 2, 4} — on Zipf, single-heavy-hitter,
+// and all-null-key corpora.
+// ---------------------------------------------------------------------------
+
+/// One engine with the skew corpora and a fixed join-strategy override. The
+/// query runs `warmups + 1` times on the same engine: stats publish on the
+/// first cold dataset access — after that run's Optimize — so only the
+/// final (returned) run's strategy pass sees the build side's ndv.
+RunInfo RunSkewQuery(const std::string& q, ExecMode mode, int threads,
+                     JoinStrategyOverride strat = JoinStrategyOverride::kAuto,
+                     int warmups = 1) {
+  EngineOptions opts;
+  opts.mode = mode;
+  opts.num_threads = threads;
+  opts.morsel_rows = kDiffMorselRows;
+  opts.optimizer.join_strategy = strat;
+  QueryEngine engine(opts);
+  testutil::RegisterAll(&engine);
+  testutil::RegisterSkewCorpus(&engine);
+  for (int i = 0; i < warmups; ++i) {
+    auto w = engine.Execute(q);
+    EXPECT_TRUE(w.ok()) << w.status().ToString();
+  }
+  auto r = engine.Execute(q);
+  RunInfo info;
+  info.status = r.status();
+  if (r.ok()) info.result = std::move(*r);
+  info.telemetry = engine.telemetry();
+  return info;
+}
+
+const char* kZipfJoinQuery =
+    "SELECT count(*), sum(o.o_totalprice), max(l.l_extendedprice) FROM zipf_orders o "
+    "JOIN skew_lineitem l ON o.o_orderkey = l.l_orderkey WHERE l.l_quantity < 45.0";
+const char* kHeavyJoinQuery =
+    "SELECT count(*), sum(l.l_extendedprice) FROM heavy_orders o "
+    "JOIN skew_lineitem l ON o.o_orderkey = l.l_orderkey";
+
+TEST(PartitionedJoin, SkewedBuildSelectsPartitionedLayout) {
+  RunInfo jit = RunSkewQuery(kZipfJoinQuery, ExecMode::kJIT, 2);
+  ASSERT_TRUE(jit.status.ok()) << jit.status.ToString();
+  EXPECT_TRUE(jit.telemetry.used_jit) << jit.telemetry.fallback_reason;
+  EXPECT_EQ(jit.telemetry.join_strategy, "partitioned") << jit.telemetry.plan;
+
+  // A small uniform build (60 orders) stays on the shared layout.
+  RunInfo small = RunSkewQuery(
+      "SELECT count(*) FROM orders_json o JOIN lineitem_json l ON "
+      "o.o_orderkey = l.l_orderkey",
+      ExecMode::kJIT, 2);
+  ASSERT_TRUE(small.status.ok()) << small.status.ToString();
+  EXPECT_EQ(small.telemetry.join_strategy, "shared") << small.telemetry.plan;
+
+  // The cold (stat-less) first run of the same skewed query must also have
+  // reported a strategy — shared, since the optimizer had nothing to go on.
+  RunInfo cold = RunSkewQuery(kZipfJoinQuery, ExecMode::kJIT, 2,
+                              JoinStrategyOverride::kAuto, /*warmups=*/0);
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_EQ(cold.telemetry.join_strategy, "shared") << "cold runs have no stats";
+}
+
+TEST(PartitionedJoin, CellIdenticalAcrossStrategiesAndThreads) {
+  for (const char* q : {kZipfJoinQuery, kHeavyJoinQuery}) {
+    RunInfo oracle =
+        RunSkewQuery(q, ExecMode::kInterp, 1, JoinStrategyOverride::kForceShared);
+    ASSERT_TRUE(oracle.status.ok()) << oracle.status.ToString();
+    for (JoinStrategyOverride strat :
+         {JoinStrategyOverride::kForceShared, JoinStrategyOverride::kForcePartitioned,
+          JoinStrategyOverride::kAuto}) {
+      for (int threads : {1, 2, 4}) {
+        const std::string ctx = std::string(q) + " strat=" +
+                                std::to_string(static_cast<int>(strat)) +
+                                " threads=" + std::to_string(threads);
+        RunInfo jit = RunSkewQuery(q, ExecMode::kJIT, threads, strat);
+        ASSERT_TRUE(jit.status.ok()) << ctx << "\n" << jit.status.ToString();
+        EXPECT_TRUE(jit.telemetry.used_jit) << ctx << ": " << jit.telemetry.fallback_reason;
+        ExpectIdentical(oracle.result, jit.result, "jit " + ctx);
+        RunInfo interp = RunSkewQuery(q, ExecMode::kInterp, threads, strat);
+        ASSERT_TRUE(interp.status.ok()) << ctx;
+        ExpectIdentical(oracle.result, interp.result, "interp " + ctx);
+      }
+    }
+  }
+}
+
+TEST(PartitionedJoin, AllNullBuildKeysMatchNothingInEitherLayout) {
+  const std::string q =
+      "SELECT count(*) FROM nullkey_orders o JOIN skew_lineitem l ON "
+      "o.o_orderkey = l.l_orderkey";
+  for (JoinStrategyOverride strat :
+       {JoinStrategyOverride::kForceShared, JoinStrategyOverride::kForcePartitioned}) {
+    RunInfo jit = RunSkewQuery(q, ExecMode::kJIT, 2, strat);
+    ASSERT_TRUE(jit.status.ok()) << jit.status.ToString();
+    EXPECT_EQ(jit.result.scalar().i(), 0) << "null keys must match nothing";
+    RunInfo interp = RunSkewQuery(q, ExecMode::kInterp, 2, strat);
+    ASSERT_TRUE(interp.status.ok());
+    ExpectIdentical(interp.result, jit.result, "all-null build keys");
+  }
+}
+
+TEST(PartitionedJoin, GroupByAboveSkewedJoinCellIdentical) {
+  // A Nest above the probe pipeline composes with the partitioned layout:
+  // group order comes from the morsel-order partial fold either way.
+  const std::string q =
+      "SELECT l.l_linenumber, count(*), sum(o.o_totalprice) FROM heavy_orders o "
+      "JOIN skew_lineitem l ON o.o_orderkey = l.l_orderkey GROUP BY l.l_linenumber";
+  RunInfo oracle =
+      RunSkewQuery(q, ExecMode::kInterp, 1, JoinStrategyOverride::kForceShared);
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status.ToString();
+  for (int threads : {1, 2, 4}) {
+    RunInfo jit = RunSkewQuery(q, ExecMode::kJIT, threads,
+                               JoinStrategyOverride::kForcePartitioned);
+    ASSERT_TRUE(jit.status.ok()) << jit.status.ToString();
+    EXPECT_TRUE(jit.telemetry.used_jit) << jit.telemetry.fallback_reason;
+    ExpectIdentical(oracle.result, jit.result,
+                    "grouped partitioned join @ threads=" + std::to_string(threads));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fallback burn-down: non-equi joins and float group keys now compile; a
+// plan with several remaining blockers reports every reason, not the first.
+// ---------------------------------------------------------------------------
+
+TEST(JitFallbackTelemetry, NonEquiJoinCompiles) {
+  auto make_plan = [] {
+    OpPtr scan_o = Operator::Scan("orders_json", "o");
+    OpPtr scan_l = Operator::Scan("lineitem_json", "l");
+    ExprPtr pred =
+        Expr::Bin(BinOp::kLt, Proj("o", "o_orderkey"), Proj("l", "l_orderkey"));
+    OpPtr join = Operator::Join(scan_o, scan_l, pred, /*outer=*/false);
+    return Operator::Reduce(join, {{Monoid::kCount, nullptr, "n"},
+                                   {Monoid::kSum, Proj("l", "l_quantity"), "sumq"}});
+  };
+  RunInfo oracle = RunPlanConfig(make_plan, ExecMode::kInterp, 1);
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status.ToString();
+  for (int threads : {1, 2, 4}) {
+    RunInfo jit = RunPlanConfig(make_plan, ExecMode::kJIT, threads);
+    ASSERT_TRUE(jit.status.ok()) << jit.status.ToString();
+    EXPECT_TRUE(jit.telemetry.used_jit) << jit.telemetry.fallback_reason;
+    EXPECT_TRUE(jit.telemetry.fallback_reason.empty()) << jit.telemetry.fallback_reason;
+    ExpectIdentical(oracle.result, jit.result,
+                    "non-equi join @ threads=" + std::to_string(threads));
+  }
+}
+
+TEST(JitFallbackTelemetry, FloatGroupKeysCompile) {
+  const std::string q =
+      "SELECT l_discount, count(*), sum(l_extendedprice) FROM lineitem_bincol "
+      "GROUP BY l_discount";
+  RunInfo oracle = RunConfig(q, ExecMode::kInterp, 1);
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status.ToString();
+  for (int threads : {1, 2, 4}) {
+    RunInfo jit = RunConfig(q, ExecMode::kJIT, threads);
+    ASSERT_TRUE(jit.status.ok()) << jit.status.ToString();
+    EXPECT_TRUE(jit.telemetry.used_jit) << jit.telemetry.fallback_reason;
+    EXPECT_TRUE(jit.telemetry.fallback_reason.empty()) << jit.telemetry.fallback_reason;
+    ExpectIdentical(oracle.result, jit.result,
+                    "float group keys @ threads=" + std::to_string(threads));
+  }
+}
+
+TEST(JitFallbackTelemetry, AllFallbackReasonsReported) {
+  // Two independent blockers in one plan: a string-keyed equi join and a
+  // collection-monoid Nest. The fallback reason must list both,
+  // semicolon-joined — previously only the first traversal hit surfaced.
+  auto make_plan = [] {
+    OpPtr scan_o = Operator::Scan("orders_json", "o");
+    OpPtr scan_l = Operator::Scan("lineitem_json", "l");
+    ExprPtr pred =
+        Expr::Bin(BinOp::kEq, Proj("o", "o_comment"), Proj("l", "l_comment"));
+    OpPtr join = Operator::Join(scan_o, scan_l, pred, /*outer=*/false);
+    OpPtr nest = Operator::Nest(join, Proj("l", "l_linenumber"), "ln",
+                                {{Monoid::kBag, Proj("l", "l_quantity"), "qs"}},
+                                nullptr, "g");
+    return Operator::Reduce(nest, {{Monoid::kCount, nullptr, "n"}});
+  };
+  RunInfo jit = RunPlanConfig(make_plan, ExecMode::kJIT, 2);
+  ASSERT_TRUE(jit.status.ok()) << jit.status.ToString();
+  EXPECT_FALSE(jit.telemetry.used_jit);
+  EXPECT_NE(jit.telemetry.fallback_reason.find("non-integer join key"), std::string::npos)
+      << jit.telemetry.fallback_reason;
+  EXPECT_NE(jit.telemetry.fallback_reason.find("collection/boolean monoid"),
+            std::string::npos)
+      << jit.telemetry.fallback_reason;
+  EXPECT_NE(jit.telemetry.fallback_reason.find("; "), std::string::npos)
+      << "reasons must be semicolon-joined: " << jit.telemetry.fallback_reason;
 }
 
 }  // namespace

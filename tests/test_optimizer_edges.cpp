@@ -70,14 +70,16 @@ TEST_F(EdgeTest, ConstantTruePredicateDropsSelect) {
       << engine_->telemetry().plan;
 }
 
-TEST_F(EdgeTest, CrossProductWithoutKeysFallsBackButAnswers) {
-  // No equi predicate: nested-loop territory; the JIT refuses, the
-  // interpreter answers.
+TEST_F(EdgeTest, CrossProductWithoutKeysCompilesToNestedLoop) {
+  // No equi predicate: the JIT generates a nested loop over the frozen
+  // build rows — no interpreter fallback anymore.
   auto r = engine_->Execute(
       "SELECT count(*) FROM orders_bincol o JOIN orders_json oj ON "
       "o.o_totalprice > oj.o_totalprice WHERE o.o_orderkey < 4 and oj.o_orderkey < 4");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_FALSE(engine_->telemetry().used_jit);
+  EXPECT_TRUE(engine_->telemetry().used_jit);
+  EXPECT_TRUE(engine_->telemetry().fallback_reason.empty())
+      << engine_->telemetry().fallback_reason;
   // Oracle.
   const auto& orders = testutil::Corpus::Get().orders;
   int64_t expected = 0;

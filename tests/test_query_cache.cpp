@@ -22,7 +22,7 @@ constexpr uint64_t kMorselRows = 16;
 
 jit::QueryCacheKey Key(const std::string& sig, jit::CodegenMode mode = jit::CodegenMode::kMorsel,
                        uint64_t catalog_epoch = 0, uint64_t cache_epoch = 0) {
-  return jit::QueryCacheKey{sig, mode, catalog_epoch, cache_epoch};
+  return jit::QueryCacheKey{sig, mode, /*join_strategies=*/"", catalog_epoch, cache_epoch};
 }
 
 jit::CompiledQueryCache::CompileFn DummyCompile(std::atomic<int>* count) {
