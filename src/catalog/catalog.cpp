@@ -23,7 +23,7 @@ Status Catalog::Register(DatasetInfo info) {
                                    "' type must be a collection of records");
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (datasets_.count(info.name)) {
       return Status::AlreadyExists("dataset '" + info.name + "' already registered");
     }
@@ -34,7 +34,7 @@ Status Catalog::Register(DatasetInfo info) {
 }
 
 Result<const DatasetInfo*> Catalog::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) return Status::NotFound("unknown dataset '" + name + "'");
   // Map nodes are never erased, so the pointer outlives the lock.
@@ -43,7 +43,7 @@ Result<const DatasetInfo*> Catalog::Get(const std::string& name) const {
 
 std::vector<std::string> Catalog::ListDatasets() const {
   std::vector<std::string> names;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   names.reserve(datasets_.size());
   for (const auto& [k, v] : datasets_) names.push_back(k);
   std::sort(names.begin(), names.end());

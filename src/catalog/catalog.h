@@ -11,11 +11,11 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/types/type.h"
 
@@ -98,25 +98,26 @@ class StatsStore {
   /// replacing any previous one.
   void Publish(const std::string& dataset, DatasetStats stats) {
     auto sp = std::make_shared<const DatasetStats>(std::move(stats));
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stats_[dataset] = std::move(sp);
   }
 
   /// Immutable snapshot (null when absent).
   std::shared_ptr<const DatasetStats> Find(const std::string& dataset) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     auto it = stats_.find(dataset);
     return it == stats_.end() ? nullptr : it->second;
   }
 
   void Invalidate(const std::string& dataset) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stats_.erase(dataset);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const DatasetStats>> stats_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const DatasetStats>> stats_
+      GUARDED_BY(mu_);
 };
 
 /// Dataset registry. Thread-safe for the serving workload: registrations
@@ -129,7 +130,7 @@ class Catalog {
   Status Register(DatasetInfo info);
   Result<const DatasetInfo*> Get(const std::string& name) const;
   bool Contains(const std::string& name) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return datasets_.count(name) > 0;
   }
   std::vector<std::string> ListDatasets() const;
@@ -146,8 +147,8 @@ class Catalog {
   void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
  private:
-  mutable std::mutex mu_;  ///< guards datasets_
-  std::unordered_map<std::string, DatasetInfo> datasets_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, DatasetInfo> datasets_ GUARDED_BY(mu_);
   StatsStore stats_;
   std::atomic<uint64_t> epoch_{0};
 };

@@ -1,0 +1,89 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable carrying the clang thread-safety attributes from
+// thread_annotations.h, so GUARDED_BY(mu_) members and REQUIRES(mu_)
+// helpers are checked at compile time on clang (and cost nothing anywhere).
+//
+// Three types:
+//  - Mutex: a CAPABILITY("mutex"). Prefer MutexLock; the manual
+//    Lock()/Unlock() pair exists for the two single-flight paths
+//    (CompiledQueryCache::GetOrCompile, TieredCompiler::WorkerLoop) that
+//    deliberately drop the lock around a long compile.
+//  - MutexLock: SCOPED_CAPABILITY RAII guard (std::lock_guard shape).
+//  - CondVar: condition variable whose Wait(Mutex&) REQUIRES the mutex.
+//    The analysis cannot follow predicates through lambdas (a lambda body
+//    is analyzed as a separate, unannotated function), so call sites spell
+//    the classic `while (!cond) cv.Wait(mu);` loop instead of the
+//    predicate overload of std::condition_variable::wait.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace proteus {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before
+  /// returning — the caller's critical section resumes exactly where it
+  /// left off, so the annotation is REQUIRES, not ACQUIRE/RELEASE. The
+  /// adopt/release dance hands the already-held std::mutex to a
+  /// unique_lock for the wait without touching any annotated API, which
+  /// keeps the body analysis-clean.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // still held: ownership goes back to the caller
+  }
+
+  /// Wait with a deadline; returns false on timeout (lock re-held either
+  /// way, same contract as Wait).
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& d) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    bool ok = cv_.wait_for(lk, d) == std::cv_status::no_timeout;
+    lk.release();
+    return ok;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace proteus

@@ -26,8 +26,12 @@ TaskScheduler::StatsScope::~StatsScope() { t_batch_stats = prev_; }
 struct TaskScheduler::Batch {
   explicit Batch(int workers) : queues(workers), queue_mus(workers) {}
 
+  /// queues[i] is guarded by queue_mus[i] — an element-wise association the
+  /// thread-safety analysis cannot express (GUARDED_BY needs a named
+  /// capability, not an indexed one), so the deques stay unannotated and
+  /// every access in TryRunOne takes the matching MutexLock explicitly.
   std::vector<std::deque<uint64_t>> queues;
-  std::vector<std::mutex> queue_mus;
+  std::vector<Mutex> queue_mus;
   const std::function<Status(uint64_t, int)>* body = nullptr;
 
   std::atomic<uint64_t> unfinished{0};  ///< tasks not yet completed
@@ -42,14 +46,14 @@ struct TaskScheduler::Batch {
   /// per-task counter delta here BEFORE decrementing `unfinished`, so the
   /// caller's acquire-load of unfinished == 0 plus taking this mutex sees
   /// every fold.
-  std::mutex err_mu;
-  Status error = Status::OK();
-  uint64_t error_task = UINT64_MAX;  // lowest failing index wins
+  Mutex err_mu;
+  Status error GUARDED_BY(err_mu) = Status::OK();
+  uint64_t error_task GUARDED_BY(err_mu) = UINT64_MAX;  // lowest failing index wins
 
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
 
-  ExecCounters pool_counters;  ///< folded from pool workers (under err_mu)
+  ExecCounters pool_counters GUARDED_BY(err_mu);  ///< folded from pool workers
 };
 
 TaskScheduler::TaskScheduler(int num_threads) {
@@ -65,10 +69,10 @@ TaskScheduler::TaskScheduler(int num_threads) {
 
 TaskScheduler::~TaskScheduler() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -78,8 +82,8 @@ void TaskScheduler::WorkerLoop(int worker_id) {
   while (true) {
     std::vector<std::shared_ptr<Batch>> batches;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] { return stop_ || work_epoch_ != seen_epoch; });
+      MutexLock lk(mu_);
+      while (!stop_ && work_epoch_ == seen_epoch) work_cv_.Wait(mu_);
       if (stop_) return;
       seen_epoch = work_epoch_;
       batches = active_;
@@ -99,7 +103,7 @@ void TaskScheduler::WorkerLoop(int worker_id) {
         // Refresh so batches submitted mid-sweep join it and completed ones
         // drop out; also re-arm the epoch so the outer wait doesn't miss a
         // submission that raced with this refresh.
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         seen_epoch = work_epoch_;
         batches = active_;
         if (stop_) return;
@@ -114,7 +118,7 @@ bool TaskScheduler::TryRunOne(Batch* batch, int worker_id, bool fold_counters) {
   uint64_t task = UINT64_MAX;
   bool stolen = false;
   {
-    std::lock_guard<std::mutex> lk(batch->queue_mus[worker_id]);
+    MutexLock lk(batch->queue_mus[worker_id]);
     if (!batch->queues[worker_id].empty()) {
       task = batch->queues[worker_id].front();
       batch->queues[worker_id].pop_front();
@@ -124,7 +128,7 @@ bool TaskScheduler::TryRunOne(Batch* batch, int worker_id, bool fold_counters) {
     // Steal from the back of the first non-empty victim deque.
     for (int k = 1; k < n && task == UINT64_MAX; ++k) {
       int victim = (worker_id + k) % n;
-      std::lock_guard<std::mutex> lk(batch->queue_mus[victim]);
+      MutexLock lk(batch->queue_mus[victim]);
       if (!batch->queues[victim].empty()) {
         task = batch->queues[victim].back();
         batch->queues[victim].pop_back();
@@ -144,7 +148,7 @@ bool TaskScheduler::TryRunOne(Batch* batch, int worker_id, bool fold_counters) {
     t_cur_batch = was_batch;
     if (!s.ok()) {
       batch->cancelled.store(true, std::memory_order_release);
-      std::lock_guard<std::mutex> lk(batch->err_mu);
+      MutexLock lk(batch->err_mu);
       if (task < batch->error_task) {
         batch->error_task = task;
         batch->error = s;
@@ -153,12 +157,12 @@ bool TaskScheduler::TryRunOne(Batch* batch, int worker_id, bool fold_counters) {
   }
   if (fold_counters) {
     ExecCounters delta = local.Since(before);
-    std::lock_guard<std::mutex> lk(batch->err_mu);
+    MutexLock lk(batch->err_mu);
     batch->pool_counters += delta;
   }
   if (batch->unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lk(batch->done_mu);  // pairs with the waiter
-    batch->done_cv.notify_all();
+    MutexLock lk(batch->done_mu);  // pairs with the waiter
+    batch->done_cv.NotifyAll();
   }
   return true;
 }
@@ -194,11 +198,11 @@ Status TaskScheduler::ParallelFor(uint64_t num_tasks,
     batch->queues[t % num_threads_].push_back(t);
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     active_.push_back(batch);
     ++work_epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The caller participates as worker 0 — of ITS OWN batch only. It never
   // takes tasks of a concurrent caller's batch, so one query's latency is
@@ -207,12 +211,13 @@ Status TaskScheduler::ParallelFor(uint64_t num_tasks,
   }
 
   {
-    std::unique_lock<std::mutex> lk(batch->done_mu);
-    batch->done_cv.wait(
-        lk, [&] { return batch->unfinished.load(std::memory_order_acquire) == 0; });
+    MutexLock lk(batch->done_mu);
+    while (batch->unfinished.load(std::memory_order_acquire) != 0) {
+      batch->done_cv.Wait(batch->done_mu);
+    }
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     for (auto it = active_.begin(); it != active_.end(); ++it) {
       if (it->get() == batch.get()) {
         active_.erase(it);
@@ -220,11 +225,14 @@ Status TaskScheduler::ParallelFor(uint64_t num_tasks,
       }
     }
   }
+  Status batch_error;
   {
-    // err_mu also guards pool_counters; every fold happened before the
-    // unfinished count hit zero, so this read sees all of them.
-    std::lock_guard<std::mutex> lk(batch->err_mu);
+    // err_mu also guards pool_counters and the error slot; every fold
+    // happened before the unfinished count hit zero, so this read sees all
+    // of them.
+    MutexLock lk(batch->err_mu);
     GlobalCounters() += batch->pool_counters;
+    batch_error = batch->error;
   }
   const uint64_t batch_steals = batch->steals.load(std::memory_order_relaxed);
   total_steals_.fetch_add(batch_steals, std::memory_order_relaxed);
@@ -234,7 +242,7 @@ Status TaskScheduler::ParallelFor(uint64_t num_tasks,
     // belong to this query but ran where its scope was not installed.
     t_batch_stats->dealt += batch->nested_dealt.load(std::memory_order_relaxed);
   }
-  return batch->error;
+  return batch_error;
 }
 
 }  // namespace proteus

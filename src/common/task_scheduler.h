@@ -23,15 +23,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/counters.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace proteus {
@@ -91,7 +90,8 @@ class TaskScheduler {
   /// inline on the calling worker (morsel pipelines materialize join build
   /// sides before the probe batch, so nesting only arises in degenerate
   /// plans).
-  Status ParallelFor(uint64_t num_tasks, const std::function<Status(uint64_t, int)>& body);
+  Status ParallelFor(uint64_t num_tasks, const std::function<Status(uint64_t, int)>& body)
+      EXCLUDES(mu_);
 
   /// Tasks executed by a worker other than the one whose deque they were
   /// dealt to, across all batches so far (work-stealing telemetry; safe to
@@ -105,7 +105,7 @@ class TaskScheduler {
   uint64_t total_dealt() const { return total_dealt_.load(std::memory_order_relaxed); }
 
  private:
-  void WorkerLoop(int worker_id);
+  void WorkerLoop(int worker_id) EXCLUDES(mu_);
   /// Claims and runs at most one task of `batch` from `worker_id`'s deque
   /// (stealing when empty). Pool workers fold their per-task ExecCounters
   /// delta into the batch; the submitting caller (fold_counters = false)
@@ -116,11 +116,11 @@ class TaskScheduler {
   int num_threads_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::vector<std::shared_ptr<Batch>> active_;  // in-flight batches
-  uint64_t work_epoch_ = 0;                     // bumped per submission
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::vector<std::shared_ptr<Batch>> active_ GUARDED_BY(mu_);  // in-flight batches
+  uint64_t work_epoch_ GUARDED_BY(mu_) = 0;                     // bumped per submission
+  bool stop_ GUARDED_BY(mu_) = false;
 
   std::atomic<uint64_t> total_steals_{0};
   std::atomic<uint64_t> total_dealt_{0};

@@ -1,0 +1,42 @@
+// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+//
+// These wrap the `-Wthread-safety` attributes so the locking discipline of
+// every concurrent subsystem is stated in the code and machine-checked on
+// every clang build (the CI `static-analysis` job compiles with
+// -Werror=thread-safety). GCC and MSVC see empty macros: the annotations
+// cost nothing at runtime and nothing on non-clang toolchains.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md):
+//  - Data members protected by a lock get GUARDED_BY(mu_).
+//  - Private helpers called with the lock already held get REQUIRES(mu_)
+//    and a `Locked` name suffix.
+//  - Public entry points that take the lock themselves get EXCLUDES(mu_)
+//    so a re-entrant call from a locked context is a compile error, not a
+//    deadlock.
+//  - NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a comment
+//    explaining why the analysis cannot see the invariant.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PROTEUS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PROTEUS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) PROTEUS_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY PROTEUS_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) PROTEUS_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) PROTEUS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) PROTEUS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) PROTEUS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) PROTEUS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) PROTEUS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) PROTEUS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) PROTEUS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) PROTEUS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) PROTEUS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) PROTEUS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) PROTEUS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) PROTEUS_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) PROTEUS_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS PROTEUS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -111,7 +111,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(OpPtr logical_plan, const CallOptio
 
   // Refresh the legacy single-caller mirrors (telemetry() / last_ir()).
   {
-    std::lock_guard<std::mutex> lk(legacy_mu_);
+    MutexLock lk(legacy_mu_);
     telemetry_ = tel;
     last_ir_ = ir;
   }
@@ -237,6 +237,7 @@ Result<QueryResult> QueryEngine::Run(OpPtr physical, const CallOptions& call, Qu
   ctx.scheduler = &scheduler_;
   ctx.jit_cache = jit_cache_.get();
   ctx.morsel_rows = opts_.morsel_rows;
+  ctx.verify_ir = opts_.verify_ir;
   ctx.trace = trace_recorder_.get();
   ctx.cancel = call.cancel;
   if (opts_.morsel_boundary_hook) ctx.morsel_hook = &opts_.morsel_boundary_hook;
@@ -287,6 +288,9 @@ void QueryEngine::RecordMetrics(const QueryTelemetry& tel, bool ok) const {
                                     : "proteus_jit_cache_misses_total")
         ->Increment();
   }
+  if (tel.ir_verified) {
+    m->GetCounter("proteus_ir_verified_total")->Increment();
+  }
   m->GetCounter("proteus_morsels_total")->Add(tel.morsels);
   m->GetCounter("proteus_tasks_dealt_total")->Add(tel.tasks_dealt);
   m->GetCounter("proteus_steals_total")->Add(tel.steals);
@@ -325,6 +329,7 @@ Result<QueryResult> QueryEngine::RunInner(ExecContext& ctx, OpPtr physical, Quer
     tel.morsels_jit = shard_stats.morsels_jit;
     tel.swap_ms = shard_stats.swap_ms;
     tel.first_morsel_ms = shard_stats.first_morsel_ms;
+    tel.ir_verified = shard_stats.jit_shards > 0 && shard_stats.ir_verified;
     // Shards share the engine's compiled-query cache: N shards of one plan
     // compile it exactly once (cold) or zero times (warm). With the cache
     // disabled (jit_cache_capacity = 0) no per-shard compile cost is
@@ -365,6 +370,7 @@ Result<QueryResult> QueryEngine::RunInner(ExecContext& ctx, OpPtr physical, Quer
       tel.morsels_jit = ts.morsels_jit;
       tel.swap_ms = ts.swap_ms;
       tel.first_morsel_ms = ts.first_morsel_ms;
+      tel.ir_verified = ts.ir_verified;
       tel.jit_cache_hit = ts.cache_hit;
       // The background compile overlapped execution, so execute_ms keeps
       // the full wall time — there is no foreground compile to subtract.
@@ -405,6 +411,7 @@ Result<QueryResult> QueryEngine::RunInner(ExecContext& ctx, OpPtr physical, Quer
       // promotion already swapped the aggressive module behind this key.
       tel.compile_tier =
           jit.last_module() != nullptr ? jit.last_module()->tier : 1;
+      tel.ir_verified = jit.last_module() != nullptr && jit.last_module()->ir_verified;
       if (parallel) {
         tel.threads_used = stats.threads_used;
         tel.morsels = stats.morsels;

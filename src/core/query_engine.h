@@ -18,10 +18,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/catalog/catalog.h"
+#include "src/common/mutex.h"
 #include "src/common/task_scheduler.h"
 #include "src/engine/cache.h"
 #include "src/engine/interp.h"
@@ -96,6 +96,18 @@ struct EngineOptions {
   /// exchange bytes into this registry (e.g. obs::MetricsRegistry::Global()).
   /// Null = no metrics recorded.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Generated-code contract verification (src/jit/ir_verifier.h): every
+  /// JIT module is checked after LLVM's structural verifyModule against the
+  /// engine's code-generation contract — no mutable globals, external calls
+  /// only into the proteus_* runtime C-ABI, in-bounds constant param-table
+  /// indices, exact entry-point signatures. A violation fails the query with
+  /// an Internal status naming each offending symbol (it is a codegen bug,
+  /// never valid output). On by default in debug builds; opt-in for release.
+#ifdef NDEBUG
+  bool verify_ir = false;
+#else
+  bool verify_ir = true;
+#endif
   /// Deterministic test hook: called with the global morsel index at the top
   /// of every morsel any driver (interpreter or JIT) of this engine is about
   /// to run, after the cancel check. Tests block in it to hold a query at a
@@ -168,6 +180,12 @@ struct QueryTelemetry {
   /// the generated engines, and every shard — strategy never varies by
   /// execution path within one query.
   std::string join_strategy;
+  /// Every generated module that served this query passed the IR contract
+  /// verifier (EngineOptions::verify_ir). False when verification is off,
+  /// when the interpreter ran, or when a cached module predates a verifying
+  /// engine. Sharded runs report true only if every JIT shard ran verified
+  /// code.
+  bool ir_verified = false;
   /// Why the interpreter ran, if it did. A plan rejected for several
   /// features reports every reason, semicolon-joined.
   std::string fallback_reason;
@@ -230,14 +248,14 @@ class QueryEngine {
   /// them. Do not call while another thread is mid-ExecutePlan if the torn
   /// read matters; the engine keeps it coherent (mutex-copied), but which
   /// query it describes is unspecified.
-  QueryTelemetry telemetry() const {
-    std::lock_guard<std::mutex> lk(legacy_mu_);
+  QueryTelemetry telemetry() const EXCLUDES(legacy_mu_) {
+    MutexLock lk(legacy_mu_);
     return telemetry_;
   }
   /// LLVM IR of the last JIT-compiled query (empty if interpreter ran).
   /// Same last-writer-wins caveat as telemetry().
-  std::string last_ir() const {
-    std::lock_guard<std::mutex> lk(legacy_mu_);
+  std::string last_ir() const EXCLUDES(legacy_mu_) {
+    MutexLock lk(legacy_mu_);
     return last_ir_;
   }
   /// Queries currently inside ExecutePlan (also exported as the
@@ -296,9 +314,9 @@ class QueryEngine {
   /// Guards the legacy single-caller mirrors below. Every query copies its
   /// telemetry/IR here on completion (last writer wins); per-query truth is
   /// whatever the caller received through CallOptions.
-  mutable std::mutex legacy_mu_;
-  QueryTelemetry telemetry_;
-  std::string last_ir_;
+  mutable Mutex legacy_mu_;
+  QueryTelemetry telemetry_ GUARDED_BY(legacy_mu_);
+  std::string last_ir_ GUARDED_BY(legacy_mu_);
 };
 
 }  // namespace proteus

@@ -18,7 +18,7 @@ uint64_t CacheBlockFormatRank(DataFormat f) {
 
 uint64_t CachingManager::Install(CacheBlock block) {
   epoch_.fetch_add(1, std::memory_order_acq_rel);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   block.id = next_id_++;
   block.last_used_tick = ++tick_;
   // Replace an older block for the same subtree if this one covers at least
@@ -59,7 +59,7 @@ void CachingManager::MaybeEvictLocked() {
 
 std::shared_ptr<const CacheBlock> CachingManager::FindMatch(const Operator& op) const {
   std::string sig = op.Signature();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& [id, b] : blocks_) {
     if (b->signature == sig) {
       b->last_used_tick = ++const_cast<CachingManager*>(this)->tick_;
@@ -70,7 +70,7 @@ std::shared_ptr<const CacheBlock> CachingManager::FindMatch(const Operator& op) 
 }
 
 std::shared_ptr<const CacheBlock> CachingManager::FindById(uint64_t id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = blocks_.find(id);
   return it == blocks_.end() ? nullptr : it->second;
 }
@@ -234,7 +234,7 @@ Result<uint64_t> CachingManager::BuildScanCache(InputPlugin* plugin, const Datas
 
 void CachingManager::InvalidateDataset(const std::string& name) {
   epoch_.fetch_add(1, std::memory_order_acq_rel);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // Dataset scans embed the dataset name in their signature.
   std::string needle = "scan(" + name + " ";
   for (auto it = blocks_.begin(); it != blocks_.end();) {
@@ -253,13 +253,13 @@ size_t CachingManager::TotalBytesLocked() const {
 }
 
 size_t CachingManager::total_bytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return TotalBytesLocked();
 }
 
 std::vector<std::shared_ptr<const CacheBlock>> CachingManager::blocks() const {
   std::vector<std::shared_ptr<const CacheBlock>> out;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   out.reserve(blocks_.size());
   for (const auto& [id, b] : blocks_) out.push_back(b);
   return out;

@@ -16,12 +16,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/algebra/algebra.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/common/task_scheduler.h"
 #include "src/common/value.h"
@@ -140,22 +140,22 @@ class CachingManager {
 
   size_t total_bytes() const;
   size_t num_blocks() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return blocks_.size();
   }
   /// Shared snapshots of every live block (observability / tests).
   std::vector<std::shared_ptr<const CacheBlock>> blocks() const;
 
  private:
-  void MaybeEvictLocked();
-  size_t TotalBytesLocked() const;
+  void MaybeEvictLocked() REQUIRES(mu_);
+  size_t TotalBytesLocked() const REQUIRES(mu_);
 
   CachePolicy policy_;
-  mutable std::mutex mu_;  ///< guards blocks_, next_id_, tick_
-  uint64_t next_id_ = 1;
-  uint64_t tick_ = 0;
+  mutable Mutex mu_;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  uint64_t tick_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> epoch_{0};
-  std::map<uint64_t, std::shared_ptr<CacheBlock>> blocks_;
+  std::map<uint64_t, std::shared_ptr<CacheBlock>> blocks_ GUARDED_BY(mu_);
 };
 
 }  // namespace proteus

@@ -89,6 +89,11 @@ struct ExecContext {
   /// morsel boundary (e.g. to land a cancel or an admission probe at a known
   /// execution point). Null in production.
   const std::function<void(uint64_t)>* morsel_hook = nullptr;
+  /// Run the generated-code contract verifier (src/jit/ir_verifier.h) on
+  /// every module after LLVM's structural verifyModule. Mirrors
+  /// EngineOptions::verify_ir; a violation fails the compile with an
+  /// Internal status (never a silent interpreter fallback).
+  bool verify_ir = false;
 };
 
 /// Shared cancel test: Status::Cancelled when ctx.cancel is set. The single

@@ -23,6 +23,7 @@
 #include "src/plugins/binary_plugins.h"
 #include "src/plugins/csv_plugin.h"
 #include "src/plugins/json_plugin.h"
+#include "src/jit/ir_verifier.h"
 #include "src/jit/query_cache.h"
 #include "src/jit/runtime.h"
 #include "src/obs/trace.h"
@@ -2259,6 +2260,16 @@ Result<std::shared_ptr<const jit::CompiledModule>> CompileAndLink(const ExecCont
 
   auto module = cg.TakeModule();
   auto llctx = cg.TakeContext();
+
+  // Contract verification runs on the raw codegen output (before the pass
+  // pipeline rewrites it): the param-table GEPs and runtime-call shapes the
+  // verifier reasons about are exactly what Codegen emitted.
+  if (ctx.verify_ir) {
+    OBS_SPAN(ctx.trace, "ir_verify");
+    PROTEUS_RETURN_NOT_OK(
+        jit::VerifyGeneratedModule(*module, out->params.size()));
+    out->ir_verified = true;
+  }
 
   if (tier < 2) RunPassPipeline(*module, llvm::OptimizationLevel::O2);
 

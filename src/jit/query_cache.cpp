@@ -186,7 +186,10 @@ Result<std::shared_ptr<const CompiledModule>> CompiledQueryCache::GetOrCompile(
     const QueryCacheKey& key, const CompileFn& compile, bool* cache_hit,
     obs::TraceRecorder* trace) {
   if (cache_hit != nullptr) *cache_hit = false;
-  std::unique_lock<std::mutex> lk(mu_);
+  // Manual Lock/Unlock (not MutexLock): the single-flight protocol
+  // deliberately drops the lock around the long compile below, and the
+  // thread-safety analysis checks that every return path balances.
+  mu_.Lock();
   bool waited = false;
   const double wait_start_us = trace != nullptr ? trace->NowUs() : 0;
   for (;;) {
@@ -197,10 +200,12 @@ Result<std::shared_ptr<const CompiledModule>> CompiledQueryCache::GetOrCompile(
       it->second.hits++;
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       if (cache_hit != nullptr) *cache_hit = true;
+      std::shared_ptr<const CompiledModule> module = it->second.module;
+      mu_.Unlock();
       if (waited && trace != nullptr) {
         trace->Emit("single_flight_wait", wait_start_us, trace->NowUs() - wait_start_us);
       }
-      return it->second.module;
+      return module;
     }
     // Another thread is compiling this key: single-flight — wait for it to
     // publish (or fail and erase), then re-check.
@@ -208,32 +213,33 @@ Result<std::shared_ptr<const CompiledModule>> CompiledQueryCache::GetOrCompile(
       waited = true;
       stats_.single_flight_waits++;
     }
-    cv_.wait(lk);
+    cv_.Wait(mu_);
   }
+
+  stats_.misses++;
+  map_.emplace(key, Entry{});  // state = kCompiling
+  mu_.Unlock();
   if (waited && trace != nullptr) {
     // The waited-on compile failed and this thread fell through to its own
     // compile; the wait still happened, so it still gets its span.
     trace->Emit("single_flight_wait", wait_start_us, trace->NowUs() - wait_start_us);
   }
 
-  stats_.misses++;
-  map_.emplace(key, Entry{});  // state = kCompiling
-  lk.unlock();
-
   auto t0 = std::chrono::steady_clock::now();
   Result<std::shared_ptr<const CompiledModule>> compiled = compile();
   double ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
 
-  lk.lock();
+  mu_.Lock();
   stats_.compile_ms_total += ms;
   auto it = map_.find(key);
   if (it == map_.end() || it->second.state != Entry::State::kCompiling) {
     // The in-flight entry is gone or was replaced (cannot happen today:
     // Erase/Clear/eviction all skip compiling entries) — hand the module to
     // the caller without publishing rather than corrupt the LRU.
-    cv_.notify_all();
     if (compiled.ok() && *compiled != nullptr) stats_.compiles++;
+    mu_.Unlock();
+    cv_.NotifyAll();
     return compiled;
   }
   if (!compiled.ok() || *compiled == nullptr) {
@@ -241,7 +247,8 @@ Result<std::shared_ptr<const CompiledModule>> CompiledQueryCache::GetOrCompile(
     // later lookups) retry — a plan outside the generated fast path keeps
     // today's fall-back behavior instead of pinning a dead LRU slot.
     map_.erase(it);
-    cv_.notify_all();
+    mu_.Unlock();
+    cv_.NotifyAll();
     return compiled.ok() ? Status::Internal("jit cache: compile returned null module")
                          : compiled.status();
   }
@@ -251,12 +258,13 @@ Result<std::shared_ptr<const CompiledModule>> CompiledQueryCache::GetOrCompile(
   lru_.push_front(key);
   it->second.lru_it = lru_.begin();
   EvictOverCapacityLocked();
-  cv_.notify_all();
+  mu_.Unlock();
+  cv_.NotifyAll();
   return *compiled;
 }
 
 std::shared_ptr<const CompiledModule> CompiledQueryCache::TryGet(const QueryCacheKey& key) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = map_.find(key);
   if (it == map_.end() || it->second.state != Entry::State::kReady) return nullptr;
   stats_.hits++;
@@ -268,7 +276,7 @@ std::shared_ptr<const CompiledModule> CompiledQueryCache::TryGet(const QueryCach
 bool CompiledQueryCache::Promote(const QueryCacheKey& key,
                                  std::shared_ptr<const CompiledModule> module) {
   if (module == nullptr) return false;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     Entry e;
@@ -289,7 +297,7 @@ bool CompiledQueryCache::Promote(const QueryCacheKey& key,
 }
 
 uint64_t CompiledQueryCache::HitCount(const QueryCacheKey& key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = map_.find(key);
   return it != map_.end() ? it->second.hits : 0;
 }
@@ -306,7 +314,7 @@ void CompiledQueryCache::EvictOverCapacityLocked() {
 }
 
 void CompiledQueryCache::Erase(const QueryCacheKey& key) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = map_.find(key);
   if (it == map_.end() || it->second.state != Entry::State::kReady) return;
   lru_.erase(it->second.lru_it);
@@ -314,7 +322,7 @@ void CompiledQueryCache::Erase(const QueryCacheKey& key) {
 }
 
 void CompiledQueryCache::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->second.state == Entry::State::kReady) {
       lru_.erase(it->second.lru_it);
@@ -326,12 +334,12 @@ void CompiledQueryCache::Clear() {
 }
 
 size_t CompiledQueryCache::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return lru_.size();
 }
 
 CompiledQueryCache::Stats CompiledQueryCache::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return stats_;
 }
 

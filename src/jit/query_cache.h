@@ -27,16 +27,15 @@
 // module mid-execution.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/plugins/plugin.h"
 
@@ -193,6 +192,11 @@ struct CompiledModule {
   std::vector<uint32_t> outer_join_tables;
   RuntimeLayout layout;
   std::vector<ParamDesc> params;
+  /// True when the generated-code contract verifier (src/jit/ir_verifier.h)
+  /// ran on this module's IR and passed. Surfaced through
+  /// QueryTelemetry::ir_verified / TieredRunStats / ShardExecStats so a
+  /// silently-skipped verifier is detectable, not assumed.
+  bool ir_verified = false;
 };
 
 /// Cache key: plan signature + codegen mode + join strategies + engine-state
@@ -249,14 +253,14 @@ class CompiledQueryCache {
   /// "single_flight_wait" span.
   Result<std::shared_ptr<const CompiledModule>> GetOrCompile(
       const QueryCacheKey& key, const CompileFn& compile, bool* cache_hit,
-      obs::TraceRecorder* trace = nullptr);
+      obs::TraceRecorder* trace = nullptr) EXCLUDES(mu_);
 
   /// Non-blocking probe: returns `key`'s module when a ready entry exists
   /// (counted as a hit, LRU-touched), nullptr when the key is absent *or*
   /// another thread is still compiling it. The tiered controller uses this
   /// at query start — and at every morsel boundary — because it must never
   /// wait on a compile: not-ready simply means "keep interpreting".
-  std::shared_ptr<const CompiledModule> TryGet(const QueryCacheKey& key);
+  std::shared_ptr<const CompiledModule> TryGet(const QueryCacheKey& key) EXCLUDES(mu_);
 
   /// Replaces the ready entry of `key` with `module` (or inserts one if the
   /// key is absent — e.g. the original entry aged out of the LRU while the
@@ -264,20 +268,21 @@ class CompiledQueryCache {
   /// behind the same cache key; executions already holding the old
   /// shared_ptr finish on it safely. A key mid-compile is left alone
   /// (returns false) so single-flight waiters never see their entry mutate.
-  bool Promote(const QueryCacheKey& key, std::shared_ptr<const CompiledModule> module);
+  bool Promote(const QueryCacheKey& key, std::shared_ptr<const CompiledModule> module)
+      EXCLUDES(mu_);
 
   /// Lifetime hits of `key`'s entry (0 when absent). Survives Promote (the
   /// count is what proves a signature hot); resets if the entry is evicted.
-  uint64_t HitCount(const QueryCacheKey& key) const;
+  uint64_t HitCount(const QueryCacheKey& key) const EXCLUDES(mu_);
 
   /// Drops one entry / every entry (in-flight compiles are left to finish
   /// and publish; Clear only removes ready entries).
-  void Erase(const QueryCacheKey& key);
-  void Clear();
+  void Erase(const QueryCacheKey& key) EXCLUDES(mu_);
+  void Clear() EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -288,14 +293,15 @@ class CompiledQueryCache {
     uint64_t hits = 0;  ///< lifetime hits; the tier-2 hotness signal
   };
 
-  void EvictOverCapacityLocked();
+  void EvictOverCapacityLocked() REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::list<QueryCacheKey> lru_;  ///< front = most recently used (ready entries only)
-  std::unordered_map<QueryCacheKey, Entry, QueryCacheKeyHash> map_;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  /// front = most recently used (ready entries only)
+  std::list<QueryCacheKey> lru_ GUARDED_BY(mu_);
+  std::unordered_map<QueryCacheKey, Entry, QueryCacheKeyHash> map_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace jit

@@ -33,29 +33,34 @@ TieredCompiler::TieredCompiler() : worker_([this] { WorkerLoop(); }) {}
 
 TieredCompiler::~TieredCompiler() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   worker_.join();
 }
 
 void TieredCompiler::WorkerLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  // Manual Lock/Unlock: the loop deliberately drops the lock around each
+  // job() — the thread-safety analysis checks both sides of the drop.
+  mu_.Lock();
   while (true) {
-    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) cv_.Wait(mu_);
     // Drain the queue even on shutdown: queued tickets have waiters (or
     // future cache consumers) that must see a fulfilled result.
-    if (queue_.empty()) return;
+    if (queue_.empty()) {
+      mu_.Unlock();
+      return;
+    }
     std::function<void()> job = std::move(queue_.front());
     queue_.pop_front();
     busy_ = true;
-    lk.unlock();
+    mu_.Unlock();
     job();
-    lk.lock();
+    mu_.Lock();
     busy_ = false;
     ++jobs_run_;
-    if (queue_.empty()) idle_cv_.notify_all();
+    if (queue_.empty()) idle_cv_.NotifyAll();
   }
 }
 
@@ -63,7 +68,7 @@ std::shared_ptr<CompileTicket> TieredCompiler::EnqueueCompile(const ExecContext&
                                                               OpPtr plan, int delay_ms) {
   const QueryCacheKey key = MakeQueryCacheKey(ctx, plan, CodegenMode::kMorsel);
   const std::string ks = KeyString(key);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto f = inflight_.find(ks);
   if (f != inflight_.end()) return f->second;
   auto ticket = std::make_shared<CompileTicket>();
@@ -93,7 +98,7 @@ std::shared_ptr<CompileTicket> TieredCompiler::EnqueueCompile(const ExecContext&
     }();
     const double ms = MsSince(t0);
     {
-      std::lock_guard<std::mutex> lk2(mu_);
+      MutexLock lk2(mu_);
       inflight_.erase(ks);
     }
     if (r.ok()) {
@@ -102,7 +107,7 @@ std::shared_ptr<CompileTicket> TieredCompiler::EnqueueCompile(const ExecContext&
       ticket->Fulfill(r.status(), nullptr, ms);
     }
   });
-  cv_.notify_one();
+  cv_.NotifyOne();
   return ticket;
 }
 
@@ -110,7 +115,7 @@ void TieredCompiler::EnqueuePromotion(const ExecContext& ctx, OpPtr plan) {
   if (ctx.jit_cache == nullptr) return;
   const QueryCacheKey key = MakeQueryCacheKey(ctx, plan, CodegenMode::kMorsel);
   const std::string ks = KeyString(key);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (!tier2_inflight_.insert(ks).second) return;
   queue_.push_back([this, ctx, plan = std::move(plan), key, ks] {
     if (ctx.trace != nullptr) ctx.trace->LabelThisThread("background-compiler");
@@ -123,19 +128,19 @@ void TieredCompiler::EnqueuePromotion(const ExecContext& ctx, OpPtr plan) {
     // A failed aggressive recompile is silent: the tier-1 module keeps
     // serving, exactly as before the promotion attempt.
     if (r.ok()) ctx.jit_cache->Promote(key, std::move(*r));
-    std::lock_guard<std::mutex> lk2(mu_);
+    MutexLock lk2(mu_);
     tier2_inflight_.erase(ks);
   });
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void TieredCompiler::Drain() {
-  std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [&] { return queue_.empty() && !busy_; });
+  MutexLock lk(mu_);
+  while (!queue_.empty() || busy_) idle_cv_.Wait(mu_);
 }
 
 uint64_t TieredCompiler::jobs_run() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return jobs_run_;
 }
 
@@ -272,6 +277,7 @@ Result<PlanPartials> RunTiered(const ExecContext& ctx, const OpPtr& plan,
   }
   if (stats->morsels_jit > 0 && module != nullptr) {
     stats->compile_tier = module->tier;
+    stats->ir_verified = module->ir_verified;
   }
 
   // Hot-signature promotion: a tier-1 module that keeps earning cache hits

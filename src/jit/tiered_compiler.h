@@ -34,18 +34,17 @@
 // declares it last for exactly that reason.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/algebra/algebra.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/engine/interp.h"
 #include "src/engine/partial_sink.h"
@@ -85,6 +84,7 @@ struct TieredRunStats {
   double first_morsel_ms = 0;      ///< ms from run start to the first completed chunk
   double compile_ms = 0;           ///< background compile ms this run observed (0 if unconsumed)
   bool cache_hit = false;          ///< a cached module served the run from morsel 0
+  bool ir_verified = false;        ///< the module that served morsels passed the IR verifier
 };
 
 /// One background compile's rendezvous. The query thread polls Ready() at
@@ -92,48 +92,49 @@ struct TieredRunStats {
 /// are the only waiters).
 class CompileTicket {
  public:
-  bool Ready() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  bool Ready() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return done_;
   }
-  void Wait() const {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return done_; });
+  void Wait() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    while (!done_) cv_.Wait(mu_);
   }
   /// Valid once Ready(): the compile outcome and its wall time. A failed
   /// compile leaves module() null and status() the error.
-  Status status() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  Status status() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return status_;
   }
-  std::shared_ptr<const CompiledModule> module() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  std::shared_ptr<const CompiledModule> module() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return module_;
   }
-  double compile_ms() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  double compile_ms() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return compile_ms_;
   }
 
  private:
   friend class TieredCompiler;
-  void Fulfill(Status status, std::shared_ptr<const CompiledModule> module, double ms) {
+  void Fulfill(Status status, std::shared_ptr<const CompiledModule> module, double ms)
+      EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       status_ = std::move(status);
       module_ = std::move(module);
       compile_ms_ = ms;
       done_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  bool done_ = false;
-  Status status_ = Status::OK();
-  std::shared_ptr<const CompiledModule> module_;
-  double compile_ms_ = 0;
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  bool done_ GUARDED_BY(mu_) = false;
+  Status status_ GUARDED_BY(mu_) = Status::OK();
+  std::shared_ptr<const CompiledModule> module_ GUARDED_BY(mu_);
+  double compile_ms_ GUARDED_BY(mu_) = 0;
 };
 
 /// The engine-wide background compile thread. See the file comment.
@@ -153,33 +154,33 @@ class TieredCompiler {
   /// for every later run. `delay_ms` is the TieredOptions::compile_delay_ms
   /// test hook.
   std::shared_ptr<CompileTicket> EnqueueCompile(const ExecContext& ctx, OpPtr plan,
-                                                int delay_ms);
+                                                int delay_ms) EXCLUDES(mu_);
 
   /// Enqueues a tier-2 (aggressive) recompile of `plan`, swapping the result
   /// behind its cache key via Promote(). Single-flight per key; a no-op
   /// without a cache (there would be nothing to promote into).
-  void EnqueuePromotion(const ExecContext& ctx, OpPtr plan);
+  void EnqueuePromotion(const ExecContext& ctx, OpPtr plan) EXCLUDES(mu_);
 
   /// Blocks until every queued job has run (tests and benches only — the
   /// query path never waits here).
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
-  uint64_t jobs_run() const;
+  uint64_t jobs_run() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;       ///< worker wake
-  std::condition_variable idle_cv_;  ///< Drain wake
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_;
+  CondVar cv_;       ///< worker wake
+  CondVar idle_cv_;  ///< Drain wake
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   /// Key → shared ticket of the in-flight tier-1 compile (coalescing).
-  std::unordered_map<std::string, std::shared_ptr<CompileTicket>> inflight_;
+  std::unordered_map<std::string, std::shared_ptr<CompileTicket>> inflight_ GUARDED_BY(mu_);
   /// Keys with a tier-2 recompile queued or running (single-flight).
-  std::unordered_set<std::string> tier2_inflight_;
-  bool stop_ = false;
-  bool busy_ = false;
-  uint64_t jobs_run_ = 0;
+  std::unordered_set<std::string> tier2_inflight_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool busy_ GUARDED_BY(mu_) = false;
+  uint64_t jobs_run_ GUARDED_BY(mu_) = 0;
   std::thread worker_;  ///< last member: joined before the queue state dies
 };
 

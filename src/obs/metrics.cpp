@@ -132,14 +132,14 @@ const std::vector<double>& Histogram::LatencyBoundariesMs() {
 // ---------------------------------------------------------------------------
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -147,14 +147,14 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& boundaries) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(boundaries);
   return slot.get();
 }
 
 void MetricsRegistry::WriteText(std::ostream& out) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& [name, c] : counters_) {
     out << "# TYPE " << name << " counter\n" << name << " " << c->value() << "\n";
   }
@@ -172,7 +172,7 @@ void MetricsRegistry::WriteText(std::ostream& out) const {
 }
 
 void MetricsRegistry::WriteJson(std::ostream& out) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   out << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {

@@ -21,10 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace proteus {
 namespace obs {
@@ -99,30 +100,32 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
   /// First creation fixes the boundaries; later calls with the same name
   /// return the existing histogram regardless of `boundaries`.
   Histogram* GetHistogram(const std::string& name,
                           const std::vector<double>& boundaries =
-                              Histogram::LatencyBoundariesMs());
+                              Histogram::LatencyBoundariesMs()) EXCLUDES(mu_);
 
   /// Prometheus-style text exposition: `# TYPE` lines, one sample per
   /// counter/gauge, quantile/sum/count lines per histogram.
-  void WriteText(std::ostream& out) const;
+  void WriteText(std::ostream& out) const EXCLUDES(mu_);
   /// One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
   /// {name: {count, sum, min, max, p50, p95, p99}}}. The bench reporter's
   /// snapshot format.
-  void WriteJson(std::ostream& out) const;
+  void WriteJson(std::ostream& out) const EXCLUDES(mu_);
 
   /// The process-wide instance benches and long-lived engines share.
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards only the instrument maps — creation and enumeration. The
+  /// instruments themselves are all-atomic, so recording never locks.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

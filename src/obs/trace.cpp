@@ -68,9 +68,12 @@ struct TraceRecorder::ThreadBuffer {
   std::atomic<uint64_t> dropped{0};
   uint64_t floor = 0;  ///< snapshot floor set by Clear(); guarded by mu_
 
-  mutable std::mutex chunks_mu;  ///< guards the chunk-pointer vector only
-  std::vector<std::unique_ptr<Chunk>> chunks;
-  Chunk* current = nullptr;  ///< owner-thread cache of chunks.back()
+  mutable Mutex chunks_mu;  ///< guards the chunk-pointer vector only
+  std::vector<std::unique_ptr<Chunk>> chunks GUARDED_BY(chunks_mu);
+  /// Owner-thread cache of chunks.back(). Written under chunks_mu (the
+  /// growth path), read lock-free — but only ever by the owning thread, so
+  /// the unsynchronized read cannot race the owner's own write.
+  Chunk* current = nullptr;
 
   void Append(const TraceEvent& ev) {
     const uint64_t i = published.load(std::memory_order_relaxed);
@@ -82,7 +85,7 @@ struct TraceRecorder::ThreadBuffer {
     if (slot == 0) {
       // Chunk boundary: grow under the lock so concurrent readers can walk
       // the vector. Amortized to once per kEvents appends.
-      std::lock_guard<std::mutex> lk(chunks_mu);
+      MutexLock lk(chunks_mu);
       chunks.push_back(std::make_unique<Chunk>());
       current = chunks.back().get();
     }
@@ -103,7 +106,7 @@ TraceRecorder::~TraceRecorder() = default;
 
 TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
   if (t_slot.rec_id == id_) return static_cast<ThreadBuffer*>(t_slot.buf);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const std::thread::id self = std::this_thread::get_id();
   for (const auto& b : buffers_) {
     if (b->owner == self) {
@@ -142,13 +145,13 @@ void TraceRecorder::Instant(const char* name, const char* arg0_name, int64_t arg
 
 void TraceRecorder::LabelThisThread(const std::string& label) {
   ThreadBuffer* buf = BufferForThisThread();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   buf->label = label;
 }
 
 TraceRecorder::Capture TraceRecorder::BeginCapture() const {
   Capture cap;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   cap.floors.reserve(buffers_.size());
   for (const auto& b : buffers_) {
     // tids are assigned 1..N in registration order, so tid - 1 indexes.
@@ -159,14 +162,14 @@ TraceRecorder::Capture TraceRecorder::BeginCapture() const {
 
 QueryTrace TraceRecorder::Snapshot(const Capture& capture) const {
   QueryTrace out;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& b : buffers_) {
     const uint64_t n = b->published.load(std::memory_order_acquire);
     out.dropped += b->dropped.load(std::memory_order_relaxed);
     if (!b->label.empty()) out.thread_names[b->tid] = b->label;
     const size_t idx = b->tid - 1;
     const uint64_t floor = idx < capture.floors.size() ? capture.floors[idx] : 0;
-    std::lock_guard<std::mutex> clk(b->chunks_mu);
+    MutexLock clk(b->chunks_mu);
     for (uint64_t i = floor; i < n; ++i) {
       out.events.push_back(
           b->chunks[static_cast<size_t>(i / Chunk::kEvents)]
@@ -178,12 +181,12 @@ QueryTrace TraceRecorder::Snapshot(const Capture& capture) const {
 
 QueryTrace TraceRecorder::Snapshot() const {
   QueryTrace out;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& b : buffers_) {
     const uint64_t n = b->published.load(std::memory_order_acquire);
     out.dropped += b->dropped.load(std::memory_order_relaxed);
     if (!b->label.empty()) out.thread_names[b->tid] = b->label;
-    std::lock_guard<std::mutex> clk(b->chunks_mu);
+    MutexLock clk(b->chunks_mu);
     for (uint64_t i = b->floor; i < n; ++i) {
       out.events.push_back(
           b->chunks[static_cast<size_t>(i / Chunk::kEvents)]
@@ -194,7 +197,7 @@ QueryTrace TraceRecorder::Snapshot() const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& b : buffers_) {
     b->floor = b->published.load(std::memory_order_acquire);
   }
@@ -202,7 +205,7 @@ void TraceRecorder::Clear() {
 
 uint64_t TraceRecorder::TotalEvents() const {
   uint64_t total = 0;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& b : buffers_) {
     total += b->published.load(std::memory_order_acquire) - b->floor;
   }

@@ -35,13 +35,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace proteus {
@@ -116,7 +116,7 @@ class TraceRecorder {
 
   /// Names the calling thread's track in the exported trace (e.g.
   /// "shard-1", "background-compiler"). Rare-path: takes the registry lock.
-  void LabelThisThread(const std::string& label);
+  void LabelThisThread(const std::string& label) EXCLUDES(mu_);
 
   /// A per-observer snapshot floor: BeginCapture() records how many events
   /// each thread had published at that instant, and Snapshot(capture)
@@ -133,17 +133,17 @@ class TraceRecorder {
 
   /// Starts a capture scoped to the caller (rare path: takes the registry
   /// lock once).
-  Capture BeginCapture() const;
+  Capture BeginCapture() const EXCLUDES(mu_);
 
   /// Copies every event published since `capture` began. Independent of
   /// Clear(): a global Clear between BeginCapture and this call does not
   /// hide events from the capture.
-  QueryTrace Snapshot(const Capture& capture) const;
+  QueryTrace Snapshot(const Capture& capture) const EXCLUDES(mu_);
 
   /// Copies every event published since the last Clear(). Safe to call
   /// while other threads (e.g. an outlived background compile) are still
   /// appending: only slots published with release semantics are read.
-  QueryTrace Snapshot() const;
+  QueryTrace Snapshot() const EXCLUDES(mu_);
 
   /// Logically discards everything recorded so far (per-query reset). The
   /// storage is retained and writers are never blocked: the current
@@ -151,21 +151,25 @@ class TraceRecorder {
   /// published *after* Clear by a straggler thread (a compile outliving its
   /// query) lands in the next snapshot — intentionally: it shows the
   /// compile landing.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Published (undiscarded) events across all threads — cheap, for tests.
-  uint64_t TotalEvents() const;
+  uint64_t TotalEvents() const EXCLUDES(mu_);
 
  private:
   struct Chunk;
   struct ThreadBuffer;
 
-  ThreadBuffer* BufferForThisThread();
+  ThreadBuffer* BufferForThisThread() EXCLUDES(mu_);
 
   const uint64_t id_;  ///< process-unique, validates thread-local caches
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;  ///< guards buffers_ registration, labels, snapshot floors
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  /// Guards buffers_ registration — and, by convention, each ThreadBuffer's
+  /// label and snapshot floor (stated there; the analysis cannot name one
+  /// object's mutex from another type, so those two members carry comments
+  /// instead of GUARDED_BY).
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
 };
 
 /// RAII span: records [construction, destruction) on the recorder, or does

@@ -193,7 +193,7 @@ std::vector<ScanRange> SplitByByteOffsets(const std::vector<uint64_t>& starts, u
 }
 
 Result<InputPlugin*> PluginRegistry::GetOrOpen(const DatasetInfo& info, StatsStore* stats) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = open_.find(info.name);
   if (it != open_.end()) return it->second.get();
   PROTEUS_ASSIGN_OR_RETURN(std::unique_ptr<InputPlugin> plugin, CreateInputPlugin(info));
@@ -208,7 +208,7 @@ Result<InputPlugin*> PluginRegistry::GetOrOpen(const DatasetInfo& info, StatsSto
 }
 
 void PluginRegistry::Evict(const std::string& dataset) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   open_.erase(dataset);
 }
 

@@ -20,12 +20,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/catalog/catalog.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/common/value.h"
 
@@ -142,8 +142,8 @@ class PluginRegistry {
   void Evict(const std::string& dataset);
 
  private:
-  std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<InputPlugin>> open_;
+  Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<InputPlugin>> open_ GUARDED_BY(mu_);
 };
 
 /// Shared default implementation: builds an UnnestCursor over a ValueList.

@@ -5,7 +5,7 @@ namespace proteus::serve {
 AdmissionGate::AdmissionGate(Options opts) : opts_(opts) {}
 
 AdmissionGate::Outcome AdmissionGate::Enter() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (closed_) return Outcome::kClosed;
   if (inflight_ < opts_.max_inflight) {
     ++inflight_;
@@ -19,7 +19,7 @@ AdmissionGate::Outcome AdmissionGate::Enter() {
     return Outcome::kRejected;
   }
   ++waiting_;
-  cv_.wait(lk, [&] { return closed_ || inflight_ < opts_.max_inflight; });
+  while (!closed_ && inflight_ >= opts_.max_inflight) cv_.Wait(mu_);
   --waiting_;
   if (closed_) return Outcome::kClosed;
   ++inflight_;
@@ -29,37 +29,37 @@ AdmissionGate::Outcome AdmissionGate::Enter() {
 
 void AdmissionGate::Exit() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     --inflight_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void AdmissionGate::Close() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int AdmissionGate::inflight() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return inflight_;
 }
 
 int AdmissionGate::waiting() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return waiting_;
 }
 
 uint64_t AdmissionGate::admitted() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return admitted_;
 }
 
 uint64_t AdmissionGate::rejected() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return rejected_;
 }
 

@@ -10,9 +10,9 @@
 // explicit kRejected frames instead of unbounded queueing or hangs.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "src/common/mutex.h"
 
 namespace proteus::serve {
 
@@ -33,28 +33,28 @@ class AdmissionGate {
 
   /// Acquires an execution slot, parking in the bounded queue if the gate is
   /// full. Returns immediately with kRejected when the queue is full too.
-  Outcome Enter();
+  Outcome Enter() EXCLUDES(mu_);
 
   /// Releases a slot acquired by a successful Enter().
-  void Exit();
+  void Exit() EXCLUDES(mu_);
 
   /// Wakes every parked caller with kClosed and rejects all future Enter()s.
-  void Close();
+  void Close() EXCLUDES(mu_);
 
-  int inflight() const;
-  int waiting() const;
-  uint64_t admitted() const;
-  uint64_t rejected() const;
+  int inflight() const EXCLUDES(mu_);
+  int waiting() const EXCLUDES(mu_);
+  uint64_t admitted() const EXCLUDES(mu_);
+  uint64_t rejected() const EXCLUDES(mu_);
 
  private:
   const Options opts_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int inflight_ = 0;
-  int waiting_ = 0;
-  bool closed_ = false;
-  uint64_t admitted_ = 0;
-  uint64_t rejected_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  int inflight_ GUARDED_BY(mu_) = 0;
+  int waiting_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
+  uint64_t admitted_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace proteus::serve

@@ -61,14 +61,14 @@ void QueryServer::Stop() {
 
   std::vector<std::unique_ptr<Session>> sessions;
   {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    MutexLock lk(sessions_mu_);
     sessions.swap(sessions_);
   }
   for (auto& s : sessions) {
     // Cooperatively cancel whatever is still running: each query stops at
     // its next morsel boundary, so shutdown waits one morsel, not one query.
     {
-      std::lock_guard<std::mutex> lk(s->mu);
+      MutexLock lk(s->mu);
       for (auto& [id, flag] : s->cancels) flag->store(true, std::memory_order_release);
     }
     ::shutdown(s->fd, SHUT_RDWR);
@@ -90,7 +90,7 @@ void QueryServer::AcceptLoop() {
     session->fd = fd;
     Session* s = session.get();
     {
-      std::lock_guard<std::mutex> lk(sessions_mu_);
+      MutexLock lk(sessions_mu_);
       if (stopping_.load(std::memory_order_acquire)) {
         ::close(fd);
         return;
@@ -102,7 +102,7 @@ void QueryServer::AcceptLoop() {
 }
 
 void QueryServer::SendFrame(Session* s, const Frame& f) {
-  std::lock_guard<std::mutex> lk(s->write_mu);
+  MutexLock lk(s->write_mu);
   // Best effort: a peer that vanished mid-query just loses its response.
   (void)WriteFrame(s->fd, f);
 }
@@ -131,7 +131,7 @@ void QueryServer::SessionLoop(Session* s) {
         }
         auto cancel = std::make_shared<std::atomic<bool>>(false);
         {
-          std::lock_guard<std::mutex> lk(s->mu);
+          MutexLock lk(s->mu);
           // Register the cancel token *before* the worker exists, so a
           // kCancel racing the query's startup still lands.
           if (!s->cancels.emplace(frame->query_id, cancel).second) {
@@ -148,7 +148,7 @@ void QueryServer::SessionLoop(Session* s) {
         break;
       }
       case FrameType::kCancel: {
-        std::lock_guard<std::mutex> lk(s->mu);
+        MutexLock lk(s->mu);
         auto it = s->cancels.find(frame->query_id);
         // Unknown id = already finished (or never existed): cancellation is
         // idempotent, nothing to do.
@@ -166,7 +166,7 @@ void QueryServer::SessionLoop(Session* s) {
   // Stop() only ever joins readers.
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lk(s->mu);
+    MutexLock lk(s->mu);
     workers.swap(s->workers);
   }
   for (auto& w : workers) w.join();
@@ -175,14 +175,14 @@ void QueryServer::SessionLoop(Session* s) {
 void QueryServer::RunQuery(Session* s, uint64_t query_id, std::string text) {
   std::shared_ptr<std::atomic<bool>> cancel;
   {
-    std::lock_guard<std::mutex> lk(s->mu);
+    MutexLock lk(s->mu);
     cancel = s->cancels.at(query_id);
   }
 
   const AdmissionGate::Outcome outcome = gate_.Enter();
   if (outcome != AdmissionGate::Outcome::kAdmitted) {
     {
-      std::lock_guard<std::mutex> lk(s->mu);
+      MutexLock lk(s->mu);
       s->cancels.erase(query_id);
     }
     const char* reason = outcome == AdmissionGate::Outcome::kClosed
@@ -200,7 +200,7 @@ void QueryServer::RunQuery(Session* s, uint64_t query_id, std::string text) {
   gate_.Exit();
 
   {
-    std::lock_guard<std::mutex> lk(s->mu);
+    MutexLock lk(s->mu);
     s->cancels.erase(query_id);
   }
 

@@ -28,12 +28,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/core/query_engine.h"
 #include "src/serve/admission.h"
@@ -75,10 +75,11 @@ class QueryServer {
   struct Session {
     int fd = -1;
     std::thread reader;
-    std::mutex write_mu;  ///< one response frame at a time per connection
-    std::mutex mu;        ///< guards cancels + workers
-    std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> cancels;
-    std::vector<std::thread> workers;
+    Mutex write_mu;  ///< one response frame at a time per connection
+    Mutex mu;        ///< guards cancels + workers
+    std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> cancels
+        GUARDED_BY(mu);
+    std::vector<std::thread> workers GUARDED_BY(mu);
   };
 
   void AcceptLoop();
@@ -94,8 +95,8 @@ class QueryServer {
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex sessions_mu_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  Mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_ GUARDED_BY(sessions_mu_);
 };
 
 }  // namespace proteus::serve

@@ -1,10 +1,10 @@
 #include "src/shard/coordinator.h"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 
 #include "src/common/counters.h"
+#include "src/common/mutex.h"
 #include "src/jit/query_cache.h"
 #include "src/obs/trace.h"
 #include "src/shard/executor.h"
@@ -50,12 +50,13 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
   std::vector<Status> shard_status(slices.size(), Status::OK());
   std::vector<char> shard_jit(slices.size(), 0);
   std::vector<char> shard_tiered(slices.size(), 0);
+  std::vector<char> shard_verified(slices.size(), 0);
   std::vector<int> shard_tier(slices.size(), 0);
   std::vector<jit::TieredRunStats> shard_tiered_stats(slices.size());
   std::vector<uint64_t> shard_steals(slices.size(), 0);
   std::vector<uint64_t> shard_dealt(slices.size(), 0);
   ExecCounters shard_counters;
-  std::mutex counters_mu;
+  Mutex counters_mu;
   int threads_per_shard = 1;
   {
     std::vector<std::thread> threads;
@@ -68,12 +69,13 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
         shard_status[i] = executor.Run(task, transport);
         shard_jit[i] = executor.jit_ran() ? 1 : 0;
         shard_tiered[i] = executor.tiered_ran() ? 1 : 0;
+        shard_verified[i] = executor.ir_verified() ? 1 : 0;
         shard_tier[i] = executor.served_tier();
         shard_steals[i] = executor.steals();
         shard_dealt[i] = executor.tasks_dealt();
         if (executor.tiered_ran()) shard_tiered_stats[i] = executor.tiered_stats();
         ExecCounters delta = GlobalCounters().Since(before);
-        std::lock_guard<std::mutex> lk(counters_mu);
+        MutexLock lk(counters_mu);
         shard_counters += delta;
         threads_per_shard = executor.num_threads();
       });
@@ -149,6 +151,13 @@ Result<QueryResult> ShardCoordinator::Run(const OpPtr& plan, ShardTransport* tra
   stats->morsels = num_morsels;
   stats->jit_shards = 0;
   for (char j : shard_jit) stats->jit_shards += j;
+  // Verified means *every* shard that ran generated code ran a verified
+  // module — one unverified shard (e.g. a cached pre-verifier module) makes
+  // the whole query unverified.
+  stats->ir_verified = stats->jit_shards > 0;
+  for (size_t i = 0; i < slices.size(); ++i) {
+    if (shard_jit[i] != 0 && shard_verified[i] == 0) stats->ir_verified = false;
+  }
   for (size_t i = 0; i < slices.size(); ++i) {
     stats->steals += shard_steals[i];
     stats->tasks_dealt += shard_dealt[i];

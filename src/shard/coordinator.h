@@ -48,6 +48,10 @@ struct ShardExecStats {
   int compile_tier = 0;
   double swap_ms = 0;
   double first_morsel_ms = 0;
+  /// Every shard that ran generated code ran IR-verified modules
+  /// (src/jit/ir_verifier.h). False when no shard ran JIT or when
+  /// verification is off (EngineOptions::verify_ir).
+  bool ir_verified = false;
   /// Work-stealing counters summed over every shard's private morsel pool
   /// (each ShardExecutor owns its scheduler, so these are per-run numbers).
   uint64_t tasks_dealt = 0;

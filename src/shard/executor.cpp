@@ -28,6 +28,7 @@ Status ShardExecutor::Run(const ShardTask& task, ShardTransport* transport) {
   jit_ran_ = false;
   tiered_ran_ = false;
   served_tier_ = 0;
+  ir_verified_ = false;
   if (use_jit_ && ctx_.tiered != nullptr) {
     // Tiered shard: this slice starts on the interpreter while the (shared,
     // single-flight) background compile runs, and hot-swaps at its own
@@ -42,6 +43,7 @@ Status ShardExecutor::Run(const ShardTask& task, ShardTransport* transport) {
       tiered_stats_ = ts;
       jit_ran_ = ts.morsels_jit > 0;
       served_tier_ = ts.compile_tier;
+      ir_verified_ = ts.ir_verified;
       morsels_run_ = task.morsel_end - task.morsel_begin;
     } else if (r.status().code() != StatusCode::kUnimplemented) {
       return r.status();
@@ -55,6 +57,7 @@ Status ShardExecutor::Run(const ShardTask& task, ShardTransport* transport) {
       partials = std::move(*r);
       jit_ran_ = true;
       served_tier_ = jit.last_module() != nullptr ? jit.last_module()->tier : 1;
+      ir_verified_ = jit.last_module() != nullptr && jit.last_module()->ir_verified;
       morsels_run_ = task.morsel_end - task.morsel_begin;
     } else if (r.status().code() != StatusCode::kUnimplemented) {
       return r.status();

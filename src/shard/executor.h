@@ -62,6 +62,9 @@ class ShardExecutor {
   /// 0 when the interpreter ran it all, 1 or 2 otherwise (a background
   /// promotion can serve tier 2 to a plain warm shard run too).
   int served_tier() const { return served_tier_; }
+  /// The generated module that ran this slice passed the IR contract
+  /// verifier (meaningful only when jit_ran()).
+  bool ir_verified() const { return ir_verified_; }
   /// Work-stealing counters of this shard's private morsel pool (lifetime of
   /// the executor — which is one Run, so they are per-slice numbers).
   uint64_t steals() const { return scheduler_.total_steals(); }
@@ -75,6 +78,7 @@ class ShardExecutor {
   bool jit_ran_ = false;
   bool tiered_ran_ = false;
   int served_tier_ = 0;
+  bool ir_verified_ = false;
   uint64_t morsels_run_ = 0;
   jit::TieredRunStats tiered_stats_;
 };

@@ -3,7 +3,7 @@
 namespace proteus {
 
 Status LoopbackTransport::Send(int shard_id, std::string bytes) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto [it, inserted] = inbox_.emplace(shard_id, std::move(bytes));
   if (!inserted) {
     return Status::AlreadyExists("shard " + std::to_string(shard_id) +
@@ -14,7 +14,7 @@ Status LoopbackTransport::Send(int shard_id, std::string bytes) {
 }
 
 Result<std::string> LoopbackTransport::Collect(int shard_id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = inbox_.find(shard_id);
   if (it == inbox_.end()) {
     return Status::NotFound("no partial result from shard " + std::to_string(shard_id));
@@ -25,7 +25,7 @@ Result<std::string> LoopbackTransport::Collect(int shard_id) {
 }
 
 uint64_t LoopbackTransport::bytes_exchanged() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return bytes_;
 }
 

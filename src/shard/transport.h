@@ -11,10 +11,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace proteus {
@@ -39,14 +39,14 @@ class ShardTransport {
 /// coordinator Collects after joining them.
 class LoopbackTransport final : public ShardTransport {
  public:
-  Status Send(int shard_id, std::string bytes) override;
-  Result<std::string> Collect(int shard_id) override;
-  uint64_t bytes_exchanged() const override;
+  Status Send(int shard_id, std::string bytes) override EXCLUDES(mu_);
+  Result<std::string> Collect(int shard_id) override EXCLUDES(mu_);
+  uint64_t bytes_exchanged() const override EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<int, std::string> inbox_;
-  uint64_t bytes_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<int, std::string> inbox_ GUARDED_BY(mu_);
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace proteus
